@@ -1,0 +1,120 @@
+// E9 -- access functions and overlap areas (Section 3.2.1): local access
+// through loc_map is O(1); non-local access is worth batching.  Three
+// measurements:
+//   * LocalAccess: at() on owned elements (ns/element);
+//   * OverlapStencil: a stencil step with one bulk overlap exchange;
+//   * ElementwiseRemote: the same boundary data fetched through
+//     per-element schedules -- one message per element, the cost the
+//     overlap-area descriptor component exists to avoid.
+#include <benchmark/benchmark.h>
+
+#include "vf/msg/spmd.hpp"
+#include "vf/parti/schedule.hpp"
+#include "vf/rt/dist_array.hpp"
+
+namespace {
+
+using namespace vf;  // NOLINT(google-build-using-namespace)
+using dist::Index;
+using dist::IndexDomain;
+using dist::IndexVec;
+
+void BM_LocalAccess(benchmark::State& state) {
+  msg::Machine machine(1);
+  msg::Context ctx(machine, 0);
+  rt::Env env(ctx);
+  const Index n = 512;
+  rt::DistArray<double> a(env, {.name = "A",
+                                .domain = IndexDomain::of_extents({n, n}),
+                                .dynamic = true,
+                                .initial = {{dist::col(), dist::block()}}});
+  a.fill(1.0);
+  double sum = 0.0;
+  for (auto _ : state) {
+    sum = 0.0;
+    for (Index j = 1; j <= n; ++j) {
+      for (Index i = 1; i <= n; ++i) {
+        sum += a.at({i, j});
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+
+void BM_OverlapStencil(benchmark::State& state) {
+  constexpr int kProcs = 4;
+  constexpr Index kN = 256;
+  const msg::CostModel cm{};
+  msg::CommStats stats;
+  for (auto _ : state) {
+    msg::Machine machine(kProcs, cm);
+    msg::run_spmd(machine, [&](msg::Context& ctx) {
+      rt::Env env(ctx);
+      rt::DistArray<double> a(env,
+                              {.name = "A",
+                               .domain = IndexDomain::of_extents({kN, kN}),
+                               .dynamic = true,
+                               .initial = {{dist::col(), dist::block()}},
+                               .overlap_lo = {0, 1},
+                               .overlap_hi = {0, 1}});
+      a.fill(1.0);
+      double acc = 0.0;
+      for (int s = 0; s < 4; ++s) {
+        a.exchange_overlap();
+        a.for_owned([&](const IndexVec& i, double& v) {
+          const double e = i[1] < kN ? a.halo({i[0], i[1] + 1}) : v;
+          acc += 0.5 * (v + e);
+        });
+      }
+      benchmark::DoNotOptimize(acc);
+    });
+    stats = machine.total_stats();
+  }
+  state.counters["data_msgs"] = static_cast<double>(stats.data_messages);
+  state.counters["modeled_us"] = stats.modeled_data_us(cm);
+}
+
+void BM_ElementwiseRemote(benchmark::State& state) {
+  constexpr int kProcs = 4;
+  constexpr Index kN = 256;
+  const msg::CostModel cm{};
+  msg::CommStats stats;
+  for (auto _ : state) {
+    msg::Machine machine(kProcs, cm);
+    msg::run_spmd(machine, [&](msg::Context& ctx) {
+      rt::Env env(ctx);
+      rt::DistArray<double> a(env,
+                              {.name = "A",
+                               .domain = IndexDomain::of_extents({kN, kN}),
+                               .dynamic = true,
+                               .initial = {{dist::col(), dist::block()}}});
+      a.fill(1.0);
+      ctx.barrier();
+      if (ctx.rank() == 0) machine.reset_stats();
+      ctx.barrier();
+      // Fetch my right-boundary neighbours one element at a time: kN
+      // single-point schedules (4 steps' worth amortized as one).
+      const auto cols = a.distribution().owned_in_dim(ctx.rank(), 1);
+      const Index jb = cols.back();
+      double acc = 0.0;
+      for (Index i = 1; i <= kN; ++i) {
+        IndexVec pt{i, std::min<Index>(jb + 1, kN)};
+        parti::Schedule one(ctx, a.distribution(), {pt});
+        std::vector<double> v(1);
+        one.gather(ctx, a, v);
+        acc += v[0];
+      }
+      benchmark::DoNotOptimize(acc);
+    });
+    stats = machine.total_stats();
+  }
+  state.counters["data_msgs"] = static_cast<double>(stats.data_messages);
+  state.counters["modeled_us"] = stats.modeled_data_us(cm);
+}
+
+}  // namespace
+
+BENCHMARK(BM_LocalAccess)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OverlapStencil)->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(BM_ElementwiseRemote)->Unit(benchmark::kMillisecond)->Iterations(2);

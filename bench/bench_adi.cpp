@@ -1,0 +1,58 @@
+// E2 -- the Figure 1 ADI claim: with dynamic redistribution both sweeps
+// run with zero communication; "all the communication is confined to the
+// redistribution operation", which can be "implemented by an efficient
+// pre-compiled routine".  Static layouts either communicate during the
+// y-sweep (gathered lines) or keep a second, transposed copy of the array
+// ("This approach, clearly, wastes storage space").
+//
+// Counters per (strategy, N):
+//   data_msgs_iter / data_kb_iter -- communication per ADI iteration
+//   modeled_us_iter               -- modeled communication per iteration
+// Expected shape: dynamic-redistribution and static-two-copies move the
+// same volume (the whole array, twice per iteration), but the dynamic
+// version needs no second array; static-gather-lines moves a comparable
+// volume with additional inspector traffic on the first iteration.
+#include <benchmark/benchmark.h>
+
+#include "vf/apps/adi_sim.hpp"
+#include "vf/msg/spmd.hpp"
+
+namespace {
+
+using namespace vf;  // NOLINT(google-build-using-namespace)
+
+void BM_Adi(benchmark::State& state) {
+  const auto strat = static_cast<apps::AdiStrategy>(state.range(0));
+  const auto n = static_cast<dist::Index>(state.range(1));
+  constexpr int kProcs = 4;
+  constexpr int kIters = 3;
+  const msg::CostModel cm{};
+
+  msg::CommStats stats;
+  double checksum = 0.0;
+  for (auto _ : state) {
+    msg::Machine machine(kProcs, cm);
+    msg::run_spmd(machine, [&](msg::Context& ctx) {
+      auto r = apps::run_adi(ctx, {.nx = n, .ny = n, .iterations = kIters},
+                             strat);
+      if (ctx.rank() == 0) checksum = r.checksum;
+    });
+    stats = machine.total_stats();
+  }
+  benchmark::DoNotOptimize(checksum);
+
+  state.SetLabel(apps::to_string(strat));
+  state.counters["data_msgs_iter"] =
+      static_cast<double>(stats.data_messages) / kIters;
+  state.counters["data_kb_iter"] =
+      static_cast<double>(stats.data_bytes) / 1024.0 / kIters;
+  state.counters["modeled_us_iter"] = stats.modeled_data_us(cm) / kIters;
+}
+
+}  // namespace
+
+BENCHMARK(BM_Adi)
+    ->ArgNames({"strategy", "N"})
+    ->ArgsProduct({{0, 1, 2}, {32, 64, 128, 256}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);

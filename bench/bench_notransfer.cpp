@@ -1,0 +1,84 @@
+// E5 -- the NOTRANSFER attribute (Section 2.4): "If A is a member of
+// NOTRANSFER, then only the access function for A is changed and the
+// elements of the array are not physically moved."
+//
+// A connect class with `secondaries` arrays is redistributed with and
+// without NOTRANSFER: transferred bytes scale with the number of moved
+// members (1 primary + k secondaries vs 1 primary), while the descriptor
+// updates happen either way.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "vf/msg/spmd.hpp"
+#include "vf/rt/dist_array.hpp"
+
+namespace {
+
+using namespace vf;  // NOLINT(google-build-using-namespace)
+using dist::Index;
+using dist::IndexDomain;
+
+void BM_NoTransfer(benchmark::State& state) {
+  const int secondaries = static_cast<int>(state.range(0));
+  const bool notransfer = state.range(1) != 0;
+  constexpr int kProcs = 4;
+  constexpr Index kN = 1 << 17;
+  const msg::CostModel cm{};
+
+  msg::CommStats stats;
+  for (auto _ : state) {
+    msg::Machine machine(kProcs, cm);
+    msg::run_spmd(machine, [&](msg::Context& ctx) {
+      rt::Env env(ctx);
+      rt::DistArray<double> b(env, {.name = "B",
+                                    .domain = IndexDomain::of_extents({kN}),
+                                    .dynamic = true,
+                                    .initial = {{dist::block()}}});
+      std::vector<std::unique_ptr<rt::DistArray<double>>> as;
+      rt::NoTransfer nt;
+      for (int k = 0; k < secondaries; ++k) {
+        as.push_back(std::make_unique<rt::DistArray<double>>(
+            env,
+            rt::DistArray<double>::Spec{
+                .name = "A" + std::to_string(k),
+                .domain = IndexDomain::of_extents({kN}),
+                .dynamic = true},
+            rt::Connection::extraction(b)));
+        as.back()->fill(2.0);
+        if (notransfer) nt.arrays.push_back(as.back().get());
+      }
+      b.fill(1.0);
+      ctx.barrier();
+      if (ctx.rank() == 0) machine.reset_stats();
+      ctx.barrier();
+      b.distribute(dist::DistributionType{dist::cyclic(1)}, nt);
+      // Descriptors always follow the primary.
+      for (auto& a : as) {
+        if (a->distribution().type().dim(0).kind !=
+            dist::DimDistKind::Cyclic) {
+          throw std::runtime_error("descriptor not updated");
+        }
+      }
+    });
+    stats = machine.total_stats();
+  }
+
+  state.SetLabel(std::string(notransfer ? "notransfer" : "transfer") + "-k" +
+                 std::to_string(secondaries));
+  const double moved_per_array =
+      static_cast<double>(kN) * (1.0 - 1.0 / kProcs) * sizeof(double);
+  state.counters["data_mb"] =
+      static_cast<double>(stats.data_bytes) / (1024.0 * 1024.0);
+  state.counters["arrays_moved"] =
+      static_cast<double>(stats.data_bytes) / moved_per_array;
+  state.counters["modeled_ms"] = stats.modeled_data_us(cm) / 1000.0;
+}
+
+}  // namespace
+
+BENCHMARK(BM_NoTransfer)
+    ->ArgNames({"secondaries", "notransfer"})
+    ->ArgsProduct({{0, 1, 2, 4, 8}, {0, 1}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);

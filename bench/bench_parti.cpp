@@ -1,0 +1,151 @@
+// E7 -- inspector/executor amortization (Section 3.2, PARTI [15]): the
+// inspector (schedule construction, including translation) is paid once
+// and reused across executor calls.  Sweeping the reuse count shows the
+// per-access cost converging to the pure executor cost; the
+// rebuild-every-time column is the strawman a compiler without schedule
+// reuse would produce.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "vf/msg/spmd.hpp"
+#include "vf/parti/schedule.hpp"
+#include "vf/parti/translation_table.hpp"
+
+namespace {
+
+using namespace vf;  // NOLINT(google-build-using-namespace)
+using dist::Index;
+using dist::IndexDomain;
+using dist::IndexVec;
+
+constexpr int kProcs = 4;
+constexpr Index kN = 1 << 16;
+constexpr int kRequests = 4096;
+
+std::vector<IndexVec> random_points(int rank, Index n, int count) {
+  std::mt19937 rng(777 + rank);
+  std::uniform_int_distribution<Index> pick(1, n);
+  std::vector<IndexVec> pts;
+  pts.reserve(static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k) pts.push_back({pick(rng)});
+  return pts;
+}
+
+void BM_GatherWithScheduleReuse(benchmark::State& state) {
+  const int reuse = static_cast<int>(state.range(0));
+  const msg::CostModel cm{};
+
+  msg::CommStats stats;
+  for (auto _ : state) {
+    msg::Machine machine(kProcs, cm);
+    msg::run_spmd(machine, [&](msg::Context& ctx) {
+      rt::Env env(ctx);
+      rt::DistArray<double> a(env, {.name = "A",
+                                    .domain = IndexDomain::of_extents({kN}),
+                                    .dynamic = true,
+                                    .initial = {{dist::block()}}});
+      a.init([](const IndexVec& i) { return static_cast<double>(i[0]); });
+      auto pts = random_points(ctx.rank(), kN, kRequests);
+      ctx.barrier();
+      if (ctx.rank() == 0) machine.reset_stats();
+      ctx.barrier();
+      parti::Schedule sched(ctx, a.distribution(), pts);  // inspector, once
+      std::vector<double> out(pts.size());
+      for (int r = 0; r < reuse; ++r) {
+        sched.gather(ctx, a, out);  // executor, `reuse` times
+      }
+      benchmark::DoNotOptimize(out.data());
+    });
+    stats = machine.total_stats();
+  }
+
+  state.counters["reuse"] = reuse;
+  state.counters["modeled_us_per_gather"] =
+      stats.modeled_data_us(cm) / reuse;
+  state.counters["bytes_per_gather"] =
+      static_cast<double>(stats.data_bytes) / reuse;
+}
+
+void BM_GatherRebuildEveryTime(benchmark::State& state) {
+  const int repeats = static_cast<int>(state.range(0));
+  const msg::CostModel cm{};
+
+  msg::CommStats stats;
+  for (auto _ : state) {
+    msg::Machine machine(kProcs, cm);
+    msg::run_spmd(machine, [&](msg::Context& ctx) {
+      rt::Env env(ctx);
+      rt::DistArray<double> a(env, {.name = "A",
+                                    .domain = IndexDomain::of_extents({kN}),
+                                    .dynamic = true,
+                                    .initial = {{dist::block()}}});
+      a.init([](const IndexVec& i) { return static_cast<double>(i[0]); });
+      auto pts = random_points(ctx.rank(), kN, kRequests);
+      ctx.barrier();
+      if (ctx.rank() == 0) machine.reset_stats();
+      ctx.barrier();
+      std::vector<double> out(pts.size());
+      for (int r = 0; r < repeats; ++r) {
+        parti::Schedule sched(ctx, a.distribution(), pts);  // every time
+        sched.gather(ctx, a, out);
+      }
+      benchmark::DoNotOptimize(out.data());
+    });
+    stats = machine.total_stats();
+  }
+
+  state.counters["modeled_us_per_gather"] =
+      stats.modeled_data_us(cm) / repeats;
+  state.counters["bytes_per_gather"] =
+      static_cast<double>(stats.data_bytes) / repeats;
+}
+
+void BM_TranslationTableDereference(benchmark::State& state) {
+  const msg::CostModel cm{};
+  msg::CommStats stats;
+  for (auto _ : state) {
+    msg::Machine machine(kProcs, cm);
+    msg::run_spmd(machine, [&](msg::Context& ctx) {
+      rt::Env env(ctx);
+      const IndexDomain dom = IndexDomain::of_extents({kN});
+      const dist::Distribution d(dom, {dist::cyclic(3)}, env.whole());
+      parti::TranslationTable table(ctx, d);
+      std::mt19937 rng(55 + ctx.rank());
+      std::uniform_int_distribution<Index> pick(0, kN - 1);
+      std::vector<Index> queries;
+      for (int k = 0; k < kRequests; ++k) queries.push_back(pick(rng));
+      ctx.barrier();
+      if (ctx.rank() == 0) machine.reset_stats();
+      ctx.barrier();
+      auto owners = table.dereference(ctx, queries);
+      benchmark::DoNotOptimize(owners.data());
+    });
+    stats = machine.total_stats();
+  }
+  state.counters["bytes_per_query"] =
+      static_cast<double>(stats.data_bytes) / (kRequests * kProcs);
+}
+
+}  // namespace
+
+BENCHMARK(BM_GatherWithScheduleReuse)
+    ->ArgNames({"reuse"})
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+BENCHMARK(BM_GatherRebuildEveryTime)
+    ->ArgNames({"repeats"})
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+BENCHMARK(BM_TranslationTableDereference)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);

@@ -1,0 +1,66 @@
+// E3 -- the Figure 2 PIC claim: "the motion of particles during the
+// simulation may lead to a severe load imbalance [under a static block
+// distribution] ... a new BOUNDS array is computed and the cells
+// redistributed to balance the workload" (B_BLOCK rebalancing every 10th
+// iteration).
+//
+// Rows: rebalance period 0 (static BLOCK), 10 (Figure 2), 1 (every step --
+// the over-eager ablation from DESIGN.md section 6).
+// Counters:
+//   mean_imbalance / max_imbalance -- per-step max/mean particle load
+//   makespan_units                 -- modeled computation makespan
+//   rebalances, redist_kb          -- cost side of the tradeoff
+// Expected shape: period 10 cuts imbalance and makespan substantially over
+// static; period 1 buys little extra balance for much more redistribution
+// traffic.
+#include <benchmark/benchmark.h>
+
+#include "vf/apps/pic_sim.hpp"
+#include "vf/msg/spmd.hpp"
+
+namespace {
+
+using namespace vf;  // NOLINT(google-build-using-namespace)
+
+void BM_Pic(benchmark::State& state) {
+  const int period = static_cast<int>(state.range(0));
+  constexpr int kProcs = 4;
+  apps::PicConfig cfg;
+  cfg.ncell = 200;
+  cfg.npart_max = 1200;
+  cfg.particles = 10000;
+  cfg.steps = 50;
+  cfg.rebalance_period = period;
+  const msg::CostModel cm{};
+
+  apps::PicResult result;
+  msg::CommStats stats;
+  for (auto _ : state) {
+    msg::Machine machine(kProcs, cm);
+    msg::run_spmd(machine, [&](msg::Context& ctx) {
+      auto r = apps::run_pic(ctx, cfg);
+      if (ctx.rank() == 0) result = std::move(r);
+    });
+    stats = machine.total_stats();
+  }
+
+  state.SetLabel(period == 0 ? "static-block"
+                             : "rebalance-every-" + std::to_string(period));
+  state.counters["mean_imbalance"] = result.mean_imbalance;
+  state.counters["max_imbalance"] = result.max_imbalance;
+  state.counters["makespan_units"] = result.makespan_units;
+  state.counters["rebalances"] = result.rebalances;
+  state.counters["data_kb"] = static_cast<double>(stats.data_bytes) / 1024.0;
+  state.counters["modeled_comm_ms"] = stats.modeled_data_us(cm) / 1000.0;
+  state.counters["dropped"] = static_cast<double>(result.dropped);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Pic)
+    ->ArgNames({"period"})
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);

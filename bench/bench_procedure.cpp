@@ -1,0 +1,89 @@
+// E10 -- procedure-boundary redistribution (paper Sections 3, 4, 5).
+//
+// "The ADI example could be rewritten such that it calls a different
+// subroutine in the second loop, one which specifically declares its
+// argument to be distributed by block in the first dimension" -- implicit
+// redistribution at procedure boundaries.  The paper also notes the
+// semantic difference from HPF: VF returns the callee's distribution to
+// the caller; HPF reinstates the caller's.
+//
+// Measured: a phase loop calling a (:,BLOCK)-phase procedure and a
+// (BLOCK,:)-phase procedure alternately.  Under VF return semantics each
+// phase boundary costs one redistribution; under HPF restore semantics
+// every call pays entry AND exit motion -- twice the transfers.
+#include <benchmark/benchmark.h>
+
+#include "vf/msg/spmd.hpp"
+#include "vf/rt/dist_array.hpp"
+#include "vf/rt/procedure.hpp"
+
+namespace {
+
+using namespace vf;  // NOLINT(google-build-using-namespace)
+using dist::Index;
+using dist::IndexDomain;
+
+void BM_ProcedureBoundary(benchmark::State& state) {
+  const auto mode = state.range(0) == 0 ? rt::ArgReturnMode::ReturnNewDistribution
+                                        : rt::ArgReturnMode::RestoreOnExit;
+  const auto n = static_cast<Index>(state.range(1));
+  constexpr int kProcs = 4;
+  constexpr int kPhases = 4;
+  const msg::CostModel cm{};
+
+  msg::CommStats stats;
+  int redistributions = 0;
+  for (auto _ : state) {
+    msg::Machine machine(kProcs, cm);
+    msg::run_spmd(machine, [&](msg::Context& ctx) {
+      rt::Env env(ctx);
+      rt::DistArray<double> v(
+          env, {.name = "V",
+                .domain = IndexDomain::of_extents({n, n}),
+                .dynamic = true,
+                .initial = {{dist::col(), dist::block()}}});
+      v.fill(1.0);
+      ctx.barrier();
+      if (ctx.rank() == 0) machine.reset_stats();
+      ctx.barrier();
+      int moved = 0;
+      for (int phase = 0; phase < kPhases; ++phase) {
+        // x-phase procedure: dummy declared DIST (:, BLOCK).
+        auto r1 = rt::call_procedure(
+            {{&v, rt::FormalArg::with_type({dist::col(), dist::block()})}},
+            mode, [] {});
+        // Two consecutive y-phase procedures, both declaring DIST
+        // (BLOCK, :).  Under VF return semantics the second call finds the
+        // distribution already in place; under HPF restore semantics both
+        // calls pay entry and exit motion.
+        auto r2 = rt::call_procedure(
+            {{&v, rt::FormalArg::with_type({dist::block(), dist::col()})}},
+            mode, [] {});
+        auto r3 = rt::call_procedure(
+            {{&v, rt::FormalArg::with_type({dist::block(), dist::col()})}},
+            mode, [] {});
+        moved += r1.entry_redistributions + r1.exit_restores +
+                 r2.entry_redistributions + r2.exit_restores +
+                 r3.entry_redistributions + r3.exit_restores;
+      }
+      if (ctx.rank() == 0) redistributions = moved;
+    });
+    stats = machine.total_stats();
+  }
+
+  state.SetLabel(mode == rt::ArgReturnMode::ReturnNewDistribution
+                     ? "vf-return-new"
+                     : "hpf-restore");
+  state.counters["redistributions"] = redistributions;
+  state.counters["data_mb"] =
+      static_cast<double>(stats.data_bytes) / (1024.0 * 1024.0);
+  state.counters["modeled_ms"] = stats.modeled_data_us(cm) / 1000.0;
+}
+
+}  // namespace
+
+BENCHMARK(BM_ProcedureBoundary)
+    ->ArgNames({"mode", "N"})
+    ->ArgsProduct({{0, 1}, {64, 128, 256}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);

@@ -1,0 +1,104 @@
+// E8 -- compiler support (Section 3.1): the reaching-distribution analysis
+// and partial evaluation of queries.  The claims benchmarked:
+//   * analysis time grows roughly linearly with program size;
+//   * RANGE annotations keep plausible sets small (no widening) and let
+//     partial evaluation prune DCASE arms and redundant DISTRIBUTEs that
+//     would otherwise survive.
+#include <benchmark/benchmark.h>
+
+#include "vf/compile/parteval.hpp"
+
+namespace {
+
+using namespace vf;  // NOLINT(google-build-using-namespace)
+using compile::AbstractDist;
+using compile::Program;
+using compile::ProgramBuilder;
+using query::TypePattern;
+
+AbstractDist blockT() { return TypePattern{query::p_block()}; }
+AbstractDist cyclicT(dist::Index k) {
+  return TypePattern{query::p_cyclic(k)};
+}
+
+/// A synthetic phase-structured program: `phases` repetitions of
+/// loop { use; maybe-distribute; dcase }, the shape of adaptive codes.
+Program make_program(int phases, bool with_range) {
+  ProgramBuilder b;
+  compile::ArrayInfo info{.name = "A", .rank = 1, .dynamic = true,
+                          .initial = blockT()};
+  if (with_range) {
+    info.range = {TypePattern{query::p_block()},
+                  TypePattern{query::p_cyclic_any()}};
+  }
+  b.declare(info);
+  for (int k = 0; k < phases; ++k) {
+    b.loop([&](ProgramBuilder& body) {
+      body.use({"A"}, "");
+      body.if_else([&](ProgramBuilder& t) {
+        t.distribute("A", cyclicT(1 + k % 3));
+      });
+      body.call_unknown({"A"});
+    });
+    b.dcase({"A"},
+            {{{TypePattern{query::p_gen_block()}}, nullptr},
+             {{TypePattern{query::p_cyclic_any()}}, nullptr}},
+            [](ProgramBuilder&) {});
+    b.distribute("A", blockT());
+    b.distribute("A", blockT());  // provably redundant
+  }
+  return b.build();
+}
+
+void BM_ReachingAnalysis(benchmark::State& state) {
+  const int phases = static_cast<int>(state.range(0));
+  Program p = make_program(phases, /*with_range=*/true);
+  int iterations = 0;
+  for (auto _ : state) {
+    auto r = compile::analyze_reaching(p);
+    iterations = r.iterations;
+    benchmark::DoNotOptimize(r.in.data());
+  }
+  state.counters["cfg_nodes"] = static_cast<double>(p.num_nodes());
+  state.counters["fixpoint_visits"] = iterations;
+  state.counters["visits_per_node"] =
+      static_cast<double>(iterations) / static_cast<double>(p.num_nodes());
+}
+
+void BM_PartialEvaluation(benchmark::State& state) {
+  const int phases = static_cast<int>(state.range(0));
+  const bool with_range = state.range(1) != 0;
+  Program p = make_program(phases, with_range);
+  auto r = compile::analyze_reaching(p);
+  compile::PartialEvalReport report;
+  for (auto _ : state) {
+    report = compile::partial_eval(p, r);
+    benchmark::DoNotOptimize(report.dcases.data());
+  }
+  int dead = 0, total = 0;
+  for (const auto& dc : report.dcases) {
+    for (auto v : dc.arms) {
+      ++total;
+      if (v == compile::ArmVerdict::Never) ++dead;
+    }
+  }
+  state.SetLabel(with_range ? "with-range" : "no-range");
+  state.counters["dcase_arms"] = total;
+  state.counters["arms_pruned"] = dead;
+  state.counters["redundant_distributes"] =
+      static_cast<double>(report.redundant_distributes.size());
+}
+
+}  // namespace
+
+BENCHMARK(BM_ReachingAnalysis)
+    ->ArgNames({"phases"})
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256);
+
+BENCHMARK(BM_PartialEvaluation)
+    ->ArgNames({"phases", "range"})
+    ->ArgsProduct({{16}, {0, 1}});

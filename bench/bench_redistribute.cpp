@@ -1,0 +1,179 @@
+// E4 -- the cost of the DISTRIBUTE statement itself (Sections 2.4 and
+// 3.2.2): "At run time, this includes the cost of performing the actual
+// data transfers and the cost of maintaining runtime information about the
+// current distribution."
+//
+// Patterns swept:
+//   block_to_cyclic1   BLOCK -> CYCLIC(1)      (max scatter)
+//   block_to_cyclic8   BLOCK -> CYCLIC(8)      (coarser scatter)
+//   shift_section      BLOCK on P(1:P) -> BLOCK on shifted segment sizes
+//   bblock_delta       B_BLOCK rebalance moving ~1/8 of the data
+//   transpose2d        (:,BLOCK) -> (BLOCK,:)  (the ADI remap)
+//   naive_elementwise  BLOCK -> CYCLIC(1) with one message per element --
+//                      the aggregation ablation of DESIGN.md section 6
+//
+// Counters: data_msgs (bounded by P*(P-1) for aggregated patterns),
+// moved_frac (fraction of elements that changed processor), modeled_ms.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "vf/msg/spmd.hpp"
+#include "vf/rt/dist_array.hpp"
+
+namespace {
+
+using namespace vf;  // NOLINT(google-build-using-namespace)
+using dist::Index;
+using dist::IndexDomain;
+using dist::IndexVec;
+
+/// Element-wise (unaggregated) BLOCK -> CYCLIC redistribution: ships every
+/// moving element as its own (index, value) message.
+void naive_redistribute(msg::Context& ctx, Index n) {
+  rt::Env env(ctx);
+  const IndexDomain dom = IndexDomain::of_extents({n});
+  const dist::Distribution from(dom, {dist::block()}, env.whole());
+  const dist::Distribution to(dom, {dist::cyclic(1)}, env.whole());
+  const int me = ctx.rank();
+
+  std::vector<double> old_local(
+      static_cast<std::size_t>(from.local_size(me)));
+  const auto old_layout = from.layout_for(me);
+  from.for_owned(me, [&](const IndexVec& i) {
+    old_local[static_cast<std::size_t>(from.local_offset(old_layout, i))] =
+        static_cast<double>(i[0]);
+  });
+
+  // Count how many elements this rank will receive from elsewhere.
+  std::size_t expected = 0;
+  to.for_owned(me, [&](const IndexVec& i) {
+    if (from.owner_rank(i) != me) ++expected;
+  });
+
+  struct Wire {
+    Index idx;
+    double val;
+  };
+  constexpr int kTag = 99;
+  from.for_owned(me, [&](const IndexVec& i) {
+    const int dest = to.owner_rank(i);
+    if (dest == me) return;
+    const Wire w{i[0],
+                 old_local[static_cast<std::size_t>(
+                     from.local_offset(old_layout, i))]};
+    ctx.send_value(dest, kTag, w);
+  });
+
+  std::vector<double> new_local(static_cast<std::size_t>(to.local_size(me)));
+  const auto new_layout = to.layout_for(me);
+  for (std::size_t k = 0; k < expected; ++k) {
+    const auto w = ctx.recv_value<Wire>(msg::kAnySource, kTag);
+    new_local[static_cast<std::size_t>(
+        to.local_offset(new_layout, {w.idx}))] = w.val;
+  }
+  benchmark::DoNotOptimize(new_local.data());
+  ctx.barrier();
+}
+
+void BM_Redistribute(benchmark::State& state) {
+  const int pattern = static_cast<int>(state.range(0));
+  const auto n = static_cast<Index>(state.range(1));
+  const int nprocs = static_cast<int>(state.range(2));
+  const msg::CostModel cm{};
+
+  static const char* kNames[] = {"block_to_cyclic1", "block_to_cyclic8",
+                                 "shift_section",    "bblock_delta",
+                                 "transpose2d",      "naive_elementwise"};
+  state.SetLabel(kNames[pattern]);
+
+  msg::CommStats stats;
+  for (auto _ : state) {
+    msg::Machine machine(nprocs, cm);
+    msg::run_spmd(machine, [&](msg::Context& ctx) {
+      if (pattern == 5) {
+        naive_redistribute(ctx, n);
+        return;
+      }
+      rt::Env env(ctx);
+      if (pattern == 4) {
+        const auto side = static_cast<Index>(std::llround(std::sqrt(
+            static_cast<double>(n))));
+        rt::DistArray<double> a(
+            env, {.name = "A",
+                  .domain = IndexDomain::of_extents({side, side}),
+                  .dynamic = true,
+                  .initial = {{dist::col(), dist::block()}}});
+        a.fill(1.0);
+        ctx.barrier();
+        if (ctx.rank() == 0) machine.reset_stats();
+        ctx.barrier();
+        a.distribute(dist::DistributionType{dist::block(), dist::col()});
+        return;
+      }
+      rt::DistArray<double> a(env, {.name = "A",
+                                    .domain = IndexDomain::of_extents({n}),
+                                    .dynamic = true,
+                                    .initial = {{dist::block()}}});
+      a.fill(1.0);
+      ctx.barrier();
+      if (ctx.rank() == 0) machine.reset_stats();
+      ctx.barrier();
+      switch (pattern) {
+        case 0:
+          a.distribute(dist::DistributionType{dist::cyclic(1)});
+          break;
+        case 1:
+          a.distribute(dist::DistributionType{dist::cyclic(8)});
+          break;
+        case 2: {
+          // Shift segment boundaries by n/(4P): a small-delta remap.
+          std::vector<Index> sizes(static_cast<std::size_t>(nprocs),
+                                   n / nprocs);
+          const Index delta = std::max<Index>(1, n / (4 * nprocs));
+          sizes.front() += delta;
+          sizes.back() -= delta;
+          a.distribute(dist::DistributionType{dist::s_block(sizes)});
+          break;
+        }
+        case 3: {
+          // B_BLOCK rebalance moving roughly 1/8 of the array.
+          std::vector<Index> bounds;
+          for (int p = 1; p <= nprocs; ++p) {
+            bounds.push_back(std::min<Index>(
+                n, p * (n / nprocs) + (p < nprocs ? n / 8 : 0)));
+          }
+          a.distribute(dist::DistributionType{dist::b_block(bounds)});
+          break;
+        }
+        default:
+          break;
+      }
+    });
+    stats = machine.total_stats();
+  }
+
+  const auto elements = static_cast<double>(n);
+  state.counters["data_msgs"] = static_cast<double>(stats.data_messages);
+  state.counters["pair_bound"] = static_cast<double>(nprocs) * (nprocs - 1);
+  state.counters["moved_frac"] =
+      static_cast<double>(stats.data_bytes) / sizeof(double) / elements;
+  state.counters["modeled_ms"] = stats.modeled_data_us(cm) / 1000.0;
+}
+
+}  // namespace
+
+BENCHMARK(BM_Redistribute)
+    ->ArgNames({"pattern", "n", "P"})
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {1 << 14, 1 << 17, 1 << 20}, {4, 8}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+// The unaggregated ablation is quadratic in messages: keep it to the small
+// size so the bench suite stays fast.
+BENCHMARK(BM_Redistribute)
+    ->ArgNames({"pattern", "n", "P"})
+    ->Args({5, 1 << 14, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);

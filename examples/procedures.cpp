@@ -1,0 +1,105 @@
+// Procedure-boundary redistribution and runtime algorithm selection
+// (paper Sections 3, 4, 5).
+//
+// Section 4 discusses rewriting the ADI code "such that it calls a
+// different subroutine in the second loop, one which specifically declares
+// its argument to be distributed by block in the first dimension", and
+// warns that "this approach may lead to an explosion of subroutines which
+// are different only in the distribution specified for their arguments".
+// This example shows both styles:
+//
+//   1. phase procedures with explicitly distributed dummy arguments
+//      (implicit redistribution at the call, VF vs HPF return semantics);
+//   2. one distribution-polymorphic procedure that uses DCASE to select
+//      the algorithm variant for whatever distribution arrives.
+#include <cstdio>
+
+#include "vf/msg/spmd.hpp"
+#include "vf/query/dcase.hpp"
+#include "vf/rt/dist_array.hpp"
+#include "vf/rt/procedure.hpp"
+
+using namespace vf;  // NOLINT(google-build-using-namespace)
+using dist::IndexDomain;
+
+namespace {
+
+constexpr dist::Index kN = 32;
+
+/// A distribution-polymorphic "phase" procedure: the dummy argument
+/// inherits whatever distribution the actual has, and DCASE picks the
+/// algorithm variant (the paper's alternative to one subroutine per
+/// distribution).
+void polymorphic_phase(msg::Context& ctx, rt::DistArray<double>& v) {
+  const int arm =
+      query::dcase({&v})
+          .when({query::TypePattern{query::p_col(), query::p_block()}},
+                [&] { /* x-lines local: column algorithm */ })
+          .when({query::TypePattern{query::p_block(), query::p_col()}},
+                [&] { /* y-lines local: row algorithm */ })
+          .otherwise([&] { /* general fallback with communication */ })
+          .run();
+  if (ctx.rank() == 0) {
+    std::printf("  polymorphic phase saw %s -> variant %d\n",
+                v.distribution().type().to_string().c_str(), arm);
+  }
+}
+
+void program(msg::Context& ctx) {
+  rt::Env env(ctx);
+  const bool root = ctx.rank() == 0;
+
+  rt::DistArray<double> v(env, {.name = "V",
+                                .domain = IndexDomain::of_extents({kN, kN}),
+                                .dynamic = true,
+                                .initial = {{dist::col(), dist::block()}}});
+  v.fill(1.0);
+
+  // --- style 1: explicitly distributed dummy arguments -------------------
+  if (root) std::puts("explicit dummy distributions (VF return semantics):");
+  for (int phase = 0; phase < 2; ++phase) {
+    auto r1 = rt::call_procedure(
+        {{&v, rt::FormalArg::with_type({dist::col(), dist::block()})}},
+        rt::ArgReturnMode::ReturnNewDistribution, [&] {
+          if (root) std::puts("  x-phase: columns local, no communication");
+        });
+    auto r2 = rt::call_procedure(
+        {{&v, rt::FormalArg::with_type({dist::block(), dist::col()})}},
+        rt::ArgReturnMode::ReturnNewDistribution, [&] {
+          if (root) std::puts("  y-phase: rows local, no communication");
+        });
+    if (root) {
+      std::printf("  phase %d: %d implicit redistributions\n", phase,
+                  r1.entry_redistributions + r2.entry_redistributions);
+    }
+  }
+
+  // --- style 2: one polymorphic procedure --------------------------------
+  if (root) std::puts("\ndistribution-polymorphic procedure via DCASE:");
+  polymorphic_phase(ctx, v);
+  v.distribute(dist::DistributionType{dist::col(), dist::block()});
+  polymorphic_phase(ctx, v);
+  v.distribute(dist::DistributionType{dist::cyclic(2), dist::col()});
+  polymorphic_phase(ctx, v);
+
+  // --- HPF comparison ------------------------------------------------------
+  ctx.barrier();
+  if (root) std::puts("\nHPF restore-on-exit semantics double the motion:");
+  v.distribute(dist::DistributionType{dist::col(), dist::block()});
+  auto hpf = rt::call_procedure(
+      {{&v, rt::FormalArg::with_type({dist::block(), dist::col()})}},
+      rt::ArgReturnMode::RestoreOnExit, [] {});
+  if (root) {
+    std::printf("  entry redistributions %d, exit restores %d; V is %s\n",
+                hpf.entry_redistributions, hpf.exit_restores,
+                v.distribution().type().to_string().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  msg::Machine machine(4);
+  msg::run_spmd(machine, program);
+  return 0;
+}

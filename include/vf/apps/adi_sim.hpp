@@ -1,0 +1,48 @@
+// The ADI application of Figure 1, runnable under three data-layout
+// strategies (paper Section 4):
+//
+//   DynamicRedistribution -- the Figure 1 program: V is DYNAMIC; an
+//     explicit DISTRIBUTE between the x- and y-sweeps makes both sweeps
+//     fully local ("all the communication is confined to the
+//     redistribution operation").
+//
+//   StaticGatherLines -- V stays (:, BLOCK); the y-sweep operates on
+//     distributed lines, so each line is gathered to a responsible
+//     processor, solved, and scattered back (the communication the
+//     compiler would have to embed in the generated code).
+//
+//   StaticTwoCopies -- the storage-wasting alternative the paper
+//     mentions: a second array with the transposed distribution and array
+//     assignment between the phases ("This approach, clearly, wastes
+//     storage space").
+#pragma once
+
+#include <cstdint>
+
+#include "vf/dist/index.hpp"
+#include "vf/msg/context.hpp"
+
+namespace vf::apps {
+
+enum class AdiStrategy {
+  DynamicRedistribution,
+  StaticGatherLines,
+  StaticTwoCopies,
+};
+
+[[nodiscard]] const char* to_string(AdiStrategy s);
+
+struct AdiConfig {
+  dist::Index nx = 64;
+  dist::Index ny = 64;
+  int iterations = 4;
+};
+
+struct AdiResult {
+  double checksum = 0.0;  ///< sum of V after the last iteration
+};
+
+/// Runs the ADI iteration on the calling SPMD context (collective).
+AdiResult run_adi(msg::Context& ctx, const AdiConfig& cfg, AdiStrategy strat);
+
+}  // namespace vf::apps

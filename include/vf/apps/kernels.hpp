@@ -1,0 +1,75 @@
+// Shared application kernels for the examples and benches: the sequential
+// TRIDIAG routine of Figure 1 and the PIC balance helpers of Figure 2.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "vf/dist/dist_type.hpp"
+
+namespace vf::apps {
+
+/// The sequential routine TRIDIAG of Figure 1: "given a right hand side
+/// [it] overwrites it with the solution of a constant coefficient
+/// tridiagonal system" (Thomas algorithm for a*x[k-1] + b*x[k] + a*x[k+1]
+/// = rhs[k]).
+inline void tridiag(std::span<double> rhs, double a = -1.0, double b = 4.0) {
+  const std::size_t n = rhs.size();
+  if (n == 0) return;
+  std::vector<double> c(n);
+  c[0] = a / b;
+  rhs[0] /= b;
+  for (std::size_t k = 1; k < n; ++k) {
+    const double m = b - a * c[k - 1];
+    c[k] = a / m;
+    rhs[k] = (rhs[k] - a * rhs[k - 1]) / m;
+  }
+  for (std::size_t k = n - 1; k-- > 0;) {
+    rhs[k] -= c[k] * rhs[k + 1];
+  }
+}
+
+/// The procedure `balance` of Figure 2: "Using the number of particles in
+/// each cell, [it] computes the block sizes to be assigned to each
+/// processor" -- a prefix-sum partition targeting equal particle counts.
+/// Returns the BOUNDS array (upper cell index per processor, 1-based,
+/// suitable for B_BLOCK).
+inline std::vector<dist::Index> balance(std::span<const std::int64_t> per_cell,
+                                        int nprocs) {
+  const auto ncell = static_cast<dist::Index>(per_cell.size());
+  const std::int64_t total =
+      std::accumulate(per_cell.begin(), per_cell.end(), std::int64_t{0});
+  std::vector<dist::Index> bounds;
+  bounds.reserve(static_cast<std::size_t>(nprocs));
+  std::int64_t seen = 0;
+  dist::Index cell = 0;
+  for (int p = 0; p < nprocs; ++p) {
+    const std::int64_t target = total * (p + 1) / nprocs;
+    while (cell < ncell && seen < target) {
+      seen += per_cell[static_cast<std::size_t>(cell)];
+      ++cell;
+    }
+    bounds.push_back(p + 1 == nprocs ? ncell : cell);
+  }
+  return bounds;
+}
+
+/// Load imbalance of a per-processor work vector: max / mean (1.0 =
+/// perfectly balanced).
+inline double imbalance(std::span<const std::int64_t> work) {
+  if (work.empty()) return 1.0;
+  std::int64_t mx = 0, sum = 0;
+  for (auto w : work) {
+    mx = std::max(mx, w);
+    sum += w;
+  }
+  if (sum == 0) return 1.0;
+  const double mean =
+      static_cast<double>(sum) / static_cast<double>(work.size());
+  return static_cast<double>(mx) / mean;
+}
+
+}  // namespace vf::apps

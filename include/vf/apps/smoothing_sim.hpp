@@ -1,0 +1,58 @@
+// The grid-smoothing scenario of Section 4: "in a grid based computation,
+// such as smoothing, the value at a grid point is based on its 4 nearest
+// neighbors.  A column distribution of the N x N grid will give rise to 2
+// messages per processor, each of size N, per computation step.  On the
+// other hand, if the grid is distributed by blocks in two dimensions
+// across a p^2 processor array, then each computation step requires 4
+// messages of size N/p each ... the ratio N/p will determine the most
+// appropriate distribution."
+//
+// run_smoothing executes 5-point Jacobi smoothing steps under either
+// layout using overlap areas; the caller reads message counts and volumes
+// from the Machine's statistics.  choose_layout implements the runtime
+// decision rule the paper proposes (using the machine's alpha/beta and
+// $NP).
+#pragma once
+
+#include "vf/dist/index.hpp"
+#include "vf/msg/context.hpp"
+
+namespace vf::apps {
+
+enum class SmoothLayout {
+  Columns,  ///< (:, BLOCK) on a processor line
+  Grid2D,   ///< (BLOCK, BLOCK) on a sqrt(P) x sqrt(P) processor grid
+};
+
+[[nodiscard]] const char* to_string(SmoothLayout l);
+
+struct SmoothConfig {
+  dist::Index n = 256;  ///< grid is n x n
+  int steps = 8;
+};
+
+struct SmoothResult {
+  double checksum = 0.0;
+};
+
+/// Runs the smoothing steps on the calling SPMD context (collective).
+/// Grid2D requires nprocs to be a perfect square.
+SmoothResult run_smoothing(msg::Context& ctx, const SmoothConfig& cfg,
+                           SmoothLayout layout);
+
+/// Per-step modeled communication cost of a layout for an n x n grid on p
+/// processors under the given cost model (the paper's analytic rule):
+/// columns: 2 messages of n elements; 2-D blocks: 4 messages of n/sqrt(p)
+/// elements (per processor).
+[[nodiscard]] double modeled_step_cost_us(SmoothLayout layout, dist::Index n,
+                                          int nprocs,
+                                          const msg::CostModel& cm,
+                                          std::size_t elem_size);
+
+/// The runtime distribution choice of Section 4: picks the layout with the
+/// lower modeled per-step cost.
+[[nodiscard]] SmoothLayout choose_layout(dist::Index n, int nprocs,
+                                         const msg::CostModel& cm,
+                                         std::size_t elem_size);
+
+}  // namespace vf::apps

@@ -1,0 +1,202 @@
+// A small statement IR and control-flow graph on which the compiler-side
+// support of Section 3.1 runs: the reaching-distribution analysis needs to
+// see declarations (DYNAMIC, RANGE, initial distributions), DISTRIBUTE
+// statements (possibly with runtime-valued parameters), array references,
+// opaque calls that may redistribute their arguments, and the control
+// structure (conditionals, loops, DCASE constructs).
+//
+// Abstract distribution values are query::TypePattern: a concrete type is
+// the exact pattern, a DISTRIBUTE whose parameter is a runtime value (e.g.
+// CYCLIC(K) for variable K, Example 3) is CYCLIC(*), and "don't know" is
+// the wildcard.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vf/query/pattern.hpp"
+
+namespace vf::compile {
+
+using AbstractDist = query::TypePattern;
+
+/// Declaration-site information about an array (Section 2.3 annotations).
+struct ArrayInfo {
+  std::string name;
+  int rank = 1;
+  bool dynamic = true;
+  query::RangeSpec range;               ///< empty = unrestricted
+  std::optional<AbstractDist> initial;  ///< DIST clause, if any
+};
+
+enum class StmtKind {
+  Entry,
+  Exit,
+  Nop,
+  Distribute,   ///< DISTRIBUTE array :: dist
+  Assume,       ///< analysis-only: array's type matches `dist` (DCASE arm)
+  Use,          ///< array reference point (where plausible sets are queried)
+  CallUnknown,  ///< opaque call that may redistribute the named arrays
+  CallProc,     ///< call of a declared procedure (interprocedural analysis)
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::Nop;
+  std::string array;                ///< Distribute / Assume target
+  AbstractDist dist;                ///< Distribute: new type; Assume: filter
+  std::vector<std::string> arrays;  ///< Use / CallUnknown / CallProc actuals
+  int proc = -1;                    ///< CallProc: procedure table index
+  std::string label;                ///< diagnostic tag
+};
+
+class Program;
+
+/// A procedure whose body is available to the compiler (Section 3.1:
+/// reaching distributions are computed "both for declared ... arrays as
+/// well as for formal subroutine arguments" by "intra- and inter-
+/// procedural analysis").  Formals with a declared entry distribution
+/// model explicitly distributed dummies (implicit redistribution at the
+/// call); inherited formals (nullopt) accept the caller's distribution.
+/// Vienna Fortran semantics: the formal's exit distribution is returned
+/// to the actual argument.
+struct ProcedureDecl {
+  std::string name;
+  struct Formal {
+    std::string array;                  ///< name of the formal in `body`
+    std::optional<AbstractDist> entry;  ///< declared dummy distribution
+  };
+  std::vector<Formal> formals;
+  std::shared_ptr<const Program> body;  ///< formals declared as arrays
+};
+
+struct Node {
+  int id = -1;
+  Stmt stmt;
+  std::vector<int> succs;
+  std::vector<int> preds;
+};
+
+/// A DCASE construct recorded for partial evaluation: the branch node, the
+/// selector names, the per-arm query lists (nullopt = implicit "*"), and
+/// the entry node of each arm body.
+struct DCaseInfo {
+  int node = -1;
+  std::vector<std::string> selectors;
+  std::vector<std::vector<std::optional<query::TypePattern>>> arms;
+  std::vector<int> arm_entries;
+  bool has_default = false;
+};
+
+class Program {
+ public:
+  Program();
+
+  void declare(ArrayInfo info);
+  [[nodiscard]] const ArrayInfo* array(const std::string& name) const;
+  [[nodiscard]] const std::vector<ArrayInfo>& arrays() const noexcept {
+    return arrays_;
+  }
+
+  int add_node(Stmt s);
+  void add_edge(int from, int to);
+
+  [[nodiscard]] const Node& node(int id) const {
+    return nodes_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] int entry() const noexcept { return entry_; }
+  [[nodiscard]] int exit() const noexcept { return exit_; }
+
+  /// Finds the first node whose stmt.label equals `label` (test helper).
+  [[nodiscard]] int find_label(const std::string& label) const;
+
+  void record_dcase(DCaseInfo d) { dcases_.push_back(std::move(d)); }
+  [[nodiscard]] const std::vector<DCaseInfo>& dcases() const noexcept {
+    return dcases_;
+  }
+
+  /// Registers a procedure whose body is available for interprocedural
+  /// analysis; returns its table index for CallProc statements.
+  int add_procedure(ProcedureDecl p);
+  [[nodiscard]] const ProcedureDecl& procedure(int idx) const {
+    return procedures_.at(static_cast<std::size_t>(idx));
+  }
+  [[nodiscard]] std::size_t num_procedures() const noexcept {
+    return procedures_.size();
+  }
+
+  /// Seals the program: connects the current builder tail to exit.  Called
+  /// by ProgramBuilder::build.
+  void seal(int tail);
+
+ private:
+  std::vector<ArrayInfo> arrays_;
+  std::vector<Node> nodes_;
+  std::vector<DCaseInfo> dcases_;
+  std::vector<ProcedureDecl> procedures_;
+  int entry_ = -1;
+  int exit_ = -1;
+};
+
+/// Structured-programming builder producing Programs with well-formed
+/// CFGs.  All control constructs nest through callbacks.
+class ProgramBuilder {
+ public:
+  ProgramBuilder();
+
+  ProgramBuilder& declare(ArrayInfo info);
+
+  /// DISTRIBUTE array :: dist (use patterns with unknown parameters for
+  /// runtime-valued expressions).
+  ProgramBuilder& distribute(const std::string& array, AbstractDist dist);
+
+  /// An array-reference program point; `label` names it for queries.
+  ProgramBuilder& use(std::vector<std::string> arrays,
+                      const std::string& label = "");
+
+  /// A call that may redistribute the named arrays (worst case bounded by
+  /// their RANGE attributes).
+  ProgramBuilder& call_unknown(std::vector<std::string> arrays);
+
+  /// Declares a procedure with an analysable body; returns its index.
+  int declare_procedure(ProcedureDecl p);
+
+  /// A call of a declared procedure binding `actuals` to its formals in
+  /// order.
+  ProgramBuilder& call_proc(int proc, std::vector<std::string> actuals);
+
+  using BodyFn = std::function<void(ProgramBuilder&)>;
+
+  /// if (...) then_body else else_body -- the condition is opaque.
+  ProgramBuilder& if_else(const BodyFn& then_body,
+                          const BodyFn& else_body = nullptr);
+
+  /// An opaque-trip-count loop around `body`.
+  ProgramBuilder& loop(const BodyFn& body);
+
+  struct DCaseArm {
+    std::vector<std::optional<query::TypePattern>> pats;
+    BodyFn body;
+  };
+
+  /// SELECT DCASE (selectors) with the given arms; `default_body` adds a
+  /// CASE DEFAULT arm.  Arm bodies see Assume-refined distribution sets.
+  ProgramBuilder& dcase(std::vector<std::string> selectors,
+                        std::vector<DCaseArm> arms,
+                        const BodyFn& default_body = nullptr);
+
+  [[nodiscard]] Program build();
+
+ private:
+  int append(Stmt s);
+
+  Program p_;
+  int cur_;
+};
+
+}  // namespace vf::compile

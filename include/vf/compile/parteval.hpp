@@ -1,0 +1,57 @@
+// Partial evaluation of distribution queries (paper Section 3.1):
+//
+//   "The compiler also performs a partial evaluation of distribution
+//    queries (both IDT and the dcase construct), by checking whether there
+//    is a plausible distribution which will match."
+//
+// Given the reaching-distribution result, this pass classifies every DCASE
+// arm as Never / Maybe / Always taken, flags DISTRIBUTE statements whose
+// target distribution provably already holds (redundant data motion --
+// the compile-time counterpart of the runtime no-op check in
+// Section 3.2.2), reports possible RANGE violations, and reports uses that
+// may be reached with no distribution associated.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vf/compile/reaching.hpp"
+
+namespace vf::compile {
+
+enum class ArmVerdict {
+  Never,   ///< no plausible distribution tuple matches: arm is dead
+  Maybe,   ///< some plausible tuple matches, some may not
+  Always,  ///< every plausible tuple matches and all earlier arms are dead
+};
+
+[[nodiscard]] std::string to_string(ArmVerdict v);
+
+struct DCaseEvaluation {
+  int node = -1;
+  std::vector<ArmVerdict> arms;  ///< one per arm (DEFAULT arm included)
+};
+
+struct PartialEvalReport {
+  std::vector<DCaseEvaluation> dcases;
+  /// Distribute nodes whose target equals the unique plausible reaching
+  /// distribution (same type, fully concrete): data motion is redundant.
+  std::vector<int> redundant_distributes;
+  /// (node, array): DISTRIBUTE statements that may violate the array's
+  /// RANGE attribute.
+  std::vector<std::pair<int, std::string>> possible_range_violations;
+  /// (node, array): Use nodes that may be reached before the array has a
+  /// distribution associated with it.
+  std::vector<std::pair<int, std::string>> use_before_distribution;
+};
+
+[[nodiscard]] PartialEvalReport partial_eval(const Program& p,
+                                             const ReachingResult& r);
+
+/// Partial evaluation of a single IDT query at a program point: returns
+/// Always if every plausible distribution matches the pattern, Never if
+/// none may, Maybe otherwise.
+[[nodiscard]] ArmVerdict eval_idt(const DistSet& plausible,
+                                  const query::TypePattern& pattern);
+
+}  // namespace vf::compile

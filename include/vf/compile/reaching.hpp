@@ -1,0 +1,79 @@
+// The reaching-distribution analysis (paper Section 3.1):
+//
+//   "The most important task in the analysis phase is solving the reaching
+//    distribution problem: that is, the compiler must determine the range
+//    of distribution types which may reach a specific array access in the
+//    code ... We call the set of all such pairs which is valid for a
+//    specific array at a specific position in the program the set of
+//    plausible distributions."
+//
+// A forward may-analysis over the Program CFG.  The abstract domain per
+// array is a bounded set of TypePatterns (widened to the wildcard when it
+// overflows) plus an "undistributed" flag tracking whether the array may
+// still lack a distribution (Section 2.3: access before association is
+// illegal).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vf/compile/ir.hpp"
+
+namespace vf::compile {
+
+/// The set of plausible distributions of one array at one program point.
+struct DistSet {
+  /// The array may reach this point without an associated distribution.
+  bool undistributed = false;
+  /// May-set of abstract distribution types.
+  std::vector<AbstractDist> types;
+
+  /// Widening bound: sets larger than this collapse to the wildcard.
+  static constexpr std::size_t kWidenLimit = 8;
+
+  void add(const AbstractDist& d);
+  void merge(const DistSet& o);
+
+  [[nodiscard]] bool is_widened() const;
+
+  friend bool operator==(const DistSet&, const DistSet&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Abstract state: plausible set per declared array.
+using State = std::map<std::string, DistSet>;
+
+struct ReachingResult {
+  /// State at the *entry* of each node (indexed by node id).
+  std::vector<State> in;
+  /// Number of fixpoint iterations (for the E8 bench).
+  int iterations = 0;
+
+  /// Plausible distributions of `array` immediately before `node`.
+  [[nodiscard]] const DistSet& plausible(int node,
+                                         const std::string& array) const;
+};
+
+/// Interprocedural summary of a declared procedure (Section 3.1's
+/// inter-procedural analysis): for each formal argument, the set of
+/// plausible distributions at procedure exit -- which Vienna Fortran
+/// returns to the actual argument.
+struct ProcedureSummary {
+  std::vector<DistSet> exit_sets;  ///< one per formal
+};
+
+/// Computes the summary of one procedure: the body is analysed with each
+/// formal's entry set taken from its declared dummy distribution, or the
+/// wildcard for inherited formals (the summary is then sound for any
+/// caller).
+[[nodiscard]] ProcedureSummary summarize_procedure(const ProcedureDecl& p);
+
+/// Analyses `p`; CallProc statements apply the callee's (memoized)
+/// summary.  `entry_override`, when given, replaces the declaration-based
+/// entry sets for the named arrays (used for procedure bodies).
+[[nodiscard]] ReachingResult analyze_reaching(
+    const Program& p, const State* entry_override = nullptr);
+
+}  // namespace vf::compile

@@ -1,0 +1,303 @@
+// Per-rank communication context: the MPI-flavoured interface each virtual
+// processor uses (point-to-point sends/recvs plus the collectives the
+// Vienna Fortran Engine needs: barrier, broadcast, reductions, gathers and
+// the all-to-all exchange that underlies DISTRIBUTE).
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "vf/msg/machine.hpp"
+
+namespace vf::msg {
+
+/// Reduction operations supported by reduce/allreduce.
+enum class ReduceOp { Sum, Min, Max, LogicalAnd, LogicalOr };
+
+namespace detail {
+template <typename T>
+concept TriviallySendable = std::is_trivially_copyable_v<T>;
+
+template <typename T>
+T apply_op(ReduceOp op, T a, T b) {
+  switch (op) {
+    case ReduceOp::Sum:
+      return static_cast<T>(a + b);
+    case ReduceOp::Min:
+      return b < a ? b : a;
+    case ReduceOp::Max:
+      return a < b ? b : a;
+    case ReduceOp::LogicalAnd:
+      return static_cast<T>(a && b);
+    case ReduceOp::LogicalOr:
+      return static_cast<T>(a || b);
+  }
+  return a;
+}
+}  // namespace detail
+
+/// Handle through which rank `rank()` of a Machine communicates.
+///
+/// SPMD discipline: all ranks of a machine must call each collective the
+/// same number of times in the same order.  Collective calls are matched by
+/// an internal per-rank sequence number, so interleaving point-to-point
+/// traffic with collectives is safe.
+class Context {
+ public:
+  Context(Machine& m, int rank) : m_(&m), rank_(rank) {}
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int nprocs() const noexcept { return m_->nprocs(); }
+  [[nodiscard]] Machine& machine() const noexcept { return *m_; }
+  [[nodiscard]] CommStats& stats() noexcept { return m_->stats(rank_); }
+  [[nodiscard]] const CostModel& cost_model() const noexcept {
+    return m_->cost_model();
+  }
+
+  // ---- point-to-point ----------------------------------------------------
+
+  /// Buffered send of raw bytes: copies the payload into `dest`'s mailbox
+  /// and returns immediately.  Counted as one data message.
+  void send_bytes(int dest, int tag, std::span<const std::byte> payload);
+
+  /// Blocking receive matching (src, tag); src may be kAnySource.
+  [[nodiscard]] std::vector<std::byte> recv_bytes(int src, int tag);
+
+  /// Blocking receive that also reports the sender (useful with
+  /// kAnySource).
+  [[nodiscard]] Message recv_msg(int src, int tag);
+
+  /// Typed send/recv of contiguous trivially-copyable elements.
+  template <detail::TriviallySendable T>
+  void send(int dest, int tag, std::span<const T> data) {
+    send_bytes(dest, tag, std::as_bytes(data));
+  }
+
+  template <detail::TriviallySendable T>
+  void send_value(int dest, int tag, const T& v) {
+    send(dest, tag, std::span<const T>(&v, 1));
+  }
+
+  template <detail::TriviallySendable T>
+  [[nodiscard]] std::vector<T> recv(int src, int tag) {
+    auto bytes = recv_bytes(src, tag);
+    return bytes_to_vector<T>(bytes);
+  }
+
+  template <detail::TriviallySendable T>
+  [[nodiscard]] T recv_value(int src, int tag) {
+    auto v = recv<T>(src, tag);
+    return v.at(0);
+  }
+
+  // ---- collectives ---------------------------------------------------------
+
+  /// Barrier across all ranks of the machine.
+  void barrier();
+
+  /// Broadcast `v` from `root` to all ranks; returns the root's value
+  /// everywhere.
+  template <detail::TriviallySendable T>
+  [[nodiscard]] T broadcast(T v, int root = 0) {
+    auto vec = broadcast_vec(rank_ == root
+                                 ? std::vector<T>{v}
+                                 : std::vector<T>{},
+                             root);
+    return vec.at(0);
+  }
+
+  /// Broadcast a vector from `root`; non-root input values are ignored.
+  template <detail::TriviallySendable T>
+  [[nodiscard]] std::vector<T> broadcast_vec(std::vector<T> v, int root = 0) {
+    const int tag = next_coll_tag();
+    stats().collectives++;
+    if (rank_ == root) {
+      for (int p = 0; p < nprocs(); ++p) {
+        if (p == root) continue;
+        send_ctl_bytes(p, tag, std::as_bytes(std::span<const T>(v)));
+      }
+      return v;
+    }
+    auto bytes = recv_bytes(root, tag);
+    return bytes_to_vector<T>(bytes);
+  }
+
+  /// All-reduce of a single value.
+  template <detail::TriviallySendable T>
+  [[nodiscard]] T allreduce(T v, ReduceOp op) {
+    auto r = allreduce_vec(std::vector<T>{v}, op);
+    return r.at(0);
+  }
+
+  /// Element-wise all-reduce of equal-length vectors.
+  template <detail::TriviallySendable T>
+  [[nodiscard]] std::vector<T> allreduce_vec(std::vector<T> v, ReduceOp op) {
+    const int tag = next_coll_tag();
+    stats().collectives++;
+    if (rank_ == 0) {
+      for (int p = 1; p < nprocs(); ++p) {
+        auto contrib = bytes_to_vector<T>(recv_bytes(p, tag));
+        for (std::size_t i = 0; i < v.size(); ++i) {
+          v[i] = detail::apply_op(op, v[i], contrib.at(i));
+        }
+      }
+      for (int p = 1; p < nprocs(); ++p) {
+        send_ctl_bytes(p, tag, std::as_bytes(std::span<const T>(v)));
+      }
+      return v;
+    }
+    send_ctl_bytes(0, tag, std::as_bytes(std::span<const T>(v)));
+    return bytes_to_vector<T>(recv_bytes(0, tag));
+  }
+
+  /// Gather one value per rank; every rank receives the full vector,
+  /// indexed by rank.
+  template <detail::TriviallySendable T>
+  [[nodiscard]] std::vector<T> allgather(T v) {
+    auto per_rank = allgather_vec(std::vector<T>{v});
+    std::vector<T> flat;
+    flat.reserve(per_rank.size());
+    for (auto& r : per_rank) flat.push_back(r.at(0));
+    return flat;
+  }
+
+  /// Gather a (possibly differently sized) vector from each rank; every
+  /// rank receives all contributions, indexed by rank.
+  template <detail::TriviallySendable T>
+  [[nodiscard]] std::vector<std::vector<T>> allgather_vec(std::vector<T> v) {
+    const int tag = next_coll_tag();
+    stats().collectives++;
+    std::vector<std::vector<T>> all(static_cast<std::size_t>(nprocs()));
+    if (rank_ == 0) {
+      all[0] = std::move(v);
+      for (int p = 1; p < nprocs(); ++p) {
+        all[static_cast<std::size_t>(p)] =
+            bytes_to_vector<T>(recv_bytes(p, tag));
+      }
+      // Serialize as [count_0, payload_0, count_1, ...] for the rebroadcast.
+      std::vector<std::byte> blob = pack_vectors(all);
+      for (int p = 1; p < nprocs(); ++p) send_ctl_bytes(p, tag, blob);
+      return all;
+    }
+    send_ctl_bytes(0, tag, std::as_bytes(std::span<const T>(v)));
+    auto blob = recv_bytes(0, tag);
+    return unpack_vectors<T>(blob, nprocs());
+  }
+
+  /// Personalized all-to-all: `out[d]` is the payload for rank d (out[rank()]
+  /// is delivered locally without touching the network).  Returns `in` with
+  /// `in[s]` = payload received from rank s.
+  ///
+  /// Protocol: counts are exchanged through an allgather (control traffic),
+  /// then only the non-empty payloads travel as data messages -- so the
+  /// data-message count matches what the paper's analysis predicts for a
+  /// redistribution (at most one message per communicating processor pair).
+  template <detail::TriviallySendable T>
+  [[nodiscard]] std::vector<std::vector<T>> alltoallv(
+      std::vector<std::vector<T>> out) {
+    const int np = nprocs();
+    if (static_cast<int>(out.size()) != np) {
+      throw std::invalid_argument("alltoallv: out.size() != nprocs()");
+    }
+    // Exchange the full count matrix so each rank knows which (possibly
+    // empty) payloads to expect.
+    std::vector<std::uint64_t> my_counts(static_cast<std::size_t>(np));
+    for (int d = 0; d < np; ++d) {
+      my_counts[static_cast<std::size_t>(d)] =
+          out[static_cast<std::size_t>(d)].size();
+    }
+    auto counts = allgather_vec(my_counts);  // counts[s][d]
+
+    const int tag = next_coll_tag();
+    stats().collectives++;
+    std::vector<std::vector<T>> in(static_cast<std::size_t>(np));
+    in[static_cast<std::size_t>(rank_)] =
+        std::move(out[static_cast<std::size_t>(rank_)]);
+    for (int d = 0; d < np; ++d) {
+      if (d == rank_) continue;
+      auto& payload = out[static_cast<std::size_t>(d)];
+      if (payload.empty()) continue;
+      send_bytes(d, tag, std::as_bytes(std::span<const T>(payload)));
+    }
+    for (int s = 0; s < np; ++s) {
+      if (s == rank_) continue;
+      if (counts[static_cast<std::size_t>(s)][static_cast<std::size_t>(
+              rank_)] == 0) {
+        continue;
+      }
+      in[static_cast<std::size_t>(s)] = bytes_to_vector<T>(recv_bytes(s, tag));
+    }
+    return in;
+  }
+
+ private:
+  /// Control-plane send: same transport, separate accounting.
+  void send_ctl_bytes(int dest, int tag, std::span<const std::byte> payload);
+
+  [[nodiscard]] int next_coll_tag() noexcept {
+    // Collective tags live in the negative tag space, below kAnySource.
+    return -2 - (coll_seq_++ % 1'000'000'000);
+  }
+
+  template <typename T>
+  static std::vector<T> bytes_to_vector(std::span<const std::byte> bytes) {
+    if (bytes.size() % sizeof(T) != 0) {
+      throw std::runtime_error("typed recv: payload size mismatch");
+    }
+    std::vector<T> v(bytes.size() / sizeof(T));
+    if (!v.empty()) std::memcpy(v.data(), bytes.data(), bytes.size());
+    return v;
+  }
+
+  template <typename T>
+  static std::vector<std::byte> pack_vectors(
+      const std::vector<std::vector<T>>& vs) {
+    std::size_t total = 0;
+    for (const auto& v : vs) total += sizeof(std::uint64_t) + v.size() * sizeof(T);
+    std::vector<std::byte> blob(total);
+    std::size_t off = 0;
+    for (const auto& v : vs) {
+      const std::uint64_t n = v.size();
+      std::memcpy(blob.data() + off, &n, sizeof n);
+      off += sizeof n;
+      if (n != 0) {
+        std::memcpy(blob.data() + off, v.data(), n * sizeof(T));
+        off += n * sizeof(T);
+      }
+    }
+    return blob;
+  }
+
+  template <typename T>
+  static std::vector<std::vector<T>> unpack_vectors(
+      std::span<const std::byte> blob, int np) {
+    std::vector<std::vector<T>> vs(static_cast<std::size_t>(np));
+    std::size_t off = 0;
+    for (auto& v : vs) {
+      std::uint64_t n = 0;
+      if (off + sizeof n > blob.size()) {
+        throw std::runtime_error("unpack_vectors: truncated blob");
+      }
+      std::memcpy(&n, blob.data() + off, sizeof n);
+      off += sizeof n;
+      if (off + n * sizeof(T) > blob.size()) {
+        throw std::runtime_error("unpack_vectors: truncated payload");
+      }
+      v.resize(n);
+      if (n != 0) std::memcpy(v.data(), blob.data() + off, n * sizeof(T));
+      off += n * sizeof(T);
+    }
+    return vs;
+  }
+
+  Machine* m_;
+  int rank_;
+  std::uint64_t coll_seq_ = 0;
+};
+
+}  // namespace vf::msg

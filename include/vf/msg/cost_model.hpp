@@ -1,0 +1,82 @@
+// Communication cost model and statistics for the virtual
+// distributed-memory machine.
+//
+// The paper (Section 4) argues about distribution choice in terms of the
+// per-message startup overhead and the per-byte cost of the target machine
+// ("given the startup overhead and cost per byte of each message of the
+// target machine, the ratio N/p will determine the most appropriate
+// distribution").  We make those two constants explicit so experiments can
+// sweep them, and we meter every transfer so that the analytic claims of
+// the paper can be checked against observed message counts and volumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vf::msg {
+
+/// Linear (postal) communication cost model: a message of s bytes costs
+/// `alpha_us + beta_us_per_byte * s` microseconds of modeled time.
+/// Defaults approximate an early-1990s hypercube (Intel iPSC/860-class):
+/// ~70us startup, ~2.8MB/s sustained point-to-point bandwidth.
+struct CostModel {
+  double alpha_us = 70.0;            ///< per-message startup latency
+  double beta_us_per_byte = 0.36;    ///< per-byte transfer cost
+
+  /// Modeled cost of a single message of `bytes` payload bytes.
+  [[nodiscard]] double message_us(std::uint64_t bytes) const noexcept {
+    return alpha_us + beta_us_per_byte * static_cast<double>(bytes);
+  }
+};
+
+/// Communication counters kept per virtual processor.
+///
+/// Data traffic (payload of user-level sends) is counted separately from
+/// control traffic (count exchanges inside collectives such as the
+/// all-to-all used by redistribution) so that experiments can report the
+/// quantity the paper reasons about -- data messages -- while still
+/// accounting for the full protocol cost.
+struct CommStats {
+  std::uint64_t data_messages = 0;  ///< point-to-point payload messages sent
+  std::uint64_t data_bytes = 0;     ///< payload bytes sent
+  std::uint64_t ctl_messages = 0;   ///< control messages sent (collective plumbing)
+  std::uint64_t ctl_bytes = 0;      ///< control bytes sent
+  std::uint64_t collectives = 0;    ///< collective operations entered
+
+  CommStats& operator+=(const CommStats& o) noexcept {
+    data_messages += o.data_messages;
+    data_bytes += o.data_bytes;
+    ctl_messages += o.ctl_messages;
+    ctl_bytes += o.ctl_bytes;
+    collectives += o.collectives;
+    return *this;
+  }
+
+  friend CommStats operator+(CommStats a, const CommStats& b) noexcept {
+    a += b;
+    return a;
+  }
+
+  friend bool operator==(const CommStats&, const CommStats&) = default;
+
+  /// Total modeled communication time in microseconds under `cm`,
+  /// counting both data and control traffic.
+  [[nodiscard]] double modeled_us(const CostModel& cm) const noexcept {
+    const auto msgs =
+        static_cast<double>(data_messages) + static_cast<double>(ctl_messages);
+    const auto bytes =
+        static_cast<double>(data_bytes) + static_cast<double>(ctl_bytes);
+    return cm.alpha_us * msgs + cm.beta_us_per_byte * bytes;
+  }
+
+  /// Modeled time of the data traffic only (the quantity Section 4 of the
+  /// paper reasons about).
+  [[nodiscard]] double modeled_data_us(const CostModel& cm) const noexcept {
+    return cm.alpha_us * static_cast<double>(data_messages) +
+           cm.beta_us_per_byte * static_cast<double>(data_bytes);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace vf::msg

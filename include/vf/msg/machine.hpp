@@ -1,0 +1,65 @@
+// The virtual distributed-memory machine.
+//
+// This is the substrate substitution documented in DESIGN.md section 5: the
+// paper ran on Intel iPSC-class hardware; we run P virtual processors as P
+// host threads, each with private local memory (whatever the per-rank code
+// allocates) and a message-passing fabric with buffered sends.  All
+// communication is metered per rank (CommStats) and priced by a CostModel,
+// so the experiments can report machine-independent message counts/volumes
+// as well as modeled time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "vf/msg/cost_model.hpp"
+#include "vf/msg/mailbox.hpp"
+
+namespace vf::msg {
+
+/// Shared state of a P-processor virtual machine.  Construct once, then run
+/// SPMD programs on it with run_spmd() (see spmd.hpp).  Thread-safe.
+class Machine {
+ public:
+  /// Creates a machine with `nprocs` virtual processors.  nprocs >= 1.
+  explicit Machine(int nprocs, CostModel cm = {});
+
+  [[nodiscard]] int nprocs() const noexcept { return nprocs_; }
+  [[nodiscard]] const CostModel& cost_model() const noexcept { return cm_; }
+
+  [[nodiscard]] Mailbox& mailbox(int rank);
+  [[nodiscard]] CommStats& stats(int rank);
+
+  /// Sum of all per-rank statistics.
+  [[nodiscard]] CommStats total_stats() const;
+
+  /// Maximum over ranks of modeled communication time -- the machine-level
+  /// communication critical path under the simple model where each rank's
+  /// traffic serializes at its own network interface.
+  [[nodiscard]] double max_rank_modeled_us() const;
+
+  void reset_stats();
+
+  /// Sense-reversing barrier across all nprocs() ranks.
+  void barrier_wait();
+
+ private:
+  int nprocs_;
+  CostModel cm_;
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+
+  // Stats are padded to their own cache lines: every send bumps the
+  // sender's counters and ranks run concurrently.
+  struct alignas(64) PaddedStats {
+    CommStats s;
+  };
+  std::vector<PaddedStats> stats_;
+
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_gen_ = 0;
+};
+
+}  // namespace vf::msg

@@ -1,0 +1,58 @@
+// Per-processor mailbox: the delivery endpoint of the virtual machine's
+// message-passing fabric.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace vf::msg {
+
+/// A message in flight: sender rank, user tag, raw payload bytes.
+struct Message {
+  int src = -1;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Matches any source rank when passed as the `src` argument of
+/// Mailbox::pop / Context::recv.
+inline constexpr int kAnySource = -1;
+
+/// Unbounded MPMC mailbox with (source, tag) matching.
+///
+/// Sends in the virtual machine are buffered (the sender copies the payload
+/// into the destination mailbox and continues), so programs written against
+/// this substrate cannot deadlock on send order -- matching the buffered
+/// message layer the Vienna Fortran Engine assumes.
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Deliver a message (called by the sending rank's thread).
+  void push(Message m);
+
+  /// Block until a message matching (src, tag) is available and remove it.
+  /// `src == kAnySource` matches any sender.  Messages are matched in FIFO
+  /// order among those that satisfy the filter.
+  [[nodiscard]] Message pop(int src, int tag);
+
+  /// Non-blocking variant: returns true and fills `out` if a matching
+  /// message was available.
+  [[nodiscard]] bool try_pop(int src, int tag, Message& out);
+
+  /// Number of queued messages (racy; intended for tests/diagnostics).
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> q_;
+};
+
+}  // namespace vf::msg

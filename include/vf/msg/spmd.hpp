@@ -1,0 +1,29 @@
+// SPMD executor: runs one function body on every virtual processor of a
+// Machine, mirroring the paper's execution model ("each processor executes
+// essentially the same code, but on a local data set").
+#pragma once
+
+#include <functional>
+
+#include "vf/msg/context.hpp"
+#include "vf/msg/machine.hpp"
+
+namespace vf::msg {
+
+/// Runs `body(ctx)` on nprocs threads, one per virtual processor, and joins
+/// them.  If any rank throws, the first exception (by rank order) is
+/// rethrown on the calling thread after all ranks have been joined.
+///
+/// Note: an exception escaping one rank does not interrupt the others; if
+/// they are blocked waiting for the failed rank (recv, barrier), the
+/// program deadlocks -- the same behaviour as an MPI job whose member
+/// aborts.  Throw on every rank (deterministic validation before
+/// communication) or on none.
+void run_spmd(Machine& m, const std::function<void(Context&)>& body);
+
+/// Convenience: build a machine with `nprocs` processors, run `body`, and
+/// return the machine's total communication statistics.
+CommStats run_spmd(int nprocs, const std::function<void(Context&)>& body,
+                   CostModel cm = {});
+
+}  // namespace vf::msg

@@ -1,0 +1,60 @@
+// Distributed translation table (paper Section 3.2: "implementation of
+// irregular accesses via translation tables ... as implemented in the
+// PARTI routines").
+//
+// A translation table records, for every element of a (linearized) index
+// space, which processor owns it.  The table itself is distributed in
+// equal pages across the machine, so looking up arbitrary indices requires
+// communication: dereference() performs the two-phase batched exchange the
+// PARTI inspector uses.
+//
+// For the closed-form distributions of this library the table contents can
+// be computed locally; the table is still valuable (and tested) as the
+// general mechanism for user-defined / irregular mappings, and as the cost
+// model of inspector-phase translation (bench E7).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "vf/dist/distribution.hpp"
+#include "vf/msg/context.hpp"
+
+namespace vf::parti {
+
+class TranslationTable {
+ public:
+  /// Builds the table for `n` elements with owners given by `owner`
+  /// (a deterministic function evaluated for the locally stored page
+  /// only).  Collective.
+  TranslationTable(msg::Context& ctx, dist::Index n,
+                   const std::function<int(dist::Index)>& owner);
+
+  /// Builds the table of a concrete distribution: entry i is the owner of
+  /// the index point linearized as i in the distribution's domain.
+  TranslationTable(msg::Context& ctx, const dist::Distribution& d);
+
+  [[nodiscard]] dist::Index size() const noexcept { return n_; }
+
+  /// Rank storing table entry i (pages are BLOCK-distributed).
+  [[nodiscard]] int page_owner(dist::Index i) const;
+
+  /// Local page contents (owners of the entries this rank stores).
+  [[nodiscard]] const std::vector<int>& local_page() const noexcept {
+    return page_;
+  }
+
+  /// Batched dereference (collective): returns the owner of every queried
+  /// linear index, in query order.  Two all-to-all rounds: requests to the
+  /// page holders, replies back.
+  [[nodiscard]] std::vector<int> dereference(
+      msg::Context& ctx, std::span<const dist::Index> queries) const;
+
+ private:
+  dist::Index n_ = 0;
+  dist::Index page_width_ = 1;
+  std::vector<int> page_;
+};
+
+}  // namespace vf::parti

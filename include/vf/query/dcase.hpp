@@ -1,0 +1,84 @@
+// The DCASE construct and the IDT intrinsic (paper Section 2.5): control
+// constructs that branch on the runtime distribution of arrays.
+//
+//   SELECT DCASE (B1, B2, B3)
+//     CASE (BLOCK), (BLOCK), (CYCLIC(2), CYCLIC) : a1
+//     CASE B1: (CYCLIC), B3: (BLOCK, *)          : a2
+//     CASE DEFAULT                                : a4
+//   END SELECT
+//
+// transcribes to
+//
+//   dcase({&B1, &B2, &B3})
+//     .when({{p_block()}, {p_block()}, {p_cyclic(2), p_cyclic_any()}}, a1)
+//     .when_named({{"B1", {p_cyclic_any()}},
+//                  {"B3", {p_block(), any_dim()}}}, a2)
+//     .otherwise(a4)
+//     .run();
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vf/query/pattern.hpp"
+#include "vf/rt/array_base.hpp"
+
+namespace vf::query {
+
+/// The IDT intrinsic function: tests the distribution type associated with
+/// its argument (Section 2.5.2).  Throws NotDistributedError if the array
+/// has no distribution.
+[[nodiscard]] bool idt(const rt::DistArrayBase& a, const TypePattern& p);
+
+/// IDT with the optional processor-section test: additionally requires the
+/// array to be distributed to exactly the given section.
+[[nodiscard]] bool idt(const rt::DistArrayBase& a, const TypePattern& p,
+                       const dist::ProcessorSection& section);
+
+class DCase {
+ public:
+  explicit DCase(std::vector<const rt::DistArrayBase*> selectors);
+
+  /// Positional query list: pattern k applies to selector k.  A list
+  /// shorter than the selector list gets implicit "*" queries for the
+  /// remaining selectors.
+  DCase& when(std::vector<TypePattern> positional,
+              std::function<void()> action);
+
+  /// Name-tagged query list: each query names its selector explicitly;
+  /// order is irrelevant and selectors may be omitted (implicit "*").
+  DCase& when_named(
+      std::vector<std::pair<std::string, TypePattern>> tagged,
+      std::function<void()> action);
+
+  /// CASE DEFAULT.
+  DCase& otherwise(std::function<void()> action);
+
+  /// Evaluates the construct: conditions are checked sequentially and the
+  /// first matching arm's action runs; at most one arm executes.  Returns
+  /// the index of the executed arm, or -1 if no condition matched.
+  /// Every selector must be associated with a distribution.
+  int run() const;
+
+ private:
+  struct Arm {
+    bool is_default = false;
+    std::vector<std::optional<TypePattern>> pats;  // one per selector
+    std::function<void()> action;
+  };
+
+  [[nodiscard]] int selector_index(const std::string& name) const;
+
+  std::vector<const rt::DistArrayBase*> selectors_;
+  std::vector<Arm> arms_;
+};
+
+/// Convenience entry point mirroring SELECT DCASE (A1, ..., Ar).
+[[nodiscard]] inline DCase dcase(
+    std::vector<const rt::DistArrayBase*> selectors) {
+  return DCase(std::move(selectors));
+}
+
+}  // namespace vf::query

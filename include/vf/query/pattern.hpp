@@ -1,0 +1,112 @@
+// Distribution-type patterns: the query language of RANGE annotations,
+// the DCASE construct and the IDT intrinsic (paper Sections 2.3 and 2.5).
+//
+// A pattern is a distribution expression in which the "*" symbol may stand
+// for an entire type (the "don't care" symbol of RANGE), for the kind of a
+// dimension, or for the parameter of an intrinsic (e.g. CYCLIC(*)).
+//
+// Patterns serve double duty as the abstract domain of the reaching-
+// distribution analysis (Section 3.1): an abstract distribution value is a
+// pattern describing the set of concrete types it may stand for, and
+// may_match / must_match implement the corresponding abstract tests used
+// for partial evaluation of queries.
+#pragma once
+
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vf/dist/dist_type.hpp"
+
+namespace vf::query {
+
+/// Pattern for one dimension of a distribution type.
+struct DimPattern {
+  /// Required kind; nullopt means "*": any kind (including collapsed).
+  std::optional<dist::DimDistKind> kind;
+  /// Required intrinsic parameter (CYCLIC block length); nullopt matches
+  /// any parameter.  Only meaningful for Cyclic.
+  std::optional<dist::Index> param;
+
+  friend bool operator==(const DimPattern&, const DimPattern&) = default;
+
+  [[nodiscard]] bool matches(const dist::DimDist& d) const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// "*" for a dimension: matches any per-dimension distribution.
+[[nodiscard]] DimPattern any_dim();
+/// Matches BLOCK (the paper also writes BLOCK(*); block sizes always match).
+[[nodiscard]] DimPattern p_block();
+/// Matches CYCLIC(k) exactly.
+[[nodiscard]] DimPattern p_cyclic(dist::Index k);
+/// Matches CYCLIC(*): any block length.
+[[nodiscard]] DimPattern p_cyclic_any();
+/// Matches general block distributions (B_BLOCK / S_BLOCK).
+[[nodiscard]] DimPattern p_gen_block();
+/// Matches indirect (user-defined) distributions.
+[[nodiscard]] DimPattern p_indirect();
+/// Matches the elision symbol ":" (dimension not distributed).
+[[nodiscard]] DimPattern p_col();
+
+/// Pattern for a whole distribution type.
+class TypePattern {
+ public:
+  TypePattern() = default;
+  TypePattern(std::initializer_list<DimPattern> dims)
+      : dims_(dims) {}
+  explicit TypePattern(std::vector<DimPattern> dims) : dims_(std::move(dims)) {}
+
+  /// The whole-type "don't care" symbol "*".
+  static TypePattern wildcard() {
+    TypePattern p;
+    p.any_ = true;
+    return p;
+  }
+
+  /// Exact pattern for a concrete distribution type (used when concrete
+  /// types flow through the abstract analysis).
+  static TypePattern exact(const dist::DistributionType& t);
+
+  [[nodiscard]] bool is_wildcard() const noexcept { return any_; }
+  [[nodiscard]] int rank() const noexcept {
+    return static_cast<int>(dims_.size());
+  }
+  [[nodiscard]] const std::vector<DimPattern>& dims() const noexcept {
+    return dims_;
+  }
+
+  /// Runtime query: does the concrete type `t` match this pattern?
+  [[nodiscard]] bool matches(const dist::DistributionType& t) const;
+
+  /// Abstract test: may some concrete type described by `abstract` match
+  /// this pattern?
+  [[nodiscard]] bool may_match(const TypePattern& abstract) const;
+
+  /// Abstract test: must every concrete type described by `abstract` match
+  /// this pattern?
+  [[nodiscard]] bool must_match(const TypePattern& abstract) const;
+
+  friend bool operator==(const TypePattern&, const TypePattern&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  bool any_ = false;
+  std::vector<DimPattern> dims_;
+};
+
+/// A RANGE annotation: the set of distribution types that may be associated
+/// with a dynamic array during execution (paper Section 2.3).  An empty
+/// range means "no restriction".
+using RangeSpec = std::vector<TypePattern>;
+
+/// True if `t` is allowed by the range (ranges are unions of patterns; an
+/// empty range allows everything).
+[[nodiscard]] bool range_allows(const RangeSpec& range,
+                                const dist::DistributionType& t);
+
+[[nodiscard]] std::string to_string(const RangeSpec& range);
+
+}  // namespace vf::query

@@ -1,0 +1,223 @@
+// Type-erased distributed-array base: descriptors, the DYNAMIC attribute,
+// RANGE enforcement, and the DISTRIBUTE statement (paper Sections 2.3, 2.4
+// and 3.2.2).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "vf/dist/alignment.hpp"
+#include "vf/dist/distribution.hpp"
+#include "vf/query/pattern.hpp"
+#include "vf/rt/connect.hpp"
+#include "vf/rt/env.hpp"
+
+namespace vf::rt {
+
+/// Thrown when an access or query requires a distribution but the array has
+/// not been associated with one ("An array for which an initial
+/// distribution has not been specified cannot be legally accessed before it
+/// has been explicitly associated with a distribution", Section 2.3).
+class NotDistributedError : public std::logic_error {
+ public:
+  explicit NotDistributedError(const std::string& array)
+      : std::logic_error("array " + array +
+                         " has no distribution associated with it") {}
+};
+
+/// Thrown when a DISTRIBUTE statement violates the array's RANGE attribute
+/// ("Distribute statements applied to the Bi must respect the restrictions
+/// imposed by this attribute", Section 2.3).
+class RangeViolationError : public std::runtime_error {
+ public:
+  RangeViolationError(const std::string& array, const std::string& type)
+      : std::runtime_error("distribution " + type + " violates the RANGE of " +
+                           array) {}
+};
+
+class DistArrayBase;
+
+/// One component of a distribution expression: a per-dimension intrinsic
+/// (BLOCK, CYCLIC(k), ...) or the extraction of another array's current
+/// per-dimension distribution, as in DISTRIBUTE B4 :: (=B1, CYCLIC(3)).
+struct DimExprItem {
+  std::variant<dist::DimDist, std::pair<const DistArrayBase*, int>> v;
+
+  DimExprItem(dist::DimDist d) : v(std::move(d)) {}  // NOLINT(google-explicit-constructor)
+  DimExprItem(std::pair<const DistArrayBase*, int> e) : v(e) {}  // NOLINT
+};
+
+/// Extraction of dimension `dim` of B's current distribution type (=B).
+[[nodiscard]] DimExprItem extract_dim(const DistArrayBase& b, int dim = 0);
+
+/// The `da` operand of a distribute statement: a distribution expression
+/// (possibly containing extractions), a whole-type extraction, or an
+/// alignment specification -- optionally associated with a processor
+/// section (Section 2.4).
+class DistExpr {
+ public:
+  DistExpr(dist::DistributionType t)  // NOLINT(google-explicit-constructor)
+      : form_(std::move(t)) {}
+  DistExpr(std::initializer_list<DimExprItem> items)
+      : form_(std::vector<DimExprItem>(items)) {}
+  DistExpr(std::vector<DimExprItem> items) : form_(std::move(items)) {}  // NOLINT
+
+  /// Whole-type extraction: DISTRIBUTE B :: (=A).
+  static DistExpr extraction(const DistArrayBase& a) {
+    DistExpr e{dist::DistributionType{}};
+    e.form_ = &a;
+    return e;
+  }
+
+  /// Alignment form: DISTRIBUTE B :: ALIGN WITH target(...).
+  static DistExpr align_with(const DistArrayBase& target, dist::Alignment a);
+
+  /// Associates the expression with an explicit processor section (the
+  /// "TO section" clause).
+  [[nodiscard]] DistExpr to(dist::ProcessorSection s) && {
+    to_ = std::move(s);
+    return std::move(*this);
+  }
+  [[nodiscard]] DistExpr to(dist::ProcessorSection s) const& {
+    DistExpr e = *this;
+    e.to_ = std::move(s);
+    return e;
+  }
+
+  /// Evaluates the expression for `target` (the array being distributed):
+  /// returns the new distribution.  `fallback_section` is used when no
+  /// explicit section was given.
+  [[nodiscard]] dist::Distribution evaluate(
+      const DistArrayBase& target,
+      const dist::ProcessorSection& fallback_section) const;
+
+ private:
+  std::variant<dist::DistributionType, std::vector<DimExprItem>,
+               const DistArrayBase*,
+               std::pair<const DistArrayBase*, dist::Alignment>>
+      form_;
+  std::optional<dist::ProcessorSection> to_;
+};
+
+/// The NOTRANSFER attribute of a distribute statement: for the named
+/// secondary arrays "only the access function is changed and the elements
+/// of the array are not physically moved" (Section 2.4).
+struct NoTransfer {
+  std::vector<const DistArrayBase*> arrays;
+
+  NoTransfer() = default;
+  NoTransfer(std::initializer_list<const DistArrayBase*> as) : arrays(as) {}
+  [[nodiscard]] bool contains(const DistArrayBase* a) const noexcept {
+    for (const auto* x : arrays) {
+      if (x == a) return true;
+    }
+    return false;
+  }
+};
+
+/// Per-array runtime descriptor snapshot (paper Section 3.2.1): the
+/// components of the information stored locally on each processor.
+struct Descriptor {
+  dist::IndexDomain index_dom;                 ///< index_dom(A)
+  dist::DistributionPtr dist;                  ///< dist(A); null if none
+  dist::LocalLayout segment;                   ///< loc_map / segment basis
+  bool dynamic = false;
+  bool primary = false;
+  std::size_t connect_class_size = 1;          ///< |C(B)| including primary
+};
+
+class DistArrayBase {
+ public:
+  DistArrayBase(const DistArrayBase&) = delete;
+  DistArrayBase& operator=(const DistArrayBase&) = delete;
+  virtual ~DistArrayBase();
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const dist::IndexDomain& domain() const noexcept {
+    return dom_;
+  }
+  [[nodiscard]] Env& env() const noexcept { return *env_; }
+  [[nodiscard]] bool is_dynamic() const noexcept { return dynamic_; }
+  [[nodiscard]] const query::RangeSpec& range() const noexcept {
+    return range_;
+  }
+
+  [[nodiscard]] bool has_distribution() const noexcept {
+    return dist_ != nullptr;
+  }
+  [[nodiscard]] const dist::Distribution& distribution() const {
+    if (!dist_) throw NotDistributedError(name_);
+    return *dist_;
+  }
+  [[nodiscard]] dist::DistributionPtr distribution_ptr() const noexcept {
+    return dist_;
+  }
+  /// This rank's local layout under the current distribution.
+  [[nodiscard]] const dist::LocalLayout& layout() const {
+    if (!dist_) throw NotDistributedError(name_);
+    return layout_;
+  }
+
+  [[nodiscard]] ConnectClass& connect_class() const noexcept {
+    return *cclass_;
+  }
+  [[nodiscard]] bool is_primary() const noexcept {
+    return cclass_->primary() == this;
+  }
+  [[nodiscard]] bool is_secondary() const noexcept { return !is_primary(); }
+
+  [[nodiscard]] Descriptor describe() const;
+
+  /// The DISTRIBUTE statement (Section 2.4).  Collective: every rank of the
+  /// machine must call it with equivalent arguments.  Only legal on dynamic
+  /// primary arrays; redistributes every member of the connect class,
+  /// skipping data motion for NOTRANSFER members and for members whose
+  /// mapping does not actually change.
+  void distribute(const DistExpr& expr, const NoTransfer& nt = {});
+
+  /// Number of bytes per element (for communication accounting).
+  [[nodiscard]] virtual std::size_t element_size() const noexcept = 0;
+
+ protected:
+  DistArrayBase(Env& env, std::string name, dist::IndexDomain dom,
+                bool dynamic, query::RangeSpec range,
+                std::optional<Connection> connect);
+
+  /// Installs a new distribution.  When `transfer` is true the previous
+  /// distribution's data must be moved to the new one (collective); when
+  /// false the storage is reallocated with unspecified contents.
+  virtual void apply_distribution(dist::DistributionPtr nd, bool transfer) = 0;
+
+  /// Installs a new distribution that is mapping-equivalent to the current
+  /// one: only the descriptor changes (e.g. DISTRIBUTE to an S_BLOCK that
+  /// happens to equal the current BLOCK); data stays in place.
+  virtual void adopt_descriptor(dist::DistributionPtr nd) = 0;
+
+  /// Called by subclasses and the DISTRIBUTE engine after storage has been
+  /// swapped.
+  void set_distribution(dist::DistributionPtr d) {
+    dist_ = std::move(d);
+    layout_ = dist_ ? dist_->layout_for(env_->rank()) : dist::LocalLayout{};
+  }
+
+  void check_range(const dist::DistributionType& t) const {
+    if (!query::range_allows(range_, t)) {
+      throw RangeViolationError(name_, t.to_string());
+    }
+  }
+
+  Env* env_;
+  std::string name_;
+  dist::IndexDomain dom_;
+  bool dynamic_;
+  query::RangeSpec range_;
+  dist::DistributionPtr dist_;
+  dist::LocalLayout layout_;
+  std::shared_ptr<ConnectClass> cclass_;
+};
+
+}  // namespace vf::rt

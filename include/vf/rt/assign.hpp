@@ -1,0 +1,73 @@
+// Cross-distribution array assignment: the "array assignments to produce
+// the effect of redistribution" alternative the paper discusses in
+// Section 4 ("one could declare two or more arrays with different static
+// distribution and use array assignments ... This approach, clearly,
+// wastes storage space").
+//
+// Assignment is implemented with a reusable inspector/executor plan, so
+// repeated copies between the same pair of static arrays pay the
+// inspection once -- the strongest version of the alternative the paper
+// argues against, which the ADI bench (E2) compares with DISTRIBUTE.
+#pragma once
+
+#include <memory>
+
+#include "vf/parti/schedule.hpp"
+#include "vf/rt/dist_array.hpp"
+
+namespace vf::rt {
+
+/// A reusable plan for `dst = src` where both arrays share one index
+/// domain but may be distributed differently.
+template <typename T>
+class AssignPlan {
+ public:
+  /// Collective.  The plan is bound to the two arrays' *current*
+  /// distributions; run() refuses to execute if either has changed.
+  AssignPlan(msg::Context& ctx, const DistArray<T>& src,
+             const DistArray<T>& dst)
+      : src_dist_(src.distribution_ptr()), dst_dist_(dst.distribution_ptr()) {
+    if (!(src.domain() == dst.domain())) {
+      throw std::invalid_argument(
+          "AssignPlan: arrays must share an index domain");
+    }
+    dst.distribution().for_owned(
+        ctx.rank(), [&](const dist::IndexVec& i) { points_.push_back(i); });
+    schedule_ = std::make_unique<parti::Schedule>(ctx, src.distribution(),
+                                                  points_);
+    buf_.resize(points_.size());
+  }
+
+  /// Executes dst = src (collective).
+  void run(msg::Context& ctx, const DistArray<T>& src, DistArray<T>& dst) {
+    if (src.distribution_ptr() != src_dist_ ||
+        dst.distribution_ptr() != dst_dist_) {
+      throw std::logic_error(
+          "AssignPlan: an array was redistributed since the plan was built");
+    }
+    schedule_->gather(ctx, src, std::span<T>(buf_));
+    for (std::size_t k = 0; k < points_.size(); ++k) {
+      dst.at(points_[k]) = buf_[k];
+    }
+  }
+
+  [[nodiscard]] const parti::Schedule& schedule() const noexcept {
+    return *schedule_;
+  }
+
+ private:
+  dist::DistributionPtr src_dist_;
+  dist::DistributionPtr dst_dist_;
+  std::vector<dist::IndexVec> points_;
+  std::unique_ptr<parti::Schedule> schedule_;
+  std::vector<T> buf_;
+};
+
+/// One-shot dst = src (collective); builds and discards a plan.
+template <typename T>
+void assign(msg::Context& ctx, const DistArray<T>& src, DistArray<T>& dst) {
+  AssignPlan<T> plan(ctx, src, dst);
+  plan.run(ctx, src, dst);
+}
+
+}  // namespace vf::rt

@@ -1,0 +1,69 @@
+// Connect classes (paper Section 2.3).
+//
+// "Each equivalence class consists of one distinguished member, the primary
+// array B, and 0 or more secondary arrays. ... Distribute statements are
+// explicitly applied to primary arrays only; their effect is to
+// redistribute all arrays in the associated equivalence class so that the
+// connection is maintained."
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "vf/dist/alignment.hpp"
+#include "vf/dist/distribution.hpp"
+
+namespace vf::rt {
+
+class DistArrayBase;
+
+/// Connection of a secondary array to its primary: either distribution
+/// extraction (CONNECT (=B)) or an alignment specification
+/// (CONNECT A(I,J) WITH B(...)).
+struct Connection {
+  DistArrayBase* primary = nullptr;
+  std::optional<dist::Alignment> align;  ///< nullopt => distribution extraction
+
+  static Connection extraction(DistArrayBase& b) { return {&b, std::nullopt}; }
+  static Connection alignment(DistArrayBase& b, dist::Alignment a) {
+    return {&b, std::move(a)};
+  }
+};
+
+/// The equivalence class C(B) of a primary array B.
+class ConnectClass {
+ public:
+  explicit ConnectClass(DistArrayBase* primary) : primary_(primary) {}
+
+  struct Member {
+    DistArrayBase* array = nullptr;
+    std::optional<dist::Alignment> align;  ///< nullopt => extraction
+  };
+
+  /// The primary array, or nullptr if it has been destroyed while
+  /// secondaries were still alive (the class is then orphaned and further
+  /// DISTRIBUTE statements are errors).
+  [[nodiscard]] DistArrayBase* primary() const noexcept { return primary_; }
+
+  [[nodiscard]] const std::vector<Member>& secondaries() const noexcept {
+    return secondaries_;
+  }
+
+  void add_secondary(DistArrayBase* a, std::optional<dist::Alignment> align);
+  void remove(DistArrayBase* a) noexcept;
+  void orphan() noexcept { primary_ = nullptr; }
+
+  [[nodiscard]] bool contains(const DistArrayBase* a) const noexcept;
+
+  /// The distribution induced on a secondary member by the primary's (new)
+  /// distribution: CONSTRUCT for alignment connections, re-application of
+  /// the distribution type for extraction connections.
+  [[nodiscard]] dist::Distribution construct_for(
+      const Member& m, const dist::Distribution& primary_dist) const;
+
+ private:
+  DistArrayBase* primary_;
+  std::vector<Member> secondaries_;
+};
+
+}  // namespace vf::rt

@@ -1,0 +1,587 @@
+// DistArray<T>: the run-time representation of a (possibly dynamically)
+// distributed array (paper Section 3.2.1), including:
+//
+//   * local storage in each processor's memory, laid out column-major over
+//     the owned index set, with optional overlap (ghost) areas;
+//   * the access functions loc_map (owned access) and halo access;
+//   * the realization of the DISTRIBUTE statement's data motion
+//     (Section 3.2.2): each processor determines the new locations of its
+//     current local data, ships it with at most one message per
+//     destination processor, and receives its new local data;
+//   * overlap-area exchange for stencil codes and global reductions.
+//
+// Declaration mirrors the language syntax through DistArray<T>::Spec:
+//
+//   REAL V(NX,NY) DYNAMIC, RANGE((:,BLOCK),(BLOCK,:)), DIST(:,BLOCK)
+//
+//   DistArray<double> V(env, {.name = "V",
+//                             .domain = IndexDomain::of_extents({NX, NY}),
+//                             .dynamic = true,
+//                             .initial = DistributionType{col(), block()},
+//                             .range = {{p_col(), p_block()},
+//                                       {p_block(), p_col()}}});
+#pragma once
+
+#include <cassert>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <span>
+#include <type_traits>
+
+#include "vf/msg/context.hpp"
+#include "vf/rt/array_base.hpp"
+
+namespace vf::rt {
+
+template <typename T>
+class DistArray final : public DistArrayBase {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "DistArray elements must be trivially copyable (they travel "
+                "in messages)");
+
+ public:
+  struct Spec {
+    std::string name;
+    dist::IndexDomain domain;
+    bool dynamic = false;
+    /// Initial distribution (DIST clause); static arrays must provide one.
+    std::optional<dist::DistributionType> initial;
+    /// Target processor section of the initial distribution (TO clause);
+    /// defaults to the whole processor array.
+    std::optional<dist::ProcessorSection> to;
+    /// RANGE attribute; empty = unrestricted.
+    query::RangeSpec range;
+    /// Overlap (ghost) widths per dimension, low and high side.  Non-zero
+    /// widths require the dimension's distribution to be contiguous.
+    dist::IndexVec overlap_lo;
+    dist::IndexVec overlap_hi;
+  };
+
+  /// Declares a primary (or static) array.
+  DistArray(Env& env, Spec spec)
+      : DistArray(env, std::move(spec), std::optional<Connection>{}) {}
+
+  /// Declares a secondary array connected to a primary (CONNECT clause).
+  DistArray(Env& env, Spec spec, Connection connect)
+      : DistArray(env, std::move(spec), std::optional<Connection>(connect)) {}
+
+  [[nodiscard]] std::size_t element_size() const noexcept override {
+    return sizeof(T);
+  }
+
+  // ---- local access (owner-computes fast path) ---------------------------
+
+  /// Reference to owned element i; undefined behaviour if this rank does
+  /// not own i (asserted in debug builds).
+  [[nodiscard]] T& at(const dist::IndexVec& i) {
+    assert(distribution().owns(env_->rank(), i));
+    return local_[static_cast<std::size_t>(storage_offset(i))];
+  }
+  [[nodiscard]] const T& at(const dist::IndexVec& i) const {
+    assert(distribution().owns(env_->rank(), i));
+    return local_[static_cast<std::size_t>(storage_offset(i))];
+  }
+
+  template <typename... Is>
+  [[nodiscard]] T& operator()(Is... is) {
+    return at(dist::IndexVec{static_cast<dist::Index>(is)...});
+  }
+  template <typename... Is>
+  [[nodiscard]] const T& operator()(Is... is) const {
+    return at(dist::IndexVec{static_cast<dist::Index>(is)...});
+  }
+
+  /// Read access that may fall into the overlap area: legal for indices
+  /// within `overlap` of this rank's owned segment in contiguous
+  /// dimensions.  Call exchange_overlap() first to make ghost values
+  /// current.
+  [[nodiscard]] const T& halo(const dist::IndexVec& i) const {
+    return local_[static_cast<std::size_t>(halo_offset(i))];
+  }
+
+  /// Whether this rank may read index i through halo() (owned or within
+  /// the ghost region).
+  [[nodiscard]] bool halo_readable(const dist::IndexVec& i) const {
+    if (!dist_) return false;
+    for (int d = 0; d < dom_.rank(); ++d) {
+      const dist::Index l = dim_local(d, i[d]);
+      if (l < -ghost_lo_[d] || l >= layout_.counts[d] + ghost_hi_[d]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::span<T> local_span() noexcept { return local_; }
+  [[nodiscard]] std::span<const T> local_span() const noexcept {
+    return local_;
+  }
+
+  // ---- whole-array operations ---------------------------------------------
+
+  /// Calls fn(i, element) for every owned element, in global column-major
+  /// order.
+  void for_owned(const std::function<void(const dist::IndexVec&, T&)>& fn) {
+    distribution().for_owned(env_->rank(), [&](const dist::IndexVec& i) {
+      fn(i, local_[static_cast<std::size_t>(storage_offset(i))]);
+    });
+  }
+  void for_owned(
+      const std::function<void(const dist::IndexVec&, const T&)>& fn) const {
+    distribution().for_owned(env_->rank(), [&](const dist::IndexVec& i) {
+      fn(i, local_[static_cast<std::size_t>(storage_offset(i))]);
+    });
+  }
+
+  void fill(const T& v) {
+    for_owned([&](const dist::IndexVec&, T& x) { x = v; });
+  }
+
+  /// Initializes every owned element from a global function of its index.
+  void init(const std::function<T(const dist::IndexVec&)>& f) {
+    for_owned([&](const dist::IndexVec& i, T& x) { x = f(i); });
+  }
+
+  /// Global reduction over all elements (collective).
+  [[nodiscard]] T reduce(msg::ReduceOp op) const {
+    bool first = true;
+    T acc{};
+    for_owned([&](const dist::IndexVec&, const T& x) {
+      acc = first ? x : msg::detail::apply_op(op, acc, x);
+      first = false;
+    });
+    if (first) {
+      // Rank owns nothing: contribute the identity.
+      acc = identity_of(op);
+    }
+    return env_->comm().allreduce(acc, op);
+  }
+
+  /// Collects the full array on every rank, ordered by the domain's
+  /// column-major linearization (collective; intended for tests, examples
+  /// and verification).  Requires an arithmetic element type.
+  [[nodiscard]] std::vector<T> gather_global() const {
+    static_assert(std::is_arithmetic_v<T>,
+                  "gather_global requires an arithmetic element type");
+    std::vector<T> full(static_cast<std::size_t>(dom_.size()), T{});
+    for_owned([&](const dist::IndexVec& i, const T& x) {
+      full[static_cast<std::size_t>(dom_.linearize(i))] = x;
+    });
+    return env_->comm().allreduce_vec(std::move(full), msg::ReduceOp::Sum);
+  }
+
+  // ---- overlap areas -------------------------------------------------------
+
+  /// Exchanges overlap areas with segment neighbours in every dimension
+  /// with non-zero ghost widths (collective).  Faces only; corners are not
+  /// exchanged.
+  void exchange_overlap();
+
+ private:
+  DistArray(Env& env, Spec spec, std::optional<Connection> connect)
+      : DistArrayBase(env, std::move(spec.name), spec.domain, spec.dynamic,
+                      std::move(spec.range), connect) {
+    if (!dynamic_ && !spec.initial && !connect) {
+      throw std::invalid_argument(
+          "array " + name_ +
+          ": statically distributed arrays need a DIST clause");
+    }
+    ghost_lo_ = normalize_ghost(spec.overlap_lo);
+    ghost_hi_ = normalize_ghost(spec.overlap_hi);
+
+    if (connect) {
+      // Secondary: adopt a distribution derived from the primary if the
+      // primary already has one.  An explicit DIST clause is not allowed.
+      if (spec.initial) {
+        throw std::invalid_argument(
+            "array " + name_ +
+            ": secondary arrays derive their distribution from the primary");
+      }
+      DistArrayBase* prim = connect->primary;
+      if (prim->has_distribution()) {
+        for (const auto& m : cclass_->secondaries()) {
+          if (m.array == this) {
+            auto sd = std::make_shared<const dist::Distribution>(
+                cclass_->construct_for(m, prim->distribution()));
+            check_range(sd->type());
+            apply_distribution(sd, false);
+            break;
+          }
+        }
+      }
+      return;
+    }
+    if (spec.initial) {
+      auto d = std::make_shared<const dist::Distribution>(
+          dist::Distribution(dom_, *spec.initial,
+                             spec.to ? *spec.to : env.whole()));
+      check_range(d->type());
+      apply_distribution(d, false);
+    }
+  }
+
+  [[nodiscard]] dist::IndexVec normalize_ghost(const dist::IndexVec& g) const {
+    if (g.empty()) return dist::IndexVec::filled(dom_.rank(), 0);
+    if (g.size() != dom_.rank()) {
+      throw std::invalid_argument("array " + name_ +
+                                  ": overlap widths must match the rank");
+    }
+    for (dist::Index w : g) {
+      if (w < 0) throw std::invalid_argument("negative overlap width");
+    }
+    return g;
+  }
+
+  /// Local coordinate (0-based within the owned extent) of global index g
+  /// in dimension d; may be negative / beyond the extent for halo use.
+  [[nodiscard]] dist::Index dim_local(int d, dist::Index g) const {
+    if (contig_[static_cast<std::size_t>(d)]) {
+      return g - seg_lo_[d];
+    }
+    return dist_->dim_map(d).local_of(g);
+  }
+
+  /// Storage offset of an owned element.
+  [[nodiscard]] dist::Index storage_offset(const dist::IndexVec& i) const {
+    if (!dist_) throw NotDistributedError(name_);
+    dist::Index off = 0;
+    for (int d = 0; d < dom_.rank(); ++d) {
+      off += (dim_local(d, i[d]) + ghost_lo_[d]) * alloc_strides_[d];
+    }
+    return off;
+  }
+
+  /// Storage offset for halo-readable element (bounds-checked).
+  [[nodiscard]] dist::Index halo_offset(const dist::IndexVec& i) const {
+    if (!dist_) throw NotDistributedError(name_);
+    dist::Index off = 0;
+    for (int d = 0; d < dom_.rank(); ++d) {
+      const dist::Index l = dim_local(d, i[d]);
+      if (l < -ghost_lo_[d] || l >= layout_.counts[d] + ghost_hi_[d]) {
+        throw std::out_of_range("halo access outside overlap area of " +
+                                name_);
+      }
+      off += (l + ghost_lo_[d]) * alloc_strides_[d];
+    }
+    return off;
+  }
+
+  void rebuild_storage_shape() {
+    const int r = dom_.rank();
+    alloc_counts_ = dist::IndexVec::filled(r, 0);
+    alloc_strides_ = dist::IndexVec::filled(r, 0);
+    seg_lo_ = dist::IndexVec::filled(r, 0);
+    alloc_total_ = layout_.member ? 1 : 0;
+    for (int d = 0; d < r; ++d) {
+      const auto& m = dist_->dim_map(d);
+      contig_[static_cast<std::size_t>(d)] = m.contiguous();
+      if ((ghost_lo_[d] > 0 || ghost_hi_[d] > 0) && !m.contiguous()) {
+        throw std::invalid_argument(
+            "array " + name_ +
+            ": overlap areas require a contiguous distribution in dimension " +
+            std::to_string(d));
+      }
+      if (!layout_.member) continue;
+      if (contig_[static_cast<std::size_t>(d)]) {
+        auto seg = m.segment(static_cast<int>(layout_.coords[d]));
+        seg_lo_[d] = seg ? seg->lo : 0;
+      }
+      alloc_counts_[d] = layout_.counts[d] + ghost_lo_[d] + ghost_hi_[d];
+      alloc_strides_[d] = alloc_total_;
+      alloc_total_ *= alloc_counts_[d];
+    }
+  }
+
+  void apply_distribution(dist::DistributionPtr nd, bool transfer) override {
+    if (!transfer) {
+      set_distribution(std::move(nd));
+      rebuild_storage_shape();
+      local_.assign(static_cast<std::size_t>(alloc_total_), T{});
+      return;
+    }
+    redistribute_data(std::move(nd));
+  }
+
+  void adopt_descriptor(dist::DistributionPtr nd) override {
+    // Mapping-equivalent swap: same owned sets, same local ordering and
+    // sizes; only the descriptor (and the per-dimension addressing
+    // representation) changes.
+    set_distribution(std::move(nd));
+    rebuild_storage_shape();
+  }
+
+  /// The data-motion core of DISTRIBUTE (Section 3.2.2): both sides
+  /// enumerate their (old/new) owned sets in global column-major order;
+  /// the per-(sender,receiver) subsequences agree, so no index lists need
+  /// to travel -- only values, at most one message per processor pair.
+  void redistribute_data(dist::DistributionPtr ndp) {
+    auto& ctx = env_->comm();
+    const int np = ctx.nprocs();
+    const int me = env_->rank();
+    // Keep the old distribution alive through the unpack phase (the
+    // descriptor swap below releases this array's reference to it).
+    const dist::DistributionPtr odp = dist_;
+    const dist::Distribution& od = *odp;
+    const dist::Distribution& nd = *ndp;
+    const int r = dom_.rank();
+
+    // ---- pack: walk my old owned set, bucket values by new owner --------
+    std::vector<std::vector<T>> out(static_cast<std::size_t>(np));
+    if (layout_.member && layout_.total > 0) {
+      // Per-dimension precomputation: old storage offset contribution and
+      // new owner-rank contribution for every owned index.
+      std::array<std::vector<dist::Index>, dist::kMaxRank> off_c;
+      std::array<std::vector<dist::Index>, dist::kMaxRank> rank_c;
+      const auto& na = nd.rank_affine();
+      for (int d = 0; d < r; ++d) {
+        auto owned = od.owned_in_dim(me, d);
+        off_c[static_cast<std::size_t>(d)].reserve(owned.size());
+        rank_c[static_cast<std::size_t>(d)].reserve(owned.size());
+        for (dist::Index g : owned) {
+          off_c[static_cast<std::size_t>(d)].push_back(
+              (dim_local(d, g) + ghost_lo_[d]) * alloc_strides_[d]);
+          rank_c[static_cast<std::size_t>(d)].push_back(
+              na.stride[static_cast<std::size_t>(d)] *
+              nd.dim_map(d).proc_of(g));
+        }
+      }
+      std::array<std::size_t, dist::kMaxRank> pos{};
+      std::array<std::size_t, dist::kMaxRank> lim{};
+      for (int d = 0; d < r; ++d) {
+        lim[static_cast<std::size_t>(d)] =
+            off_c[static_cast<std::size_t>(d)].size();
+      }
+      for (;;) {
+        dist::Index off = 0;
+        dist::Index dest = na.base;
+        for (int d = 0; d < r; ++d) {
+          off += off_c[static_cast<std::size_t>(d)]
+                      [pos[static_cast<std::size_t>(d)]];
+          dest += rank_c[static_cast<std::size_t>(d)]
+                        [pos[static_cast<std::size_t>(d)]];
+        }
+        out[static_cast<std::size_t>(dest)].push_back(
+            local_[static_cast<std::size_t>(off)]);
+        int d = 0;
+        for (; d < r; ++d) {
+          if (++pos[static_cast<std::size_t>(d)] <
+              lim[static_cast<std::size_t>(d)]) {
+            break;
+          }
+          pos[static_cast<std::size_t>(d)] = 0;
+        }
+        if (d == r) break;
+      }
+    }
+
+    auto in = ctx.alltoallv(std::move(out));
+
+    // ---- install the new distribution and unpack ------------------------
+    set_distribution(std::move(ndp));
+    rebuild_storage_shape();
+    local_.assign(static_cast<std::size_t>(alloc_total_), T{});
+
+    if (layout_.member && layout_.total > 0) {
+      std::array<std::vector<dist::Index>, dist::kMaxRank> off_c;
+      std::array<std::vector<dist::Index>, dist::kMaxRank> rank_c;
+      const auto& oa = od.rank_affine();
+      for (int d = 0; d < r; ++d) {
+        auto owned = nd.owned_in_dim(me, d);
+        off_c[static_cast<std::size_t>(d)].reserve(owned.size());
+        rank_c[static_cast<std::size_t>(d)].reserve(owned.size());
+        for (dist::Index g : owned) {
+          off_c[static_cast<std::size_t>(d)].push_back(
+              (dim_local(d, g) + ghost_lo_[d]) * alloc_strides_[d]);
+          rank_c[static_cast<std::size_t>(d)].push_back(
+              oa.stride[static_cast<std::size_t>(d)] *
+              od.dim_map(d).proc_of(g));
+        }
+      }
+      std::vector<std::size_t> cursor(static_cast<std::size_t>(np), 0);
+      std::array<std::size_t, dist::kMaxRank> pos{};
+      std::array<std::size_t, dist::kMaxRank> lim{};
+      for (int d = 0; d < r; ++d) {
+        lim[static_cast<std::size_t>(d)] =
+            off_c[static_cast<std::size_t>(d)].size();
+      }
+      for (;;) {
+        dist::Index off = 0;
+        dist::Index src = oa.base;
+        for (int d = 0; d < r; ++d) {
+          off += off_c[static_cast<std::size_t>(d)]
+                      [pos[static_cast<std::size_t>(d)]];
+          src += rank_c[static_cast<std::size_t>(d)]
+                       [pos[static_cast<std::size_t>(d)]];
+        }
+        local_[static_cast<std::size_t>(off)] =
+            in[static_cast<std::size_t>(src)]
+              [cursor[static_cast<std::size_t>(src)]++];
+        int d = 0;
+        for (; d < r; ++d) {
+          if (++pos[static_cast<std::size_t>(d)] <
+              lim[static_cast<std::size_t>(d)]) {
+            break;
+          }
+          pos[static_cast<std::size_t>(d)] = 0;
+        }
+        if (d == r) break;
+      }
+    }
+  }
+
+  static T identity_of(msg::ReduceOp op) {
+    switch (op) {
+      case msg::ReduceOp::Sum:
+        return T{};
+      case msg::ReduceOp::Min:
+        return std::numeric_limits<T>::max();
+      case msg::ReduceOp::Max:
+        return std::numeric_limits<T>::lowest();
+      case msg::ReduceOp::LogicalAnd:
+        return static_cast<T>(1);
+      case msg::ReduceOp::LogicalOr:
+        return T{};
+    }
+    return T{};
+  }
+
+  // ---- overlap exchange helpers -------------------------------------------
+
+  /// Next section coordinate at or beyond `c` (exclusive) in direction
+  /// `step` with a non-empty owned count in dimension d, or -1.
+  [[nodiscard]] int neighbour_coord(int d, int c, int step) const {
+    const auto& m = dist_->dim_map(d);
+    for (int x = c + step; x >= 0 && x < m.nprocs(); x += step) {
+      if (m.count_on(x) > 0) return x;
+    }
+    return -1;
+  }
+
+  [[nodiscard]] int rank_with_coord(int d, int coord) const {
+    const auto& a = dist_->rank_affine();
+    const dist::Index delta =
+        (static_cast<dist::Index>(coord) - layout_.coords[d]) *
+        a.stride[static_cast<std::size_t>(d)];
+    return static_cast<int>(env_->rank() + delta);
+  }
+
+  /// Copies the slab of owned elements with dimension-d local coordinates
+  /// in [from, from+width) into a flat buffer (all other dimensions full
+  /// owned extent, ghost planes excluded).
+  void pack_slab(int d, dist::Index from, dist::Index width,
+                 std::vector<T>& buf) const {
+    iterate_slab(d, from, width, [&](dist::Index off) {
+      buf.push_back(local_[static_cast<std::size_t>(off)]);
+    });
+  }
+
+  void unpack_slab(int d, dist::Index from, dist::Index width,
+                   const std::vector<T>& buf, std::size_t& cur) {
+    iterate_slab(d, from, width, [&](dist::Index off) {
+      local_[static_cast<std::size_t>(off)] = buf[cur++];
+    });
+  }
+
+  /// Iterates storage offsets of the slab where dim-d local coordinates
+  /// (possibly in ghost space: negative or >= count) span [from,
+  /// from+width) and the other dimensions cover their owned extents.
+  void iterate_slab(int d, dist::Index from, dist::Index width,
+                    const std::function<void(dist::Index)>& fn) const {
+    const int r = dom_.rank();
+    std::array<dist::Index, dist::kMaxRank> pos{};
+    for (;;) {
+      dist::Index off = 0;
+      for (int e = 0; e < r; ++e) {
+        const dist::Index l =
+            e == d ? from + pos[static_cast<std::size_t>(e)]
+                   : pos[static_cast<std::size_t>(e)];
+        off += (l + ghost_lo_[e]) * alloc_strides_[e];
+      }
+      fn(off);
+      int e = 0;
+      for (; e < r; ++e) {
+        const dist::Index limit =
+            e == d ? width : layout_.counts[e];
+        if (++pos[static_cast<std::size_t>(e)] < limit) break;
+        pos[static_cast<std::size_t>(e)] = 0;
+      }
+      if (e == r) break;
+    }
+  }
+
+  std::vector<T> local_;
+  dist::IndexVec ghost_lo_;
+  dist::IndexVec ghost_hi_;
+  dist::IndexVec alloc_counts_;
+  dist::IndexVec alloc_strides_;
+  dist::IndexVec seg_lo_;
+  dist::Index alloc_total_ = 0;
+  std::array<bool, dist::kMaxRank> contig_{};
+};
+
+template <typename T>
+void DistArray<T>::exchange_overlap() {
+  auto& ctx = env_->comm();
+  const int np = ctx.nprocs();
+  std::vector<std::vector<T>> out(static_cast<std::size_t>(np));
+  struct Expect {
+    int src;
+    int d;
+    bool from_low;  // fills my low ghost
+    dist::Index width;
+  };
+  std::vector<Expect> expected;
+
+  if (layout_.member && layout_.total > 0) {
+    for (int d = 0; d < dom_.rank(); ++d) {
+      if (ghost_lo_[d] == 0 && ghost_hi_[d] == 0) continue;
+      const int c = static_cast<int>(layout_.coords[d]);
+      const int lo_n = neighbour_coord(d, c, -1);
+      const int hi_n = neighbour_coord(d, c, +1);
+      // Send my bottom ghost_hi planes to the low neighbour (they fill its
+      // high ghost) and my top ghost_lo planes to the high neighbour.
+      if (lo_n >= 0 && ghost_hi_[d] > 0) {
+        const dist::Index w = std::min<dist::Index>(ghost_hi_[d],
+                                                    layout_.counts[d]);
+        pack_slab(d, 0, w, out[static_cast<std::size_t>(rank_with_coord(d, lo_n))]);
+      }
+      if (hi_n >= 0 && ghost_lo_[d] > 0) {
+        const dist::Index w = std::min<dist::Index>(ghost_lo_[d],
+                                                    layout_.counts[d]);
+        pack_slab(d, layout_.counts[d] - w, w,
+                  out[static_cast<std::size_t>(rank_with_coord(d, hi_n))]);
+      }
+      // Expected widths are bounded by the *neighbour's* segment size: a
+      // neighbour owning fewer planes than the overlap width sends what it
+      // has (partial fill; faces only).
+      const auto& m = dist_->dim_map(d);
+      if (lo_n >= 0 && ghost_lo_[d] > 0) {
+        const dist::Index w =
+            std::min<dist::Index>(ghost_lo_[d], m.count_on(lo_n));
+        if (w > 0) expected.push_back(Expect{rank_with_coord(d, lo_n), d, true, w});
+      }
+      if (hi_n >= 0 && ghost_hi_[d] > 0) {
+        const dist::Index w =
+            std::min<dist::Index>(ghost_hi_[d], m.count_on(hi_n));
+        if (w > 0) expected.push_back(Expect{rank_with_coord(d, hi_n), d, false, w});
+      }
+    }
+  }
+
+  auto in = ctx.alltoallv(std::move(out));
+
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(np), 0);
+  for (const auto& e : expected) {
+    if (e.from_low) {
+      unpack_slab(e.d, -e.width, e.width, in[static_cast<std::size_t>(e.src)],
+                  cursor[static_cast<std::size_t>(e.src)]);
+    } else {
+      unpack_slab(e.d, layout_.counts[e.d], e.width,
+                  in[static_cast<std::size_t>(e.src)],
+                  cursor[static_cast<std::size_t>(e.src)]);
+    }
+  }
+}
+
+}  // namespace vf::rt

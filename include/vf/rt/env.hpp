@@ -1,0 +1,59 @@
+// Per-processor runtime environment: the entry point of the Vienna Fortran
+// Engine (paper Section 3.2).  Each virtual processor of an SPMD program
+// holds one Env, which binds the message-passing context to the processor
+// array declared by the program and keeps the registry of live distributed
+// arrays.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vf/dist/processors.hpp"
+#include "vf/msg/context.hpp"
+
+namespace vf::rt {
+
+class DistArrayBase;
+
+class Env {
+ public:
+  /// Binds the context to an explicit processor array (PROCESSORS R(...)).
+  /// The processor array must fit within the machine's rank space.
+  Env(msg::Context& ctx, dist::ProcessorArray procs);
+
+  /// Default 1-D processor array $P(1:nprocs) over the whole machine.
+  explicit Env(msg::Context& ctx);
+
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  [[nodiscard]] int rank() const noexcept { return ctx_->rank(); }
+  [[nodiscard]] int nprocs() const noexcept { return ctx_->nprocs(); }
+  [[nodiscard]] msg::Context& comm() const noexcept { return *ctx_; }
+
+  [[nodiscard]] const dist::ProcessorArray& processors() const noexcept {
+    return procs_;
+  }
+
+  /// Whole-processor-array section: the default target of distributions.
+  [[nodiscard]] dist::ProcessorSection whole() const {
+    return dist::ProcessorSection(procs_);
+  }
+
+  /// $NP intrinsic (paper Section 4, footnote): the number of processors
+  /// executing the program.
+  [[nodiscard]] int np() const noexcept { return nprocs(); }
+
+  // Array registry (used by diagnostics and name-based lookups).
+  void register_array(DistArrayBase& a);
+  void unregister_array(DistArrayBase& a) noexcept;
+  [[nodiscard]] DistArrayBase* find_array(std::string_view name) const noexcept;
+
+ private:
+  msg::Context* ctx_;
+  dist::ProcessorArray procs_;
+  std::vector<DistArrayBase*> arrays_;
+};
+
+}  // namespace vf::rt

@@ -1,0 +1,114 @@
+// Procedure-boundary distribution semantics (paper Sections 3 and 5).
+//
+// "Many of the problems posed by run time redistribution of data
+// structures are the same as, or similar to, those posed by the
+// redistribution of arrays at subroutine boundaries, and those posed by
+// the fact that in any code, several arrays, with possibly distinct
+// distributions, may be bound to the same formal argument."
+//
+// Vienna Fortran lets a procedure declare a dummy argument with a specific
+// distribution; calling the procedure implicitly redistributes the actual
+// argument to match.  On return, Vienna Fortran permits the procedure's
+// final distribution to be visible to the caller, whereas "in contrast to
+// Vienna Fortran, if an array is redistributed in a procedure, HPF does
+// not permit the new distribution to be returned to the calling
+// procedure" (Section 5).  Both semantics are provided so the difference
+// can be measured (bench/EXPERIMENTS E10).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vf/query/pattern.hpp"
+#include "vf/rt/array_base.hpp"
+
+namespace vf::rt {
+
+/// Declaration of one dummy (formal) argument.
+class FormalArg {
+ public:
+  /// Dummy declared with an explicit distribution: the actual argument is
+  /// redistributed on entry if its current distribution differs.
+  static FormalArg with_type(dist::DistributionType t,
+                             std::optional<dist::ProcessorSection> to = {}) {
+    FormalArg a;
+    a.kind_ = Kind::Explicit;
+    a.type_ = std::move(t);
+    a.to_ = std::move(to);
+    return a;
+  }
+
+  /// Dummy inherits the actual argument's distribution unchanged ("*"
+  /// annotation): no entry redistribution.
+  static FormalArg inherited() { return FormalArg{}; }
+
+  /// Dummy requires the actual to already match the pattern; a mismatch is
+  /// an error rather than an implicit redistribution (the restricted
+  /// interface style that avoids hidden data motion).
+  static FormalArg matching(query::TypePattern p) {
+    FormalArg a;
+    a.kind_ = Kind::Match;
+    a.pattern_ = std::move(p);
+    return a;
+  }
+
+  enum class Kind { Inherited, Explicit, Match };
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] const dist::DistributionType& type() const noexcept {
+    return type_;
+  }
+  [[nodiscard]] const std::optional<dist::ProcessorSection>& to()
+      const noexcept {
+    return to_;
+  }
+  [[nodiscard]] const query::TypePattern& pattern() const noexcept {
+    return pattern_;
+  }
+
+ private:
+  Kind kind_ = Kind::Inherited;
+  dist::DistributionType type_;
+  std::optional<dist::ProcessorSection> to_;
+  query::TypePattern pattern_;
+};
+
+/// What happens to an actual argument's distribution when the procedure
+/// returns.
+enum class ArgReturnMode {
+  /// Vienna Fortran: the distribution current at procedure exit is
+  /// returned to the caller.
+  ReturnNewDistribution,
+  /// HPF: the caller's distribution is reinstated on exit (possibly
+  /// paying a second redistribution).
+  RestoreOnExit,
+};
+
+/// Diagnostic summary of one procedure call's implicit data motion.
+struct CallReport {
+  int entry_redistributions = 0;
+  int exit_restores = 0;
+};
+
+/// Thrown when a FormalArg::matching dummy receives a non-matching actual.
+class ArgumentMismatchError : public std::runtime_error {
+ public:
+  ArgumentMismatchError(const std::string& array, const std::string& want,
+                        const std::string& got)
+      : std::runtime_error("argument " + array + ": distribution " + got +
+                           " does not match required " + want) {}
+};
+
+/// Calls `body` with the given actual/formal argument bindings (collective;
+/// every rank must call with equivalent arguments).  Entry: each actual is
+/// redistributed (or checked) per its formal declaration.  Exit: per
+/// `mode`.  Actual arguments bound to Explicit formals must be dynamic
+/// primary arrays (implicit redistribution follows the same rules as the
+/// DISTRIBUTE statement, including RANGE checks and connect-class
+/// propagation).
+CallReport call_procedure(
+    std::vector<std::pair<DistArrayBase*, FormalArg>> args,
+    ArgReturnMode mode, const std::function<void()>& body);
+
+}  // namespace vf::rt

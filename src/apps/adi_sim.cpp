@@ -1,0 +1,166 @@
+#include "vf/apps/adi_sim.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "vf/apps/kernels.hpp"
+#include "vf/parti/schedule.hpp"
+#include "vf/rt/dist_array.hpp"
+
+namespace vf::apps {
+
+namespace {
+
+using dist::Index;
+using dist::IndexDomain;
+using dist::IndexVec;
+
+void fill_rhs(rt::DistArray<double>& v, int iter) {
+  v.for_owned([&](const IndexVec& i, double& x) {
+    x = std::sin(0.01 * static_cast<double>(i[0] * (iter + 1))) +
+        0.001 * static_cast<double>(i[1]);
+  });
+}
+
+/// Solves every owned line along dimension `d` of a locally complete
+/// array: dimension d must be collapsed (fully local).
+void solve_local_lines(rt::DistArray<double>& v, int d, int me) {
+  const int other = 1 - d;
+  const auto lines = v.distribution().owned_in_dim(me, other);
+  const dist::Range r = v.distribution().domain().dim(d);
+  std::vector<double> line(static_cast<std::size_t>(r.size()));
+  for (Index fixed : lines) {
+    IndexVec idx{0, 0};
+    idx[other] = fixed;
+    for (Index k = r.lo; k <= r.hi; ++k) {
+      idx[d] = k;
+      line[static_cast<std::size_t>(k - r.lo)] = v.at(idx);
+    }
+    tridiag(line);
+    for (Index k = r.lo; k <= r.hi; ++k) {
+      idx[d] = k;
+      v.at(idx) = line[static_cast<std::size_t>(k - r.lo)];
+    }
+  }
+}
+
+AdiResult run_dynamic(msg::Context& ctx, const AdiConfig& cfg) {
+  rt::Env env(ctx);
+  rt::DistArray<double> v(
+      env, {.name = "V",
+            .domain = IndexDomain({dist::Range{1, cfg.nx},
+                                   dist::Range{1, cfg.ny}}),
+            .dynamic = true,
+            .initial = {{dist::col(), dist::block()}},
+            .range = {{query::p_col(), query::p_block()},
+                      {query::p_block(), query::p_col()}}});
+  for (int iter = 0; iter < cfg.iterations; ++iter) {
+    fill_rhs(v, iter);
+    solve_local_lines(v, /*d=*/0, ctx.rank());  // x-lines local
+    v.distribute(dist::DistributionType{dist::block(), dist::col()});
+    solve_local_lines(v, /*d=*/1, ctx.rank());  // y-lines local
+    v.distribute(dist::DistributionType{dist::col(), dist::block()});
+  }
+  return AdiResult{v.reduce(msg::ReduceOp::Sum)};
+}
+
+AdiResult run_static_gather(msg::Context& ctx, const AdiConfig& cfg) {
+  rt::Env env(ctx);
+  rt::DistArray<double> v(env, {.name = "V",
+                                .domain = IndexDomain({dist::Range{1, cfg.nx},
+                                                       dist::Range{1, cfg.ny}}),
+                                .initial = {{dist::col(), dist::block()}}});
+  // The y-sweep's lines (rows) are distributed: assign rows to processors
+  // round-robin and build a reusable gather/scatter schedule for the rows
+  // this rank is responsible for.
+  std::vector<IndexVec> my_row_points;
+  for (Index i = 1 + ctx.rank(); i <= cfg.nx; i += ctx.nprocs()) {
+    for (Index j = 1; j <= cfg.ny; ++j) my_row_points.push_back({i, j});
+  }
+  parti::Schedule rows(ctx, v.distribution(), my_row_points);
+  std::vector<double> buf(my_row_points.size());
+
+  for (int iter = 0; iter < cfg.iterations; ++iter) {
+    fill_rhs(v, iter);
+    solve_local_lines(v, /*d=*/0, ctx.rank());  // x-lines local
+    // y-sweep: gather my rows, solve, scatter back -- per-iteration
+    // communication the static layout cannot avoid.
+    rows.gather(ctx, v, buf);
+    for (std::size_t r = 0; r * cfg.ny < buf.size(); ++r) {
+      tridiag(std::span<double>(buf.data() + r * cfg.ny,
+                                static_cast<std::size_t>(cfg.ny)));
+    }
+    rows.scatter(ctx, buf, v);
+    ctx.barrier();
+  }
+  return AdiResult{v.reduce(msg::ReduceOp::Sum)};
+}
+
+AdiResult run_two_copies(msg::Context& ctx, const AdiConfig& cfg) {
+  rt::Env env(ctx);
+  const IndexDomain dom({dist::Range{1, cfg.nx}, dist::Range{1, cfg.ny}});
+  rt::DistArray<double> v(env, {.name = "V",
+                                .domain = dom,
+                                .initial = {{dist::col(), dist::block()}}});
+  rt::DistArray<double> vt(env, {.name = "VT",
+                                 .domain = dom,
+                                 .initial = {{dist::block(), dist::col()}}});
+  // Array-assignment schedules in both directions (each element of the
+  // destination reads its copy from the source's owner).
+  std::vector<IndexVec> vt_owned;
+  vt.distribution().for_owned(
+      ctx.rank(), [&](const IndexVec& i) { vt_owned.push_back(i); });
+  parti::Schedule to_vt(ctx, v.distribution(), vt_owned);
+  std::vector<IndexVec> v_owned;
+  v.distribution().for_owned(
+      ctx.rank(), [&](const IndexVec& i) { v_owned.push_back(i); });
+  parti::Schedule to_v(ctx, vt.distribution(), v_owned);
+  std::vector<double> bufa(vt_owned.size());
+  std::vector<double> bufb(v_owned.size());
+
+  for (int iter = 0; iter < cfg.iterations; ++iter) {
+    fill_rhs(v, iter);
+    solve_local_lines(v, /*d=*/0, ctx.rank());
+    // VT = V (array assignment across distributions).
+    to_vt.gather(ctx, v, bufa);
+    for (std::size_t k = 0; k < vt_owned.size(); ++k) {
+      vt.at(vt_owned[k]) = bufa[k];
+    }
+    solve_local_lines(vt, /*d=*/1, ctx.rank());
+    // V = VT.
+    to_v.gather(ctx, vt, bufb);
+    for (std::size_t k = 0; k < v_owned.size(); ++k) {
+      v.at(v_owned[k]) = bufb[k];
+    }
+    ctx.barrier();
+  }
+  return AdiResult{v.reduce(msg::ReduceOp::Sum)};
+}
+
+}  // namespace
+
+const char* to_string(AdiStrategy s) {
+  switch (s) {
+    case AdiStrategy::DynamicRedistribution:
+      return "dynamic-redistribution";
+    case AdiStrategy::StaticGatherLines:
+      return "static-gather-lines";
+    case AdiStrategy::StaticTwoCopies:
+      return "static-two-copies";
+  }
+  return "?";
+}
+
+AdiResult run_adi(msg::Context& ctx, const AdiConfig& cfg, AdiStrategy strat) {
+  switch (strat) {
+    case AdiStrategy::DynamicRedistribution:
+      return run_dynamic(ctx, cfg);
+    case AdiStrategy::StaticGatherLines:
+      return run_static_gather(ctx, cfg);
+    case AdiStrategy::StaticTwoCopies:
+      return run_two_copies(ctx, cfg);
+  }
+  return {};
+}
+
+}  // namespace vf::apps

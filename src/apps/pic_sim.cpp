@@ -1,0 +1,185 @@
+#include "vf/apps/pic_sim.hpp"
+
+#include <cmath>
+#include <random>
+
+#include "vf/apps/kernels.hpp"
+#include "vf/rt/dist_array.hpp"
+
+namespace vf::apps {
+
+namespace {
+
+using dist::Index;
+using dist::IndexDomain;
+using dist::IndexVec;
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Cell (1-based) of a position in [0, ncell).
+Index cell_of(double pos, Index ncell) {
+  auto c = static_cast<Index>(pos) + 1;
+  if (c < 1) c = 1;
+  if (c > ncell) c = ncell;
+  return c;
+}
+
+double wrap(double pos, double ncell) {
+  pos = std::fmod(pos, ncell);
+  return pos < 0 ? pos + ncell : pos;
+}
+
+}  // namespace
+
+PicResult run_pic(msg::Context& ctx, const PicConfig& cfg) {
+  rt::Env env(ctx);
+  const int np = ctx.nprocs();
+  const int me = ctx.rank();
+  const auto ncell = cfg.ncell;
+
+  // FIELD(NCELL, NPART) DYNAMIC, DIST(BLOCK, :) -- positions per cell.
+  rt::DistArray<double> field(
+      env, {.name = "FIELD",
+            .domain = IndexDomain({dist::Range{1, ncell},
+                                   dist::Range{1, cfg.npart_max}}),
+            .dynamic = true,
+            .initial = {{dist::block(), dist::col()}}});
+  // Per-cell particle counts: COUNT(c) colocated with FIELD(c, 1) -- a
+  // secondary array of C(FIELD), so DISTRIBUTE keeps it consistent.
+  rt::DistArray<std::int64_t> count(
+      env,
+      {.name = "COUNT",
+       .domain = IndexDomain({dist::Range{1, ncell}}),
+       .dynamic = true},
+      rt::Connection::alignment(
+          field, dist::Alignment(1, {dist::AlignExpr::dim(0),
+                                     dist::AlignExpr::constant(1)})));
+  count.fill(0);
+
+  PicResult result;
+
+  // Inserts a particle into its (locally owned) cell; returns false when
+  // the cell's NPART slots are exhausted.
+  auto insert = [&](double pos) -> bool {
+    const Index c = cell_of(pos, ncell);
+    std::int64_t& n = count.at({c});
+    if (n >= cfg.npart_max) {
+      result.dropped++;
+      return false;
+    }
+    field.at({c, n + 1}) = pos;
+    ++n;
+    return true;
+  };
+
+  // --- initpos: a compact cloud around 0.25*NCELL ------------------------
+  {
+    std::mt19937_64 rng(cfg.seed);
+    std::normal_distribution<double> gauss(0.25 * static_cast<double>(ncell),
+                                           0.04 * static_cast<double>(ncell));
+    for (int g = 0; g < cfg.particles; ++g) {
+      const double pos = wrap(gauss(rng), static_cast<double>(ncell));
+      // Owner-computes: only the owner of the cell stores the particle.
+      if (field.distribution().owner_rank({cell_of(pos, ncell), 1}) == me) {
+        insert(pos);
+      }
+    }
+  }
+
+  // --- initial partition of cells (Figure 2: balance + DISTRIBUTE) -------
+  auto global_counts = [&]() {
+    std::vector<std::int64_t> g(static_cast<std::size_t>(ncell), 0);
+    count.for_owned([&](const IndexVec& i, const std::int64_t& n) {
+      g[static_cast<std::size_t>(i[0] - 1)] = n;
+    });
+    return ctx.allreduce_vec(std::move(g), msg::ReduceOp::Sum);
+  };
+  auto redistribute_balanced = [&]() {
+    const auto counts = global_counts();
+    const auto bounds = balance(counts, np);
+    field.distribute(
+        dist::DistributionType{dist::b_block(bounds), dist::col()});
+    result.rebalances++;
+  };
+  if (cfg.rebalance_period > 0) redistribute_balanced();
+
+  // --- time stepping ------------------------------------------------------
+  double imbalance_sum = 0.0;
+  for (int step = 1; step <= cfg.steps; ++step) {
+    PicStepStats st;
+
+    // update_field: work proportional to the local particle count.
+    std::int64_t local_particles = 0;
+    double field_energy = 0.0;
+    count.for_owned([&](const IndexVec& i, const std::int64_t& n) {
+      for (std::int64_t k = 1; k <= n; ++k) {
+        field_energy += std::cos(field.at({i[0], k}));
+      }
+      local_particles += n;
+    });
+    (void)field_energy;
+
+    // update_part: move particles (drift + self-focusing), collect the
+    // ones that leave this processor's cells.
+    std::vector<std::vector<double>> outgoing(static_cast<std::size_t>(np));
+    std::vector<double> staying;
+    staying.reserve(static_cast<std::size_t>(local_particles));
+    count.for_owned([&](const IndexVec& i, std::int64_t& n) {
+      for (std::int64_t k = 1; k <= n; ++k) {
+        double pos = field.at({i[0], k});
+        pos += cfg.drift +
+               cfg.focus * std::sin(2.0 * kPi * pos /
+                                    static_cast<double>(ncell));
+        pos = wrap(pos, static_cast<double>(ncell));
+        const int owner =
+            field.distribution().owner_rank({cell_of(pos, ncell), 1});
+        if (owner == me) {
+          staying.push_back(pos);
+        } else {
+          outgoing[static_cast<std::size_t>(owner)].push_back(pos);
+          st.moved++;
+        }
+      }
+      n = 0;  // cells are rebuilt below
+    });
+    // "If a particle has moved from one cell to another, it is explicitly
+    // reassigned.  This obviously requires communication if the new cell
+    // is on a different processor."
+    auto incoming = ctx.alltoallv(std::move(outgoing));
+    for (double pos : staying) insert(pos);
+    for (const auto& from : incoming) {
+      for (double pos : from) insert(pos);
+    }
+
+    // Step statistics: per-processor particle loads.
+    std::int64_t after = 0;
+    count.for_owned(
+        [&](const IndexVec&, const std::int64_t& n) { after += n; });
+    auto loads = ctx.allgather<std::int64_t>(after);
+    st.imbalance = imbalance(loads);
+    result.makespan_units += static_cast<double>(
+        *std::max_element(loads.begin(), loads.end()));
+
+    // "Rebalance every 10th iteration if necessary."
+    if (cfg.rebalance_period > 0 && step % cfg.rebalance_period == 0) {
+      const int need = st.imbalance > cfg.rebalance_threshold ? 1 : 0;
+      if (ctx.broadcast(need, 0) != 0) {
+        redistribute_balanced();
+        st.rebalanced = true;
+      }
+    }
+
+    imbalance_sum += st.imbalance;
+    result.max_imbalance = std::max(result.max_imbalance, st.imbalance);
+    result.steps.push_back(st);
+  }
+  result.mean_imbalance = imbalance_sum / std::max(1, cfg.steps);
+
+  std::int64_t mine = 0;
+  count.for_owned([&](const IndexVec&, const std::int64_t& n) { mine += n; });
+  result.final_particles = ctx.allreduce(mine, msg::ReduceOp::Sum);
+  result.dropped = ctx.allreduce(result.dropped, msg::ReduceOp::Sum);
+  return result;
+}
+
+}  // namespace vf::apps

@@ -1,0 +1,107 @@
+#include "vf/apps/smoothing_sim.hpp"
+
+#include <cmath>
+
+#include "vf/rt/dist_array.hpp"
+
+namespace vf::apps {
+
+namespace {
+
+using dist::Index;
+using dist::IndexDomain;
+using dist::IndexVec;
+
+int isqrt(int p) {
+  int r = static_cast<int>(std::lround(std::sqrt(static_cast<double>(p))));
+  while (r * r > p) --r;
+  while ((r + 1) * (r + 1) <= p) ++r;
+  return r;
+}
+
+}  // namespace
+
+const char* to_string(SmoothLayout l) {
+  return l == SmoothLayout::Columns ? "columns" : "grid2d";
+}
+
+SmoothResult run_smoothing(msg::Context& ctx, const SmoothConfig& cfg,
+                           SmoothLayout layout) {
+  const int np = ctx.nprocs();
+  const Index n = cfg.n;
+
+  dist::ProcessorArray parr;
+  dist::DistributionType type;
+  dist::IndexVec glo, ghi;
+  if (layout == SmoothLayout::Columns) {
+    parr = dist::ProcessorArray::line(np);
+    type = dist::DistributionType{dist::col(), dist::block()};
+    glo = {0, 1};
+    ghi = {0, 1};
+  } else {
+    const int q = isqrt(np);
+    if (q * q != np) {
+      throw std::invalid_argument(
+          "smoothing grid2d layout needs a square processor count");
+    }
+    parr = dist::ProcessorArray::grid(q, q);
+    type = dist::DistributionType{dist::block(), dist::block()};
+    glo = {1, 1};
+    ghi = {1, 1};
+  }
+  rt::Env env(ctx, parr);
+  rt::DistArray<double> a(env, {.name = "A",
+                                .domain = IndexDomain::of_extents({n, n}),
+                                .dynamic = true,
+                                .initial = type,
+                                .overlap_lo = glo,
+                                .overlap_hi = ghi});
+  rt::DistArray<double> b(env, {.name = "B",
+                                .domain = IndexDomain::of_extents({n, n}),
+                                .dynamic = true,
+                                .initial = type,
+                                .overlap_lo = glo,
+                                .overlap_hi = ghi});
+  a.init([n](const IndexVec& i) {
+    return std::sin(0.07 * static_cast<double>(i[0])) *
+           std::cos(0.05 * static_cast<double>(i[1])) +
+           (i[0] == n / 2 && i[1] == n / 2 ? 10.0 : 0.0);
+  });
+
+  rt::DistArray<double>* src = &a;
+  rt::DistArray<double>* dst = &b;
+  for (int s = 0; s < cfg.steps; ++s) {
+    src->exchange_overlap();
+    dst->for_owned([&](const IndexVec& i, double& out) {
+      const double c = src->at(i);
+      const double w = i[0] > 1 ? src->halo({i[0] - 1, i[1]}) : c;
+      const double e = i[0] < n ? src->halo({i[0] + 1, i[1]}) : c;
+      const double so = i[1] > 1 ? src->halo({i[0], i[1] - 1}) : c;
+      const double no = i[1] < n ? src->halo({i[0], i[1] + 1}) : c;
+      out = 0.2 * (c + w + e + so + no);
+    });
+    std::swap(src, dst);
+  }
+  return SmoothResult{src->reduce(msg::ReduceOp::Sum)};
+}
+
+double modeled_step_cost_us(SmoothLayout layout, Index n, int nprocs,
+                            const msg::CostModel& cm, std::size_t elem_size) {
+  if (layout == SmoothLayout::Columns) {
+    return 2.0 * cm.message_us(static_cast<std::uint64_t>(n) * elem_size);
+  }
+  const int q = isqrt(nprocs);
+  const auto face = static_cast<std::uint64_t>((n + q - 1) / q) * elem_size;
+  return 4.0 * cm.message_us(face);
+}
+
+SmoothLayout choose_layout(Index n, int nprocs, const msg::CostModel& cm,
+                           std::size_t elem_size) {
+  const double cols =
+      modeled_step_cost_us(SmoothLayout::Columns, n, nprocs, cm, elem_size);
+  const double grid =
+      modeled_step_cost_us(SmoothLayout::Grid2D, n, nprocs, cm, elem_size);
+  return cols <= grid ? SmoothLayout::Columns : SmoothLayout::Grid2D;
+}
+
+}  // namespace vf::apps

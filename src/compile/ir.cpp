@@ -1,0 +1,219 @@
+#include "vf/compile/ir.hpp"
+
+#include <stdexcept>
+
+namespace vf::compile {
+
+Program::Program() {
+  entry_ = add_node(Stmt{.kind = StmtKind::Entry});
+  exit_ = add_node(Stmt{.kind = StmtKind::Exit});
+}
+
+void Program::declare(ArrayInfo info) {
+  if (array(info.name) != nullptr) {
+    throw std::invalid_argument("Program: duplicate array " + info.name);
+  }
+  arrays_.push_back(std::move(info));
+}
+
+const ArrayInfo* Program::array(const std::string& name) const {
+  for (const auto& a : arrays_) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+int Program::add_node(Stmt s) {
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{id, std::move(s), {}, {}});
+  return id;
+}
+
+void Program::add_edge(int from, int to) {
+  nodes_.at(static_cast<std::size_t>(from)).succs.push_back(to);
+  nodes_.at(static_cast<std::size_t>(to)).preds.push_back(from);
+}
+
+int Program::add_procedure(ProcedureDecl p) {
+  if (p.body == nullptr) {
+    throw std::invalid_argument("add_procedure: null body");
+  }
+  for (const auto& f : p.formals) {
+    if (p.body->array(f.array) == nullptr) {
+      throw std::invalid_argument("add_procedure: formal " + f.array +
+                                  " is not declared in the body");
+    }
+  }
+  procedures_.push_back(std::move(p));
+  return static_cast<int>(procedures_.size()) - 1;
+}
+
+int Program::find_label(const std::string& label) const {
+  for (const auto& n : nodes_) {
+    if (n.stmt.label == label) return n.id;
+  }
+  throw std::invalid_argument("Program: no node labelled '" + label + "'");
+}
+
+void Program::seal(int tail) { add_edge(tail, exit_); }
+
+ProgramBuilder::ProgramBuilder() : cur_(p_.entry()) {}
+
+int ProgramBuilder::append(Stmt s) {
+  const int id = p_.add_node(std::move(s));
+  p_.add_edge(cur_, id);
+  cur_ = id;
+  return id;
+}
+
+ProgramBuilder& ProgramBuilder::declare(ArrayInfo info) {
+  p_.declare(std::move(info));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::distribute(const std::string& array,
+                                           AbstractDist dist) {
+  if (p_.array(array) == nullptr) {
+    throw std::invalid_argument("distribute: undeclared array " + array);
+  }
+  append(Stmt{.kind = StmtKind::Distribute,
+              .array = array,
+              .dist = std::move(dist)});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::use(std::vector<std::string> arrays,
+                                    const std::string& label) {
+  for (const auto& a : arrays) {
+    if (p_.array(a) == nullptr) {
+      throw std::invalid_argument("use: undeclared array " + a);
+    }
+  }
+  append(Stmt{.kind = StmtKind::Use,
+              .arrays = std::move(arrays),
+              .label = label});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::call_unknown(std::vector<std::string> arrays) {
+  append(Stmt{.kind = StmtKind::CallUnknown, .arrays = std::move(arrays)});
+  return *this;
+}
+
+int ProgramBuilder::declare_procedure(ProcedureDecl p) {
+  return p_.add_procedure(std::move(p));
+}
+
+ProgramBuilder& ProgramBuilder::call_proc(int proc,
+                                          std::vector<std::string> actuals) {
+  const ProcedureDecl& decl = p_.procedure(proc);
+  if (actuals.size() != decl.formals.size()) {
+    throw std::invalid_argument("call_proc: actual/formal count mismatch");
+  }
+  for (const auto& a : actuals) {
+    if (p_.array(a) == nullptr) {
+      throw std::invalid_argument("call_proc: undeclared actual " + a);
+    }
+  }
+  append(Stmt{.kind = StmtKind::CallProc,
+              .arrays = std::move(actuals),
+              .proc = proc});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::if_else(const BodyFn& then_body,
+                                        const BodyFn& else_body) {
+  const int branch = append(Stmt{.kind = StmtKind::Nop, .label = "if"});
+  cur_ = branch;
+  if (then_body) then_body(*this);
+  const int then_end = cur_;
+  cur_ = branch;
+  if (else_body) else_body(*this);
+  const int else_end = cur_;
+  const int join = p_.add_node(Stmt{.kind = StmtKind::Nop, .label = "join"});
+  p_.add_edge(then_end, join);
+  if (else_end != then_end) {
+    p_.add_edge(else_end, join);
+  } else {
+    // Empty else: fall-through edge from the branch itself.
+    p_.add_edge(branch, join);
+  }
+  cur_ = join;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::loop(const BodyFn& body) {
+  const int head = append(Stmt{.kind = StmtKind::Nop, .label = "loop"});
+  cur_ = head;
+  if (body) body(*this);
+  p_.add_edge(cur_, head);  // back edge
+  const int exit_node =
+      p_.add_node(Stmt{.kind = StmtKind::Nop, .label = "endloop"});
+  p_.add_edge(head, exit_node);
+  cur_ = exit_node;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::dcase(std::vector<std::string> selectors,
+                                      std::vector<DCaseArm> arms,
+                                      const BodyFn& default_body) {
+  for (const auto& s : selectors) {
+    if (p_.array(s) == nullptr) {
+      throw std::invalid_argument("dcase: undeclared selector " + s);
+    }
+  }
+  DCaseInfo info;
+  info.selectors = selectors;
+  const int branch = append(Stmt{.kind = StmtKind::Nop, .label = "dcase"});
+  info.node = branch;
+  const int join = p_.add_node(Stmt{.kind = StmtKind::Nop, .label = "endselect"});
+
+  for (auto& arm : arms) {
+    if (arm.pats.size() > selectors.size()) {
+      throw std::invalid_argument("dcase: more queries than selectors");
+    }
+    arm.pats.resize(selectors.size());
+    // Arm body entry: chain of Assume nodes refining each queried
+    // selector's plausible set.
+    cur_ = branch;
+    int entry = -1;
+    for (std::size_t k = 0; k < selectors.size(); ++k) {
+      if (!arm.pats[k]) continue;
+      const int a = append(Stmt{.kind = StmtKind::Assume,
+                                .array = selectors[k],
+                                .dist = *arm.pats[k]});
+      if (entry < 0) entry = a;
+    }
+    if (entry < 0) {
+      // All-wildcard arm: a Nop keeps the arm entry distinct.
+      entry = append(Stmt{.kind = StmtKind::Nop, .label = "arm"});
+    }
+    if (arm.body) arm.body(*this);
+    p_.add_edge(cur_, join);
+    info.arms.push_back(arm.pats);
+    info.arm_entries.push_back(entry);
+  }
+  if (default_body) {
+    cur_ = branch;
+    const int entry = append(Stmt{.kind = StmtKind::Nop, .label = "default"});
+    default_body(*this);
+    p_.add_edge(cur_, join);
+    info.has_default = true;
+    info.arms.emplace_back(selectors.size());
+    info.arm_entries.push_back(entry);
+  } else {
+    // "If no match occurs, the execution of the construct is completed
+    // without executing an action."
+    p_.add_edge(branch, join);
+  }
+  p_.record_dcase(std::move(info));
+  cur_ = join;
+  return *this;
+}
+
+Program ProgramBuilder::build() {
+  p_.seal(cur_);
+  return std::move(p_);
+}
+
+}  // namespace vf::compile

@@ -1,0 +1,126 @@
+#include "vf/compile/parteval.hpp"
+
+#include <algorithm>
+
+namespace vf::compile {
+
+std::string to_string(ArmVerdict v) {
+  switch (v) {
+    case ArmVerdict::Never:
+      return "never";
+    case ArmVerdict::Maybe:
+      return "maybe";
+    case ArmVerdict::Always:
+      return "always";
+  }
+  return "?";
+}
+
+ArmVerdict eval_idt(const DistSet& plausible, const query::TypePattern& p) {
+  bool may = false;
+  bool must = !plausible.types.empty() && !plausible.undistributed;
+  for (const auto& t : plausible.types) {
+    if (p.may_match(t)) {
+      may = true;
+    } else {
+      must = false;
+    }
+    if (!p.must_match(t)) must = false;
+  }
+  if (!may) return ArmVerdict::Never;
+  return must ? ArmVerdict::Always : ArmVerdict::Maybe;
+}
+
+namespace {
+
+/// True when the pattern is one exact concrete type (no wildcards).
+bool is_concrete(const query::TypePattern& p) {
+  if (p.is_wildcard()) return false;
+  for (const auto& d : p.dims()) {
+    if (!d.kind) return false;
+    if (*d.kind == dist::DimDistKind::Cyclic && !d.param) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+PartialEvalReport partial_eval(const Program& p, const ReachingResult& r) {
+  PartialEvalReport report;
+
+  // DCASE arm verdicts: an arm matches iff every queried selector matches.
+  for (const auto& dc : p.dcases()) {
+    DCaseEvaluation ev;
+    ev.node = dc.node;
+    bool earlier_may_match = false;
+    for (std::size_t j = 0; j < dc.arms.size(); ++j) {
+      bool arm_may = true;
+      bool arm_must = true;
+      for (std::size_t k = 0; k < dc.selectors.size(); ++k) {
+        const auto& pat = dc.arms[j][k];
+        if (!pat) continue;  // implicit "*": matches anything
+        const ArmVerdict v =
+            eval_idt(r.plausible(dc.node, dc.selectors[k]), *pat);
+        if (v == ArmVerdict::Never) arm_may = false;
+        if (v != ArmVerdict::Always) arm_must = false;
+      }
+      ArmVerdict verdict;
+      if (!arm_may) {
+        verdict = ArmVerdict::Never;
+      } else if (arm_must && !earlier_may_match) {
+        verdict = ArmVerdict::Always;
+      } else {
+        verdict = ArmVerdict::Maybe;
+      }
+      // Arms after an Always arm can never run.
+      if (!ev.arms.empty() &&
+          std::find(ev.arms.begin(), ev.arms.end(), ArmVerdict::Always) !=
+              ev.arms.end()) {
+        verdict = ArmVerdict::Never;
+      }
+      if (verdict != ArmVerdict::Never) earlier_may_match = true;
+      ev.arms.push_back(verdict);
+    }
+    report.dcases.push_back(std::move(ev));
+  }
+
+  // Per-node checks.
+  for (std::size_t id = 0; id < p.num_nodes(); ++id) {
+    const Node& n = p.node(static_cast<int>(id));
+    if (n.stmt.kind == StmtKind::Distribute) {
+      const DistSet& before = r.plausible(n.id, n.stmt.array);
+      // Redundant DISTRIBUTE: unique concrete plausible type equal to the
+      // (concrete) target.
+      if (!before.undistributed && before.types.size() == 1 &&
+          is_concrete(before.types.front()) && is_concrete(n.stmt.dist) &&
+          before.types.front() == n.stmt.dist) {
+        report.redundant_distributes.push_back(n.id);
+      }
+      // RANGE check: flag if the target may fall outside the declared
+      // range.
+      const ArrayInfo* info = p.array(n.stmt.array);
+      if (info != nullptr && !info->range.empty()) {
+        bool definitely_allowed = false;
+        for (const auto& rp : info->range) {
+          if (rp.must_match(n.stmt.dist)) {
+            definitely_allowed = true;
+            break;
+          }
+        }
+        if (!definitely_allowed) {
+          report.possible_range_violations.emplace_back(n.id, n.stmt.array);
+        }
+      }
+    }
+    if (n.stmt.kind == StmtKind::Use) {
+      for (const auto& a : n.stmt.arrays) {
+        if (r.plausible(n.id, a).undistributed) {
+          report.use_before_distribution.emplace_back(n.id, a);
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace vf::compile

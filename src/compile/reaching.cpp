@@ -1,0 +1,215 @@
+#include "vf/compile/reaching.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <stdexcept>
+
+namespace vf::compile {
+
+void DistSet::add(const AbstractDist& d) {
+  if (is_widened()) return;
+  if (std::find(types.begin(), types.end(), d) != types.end()) return;
+  types.push_back(d);
+  if (types.size() > kWidenLimit) {
+    types.clear();
+    types.push_back(AbstractDist::wildcard());
+  }
+}
+
+void DistSet::merge(const DistSet& o) {
+  undistributed = undistributed || o.undistributed;
+  for (const auto& t : o.types) add(t);
+}
+
+bool DistSet::is_widened() const {
+  return types.size() == 1 && types.front().is_wildcard();
+}
+
+std::string DistSet::to_string() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  if (undistributed) {
+    os << "<undistributed>";
+    first = false;
+  }
+  for (const auto& t : types) {
+    if (!first) os << ", ";
+    os << t.to_string();
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+const DistSet& ReachingResult::plausible(int node,
+                                         const std::string& array) const {
+  const State& s = in.at(static_cast<std::size_t>(node));
+  auto it = s.find(array);
+  if (it == s.end()) {
+    throw std::invalid_argument("plausible: unknown array " + array);
+  }
+  return it->second;
+}
+
+namespace {
+
+using SummaryCache = std::vector<std::optional<ProcedureSummary>>;
+
+/// Transfer function of one statement.
+State transfer(const Program& p, const Node& n, State s,
+               SummaryCache& summaries) {
+  switch (n.stmt.kind) {
+    case StmtKind::Distribute: {
+      // Strong update: after DISTRIBUTE the (only) plausible type is the
+      // statement's (possibly partially unknown) type.
+      DistSet d;
+      d.undistributed = false;
+      d.add(n.stmt.dist);
+      s[n.stmt.array] = std::move(d);
+      break;
+    }
+    case StmtKind::Assume: {
+      // DCASE arm entry: the selector matched the arm's pattern, so prune
+      // plausible types that cannot match, and the selector was
+      // necessarily distributed.
+      auto it = s.find(n.stmt.array);
+      if (it != s.end()) {
+        DistSet d;
+        d.undistributed = false;
+        for (const auto& t : it->second.types) {
+          if (n.stmt.dist.may_match(t)) d.add(t);
+        }
+        it->second = std::move(d);
+      }
+      break;
+    }
+    case StmtKind::CallUnknown: {
+      // The callee may redistribute the named arrays; the damage is
+      // bounded by their RANGE attributes (Section 3.1: "the compiler will
+      // have to rely on range specifications provided by the user, or make
+      // worst case assumptions").
+      for (const auto& name : n.stmt.arrays) {
+        const ArrayInfo* info = p.array(name);
+        DistSet d;
+        d.undistributed = false;
+        if (info != nullptr && !info->range.empty()) {
+          for (const auto& r : info->range) d.add(r);
+        } else {
+          d.add(AbstractDist::wildcard());
+        }
+        s[name] = std::move(d);
+      }
+      break;
+    }
+    case StmtKind::CallProc: {
+      // Interprocedural: the callee's exit sets flow back to the actuals
+      // (Vienna Fortran returns the new distribution to the caller).
+      auto& cached = summaries.at(static_cast<std::size_t>(n.stmt.proc));
+      if (!cached) {
+        cached = summarize_procedure(p.procedure(n.stmt.proc));
+      }
+      for (std::size_t k = 0; k < n.stmt.arrays.size(); ++k) {
+        s[n.stmt.arrays[k]] = cached->exit_sets.at(k);
+      }
+      break;
+    }
+    case StmtKind::Entry:
+    case StmtKind::Exit:
+    case StmtKind::Nop:
+    case StmtKind::Use:
+      break;
+  }
+  return s;
+}
+
+}  // namespace
+
+ProcedureSummary summarize_procedure(const ProcedureDecl& decl) {
+  State entry;
+  for (const auto& f : decl.formals) {
+    DistSet d;
+    if (f.entry) {
+      d.add(*f.entry);
+    } else {
+      d.add(AbstractDist::wildcard());
+    }
+    entry[f.array] = std::move(d);
+  }
+  const ReachingResult r = analyze_reaching(*decl.body, &entry);
+  ProcedureSummary summary;
+  const State& at_exit =
+      r.in.at(static_cast<std::size_t>(decl.body->exit()));
+  for (const auto& f : decl.formals) {
+    auto it = at_exit.find(f.array);
+    if (it == at_exit.end()) {
+      DistSet d;
+      d.add(AbstractDist::wildcard());
+      summary.exit_sets.push_back(std::move(d));
+    } else {
+      summary.exit_sets.push_back(it->second);
+    }
+  }
+  return summary;
+}
+
+ReachingResult analyze_reaching(const Program& p,
+                                const State* entry_override) {
+  ReachingResult r;
+  r.in.assign(p.num_nodes(), State{});
+  SummaryCache summaries(p.num_procedures());
+
+  // Entry state from the declarations, then any caller-provided override
+  // (procedure bodies: formals adopt their dummy distributions).
+  State init;
+  for (const auto& a : p.arrays()) {
+    DistSet d;
+    if (a.initial) {
+      d.add(*a.initial);
+    } else {
+      d.undistributed = true;
+    }
+    init[a.name] = std::move(d);
+  }
+  if (entry_override != nullptr) {
+    for (const auto& [name, dset] : *entry_override) {
+      init[name] = dset;
+    }
+  }
+  r.in[static_cast<std::size_t>(p.entry())] = std::move(init);
+
+  std::deque<int> worklist;
+  std::vector<bool> queued(p.num_nodes(), false);
+  worklist.push_back(p.entry());
+  queued[static_cast<std::size_t>(p.entry())] = true;
+
+  while (!worklist.empty()) {
+    const int id = worklist.front();
+    worklist.pop_front();
+    queued[static_cast<std::size_t>(id)] = false;
+    ++r.iterations;
+
+    const Node& n = p.node(id);
+    State out =
+        transfer(p, n, r.in[static_cast<std::size_t>(id)], summaries);
+    for (int succ : n.succs) {
+      State& sin = r.in[static_cast<std::size_t>(succ)];
+      State merged = sin;
+      for (const auto& [name, dset] : out) {
+        auto [it, inserted] = merged.try_emplace(name, dset);
+        if (!inserted) it->second.merge(dset);
+      }
+      if (merged != sin) {
+        sin = std::move(merged);
+        if (!queued[static_cast<std::size_t>(succ)]) {
+          worklist.push_back(succ);
+          queued[static_cast<std::size_t>(succ)] = true;
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace vf::compile

@@ -1,0 +1,43 @@
+#include "vf/msg/context.hpp"
+
+#include <stdexcept>
+
+namespace vf::msg {
+
+void Context::send_bytes(int dest, int tag, std::span<const std::byte> payload) {
+  if (dest < 0 || dest >= nprocs()) {
+    throw std::out_of_range("send_bytes: bad destination rank");
+  }
+  auto& st = stats();
+  st.data_messages++;
+  st.data_bytes += payload.size();
+  m_->mailbox(dest).push(
+      Message{rank_, tag, {payload.begin(), payload.end()}});
+}
+
+void Context::send_ctl_bytes(int dest, int tag,
+                             std::span<const std::byte> payload) {
+  if (dest < 0 || dest >= nprocs()) {
+    throw std::out_of_range("send_ctl_bytes: bad destination rank");
+  }
+  auto& st = stats();
+  st.ctl_messages++;
+  st.ctl_bytes += payload.size();
+  m_->mailbox(dest).push(
+      Message{rank_, tag, {payload.begin(), payload.end()}});
+}
+
+std::vector<std::byte> Context::recv_bytes(int src, int tag) {
+  return m_->mailbox(rank_).pop(src, tag).payload;
+}
+
+Message Context::recv_msg(int src, int tag) {
+  return m_->mailbox(rank_).pop(src, tag);
+}
+
+void Context::barrier() {
+  stats().collectives++;
+  m_->barrier_wait();
+}
+
+}  // namespace vf::msg

@@ -1,0 +1,15 @@
+#include "vf/msg/cost_model.hpp"
+
+#include <sstream>
+
+namespace vf::msg {
+
+std::string CommStats::to_string() const {
+  std::ostringstream os;
+  os << "data: " << data_messages << " msgs / " << data_bytes << " B, ctl: "
+     << ctl_messages << " msgs / " << ctl_bytes << " B, collectives: "
+     << collectives;
+  return os.str();
+}
+
+}  // namespace vf::msg

@@ -1,0 +1,51 @@
+#include "vf/msg/machine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vf::msg {
+
+Machine::Machine(int nprocs, CostModel cm) : nprocs_(nprocs), cm_(cm) {
+  if (nprocs < 1) throw std::invalid_argument("Machine: nprocs must be >= 1");
+  boxes_.reserve(static_cast<std::size_t>(nprocs));
+  for (int i = 0; i < nprocs; ++i) boxes_.push_back(std::make_unique<Mailbox>());
+  stats_.resize(static_cast<std::size_t>(nprocs));
+}
+
+Mailbox& Machine::mailbox(int rank) {
+  return *boxes_.at(static_cast<std::size_t>(rank));
+}
+
+CommStats& Machine::stats(int rank) {
+  return stats_.at(static_cast<std::size_t>(rank)).s;
+}
+
+CommStats Machine::total_stats() const {
+  CommStats t;
+  for (const auto& s : stats_) t += s.s;
+  return t;
+}
+
+double Machine::max_rank_modeled_us() const {
+  double mx = 0.0;
+  for (const auto& s : stats_) mx = std::max(mx, s.s.modeled_us(cm_));
+  return mx;
+}
+
+void Machine::reset_stats() {
+  for (auto& s : stats_) s.s = CommStats{};
+}
+
+void Machine::barrier_wait() {
+  std::unique_lock lk(barrier_mu_);
+  const std::uint64_t gen = barrier_gen_;
+  if (++barrier_count_ == nprocs_) {
+    barrier_count_ = 0;
+    ++barrier_gen_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lk, [&] { return barrier_gen_ != gen; });
+}
+
+}  // namespace vf::msg

@@ -1,0 +1,52 @@
+#include "vf/msg/mailbox.hpp"
+
+#include <algorithm>
+
+namespace vf::msg {
+
+namespace {
+bool matches(const Message& m, int src, int tag) {
+  return (src == kAnySource || m.src == src) && m.tag == tag;
+}
+}  // namespace
+
+void Mailbox::push(Message m) {
+  {
+    std::lock_guard lk(mu_);
+    q_.push_back(std::move(m));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::pop(int src, int tag) {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    auto it = std::find_if(q_.begin(), q_.end(), [&](const Message& m) {
+      return matches(m, src, tag);
+    });
+    if (it != q_.end()) {
+      Message m = std::move(*it);
+      q_.erase(it);
+      return m;
+    }
+    cv_.wait(lk);
+  }
+}
+
+bool Mailbox::try_pop(int src, int tag, Message& out) {
+  std::lock_guard lk(mu_);
+  auto it = std::find_if(q_.begin(), q_.end(), [&](const Message& m) {
+    return matches(m, src, tag);
+  });
+  if (it == q_.end()) return false;
+  out = std::move(*it);
+  q_.erase(it);
+  return true;
+}
+
+std::size_t Mailbox::size() const {
+  std::lock_guard lk(mu_);
+  return q_.size();
+}
+
+}  // namespace vf::msg

@@ -1,0 +1,37 @@
+#include "vf/msg/spmd.hpp"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace vf::msg {
+
+void run_spmd(Machine& m, const std::function<void(Context&)>& body) {
+  const int np = m.nprocs();
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(np));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(np));
+  for (int r = 0; r < np; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Context ctx(m, r);
+        body(ctx);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+CommStats run_spmd(int nprocs, const std::function<void(Context&)>& body,
+                   CostModel cm) {
+  Machine m(nprocs, cm);
+  run_spmd(m, body);
+  return m.total_stats();
+}
+
+}  // namespace vf::msg

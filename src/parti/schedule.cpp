@@ -1,0 +1,56 @@
+#include "vf/parti/schedule.hpp"
+
+#include <unordered_map>
+
+namespace vf::parti {
+
+Schedule::Schedule(msg::Context& ctx, const dist::Distribution& target,
+                   std::vector<dist::IndexVec> points) {
+  const int np = ctx.nprocs();
+  const int me = ctx.rank();
+  n_points_ = points.size();
+  occ_positions_.resize(static_cast<std::size_t>(np));
+  occ_unique_index_.resize(static_cast<std::size_t>(np));
+  serve_counts_.assign(static_cast<std::size_t>(np), 0);
+  serve_unique_.resize(static_cast<std::size_t>(np));
+
+  const dist::IndexDomain& dom = target.domain();
+
+  // Group this rank's requests by owner and deduplicate per owner, in
+  // order of first occurrence.  Only the unique linear ids travel.
+  std::vector<std::vector<dist::Index>> unique_ids(
+      static_cast<std::size_t>(np));
+  std::vector<std::unordered_map<dist::Index, std::size_t>> uniq(
+      static_cast<std::size_t>(np));
+  for (std::size_t k = 0; k < points.size(); ++k) {
+    const dist::IndexVec& pt = points[k];
+    const int p = target.owner_rank(pt);
+    if (p == me) {
+      local_points_.push_back(pt);
+      local_positions_.push_back(k);
+      continue;
+    }
+    const auto up = static_cast<std::size_t>(p);
+    const dist::Index lin = dom.linearize(pt);
+    auto [it, inserted] = uniq[up].try_emplace(lin, uniq[up].size());
+    if (inserted) unique_ids[up].push_back(lin);
+    occ_positions_[up].push_back(k);
+    occ_unique_index_[up].push_back(it->second);
+  }
+  for (std::size_t p = 0; p < uniq.size(); ++p) {
+    serve_counts_[p] = unique_ids[p].size();
+    n_unique_offproc_ += unique_ids[p].size();
+  }
+
+  // Inspector exchange: ship the unique request lists to the owners.
+  auto incoming = ctx.alltoallv(std::move(unique_ids));
+  for (int s = 0; s < np; ++s) {
+    const auto us = static_cast<std::size_t>(s);
+    serve_unique_[us].reserve(incoming[us].size());
+    for (dist::Index lin : incoming[us]) {
+      serve_unique_[us].push_back(dom.delinearize(lin));
+    }
+  }
+}
+
+}  // namespace vf::parti

@@ -1,0 +1,73 @@
+#include "vf/parti/translation_table.hpp"
+
+#include <stdexcept>
+
+namespace vf::parti {
+
+TranslationTable::TranslationTable(
+    msg::Context& ctx, dist::Index n,
+    const std::function<int(dist::Index)>& owner)
+    : n_(n) {
+  if (n < 0) throw std::invalid_argument("TranslationTable: negative size");
+  const int np = ctx.nprocs();
+  page_width_ = n == 0 ? 1 : (n + np - 1) / np;
+  const dist::Index lo = page_width_ * ctx.rank();
+  const dist::Index hi = std::min<dist::Index>(n, lo + page_width_);
+  page_.reserve(static_cast<std::size_t>(std::max<dist::Index>(0, hi - lo)));
+  for (dist::Index i = lo; i < hi; ++i) page_.push_back(owner(i));
+}
+
+TranslationTable::TranslationTable(msg::Context& ctx,
+                                   const dist::Distribution& d)
+    : TranslationTable(ctx, d.domain().size(), [&d](dist::Index i) {
+        return d.owner_rank(d.domain().delinearize(i));
+      }) {}
+
+int TranslationTable::page_owner(dist::Index i) const {
+  if (i < 0 || i >= n_) {
+    throw std::out_of_range("TranslationTable: index outside table");
+  }
+  return static_cast<int>(i / page_width_);
+}
+
+std::vector<int> TranslationTable::dereference(
+    msg::Context& ctx, std::span<const dist::Index> queries) const {
+  const int np = ctx.nprocs();
+  // Phase 1: route each query to the rank storing its page.
+  std::vector<std::vector<dist::Index>> requests(
+      static_cast<std::size_t>(np));
+  std::vector<std::vector<std::size_t>> positions(
+      static_cast<std::size_t>(np));
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const int p = page_owner(queries[q]);
+    requests[static_cast<std::size_t>(p)].push_back(queries[q]);
+    positions[static_cast<std::size_t>(p)].push_back(q);
+  }
+  auto incoming = ctx.alltoallv(std::move(requests));
+
+  // Phase 2: answer from the local page and send replies back.
+  const dist::Index lo = page_width_ * ctx.rank();
+  std::vector<std::vector<int>> replies(static_cast<std::size_t>(np));
+  for (int s = 0; s < np; ++s) {
+    auto& qs = incoming[static_cast<std::size_t>(s)];
+    auto& rs = replies[static_cast<std::size_t>(s)];
+    rs.reserve(qs.size());
+    for (dist::Index i : qs) {
+      rs.push_back(page_.at(static_cast<std::size_t>(i - lo)));
+    }
+  }
+  auto answers = ctx.alltoallv(std::move(replies));
+
+  std::vector<int> out(queries.size(), -1);
+  for (int p = 0; p < np; ++p) {
+    const auto& pos = positions[static_cast<std::size_t>(p)];
+    const auto& ans = answers[static_cast<std::size_t>(p)];
+    if (ans.size() != pos.size()) {
+      throw std::runtime_error("TranslationTable: reply size mismatch");
+    }
+    for (std::size_t k = 0; k < pos.size(); ++k) out[pos[k]] = ans[k];
+  }
+  return out;
+}
+
+}  // namespace vf::parti

@@ -1,0 +1,102 @@
+#include "vf/query/dcase.hpp"
+
+#include <stdexcept>
+
+namespace vf::query {
+
+bool idt(const rt::DistArrayBase& a, const TypePattern& p) {
+  return p.matches(a.distribution().type());
+}
+
+bool idt(const rt::DistArrayBase& a, const TypePattern& p,
+         const dist::ProcessorSection& section) {
+  return p.matches(a.distribution().type()) &&
+         a.distribution().section() == section;
+}
+
+DCase::DCase(std::vector<const rt::DistArrayBase*> selectors)
+    : selectors_(std::move(selectors)) {
+  if (selectors_.empty()) {
+    throw std::invalid_argument("DCASE: at least one selector required");
+  }
+  for (const auto* s : selectors_) {
+    if (s == nullptr) throw std::invalid_argument("DCASE: null selector");
+  }
+}
+
+DCase& DCase::when(std::vector<TypePattern> positional,
+                   std::function<void()> action) {
+  if (positional.size() > selectors_.size()) {
+    throw std::invalid_argument(
+        "DCASE: more queries than selectors in positional list");
+  }
+  Arm arm;
+  arm.pats.resize(selectors_.size());
+  for (std::size_t k = 0; k < positional.size(); ++k) {
+    arm.pats[k] = std::move(positional[k]);
+  }
+  arm.action = std::move(action);
+  arms_.push_back(std::move(arm));
+  return *this;
+}
+
+DCase& DCase::when_named(
+    std::vector<std::pair<std::string, TypePattern>> tagged,
+    std::function<void()> action) {
+  Arm arm;
+  arm.pats.resize(selectors_.size());
+  for (auto& [name, pat] : tagged) {
+    const int k = selector_index(name);
+    if (arm.pats[static_cast<std::size_t>(k)]) {
+      throw std::invalid_argument("DCASE: duplicate query for selector " +
+                                  name);
+    }
+    arm.pats[static_cast<std::size_t>(k)] = std::move(pat);
+  }
+  arm.action = std::move(action);
+  arms_.push_back(std::move(arm));
+  return *this;
+}
+
+DCase& DCase::otherwise(std::function<void()> action) {
+  Arm arm;
+  arm.is_default = true;
+  arm.pats.resize(selectors_.size());
+  arm.action = std::move(action);
+  arms_.push_back(std::move(arm));
+  return *this;
+}
+
+int DCase::selector_index(const std::string& name) const {
+  for (std::size_t k = 0; k < selectors_.size(); ++k) {
+    if (selectors_[k]->name() == name) return static_cast<int>(k);
+  }
+  throw std::invalid_argument("DCASE: name tag '" + name +
+                              "' is not a selector");
+}
+
+int DCase::run() const {
+  // "At the time of execution of the dcase construct, each selector must
+  // be allocated and associated with a well-defined distribution."
+  std::vector<const dist::DistributionType*> types;
+  types.reserve(selectors_.size());
+  for (const auto* s : selectors_) {
+    types.push_back(&s->distribution().type());  // throws if undistributed
+  }
+  for (std::size_t j = 0; j < arms_.size(); ++j) {
+    const Arm& arm = arms_[j];
+    bool match = true;
+    if (!arm.is_default) {
+      for (std::size_t k = 0; k < selectors_.size() && match; ++k) {
+        if (arm.pats[k] && !arm.pats[k]->matches(*types[k])) match = false;
+      }
+    }
+    if (match) {
+      if (arm.action) arm.action();
+      return static_cast<int>(j);
+    }
+  }
+  return -1;
+}
+
+}  // namespace vf::query

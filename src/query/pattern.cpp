@@ -1,0 +1,140 @@
+#include "vf/query/pattern.hpp"
+
+#include <sstream>
+
+namespace vf::query {
+
+bool DimPattern::matches(const dist::DimDist& d) const {
+  if (kind && *kind != d.kind) return false;
+  if (param && d.kind == dist::DimDistKind::Cyclic && *param != d.cyclic_block) {
+    return false;
+  }
+  return true;
+}
+
+std::string DimPattern::to_string() const {
+  if (!kind) return "*";
+  switch (*kind) {
+    case dist::DimDistKind::Collapsed:
+      return ":";
+    case dist::DimDistKind::Block:
+      return "BLOCK";
+    case dist::DimDistKind::Cyclic:
+      return param ? "CYCLIC(" + std::to_string(*param) + ")" : "CYCLIC(*)";
+    case dist::DimDistKind::GenBlock:
+      return "GEN_BLOCK(*)";
+    case dist::DimDistKind::Indirect:
+      return "INDIRECT(*)";
+  }
+  return "?";
+}
+
+DimPattern any_dim() { return DimPattern{}; }
+DimPattern p_block() { return DimPattern{dist::DimDistKind::Block, {}}; }
+DimPattern p_cyclic(dist::Index k) {
+  return DimPattern{dist::DimDistKind::Cyclic, k};
+}
+DimPattern p_cyclic_any() {
+  return DimPattern{dist::DimDistKind::Cyclic, {}};
+}
+DimPattern p_gen_block() { return DimPattern{dist::DimDistKind::GenBlock, {}}; }
+DimPattern p_indirect() { return DimPattern{dist::DimDistKind::Indirect, {}}; }
+DimPattern p_col() { return DimPattern{dist::DimDistKind::Collapsed, {}}; }
+
+TypePattern TypePattern::exact(const dist::DistributionType& t) {
+  std::vector<DimPattern> dims;
+  dims.reserve(static_cast<std::size_t>(t.rank()));
+  for (const auto& d : t.dims()) {
+    DimPattern p;
+    p.kind = d.kind;
+    if (d.kind == dist::DimDistKind::Cyclic) p.param = d.cyclic_block;
+    dims.push_back(p);
+  }
+  return TypePattern(std::move(dims));
+}
+
+bool TypePattern::matches(const dist::DistributionType& t) const {
+  if (any_) return true;
+  if (t.rank() != rank()) return false;
+  for (int d = 0; d < rank(); ++d) {
+    if (!dims_[static_cast<std::size_t>(d)].matches(t.dim(d))) return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool dim_may_match(const DimPattern& pattern, const DimPattern& abstract) {
+  if (!pattern.kind || !abstract.kind) return true;
+  if (*pattern.kind != *abstract.kind) return false;
+  if (!pattern.param || !abstract.param) return true;
+  return *pattern.param == *abstract.param;
+}
+
+bool dim_must_match(const DimPattern& pattern, const DimPattern& abstract) {
+  if (!pattern.kind) return true;  // "*" accepts everything
+  if (!abstract.kind) return false;
+  if (*pattern.kind != *abstract.kind) return false;
+  if (!pattern.param) return true;
+  if (*pattern.kind != dist::DimDistKind::Cyclic) return true;
+  if (!abstract.param) return false;
+  return *pattern.param == *abstract.param;
+}
+
+}  // namespace
+
+bool TypePattern::may_match(const TypePattern& abstract) const {
+  if (any_ || abstract.any_) return true;
+  if (rank() != abstract.rank()) return false;
+  for (int d = 0; d < rank(); ++d) {
+    if (!dim_may_match(dims_[static_cast<std::size_t>(d)],
+                       abstract.dims_[static_cast<std::size_t>(d)])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool TypePattern::must_match(const TypePattern& abstract) const {
+  if (any_) return true;
+  if (abstract.any_) return false;
+  if (rank() != abstract.rank()) return false;
+  for (int d = 0; d < rank(); ++d) {
+    if (!dim_must_match(dims_[static_cast<std::size_t>(d)],
+                        abstract.dims_[static_cast<std::size_t>(d)])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string TypePattern::to_string() const {
+  if (any_) return "*";
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    os << (d ? ", " : "") << dims_[d].to_string();
+  }
+  os << ")";
+  return os.str();
+}
+
+bool range_allows(const RangeSpec& range, const dist::DistributionType& t) {
+  if (range.empty()) return true;
+  for (const auto& p : range) {
+    if (p.matches(t)) return true;
+  }
+  return false;
+}
+
+std::string to_string(const RangeSpec& range) {
+  std::ostringstream os;
+  os << "RANGE (";
+  for (std::size_t i = 0; i < range.size(); ++i) {
+    os << (i ? ", " : "") << range[i].to_string();
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace vf::query

@@ -1,0 +1,163 @@
+#include "vf/rt/array_base.hpp"
+
+#include <utility>
+
+namespace vf::rt {
+
+DimExprItem extract_dim(const DistArrayBase& b, int dim) {
+  return DimExprItem(std::pair<const DistArrayBase*, int>{&b, dim});
+}
+
+DistExpr DistExpr::align_with(const DistArrayBase& target, dist::Alignment a) {
+  DistExpr e{dist::DistributionType{}};
+  e.form_ = std::pair<const DistArrayBase*, dist::Alignment>{&target,
+                                                             std::move(a)};
+  return e;
+}
+
+dist::Distribution DistExpr::evaluate(
+    const DistArrayBase& target,
+    const dist::ProcessorSection& fallback_section) const {
+  const dist::ProcessorSection& section = to_ ? *to_ : fallback_section;
+
+  if (const auto* t = std::get_if<dist::DistributionType>(&form_)) {
+    return dist::Distribution(target.domain(), *t, section);
+  }
+  if (const auto* items = std::get_if<std::vector<DimExprItem>>(&form_)) {
+    std::vector<dist::DimDist> dims;
+    dims.reserve(items->size());
+    for (const auto& item : *items) {
+      if (const auto* dd = std::get_if<dist::DimDist>(&item.v)) {
+        dims.push_back(*dd);
+      } else {
+        const auto& [arr, d] =
+            std::get<std::pair<const DistArrayBase*, int>>(item.v);
+        dims.push_back(arr->distribution().type().dim(d));
+      }
+    }
+    return dist::Distribution(target.domain(),
+                              dist::DistributionType(std::move(dims)),
+                              section);
+  }
+  if (const auto* whole = std::get_if<const DistArrayBase*>(&form_)) {
+    // Whole-type extraction (=A): apply A's current type on A's section
+    // (an explicit `to` clause overrides the section).
+    const auto& src = (*whole)->distribution();
+    return dist::Distribution(target.domain(), src.type(),
+                              to_ ? *to_ : src.section());
+  }
+  const auto& [aligned_to, align] =
+      std::get<std::pair<const DistArrayBase*, dist::Alignment>>(form_);
+  return align.construct(aligned_to->distribution(), target.domain());
+}
+
+DistArrayBase::DistArrayBase(Env& env, std::string name, dist::IndexDomain dom,
+                             bool dynamic, query::RangeSpec range,
+                             std::optional<Connection> connect)
+    : env_(&env),
+      name_(std::move(name)),
+      dom_(dom),
+      dynamic_(dynamic),
+      range_(std::move(range)) {
+  if (connect) {
+    if (connect->primary == nullptr) {
+      throw std::invalid_argument("Connection: null primary array");
+    }
+    if (!connect->primary->is_primary()) {
+      throw std::invalid_argument(
+          "CONNECT: " + connect->primary->name() +
+          " is itself a secondary array; connections must name a primary");
+    }
+    if (!dynamic_) {
+      throw std::invalid_argument(
+          "CONNECT: secondary arrays must be declared DYNAMIC");
+    }
+    cclass_ = connect->primary->cclass_;
+    cclass_->add_secondary(this, connect->align);
+  } else {
+    cclass_ = std::make_shared<ConnectClass>(this);
+  }
+  env_->register_array(*this);
+}
+
+DistArrayBase::~DistArrayBase() {
+  env_->unregister_array(*this);
+  if (is_primary()) {
+    cclass_->orphan();
+  } else {
+    cclass_->remove(this);
+  }
+}
+
+Descriptor DistArrayBase::describe() const {
+  Descriptor d;
+  d.index_dom = dom_;
+  d.dist = dist_;
+  d.segment = layout_;
+  d.dynamic = dynamic_;
+  d.primary = is_primary();
+  d.connect_class_size = cclass_->secondaries().size() + 1;
+  return d;
+}
+
+void DistArrayBase::distribute(const DistExpr& expr, const NoTransfer& nt) {
+  if (!dynamic_) {
+    throw std::logic_error("DISTRIBUTE " + name_ +
+                           ": array is statically distributed");
+  }
+  if (cclass_->primary() == nullptr) {
+    throw std::logic_error("DISTRIBUTE " + name_ +
+                           ": connect class is orphaned (primary destroyed)");
+  }
+  if (is_secondary()) {
+    throw std::logic_error(
+        "DISTRIBUTE " + name_ +
+        ": distribute statements are explicitly applied to primary arrays "
+        "only (Section 2.3)");
+  }
+  for (const auto* a : nt.arrays) {
+    if (a == this || !cclass_->contains(a)) {
+      throw std::invalid_argument(
+          "NOTRANSFER: all names must be secondary arrays of C(" + name_ +
+          ")");
+    }
+  }
+
+  // Step 1 (Section 3.2.2): evaluate the new distribution.
+  const dist::ProcessorSection fallback =
+      dist_ ? dist_->section() : env_->whole();
+  auto nd = std::make_shared<const dist::Distribution>(
+      expr.evaluate(*this, fallback));
+  check_range(nd->type());
+
+  // Primary: move data unless this is the first distribution or a no-op
+  // (equivalent mappings still swap descriptors so queries see the
+  // requested type).
+  const bool primary_noop = dist_ && dist_->same_mapping(*nd);
+  if (primary_noop) {
+    adopt_descriptor(nd);
+  } else {
+    apply_distribution(nd, dist_ != nullptr);
+  }
+
+  // Steps 2+3: determine the distributions of connected arrays and
+  // communicate.
+  for (const auto& m : cclass_->secondaries()) {
+    auto sd = std::make_shared<const dist::Distribution>(
+        cclass_->construct_for(m, *nd));
+    if (!query::range_allows(m.array->range_, sd->type())) {
+      throw RangeViolationError(m.array->name_, sd->type().to_string());
+    }
+    const bool noop =
+        m.array->dist_ && m.array->dist_->same_mapping(*sd);
+    if (noop) {
+      m.array->adopt_descriptor(sd);
+      continue;
+    }
+    const bool transfer =
+        m.array->dist_ != nullptr && !nt.contains(m.array);
+    m.array->apply_distribution(sd, transfer);
+  }
+}
+
+}  // namespace vf::rt

@@ -1,0 +1,41 @@
+#include "vf/rt/connect.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "vf/rt/array_base.hpp"
+
+namespace vf::rt {
+
+void ConnectClass::add_secondary(DistArrayBase* a,
+                                 std::optional<dist::Alignment> align) {
+  secondaries_.push_back(Member{a, std::move(align)});
+}
+
+void ConnectClass::remove(DistArrayBase* a) noexcept {
+  secondaries_.erase(
+      std::remove_if(secondaries_.begin(), secondaries_.end(),
+                     [&](const Member& m) { return m.array == a; }),
+      secondaries_.end());
+}
+
+bool ConnectClass::contains(const DistArrayBase* a) const noexcept {
+  if (a == primary_) return true;
+  return std::any_of(secondaries_.begin(), secondaries_.end(),
+                     [&](const Member& m) { return m.array == a; });
+}
+
+dist::Distribution ConnectClass::construct_for(
+    const Member& m, const dist::Distribution& primary_dist) const {
+  if (m.align) {
+    // CONNECT A(...) WITH B(...): delta_A = CONSTRUCT(alpha_A, delta_B).
+    return m.align->construct(primary_dist, m.array->domain());
+  }
+  // CONNECT (=B): distribution extraction -- the primary's distribution
+  // *type* is applied to the secondary's own index domain and the same
+  // processor section.
+  return dist::Distribution(m.array->domain(), primary_dist.type(),
+                            primary_dist.section());
+}
+
+}  // namespace vf::rt

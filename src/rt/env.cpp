@@ -1,0 +1,36 @@
+#include "vf/rt/env.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "vf/rt/array_base.hpp"
+
+namespace vf::rt {
+
+Env::Env(msg::Context& ctx, dist::ProcessorArray procs)
+    : ctx_(&ctx), procs_(std::move(procs)) {
+  if (procs_.base_rank() < 0 ||
+      procs_.base_rank() + procs_.nprocs() > ctx.nprocs()) {
+    throw std::invalid_argument(
+        "Env: processor array does not fit within the machine");
+  }
+}
+
+Env::Env(msg::Context& ctx)
+    : Env(ctx, dist::ProcessorArray::line(ctx.nprocs())) {}
+
+void Env::register_array(DistArrayBase& a) { arrays_.push_back(&a); }
+
+void Env::unregister_array(DistArrayBase& a) noexcept {
+  arrays_.erase(std::remove(arrays_.begin(), arrays_.end(), &a),
+                arrays_.end());
+}
+
+DistArrayBase* Env::find_array(std::string_view name) const noexcept {
+  for (auto* a : arrays_) {
+    if (a->name() == name) return a;
+  }
+  return nullptr;
+}
+
+}  // namespace vf::rt

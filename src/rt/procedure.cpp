@@ -1,0 +1,68 @@
+#include "vf/rt/procedure.hpp"
+
+namespace vf::rt {
+
+CallReport call_procedure(
+    std::vector<std::pair<DistArrayBase*, FormalArg>> args,
+    ArgReturnMode mode, const std::function<void()>& body) {
+  CallReport report;
+
+  struct Saved {
+    DistArrayBase* array;
+    dist::DistributionPtr entry_dist;
+  };
+  std::vector<Saved> saved;
+  saved.reserve(args.size());
+
+  // Entry: bind actuals to formals.
+  for (auto& [array, formal] : args) {
+    if (array == nullptr) {
+      throw std::invalid_argument("call_procedure: null actual argument");
+    }
+    saved.push_back(Saved{array, array->distribution_ptr()});
+    switch (formal.kind()) {
+      case FormalArg::Kind::Inherited:
+        break;
+      case FormalArg::Kind::Match: {
+        if (!formal.pattern().matches(array->distribution().type())) {
+          throw ArgumentMismatchError(
+              array->name(), formal.pattern().to_string(),
+              array->distribution().type().to_string());
+        }
+        break;
+      }
+      case FormalArg::Kind::Explicit: {
+        const dist::ProcessorSection target_section =
+            formal.to() ? *formal.to() : array->distribution().section();
+        const dist::Distribution want(array->domain(), formal.type(),
+                                      target_section);
+        if (!array->distribution().same_mapping(want)) {
+          DistExpr expr{formal.type()};
+          array->distribute(formal.to() ? std::move(expr).to(*formal.to())
+                                        : expr);
+          ++report.entry_redistributions;
+        }
+        break;
+      }
+    }
+  }
+
+  body();
+
+  // Exit: HPF semantics reinstate the caller's distribution; Vienna
+  // Fortran returns whatever the procedure left behind.
+  if (mode == ArgReturnMode::RestoreOnExit) {
+    for (auto& s : saved) {
+      if (!s.entry_dist) continue;  // was undistributed at entry
+      if (!s.array->has_distribution() ||
+          !s.array->distribution().same_mapping(*s.entry_dist)) {
+        s.array->distribute(DistExpr{s.entry_dist->type()}.to(
+            s.entry_dist->section()));
+        ++report.exit_restores;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace vf::rt

@@ -1,0 +1,190 @@
+// Integration tests for the application engines of Section 4: the three
+// ADI strategies must agree numerically, smoothing must be layout-
+// independent, and PIC must conserve particles while rebalancing improves
+// the load balance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spmd_test_util.hpp"
+#include "vf/apps/adi_sim.hpp"
+#include "vf/apps/kernels.hpp"
+#include "vf/apps/pic_sim.hpp"
+#include "vf/apps/smoothing_sim.hpp"
+
+namespace vf::apps {
+namespace {
+
+using msg::Context;
+using testing::run_checked;
+using testing::SpmdChecker;
+
+TEST(Kernels, TridiagSolvesConstantCoefficientSystem) {
+  // Verify a*x[k-1] + b*x[k] + a*x[k+1] = rhs for the computed solution.
+  std::vector<double> rhs = {1.0, -2.0, 3.5, 0.0, 7.25, -1.0};
+  const std::vector<double> orig = rhs;
+  tridiag(rhs, -1.0, 4.0);
+  for (std::size_t k = 0; k < rhs.size(); ++k) {
+    double lhs = 4.0 * rhs[k];
+    if (k > 0) lhs += -1.0 * rhs[k - 1];
+    if (k + 1 < rhs.size()) lhs += -1.0 * rhs[k + 1];
+    EXPECT_NEAR(lhs, orig[k], 1e-10) << "row " << k;
+  }
+}
+
+TEST(Kernels, TridiagHandlesEdgeSizes) {
+  std::vector<double> one = {8.0};
+  tridiag(one, -1.0, 4.0);
+  EXPECT_DOUBLE_EQ(one[0], 2.0);
+  std::vector<double> empty;
+  tridiag(empty);  // no-op, no crash
+}
+
+TEST(Kernels, BalancePartitionsEqualWork) {
+  std::vector<std::int64_t> per_cell(16, 10);
+  auto bounds = balance(per_cell, 4);
+  EXPECT_EQ(bounds, (std::vector<dist::Index>{4, 8, 12, 16}));
+}
+
+TEST(Kernels, BalanceHandlesSkew) {
+  // All work in the first 4 cells: they get split across processors.
+  std::vector<std::int64_t> per_cell(16, 0);
+  for (int c = 0; c < 4; ++c) per_cell[static_cast<std::size_t>(c)] = 100;
+  auto bounds = balance(per_cell, 4);
+  EXPECT_EQ(bounds.back(), 16);
+  EXPECT_LE(bounds[0], 2);  // first processor's segment ends early
+  // Bounds non-decreasing.
+  for (std::size_t p = 1; p < bounds.size(); ++p) {
+    EXPECT_GE(bounds[p], bounds[p - 1]);
+  }
+}
+
+TEST(Kernels, ImbalanceMetric) {
+  std::vector<std::int64_t> even = {10, 10, 10, 10};
+  EXPECT_DOUBLE_EQ(imbalance(even), 1.0);
+  std::vector<std::int64_t> skew = {40, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(imbalance(skew), 4.0);
+}
+
+TEST(AdiStrategies, AllThreeAgreeNumerically) {
+  // The same computation under the three data-layout strategies of E2
+  // must produce identical results -- redistribution, gathered lines and
+  // two-copy assignment are different communications of the same math.
+  constexpr int kProcs = 4;
+  const AdiConfig cfg{.nx = 24, .ny = 24, .iterations = 2};
+  double sums[3] = {0, 0, 0};
+  for (int s = 0; s < 3; ++s) {
+    msg::Machine machine(kProcs);
+    msg::run_spmd(machine, [&](Context& ctx) {
+      auto r = run_adi(ctx, cfg, static_cast<AdiStrategy>(s));
+      if (ctx.rank() == 0) sums[s] = r.checksum;
+    });
+  }
+  EXPECT_NEAR(sums[0], sums[1], 1e-9 * std::abs(sums[0]));
+  EXPECT_NEAR(sums[0], sums[2], 1e-9 * std::abs(sums[0]));
+}
+
+TEST(AdiStrategies, DynamicConfinesCommunicationToRedistribute) {
+  constexpr int kProcs = 4;
+  msg::Machine machine(kProcs);
+  msg::run_spmd(machine, [&](Context& ctx) {
+    auto r = run_adi(ctx, {.nx = 16, .ny = 16, .iterations = 1},
+                     AdiStrategy::DynamicRedistribution);
+    (void)r;
+  });
+  // Two redistributions (over + back), each at most P*(P-1) messages, plus
+  // the final reduction's control traffic.
+  EXPECT_LE(machine.total_stats().data_messages, 2u * kProcs * (kProcs - 1));
+}
+
+TEST(Smoothing, LayoutsAgreeNumerically) {
+  const SmoothConfig cfg{.n = 32, .steps = 3};
+  double sums[2] = {0, 0};
+  {
+    msg::Machine machine(4);
+    msg::run_spmd(machine, [&](Context& ctx) {
+      auto r = run_smoothing(ctx, cfg, SmoothLayout::Columns);
+      if (ctx.rank() == 0) sums[0] = r.checksum;
+    });
+  }
+  {
+    msg::Machine machine(4);
+    msg::run_spmd(machine, [&](Context& ctx) {
+      auto r = run_smoothing(ctx, cfg, SmoothLayout::Grid2D);
+      if (ctx.rank() == 0) sums[1] = r.checksum;
+    });
+  }
+  EXPECT_NEAR(sums[0], sums[1], 1e-9 * std::abs(sums[0]));
+}
+
+TEST(Smoothing, Grid2DRequiresSquareProcessorCount) {
+  msg::Machine machine(3);
+  EXPECT_THROW(
+      msg::run_spmd(machine,
+                    [&](Context& ctx) {
+                      (void)run_smoothing(ctx, {.n = 16, .steps = 1},
+                                          SmoothLayout::Grid2D);
+                    }),
+      std::invalid_argument);
+}
+
+TEST(Smoothing, DecisionRuleFollowsAlphaBeta) {
+  // High startup cost favours fewer, larger messages (columns); high
+  // per-byte cost favours less volume (2-D blocks).
+  const msg::CostModel latency_bound{.alpha_us = 1000.0,
+                                     .beta_us_per_byte = 0.001};
+  const msg::CostModel bandwidth_bound{.alpha_us = 1.0,
+                                       .beta_us_per_byte = 1.0};
+  EXPECT_EQ(choose_layout(256, 16, latency_bound, 8), SmoothLayout::Columns);
+  EXPECT_EQ(choose_layout(256, 16, bandwidth_bound, 8), SmoothLayout::Grid2D);
+}
+
+TEST(Pic, ParticlesConservedWithoutOverflow) {
+  constexpr int kProcs = 4;
+  PicConfig cfg;
+  cfg.ncell = 64;
+  cfg.npart_max = 800;
+  cfg.particles = 3000;
+  cfg.steps = 20;
+  cfg.rebalance_period = 10;
+  msg::Machine machine(kProcs);
+  PicResult result;
+  msg::run_spmd(machine, [&](Context& ctx) {
+    auto r = run_pic(ctx, cfg);
+    if (ctx.rank() == 0) result = std::move(r);
+  });
+  EXPECT_EQ(result.dropped, 0);
+  EXPECT_EQ(result.final_particles, cfg.particles);
+  EXPECT_EQ(static_cast<int>(result.steps.size()), cfg.steps);
+}
+
+TEST(Pic, RebalancingImprovesLoadBalance) {
+  constexpr int kProcs = 4;
+  PicConfig cfg;
+  cfg.ncell = 96;
+  cfg.npart_max = 800;
+  cfg.particles = 4000;
+  cfg.steps = 30;
+
+  auto run_with = [&](int period) {
+    PicConfig c = cfg;
+    c.rebalance_period = period;
+    msg::Machine machine(kProcs);
+    PicResult result;
+    msg::run_spmd(machine, [&](Context& ctx) {
+      auto r = run_pic(ctx, c);
+      if (ctx.rank() == 0) result = std::move(r);
+    });
+    return result;
+  };
+
+  const PicResult statics = run_with(0);
+  const PicResult dynamic = run_with(10);
+  EXPECT_LT(dynamic.mean_imbalance, statics.mean_imbalance);
+  EXPECT_LT(dynamic.makespan_units, statics.makespan_units);
+  EXPECT_GT(dynamic.rebalances, 0);
+  EXPECT_EQ(statics.rebalances, 0);
+}
+
+}  // namespace
+}  // namespace vf::apps

@@ -1,0 +1,171 @@
+// Additional compile-support tests: nested control flow, DCASE arm
+// refinement interactions, DistSet behaviour, and the ADI/PIC-shaped
+// programs the paper's analysis must handle.
+#include <gtest/gtest.h>
+
+#include "vf/compile/parteval.hpp"
+
+namespace vf::compile {
+namespace {
+
+using query::any_dim;
+using query::p_block;
+using query::p_col;
+using query::p_cyclic;
+using query::p_cyclic_any;
+using query::p_gen_block;
+using query::TypePattern;
+
+AbstractDist blockT() { return TypePattern{p_block()}; }
+AbstractDist cyclicT(dist::Index k) { return TypePattern{p_cyclic(k)}; }
+
+TEST(DistSet, AddDeduplicates) {
+  DistSet s;
+  s.add(blockT());
+  s.add(blockT());
+  EXPECT_EQ(s.types.size(), 1u);
+  s.add(cyclicT(2));
+  EXPECT_EQ(s.types.size(), 2u);
+}
+
+TEST(DistSet, MergePropagatesUndistributed) {
+  DistSet a;
+  a.add(blockT());
+  DistSet b;
+  b.undistributed = true;
+  a.merge(b);
+  EXPECT_TRUE(a.undistributed);
+  EXPECT_EQ(a.types.size(), 1u);
+}
+
+TEST(DistSet, ToStringListsMembers) {
+  DistSet s;
+  s.undistributed = true;
+  s.add(blockT());
+  const std::string str = s.to_string();
+  EXPECT_NE(str.find("<undistributed>"), std::string::npos);
+  EXPECT_NE(str.find("BLOCK"), std::string::npos);
+}
+
+TEST(NestedFlow, LoopInsideBranch) {
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .initial = blockT()})
+      .if_else([](ProgramBuilder& t) {
+        t.loop([](ProgramBuilder& body) {
+          body.distribute("A", cyclicT(2));
+        });
+      })
+      .use({"A"}, "end");
+  Program p = b.build();
+  auto r = analyze_reaching(p);
+  const auto& d = r.plausible(p.find_label("end"), "A");
+  EXPECT_EQ(d.types.size(), 2u);  // BLOCK skip path + CYCLIC(2)
+}
+
+TEST(NestedFlow, DcaseInsideLoopConverges) {
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .initial = blockT()});
+  b.loop([](ProgramBuilder& body) {
+    body.dcase({"A"},
+               {{{TypePattern{p_block()}},
+                 [](ProgramBuilder& arm) {
+                   arm.distribute("A", cyclicT(2));
+                 }},
+                {{TypePattern{p_cyclic_any()}},
+                 [](ProgramBuilder& arm) {
+                   arm.distribute("A", blockT());
+                 }}});
+  });
+  b.use({"A"}, "end");
+  Program p = b.build();
+  auto r = analyze_reaching(p);  // must reach a fixpoint
+  const auto& d = r.plausible(p.find_label("end"), "A");
+  EXPECT_EQ(d.types.size(), 2u);
+  EXPECT_FALSE(d.undistributed);
+}
+
+TEST(ArmRefinement, SecondArmSeesFirstArmFailure) {
+  // Semantically, arm 2 runs only if arm 1 failed; our analysis refines
+  // each arm only by its own pattern (no negative information), so arm 2's
+  // body still sees both plausible types -- documented conservatism.
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .initial = blockT()})
+      .if_else([](ProgramBuilder& t) { t.distribute("A", cyclicT(2)); })
+      .dcase({"A"}, {{{TypePattern::wildcard()},
+                      [](ProgramBuilder& arm) { arm.use({"A"}, "arm1"); }},
+                     {{TypePattern{p_cyclic_any()}},
+                      [](ProgramBuilder& arm) { arm.use({"A"}, "arm2"); }}});
+  Program p = b.build();
+  auto r = analyze_reaching(p);
+  EXPECT_EQ(r.plausible(p.find_label("arm1"), "A").types.size(), 2u);
+  EXPECT_EQ(r.plausible(p.find_label("arm2"), "A").types.size(), 1u);
+}
+
+TEST(PartialEvalExtra, PicShapedProgram) {
+  // The Figure 2 structure: FIELD starts BLOCK, is B_BLOCK after balance,
+  // and inside the loop either stays or is re-B_BLOCKed.  A dcase
+  // dispatching on GEN_BLOCK is Always after the initial distribute.
+  const AbstractDist genT = TypePattern{p_gen_block()};
+  ProgramBuilder b;
+  b.declare({.name = "FIELD",
+             .rank = 1,
+             .dynamic = true,
+             .range = {TypePattern{p_block()}, TypePattern{p_gen_block()}},
+             .initial = blockT()})
+      .distribute("FIELD", genT)
+      .loop([&](ProgramBuilder& body) {
+        body.use({"FIELD"}, "step");
+        body.if_else(
+            [&](ProgramBuilder& t) { t.distribute("FIELD", genT); });
+      })
+      .dcase({"FIELD"}, {{{TypePattern{p_gen_block()}}, nullptr},
+                         {{TypePattern{p_block()}}, nullptr}});
+  Program p = b.build();
+  auto r = analyze_reaching(p);
+  const auto& at_step = r.plausible(p.find_label("step"), "FIELD");
+  ASSERT_EQ(at_step.types.size(), 1u);
+  EXPECT_EQ(at_step.types[0], genT);
+  auto report = partial_eval(p, r);
+  ASSERT_EQ(report.dcases.size(), 1u);
+  EXPECT_EQ(report.dcases[0].arms[0], ArmVerdict::Always);
+  EXPECT_EQ(report.dcases[0].arms[1], ArmVerdict::Never);
+}
+
+TEST(PartialEvalExtra, EvalIdtOnRangeBoundedCall) {
+  // After an opaque call, RANGE keeps an IDT query partially evaluable.
+  ProgramBuilder b;
+  b.declare({.name = "A",
+             .rank = 2,
+             .dynamic = true,
+             .range = {TypePattern{p_col(), p_block()},
+                       TypePattern{p_block(), p_col()}},
+             .initial = TypePattern{p_col(), p_block()}})
+      .call_unknown({"A"})
+      .use({"A"}, "q");
+  Program p = b.build();
+  auto r = analyze_reaching(p);
+  const auto& d = r.plausible(p.find_label("q"), "A");
+  // IDT(A, (BLOCK, BLOCK)) can never match within the range.
+  EXPECT_EQ(eval_idt(d, TypePattern{p_block(), p_block()}),
+            ArmVerdict::Never);
+  // IDT(A, (*, *)) always matches.
+  EXPECT_EQ(eval_idt(d, TypePattern{any_dim(), any_dim()}),
+            ArmVerdict::Always);
+  // IDT(A, (:, BLOCK)) might.
+  EXPECT_EQ(eval_idt(d, TypePattern{p_col(), p_block()}), ArmVerdict::Maybe);
+}
+
+TEST(Builder, FindLabelAndStructure) {
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .initial = blockT()})
+      .use({"A"}, "only");
+  Program p = b.build();
+  EXPECT_NO_THROW((void)p.find_label("only"));
+  EXPECT_THROW((void)p.find_label("missing"), std::invalid_argument);
+  // Entry has no predecessors; exit has no successors.
+  EXPECT_TRUE(p.node(p.entry()).preds.empty());
+  EXPECT_TRUE(p.node(p.exit()).succs.empty());
+}
+
+}  // namespace
+}  // namespace vf::compile

@@ -1,0 +1,194 @@
+// Tests for the interprocedural reaching-distribution analysis
+// (Section 3.1): procedure summaries, CallProc transfer, and the contrast
+// with CallUnknown's range/worst-case assumptions.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "vf/compile/parteval.hpp"
+
+namespace vf::compile {
+namespace {
+
+using query::p_block;
+using query::p_col;
+using query::p_cyclic;
+using query::p_cyclic_any;
+using query::TypePattern;
+
+AbstractDist blockT() { return TypePattern{p_block()}; }
+AbstractDist cyclicT(dist::Index k) { return TypePattern{p_cyclic(k)}; }
+
+/// A procedure SOLVE(X) whose dummy X is declared (CYCLIC(2)) and which
+/// leaves X that way.
+ProcedureDecl make_identity_proc() {
+  ProgramBuilder b;
+  b.declare({.name = "X", .rank = 1, .dynamic = true})
+      .use({"X"}, "inside");
+  auto body = std::make_shared<const Program>(b.build());
+  return ProcedureDecl{
+      .name = "SOLVE",
+      .formals = {{.array = "X", .entry = cyclicT(2)}},
+      .body = body};
+}
+
+/// A procedure REMAP(X) that redistributes its inherited formal to BLOCK.
+ProcedureDecl make_remapping_proc() {
+  ProgramBuilder b;
+  b.declare({.name = "X", .rank = 1, .dynamic = true})
+      .distribute("X", blockT());
+  auto body = std::make_shared<const Program>(b.build());
+  return ProcedureDecl{
+      .name = "REMAP",
+      .formals = {{.array = "X", .entry = std::nullopt}},
+      .body = body};
+}
+
+TEST(Summary, ExplicitDummyKeptAtExit) {
+  const auto summary = summarize_procedure(make_identity_proc());
+  ASSERT_EQ(summary.exit_sets.size(), 1u);
+  ASSERT_EQ(summary.exit_sets[0].types.size(), 1u);
+  EXPECT_EQ(summary.exit_sets[0].types[0], cyclicT(2));
+  EXPECT_FALSE(summary.exit_sets[0].undistributed);
+}
+
+TEST(Summary, RemappingProcedureExitsWithNewDistribution) {
+  const auto summary = summarize_procedure(make_remapping_proc());
+  ASSERT_EQ(summary.exit_sets[0].types.size(), 1u);
+  EXPECT_EQ(summary.exit_sets[0].types[0], blockT());
+}
+
+TEST(Summary, InheritedUntouchedFormalStaysWildcard) {
+  ProgramBuilder b;
+  b.declare({.name = "X", .rank = 1, .dynamic = true}).use({"X"});
+  auto body = std::make_shared<const Program>(b.build());
+  const ProcedureDecl decl{.name = "NOP",
+                           .formals = {{.array = "X", .entry = std::nullopt}},
+                           .body = body};
+  const auto summary = summarize_procedure(decl);
+  EXPECT_TRUE(summary.exit_sets[0].is_widened());
+}
+
+TEST(Summary, ConditionalRemapYieldsBothTypes) {
+  ProgramBuilder b;
+  b.declare({.name = "X", .rank = 1, .dynamic = true})
+      .if_else([](ProgramBuilder& t) { t.distribute("X", cyclicT(4)); });
+  auto body = std::make_shared<const Program>(b.build());
+  const ProcedureDecl decl{.name = "MAYBE",
+                           .formals = {{.array = "X", .entry = blockT()}},
+                           .body = body};
+  const auto summary = summarize_procedure(decl);
+  EXPECT_EQ(summary.exit_sets[0].types.size(), 2u);  // BLOCK or CYCLIC(4)
+}
+
+TEST(CallProc, CalleeEffectFlowsToActual) {
+  // Vienna Fortran: the callee's exit distribution is returned.
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .initial = blockT()});
+  const int solve = b.declare_procedure(make_identity_proc());
+  b.use({"A"}, "before").call_proc(solve, {"A"}).use({"A"}, "after");
+  Program p = b.build();
+  auto r = analyze_reaching(p);
+  EXPECT_EQ(r.plausible(p.find_label("before"), "A").types[0], blockT());
+  const auto& after = r.plausible(p.find_label("after"), "A");
+  ASSERT_EQ(after.types.size(), 1u);
+  EXPECT_EQ(after.types[0], cyclicT(2));
+}
+
+TEST(CallProc, PrecisionBeatsCallUnknown) {
+  // The same call through the opaque-call model loses the exact type.
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .initial = blockT()});
+  const int solve = b.declare_procedure(make_identity_proc());
+  b.call_proc(solve, {"A"}).use({"A"}, "known");
+  b.call_unknown({"A"}).use({"A"}, "unknown");
+  Program p = b.build();
+  auto r = analyze_reaching(p);
+  EXPECT_FALSE(r.plausible(p.find_label("known"), "A").is_widened());
+  EXPECT_TRUE(r.plausible(p.find_label("unknown"), "A").is_widened());
+}
+
+TEST(CallProc, EnablesDcasePartialEvaluation) {
+  // After an analysable call the dcase over the actual is fully decided;
+  // after an opaque one it is not.
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .initial = blockT()});
+  const int solve = b.declare_procedure(make_identity_proc());
+  b.call_proc(solve, {"A"});
+  b.dcase({"A"}, {{{TypePattern{p_cyclic_any()}}, nullptr},
+                  {{TypePattern{p_block()}}, nullptr}});
+  Program p = b.build();
+  auto report = partial_eval(p, analyze_reaching(p));
+  ASSERT_EQ(report.dcases.size(), 1u);
+  EXPECT_EQ(report.dcases[0].arms[0], ArmVerdict::Always);
+  EXPECT_EQ(report.dcases[0].arms[1], ArmVerdict::Never);
+}
+
+TEST(CallProc, MultipleFormalsBoundPositionally) {
+  ProgramBuilder body_b;
+  body_b.declare({.name = "X", .rank = 1, .dynamic = true})
+      .declare({.name = "Y", .rank = 1, .dynamic = true})
+      .distribute("Y", cyclicT(3));
+  auto body = std::make_shared<const Program>(body_b.build());
+  const ProcedureDecl decl{
+      .name = "TWO",
+      .formals = {{.array = "X", .entry = blockT()},
+                  {.array = "Y", .entry = std::nullopt}},
+      .body = body};
+
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .initial = cyclicT(9)})
+      .declare({.name = "B", .rank = 1, .dynamic = true, .initial = blockT()});
+  const int two = b.declare_procedure(decl);
+  b.call_proc(two, {"A", "B"}).use({"A", "B"}, "after");
+  Program p = b.build();
+  auto r = analyze_reaching(p);
+  // A was bound to the BLOCK dummy and returned that way.
+  EXPECT_EQ(r.plausible(p.find_label("after"), "A").types[0], blockT());
+  // B was remapped by the callee.
+  EXPECT_EQ(r.plausible(p.find_label("after"), "B").types[0], cyclicT(3));
+}
+
+TEST(CallProc, ValidationErrors) {
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .initial = blockT()});
+  const int solve = b.declare_procedure(make_identity_proc());
+  EXPECT_THROW(b.call_proc(solve, {"A", "A"}), std::invalid_argument);
+  EXPECT_THROW(b.call_proc(solve, {"Z"}), std::invalid_argument);
+  // Formal must be declared in the body.
+  ProgramBuilder body_b;
+  body_b.declare({.name = "X", .rank = 1, .dynamic = true});
+  auto body = std::make_shared<const Program>(body_b.build());
+  EXPECT_THROW(b.declare_procedure(ProcedureDecl{
+                   .name = "BAD",
+                   .formals = {{.array = "NOT_THERE", .entry = {}}},
+                   .body = body}),
+               std::invalid_argument);
+}
+
+TEST(CallProc, NestedProcedureCalls) {
+  // outer calls inner; the chain of summaries composes.
+  ProgramBuilder inner_b;
+  inner_b.declare({.name = "X", .rank = 1, .dynamic = true})
+      .distribute("X", cyclicT(7));
+  auto inner_body = std::make_shared<const Program>(inner_b.build());
+  const ProcedureDecl inner{.name = "INNER",
+                            .formals = {{.array = "X", .entry = std::nullopt}},
+                            .body = inner_body};
+
+  ProgramBuilder outer_b;
+  outer_b.declare({.name = "Y", .rank = 1, .dynamic = true});
+  const int inner_idx = outer_b.declare_procedure(inner);
+  outer_b.call_proc(inner_idx, {"Y"});
+  auto outer_body = std::make_shared<const Program>(outer_b.build());
+  const ProcedureDecl outer{.name = "OUTER",
+                            .formals = {{.array = "Y", .entry = blockT()}},
+                            .body = outer_body};
+
+  const auto summary = summarize_procedure(outer);
+  ASSERT_EQ(summary.exit_sets[0].types.size(), 1u);
+  EXPECT_EQ(summary.exit_sets[0].types[0], cyclicT(7));
+}
+
+}  // namespace
+}  // namespace vf::compile

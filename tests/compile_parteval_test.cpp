@@ -1,0 +1,196 @@
+// Tests for partial evaluation of distribution queries (paper Section 3.1):
+// DCASE arm verdicts, redundant DISTRIBUTE detection, RANGE diagnostics and
+// use-before-distribution reporting.
+#include <gtest/gtest.h>
+
+#include "vf/compile/parteval.hpp"
+
+namespace vf::compile {
+namespace {
+
+using query::any_dim;
+using query::p_block;
+using query::p_col;
+using query::p_cyclic;
+using query::p_cyclic_any;
+using query::TypePattern;
+
+AbstractDist blockT() { return TypePattern{p_block()}; }
+AbstractDist cyclicT(dist::Index k) { return TypePattern{p_cyclic(k)}; }
+
+TEST(EvalIdt, ThreeWayVerdicts) {
+  DistSet s;
+  s.add(blockT());
+  EXPECT_EQ(eval_idt(s, TypePattern{p_block()}), ArmVerdict::Always);
+  EXPECT_EQ(eval_idt(s, TypePattern{p_cyclic_any()}), ArmVerdict::Never);
+  s.add(cyclicT(2));
+  EXPECT_EQ(eval_idt(s, TypePattern{p_block()}), ArmVerdict::Maybe);
+  EXPECT_EQ(eval_idt(s, TypePattern::wildcard()), ArmVerdict::Always);
+}
+
+TEST(EvalIdt, UndistributedBlocksAlways) {
+  DistSet s;
+  s.undistributed = true;
+  s.add(blockT());
+  EXPECT_EQ(eval_idt(s, TypePattern{p_block()}), ArmVerdict::Maybe);
+}
+
+TEST(PartialEval, DeadAndAlwaysArms) {
+  // A is either CYCLIC(2) or CYCLIC(4): a BLOCK arm is dead; a CYCLIC(*)
+  // arm always fires (as the first live arm).
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .initial = cyclicT(2)})
+      .if_else([](ProgramBuilder& t) { t.distribute("A", cyclicT(4)); })
+      .dcase({"A"}, {{{TypePattern{p_block()}}, nullptr},
+                     {{TypePattern{p_cyclic_any()}}, nullptr},
+                     {{TypePattern{any_dim()}}, nullptr}});
+  Program p = b.build();
+  auto report = partial_eval(p, analyze_reaching(p));
+  ASSERT_EQ(report.dcases.size(), 1u);
+  const auto& arms = report.dcases[0].arms;
+  ASSERT_EQ(arms.size(), 3u);
+  EXPECT_EQ(arms[0], ArmVerdict::Never);
+  EXPECT_EQ(arms[1], ArmVerdict::Always);
+  EXPECT_EQ(arms[2], ArmVerdict::Never);  // shadowed by the Always arm
+}
+
+TEST(PartialEval, MaybeArmsWhenSetsOverlap) {
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .initial = blockT()})
+      .if_else([](ProgramBuilder& t) { t.distribute("A", cyclicT(2)); })
+      .dcase({"A"}, {{{TypePattern{p_block()}}, nullptr},
+                     {{TypePattern{p_cyclic_any()}}, nullptr}});
+  Program p = b.build();
+  auto report = partial_eval(p, analyze_reaching(p));
+  const auto& arms = report.dcases[0].arms;
+  EXPECT_EQ(arms[0], ArmVerdict::Maybe);
+  EXPECT_EQ(arms[1], ArmVerdict::Maybe);
+}
+
+TEST(PartialEval, DefaultArmAlwaysWhenOthersDead) {
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .initial = blockT()})
+      .dcase({"A"}, {{{TypePattern{p_cyclic_any()}}, nullptr}},
+             [](ProgramBuilder&) {});
+  Program p = b.build();
+  auto report = partial_eval(p, analyze_reaching(p));
+  const auto& arms = report.dcases[0].arms;
+  ASSERT_EQ(arms.size(), 2u);
+  EXPECT_EQ(arms[0], ArmVerdict::Never);
+  EXPECT_EQ(arms[1], ArmVerdict::Always);  // DEFAULT
+}
+
+TEST(PartialEval, MultiSelectorArmNeedsAllSelectors) {
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .initial = blockT()})
+      .declare(
+          {.name = "B", .rank = 1, .dynamic = true, .initial = cyclicT(3)})
+      .dcase({"A", "B"},
+             {{{TypePattern{p_block()}, TypePattern{p_block()}}, nullptr},
+              {{TypePattern{p_block()}, TypePattern{p_cyclic(3)}}, nullptr}});
+  Program p = b.build();
+  auto report = partial_eval(p, analyze_reaching(p));
+  const auto& arms = report.dcases[0].arms;
+  EXPECT_EQ(arms[0], ArmVerdict::Never);   // B is never BLOCK
+  EXPECT_EQ(arms[1], ArmVerdict::Always);  // both selectors certain
+}
+
+TEST(PartialEval, RedundantDistributeDetected) {
+  // The second DISTRIBUTE BLOCK is provably a no-op: the compile-time
+  // counterpart of the Section 3.2.2 rule "data motion is suppressed where
+  // data flow analysis ... permits".
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .initial = blockT()})
+      .distribute("A", blockT())
+      .distribute("A", cyclicT(2))
+      .distribute("A", cyclicT(2));
+  Program p = b.build();
+  auto report = partial_eval(p, analyze_reaching(p));
+  EXPECT_EQ(report.redundant_distributes.size(), 2u);
+}
+
+TEST(PartialEval, UnknownParameterIsNotRedundant) {
+  // CYCLIC(*) -> CYCLIC(*) cannot be proved redundant (parameters may
+  // differ at runtime).
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .initial = blockT()})
+      .distribute("A", TypePattern{p_cyclic_any()})
+      .distribute("A", TypePattern{p_cyclic_any()});
+  Program p = b.build();
+  auto report = partial_eval(p, analyze_reaching(p));
+  EXPECT_TRUE(report.redundant_distributes.empty());
+}
+
+TEST(PartialEval, BranchKillsRedundancy) {
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .initial = blockT()})
+      .if_else([](ProgramBuilder& t) { t.distribute("A", cyclicT(2)); })
+      .distribute("A", blockT());  // not redundant: CYCLIC(2) may hold
+  Program p = b.build();
+  auto report = partial_eval(p, analyze_reaching(p));
+  EXPECT_TRUE(report.redundant_distributes.empty());
+}
+
+TEST(PartialEval, PossibleRangeViolationFlagged) {
+  ProgramBuilder b;
+  b.declare({.name = "A",
+             .rank = 1,
+             .dynamic = true,
+             .range = {TypePattern{p_block()}},
+             .initial = blockT()})
+      .distribute("A", cyclicT(2));
+  Program p = b.build();
+  auto report = partial_eval(p, analyze_reaching(p));
+  ASSERT_EQ(report.possible_range_violations.size(), 1u);
+  EXPECT_EQ(report.possible_range_violations[0].second, "A");
+}
+
+TEST(PartialEval, InRangeDistributeNotFlagged) {
+  ProgramBuilder b;
+  b.declare({.name = "A",
+             .rank = 1,
+             .dynamic = true,
+             .range = {TypePattern{p_block()}, TypePattern{p_cyclic_any()}},
+             .initial = blockT()})
+      .distribute("A", cyclicT(2));
+  Program p = b.build();
+  auto report = partial_eval(p, analyze_reaching(p));
+  EXPECT_TRUE(report.possible_range_violations.empty());
+}
+
+TEST(PartialEval, UseBeforeDistributionReported) {
+  ProgramBuilder b;
+  b.declare({.name = "B1", .rank = 1, .dynamic = true})
+      .use({"B1"}, "early")
+      .distribute("B1", blockT())
+      .use({"B1"}, "late");
+  Program p = b.build();
+  auto report = partial_eval(p, analyze_reaching(p));
+  ASSERT_EQ(report.use_before_distribution.size(), 1u);
+  EXPECT_EQ(report.use_before_distribution[0].first, p.find_label("early"));
+}
+
+TEST(PartialEval, AdiPatternStaysPrecise) {
+  // The Figure 1 structure: V starts (:, BLOCK), sweeps, remap to
+  // (BLOCK, :), sweeps.  At each sweep the analysis knows the exact
+  // distribution, so a dcase over V is fully evaluable.
+  const AbstractDist colblock = TypePattern{p_col(), p_block()};
+  const AbstractDist blockcol = TypePattern{p_block(), p_col()};
+  ProgramBuilder b;
+  b.declare({.name = "V", .rank = 2, .dynamic = true, .initial = colblock})
+      .use({"V"}, "xsweep")
+      .distribute("V", blockcol)
+      .use({"V"}, "ysweep")
+      .dcase({"V"}, {{{TypePattern{p_col(), p_block()}}, nullptr},
+                     {{TypePattern{p_block(), p_col()}}, nullptr}});
+  Program p = b.build();
+  auto r = analyze_reaching(p);
+  EXPECT_EQ(r.plausible(p.find_label("xsweep"), "V").types[0], colblock);
+  EXPECT_EQ(r.plausible(p.find_label("ysweep"), "V").types[0], blockcol);
+  auto report = partial_eval(p, r);
+  EXPECT_EQ(report.dcases[0].arms[0], ArmVerdict::Never);
+  EXPECT_EQ(report.dcases[0].arms[1], ArmVerdict::Always);
+}
+
+}  // namespace
+}  // namespace vf::compile

@@ -1,0 +1,197 @@
+// Tests for the reaching-distribution analysis (paper Section 3.1): the
+// plausible-distribution sets computed at array references.
+#include <gtest/gtest.h>
+
+#include "vf/compile/reaching.hpp"
+
+namespace vf::compile {
+namespace {
+
+using query::any_dim;
+using query::p_block;
+using query::p_col;
+using query::p_cyclic;
+using query::p_cyclic_any;
+using query::TypePattern;
+
+AbstractDist blockT() { return TypePattern{p_block()}; }
+AbstractDist cyclicT(dist::Index k) { return TypePattern{p_cyclic(k)}; }
+AbstractDist cyclicAnyT() { return TypePattern{p_cyclic_any()}; }
+
+TEST(Reaching, StraightLineStrongUpdate) {
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .initial = blockT()})
+      .use({"A"}, "u1")
+      .distribute("A", cyclicT(2))
+      .use({"A"}, "u2");
+  Program p = b.build();
+  auto r = analyze_reaching(p);
+
+  const auto& before = r.plausible(p.find_label("u1"), "A");
+  ASSERT_EQ(before.types.size(), 1u);
+  EXPECT_EQ(before.types[0], blockT());
+  EXPECT_FALSE(before.undistributed);
+
+  const auto& after = r.plausible(p.find_label("u2"), "A");
+  ASSERT_EQ(after.types.size(), 1u);
+  EXPECT_EQ(after.types[0], cyclicT(2));
+}
+
+TEST(Reaching, UndistributedUntilFirstDistribute) {
+  ProgramBuilder b;
+  b.declare({.name = "B1", .rank = 1, .dynamic = true})
+      .use({"B1"}, "early")
+      .distribute("B1", blockT())
+      .use({"B1"}, "late");
+  Program p = b.build();
+  auto r = analyze_reaching(p);
+  EXPECT_TRUE(r.plausible(p.find_label("early"), "B1").undistributed);
+  EXPECT_FALSE(r.plausible(p.find_label("late"), "B1").undistributed);
+}
+
+TEST(Reaching, BranchesMergeBothDistributions) {
+  // if (...) DISTRIBUTE A :: CYCLIC(2) else DISTRIBUTE A :: CYCLIC(4);
+  // both reach the use -- the situation Section 2.5 says dcase handles.
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .initial = blockT()})
+      .if_else([](ProgramBuilder& t) { t.distribute("A", cyclicT(2)); },
+               [](ProgramBuilder& e) { e.distribute("A", cyclicT(4)); })
+      .use({"A"}, "merged");
+  Program p = b.build();
+  auto r = analyze_reaching(p);
+  const auto& d = r.plausible(p.find_label("merged"), "A");
+  EXPECT_EQ(d.types.size(), 2u);
+  EXPECT_NE(std::find(d.types.begin(), d.types.end(), cyclicT(2)),
+            d.types.end());
+  EXPECT_NE(std::find(d.types.begin(), d.types.end(), cyclicT(4)),
+            d.types.end());
+}
+
+TEST(Reaching, EmptyElseKeepsOriginal) {
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .initial = blockT()})
+      .if_else([](ProgramBuilder& t) { t.distribute("A", cyclicT(2)); })
+      .use({"A"}, "after");
+  Program p = b.build();
+  auto r = analyze_reaching(p);
+  const auto& d = r.plausible(p.find_label("after"), "A");
+  EXPECT_EQ(d.types.size(), 2u);  // BLOCK (fall-through) + CYCLIC(2)
+}
+
+TEST(Reaching, LoopMergesBackEdge) {
+  // DO ... DISTRIBUTE A :: CYCLIC(3) ... ENDDO: inside and after the loop
+  // both the initial and the loop distribution are plausible.
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .initial = blockT()})
+      .loop([](ProgramBuilder& body) {
+        body.use({"A"}, "inside").distribute("A", cyclicT(3));
+      })
+      .use({"A"}, "after");
+  Program p = b.build();
+  auto r = analyze_reaching(p);
+  const auto& inside = r.plausible(p.find_label("inside"), "A");
+  EXPECT_EQ(inside.types.size(), 2u);
+  const auto& after = r.plausible(p.find_label("after"), "A");
+  EXPECT_EQ(after.types.size(), 2u);
+}
+
+TEST(Reaching, RuntimeValuedParameterIsAbstract) {
+  // K = expr; DISTRIBUTE B1, B2 :: (CYCLIC(K)) -- Example 3's second
+  // statement: the analysis sees CYCLIC(*).
+  ProgramBuilder b;
+  b.declare({.name = "B1", .rank = 1, .dynamic = true, .initial = blockT()})
+      .distribute("B1", cyclicAnyT())
+      .use({"B1"}, "u");
+  Program p = b.build();
+  auto r = analyze_reaching(p);
+  const auto& d = r.plausible(p.find_label("u"), "B1");
+  ASSERT_EQ(d.types.size(), 1u);
+  EXPECT_EQ(d.types[0], cyclicAnyT());
+}
+
+TEST(Reaching, CallUnknownBoundedByRange) {
+  ProgramBuilder b;
+  b.declare({.name = "A",
+             .rank = 2,
+             .dynamic = true,
+             .range = {TypePattern{p_block(), p_block()},
+                       TypePattern{any_dim(), p_cyclic_any()}},
+             .initial = TypePattern{p_block(), p_block()}})
+      .call_unknown({"A"})
+      .use({"A"}, "after");
+  Program p = b.build();
+  auto r = analyze_reaching(p);
+  const auto& d = r.plausible(p.find_label("after"), "A");
+  EXPECT_EQ(d.types.size(), 2u);  // exactly the RANGE patterns
+  EXPECT_FALSE(d.is_widened());
+}
+
+TEST(Reaching, CallUnknownWithoutRangeWidens) {
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .initial = blockT()})
+      .call_unknown({"A"})
+      .use({"A"}, "after");
+  Program p = b.build();
+  auto r = analyze_reaching(p);
+  EXPECT_TRUE(r.plausible(p.find_label("after"), "A").is_widened());
+}
+
+TEST(Reaching, DCaseArmsRefineSelectors) {
+  // Inside an arm that matched (BLOCK), the plausible set shrinks to the
+  // matching types only.
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .initial = blockT()})
+      .if_else([](ProgramBuilder& t) { t.distribute("A", cyclicT(2)); })
+      .dcase({"A"},
+             {{{TypePattern{p_block()}},
+               [](ProgramBuilder& arm) { arm.use({"A"}, "block_arm"); }},
+              {{TypePattern{p_cyclic_any()}},
+               [](ProgramBuilder& arm) { arm.use({"A"}, "cyclic_arm"); }}});
+  Program p = b.build();
+  auto r = analyze_reaching(p);
+  const auto& ba = r.plausible(p.find_label("block_arm"), "A");
+  ASSERT_EQ(ba.types.size(), 1u);
+  EXPECT_EQ(ba.types[0], blockT());
+  const auto& ca = r.plausible(p.find_label("cyclic_arm"), "A");
+  ASSERT_EQ(ca.types.size(), 1u);
+  EXPECT_EQ(ca.types[0], cyclicT(2));
+}
+
+TEST(Reaching, WideningBoundsSetSize) {
+  // More distinct distributions than kWidenLimit collapse to the wildcard.
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .initial = blockT()});
+  for (int k = 1; k <= 12; ++k) {
+    const dist::Index kk = k;
+    b.if_else([kk](ProgramBuilder& t) { t.distribute("A", cyclicT(kk)); });
+  }
+  b.use({"A"}, "end");
+  Program p = b.build();
+  auto r = analyze_reaching(p);
+  EXPECT_TRUE(r.plausible(p.find_label("end"), "A").is_widened());
+}
+
+TEST(Reaching, IndependentArraysTrackedSeparately) {
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .initial = blockT()})
+      .declare({.name = "B", .rank = 1, .dynamic = true, .initial = cyclicT(1)})
+      .distribute("A", cyclicT(9))
+      .use({"A", "B"}, "u");
+  Program p = b.build();
+  auto r = analyze_reaching(p);
+  EXPECT_EQ(r.plausible(p.find_label("u"), "A").types[0], cyclicT(9));
+  EXPECT_EQ(r.plausible(p.find_label("u"), "B").types[0], cyclicT(1));
+}
+
+TEST(Reaching, UnknownArrayQueryThrows) {
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .initial = blockT()})
+      .use({"A"}, "u");
+  Program p = b.build();
+  auto r = analyze_reaching(p);
+  EXPECT_THROW((void)r.plausible(p.find_label("u"), "Z"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vf::compile

@@ -1,0 +1,168 @@
+// Tests for Alignment and CONSTRUCT (paper Definitions 2 and Section 2.1):
+// the induced distribution of an aligned array must place corresponding
+// elements on the same processor.
+#include <gtest/gtest.h>
+
+#include "vf/dist/alignment.hpp"
+
+namespace vf::dist {
+namespace {
+
+ProcessorSection line(int p) { return ProcessorSection(ProcessorArray::line(p)); }
+ProcessorSection grid(int r, int c) {
+  return ProcessorSection(ProcessorArray::grid(r, c));
+}
+
+TEST(Alignment, ApplyIdentity) {
+  auto a = Alignment::identity(2);
+  EXPECT_EQ(a.apply({3, 4}), (IndexVec{3, 4}));
+}
+
+TEST(Alignment, ApplyPermutationExample1) {
+  // ALIGN D(I,J,K) WITH C(J,I,K): the alignment function maps (i,j,k) in
+  // I^D to (j,i,k) in I^C.
+  auto a = Alignment::permutation(3, {1, 0, 2});
+  EXPECT_EQ(a.apply({1, 2, 3}), (IndexVec{2, 1, 3}));
+}
+
+TEST(Alignment, ApplyOffsetAndConstant) {
+  // A(i) WITH B(i+2, 5)
+  Alignment a(1, {AlignExpr::dim(0, 1, 2), AlignExpr::constant(5)});
+  EXPECT_EQ(a.apply({7}), (IndexVec{9, 5}));
+}
+
+TEST(Alignment, ValidationRejectsBadSpecs) {
+  EXPECT_THROW(Alignment(1, {AlignExpr::dim(1)}), std::invalid_argument);
+  EXPECT_THROW(Alignment(2, {AlignExpr::dim(0, 2)}), std::invalid_argument);
+  EXPECT_THROW(Alignment(1, {AlignExpr::dim(0), AlignExpr::dim(0)}),
+               std::invalid_argument);
+}
+
+/// Checks the fundamental alignment guarantee: "corresponding elements are
+/// guaranteed to reside in the same processor".
+void check_colocation(const Alignment& a, const Distribution& da,
+                      const Distribution& db) {
+  const IndexDomain& dom = da.domain();
+  std::vector<Index> idx(static_cast<std::size_t>(dom.rank()), 0);
+  // Enumerate the whole (small) source domain.
+  const Index n = dom.size();
+  for (Index off = 0; off < n; ++off) {
+    const IndexVec i = dom.delinearize(off);
+    const IndexVec j = a.apply(i);
+    EXPECT_EQ(da.owner_rank(i), db.owner_rank(j))
+        << "source " << i.to_string() << " target " << j.to_string();
+  }
+}
+
+TEST(Construct, IdentityAlignmentReproducesDistribution) {
+  const IndexDomain dom = IndexDomain::of_extents({12, 8});
+  Distribution db(dom, {block(), cyclic(2)}, grid(2, 2));
+  auto a = Alignment::identity(2);
+  Distribution da = a.construct(db, dom);
+  check_colocation(a, da, db);
+  EXPECT_TRUE(da.same_mapping(db));
+}
+
+TEST(Construct, TransposePermutation) {
+  // Example 1: D aligned with C transposed; C distributed (BLOCK, BLOCK, :).
+  const IndexDomain cdom = IndexDomain::of_extents({10, 10, 10});
+  Distribution dc(cdom, {block(), block(), col()}, grid(2, 2));
+  auto a = Alignment::permutation(3, {1, 0, 2});
+  Distribution dd = a.construct(dc, cdom);
+  check_colocation(a, dd, dc);
+  // D's first dimension now follows C's second (BLOCK on proc dim 1).
+  EXPECT_EQ(dd.proc_dim_of(0), 1);
+  EXPECT_EQ(dd.proc_dim_of(1), 0);
+  EXPECT_EQ(dd.proc_dim_of(2), -1);
+}
+
+TEST(Construct, OffsetAlignmentSmallerArray) {
+  // B(1:20) BLOCK; A(1:10) WITH B(i+5).
+  const IndexDomain bdom = IndexDomain::of_extents({20});
+  const IndexDomain adom = IndexDomain::of_extents({10});
+  Distribution db(bdom, {block()}, line(4));
+  Alignment a(1, {AlignExpr::dim(0, 1, 5)});
+  Distribution da = a.construct(db, adom);
+  check_colocation(a, da, db);
+}
+
+TEST(Construct, ConstantPinsProcessorDimension) {
+  // B(8,8) (BLOCK, BLOCK) on 2x2; A(1:8) WITH B(i, 1): A lives on the
+  // processor column owning B(:,1).
+  const IndexDomain bdom = IndexDomain::of_extents({8, 8});
+  const IndexDomain adom = IndexDomain::of_extents({8});
+  Distribution db(bdom, {block(), block()}, grid(2, 2));
+  Alignment a(1, {AlignExpr::dim(0), AlignExpr::constant(1)});
+  Distribution da = a.construct(db, adom);
+  check_colocation(a, da, db);
+  // All of A's owners must be in processor column 0.
+  ProcessorArray r = ProcessorArray::grid(2, 2);
+  for (Index i = 1; i <= 8; ++i) {
+    const IndexVec coords = r.coords_of(da.owner_rank({i}));
+    EXPECT_EQ(coords[1], 1) << "pinned to column 1";
+  }
+}
+
+TEST(Construct, UnmentionedSourceDimCollapses) {
+  // B(1:8) BLOCK; A(8,6) WITH B(i): A's second dimension is collapsed.
+  const IndexDomain bdom = IndexDomain::of_extents({8});
+  const IndexDomain adom = IndexDomain::of_extents({8, 6});
+  Distribution db(bdom, {block()}, line(4));
+  Alignment a(2, {AlignExpr::dim(0)});
+  Distribution da = a.construct(db, adom);
+  check_colocation(a, da, db);
+  EXPECT_EQ(da.proc_dim_of(1), -1);
+  EXPECT_EQ(da.type().dim(1).kind, DimDistKind::Collapsed);
+  // Rows of A are distributed like B, whole rows together.
+  for (Index i = 1; i <= 8; ++i) {
+    const int owner = da.owner_rank({i, 1});
+    for (Index j = 2; j <= 6; ++j) {
+      EXPECT_EQ(da.owner_rank({i, j}), owner);
+    }
+    EXPECT_EQ(owner, db.owner_rank({i}));
+  }
+}
+
+TEST(Construct, ReversalAlignment) {
+  // A(i) WITH B(21-i): stride -1.
+  const IndexDomain bdom = IndexDomain::of_extents({20});
+  Distribution db(bdom, {cyclic(3)}, line(4));
+  Alignment a(1, {AlignExpr::dim(0, -1, 21)});
+  Distribution da = a.construct(db, bdom);
+  check_colocation(a, da, db);
+}
+
+TEST(Construct, CollapsedTargetDimIgnoresSource) {
+  // B(8,8) (BLOCK, :) on line(4); A(8,8) WITH B(j, i) (transpose).
+  // A's dim 1 follows B's dim 0 (BLOCK); A's dim 0 feeds B's collapsed
+  // dim 1 and therefore collapses.
+  const IndexDomain dom = IndexDomain::of_extents({8, 8});
+  Distribution db(dom, {block(), col()}, line(4));
+  auto a = Alignment::permutation(2, {1, 0});
+  Distribution da = a.construct(db, dom);
+  check_colocation(a, da, db);
+  EXPECT_EQ(da.type().dim(0).kind, DimDistKind::Collapsed);
+  EXPECT_EQ(da.type().dim(1).kind, DimDistKind::Block);
+}
+
+TEST(Construct, RankMismatchThrows) {
+  const IndexDomain bdom = IndexDomain::of_extents({8, 8});
+  Distribution db(bdom, {block(), col()}, line(4));
+  auto a = Alignment::identity(1);  // target rank 1 != B's rank 2
+  EXPECT_THROW(a.construct(db, IndexDomain::of_extents({8})),
+               std::invalid_argument);
+}
+
+TEST(Construct, GenBlockAlignment) {
+  const IndexDomain bdom = IndexDomain::of_extents({16});
+  Distribution db(bdom, {s_block({2, 6, 5, 3})}, line(4));
+  Alignment a(1, {AlignExpr::dim(0, 1, 4)});
+  const IndexDomain adom = IndexDomain::of_extents({12});
+  Distribution da = a.construct(db, adom);
+  check_colocation(a, da, db);
+  // Induced type reports general-block sizes over A's own domain.
+  EXPECT_EQ(da.type().dim(0).kind, DimDistKind::GenBlock);
+}
+
+}  // namespace
+}  // namespace vf::dist

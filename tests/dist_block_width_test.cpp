@@ -1,0 +1,117 @@
+// Tests for BLOCK(M): the explicit-width block distribution of the Vienna
+// Fortran specification, plus the descriptor-only no-op DISTRIBUTE path.
+#include <gtest/gtest.h>
+
+#include "spmd_test_util.hpp"
+#include "vf/rt/dist_array.hpp"
+
+namespace vf::dist {
+namespace {
+
+TEST(BlockWidth, ExplicitWidthShiftsBoundaries) {
+  // 10 elements, width 5 on 4 procs: procs 0..1 own 5 each, 2..3 empty.
+  auto m = DimMap::block_width(Range{1, 10}, 4, 5);
+  EXPECT_EQ(m.count_on(0), 5);
+  EXPECT_EQ(m.count_on(1), 5);
+  EXPECT_EQ(m.count_on(2), 0);
+  EXPECT_EQ(m.count_on(3), 0);
+  EXPECT_EQ(m.proc_of(6), 1);
+}
+
+TEST(BlockWidth, MustCoverDomain) {
+  EXPECT_THROW(DimMap::block_width(Range{1, 10}, 2, 4),
+               std::invalid_argument);
+  EXPECT_THROW(DimMap::block_width(Range{1, 10}, 2, 0),
+               std::invalid_argument);
+  EXPECT_NO_THROW(DimMap::block_width(Range{1, 10}, 2, 5));
+}
+
+TEST(BlockWidth, TypeFactoryAndApplication) {
+  Distribution d(IndexDomain::of_extents({12}), {block_width(4)},
+                 ProcessorSection(ProcessorArray::line(4)));
+  EXPECT_EQ(d.local_size(0), 4);
+  EXPECT_EQ(d.local_size(2), 4);
+  EXPECT_EQ(d.local_size(3), 0);
+  EXPECT_EQ(d.type().to_string(), "(BLOCK(4))");
+  EXPECT_THROW((void)block_width(0), std::invalid_argument);
+}
+
+TEST(BlockWidth, OwnershipInvariants) {
+  auto m = DimMap::block_width(Range{1, 17}, 3, 7);
+  Index total = 0;
+  for (int c = 0; c < 3; ++c) total += m.count_on(c);
+  EXPECT_EQ(total, 17);
+  for (Index i = 1; i <= 17; ++i) {
+    const int c = m.proc_of(i);
+    EXPECT_EQ(m.global_of(c, m.local_of(i)), i);
+  }
+}
+
+}  // namespace
+}  // namespace vf::dist
+
+namespace vf::rt {
+namespace {
+
+using dist::DistributionType;
+using dist::IndexDomain;
+using msg::Context;
+using testing::run_checked;
+using testing::SpmdChecker;
+
+TEST(NoopDistribute, DescriptorStillAdoptsRequestedType) {
+  // DISTRIBUTE to a mapping-equivalent type keeps the data in place but
+  // the descriptor (and therefore IDT/DCASE) must see the new type.
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<double> a(env, {.name = "A",
+                              .domain = IndexDomain::of_extents({16}),
+                              .dynamic = true,
+                              .initial = DistributionType{dist::block()}});
+    a.init([](const dist::IndexVec& i) { return 1.0 * i[0]; });
+    ctx.barrier();
+    if (ctx.rank() == 0) ctx.machine().reset_stats();
+    ctx.barrier();
+    // S_BLOCK(4,4,4,4) of 16 on 4 == BLOCK: no data moves...
+    a.distribute(DistributionType{dist::s_block({4, 4, 4, 4})});
+    ctx.barrier();
+    if (ctx.rank() == 0) {
+      ck.check_eq(ctx.machine().total_stats().data_messages,
+                  std::uint64_t{0}, 0, "no data motion");
+    }
+    // ...but the descriptor reflects the request.
+    ck.check_eq(a.distribution().type().dim(0).kind,
+                dist::DimDistKind::GenBlock, ctx.rank(), "adopted type");
+    a.for_owned([&](const dist::IndexVec& i, double& v) {
+      ck.check_eq(v, 1.0 * i[0], ctx.rank(), "data untouched");
+    });
+    // BLOCK(4) is also equivalent here.
+    a.distribute(DistributionType{dist::block_width(4)});
+    ck.check_eq(a.distribution().type().dim(0).block_width, dist::Index{4},
+                ctx.rank(), "explicit width adopted");
+  });
+}
+
+TEST(BlockWidthArray, RedistributeWithExplicitWidth) {
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<int> a(env, {.name = "A",
+                           .domain = IndexDomain::of_extents({12}),
+                           .dynamic = true,
+                           .initial = DistributionType{dist::block()}});
+    a.init([](const dist::IndexVec& i) { return static_cast<int>(i[0]); });
+    // Width 4 blocks pack everything onto the first three processors.
+    a.distribute(DistributionType{dist::block_width(4)});
+    if (ctx.rank() < 3) {
+      ck.check_eq(a.layout().total, dist::Index{4}, ctx.rank(), "4 each");
+    } else {
+      ck.check_eq(a.layout().total, dist::Index{0}, ctx.rank(), "empty");
+    }
+    a.for_owned([&](const dist::IndexVec& i, int& v) {
+      ck.check_eq(v, static_cast<int>(i[0]), ctx.rank(), "values moved");
+    });
+  });
+}
+
+}  // namespace
+}  // namespace vf::rt

@@ -1,0 +1,308 @@
+// Tests for DimMap: the closed-form per-dimension ownership/addressing
+// functions, including property sweeps (TEST_P) over kinds, extents and
+// processor counts -- the invariants every Vienna Fortran distribution
+// must satisfy (paper Definition 1: a distribution is a total function on
+// the index domain).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "vf/dist/dim_map.hpp"
+
+namespace vf::dist {
+namespace {
+
+TEST(DimMapBlock, EvenPartition) {
+  auto m = DimMap::block(Range{1, 100}, 4);
+  EXPECT_EQ(m.nprocs(), 4);
+  EXPECT_EQ(m.proc_of(1), 0);
+  EXPECT_EQ(m.proc_of(25), 0);
+  EXPECT_EQ(m.proc_of(26), 1);
+  EXPECT_EQ(m.proc_of(100), 3);
+  for (int c = 0; c < 4; ++c) EXPECT_EQ(m.count_on(c), 25);
+  EXPECT_EQ(m.local_of(26), 0);
+  EXPECT_EQ(m.local_of(50), 24);
+}
+
+TEST(DimMapBlock, UnevenPartitionUsesCeilWidth) {
+  // 10 elements on 4 procs: width ceil(10/4)=3 -> counts 3,3,3,1.
+  auto m = DimMap::block(Range{1, 10}, 4);
+  EXPECT_EQ(m.count_on(0), 3);
+  EXPECT_EQ(m.count_on(1), 3);
+  EXPECT_EQ(m.count_on(2), 3);
+  EXPECT_EQ(m.count_on(3), 1);
+}
+
+TEST(DimMapBlock, MoreProcsThanElements) {
+  auto m = DimMap::block(Range{1, 3}, 8);
+  Index total = 0;
+  for (int c = 0; c < 8; ++c) total += m.count_on(c);
+  EXPECT_EQ(total, 3);
+  EXPECT_EQ(m.count_on(0), 1);  // width 1
+  EXPECT_EQ(m.count_on(3), 0);
+}
+
+TEST(DimMapBlock, SegmentsAreContiguous) {
+  auto m = DimMap::block(Range{1, 10}, 4);
+  EXPECT_TRUE(m.contiguous());
+  auto s0 = m.segment(0);
+  ASSERT_TRUE(s0);
+  EXPECT_EQ(*s0, Range(1, 3));
+  auto s3 = m.segment(3);
+  ASSERT_TRUE(s3);
+  EXPECT_EQ(*s3, Range(10, 10));
+}
+
+TEST(DimMapBlock, NonUnitLowerBound) {
+  auto m = DimMap::block(Range{-5, 4}, 2);  // 10 elements
+  EXPECT_EQ(m.proc_of(-5), 0);
+  EXPECT_EQ(m.proc_of(-1), 0);
+  EXPECT_EQ(m.proc_of(0), 1);
+  EXPECT_EQ(m.proc_of(4), 1);
+  EXPECT_EQ(m.local_of(0), 0);
+}
+
+TEST(DimMapCyclic, RoundRobin) {
+  auto m = DimMap::cyclic(Range{1, 10}, 3, 1);
+  EXPECT_EQ(m.proc_of(1), 0);
+  EXPECT_EQ(m.proc_of(2), 1);
+  EXPECT_EQ(m.proc_of(3), 2);
+  EXPECT_EQ(m.proc_of(4), 0);
+  EXPECT_EQ(m.count_on(0), 4);  // 1,4,7,10
+  EXPECT_EQ(m.count_on(1), 3);
+  EXPECT_EQ(m.count_on(2), 3);
+  EXPECT_EQ(m.local_of(7), 2);
+  EXPECT_FALSE(m.contiguous());
+  EXPECT_EQ(m.owned_ascending(0), (std::vector<Index>{1, 4, 7, 10}));
+}
+
+TEST(DimMapCyclic, BlockCyclic) {
+  // CYCLIC(2) of 12 on 3 procs: [1,2]->0 [3,4]->1 [5,6]->2 [7,8]->0 ...
+  auto m = DimMap::cyclic(Range{1, 12}, 3, 2);
+  EXPECT_EQ(m.proc_of(2), 0);
+  EXPECT_EQ(m.proc_of(3), 1);
+  EXPECT_EQ(m.proc_of(7), 0);
+  EXPECT_EQ(m.owned_ascending(0), (std::vector<Index>{1, 2, 7, 8}));
+  EXPECT_EQ(m.local_of(8), 3);
+}
+
+TEST(DimMapCyclic, SingleProcIsContiguous) {
+  auto m = DimMap::cyclic(Range{1, 5}, 1, 1);
+  EXPECT_TRUE(m.contiguous());
+  auto s = m.segment(0);
+  ASSERT_TRUE(s);
+  EXPECT_EQ(*s, Range(1, 5));
+}
+
+TEST(DimMapGenBlock, IrregularSegments) {
+  auto m = DimMap::gen_block(Range{1, 10}, {4, 0, 5, 1});
+  EXPECT_EQ(m.proc_of(4), 0);
+  EXPECT_EQ(m.proc_of(5), 2);
+  EXPECT_EQ(m.proc_of(9), 2);
+  EXPECT_EQ(m.proc_of(10), 3);
+  EXPECT_EQ(m.count_on(1), 0);
+  EXPECT_FALSE(m.segment(1).has_value());
+  auto s2 = m.segment(2);
+  ASSERT_TRUE(s2);
+  EXPECT_EQ(*s2, Range(5, 9));
+}
+
+TEST(DimMapGenBlock, RejectsWrongTotal) {
+  EXPECT_THROW(DimMap::gen_block(Range{1, 10}, {4, 4}), std::invalid_argument);
+  EXPECT_THROW(DimMap::gen_block(Range{1, 10}, {11, -1}),
+               std::invalid_argument);
+}
+
+TEST(DimMapCollapsed, SingleOwnerOwnsAll) {
+  auto m = DimMap::collapsed(Range{1, 7});
+  EXPECT_EQ(m.nprocs(), 1);
+  EXPECT_TRUE(m.is_collapsed());
+  EXPECT_EQ(m.count_on(0), 7);
+  EXPECT_EQ(m.proc_of(5), 0);
+  EXPECT_EQ(m.local_of(5), 4);
+}
+
+TEST(DimMap, OutOfDomainAccessesThrow) {
+  auto m = DimMap::block(Range{1, 10}, 2);
+  EXPECT_THROW((void)m.proc_of(0), std::out_of_range);
+  EXPECT_THROW((void)m.proc_of(11), std::out_of_range);
+  EXPECT_THROW((void)m.count_on(2), std::out_of_range);
+  EXPECT_THROW((void)m.global_of(0, 5), std::out_of_range);
+}
+
+TEST(DimMapRealigned, ShiftWithinLargerSpace) {
+  // B(1:20) BLOCK on 4; A(1:10) aligned A(i) WITH B(i+5).
+  auto b = DimMap::block(Range{1, 20}, 4);
+  auto a = b.realigned(Range{1, 10}, 1, 5);
+  // A(i) lives where B(i+5) lives.
+  for (Index i = 1; i <= 10; ++i) {
+    EXPECT_EQ(a.proc_of(i), b.proc_of(i + 5)) << "i=" << i;
+  }
+  // A's elements on proc 1 are those with i+5 in 6..10 -> i in 1..5.
+  EXPECT_EQ(a.count_on(0), 0);
+  EXPECT_EQ(a.count_on(1), 5);
+  EXPECT_EQ(a.count_on(2), 5);
+  EXPECT_EQ(a.count_on(3), 0);
+  EXPECT_EQ(a.local_of(1), 0);
+}
+
+TEST(DimMapRealigned, ReversalStrideMinusOne) {
+  // A(i) WITH B(11-i): A(1)~B(10), A(10)~B(1).
+  auto b = DimMap::block(Range{1, 10}, 2);
+  auto a = b.realigned(Range{1, 10}, -1, 11);
+  EXPECT_EQ(a.proc_of(1), b.proc_of(10));
+  EXPECT_EQ(a.proc_of(10), b.proc_of(1));
+  EXPECT_EQ(a.count_on(0), 5);
+  EXPECT_EQ(a.count_on(1), 5);
+  // Owned sets still enumerate ascending.
+  EXPECT_EQ(a.owned_ascending(1), (std::vector<Index>{1, 2, 3, 4, 5}));
+}
+
+TEST(DimMapRealigned, RejectsOutOfSpaceImage) {
+  auto b = DimMap::block(Range{1, 10}, 2);
+  EXPECT_THROW(b.realigned(Range{1, 10}, 1, 5), std::out_of_range);
+  EXPECT_THROW(b.realigned(Range{1, 10}, 2, 0), std::invalid_argument);
+}
+
+TEST(DimMapRealigned, CyclicWithOffset) {
+  auto b = DimMap::cyclic(Range{1, 30}, 3, 2);
+  auto a = b.realigned(Range{1, 20}, 1, 10);
+  for (Index i = 1; i <= 20; ++i) {
+    EXPECT_EQ(a.proc_of(i), b.proc_of(i + 10)) << "i=" << i;
+  }
+  // local_of must remain a dense 0-based enumeration per proc.
+  for (int c = 0; c < 3; ++c) {
+    auto owned = a.owned_ascending(c);
+    std::set<Index> locals;
+    for (Index g : owned) locals.insert(a.local_of(g));
+    EXPECT_EQ(locals.size(), owned.size());
+    if (!owned.empty()) {
+      EXPECT_EQ(*locals.begin(), 0);
+      EXPECT_EQ(*locals.rbegin(), static_cast<Index>(owned.size()) - 1);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: for every kind/extent/nprocs combination, check the
+// fundamental invariants:
+//   totality: every index has exactly one owner coordinate
+//   density:  local_of is a bijection onto [0, count_on(c))
+//   inverse:  global_of(proc_of(i), local_of(i)) == i
+//   counts:   sum of count_on == extent
+// ---------------------------------------------------------------------------
+
+struct DimMapCase {
+  std::string label;
+  DimMap map;
+  Index extent;
+};
+
+class DimMapProperty : public ::testing::TestWithParam<DimMapCase> {};
+
+TEST_P(DimMapProperty, OwnershipInvariants) {
+  const auto& [label, m, extent] = GetParam();
+  const Range dom = m.dom();
+  ASSERT_EQ(dom.size(), extent);
+
+  Index total = 0;
+  for (int c = 0; c < m.nprocs(); ++c) total += m.count_on(c);
+  EXPECT_EQ(total, extent) << label;
+
+  std::vector<std::set<Index>> locals(static_cast<std::size_t>(m.nprocs()));
+  for (Index i = dom.lo; i <= dom.hi; ++i) {
+    const int c = m.proc_of(i);
+    ASSERT_GE(c, 0) << label;
+    ASSERT_LT(c, m.nprocs()) << label;
+    const Index l = m.local_of(i);
+    ASSERT_GE(l, 0) << label;
+    ASSERT_LT(l, m.count_on(c)) << label << " i=" << i;
+    EXPECT_TRUE(locals[static_cast<std::size_t>(c)].insert(l).second)
+        << label << ": duplicate local index " << l << " on " << c;
+    EXPECT_EQ(m.global_of(c, l), i) << label << " i=" << i;
+  }
+  for (int c = 0; c < m.nprocs(); ++c) {
+    EXPECT_EQ(static_cast<Index>(locals[static_cast<std::size_t>(c)].size()),
+              m.count_on(c))
+        << label;
+  }
+}
+
+TEST_P(DimMapProperty, SegmentsMatchOwnership) {
+  const auto& [label, m, extent] = GetParam();
+  if (!m.contiguous()) return;
+  for (int c = 0; c < m.nprocs(); ++c) {
+    auto seg = m.segment(c);
+    if (m.count_on(c) == 0) {
+      EXPECT_FALSE(seg.has_value()) << label;
+      continue;
+    }
+    ASSERT_TRUE(seg.has_value()) << label;
+    EXPECT_EQ(seg->size(), m.count_on(c)) << label;
+    for (Index i = seg->lo; i <= seg->hi; ++i) {
+      EXPECT_EQ(m.proc_of(i), c) << label;
+    }
+  }
+}
+
+std::vector<DimMapCase> make_cases() {
+  std::vector<DimMapCase> cases;
+  const std::vector<Index> extents = {1, 2, 7, 16, 31, 100};
+  const std::vector<int> procs = {1, 2, 3, 4, 7};
+  for (Index n : extents) {
+    for (int p : procs) {
+      Range dom{1, n};
+      cases.push_back({"BLOCK n=" + std::to_string(n) + " p=" +
+                           std::to_string(p),
+                       DimMap::block(dom, p), n});
+      for (Index k : {Index{1}, Index{2}, Index{5}}) {
+        cases.push_back({"CYCLIC(" + std::to_string(k) + ") n=" +
+                             std::to_string(n) + " p=" + std::to_string(p),
+                         DimMap::cyclic(dom, p, k), n});
+      }
+      // General block: skewed sizes (everything beyond proc 0 split evenly,
+      // remainder to the last).
+      std::vector<Index> sizes(static_cast<std::size_t>(p), 0);
+      Index rest = n;
+      sizes[0] = n / 2;
+      rest -= sizes[0];
+      for (int c = 1; c < p; ++c) {
+        sizes[static_cast<std::size_t>(c)] = rest / (p - c);
+        rest -= sizes[static_cast<std::size_t>(c)];
+      }
+      sizes[static_cast<std::size_t>(p - 1)] += rest;
+      cases.push_back({"GEN_BLOCK n=" + std::to_string(n) + " p=" +
+                           std::to_string(p),
+                       DimMap::gen_block(dom, sizes), n});
+    }
+    cases.push_back({"COLLAPSED n=" + std::to_string(n),
+                     DimMap::collapsed(Range{1, n}), n});
+  }
+  // Realigned variants exercising offsets and reversal.
+  auto base = DimMap::block(Range{1, 64}, 4);
+  cases.push_back({"BLOCK realigned +16",
+                   base.realigned(Range{1, 48}, 1, 16), 48});
+  cases.push_back({"BLOCK realigned reversed",
+                   base.realigned(Range{1, 64}, -1, 65), 64});
+  auto cyc = DimMap::cyclic(Range{1, 64}, 4, 3);
+  cases.push_back({"CYCLIC(3) realigned +7",
+                   cyc.realigned(Range{1, 50}, 1, 7), 50});
+  cases.push_back({"CYCLIC(3) realigned reversed",
+                   cyc.realigned(Range{1, 64}, -1, 65), 64});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, DimMapProperty,
+                         ::testing::ValuesIn(make_cases()),
+                         [](const ::testing::TestParamInfo<DimMapCase>& info) {
+                           std::string s = info.param.label;
+                           for (char& ch : s) {
+                             if (!std::isalnum(static_cast<unsigned char>(ch)))
+                               ch = '_';
+                           }
+                           return s;
+                         });
+
+}  // namespace
+}  // namespace vf::dist

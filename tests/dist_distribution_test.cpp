@@ -1,0 +1,264 @@
+// Tests for Distribution: application of distribution types to arrays and
+// processor sections (paper Section 2.2), ownership, local layout and the
+// loc_map access function (Section 3.2.1).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "vf/dist/distribution.hpp"
+
+namespace vf::dist {
+namespace {
+
+ProcessorSection line(int p) {
+  return ProcessorSection(ProcessorArray::line(p));
+}
+
+ProcessorSection grid(int r, int c) {
+  return ProcessorSection(ProcessorArray::grid(r, c));
+}
+
+TEST(Distribution, Block1D) {
+  Distribution d(IndexDomain::of_extents({100}), {block()}, line(4));
+  EXPECT_EQ(d.owner_rank({1}), 0);
+  EXPECT_EQ(d.owner_rank({25}), 0);
+  EXPECT_EQ(d.owner_rank({26}), 1);
+  EXPECT_EQ(d.owner_rank({100}), 3);
+  EXPECT_EQ(d.local_size(0), 25);
+  EXPECT_EQ(d.local_size(3), 25);
+}
+
+TEST(Distribution, RejectsRankMismatch) {
+  // Expression rank must match array rank.
+  EXPECT_THROW(
+      Distribution(IndexDomain::of_extents({10, 10}), {block()}, line(2)),
+      std::invalid_argument);
+  // Distributed dims must match section free rank.
+  EXPECT_THROW(Distribution(IndexDomain::of_extents({10, 10}),
+                            {block(), block()}, line(2)),
+               std::invalid_argument);
+  EXPECT_THROW(
+      Distribution(IndexDomain::of_extents({10}), {block()}, grid(2, 2)),
+      std::invalid_argument);
+}
+
+TEST(Distribution, Example1FromPaper) {
+  // REAL C(10,10,10) DIST(BLOCK, BLOCK, :) TO R(1:2,1:2)
+  // delta_C(i,j,k) = R(ceil(i/5), ceil(j/5)) for all k.
+  Distribution d(IndexDomain::of_extents({10, 10, 10}),
+                 {block(), block(), col()}, grid(2, 2));
+  ProcessorArray r = ProcessorArray::grid(2, 2);
+  for (Index i : {1, 5, 6, 10}) {
+    for (Index j : {1, 5, 6, 10}) {
+      for (Index k : {1, 10}) {
+        const Index pi = (i + 4) / 5;
+        const Index pj = (j + 4) / 5;
+        EXPECT_EQ(d.owner_rank({i, j, k}), r.machine_rank({pi, pj}))
+            << i << "," << j << "," << k;
+      }
+    }
+  }
+  // Each processor owns a 5x5x10 brick.
+  for (int p = 0; p < 4; ++p) EXPECT_EQ(d.local_size(p), 250);
+}
+
+TEST(Distribution, ColumnDistribution) {
+  // (:, BLOCK): columns spread blockwise, rows local (the ADI layout).
+  Distribution d(IndexDomain::of_extents({8, 8}), {col(), block()}, line(4));
+  for (Index j = 1; j <= 8; ++j) {
+    const int owner = d.owner_rank({1, j});
+    for (Index i = 2; i <= 8; ++i) {
+      EXPECT_EQ(d.owner_rank({i, j}), owner) << "whole column same owner";
+    }
+  }
+  EXPECT_EQ(d.owner_rank({5, 1}), 0);
+  EXPECT_EQ(d.owner_rank({5, 3}), 1);
+  EXPECT_EQ(d.local_size(2), 16);
+}
+
+TEST(Distribution, MixedBlockCyclic) {
+  Distribution d(IndexDomain::of_extents({12, 12}), {block(), cyclic(2)},
+                 grid(3, 2));
+  // dim 0: blocks of 4 onto 3 row-procs; dim 1: cyclic(2) onto 2 col-procs.
+  ProcessorArray r = ProcessorArray::grid(3, 2);
+  EXPECT_EQ(d.owner_rank({1, 1}), r.machine_rank({1, 1}));
+  EXPECT_EQ(d.owner_rank({5, 3}), r.machine_rank({2, 2}));
+  EXPECT_EQ(d.owner_rank({12, 5}), r.machine_rank({3, 1}));
+}
+
+TEST(Distribution, GenBlockFromBounds) {
+  // B_BLOCK(BOUNDS) with BOUNDS = cumulative upper bounds (the PIC usage).
+  Distribution d(IndexDomain::of_extents({10}), {b_block({3, 7, 10})},
+                 line(3));
+  EXPECT_EQ(d.owner_rank({3}), 0);
+  EXPECT_EQ(d.owner_rank({4}), 1);
+  EXPECT_EQ(d.owner_rank({7}), 1);
+  EXPECT_EQ(d.owner_rank({8}), 2);
+  EXPECT_EQ(d.local_size(0), 3);
+  EXPECT_EQ(d.local_size(1), 4);
+  EXPECT_EQ(d.local_size(2), 3);
+}
+
+TEST(Distribution, GenBlockBoundsValidation) {
+  EXPECT_THROW(Distribution(IndexDomain::of_extents({10}),
+                            {b_block({3, 7, 9})}, line(3)),
+               std::invalid_argument);
+  EXPECT_THROW(Distribution(IndexDomain::of_extents({10}),
+                            {b_block({3, 7})}, line(3)),
+               std::invalid_argument);
+}
+
+TEST(Distribution, TotalityAndDisjointness2D) {
+  // Every index point has exactly one owner, and local sizes sum to the
+  // domain size.
+  const IndexDomain dom = IndexDomain::of_extents({9, 14});
+  Distribution d(dom, {cyclic(3), block()}, grid(2, 3));
+  std::map<int, Index> counts;
+  for (Index i = 1; i <= 9; ++i) {
+    for (Index j = 1; j <= 14; ++j) {
+      counts[d.owner_rank({i, j})]++;
+    }
+  }
+  Index total = 0;
+  for (auto& [rank, n] : counts) {
+    EXPECT_EQ(n, d.local_size(rank)) << "rank " << rank;
+    total += n;
+  }
+  EXPECT_EQ(total, dom.size());
+}
+
+TEST(Distribution, LocMapIsDenseBijection) {
+  const IndexDomain dom = IndexDomain::of_extents({7, 11});
+  Distribution d(dom, {block(), cyclic(2)}, grid(2, 2));
+  for (int p = 0; p < 4; ++p) {
+    const LocalLayout L = d.layout_for(p);
+    ASSERT_TRUE(L.member);
+    std::set<Index> offsets;
+    d.for_owned(p, [&](const IndexVec& i) {
+      const Index off = d.local_offset(L, i);
+      EXPECT_GE(off, 0);
+      EXPECT_LT(off, L.total);
+      EXPECT_TRUE(offsets.insert(off).second) << "duplicate offset";
+    });
+    EXPECT_EQ(static_cast<Index>(offsets.size()), L.total);
+  }
+}
+
+TEST(Distribution, ForOwnedVisitsInColumnMajorOrder) {
+  Distribution d(IndexDomain::of_extents({4, 4}), {block(), col()}, line(2));
+  std::vector<IndexVec> visited;
+  d.for_owned(1, [&](const IndexVec& i) { visited.push_back(i); });
+  ASSERT_EQ(visited.size(), 8u);
+  EXPECT_EQ(visited[0], (IndexVec{3, 1}));
+  EXPECT_EQ(visited[1], (IndexVec{4, 1}));
+  EXPECT_EQ(visited[2], (IndexVec{3, 2}));
+  EXPECT_EQ(visited.back(), (IndexVec{4, 4}));
+}
+
+TEST(Distribution, LayoutForNonMemberRank) {
+  ProcessorArray r = ProcessorArray::line(8);
+  ProcessorSection s(r, {SectionDim::all(Range{1, 4})});
+  Distribution d(IndexDomain::of_extents({16}), {block()}, s);
+  EXPECT_EQ(d.local_size(5), 0);
+  EXPECT_FALSE(d.layout_for(5).member);
+  EXPECT_EQ(d.local_size(3), 4);
+}
+
+TEST(Distribution, SectionOffsetsMachineRanks) {
+  // Distribute onto processors 4..7 of an 8-proc line.
+  ProcessorArray r = ProcessorArray::line(8);
+  ProcessorSection s(r, {SectionDim::all(Range{5, 8})});
+  Distribution d(IndexDomain::of_extents({8}), {block()}, s);
+  EXPECT_EQ(d.owner_rank({1}), 4);
+  EXPECT_EQ(d.owner_rank({8}), 7);
+}
+
+TEST(Distribution, SameMappingDetectsNoops) {
+  const IndexDomain dom = IndexDomain::of_extents({24});
+  Distribution a(dom, {block()}, line(4));
+  Distribution b(dom, {block()}, line(4));
+  Distribution c(dom, {cyclic(6)}, line(4));
+  EXPECT_TRUE(a.same_mapping(b));
+  // CYCLIC(6) of 24 on 4 procs: blocks 1-6,7-12,13-18,19-24 -> same
+  // ownership as BLOCK, and same local ordering.
+  EXPECT_TRUE(a.same_mapping(c));
+  Distribution e(dom, {cyclic(1)}, line(4));
+  EXPECT_FALSE(a.same_mapping(e));
+}
+
+TEST(Distribution, RankAffineMatchesOwnerRank) {
+  Distribution d(IndexDomain::of_extents({10, 12}), {block(), cyclic(3)},
+                 grid(2, 3));
+  const auto& a = d.rank_affine();
+  for (Index i = 1; i <= 10; ++i) {
+    for (Index j = 1; j <= 12; ++j) {
+      Index rk = a.base;
+      rk += a.stride[0] * d.dim_map(0).proc_of(i);
+      rk += a.stride[1] * d.dim_map(1).proc_of(j);
+      EXPECT_EQ(static_cast<int>(rk), d.owner_rank({i, j}));
+    }
+  }
+}
+
+// Property sweep: totality + loc_map density for a family of 2-D
+// distributions.
+struct DistCase {
+  std::string label;
+  DistributionType type;
+  int pr, pc;  // processor grid (pc==0 -> line of pr)
+  Index n0, n1;
+};
+
+class DistributionProperty : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistributionProperty, TotalOwnershipAndDenseLocMap) {
+  const auto& tc = GetParam();
+  const IndexDomain dom({Range{1, tc.n0}, Range{1, tc.n1}});
+  ProcessorSection sec =
+      tc.pc == 0 ? line(tc.pr) : grid(tc.pr, tc.pc);
+  Distribution d(dom, tc.type, sec);
+
+  std::map<int, std::set<Index>> per_rank;
+  for (Index i = 1; i <= tc.n0; ++i) {
+    for (Index j = 1; j <= tc.n1; ++j) {
+      const int p = d.owner_rank({i, j});
+      const LocalLayout L = d.layout_for(p);
+      ASSERT_TRUE(L.member);
+      const Index off = d.local_offset(L, {i, j});
+      ASSERT_GE(off, 0) << tc.label;
+      ASSERT_LT(off, L.total) << tc.label;
+      EXPECT_TRUE(per_rank[p].insert(off).second)
+          << tc.label << ": offset collision at (" << i << "," << j << ")";
+    }
+  }
+  Index total = 0;
+  for (auto& [p, offs] : per_rank) {
+    EXPECT_EQ(static_cast<Index>(offs.size()), d.local_size(p)) << tc.label;
+    total += static_cast<Index>(offs.size());
+  }
+  EXPECT_EQ(total, dom.size()) << tc.label;
+}
+
+std::vector<DistCase> dist_cases() {
+  return {
+      {"block_col_line3", {block(), col()}, 3, 0, 10, 7},
+      {"col_block_line3", {col(), block()}, 3, 0, 10, 7},
+      {"cyclic1_col_line4", {cyclic(1), col()}, 4, 0, 13, 5},
+      {"block_block_2x2", {block(), block()}, 2, 2, 9, 9},
+      {"block_cyclic2_2x3", {block(), cyclic(2)}, 2, 3, 8, 13},
+      {"cyclic3_cyclic1_3x2", {cyclic(3), cyclic(1)}, 3, 2, 11, 6},
+      {"genblock_col_line4",
+       {s_block({5, 0, 4, 6}), col()}, 4, 0, 15, 4},
+      {"col_col_line1", {col(), col()}, 1, 0, 6, 6},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(Family, DistributionProperty,
+                         ::testing::ValuesIn(dist_cases()),
+                         [](const ::testing::TestParamInfo<DistCase>& info) {
+                           return info.param.label;
+                         });
+
+}  // namespace
+}  // namespace vf::dist

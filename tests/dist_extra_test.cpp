@@ -1,0 +1,144 @@
+// Additional distribution-layer tests: semantic mapping equality,
+// string renderings, 3-D layouts, and DimMap corner cases.
+#include <gtest/gtest.h>
+
+#include "vf/dist/alignment.hpp"
+#include "vf/dist/distribution.hpp"
+
+namespace vf::dist {
+namespace {
+
+ProcessorSection line(int p) {
+  return ProcessorSection(ProcessorArray::line(p));
+}
+
+TEST(SameMapping, DimMapSemanticEquivalences) {
+  // CYCLIC(k) with one full cycle == BLOCK of the same widths.
+  auto blockm = DimMap::block(Range{1, 24}, 4);
+  auto cyc6 = DimMap::cyclic(Range{1, 24}, 4, 6);
+  EXPECT_TRUE(blockm.same_mapping(cyc6));
+  // GEN_BLOCK with even sizes == BLOCK.
+  auto gb = DimMap::gen_block(Range{1, 24}, {6, 6, 6, 6});
+  EXPECT_TRUE(blockm.same_mapping(gb));
+  // INDIRECT spelling out the block pattern == BLOCK.
+  std::vector<int> owners(24);
+  for (int k = 0; k < 24; ++k) owners[static_cast<std::size_t>(k)] = k / 6;
+  auto ind = DimMap::indirect(Range{1, 24}, owners, 4);
+  EXPECT_TRUE(blockm.same_mapping(ind));
+  // And a genuinely different mapping is detected.
+  auto cyc1 = DimMap::cyclic(Range{1, 24}, 4, 1);
+  EXPECT_FALSE(blockm.same_mapping(cyc1));
+}
+
+TEST(SameMapping, DifferentDomainsNeverEqual) {
+  auto a = DimMap::block(Range{1, 10}, 2);
+  auto b = DimMap::block(Range{1, 12}, 2);
+  EXPECT_FALSE(a.same_mapping(b));
+}
+
+TEST(SameMapping, LocalOrderingMatters) {
+  // Same ownership but different local order: GEN_BLOCK vs an INDIRECT
+  // permutation with identical owners has identical order here, so build
+  // a case via realignment reversal: ownership equal, order reversed.
+  auto fwd = DimMap::block(Range{1, 8}, 2);
+  auto rev = fwd.realigned(Range{1, 8}, -1, 9);
+  // Reversal swaps which half each coordinate owns (1..4 -> coord 1).
+  EXPECT_FALSE(fwd.same_mapping(rev));
+}
+
+TEST(Strings, RenderingsAreInformative) {
+  Distribution d(IndexDomain::of_extents({8, 8}),
+                 {block(), cyclic(2)},
+                 ProcessorSection(ProcessorArray::grid(2, 2)));
+  EXPECT_EQ(d.type().to_string(), "(BLOCK, CYCLIC(2))");
+  EXPECT_NE(d.to_string().find("TO"), std::string::npos);
+  EXPECT_EQ(s_block({1, 2}).to_string(), "S_BLOCK(1,2)");
+  EXPECT_EQ(b_block({4, 8}).to_string(), "B_BLOCK(4,8)");
+  EXPECT_EQ(col().to_string(), ":");
+  EXPECT_EQ(to_string(DimDistKind::Indirect), "INDIRECT");
+}
+
+TEST(ThreeDim, CollapsedMiddleDimension) {
+  Distribution d(IndexDomain::of_extents({4, 6, 8}),
+                 {block(), col(), cyclic(1)},
+                 ProcessorSection(ProcessorArray::grid(2, 2)));
+  // dim 0 -> proc dim 0, dim 2 -> proc dim 1, dim 1 local.
+  EXPECT_EQ(d.proc_dim_of(0), 0);
+  EXPECT_EQ(d.proc_dim_of(1), -1);
+  EXPECT_EQ(d.proc_dim_of(2), 1);
+  Index total = 0;
+  for (int p = 0; p < 4; ++p) total += d.local_size(p);
+  EXPECT_EQ(total, 4 * 6 * 8);
+  // Whole middle dimension colocated.
+  for (Index j = 1; j <= 6; ++j) {
+    EXPECT_EQ(d.owner_rank({1, j, 1}), d.owner_rank({1, 1, 1}));
+  }
+}
+
+TEST(ThreeDim, OwnedInDimAscending) {
+  Distribution d(IndexDomain::of_extents({6, 6, 6}),
+                 {cyclic(1), col(), block()},
+                 ProcessorSection(ProcessorArray::grid(2, 3)));
+  const auto rows = d.owned_in_dim(0, 0);
+  EXPECT_EQ(rows, (std::vector<Index>{1, 3, 5}));
+  const auto mids = d.owned_in_dim(0, 1);
+  EXPECT_EQ(mids.size(), 6u);
+  const auto cols = d.owned_in_dim(0, 2);
+  EXPECT_EQ(cols, (std::vector<Index>{1, 2}));
+}
+
+TEST(DimMapCorners, SingleElementDomain) {
+  auto m = DimMap::block(Range{5, 5}, 3);
+  EXPECT_EQ(m.proc_of(5), 0);
+  EXPECT_EQ(m.count_on(0), 1);
+  EXPECT_EQ(m.count_on(1), 0);
+  EXPECT_EQ(m.local_of(5), 0);
+}
+
+TEST(DimMapCorners, CyclicLargerBlockThanExtent) {
+  auto m = DimMap::cyclic(Range{1, 5}, 4, 100);
+  EXPECT_EQ(m.count_on(0), 5);
+  EXPECT_EQ(m.count_on(1), 0);
+  EXPECT_TRUE(m.contiguous());
+}
+
+TEST(DimMapCorners, GenBlockAllOnOneProc) {
+  auto m = DimMap::gen_block(Range{1, 9}, {0, 9, 0});
+  EXPECT_EQ(m.proc_of(1), 1);
+  EXPECT_EQ(m.proc_of(9), 1);
+  EXPECT_EQ(m.count_on(0), 0);
+  EXPECT_FALSE(m.segment(0).has_value());
+  auto s = m.segment(1);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(*s, Range(1, 9));
+}
+
+TEST(AlignmentExtra, ChainedConstructsCompose) {
+  // C aligned with B aligned with A: constructing C's distribution from
+  // B's constructed distribution keeps three-way colocation.
+  const IndexDomain dom = IndexDomain::of_extents({12});
+  Distribution da(dom, {cyclic(2)}, line(3));
+  Alignment ab(1, {AlignExpr::dim(0, 1, 0)});   // B(i) with A(i)
+  Distribution db = ab.construct(da, dom);
+  Alignment bc(1, {AlignExpr::dim(0, -1, 13)});  // C(i) with B(13-i)
+  Distribution dc = bc.construct(db, dom);
+  for (Index i = 1; i <= 12; ++i) {
+    EXPECT_EQ(dc.owner_rank({i}), da.owner_rank({13 - i})) << i;
+  }
+}
+
+TEST(Distribution, SameMappingAcrossDifferentSections) {
+  // Same type but shifted sections differ.
+  ProcessorArray r = ProcessorArray::line(8);
+  ProcessorSection lo(r, {SectionDim::all(Range{1, 4})});
+  ProcessorSection hi(r, {SectionDim::all(Range{5, 8})});
+  const IndexDomain dom = IndexDomain::of_extents({16});
+  Distribution a(dom, {block()}, lo);
+  Distribution b(dom, {block()}, hi);
+  EXPECT_FALSE(a.same_mapping(b));
+  Distribution c(dom, {block()}, lo);
+  EXPECT_TRUE(a.same_mapping(c));
+}
+
+}  // namespace
+}  // namespace vf::dist

@@ -1,0 +1,151 @@
+// Tests for index domains, ranges and processor arrays/sections.
+#include <gtest/gtest.h>
+
+#include "vf/dist/index.hpp"
+#include "vf/dist/processors.hpp"
+
+namespace vf::dist {
+namespace {
+
+TEST(Range, SizeAndContains) {
+  Range r{3, 7};
+  EXPECT_EQ(r.size(), 5);
+  EXPECT_TRUE(r.contains(3));
+  EXPECT_TRUE(r.contains(7));
+  EXPECT_FALSE(r.contains(2));
+  EXPECT_FALSE(r.contains(8));
+  EXPECT_FALSE(r.empty());
+}
+
+TEST(Range, EmptyWhenHiBelowLo) {
+  Range r{5, 4};
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.size(), 0);
+  EXPECT_FALSE(r.contains(5));
+}
+
+TEST(Range, OfExtentIsOneBased) {
+  Range r = Range::of_extent(10);
+  EXPECT_EQ(r.lo, 1);
+  EXPECT_EQ(r.hi, 10);
+}
+
+TEST(Range, Intersect) {
+  EXPECT_EQ(Range(1, 10).intersect({5, 20}), Range(5, 10));
+  EXPECT_TRUE(Range(1, 3).intersect({5, 9}).empty());
+}
+
+TEST(IndexVec, BasicOps) {
+  IndexVec v{1, 2, 3};
+  EXPECT_EQ(v.size(), 3);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v.at(2), 3);
+  EXPECT_THROW((void)v.at(3), std::out_of_range);
+  v.push_back(9);
+  EXPECT_EQ(v.size(), 4);
+  EXPECT_THROW(v.push_back(1), std::length_error);
+}
+
+TEST(IndexVec, Equality) {
+  EXPECT_EQ((IndexVec{1, 2}), (IndexVec{1, 2}));
+  EXPECT_NE((IndexVec{1, 2}), (IndexVec{1, 2, 3}));
+  EXPECT_NE((IndexVec{1, 2}), (IndexVec{2, 1}));
+}
+
+TEST(IndexVec, Filled) {
+  auto v = IndexVec::filled(3, 7);
+  EXPECT_EQ(v, (IndexVec{7, 7, 7}));
+}
+
+TEST(IndexDomain, SizeAndContains) {
+  IndexDomain d = IndexDomain::of_extents({10, 20});
+  EXPECT_EQ(d.rank(), 2);
+  EXPECT_EQ(d.size(), 200);
+  EXPECT_TRUE(d.contains({1, 1}));
+  EXPECT_TRUE(d.contains({10, 20}));
+  EXPECT_FALSE(d.contains({11, 1}));
+  EXPECT_FALSE(d.contains({1, 0}));
+  EXPECT_FALSE(d.contains({1}));  // rank mismatch
+}
+
+TEST(IndexDomain, LinearizeIsColumnMajorAndInvertible) {
+  IndexDomain d({Range{2, 4}, Range{1, 3}});
+  // Column-major: first dimension fastest.
+  EXPECT_EQ(d.linearize({2, 1}), 0);
+  EXPECT_EQ(d.linearize({3, 1}), 1);
+  EXPECT_EQ(d.linearize({2, 2}), 3);
+  for (Index off = 0; off < d.size(); ++off) {
+    EXPECT_EQ(d.linearize(d.delinearize(off)), off);
+  }
+}
+
+TEST(ProcessorArray, RankMapping) {
+  ProcessorArray r("R", IndexDomain::of_extents({2, 3}));
+  EXPECT_EQ(r.nprocs(), 6);
+  EXPECT_EQ(r.machine_rank({1, 1}), 0);
+  EXPECT_EQ(r.machine_rank({2, 1}), 1);
+  EXPECT_EQ(r.machine_rank({1, 2}), 2);
+  for (int p = 0; p < 6; ++p) {
+    EXPECT_EQ(r.machine_rank(r.coords_of(p)), p);
+  }
+  EXPECT_THROW((void)r.machine_rank({3, 1}), std::out_of_range);
+}
+
+TEST(ProcessorArray, BaseRankOffsetsMachineRanks) {
+  ProcessorArray r("R", IndexDomain::of_extents({4}), /*base_rank=*/2);
+  EXPECT_EQ(r.machine_rank({1}), 2);
+  EXPECT_EQ(r.machine_rank({4}), 5);
+  EXPECT_TRUE(r.contains_rank(2));
+  EXPECT_FALSE(r.contains_rank(1));
+  EXPECT_FALSE(r.contains_rank(6));
+}
+
+TEST(ProcessorSection, WholeArray) {
+  ProcessorArray r = ProcessorArray::grid(2, 2);
+  ProcessorSection s(r);
+  EXPECT_EQ(s.free_rank(), 2);
+  EXPECT_EQ(s.nprocs(), 4);
+  auto ranks = s.machine_ranks();
+  EXPECT_EQ(ranks, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ProcessorSection, FixedDimensionReducesRank) {
+  // R(2, 1:3) of a 2x3 array: one free dimension of extent 3.
+  ProcessorArray r("R", IndexDomain::of_extents({2, 3}));
+  ProcessorSection s(r, {SectionDim::at(2), SectionDim::all(Range{1, 3})});
+  EXPECT_EQ(s.free_rank(), 1);
+  EXPECT_EQ(s.nprocs(), 3);
+  EXPECT_EQ(s.machine_rank({0}), r.machine_rank({2, 1}));
+  EXPECT_EQ(s.machine_rank({2}), r.machine_rank({2, 3}));
+}
+
+TEST(ProcessorSection, SubRange) {
+  ProcessorArray r = ProcessorArray::line(8);
+  ProcessorSection s(r, {SectionDim::all(Range{3, 6})});
+  EXPECT_EQ(s.nprocs(), 4);
+  EXPECT_EQ(s.machine_rank({0}), 2);  // processor R(3) is machine rank 2
+  auto fc = s.free_coords_of(4);
+  ASSERT_TRUE(fc.has_value());
+  EXPECT_EQ((*fc)[0], 2);
+  EXPECT_FALSE(s.free_coords_of(1).has_value());  // outside sub-range
+  EXPECT_FALSE(s.free_coords_of(7).has_value());
+}
+
+TEST(ProcessorSection, FreeCoordsRejectMismatchedFixed) {
+  ProcessorArray r("R", IndexDomain::of_extents({2, 2}));
+  ProcessorSection s(r, {SectionDim::at(1), SectionDim::all(Range{1, 2})});
+  // Machine rank 1 is R(2,1): fixed coordinate 1 != 2 -> not in section.
+  EXPECT_FALSE(s.free_coords_of(1).has_value());
+  EXPECT_TRUE(s.free_coords_of(0).has_value());
+  EXPECT_TRUE(s.free_coords_of(2).has_value());
+}
+
+TEST(ProcessorSection, RejectsOutOfBoundsRange) {
+  ProcessorArray r = ProcessorArray::line(4);
+  EXPECT_THROW(ProcessorSection(r, {SectionDim::all(Range{1, 5})}),
+               std::out_of_range);
+  EXPECT_THROW(ProcessorSection(r, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vf::dist

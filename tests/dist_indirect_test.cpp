@@ -1,0 +1,185 @@
+// Tests for indirect (user-defined) distributions: the Kali-style mapping
+// arrays of Section 5 and the translation-table-backed complex
+// distributions of Section 3.2.1.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "spmd_test_util.hpp"
+#include "vf/dist/alignment.hpp"
+#include "vf/parti/translation_table.hpp"
+#include "vf/rt/dist_array.hpp"
+
+namespace vf::dist {
+namespace {
+
+ProcessorSection line(int p) {
+  return ProcessorSection(ProcessorArray::line(p));
+}
+
+TEST(DimMapIndirect, OwnershipFollowsTable) {
+  std::vector<int> owners = {0, 2, 1, 1, 0, 2, 2, 0};
+  auto m = DimMap::indirect(Range{1, 8}, owners, 3);
+  for (Index i = 1; i <= 8; ++i) {
+    EXPECT_EQ(m.proc_of(i), owners[static_cast<std::size_t>(i - 1)]);
+  }
+  EXPECT_EQ(m.count_on(0), 3);
+  EXPECT_EQ(m.count_on(1), 2);
+  EXPECT_EQ(m.count_on(2), 3);
+}
+
+TEST(DimMapIndirect, LocalIndicesAreDenseAndInvertible) {
+  std::vector<int> owners = {1, 0, 1, 1, 0, 3, 3, 1, 0, 2};
+  auto m = DimMap::indirect(Range{1, 10}, owners, 4);
+  for (int c = 0; c < 4; ++c) {
+    std::set<Index> locals;
+    for (Index i = 1; i <= 10; ++i) {
+      if (m.proc_of(i) != c) continue;
+      const Index l = m.local_of(i);
+      EXPECT_TRUE(locals.insert(l).second);
+      EXPECT_EQ(m.global_of(c, l), i);
+    }
+    EXPECT_EQ(static_cast<Index>(locals.size()), m.count_on(c));
+    if (!locals.empty()) {
+      EXPECT_EQ(*locals.begin(), 0);
+      EXPECT_EQ(*locals.rbegin(), m.count_on(c) - 1);
+    }
+  }
+}
+
+TEST(DimMapIndirect, Validation) {
+  EXPECT_THROW(DimMap::indirect(Range{1, 4}, {0, 1}, 2),
+               std::invalid_argument);
+  EXPECT_THROW(DimMap::indirect(Range{1, 2}, {0, 5}, 2),
+               std::invalid_argument);
+  EXPECT_THROW(DimMap::indirect(Range{1, 2}, {0, -1}, 2),
+               std::invalid_argument);
+}
+
+TEST(DimMapIndirect, RealignedThroughOffset) {
+  std::vector<int> owners(20);
+  for (int k = 0; k < 20; ++k) owners[static_cast<std::size_t>(k)] = k % 3;
+  auto b = DimMap::indirect(Range{1, 20}, owners, 3);
+  auto a = b.realigned(Range{1, 10}, 1, 5);
+  for (Index i = 1; i <= 10; ++i) {
+    EXPECT_EQ(a.proc_of(i), b.proc_of(i + 5));
+  }
+  Index total = 0;
+  for (int c = 0; c < 3; ++c) total += a.count_on(c);
+  EXPECT_EQ(total, 10);
+}
+
+TEST(DistributionIndirect, AppliedThroughType) {
+  std::vector<int> owners = {3, 3, 2, 2, 1, 1, 0, 0};
+  Distribution d(IndexDomain::of_extents({8}), {indirect(owners)}, line(4));
+  EXPECT_EQ(d.owner_rank({1}), 3);
+  EXPECT_EQ(d.owner_rank({8}), 0);
+  EXPECT_EQ(d.local_size(2), 2);
+  EXPECT_EQ(d.type().dim(0).kind, DimDistKind::Indirect);
+}
+
+TEST(DistributionIndirect, MixedWithRegularDims) {
+  std::vector<int> owners = {1, 0, 1, 0, 1, 0};
+  Distribution d(IndexDomain::of_extents({6, 4}), {indirect(owners), block()},
+                 ProcessorSection(ProcessorArray::grid(2, 2)));
+  ProcessorArray r = ProcessorArray::grid(2, 2);
+  EXPECT_EQ(d.owner_rank({1, 1}), r.machine_rank({2, 1}));
+  EXPECT_EQ(d.owner_rank({2, 3}), r.machine_rank({1, 2}));
+  Index total = 0;
+  for (int p = 0; p < 4; ++p) total += d.local_size(p);
+  EXPECT_EQ(total, 24);
+}
+
+TEST(DistributionIndirect, AlignmentConstructsIndirect) {
+  std::vector<int> owners = {0, 1, 2, 3, 0, 1, 2, 3, 3, 2, 1, 0};
+  Distribution db(IndexDomain::of_extents({12}), {indirect(owners)}, line(4));
+  Alignment a(1, {AlignExpr::dim(0, 1, 2)});
+  const IndexDomain adom = IndexDomain::of_extents({10});
+  Distribution da = a.construct(db, adom);
+  EXPECT_EQ(da.type().dim(0).kind, DimDistKind::Indirect);
+  for (Index i = 1; i <= 10; ++i) {
+    EXPECT_EQ(da.owner_rank({i}), db.owner_rank({i + 2}));
+  }
+}
+
+TEST(DistributionIndirect, RandomizedTotalityProperty) {
+  std::mt19937 rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Index n = 1 + static_cast<Index>(rng() % 64);
+    const int p = 1 + static_cast<int>(rng() % 6);
+    std::vector<int> owners(static_cast<std::size_t>(n));
+    for (auto& o : owners) o = static_cast<int>(rng() % p);
+    auto m = DimMap::indirect(Range{1, n}, owners, p);
+    Index total = 0;
+    for (int c = 0; c < p; ++c) total += m.count_on(c);
+    ASSERT_EQ(total, n) << "trial " << trial;
+    for (Index i = 1; i <= n; ++i) {
+      const int c = m.proc_of(i);
+      ASSERT_EQ(m.global_of(c, m.local_of(i)), i) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vf::dist
+
+namespace vf::rt {
+namespace {
+
+using dist::DistributionType;
+using dist::IndexDomain;
+using dist::IndexVec;
+using msg::Context;
+using testing::run_checked;
+using testing::SpmdChecker;
+
+TEST(IndirectArray, RedistributeBetweenIndirectAndBlock) {
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    const IndexDomain dom = IndexDomain::of_extents({24});
+    std::vector<int> owners;
+    for (int k = 0; k < 24; ++k) owners.push_back((k * 7 + 1) % 4);
+    DistArray<double> a(env,
+                        {.name = "A",
+                         .domain = dom,
+                         .dynamic = true,
+                         .initial = DistributionType{dist::indirect(owners)}});
+    a.init([&](const IndexVec& i) { return 3.0 * i[0]; });
+    a.distribute(DistributionType{dist::block()});
+    a.for_owned([&](const IndexVec& i, double& v) {
+      ck.check_eq(v, 3.0 * i[0], ctx.rank(), "indirect->block");
+    });
+    // And back to a different indirect mapping.
+    std::vector<int> owners2;
+    for (int k = 0; k < 24; ++k) owners2.push_back(3 - (k % 4));
+    a.distribute(DistributionType{dist::indirect(owners2)});
+    a.for_owned([&](const IndexVec& i, double& v) {
+      ck.check_eq(v, 3.0 * i[0], ctx.rank(), "block->indirect");
+      ck.check_eq(ctx.rank(), owners2[static_cast<std::size_t>(i[0] - 1)],
+                  ctx.rank(), "owner matches table");
+    });
+  });
+}
+
+TEST(IndirectArray, TranslationTableAgreesWithIndirectDistribution) {
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    const IndexDomain dom = IndexDomain::of_extents({32});
+    std::vector<int> owners;
+    for (int k = 0; k < 32; ++k) owners.push_back((k / 3) % 4);
+    const dist::Distribution d(dom, {dist::indirect(owners)}, env.whole());
+    parti::TranslationTable table(ctx, d);
+    std::vector<dist::Index> queries;
+    for (dist::Index q = 0; q < 32; q += 2) queries.push_back(q);
+    auto result = table.dereference(ctx, queries);
+    for (std::size_t k = 0; k < queries.size(); ++k) {
+      ck.check_eq(result[k],
+                  owners[static_cast<std::size_t>(queries[k])], ctx.rank(),
+                  "table lookup");
+    }
+  });
+}
+
+}  // namespace
+}  // namespace vf::rt

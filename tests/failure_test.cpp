@@ -1,0 +1,194 @@
+// Failure-injection tests: every documented error path of the public API
+// must throw the documented exception type and must not corrupt state that
+// is observable afterwards.
+#include <gtest/gtest.h>
+
+#include "spmd_test_util.hpp"
+#include "vf/compile/parteval.hpp"
+#include "vf/parti/schedule.hpp"
+#include "vf/parti/translation_table.hpp"
+#include "vf/query/dcase.hpp"
+#include "vf/rt/dist_array.hpp"
+
+namespace vf {
+namespace {
+
+using dist::block;
+using dist::cyclic;
+using dist::DistributionType;
+using dist::IndexDomain;
+using msg::Context;
+using rt::DistArray;
+using rt::Env;
+using testing::run_checked;
+using testing::SpmdChecker;
+
+TEST(Failure, EnvRejectsOversizedProcessorArray) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    try {
+      Env env(ctx, dist::ProcessorArray::line(8));  // machine has 2
+      ck.fail("expected invalid_argument");
+    } catch (const std::invalid_argument&) {
+    }
+  });
+}
+
+TEST(Failure, DuplicateGenBlockSizesRejected) {
+  EXPECT_THROW(dist::DimMap::gen_block(dist::Range{1, 4}, {}),
+               std::invalid_argument);
+  EXPECT_THROW((void)dist::s_block({}), std::invalid_argument);
+  EXPECT_THROW((void)dist::b_block({}), std::invalid_argument);
+  EXPECT_THROW((void)dist::b_block({5, 3}), std::invalid_argument);
+  EXPECT_THROW((void)dist::cyclic(0), std::invalid_argument);
+  EXPECT_THROW((void)dist::indirect({}), std::invalid_argument);
+}
+
+TEST(Failure, ArrayStateSurvivesRangeViolation) {
+  // A rejected DISTRIBUTE must leave the old distribution and data intact.
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<double> a(
+        env, {.name = "A",
+              .domain = IndexDomain::of_extents({16}),
+              .dynamic = true,
+              .initial = DistributionType{block()},
+              .range = {query::TypePattern{query::p_block()},
+                        query::TypePattern{query::p_gen_block()}}});
+    a.init([](const dist::IndexVec& i) { return 1.0 * i[0]; });
+    try {
+      a.distribute(DistributionType{cyclic(1)});
+      ck.fail("expected RangeViolationError");
+    } catch (const rt::RangeViolationError&) {
+    }
+    ck.check_eq(a.distribution().type().dim(0).kind, dist::DimDistKind::Block,
+                ctx.rank(), "old descriptor intact");
+    a.for_owned([&](const dist::IndexVec& i, double& v) {
+      ck.check_eq(v, 1.0 * i[0], ctx.rank(), "data intact");
+    });
+    // And the class remains usable afterwards.
+    a.distribute(DistributionType{dist::s_block({4, 4, 4, 4})});
+    a.for_owned([&](const dist::IndexVec& i, double& v) {
+      ck.check_eq(v, 1.0 * i[0], ctx.rank(), "data moves after recovery");
+    });
+  });
+}
+
+TEST(Failure, OrphanedConnectClassRejectsDistribute) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    auto b = std::make_unique<DistArray<int>>(
+        env, DistArray<int>::Spec{.name = "B",
+                                  .domain = IndexDomain::of_extents({8}),
+                                  .dynamic = true,
+                                  .initial = DistributionType{block()}});
+    DistArray<int> a(env,
+                     {.name = "A",
+                      .domain = IndexDomain::of_extents({8}),
+                      .dynamic = true},
+                     rt::Connection::extraction(*b));
+    b.reset();  // primary dies first: the class is orphaned
+    try {
+      a.distribute(DistributionType{cyclic(1)});
+      ck.fail("expected logic_error (orphaned class)");
+    } catch (const std::logic_error&) {
+    }
+  });
+}
+
+TEST(Failure, AccessOutsideDomainThrows) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<int> a(env, {.name = "A",
+                           .domain = IndexDomain::of_extents({8}),
+                           .dynamic = true,
+                           .initial = DistributionType{block()}});
+    try {
+      (void)a.distribution().owner_rank({9});
+      ck.fail("expected out_of_range");
+    } catch (const std::out_of_range&) {
+    }
+    try {
+      (void)a.distribution().owner_rank({0});
+      ck.fail("expected out_of_range");
+    } catch (const std::out_of_range&) {
+    }
+  });
+}
+
+TEST(Failure, ScheduleRejectsOutOfDomainPoints) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<double> a(env, {.name = "A",
+                              .domain = IndexDomain::of_extents({8}),
+                              .dynamic = true,
+                              .initial = DistributionType{block()}});
+    try {
+      parti::Schedule s(ctx, a.distribution(), {{99}});
+      ck.fail("expected out_of_range");
+    } catch (const std::out_of_range&) {
+    }
+    // Both ranks threw before communicating; the machine is still usable.
+    ctx.barrier();
+  });
+}
+
+TEST(Failure, TranslationTableRejectsBadQueries) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    parti::TranslationTable t(ctx, 8, [](dist::Index) { return 0; });
+    try {
+      (void)t.page_owner(8);
+      ck.fail("expected out_of_range");
+    } catch (const std::out_of_range&) {
+    }
+    try {
+      (void)t.page_owner(-1);
+      ck.fail("expected out_of_range");
+    } catch (const std::out_of_range&) {
+    }
+  });
+}
+
+TEST(Failure, DcaseRunWithUndistributedSelectorThrows) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<int> b(env, {.name = "B",
+                           .domain = IndexDomain::of_extents({8}),
+                           .dynamic = true});
+    try {
+      (void)query::dcase({&b}).otherwise([] {}).run();
+      ck.fail("expected NotDistributedError");
+    } catch (const rt::NotDistributedError&) {
+    }
+  });
+}
+
+TEST(Failure, BuilderRejectsUndeclaredArrays) {
+  compile::ProgramBuilder b;
+  EXPECT_THROW(b.distribute("ghost", query::TypePattern::wildcard()),
+               std::invalid_argument);
+  EXPECT_THROW(b.use({"ghost"}), std::invalid_argument);
+  EXPECT_THROW(b.dcase({"ghost"}, {}), std::invalid_argument);
+  b.declare({.name = "A", .rank = 1, .dynamic = true});
+  EXPECT_THROW(b.declare({.name = "A", .rank = 1, .dynamic = true}),
+               std::invalid_argument);
+}
+
+TEST(Failure, AlltoallvSizeMismatchThrows) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    std::vector<std::vector<int>> wrong(1);  // should be nprocs()==2
+    try {
+      (void)ctx.alltoallv(std::move(wrong));
+      ck.fail("expected invalid_argument");
+    } catch (const std::invalid_argument&) {
+    }
+  });
+}
+
+TEST(Failure, IndexVecOverflowThrows) {
+  EXPECT_THROW((dist::IndexVec{1, 2, 3, 4, 5}), std::length_error);
+  EXPECT_THROW(dist::IndexDomain::of_extents({1, 2, 3, 4, 5}),
+               std::length_error);
+}
+
+}  // namespace
+}  // namespace vf

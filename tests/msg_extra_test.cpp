@@ -1,0 +1,158 @@
+// Additional message-layer tests: ordering guarantees, payload edge cases,
+// concurrency stress, and cost-model accounting of the collectives.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "spmd_test_util.hpp"
+#include "vf/msg/spmd.hpp"
+
+namespace vf::msg {
+namespace {
+
+using testing::run_checked;
+using testing::SpmdChecker;
+
+TEST(Ordering, FifoPerSourceAndTag) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    constexpr int kCount = 200;
+    if (ctx.rank() == 0) {
+      for (int k = 0; k < kCount; ++k) ctx.send_value<int>(1, 7, k);
+    } else {
+      for (int k = 0; k < kCount; ++k) {
+        ck.check_eq(ctx.recv_value<int>(0, 7), k, 1, "FIFO order");
+      }
+    }
+  });
+}
+
+TEST(Ordering, InterleavedTagsKeepPerTagOrder) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    if (ctx.rank() == 0) {
+      for (int k = 0; k < 50; ++k) {
+        ctx.send_value<int>(1, k % 2, k);
+      }
+    } else {
+      int prev_even = -1, prev_odd = -1;
+      for (int k = 0; k < 25; ++k) {
+        const int e = ctx.recv_value<int>(0, 0);
+        ck.check(e > prev_even, 1, "even tag order");
+        prev_even = e;
+      }
+      for (int k = 0; k < 25; ++k) {
+        const int o = ctx.recv_value<int>(0, 1);
+        ck.check(o > prev_odd, 1, "odd tag order");
+        prev_odd = o;
+      }
+    }
+  });
+}
+
+TEST(Payload, EmptyMessageRoundTrips) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    if (ctx.rank() == 0) {
+      ctx.send_bytes(1, 0, {});
+    } else {
+      auto b = ctx.recv_bytes(0, 0);
+      ck.check_eq(b.size(), std::size_t{0}, 1, "empty payload");
+    }
+  });
+}
+
+TEST(Payload, LargeMessage) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    constexpr std::size_t kBig = 1 << 20;
+    if (ctx.rank() == 0) {
+      std::vector<std::int64_t> v(kBig);
+      std::iota(v.begin(), v.end(), 0);
+      ctx.send<std::int64_t>(1, 0, v);
+    } else {
+      auto v = ctx.recv<std::int64_t>(0, 0);
+      ck.check_eq(v.size(), kBig, 1, "size");
+      ck.check_eq(v[kBig - 1], static_cast<std::int64_t>(kBig - 1), 1,
+                  "last value");
+    }
+  });
+}
+
+TEST(Payload, StructuredTriviallyCopyableType) {
+  struct Particle {
+    double pos;
+    double vel;
+    std::int32_t cell;
+    std::int32_t pad;
+  };
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    if (ctx.rank() == 0) {
+      ctx.send_value(1, 0, Particle{1.5, -2.5, 42, 0});
+    } else {
+      const auto p = ctx.recv_value<Particle>(0, 0);
+      ck.check_eq(p.pos, 1.5, 1, "pos");
+      ck.check_eq(p.cell, 42, 1, "cell");
+    }
+  });
+}
+
+TEST(Stress, ManyRanksAllToAllRepeated) {
+  run_checked(8, [](Context& ctx, SpmdChecker& ck) {
+    for (int round = 0; round < 5; ++round) {
+      std::vector<std::vector<int>> out(8);
+      for (int d = 0; d < 8; ++d) {
+        out[static_cast<std::size_t>(d)] = {ctx.rank() * 100 + d + round};
+      }
+      auto in = ctx.alltoallv(std::move(out));
+      for (int s = 0; s < 8; ++s) {
+        ck.check_eq(in[static_cast<std::size_t>(s)].at(0),
+                    s * 100 + ctx.rank() + round, ctx.rank(), "round value");
+      }
+    }
+  });
+}
+
+TEST(Stress, MixedPointToPointAndCollectives) {
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    for (int round = 0; round < 20; ++round) {
+      const int next = (ctx.rank() + 1) % 4;
+      const int prev = (ctx.rank() + 3) % 4;
+      ctx.send_value<int>(next, round, ctx.rank());
+      const int sum = ctx.allreduce(1, ReduceOp::Sum);
+      ck.check_eq(sum, 4, ctx.rank(), "collective mid-stream");
+      ck.check_eq(ctx.recv_value<int>(prev, round), prev, ctx.rank(),
+                  "p2p around collective");
+    }
+  });
+}
+
+TEST(Reduce, LogicalOps) {
+  run_checked(3, [](Context& ctx, SpmdChecker& ck) {
+    const int mine = ctx.rank() == 1 ? 0 : 1;
+    ck.check_eq(ctx.allreduce(mine, ReduceOp::LogicalAnd), 0, ctx.rank(),
+                "and");
+    ck.check_eq(ctx.allreduce(mine, ReduceOp::LogicalOr), 1, ctx.rank(),
+                "or");
+  });
+}
+
+TEST(Accounting, CollectiveControlTrafficIsSeparated) {
+  Machine m(4);
+  msg::run_spmd(m, [](Context& ctx) {
+    (void)ctx.allreduce(1.0, ReduceOp::Sum);
+  });
+  const auto s = m.total_stats();
+  EXPECT_EQ(s.data_messages, 0u);
+  EXPECT_GT(s.ctl_messages, 0u);
+  EXPECT_EQ(s.collectives, 4u);
+}
+
+TEST(Accounting, ModeledTimeScalesWithAlphaBeta) {
+  CostModel cheap{.alpha_us = 1.0, .beta_us_per_byte = 0.0};
+  CostModel expensive{.alpha_us = 1000.0, .beta_us_per_byte = 1.0};
+  CommStats s;
+  s.data_messages = 10;
+  s.data_bytes = 1000;
+  EXPECT_DOUBLE_EQ(s.modeled_us(cheap), 10.0);
+  EXPECT_DOUBLE_EQ(s.modeled_us(expensive), 10.0 * 1000 + 1000.0);
+}
+
+}  // namespace
+}  // namespace vf::msg

@@ -1,0 +1,254 @@
+// Tests for the DCASE construct and the IDT intrinsic (paper Section 2.5),
+// including a transcription of the paper's Example 4.
+#include <gtest/gtest.h>
+
+#include "spmd_test_util.hpp"
+#include "vf/query/dcase.hpp"
+#include "vf/rt/dist_array.hpp"
+
+namespace vf::query {
+namespace {
+
+using dist::block;
+using dist::col;
+using dist::cyclic;
+using dist::DistributionType;
+using dist::IndexDomain;
+using msg::Context;
+using rt::DistArray;
+using rt::Env;
+using testing::run_checked;
+using testing::SpmdChecker;
+
+TEST(Idt, MatchesCurrentDistribution) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<int> b(env, {.name = "B",
+                           .domain = IndexDomain::of_extents({8}),
+                           .dynamic = true,
+                           .initial = DistributionType{cyclic(1)}});
+    ck.check(idt(b, TypePattern{p_cyclic_any()}), ctx.rank(), "CYCLIC(*)");
+    ck.check(idt(b, TypePattern{p_cyclic(1)}), ctx.rank(), "CYCLIC(1)");
+    ck.check(!idt(b, TypePattern{p_block()}), ctx.rank(), "not BLOCK");
+    b.distribute(DistributionType{block()});
+    ck.check(idt(b, TypePattern{p_block()}), ctx.rank(), "BLOCK after");
+  });
+}
+
+TEST(Idt, SectionVariant) {
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    dist::ProcessorSection half(
+        env.processors(), {dist::SectionDim::all(dist::Range{1, 2})});
+    DistArray<int> b(env, {.name = "B",
+                           .domain = IndexDomain::of_extents({8}),
+                           .dynamic = true,
+                           .initial = DistributionType{block()},
+                           .to = half});
+    ck.check(idt(b, TypePattern{p_block()}, half), ctx.rank(),
+             "matches section");
+    ck.check(!idt(b, TypePattern{p_block()}, env.whole()), ctx.rank(),
+             "wrong section");
+  });
+}
+
+TEST(Idt, ThrowsWhenUndistributed) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<int> b(env, {.name = "B",
+                           .domain = IndexDomain::of_extents({8}),
+                           .dynamic = true});
+    try {
+      (void)idt(b, TypePattern::wildcard());
+      ck.fail("expected NotDistributedError");
+    } catch (const rt::NotDistributedError&) {
+    }
+  });
+}
+
+/// Sets up the three selectors of the paper's Example 4 and runs the dcase
+/// with the given distributions, returning the arm index executed.
+int run_example4(Context& ctx, const DistributionType& t1,
+                 const DistributionType& t2, const DistributionType& t3) {
+  Env line(ctx);
+  dist::ProcessorArray gridp = dist::ProcessorArray::grid(2, 2);
+  Env grid(ctx, gridp);
+  DistArray<double> b1(line, {.name = "B1",
+                              .domain = IndexDomain::of_extents({8}),
+                              .dynamic = true,
+                              .initial = t1});
+  DistArray<double> b2(line, {.name = "B2",
+                              .domain = IndexDomain::of_extents({8}),
+                              .dynamic = true,
+                              .initial = t2});
+  DistArray<double> b3(grid, {.name = "B3",
+                              .domain = IndexDomain::of_extents({8, 8}),
+                              .dynamic = true,
+                              .initial = t3});
+  int taken = -1;
+  auto mark = [&taken](int a) { return [&taken, a] { taken = a; }; };
+  const int arm =
+      dcase({&b1, &b2, &b3})
+          .when({TypePattern{p_block()}, TypePattern{p_block()},
+                 TypePattern{p_cyclic(2), p_cyclic_any()}},
+                mark(1))
+          .when_named({{"B1", TypePattern{p_cyclic_any()}},
+                       {"B3", TypePattern{p_block(), any_dim()}}},
+                      mark(2))
+          .when_named({{"B3", TypePattern{p_block(), p_cyclic_any()}}},
+                      mark(3))
+          .otherwise(mark(4))
+          .run();
+  if (arm >= 0 && taken != arm + 1) {
+    throw std::runtime_error("action/arm mismatch");
+  }
+  return arm;
+}
+
+TEST(DCaseExample4, FirstClauseMatches) {
+  // t1 = t2 = (BLOCK), t3 = (CYCLIC(2), CYCLIC).
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    const int arm = run_example4(ctx, DistributionType{block()},
+                                 DistributionType{block()},
+                                 DistributionType{cyclic(2), cyclic(1)});
+    ck.check_eq(arm, 0, ctx.rank(), "first clause");
+  });
+}
+
+TEST(DCaseExample4, SecondClauseNameTagged) {
+  // t1 = (CYCLIC), t3 = (BLOCK, anything), t2 arbitrary.
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    const int arm = run_example4(ctx, DistributionType{cyclic(1)},
+                                 DistributionType{cyclic(3)},
+                                 DistributionType{block(), block()});
+    ck.check_eq(arm, 1, ctx.rank(), "second clause");
+  });
+}
+
+TEST(DCaseExample4, ThirdClauseIgnoresOtherSelectors) {
+  // t3 = (BLOCK, CYCLIC); t1 block so clause 2 fails on B1.
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    const int arm = run_example4(ctx, DistributionType{block()},
+                                 DistributionType{cyclic(3)},
+                                 DistributionType{block(), cyclic(4)});
+    // Clause 1 fails (t2 not BLOCK? t2=(CYCLIC(3)) -> fails);
+    // clause 2 fails (B1 not CYCLIC); clause 3 matches B3.
+    ck.check_eq(arm, 2, ctx.rank(), "third clause");
+  });
+}
+
+TEST(DCaseExample4, DefaultTakenWhenNothingMatches) {
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    const int arm = run_example4(ctx, DistributionType{block()},
+                                 DistributionType{cyclic(3)},
+                                 DistributionType{cyclic(1), cyclic(1)});
+    ck.check_eq(arm, 3, ctx.rank(), "default clause");
+  });
+}
+
+TEST(DCase, NoMatchWithoutDefaultExecutesNothing) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<int> b(env, {.name = "B",
+                           .domain = IndexDomain::of_extents({8}),
+                           .dynamic = true,
+                           .initial = DistributionType{block()}});
+    bool ran = false;
+    const int arm = dcase({&b})
+                        .when({TypePattern{p_cyclic_any()}},
+                              [&] { ran = true; })
+                        .run();
+    ck.check_eq(arm, -1, ctx.rank(), "no arm");
+    ck.check(!ran, ctx.rank(), "no action");
+  });
+}
+
+TEST(DCase, ShortPositionalListGetsImplicitWildcards) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<int> b1(env, {.name = "B1",
+                            .domain = IndexDomain::of_extents({8}),
+                            .dynamic = true,
+                            .initial = DistributionType{block()}});
+    DistArray<int> b2(env, {.name = "B2",
+                            .domain = IndexDomain::of_extents({8}),
+                            .dynamic = true,
+                            .initial = DistributionType{cyclic(1)}});
+    // Query list with one entry: B2 matched implicitly.
+    const int arm = dcase({&b1, &b2})
+                        .when({TypePattern{p_block()}}, nullptr)
+                        .run();
+    ck.check_eq(arm, 0, ctx.rank(), "implicit *");
+  });
+}
+
+TEST(DCase, SequentialEvaluationTakesFirstMatch) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<int> b(env, {.name = "B",
+                           .domain = IndexDomain::of_extents({8}),
+                           .dynamic = true,
+                           .initial = DistributionType{block()}});
+    int count = 0;
+    const int arm = dcase({&b})
+                        .when({TypePattern::wildcard()}, [&] { ++count; })
+                        .when({TypePattern{p_block()}}, [&] { ++count; })
+                        .run();
+    ck.check_eq(arm, 0, ctx.rank(), "first match wins");
+    ck.check_eq(count, 1, ctx.rank(), "at most one action");
+  });
+}
+
+TEST(DCase, ValidationErrors) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<int> b(env, {.name = "B",
+                           .domain = IndexDomain::of_extents({8}),
+                           .dynamic = true,
+                           .initial = DistributionType{block()}});
+    try {
+      (void)dcase({});
+      ck.fail("expected invalid_argument (no selectors)");
+    } catch (const std::invalid_argument&) {
+    }
+    try {
+      dcase({&b}).when({TypePattern{p_block()}, TypePattern{p_block()}},
+                       nullptr);
+      ck.fail("expected invalid_argument (too many queries)");
+    } catch (const std::invalid_argument&) {
+    }
+    try {
+      dcase({&b}).when_named({{"Z", TypePattern{p_block()}}}, nullptr);
+      ck.fail("expected invalid_argument (unknown tag)");
+    } catch (const std::invalid_argument&) {
+    }
+    try {
+      dcase({&b}).when_named({{"B", TypePattern{p_block()}},
+                              {"B", TypePattern{p_block()}}},
+                             nullptr);
+      ck.fail("expected invalid_argument (duplicate tag)");
+    } catch (const std::invalid_argument&) {
+    }
+  });
+}
+
+TEST(DCase, SelectorsChangeBetweenRuns) {
+  // The construct re-reads distributions at each run(): redistribution
+  // switches the arm, the idiom behind phase-adaptive algorithms (§4).
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<int> b(env, {.name = "B",
+                           .domain = IndexDomain::of_extents({8}),
+                           .dynamic = true,
+                           .initial = DistributionType{block()}});
+    auto dc = dcase({&b})
+                  .when({TypePattern{p_block()}}, nullptr)
+                  .when({TypePattern{p_cyclic_any()}}, nullptr);
+    ck.check_eq(dc.run(), 0, ctx.rank(), "block arm");
+    b.distribute(DistributionType{cyclic(2)});
+    ck.check_eq(dc.run(), 1, ctx.rank(), "cyclic arm after remap");
+  });
+}
+
+}  // namespace
+}  // namespace vf::query

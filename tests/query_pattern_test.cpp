@@ -1,0 +1,146 @@
+// Tests for distribution-type patterns: runtime matching (Section 2.5) and
+// the abstract may/must relations used by partial evaluation (Section 3.1).
+#include <gtest/gtest.h>
+
+#include "vf/query/pattern.hpp"
+
+namespace vf::query {
+namespace {
+
+using dist::block;
+using dist::col;
+using dist::cyclic;
+using dist::DistributionType;
+using dist::s_block;
+
+TEST(DimPatternMatch, KindWildcardMatchesEverything) {
+  const DimPattern p = any_dim();
+  EXPECT_TRUE(p.matches(block()));
+  EXPECT_TRUE(p.matches(cyclic(3)));
+  EXPECT_TRUE(p.matches(col()));
+  EXPECT_TRUE(p.matches(s_block({1, 2})));
+}
+
+TEST(DimPatternMatch, KindSpecificMatching) {
+  EXPECT_TRUE(p_block().matches(block()));
+  EXPECT_FALSE(p_block().matches(cyclic(1)));
+  EXPECT_FALSE(p_block().matches(col()));
+  EXPECT_TRUE(p_col().matches(col()));
+  EXPECT_TRUE(p_gen_block().matches(s_block({2, 2})));
+}
+
+TEST(DimPatternMatch, CyclicParameterMatching) {
+  EXPECT_TRUE(p_cyclic(3).matches(cyclic(3)));
+  EXPECT_FALSE(p_cyclic(3).matches(cyclic(4)));
+  EXPECT_TRUE(p_cyclic_any().matches(cyclic(4)));
+  EXPECT_TRUE(p_cyclic_any().matches(cyclic(1)));
+  EXPECT_FALSE(p_cyclic_any().matches(block()));
+}
+
+TEST(TypePatternMatch, WildcardMatchesAnyType) {
+  const TypePattern w = TypePattern::wildcard();
+  EXPECT_TRUE(w.matches(DistributionType{block()}));
+  EXPECT_TRUE(w.matches(DistributionType{cyclic(2), col()}));
+}
+
+TEST(TypePatternMatch, RankMustAgree) {
+  const TypePattern p{p_block()};
+  EXPECT_TRUE(p.matches(DistributionType{block()}));
+  EXPECT_FALSE(p.matches(DistributionType{block(), col()}));
+}
+
+TEST(TypePatternMatch, PaperExample4FirstClause) {
+  // CASE (BLOCK),(BLOCK),(CYCLIC(2),CYCLIC): three positional queries.
+  const TypePattern q1{p_block()};
+  const TypePattern q3{p_cyclic(2), p_cyclic_any()};
+  EXPECT_TRUE(q1.matches(DistributionType{block()}));
+  EXPECT_TRUE(q3.matches(DistributionType{cyclic(2), cyclic(1)}));
+  EXPECT_TRUE(q3.matches(DistributionType{cyclic(2), cyclic(9)}));
+  EXPECT_FALSE(q3.matches(DistributionType{cyclic(3), cyclic(1)}));
+}
+
+TEST(TypePatternExact, RoundTripsConcreteTypes) {
+  const DistributionType t{block(), cyclic(4), col()};
+  const TypePattern p = TypePattern::exact(t);
+  EXPECT_TRUE(p.matches(t));
+  EXPECT_FALSE(p.matches(DistributionType{block(), cyclic(3), col()}));
+  EXPECT_FALSE(p.matches(DistributionType{cyclic(4), block(), col()}));
+}
+
+TEST(RangeSpec, EmptyRangeAllowsEverything) {
+  EXPECT_TRUE(range_allows({}, DistributionType{cyclic(7)}));
+}
+
+TEST(RangeSpec, UnionOfPatterns) {
+  // Example 2's B3: RANGE ((BLOCK, BLOCK), (*, CYCLIC)).
+  const RangeSpec r = {TypePattern{p_block(), p_block()},
+                       TypePattern{any_dim(), p_cyclic_any()}};
+  EXPECT_TRUE(range_allows(r, DistributionType{block(), block()}));
+  EXPECT_TRUE(range_allows(r, DistributionType{block(), cyclic(5)}));
+  EXPECT_TRUE(range_allows(r, DistributionType{col(), cyclic(1)}));
+  EXPECT_FALSE(range_allows(r, DistributionType{cyclic(1), block()}));
+}
+
+// ---- abstract relations (analysis domain) --------------------------------
+
+TEST(MayMatch, WildcardsAreOptimistic) {
+  const TypePattern pat{p_block(), p_cyclic(3)};
+  EXPECT_TRUE(pat.may_match(TypePattern::wildcard()));
+  EXPECT_TRUE(pat.may_match(TypePattern{any_dim(), p_cyclic_any()}));
+  EXPECT_TRUE(pat.may_match(TypePattern{p_block(), p_cyclic(3)}));
+  EXPECT_FALSE(pat.may_match(TypePattern{p_col(), any_dim()}));
+  EXPECT_FALSE(pat.may_match(TypePattern{p_block(), p_cyclic(4)}));
+}
+
+TEST(MayMatch, RankMismatchNeverMatches) {
+  EXPECT_FALSE(TypePattern{p_block()}.may_match(
+      TypePattern{p_block(), p_block()}));
+}
+
+TEST(MustMatch, RequiresAbstractPrecision) {
+  const TypePattern pat{p_cyclic_any()};
+  // Abstract CYCLIC(*) must match pattern CYCLIC(*).
+  EXPECT_TRUE(pat.must_match(TypePattern{p_cyclic_any()}));
+  // Abstract CYCLIC(3) must match CYCLIC(*).
+  EXPECT_TRUE(pat.must_match(TypePattern{p_cyclic(3)}));
+  // Abstract wildcard might be BLOCK: no must.
+  EXPECT_FALSE(pat.must_match(TypePattern::wildcard()));
+  // Pattern CYCLIC(3) vs abstract CYCLIC(*): parameter unknown -> no must.
+  EXPECT_FALSE(TypePattern{p_cyclic(3)}.must_match(
+      TypePattern{p_cyclic_any()}));
+}
+
+TEST(MustMatch, WildcardPatternAlwaysHolds) {
+  EXPECT_TRUE(TypePattern::wildcard().must_match(TypePattern::wildcard()));
+  EXPECT_TRUE(TypePattern::wildcard().must_match(TypePattern{p_block()}));
+}
+
+TEST(MustMatch, ImpliesMayMatch) {
+  const std::vector<TypePattern> patterns = {
+      TypePattern::wildcard(),
+      TypePattern{p_block()},
+      TypePattern{p_cyclic(2)},
+      TypePattern{p_cyclic_any()},
+      TypePattern{any_dim()},
+      TypePattern{p_col()},
+      TypePattern{p_gen_block()},
+  };
+  for (const auto& p : patterns) {
+    for (const auto& a : patterns) {
+      if (p.must_match(a)) {
+        EXPECT_TRUE(p.may_match(a))
+            << p.to_string() << " must but not may " << a.to_string();
+      }
+    }
+  }
+}
+
+TEST(PatternToString, ReadableForms) {
+  EXPECT_EQ(TypePattern::wildcard().to_string(), "*");
+  EXPECT_EQ((TypePattern{p_block(), p_cyclic_any()}).to_string(),
+            "(BLOCK, CYCLIC(*))");
+  EXPECT_EQ((TypePattern{p_col(), any_dim()}).to_string(), "(:, *)");
+}
+
+}  // namespace
+}  // namespace vf::query

@@ -1,0 +1,205 @@
+// Tests for DistArray: declarations (static / DYNAMIC / RANGE / initial
+// distribution), local access functions, iteration, reductions and
+// gathering (paper Sections 2.3 and 3.2.1).
+#include <gtest/gtest.h>
+
+#include "spmd_test_util.hpp"
+#include "vf/rt/dist_array.hpp"
+
+namespace vf::rt {
+namespace {
+
+using dist::block;
+using dist::col;
+using dist::cyclic;
+using dist::IndexDomain;
+using dist::IndexVec;
+using msg::Context;
+using testing::run_checked;
+using testing::SpmdChecker;
+
+TEST(DistArrayDecl, StaticArrayRequiresInitialDistribution) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    try {
+      DistArray<double> a(env, {.name = "A",
+                                .domain = IndexDomain::of_extents({8})});
+      ck.fail("expected invalid_argument");
+    } catch (const std::invalid_argument&) {
+    }
+  });
+}
+
+TEST(DistArrayDecl, DynamicWithoutInitialIsUnaccessible) {
+  // "An array for which an initial distribution has not been specified
+  // cannot be legally accessed before ... a distribute statement."
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<double> b1(env, {.name = "B1",
+                               .domain = IndexDomain::of_extents({8}),
+                               .dynamic = true});
+    ck.check(!b1.has_distribution(), ctx.rank(), "no distribution yet");
+    try {
+      (void)b1.at({1});
+      ck.fail("expected NotDistributedError");
+    } catch (const NotDistributedError&) {
+    }
+    b1.distribute(dist::DistributionType{block()});
+    ck.check(b1.has_distribution(), ctx.rank(), "distributed now");
+    b1.fill(1.0);
+  });
+}
+
+TEST(DistArrayDecl, InitialDistributionIsApplied) {
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<int> b2(env, {.name = "B2",
+                            .domain = IndexDomain::of_extents({16}),
+                            .dynamic = true,
+                            .initial = dist::DistributionType{block()}});
+    ck.check(b2.has_distribution(), ctx.rank(), "initial dist");
+    ck.check_eq(b2.layout().total, dist::Index{4}, ctx.rank(), "local size");
+    ck.check_eq(b2.distribution().owner_rank({5}), 1, ctx.rank(), "owner");
+  });
+}
+
+TEST(DistArrayDecl, RangeRejectsInitialOutsideRange) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    try {
+      DistArray<int> b(env, {.name = "B",
+                             .domain = IndexDomain::of_extents({8}),
+                             .dynamic = true,
+                             .initial = dist::DistributionType{cyclic(1)},
+                             .range = {query::TypePattern{query::p_block()}}});
+      ck.fail("expected RangeViolationError");
+    } catch (const RangeViolationError&) {
+    }
+  });
+}
+
+TEST(DistArrayDecl, RegistryFindsArraysByName) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<int> a(env, {.name = "A",
+                           .domain = IndexDomain::of_extents({4}),
+                           .dynamic = true});
+    ck.check(env.find_array("A") == &a, ctx.rank(), "registry lookup");
+    ck.check(env.find_array("Z") == nullptr, ctx.rank(), "missing name");
+  });
+}
+
+TEST(DistArrayAccess, OwnerComputesWriteAndRead) {
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<double> a(env, {.name = "A",
+                              .domain = IndexDomain::of_extents({8, 8}),
+                              .dynamic = true,
+                              .initial = dist::DistributionType{col(), block()}});
+    // Owner-computes: every rank writes f(i,j) into its owned elements.
+    a.init([](const IndexVec& i) {
+      return static_cast<double>(10 * i[0] + i[1]);
+    });
+    a.for_owned([&](const IndexVec& i, double& v) {
+      ck.check_eq(v, static_cast<double>(10 * i[0] + i[1]), ctx.rank(),
+                  "read back " + i.to_string());
+    });
+    // operator() convenience on an owned element.
+    const dist::Index my_col = 2 * ctx.rank() + 1;
+    a(1, my_col) = -1.0;
+    ck.check_eq(a.at({1, my_col}), -1.0, ctx.rank(), "operator()");
+  });
+}
+
+TEST(DistArrayAccess, GatherGlobalAssemblesWholeArray) {
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<int> a(env, {.name = "A",
+                           .domain = IndexDomain::of_extents({6, 5}),
+                           .dynamic = true,
+                           .initial = dist::DistributionType{block(), col()}});
+    a.init([](const IndexVec& i) {
+      return static_cast<int>(100 * i[0] + i[1]);
+    });
+    auto full = a.gather_global();
+    ck.check_eq(full.size(), std::size_t{30}, ctx.rank(), "size");
+    for (dist::Index i = 1; i <= 6; ++i) {
+      for (dist::Index j = 1; j <= 5; ++j) {
+        const auto off = static_cast<std::size_t>(
+            a.domain().linearize({i, j}));
+        ck.check_eq(full[off], static_cast<int>(100 * i + j), ctx.rank(),
+                    "gathered value");
+      }
+    }
+  });
+}
+
+TEST(DistArrayAccess, ReduceSumMinMax) {
+  run_checked(3, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<long> a(env, {.name = "A",
+                            .domain = IndexDomain::of_extents({10}),
+                            .dynamic = true,
+                            .initial = dist::DistributionType{cyclic(1)}});
+    a.init([](const IndexVec& i) { return static_cast<long>(i[0]); });
+    ck.check_eq(a.reduce(msg::ReduceOp::Sum), 55L, ctx.rank(), "sum");
+    ck.check_eq(a.reduce(msg::ReduceOp::Min), 1L, ctx.rank(), "min");
+    ck.check_eq(a.reduce(msg::ReduceOp::Max), 10L, ctx.rank(), "max");
+  });
+}
+
+TEST(DistArrayAccess, ReduceWithEmptyRanks) {
+  // 2 elements on 4 ranks: two ranks own nothing and must contribute the
+  // identity.
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<int> a(env, {.name = "A",
+                           .domain = IndexDomain::of_extents({2}),
+                           .dynamic = true,
+                           .initial = dist::DistributionType{block()}});
+    a.init([](const IndexVec& i) { return static_cast<int>(5 * i[0]); });
+    ck.check_eq(a.reduce(msg::ReduceOp::Sum), 15, ctx.rank(), "sum");
+    ck.check_eq(a.reduce(msg::ReduceOp::Min), 5, ctx.rank(), "min");
+    ck.check_eq(a.reduce(msg::ReduceOp::Max), 10, ctx.rank(), "max");
+  });
+}
+
+TEST(DistArrayDecl, DescriptorReflectsState) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<float> a(env, {.name = "A",
+                             .domain = IndexDomain::of_extents({12}),
+                             .dynamic = true,
+                             .initial = dist::DistributionType{block()}});
+    const Descriptor d = a.describe();
+    ck.check(d.dynamic, ctx.rank(), "dynamic flag");
+    ck.check(d.primary, ctx.rank(), "primary flag");
+    ck.check_eq(d.index_dom.size(), dist::Index{12}, ctx.rank(), "domain");
+    ck.check_eq(d.connect_class_size, std::size_t{1}, ctx.rank(), "class");
+    ck.check(d.dist != nullptr, ctx.rank(), "dist present");
+  });
+}
+
+TEST(DistArrayDecl, SectionRestrictedArrayLeavesOtherRanksEmpty) {
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    dist::ProcessorSection half(
+        env.processors(),
+        {dist::SectionDim::all(dist::Range{1, 2})});
+    DistArray<int> a(env, {.name = "A",
+                           .domain = IndexDomain::of_extents({8}),
+                           .dynamic = true,
+                           .initial = dist::DistributionType{block()},
+                           .to = half});
+    if (ctx.rank() < 2) {
+      ck.check_eq(a.layout().total, dist::Index{4}, ctx.rank(), "owns half");
+    } else {
+      ck.check(!a.layout().member, ctx.rank(), "outside section");
+    }
+    // Collective ops still work for non-members.
+    ck.check_eq(a.reduce(msg::ReduceOp::Sum), 0, ctx.rank(), "zero sum");
+  });
+}
+
+}  // namespace
+}  // namespace vf::rt

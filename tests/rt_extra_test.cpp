@@ -1,0 +1,166 @@
+// Additional runtime tests: 3-D arrays, sub-machine processor arrays,
+// descriptor consistency across redistributions, halo readability, and a
+// full end-to-end pipeline on 8 virtual processors.
+#include <gtest/gtest.h>
+
+#include "spmd_test_util.hpp"
+#include "vf/query/dcase.hpp"
+#include "vf/rt/assign.hpp"
+#include "vf/rt/dist_array.hpp"
+
+namespace vf::rt {
+namespace {
+
+using dist::block;
+using dist::col;
+using dist::cyclic;
+using dist::DistributionType;
+using dist::IndexDomain;
+using dist::IndexVec;
+using msg::Context;
+using testing::run_checked;
+using testing::SpmdChecker;
+
+TEST(ThreeDim, Example1LayoutAndRedistribution) {
+  // C(10,10,10) DIST(BLOCK, BLOCK, :) TO R(2,2), then remapped to
+  // (:, BLOCK, BLOCK): full 3-D data preservation.
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx, dist::ProcessorArray::grid(2, 2));
+    const IndexDomain dom = IndexDomain::of_extents({10, 10, 10});
+    DistArray<double> c(env, {.name = "C",
+                              .domain = dom,
+                              .dynamic = true,
+                              .initial = DistributionType{block(), block(),
+                                                          col()}});
+    ck.check_eq(c.layout().total, dist::Index{250}, ctx.rank(), "5x5x10");
+    c.init([&](const IndexVec& i) {
+      return static_cast<double>(dom.linearize(i));
+    });
+    c.distribute(DistributionType{col(), block(), block()});
+    c.for_owned([&](const IndexVec& i, double& v) {
+      ck.check_eq(v, static_cast<double>(dom.linearize(i)), ctx.rank(),
+                  "3-D remap");
+    });
+  });
+}
+
+TEST(SubMachine, ProcessorArrayWithBaseRank) {
+  // A 2-processor array living on machine ranks 2..3 of a 4-rank machine:
+  // ranks 0..1 own nothing but still participate in collectives.
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    dist::ProcessorArray procs("R", IndexDomain::of_extents({2}),
+                               /*base_rank=*/2);
+    Env env(ctx, procs);
+    DistArray<int> a(env, {.name = "A",
+                           .domain = IndexDomain::of_extents({8}),
+                           .dynamic = true,
+                           .initial = DistributionType{block()}});
+    if (ctx.rank() >= 2) {
+      ck.check_eq(a.layout().total, dist::Index{4}, ctx.rank(), "half each");
+    } else {
+      ck.check(!a.layout().member, ctx.rank(), "outside processor array");
+    }
+    a.init([](const IndexVec& i) { return static_cast<int>(i[0]); });
+    ck.check_eq(a.reduce(msg::ReduceOp::Sum), 36, ctx.rank(), "global sum");
+    a.distribute(DistributionType{cyclic(1)});
+    a.for_owned([&](const IndexVec& i, int& v) {
+      ck.check_eq(v, static_cast<int>(i[0]), ctx.rank(), "after remap");
+    });
+  });
+}
+
+TEST(Descriptor, TracksRedistribution) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<double> a(env, {.name = "A",
+                              .domain = IndexDomain::of_extents({8}),
+                              .dynamic = true,
+                              .initial = DistributionType{block()}});
+    const Descriptor before = a.describe();
+    ck.check(before.segment.member, ctx.rank(), "member before");
+    a.distribute(DistributionType{cyclic(1)});
+    const Descriptor after = a.describe();
+    ck.check(before.dist != after.dist, ctx.rank(), "descriptor swapped");
+    ck.check_eq(after.dist->type().dim(0).kind, dist::DimDistKind::Cyclic,
+                ctx.rank(), "new type");
+    ck.check_eq(after.segment.total, before.segment.total, ctx.rank(),
+                "same local volume for even remap");
+  });
+}
+
+TEST(Halo, ReadabilityBoundaries) {
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<double> a(env, {.name = "A",
+                              .domain = IndexDomain::of_extents({16}),
+                              .dynamic = true,
+                              .initial = DistributionType{block()},
+                              .overlap_lo = {1},
+                              .overlap_hi = {1}});
+    const dist::Index lo = 4 * ctx.rank() + 1;
+    ck.check(a.halo_readable({lo}), ctx.rank(), "own element");
+    if (lo > 1) {
+      ck.check(a.halo_readable({lo - 1}), ctx.rank(), "ghost");
+      if (lo > 2) {
+        ck.check(!a.halo_readable({lo - 2}), ctx.rank(), "beyond ghost");
+      }
+    }
+  });
+}
+
+TEST(Reduce, LogicalOpsOverArray) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<int> flags(env, {.name = "F",
+                               .domain = IndexDomain::of_extents({8}),
+                               .dynamic = true,
+                               .initial = DistributionType{block()}});
+    flags.fill(1);
+    ck.check_eq(flags.reduce(msg::ReduceOp::LogicalAnd), 1, ctx.rank(),
+                "all ones");
+    flags.at({static_cast<dist::Index>(4 * ctx.rank() + 1)}) = 0;
+    ck.check_eq(flags.reduce(msg::ReduceOp::LogicalAnd), 0, ctx.rank(),
+                "one zero");
+    ck.check_eq(flags.reduce(msg::ReduceOp::LogicalOr), 1, ctx.rank(),
+                "some ones");
+  });
+}
+
+TEST(Pipeline, EndToEndOnEightRanks) {
+  // Declaration -> init -> redistribute -> dcase dispatch -> irregular
+  // assignment -> procedure call, all on one 8-rank machine.
+  run_checked(8, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    const IndexDomain dom = IndexDomain::of_extents({64});
+    DistArray<double> a(env, {.name = "A",
+                              .domain = dom,
+                              .dynamic = true,
+                              .initial = DistributionType{block()}});
+    DistArray<double> b(env, {.name = "B",
+                              .domain = dom,
+                              .initial = DistributionType{cyclic(3)}});
+    a.init([](const IndexVec& i) { return 0.5 * static_cast<double>(i[0]); });
+
+    a.distribute(DistributionType{dist::s_block({8, 8, 8, 8, 8, 8, 8, 8})});
+    const int arm = query::dcase({&a})
+                        .when({query::TypePattern{query::p_gen_block()}},
+                              nullptr)
+                        .otherwise(nullptr)
+                        .run();
+    ck.check_eq(arm, 0, ctx.rank(), "gen-block arm");
+
+    assign(ctx, a, b);
+    b.for_owned([&](const IndexVec& i, double& v) {
+      ck.check_eq(v, 0.5 * static_cast<double>(i[0]), ctx.rank(),
+                  "assigned value");
+    });
+
+    const double total_before = a.reduce(msg::ReduceOp::Sum);
+    a.distribute(DistributionType{cyclic(5)});
+    ck.check_eq(a.reduce(msg::ReduceOp::Sum), total_before, ctx.rank(),
+                "sum preserved through final remap");
+  });
+}
+
+}  // namespace
+}  // namespace vf::rt

@@ -1,0 +1,200 @@
+// Tests for procedure-boundary distribution semantics (paper Sections 3
+// and 5): implicit redistribution of actual arguments to match formal
+// declarations, and the Vienna Fortran vs HPF difference in what happens
+// on return.
+#include <gtest/gtest.h>
+
+#include "spmd_test_util.hpp"
+#include "vf/rt/dist_array.hpp"
+#include "vf/rt/procedure.hpp"
+
+namespace vf::rt {
+namespace {
+
+using dist::block;
+using dist::col;
+using dist::cyclic;
+using dist::DistributionType;
+using dist::IndexDomain;
+using dist::IndexVec;
+using msg::Context;
+using testing::run_checked;
+using testing::SpmdChecker;
+
+TEST(Procedure, ExplicitFormalRedistributesOnEntry) {
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    const IndexDomain dom = IndexDomain::of_extents({16});
+    DistArray<double> a(env, {.name = "A",
+                              .domain = dom,
+                              .dynamic = true,
+                              .initial = DistributionType{block()}});
+    a.init([&](const IndexVec& i) { return 1.0 * dom.linearize(i); });
+    const auto report = call_procedure(
+        {{&a, FormalArg::with_type(DistributionType{cyclic(1)})}},
+        ArgReturnMode::ReturnNewDistribution, [&] {
+          // Inside the procedure the dummy is CYCLIC.
+          ck.check(query::range_allows(
+                       {query::TypePattern{query::p_cyclic(1)}},
+                       a.distribution().type()),
+                   ctx.rank(), "dummy distribution");
+          a.for_owned([&](const IndexVec& i, double& v) {
+            ck.check_eq(v, 1.0 * dom.linearize(i), ctx.rank(),
+                        "values moved in");
+          });
+        });
+    ck.check_eq(report.entry_redistributions, 1, ctx.rank(), "one entry");
+    ck.check_eq(report.exit_restores, 0, ctx.rank(), "no restore (VF)");
+    // Vienna Fortran semantics: the new distribution is returned.
+    ck.check_eq(a.distribution().type().dim(0).kind,
+                dist::DimDistKind::Cyclic, ctx.rank(), "returned new dist");
+  });
+}
+
+TEST(Procedure, HpfModeRestoresCallerDistribution) {
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    const IndexDomain dom = IndexDomain::of_extents({16});
+    DistArray<double> a(env, {.name = "A",
+                              .domain = dom,
+                              .dynamic = true,
+                              .initial = DistributionType{block()}});
+    a.init([&](const IndexVec& i) { return 1.0 * dom.linearize(i); });
+    const auto report = call_procedure(
+        {{&a, FormalArg::with_type(DistributionType{cyclic(1)})}},
+        ArgReturnMode::RestoreOnExit, [] {});
+    ck.check_eq(report.entry_redistributions, 1, ctx.rank(), "entry");
+    ck.check_eq(report.exit_restores, 1, ctx.rank(), "restored (HPF)");
+    ck.check_eq(a.distribution().type().dim(0).kind,
+                dist::DimDistKind::Block, ctx.rank(), "caller dist back");
+    a.for_owned([&](const IndexVec& i, double& v) {
+      ck.check_eq(v, 1.0 * dom.linearize(i), ctx.rank(), "values intact");
+    });
+  });
+}
+
+TEST(Procedure, MatchingFormalSkipsRedistribution) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<int> a(env, {.name = "A",
+                           .domain = IndexDomain::of_extents({8}),
+                           .dynamic = true,
+                           .initial = DistributionType{block()}});
+    const auto report = call_procedure(
+        {{&a, FormalArg::with_type(DistributionType{block()})}},
+        ArgReturnMode::RestoreOnExit, [] {});
+    ck.check_eq(report.entry_redistributions, 0, ctx.rank(), "no motion");
+    ck.check_eq(report.exit_restores, 0, ctx.rank(), "no restore");
+  });
+}
+
+TEST(Procedure, InheritedFormalAcceptsAnything) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<int> a(env, {.name = "A",
+                           .domain = IndexDomain::of_extents({8}),
+                           .dynamic = true,
+                           .initial = DistributionType{cyclic(3)}});
+    const auto report =
+        call_procedure({{&a, FormalArg::inherited()}},
+                       ArgReturnMode::RestoreOnExit, [&] {
+                         ck.check_eq(a.distribution().type().dim(0).cyclic_block,
+                                     dist::Index{3}, ctx.rank(), "unchanged");
+                       });
+    ck.check_eq(report.entry_redistributions, 0, ctx.rank(), "none");
+  });
+}
+
+TEST(Procedure, MatchFormalRejectsWrongDistribution) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<int> a(env, {.name = "A",
+                           .domain = IndexDomain::of_extents({8}),
+                           .dynamic = true,
+                           .initial = DistributionType{block()}});
+    try {
+      call_procedure(
+          {{&a, FormalArg::matching(query::TypePattern{query::p_cyclic_any()})}},
+          ArgReturnMode::ReturnNewDistribution, [] {});
+      ck.fail("expected ArgumentMismatchError");
+    } catch (const ArgumentMismatchError&) {
+    }
+    // Matching pattern passes without data motion.
+    const auto report = call_procedure(
+        {{&a, FormalArg::matching(query::TypePattern{query::p_block()})}},
+        ArgReturnMode::ReturnNewDistribution, [] {});
+    ck.check_eq(report.entry_redistributions, 0, ctx.rank(), "no motion");
+  });
+}
+
+TEST(Procedure, CalleeRedistributionVisibleOrRestored) {
+  // The callee itself executes a DISTRIBUTE; VF returns it, HPF undoes it.
+  for (const auto mode : {ArgReturnMode::ReturnNewDistribution,
+                          ArgReturnMode::RestoreOnExit}) {
+    run_checked(4, [mode](Context& ctx, SpmdChecker& ck) {
+      Env env(ctx);
+      DistArray<double> a(env, {.name = "A",
+                                .domain = IndexDomain::of_extents({16}),
+                                .dynamic = true,
+                                .initial = DistributionType{block()}});
+      a.fill(5.0);
+      const auto report = call_procedure(
+          {{&a, FormalArg::inherited()}}, mode, [&] {
+            a.distribute(DistributionType{cyclic(2)});
+          });
+      const auto kind = a.distribution().type().dim(0).kind;
+      if (mode == ArgReturnMode::ReturnNewDistribution) {
+        ck.check_eq(kind, dist::DimDistKind::Cyclic, ctx.rank(),
+                    "VF returns callee's distribution");
+        ck.check_eq(report.exit_restores, 0, ctx.rank(), "no restore");
+      } else {
+        ck.check_eq(kind, dist::DimDistKind::Block, ctx.rank(),
+                    "HPF restores caller's distribution");
+        ck.check_eq(report.exit_restores, 1, ctx.rank(), "one restore");
+      }
+      ck.check_eq(a.reduce(msg::ReduceOp::Sum), 16 * 5.0, ctx.rank(),
+                  "values survive either way");
+    });
+  }
+}
+
+TEST(Procedure, MultipleArgumentsBoundIndependently) {
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    const IndexDomain dom = IndexDomain::of_extents({12});
+    DistArray<double> a(env, {.name = "A",
+                              .domain = dom,
+                              .dynamic = true,
+                              .initial = DistributionType{block()}});
+    DistArray<double> b(env, {.name = "B",
+                              .domain = dom,
+                              .dynamic = true,
+                              .initial = DistributionType{cyclic(1)}});
+    const auto report = call_procedure(
+        {{&a, FormalArg::with_type(DistributionType{cyclic(1)})},
+         {&b, FormalArg::with_type(DistributionType{cyclic(1)})}},
+        ArgReturnMode::RestoreOnExit, [] {});
+    // A needed motion, B already matched.
+    ck.check_eq(report.entry_redistributions, 1, ctx.rank(), "only A moved");
+    ck.check_eq(report.exit_restores, 1, ctx.rank(), "only A restored");
+  });
+}
+
+TEST(Procedure, StaticActualForExplicitFormalThrows) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<int> a(env, {.name = "A",
+                           .domain = IndexDomain::of_extents({8}),
+                           .initial = DistributionType{block()}});
+    try {
+      call_procedure(
+          {{&a, FormalArg::with_type(DistributionType{cyclic(1)})}},
+          ArgReturnMode::ReturnNewDistribution, [] {});
+      ck.fail("expected logic_error (static actual)");
+    } catch (const std::logic_error&) {
+    }
+  });
+}
+
+}  // namespace
+}  // namespace vf::rt

@@ -1,0 +1,289 @@
+// Tests for the DISTRIBUTE statement's data motion (paper Sections 2.4 and
+// 3.2.2): values must be preserved across arbitrary redistributions, data
+// messages must stay within the P*(P-1) pair bound, and no-op
+// redistributions must move nothing.
+#include <gtest/gtest.h>
+
+#include "spmd_test_util.hpp"
+#include "vf/rt/dist_array.hpp"
+
+namespace vf::rt {
+namespace {
+
+using dist::b_block;
+using dist::block;
+using dist::col;
+using dist::cyclic;
+using dist::DistributionType;
+using dist::IndexDomain;
+using dist::IndexVec;
+using dist::s_block;
+using msg::Context;
+using testing::run_checked;
+using testing::SpmdChecker;
+
+/// Fills an array with a global fingerprint, redistributes, and verifies
+/// every element still holds its fingerprint.
+template <typename Body>
+void check_preserves(int np, const IndexDomain& dom, DistributionType from,
+                     Body&& redistribute_actions) {
+  run_checked(np, [&](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<double> a(env, {.name = "A",
+                              .domain = dom,
+                              .dynamic = true,
+                              .initial = from});
+    a.init([&](const IndexVec& i) {
+      return static_cast<double>(dom.linearize(i) + 1);
+    });
+    redistribute_actions(a);
+    a.for_owned([&](const IndexVec& i, double& v) {
+      ck.check_eq(v, static_cast<double>(dom.linearize(i) + 1), ctx.rank(),
+                  "value at " + i.to_string());
+    });
+  });
+}
+
+TEST(Redistribute, BlockToCyclic1D) {
+  check_preserves(4, IndexDomain::of_extents({37}),
+                  DistributionType{block()}, [](DistArray<double>& a) {
+                    a.distribute(DistributionType{cyclic(1)});
+                  });
+}
+
+TEST(Redistribute, CyclicToBlock1D) {
+  check_preserves(4, IndexDomain::of_extents({64}),
+                  DistributionType{cyclic(3)}, [](DistArray<double>& a) {
+                    a.distribute(DistributionType{block()});
+                  });
+}
+
+TEST(Redistribute, TransposeStyle2D) {
+  // The Figure 1 ADI remap: (:, BLOCK) -> (BLOCK, :).
+  check_preserves(4, IndexDomain::of_extents({16, 16}),
+                  DistributionType{col(), block()}, [](DistArray<double>& a) {
+                    a.distribute(DistributionType{block(), col()});
+                  });
+}
+
+TEST(Redistribute, ToGeneralBlock) {
+  // The Figure 2 PIC remap: BLOCK -> B_BLOCK(BOUNDS).
+  check_preserves(4, IndexDomain::of_extents({20}),
+                  DistributionType{block()}, [](DistArray<double>& a) {
+                    a.distribute(DistributionType{b_block({2, 11, 13, 20})});
+                  });
+}
+
+TEST(Redistribute, ChainedRedistributions) {
+  check_preserves(4, IndexDomain::of_extents({24}),
+                  DistributionType{block()}, [](DistArray<double>& a) {
+                    a.distribute(DistributionType{cyclic(2)});
+                    a.distribute(DistributionType{s_block({10, 2, 7, 5})});
+                    a.distribute(DistributionType{cyclic(5)});
+                    a.distribute(DistributionType{block()});
+                  });
+}
+
+TEST(Redistribute, OntoDifferentSection) {
+  // BLOCK over all 4 procs -> BLOCK over procs 3..4 only.
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    const IndexDomain dom = IndexDomain::of_extents({12});
+    DistArray<int> a(env, {.name = "A",
+                           .domain = dom,
+                           .dynamic = true,
+                           .initial = DistributionType{block()}});
+    a.init([](const IndexVec& i) { return static_cast<int>(i[0]); });
+    dist::ProcessorSection upper(
+        env.processors(), {dist::SectionDim::all(dist::Range{3, 4})});
+    a.distribute(DistExpr(DistributionType{block()}).to(upper));
+    if (ctx.rank() >= 2) {
+      ck.check_eq(a.layout().total, dist::Index{6}, ctx.rank(), "half each");
+    } else {
+      ck.check(!a.layout().member, ctx.rank(), "drained rank");
+    }
+    a.for_owned([&](const IndexVec& i, int& v) {
+      ck.check_eq(v, static_cast<int>(i[0]), ctx.rank(), "value preserved");
+    });
+  });
+}
+
+TEST(Redistribute, StaticArraysCannotBeRedistributed) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<int> a(env, {.name = "A",
+                           .domain = IndexDomain::of_extents({8}),
+                           .initial = DistributionType{block()}});
+    try {
+      a.distribute(DistributionType{cyclic(1)});
+      ck.fail("expected logic_error");
+    } catch (const std::logic_error&) {
+    }
+  });
+}
+
+TEST(Redistribute, RangeIsEnforced) {
+  // Example 2's B3: RANGE ((BLOCK, BLOCK), (*, CYCLIC)).
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    dist::ProcessorArray grid = dist::ProcessorArray::grid(2, 2);
+    Env genv(ctx, grid);
+    DistArray<double> b3(
+        genv,
+        {.name = "B3",
+         .domain = IndexDomain::of_extents({8, 8}),
+         .dynamic = true,
+         .initial = DistributionType{block(), cyclic(1)},
+         .range = {query::TypePattern{query::p_block(), query::p_block()},
+                   query::TypePattern{query::any_dim(),
+                                      query::p_cyclic_any()}}});
+    // (BLOCK, BLOCK) is within range.
+    b3.distribute(DistributionType{block(), block()});
+    // (CYCLIC(2), CYCLIC(4)) matches (*, CYCLIC).
+    b3.distribute(DistributionType{cyclic(2), cyclic(4)});
+    // (CYCLIC, BLOCK) matches neither pattern.
+    try {
+      b3.distribute(DistributionType{cyclic(1), block()});
+      ck.fail("expected RangeViolationError");
+    } catch (const RangeViolationError&) {
+    }
+  });
+}
+
+TEST(Redistribute, NoopMovesNoData) {
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<double> a(env, {.name = "A",
+                              .domain = IndexDomain::of_extents({32}),
+                              .dynamic = true,
+                              .initial = DistributionType{block()}});
+    a.fill(3.0);
+    ctx.machine().reset_stats();
+    ctx.barrier();
+    a.distribute(DistributionType{block()});  // identical mapping
+    ctx.barrier();
+    if (ctx.rank() == 0) {
+      ck.check_eq(ctx.machine().total_stats().data_messages,
+                  std::uint64_t{0}, 0, "no data motion for no-op");
+    }
+    ctx.barrier();
+  });
+}
+
+TEST(Redistribute, MessageCountWithinPairBound) {
+  // A BLOCK -> CYCLIC redistribution communicates at most P*(P-1) data
+  // messages (one per ordered processor pair).
+  msg::Machine m(4);
+  msg::run_spmd(m, [](Context& ctx) {
+    Env env(ctx);
+    DistArray<double> a(env, {.name = "A",
+                              .domain = IndexDomain::of_extents({64}),
+                              .dynamic = true,
+                              .initial = DistributionType{block()}});
+    a.fill(1.0);
+    ctx.machine().reset_stats();
+    ctx.barrier();
+    a.distribute(DistributionType{cyclic(1)});
+  });
+  EXPECT_LE(m.total_stats().data_messages, 4u * 3u);
+  EXPECT_GT(m.total_stats().data_messages, 0u);
+  // Every element leaves its old rank except those staying put: with 64
+  // elements on 4 ranks, block segment p holds 16 elements of which 4 stay.
+  EXPECT_EQ(m.total_stats().data_bytes, (64 - 16) * sizeof(double));
+}
+
+TEST(Redistribute, DistExprExtractionForm) {
+  // DISTRIBUTE B4 :: (=B1, CYCLIC(3)) -- Example 3, fourth statement.
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    dist::ProcessorArray grid = dist::ProcessorArray::grid(2, 2);
+    Env env(ctx, grid);
+    Env line_env(ctx);
+    DistArray<double> b1(line_env, {.name = "B1",
+                                    .domain = IndexDomain::of_extents({8}),
+                                    .dynamic = true,
+                                    .initial = DistributionType{cyclic(7)}});
+    DistArray<double> b4(env, {.name = "B4",
+                               .domain = IndexDomain::of_extents({8, 8}),
+                               .dynamic = true,
+                               .initial = DistributionType{block(), cyclic(1)}});
+    b4.distribute(DistExpr{extract_dim(b1, 0), dist::cyclic(3)});
+    ck.check_eq(b4.distribution().type().dim(0).kind,
+                dist::DimDistKind::Cyclic, ctx.rank(), "extracted kind");
+    ck.check_eq(b4.distribution().type().dim(0).cyclic_block, dist::Index{7},
+                ctx.rank(), "extracted parameter");
+    ck.check_eq(b4.distribution().type().dim(1).cyclic_block, dist::Index{3},
+                ctx.rank(), "explicit parameter");
+  });
+}
+
+TEST(Redistribute, AlignmentFormOfDistribute) {
+  // DISTRIBUTE B :: ALIGN WITH A(transpose): B adopts A's distribution
+  // through the alignment.
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    const IndexDomain dom = IndexDomain::of_extents({8, 8});
+    DistArray<double> a(env, {.name = "A",
+                              .domain = dom,
+                              .dynamic = true,
+                              .initial = DistributionType{col(), block()}});
+    DistArray<double> b(env, {.name = "B",
+                              .domain = dom,
+                              .dynamic = true,
+                              .initial = DistributionType{col(), block()}});
+    b.init([&](const IndexVec& i) {
+      return static_cast<double>(dom.linearize(i));
+    });
+    b.distribute(
+        DistExpr::align_with(a, dist::Alignment::permutation(2, {1, 0})));
+    // B(i,j) now colocated with A(j,i).
+    b.for_owned([&](const IndexVec& i, double& v) {
+      ck.check_eq(v, static_cast<double>(dom.linearize(i)), ctx.rank(),
+                  "value preserved");
+      ck.check_eq(a.distribution().owner_rank({i[1], i[0]}), ctx.rank(),
+                  ctx.rank(), "colocation");
+    });
+  });
+}
+
+// Property sweep: every (from, to) pair of a distribution family preserves
+// array contents on 2-D data.
+struct RedistCase {
+  std::string label;
+  DistributionType from;
+  DistributionType to;
+};
+
+class RedistributeProperty : public ::testing::TestWithParam<RedistCase> {};
+
+TEST_P(RedistributeProperty, PreservesValues) {
+  const auto& tc = GetParam();
+  check_preserves(4, IndexDomain::of_extents({9, 13}), tc.from,
+                  [&](DistArray<double>& a) { a.distribute(tc.to); });
+}
+
+std::vector<RedistCase> redist_cases() {
+  const std::vector<std::pair<std::string, DistributionType>> family = {
+      {"colblock", {col(), block()}},
+      {"blockcol", {block(), col()}},
+      {"cyc1col", {cyclic(1), col()}},
+      {"colcyc2", {col(), cyclic(2)}},
+      {"gencol", {s_block({3, 0, 2, 4}), col()}},
+  };
+  std::vector<RedistCase> cases;
+  for (const auto& [nf, f] : family) {
+    for (const auto& [nt, t] : family) {
+      if (nf == nt) continue;
+      cases.push_back({nf + "_to_" + nt, f, t});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, RedistributeProperty,
+                         ::testing::ValuesIn(redist_cases()),
+                         [](const ::testing::TestParamInfo<RedistCase>& info) {
+                           return info.param.label;
+                         });
+
+}  // namespace
+}  // namespace vf::rt

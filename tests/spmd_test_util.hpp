@@ -1,0 +1,72 @@
+// Helpers for running SPMD test bodies: gtest assertions are not
+// thread-safe, so rank bodies record failures through SpmdChecker and the
+// main thread asserts afterwards.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "vf/msg/spmd.hpp"
+
+namespace vf::testing {
+
+class SpmdChecker {
+ public:
+  /// Records a failure message (thread-safe).
+  void fail(const std::string& msg) {
+    std::lock_guard lk(mu_);
+    failures_.push_back(msg);
+  }
+
+  /// Checks a condition; on failure records `what` with rank context.
+  void check(bool ok, int rank, const std::string& what) {
+    if (!ok) {
+      std::ostringstream os;
+      os << "[rank " << rank << "] " << what;
+      fail(os.str());
+    }
+  }
+
+  template <typename A, typename B>
+  void check_eq(const A& a, const B& b, int rank, const std::string& what) {
+    if (!(a == b)) {
+      std::ostringstream os;
+      os << "[rank " << rank << "] " << what << ": ";
+      if constexpr (requires(std::ostream& s) { s << a << b; }) {
+        os << a << " != " << b;
+      } else {
+        os << "values differ";
+      }
+      fail(os.str());
+    }
+  }
+
+  /// Asserts (on the main thread) that no failures were recorded.
+  void expect_clean() const {
+    for (const auto& f : failures_) ADD_FAILURE() << f;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> failures_;
+};
+
+/// Runs `body(ctx, checker)` on `nprocs` ranks and asserts no recorded
+/// failures.  Returns the machine's total communication statistics.
+inline msg::CommStats run_checked(
+    int nprocs,
+    const std::function<void(msg::Context&, SpmdChecker&)>& body,
+    msg::CostModel cm = {}) {
+  SpmdChecker checker;
+  msg::Machine m(nprocs, cm);
+  msg::run_spmd(m, [&](msg::Context& ctx) { body(ctx, checker); });
+  checker.expect_clean();
+  return m.total_stats();
+}
+
+}  // namespace vf::testing
