@@ -14,8 +14,17 @@
 //
 // Counters: data_msgs (bounded by P*(P-1) for aggregated patterns),
 // moved_frac (fraction of elements that changed processor), modeled_ms.
+//   flip_*             repeated DISTRIBUTE flips between two distributions
+//                      (the ADI row<->column remap done over and over) with
+//                      the redistribution plan cache enabled vs disabled:
+//                      the cached path replays memcpy runs and skips the
+//                      inspector entirely, so ns_per_flip measures the
+//                      amortization the paper's dynamic-distribution
+//                      argument depends on.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 
@@ -162,7 +171,109 @@ void BM_Redistribute(benchmark::State& state) {
   state.counters["modeled_ms"] = stats.modeled_data_us(cm) / 1000.0;
 }
 
+/// Repeated-flip benchmark: DISTRIBUTE back and forth between two
+/// distributions many times on one machine, measuring steady-state
+/// ns/flip.  `cached == 0` disables the plan cache (every flip re-runs the
+/// run-construction inspector: the cold path); `cached == 1` replays the
+/// cached plans (inspector paid once during warmup).
+void BM_RedistributeFlip(benchmark::State& state) {
+  const int pattern = static_cast<int>(state.range(0));
+  const bool cached = state.range(1) != 0;
+  const auto n = static_cast<Index>(state.range(2));
+  const int nprocs = static_cast<int>(state.range(3));
+  constexpr int kFlips = 10;
+
+  static const char* kNames[] = {"flip_block_cyclic1", "flip_transpose2d",
+                                 "flip_indirect"};
+  state.SetLabel(std::string(kNames[pattern]) +
+                 (cached ? "/cached" : "/cold"));
+
+  msg::CommStats stats;
+  double total_seconds = 0;
+  std::int64_t total_flips = 0;
+  for (auto _ : state) {
+    msg::Machine machine(nprocs);
+    std::atomic<double> secs{0.0};
+    msg::run_spmd(machine, [&](msg::Context& ctx) {
+      rt::Env env(ctx);
+      dist::DistributionType ta;
+      dist::DistributionType tb;
+      IndexDomain dom = IndexDomain::of_extents({n});
+      switch (pattern) {
+        case 0:
+          ta = {dist::block()};
+          tb = {dist::cyclic(1)};
+          break;
+        case 1: {
+          const auto side = static_cast<Index>(
+              std::llround(std::sqrt(static_cast<double>(n))));
+          dom = IndexDomain::of_extents({side, side});
+          ta = {dist::col(), dist::block()};
+          tb = {dist::block(), dist::col()};
+          break;
+        }
+        default: {
+          std::vector<int> oa(static_cast<std::size_t>(n));
+          std::vector<int> ob(static_cast<std::size_t>(n));
+          for (Index k = 0; k < n; ++k) {
+            oa[static_cast<std::size_t>(k)] =
+                static_cast<int>((k * 7 + 1) % nprocs);
+            ob[static_cast<std::size_t>(k)] =
+                static_cast<int>((k * 5 + 3) % nprocs);
+          }
+          ta = {dist::indirect(std::move(oa))};
+          tb = {dist::indirect(std::move(ob))};
+          break;
+        }
+      }
+      rt::DistArray<double> a(env, {.name = "A",
+                                    .domain = dom,
+                                    .dynamic = true,
+                                    .initial = ta});
+      a.set_redist_plan_cache(cached);
+      a.fill(1.0);
+      // Warmup round trip: with the cache on this builds both plans.
+      a.distribute(tb);
+      a.distribute(ta);
+      // Each rank zeroes its OWN counters between two barriers: no rank
+      // ever writes another rank's (non-atomic) stats concurrently.
+      ctx.barrier();
+      ctx.stats() = msg::CommStats{};
+      const auto t0 = std::chrono::steady_clock::now();
+      ctx.barrier();
+      for (int f = 0; f < kFlips; ++f) {
+        a.distribute(f % 2 == 0 ? tb : ta);
+      }
+      ctx.barrier();
+      if (ctx.rank() == 0) {
+        secs.store(std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count());
+      }
+    });
+    total_seconds += secs.load();
+    total_flips += kFlips;
+    stats = machine.total_stats();
+  }
+
+  state.counters["ns_per_flip"] =
+      total_seconds * 1e9 / static_cast<double>(total_flips);
+  state.counters["plan_cached"] = cached ? 1 : 0;
+  state.counters["data_msgs_per_flip"] =
+      static_cast<double>(stats.data_messages) / kFlips;
+  state.counters["data_bytes_per_flip"] =
+      static_cast<double>(stats.data_bytes) / kFlips;
+  state.counters["ctl_msgs_per_flip"] =
+      static_cast<double>(stats.ctl_messages) / kFlips;
+}
+
 }  // namespace
+
+BENCHMARK(BM_RedistributeFlip)
+    ->ArgNames({"pattern", "cached", "n", "P"})
+    ->ArgsProduct({{0, 1, 2}, {0, 1}, {1 << 14, 1 << 17}, {4}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
 
 BENCHMARK(BM_Redistribute)
     ->ArgNames({"pattern", "n", "P"})

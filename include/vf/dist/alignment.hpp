@@ -1,0 +1,77 @@
+// Alignments and the CONSTRUCT operation (paper Definition 2 and
+// Section 2.1): an alignment is an affine map from a source array's index
+// domain into a target array's, and CONSTRUCT derives the source's
+// distribution from the target's so that corresponding elements are
+// guaranteed to reside on the same processor.
+#pragma once
+
+#include <vector>
+
+#include "vf/dist/distribution.hpp"
+
+namespace vf::dist {
+
+/// One target-dimension component of an alignment: either an affine
+/// function stride * i_src + offset of one source dimension (stride
+/// restricted to +-1), or a constant.
+struct AlignExpr {
+  enum class Kind { Dim, Constant };
+
+  Kind kind = Kind::Constant;
+  int src_dim = 0;
+  Index stride = 1;
+  Index offset = 0;
+  Index value = 0;
+
+  [[nodiscard]] static AlignExpr dim(int d, Index stride = 1,
+                                     Index offset = 0) {
+    AlignExpr e;
+    e.kind = Kind::Dim;
+    e.src_dim = d;
+    e.stride = stride;
+    e.offset = offset;
+    return e;
+  }
+
+  [[nodiscard]] static AlignExpr constant(Index v) {
+    AlignExpr e;
+    e.kind = Kind::Constant;
+    e.value = v;
+    return e;
+  }
+};
+
+/// ALIGN A(i_1, ..., i_m) WITH B(e_1, ..., e_n): one AlignExpr per target
+/// (B) dimension over a source (A) of rank `source_rank`.
+class Alignment {
+ public:
+  Alignment(int source_rank, std::vector<AlignExpr> exprs);
+
+  /// Identity alignment of rank r: A(i) WITH B(i).
+  [[nodiscard]] static Alignment identity(int r);
+
+  /// Permutation alignment: target dimension t takes source dimension
+  /// perm[t], as in ALIGN D(I,J,K) WITH C(J,I,K) == permutation(3, {1,0,2}).
+  [[nodiscard]] static Alignment permutation(int source_rank,
+                                             std::vector<int> perm);
+
+  [[nodiscard]] int source_rank() const noexcept { return src_rank_; }
+  [[nodiscard]] const std::vector<AlignExpr>& exprs() const noexcept {
+    return exprs_;
+  }
+
+  /// The image of a source index point in the target's index space.
+  [[nodiscard]] IndexVec apply(const IndexVec& i) const;
+
+  /// CONSTRUCT: the distribution induced on the source domain by the
+  /// target's distribution, such that apply-corresponding elements are
+  /// colocated.
+  [[nodiscard]] Distribution construct(const Distribution& target,
+                                       const IndexDomain& source_dom) const;
+
+ private:
+  int src_rank_;
+  std::vector<AlignExpr> exprs_;
+};
+
+}  // namespace vf::dist

@@ -1,0 +1,91 @@
+// Distribution types (paper Section 2.2): the per-dimension intrinsics
+// BLOCK, BLOCK(M), CYCLIC(k), general block (S_BLOCK sizes / B_BLOCK
+// bounds), user-defined INDIRECT mappings, and the elision symbol ":".
+// A DistributionType is the syntactic object that DISTRIBUTE statements,
+// RANGE patterns and the DCASE construct manipulate; applying it to an
+// index domain and a processor section yields a concrete Distribution.
+#pragma once
+
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "vf/dist/index.hpp"
+
+namespace vf::dist {
+
+enum class DimDistKind { Collapsed, Block, Cyclic, GenBlock, Indirect };
+
+[[nodiscard]] std::string to_string(DimDistKind k);
+
+/// Distribution of a single array dimension.
+struct DimDist {
+  DimDistKind kind = DimDistKind::Collapsed;
+  /// BLOCK(M): explicit block width; 0 selects the default ceil width.
+  Index block_width = 0;
+  /// CYCLIC(k) block length.
+  Index cyclic_block = 1;
+  /// S_BLOCK(n1, ..., nP): per-processor segment sizes.
+  std::vector<Index> gen_sizes;
+  /// B_BLOCK(b1, ..., bP): cumulative per-processor upper bounds.
+  std::vector<Index> gen_bounds;
+  /// INDIRECT(map): owner coordinate of each element, in index order.
+  std::vector<int> owners;
+
+  [[nodiscard]] bool distributed() const noexcept {
+    return kind != DimDistKind::Collapsed;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const DimDist&, const DimDist&) = default;
+};
+
+/// BLOCK: contiguous even partition.
+[[nodiscard]] DimDist block();
+/// BLOCK(M): contiguous blocks of explicit width M (M >= 1).
+[[nodiscard]] DimDist block_width(Index m);
+/// CYCLIC(k): round-robin blocks of length k (k >= 1).
+[[nodiscard]] DimDist cyclic(Index k);
+/// ":": dimension not distributed.
+[[nodiscard]] DimDist col();
+/// S_BLOCK(sizes): general block with explicit per-processor sizes.
+[[nodiscard]] DimDist s_block(std::vector<Index> sizes);
+/// B_BLOCK(bounds): general block with cumulative upper bounds.
+[[nodiscard]] DimDist b_block(std::vector<Index> bounds);
+/// INDIRECT(owners): user-defined mapping array.
+[[nodiscard]] DimDist indirect(std::vector<int> owners);
+
+/// Distribution of a whole array: one DimDist per dimension.
+class DistributionType {
+ public:
+  DistributionType() = default;
+  DistributionType(std::initializer_list<DimDist> dims) : dims_(dims) {}
+  explicit DistributionType(std::vector<DimDist> dims)
+      : dims_(std::move(dims)) {}
+
+  [[nodiscard]] int rank() const noexcept {
+    return static_cast<int>(dims_.size());
+  }
+  [[nodiscard]] const DimDist& dim(int d) const {
+    if (d < 0 || d >= rank()) {
+      throw std::out_of_range("DistributionType::dim");
+    }
+    return dims_[static_cast<std::size_t>(d)];
+  }
+  [[nodiscard]] const std::vector<DimDist>& dims() const noexcept {
+    return dims_;
+  }
+
+  /// "(BLOCK, CYCLIC(2))" style rendering.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const DistributionType&,
+                         const DistributionType&) = default;
+
+ private:
+  std::vector<DimDist> dims_;
+};
+
+}  // namespace vf::dist

@@ -1,0 +1,177 @@
+// Distribution: the total function delta mapping every element of an
+// index domain to a processor of a section (paper Definition 1 and
+// Section 2.2), realized as one DimMap per dimension plus an affine
+// machine-rank map over the section's free dimensions.
+//
+// The local layout (loc_map, Section 3.2.1) is column-major over the
+// per-dimension dense local indices, so every processor stores its owned
+// set contiguously regardless of the distribution kind.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vf/dist/dim_map.hpp"
+#include "vf/dist/dist_type.hpp"
+#include "vf/dist/processors.hpp"
+
+namespace vf::dist {
+
+/// One rank's local layout under a distribution: per-dimension processor
+/// coordinates and owned counts, plus the total owned element count.
+struct LocalLayout {
+  bool member = false;  ///< whether the rank belongs to the target section
+  IndexVec coords;      ///< per-dimension processor coordinate (0 if collapsed)
+  IndexVec counts;      ///< per-dimension owned count
+  Index total = 0;      ///< product of counts
+};
+
+/// Affine decomposition of owner_rank: for every index point i,
+///   owner_rank(i) = base + sum_d stride[d] * dim_map(d).proc_of(i[d]).
+struct RankAffine {
+  Index base = 0;
+  std::array<Index, kMaxRank> stride{};
+};
+
+class Distribution;
+using DistributionPtr = std::shared_ptr<const Distribution>;
+
+class Distribution {
+ public:
+  /// Applies a distribution type to an index domain on a processor
+  /// section.  The type's rank must match the domain's; the number of
+  /// distributed (non-collapsed) dimensions must match the section's free
+  /// rank.  Distributed dimensions are assigned to the section's free
+  /// dimensions in order.
+  Distribution(IndexDomain dom, DistributionType type, ProcessorSection sec);
+
+  /// Constructs a distribution from explicit per-dimension maps (the
+  /// CONSTRUCT operation of alignments).  free_dims[d] is the section
+  /// free-dimension index that dimension d is mapped onto, or -1 for a
+  /// collapsed dimension; maps[d].nprocs() must equal the corresponding
+  /// free extent (or 1 when collapsed).
+  Distribution(IndexDomain dom, DistributionType type, ProcessorSection sec,
+               std::vector<DimMap> maps, std::vector<int> free_dims);
+
+  [[nodiscard]] const IndexDomain& domain() const noexcept { return dom_; }
+  [[nodiscard]] const DistributionType& type() const noexcept { return type_; }
+  [[nodiscard]] const ProcessorSection& section() const noexcept {
+    return sec_;
+  }
+
+  [[nodiscard]] const DimMap& dim_map(int d) const {
+    if (d < 0 || d >= dom_.rank()) {
+      throw std::out_of_range("Distribution::dim_map");
+    }
+    return maps_[static_cast<std::size_t>(d)];
+  }
+
+  /// Section free-dimension index dimension d maps onto, or -1 when d is
+  /// collapsed.
+  [[nodiscard]] int proc_dim_of(int d) const {
+    if (d < 0 || d >= dom_.rank()) {
+      throw std::out_of_range("Distribution::proc_dim_of");
+    }
+    return free_dims_[static_cast<std::size_t>(d)];
+  }
+  [[nodiscard]] const std::vector<int>& free_dims() const noexcept {
+    return free_dims_;
+  }
+
+  [[nodiscard]] const RankAffine& rank_affine() const noexcept {
+    return affine_;
+  }
+
+  /// Machine rank owning index point i.
+  [[nodiscard]] int owner_rank(const IndexVec& i) const;
+  [[nodiscard]] bool owns(int rank, const IndexVec& i) const {
+    return owner_rank(i) == rank;
+  }
+
+  /// Number of elements owned by a machine rank (0 for non-members).
+  [[nodiscard]] Index local_size(int rank) const;
+
+  /// This rank's local layout.
+  [[nodiscard]] LocalLayout layout_for(int rank) const;
+
+  /// Column-major local storage offset of owned index point i under
+  /// layout L (the loc_map access function).
+  [[nodiscard]] Index local_offset(const LocalLayout& L,
+                                   const IndexVec& i) const;
+
+  /// Owned global indices of `rank` in dimension d, ascending; empty for
+  /// non-members.
+  [[nodiscard]] std::vector<Index> owned_in_dim(int rank, int d) const;
+
+  /// Calls fn(i) for every index point owned by `rank`, in global
+  /// column-major order.
+  template <typename F>
+  void for_owned(int rank, F&& fn) const {
+    const LocalLayout L = layout_for(rank);
+    if (!L.member || L.total == 0) return;
+    const int r = dom_.rank();
+    std::array<std::vector<Index>, kMaxRank> owned;
+    for (int d = 0; d < r; ++d) {
+      owned[static_cast<std::size_t>(d)] =
+          maps_[static_cast<std::size_t>(d)].owned_ascending(
+              static_cast<int>(L.coords[d]));
+      if (owned[static_cast<std::size_t>(d)].empty()) return;
+    }
+    std::array<std::size_t, kMaxRank> pos{};
+    IndexVec i;
+    for (int d = 0; d < r; ++d) {
+      i.push_back(owned[static_cast<std::size_t>(d)][0]);
+    }
+    for (;;) {
+      fn(static_cast<const IndexVec&>(i));
+      int d = 0;
+      for (; d < r; ++d) {
+        auto& p = pos[static_cast<std::size_t>(d)];
+        const auto& lst = owned[static_cast<std::size_t>(d)];
+        if (++p < lst.size()) {
+          i[d] = lst[p];
+          break;
+        }
+        p = 0;
+        i[d] = lst[0];
+      }
+      if (d == r) break;
+    }
+  }
+
+  /// Semantic mapping equality: both distributions assign every index
+  /// point to the same machine rank (and therefore, because local
+  /// orderings are always ascending-dense, induce identical local
+  /// layouts).  Decided dimension-wise on the affine decomposition.
+  [[nodiscard]] bool same_mapping(const Distribution& o) const;
+
+  /// Structural fingerprint of (domain, type, section, free-dim
+  /// assignment): equal fingerprints (verified with structural_equal for
+  /// collision safety) imply identical mappings and layouts.  Used as the
+  /// redistribution plan cache key.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept {
+    return fingerprint_;
+  }
+  [[nodiscard]] bool structural_equal(const Distribution& o) const {
+    return dom_ == o.dom_ && type_ == o.type_ && sec_ == o.sec_ &&
+           free_dims_ == o.free_dims_;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void finish_init();
+
+  IndexDomain dom_;
+  DistributionType type_;
+  ProcessorSection sec_;
+  std::vector<DimMap> maps_;
+  std::vector<int> free_dims_;
+  RankAffine affine_;
+  std::uint64_t fingerprint_ = 0;
+};
+
+}  // namespace vf::dist

@@ -1,0 +1,224 @@
+// Index spaces of distributed arrays (paper Section 2.1): global index
+// ranges, small fixed-capacity index tuples, and rectangular index domains
+// with their column-major linearization.  These are the value types the
+// whole runtime traffics in, so they are kept trivially copyable and
+// allocation-free.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+
+namespace vf::dist {
+
+/// Global (and local) index type.  Signed so that halo coordinates below a
+/// segment's lower bound stay representable.
+using Index = std::int64_t;
+
+/// Maximum array rank supported by the runtime descriptors.
+inline constexpr int kMaxRank = 4;
+
+/// Closed interval [lo, hi] of global indices; empty when hi < lo.
+struct Range {
+  Index lo = 1;
+  Index hi = 0;
+
+  constexpr Range() = default;
+  constexpr Range(Index l, Index h) : lo(l), hi(h) {}
+
+  /// The 1-based range of a Fortran-style extent: 1..n.
+  [[nodiscard]] static constexpr Range of_extent(Index n) { return {1, n}; }
+
+  [[nodiscard]] constexpr Index size() const noexcept {
+    return hi < lo ? 0 : hi - lo + 1;
+  }
+  [[nodiscard]] constexpr bool empty() const noexcept { return hi < lo; }
+  [[nodiscard]] constexpr bool contains(Index i) const noexcept {
+    return i >= lo && i <= hi;
+  }
+  [[nodiscard]] constexpr Range intersect(const Range& o) const noexcept {
+    return {lo > o.lo ? lo : o.lo, hi < o.hi ? hi : o.hi};
+  }
+
+  friend constexpr bool operator==(const Range&, const Range&) = default;
+};
+
+/// Fixed-capacity tuple of indices (an index point, per-dimension counts,
+/// strides, ...).  Capacity is kMaxRank; exceeding it throws length_error.
+class IndexVec {
+ public:
+  IndexVec() = default;
+  IndexVec(std::initializer_list<Index> xs) {
+    if (xs.size() > static_cast<std::size_t>(kMaxRank)) {
+      throw std::length_error("IndexVec: more than kMaxRank components");
+    }
+    for (Index x : xs) v_[n_++] = x;
+  }
+
+  [[nodiscard]] static IndexVec filled(int n, Index value) {
+    if (n < 0 || n > kMaxRank) {
+      throw std::length_error("IndexVec::filled: bad size");
+    }
+    IndexVec v;
+    v.n_ = n;
+    for (int d = 0; d < n; ++d) v.v_[static_cast<std::size_t>(d)] = value;
+    return v;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>(n_);
+  }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+
+  [[nodiscard]] Index& operator[](int d) noexcept {
+    return v_[static_cast<std::size_t>(d)];
+  }
+  [[nodiscard]] Index operator[](int d) const noexcept {
+    return v_[static_cast<std::size_t>(d)];
+  }
+
+  [[nodiscard]] Index at(std::size_t d) const {
+    if (d >= size()) throw std::out_of_range("IndexVec::at");
+    return v_[d];
+  }
+
+  void push_back(Index x) {
+    if (n_ >= kMaxRank) {
+      throw std::length_error("IndexVec: capacity kMaxRank exceeded");
+    }
+    v_[static_cast<std::size_t>(n_++)] = x;
+  }
+
+  [[nodiscard]] const Index* begin() const noexcept { return v_.data(); }
+  [[nodiscard]] const Index* end() const noexcept {
+    return v_.data() + n_;
+  }
+  [[nodiscard]] Index* begin() noexcept { return v_.data(); }
+  [[nodiscard]] Index* end() noexcept { return v_.data() + n_; }
+
+  friend bool operator==(const IndexVec& a, const IndexVec& b) noexcept {
+    if (a.n_ != b.n_) return false;
+    for (int d = 0; d < a.n_; ++d) {
+      if (a.v_[static_cast<std::size_t>(d)] !=
+          b.v_[static_cast<std::size_t>(d)]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s = "(";
+    for (int d = 0; d < n_; ++d) {
+      if (d) s += ", ";
+      s += std::to_string(v_[static_cast<std::size_t>(d)]);
+    }
+    s += ")";
+    return s;
+  }
+
+ private:
+  std::array<Index, kMaxRank> v_{};
+  int n_ = 0;
+};
+
+/// Rectangular index domain: the cartesian product of per-dimension ranges
+/// (paper: I^A).  Linearization is column-major (first dimension fastest),
+/// matching the Fortran storage order the paper assumes.
+class IndexDomain {
+ public:
+  IndexDomain() = default;
+  IndexDomain(std::initializer_list<Range> rs) {
+    if (rs.size() > static_cast<std::size_t>(kMaxRank)) {
+      throw std::length_error("IndexDomain: rank exceeds kMaxRank");
+    }
+    for (const Range& r : rs) dims_[static_cast<std::size_t>(rank_++)] = r;
+  }
+
+  /// 1-based domain of the given extents: (1:n0, 1:n1, ...).
+  [[nodiscard]] static IndexDomain of_extents(std::initializer_list<Index> ns) {
+    IndexDomain d;
+    if (ns.size() > static_cast<std::size_t>(kMaxRank)) {
+      throw std::length_error("IndexDomain: rank exceeds kMaxRank");
+    }
+    for (Index n : ns) {
+      d.dims_[static_cast<std::size_t>(d.rank_++)] = Range::of_extent(n);
+    }
+    return d;
+  }
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+
+  [[nodiscard]] const Range& dim(int d) const {
+    if (d < 0 || d >= rank_) throw std::out_of_range("IndexDomain::dim");
+    return dims_[static_cast<std::size_t>(d)];
+  }
+
+  /// Number of index points (0 for the rank-0 domain).
+  [[nodiscard]] Index size() const noexcept {
+    if (rank_ == 0) return 0;
+    Index n = 1;
+    for (int d = 0; d < rank_; ++d) {
+      n *= dims_[static_cast<std::size_t>(d)].size();
+    }
+    return n;
+  }
+
+  [[nodiscard]] bool contains(const IndexVec& i) const noexcept {
+    if (static_cast<int>(i.size()) != rank_) return false;
+    for (int d = 0; d < rank_; ++d) {
+      if (!dims_[static_cast<std::size_t>(d)].contains(i[d])) return false;
+    }
+    return true;
+  }
+
+  /// Column-major linear offset (0-based) of an index point.
+  [[nodiscard]] Index linearize(const IndexVec& i) const {
+    if (!contains(i)) {
+      throw std::out_of_range("IndexDomain::linearize: point outside domain " +
+                              i.to_string());
+    }
+    Index off = 0;
+    Index stride = 1;
+    for (int d = 0; d < rank_; ++d) {
+      const Range& r = dims_[static_cast<std::size_t>(d)];
+      off += (i[d] - r.lo) * stride;
+      stride *= r.size();
+    }
+    return off;
+  }
+
+  /// Inverse of linearize.
+  [[nodiscard]] IndexVec delinearize(Index off) const {
+    if (off < 0 || off >= size()) {
+      throw std::out_of_range("IndexDomain::delinearize: offset outside");
+    }
+    IndexVec i;
+    for (int d = 0; d < rank_; ++d) {
+      const Range& r = dims_[static_cast<std::size_t>(d)];
+      i.push_back(r.lo + off % r.size());
+      off /= r.size();
+    }
+    return i;
+  }
+
+  friend bool operator==(const IndexDomain& a, const IndexDomain& b) noexcept {
+    if (a.rank_ != b.rank_) return false;
+    for (int d = 0; d < a.rank_; ++d) {
+      if (a.dims_[static_cast<std::size_t>(d)] !=
+          b.dims_[static_cast<std::size_t>(d)]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::array<Range, kMaxRank> dims_{};
+  int rank_ = 0;
+};
+
+}  // namespace vf::dist

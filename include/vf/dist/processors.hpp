@@ -1,0 +1,123 @@
+// Processor arrays and sections (paper Section 2.2): the PROCESSORS
+// statement's named rectangular arrangements of the machine's processors,
+// and processor sections (sub-arrays with fixed and free dimensions) that
+// distributions target via the TO clause.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vf/dist/index.hpp"
+
+namespace vf::dist {
+
+/// A named rectangular arrangement of machine ranks.  Coordinates are
+/// 1-based within the declared domain; machine ranks are assigned
+/// column-major starting at base_rank.
+class ProcessorArray {
+ public:
+  ProcessorArray() = default;
+  ProcessorArray(std::string name, IndexDomain dom, int base_rank = 0);
+
+  /// $P(1:n): the default 1-D arrangement of the whole machine.
+  [[nodiscard]] static ProcessorArray line(int n);
+  /// R(1:r, 1:c) grid.
+  [[nodiscard]] static ProcessorArray grid(int r, int c);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const IndexDomain& domain() const noexcept { return dom_; }
+  [[nodiscard]] int rank() const noexcept { return dom_.rank(); }
+  [[nodiscard]] int base_rank() const noexcept { return base_; }
+  [[nodiscard]] int nprocs() const noexcept {
+    return static_cast<int>(dom_.size());
+  }
+
+  /// Machine rank of the processor with the given (1-based) coordinates.
+  [[nodiscard]] int machine_rank(const IndexVec& coords) const;
+  /// Coordinates of a machine rank (inverse of machine_rank).
+  [[nodiscard]] IndexVec coords_of(int machine_rank) const;
+  [[nodiscard]] bool contains_rank(int machine_rank) const noexcept;
+
+  friend bool operator==(const ProcessorArray&,
+                         const ProcessorArray&) = default;
+
+ private:
+  std::string name_;
+  IndexDomain dom_;
+  int base_ = 0;
+};
+
+/// One dimension of a processor section: either fixed at a coordinate or
+/// free over a coordinate sub-range.
+struct SectionDim {
+  bool fixed = false;
+  Index coord = 0;  ///< fixed coordinate (when fixed)
+  Range range;      ///< coordinate sub-range (when free)
+
+  [[nodiscard]] static SectionDim at(Index c) {
+    SectionDim d;
+    d.fixed = true;
+    d.coord = c;
+    return d;
+  }
+  [[nodiscard]] static SectionDim all(Range r) {
+    SectionDim d;
+    d.range = r;
+    return d;
+  }
+
+  friend bool operator==(const SectionDim&, const SectionDim&) = default;
+};
+
+/// A rectangular section of a processor array.  The free dimensions (in
+/// array-dimension order) form the section's own coordinate space, 0-based
+/// per free dimension; machine ranks are affine in each free coordinate.
+class ProcessorSection {
+ public:
+  ProcessorSection() = default;
+  /// Whole-array section.
+  explicit ProcessorSection(ProcessorArray arr);
+  ProcessorSection(ProcessorArray arr, std::vector<SectionDim> dims);
+
+  [[nodiscard]] const ProcessorArray& array() const noexcept { return arr_; }
+  [[nodiscard]] const std::vector<SectionDim>& dims() const noexcept {
+    return dims_;
+  }
+
+  /// Number of free dimensions.
+  [[nodiscard]] int free_rank() const noexcept {
+    return static_cast<int>(free_.size());
+  }
+  /// Number of processors in the section.
+  [[nodiscard]] int nprocs() const noexcept;
+  /// Extent of free dimension f.
+  [[nodiscard]] int free_extent(int f) const;
+
+  /// Machine rank of the processor at the given 0-based free coordinates.
+  [[nodiscard]] int machine_rank(const IndexVec& free_coords) const;
+  /// Machine rank at all-zero free coordinates.
+  [[nodiscard]] int rank_base() const;
+  /// Affine machine-rank stride of free dimension f.
+  [[nodiscard]] Index rank_stride(int f) const;
+
+  /// All machine ranks of the section, enumerated column-major over the
+  /// free coordinates.
+  [[nodiscard]] std::vector<int> machine_ranks() const;
+
+  /// Free coordinates of a machine rank, or nullopt if the rank is not a
+  /// member of the section.
+  [[nodiscard]] std::optional<IndexVec> free_coords_of(int machine_rank) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const ProcessorSection&,
+                         const ProcessorSection&) = default;
+
+ private:
+  ProcessorArray arr_;
+  std::vector<SectionDim> dims_;
+  std::vector<int> free_;  ///< array-dimension index of each free dim
+};
+
+}  // namespace vf::dist

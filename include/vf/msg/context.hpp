@@ -168,6 +168,11 @@ class Context {
 
   /// Gather a (possibly differently sized) vector from each rank; every
   /// rank receives all contributions, indexed by rank.
+  ///
+  /// The root keeps (moves) its own contribution, and each non-root's own
+  /// contribution is moved straight into its result instead of round-
+  /// tripping through the root's rebroadcast blob -- the blob a rank
+  /// receives contains only the other ranks' payloads.
   template <detail::TriviallySendable T>
   [[nodiscard]] std::vector<std::vector<T>> allgather_vec(std::vector<T> v) {
     const int tag = next_coll_tag();
@@ -179,14 +184,18 @@ class Context {
         all[static_cast<std::size_t>(p)] =
             bytes_to_vector<T>(recv_bytes(p, tag));
       }
-      // Serialize as [count_0, payload_0, count_1, ...] for the rebroadcast.
-      std::vector<std::byte> blob = pack_vectors(all);
-      for (int p = 1; p < nprocs(); ++p) send_ctl_bytes(p, tag, blob);
+      // Serialize as [count, payload]* per receiver, skipping the
+      // receiver's own contribution.
+      for (int p = 1; p < nprocs(); ++p) {
+        send_ctl_bytes(p, tag, pack_vectors(all, /*skip=*/p));
+      }
       return all;
     }
     send_ctl_bytes(0, tag, std::as_bytes(std::span<const T>(v)));
     auto blob = recv_bytes(0, tag);
-    return unpack_vectors<T>(blob, nprocs());
+    all = unpack_vectors<T>(blob, nprocs(), /*skip=*/rank_);
+    all[static_cast<std::size_t>(rank_)] = std::move(v);
+    return all;
   }
 
   /// Personalized all-to-all: `out[d]` is the payload for rank d (out[rank()]
@@ -205,14 +214,47 @@ class Context {
       throw std::invalid_argument("alltoallv: out.size() != nprocs()");
     }
     // Exchange the full count matrix so each rank knows which (possibly
-    // empty) payloads to expect.
+    // empty) payloads to expect, then run the counted exchange.
     std::vector<std::uint64_t> my_counts(static_cast<std::size_t>(np));
     for (int d = 0; d < np; ++d) {
       my_counts[static_cast<std::size_t>(d)] =
           out[static_cast<std::size_t>(d)].size();
     }
     auto counts = allgather_vec(my_counts);  // counts[s][d]
+    std::vector<std::uint64_t> expected(static_cast<std::size_t>(np));
+    for (int s = 0; s < np; ++s) {
+      expected[static_cast<std::size_t>(s)] =
+          counts[static_cast<std::size_t>(s)][static_cast<std::size_t>(rank_)];
+    }
+    return alltoallv_known(std::move(out),
+                           std::span<const std::uint64_t>(expected));
+  }
 
+  /// Personalized all-to-all with pre-agreed counts: like alltoallv, but
+  /// every rank already knows how many elements to expect from every peer
+  /// (expected[s] = elements arriving from rank s), so the count-exchange
+  /// collective is skipped entirely.  This is the executor-side transport
+  /// of inspector/executor schedules and cached redistribution plans: the
+  /// inspector established the counts once, and every replay pays only the
+  /// value messages.
+  ///
+  /// The counts are a hard protocol precondition (as with MPI counted
+  /// receives): a non-zero payload whose size disagrees with the expected
+  /// count raises an error below, but if a sender holds ZERO elements for
+  /// a peer expecting more, no message travels and the receiver blocks in
+  /// recv -- the same failure mode as mismatched MPI counts.  Callers must
+  /// derive both sides from one deterministic computation (a RedistPlan or
+  /// Schedule inspector), never from independent guesses.
+  template <detail::TriviallySendable T>
+  [[nodiscard]] std::vector<std::vector<T>> alltoallv_known(
+      std::vector<std::vector<T>> out,
+      std::span<const std::uint64_t> expected) {
+    const int np = nprocs();
+    if (static_cast<int>(out.size()) != np ||
+        static_cast<int>(expected.size()) != np) {
+      throw std::invalid_argument(
+          "alltoallv_known: out/expected size != nprocs()");
+    }
     const int tag = next_coll_tag();
     stats().collectives++;
     std::vector<std::vector<T>> in(static_cast<std::size_t>(np));
@@ -225,12 +267,16 @@ class Context {
       send_bytes(d, tag, std::as_bytes(std::span<const T>(payload)));
     }
     for (int s = 0; s < np; ++s) {
-      if (s == rank_) continue;
-      if (counts[static_cast<std::size_t>(s)][static_cast<std::size_t>(
-              rank_)] == 0) {
-        continue;
-      }
+      if (s == rank_ || expected[static_cast<std::size_t>(s)] == 0) continue;
       in[static_cast<std::size_t>(s)] = bytes_to_vector<T>(recv_bytes(s, tag));
+    }
+    for (int s = 0; s < np; ++s) {
+      if (in[static_cast<std::size_t>(s)].size() !=
+          expected[static_cast<std::size_t>(s)]) {
+        throw std::runtime_error(
+            "alltoallv_known: received payload size does not match the "
+            "pre-agreed count");
+      }
     }
     return in;
   }
@@ -254,14 +300,21 @@ class Context {
     return v;
   }
 
+  /// Serializes [count, payload]* for every vector except index `skip`
+  /// (skip < 0 packs everything).
   template <typename T>
   static std::vector<std::byte> pack_vectors(
-      const std::vector<std::vector<T>>& vs) {
+      const std::vector<std::vector<T>>& vs, int skip = -1) {
     std::size_t total = 0;
-    for (const auto& v : vs) total += sizeof(std::uint64_t) + v.size() * sizeof(T);
+    for (std::size_t k = 0; k < vs.size(); ++k) {
+      if (static_cast<int>(k) == skip) continue;
+      total += sizeof(std::uint64_t) + vs[k].size() * sizeof(T);
+    }
     std::vector<std::byte> blob(total);
     std::size_t off = 0;
-    for (const auto& v : vs) {
+    for (std::size_t k = 0; k < vs.size(); ++k) {
+      if (static_cast<int>(k) == skip) continue;
+      const auto& v = vs[k];
       const std::uint64_t n = v.size();
       std::memcpy(blob.data() + off, &n, sizeof n);
       off += sizeof n;
@@ -273,12 +326,16 @@ class Context {
     return blob;
   }
 
+  /// Inverse of pack_vectors: slot `skip` is left empty for the caller to
+  /// fill (its own moved contribution).
   template <typename T>
   static std::vector<std::vector<T>> unpack_vectors(
-      std::span<const std::byte> blob, int np) {
+      std::span<const std::byte> blob, int np, int skip = -1) {
     std::vector<std::vector<T>> vs(static_cast<std::size_t>(np));
     std::size_t off = 0;
-    for (auto& v : vs) {
+    for (int k = 0; k < np; ++k) {
+      if (k == skip) continue;
+      auto& v = vs[static_cast<std::size_t>(k)];
       std::uint64_t n = 0;
       if (off + sizeof n > blob.size()) {
         throw std::runtime_error("unpack_vectors: truncated blob");

@@ -7,10 +7,17 @@
 // know what to serve.  The *executor* (gather / scatter / scatter_add)
 // then moves only unique data, one aggregated message per communicating
 // pair; duplicate occurrences are fanned out (gather) or pre-combined
-// (scatter, scatter_add) on the requesting side.  A schedule is reusable:
-// the inspector cost is amortized over repeated executor calls (bench E7),
-// which is what makes the inspector/executor paradigm pay off in codes
-// like the PIC example of Section 4.
+// (scatter, scatter_add) on the requesting side.
+//
+// Executor hot loops are branch-free walks over flat std::size_t storage
+// offsets: the first executor call against an array translates the served
+// and locally-satisfied index points into local storage offsets once (and
+// re-translates only if the array or its distribution changes), so
+// repeated executor calls perform no per-element IndexVec arithmetic, no
+// at() ownership checks, and -- because both sides' counts were agreed at
+// inspector time -- no count-exchange collective (alltoallv_known).  This
+// is what makes the inspector cost amortizable (bench E7) in codes like
+// the PIC example of Section 4.
 #pragma once
 
 #include <span>
@@ -38,7 +45,7 @@ class Schedule {
   }
   /// Number of points satisfied locally.
   [[nodiscard]] std::size_t n_local() const noexcept {
-    return local_points_.size();
+    return local_linear_.size();
   }
 
   /// Executor: fills out[k] with the value of the k-th requested point.
@@ -47,18 +54,27 @@ class Schedule {
   void gather(msg::Context& ctx, const rt::DistArray<T>& src,
               std::span<T> out) const {
     check_size(out.size());
+    bind(src);
     const int np = ctx.nprocs();
-    // Owners serve each unique requested element once.
+    const T* data = src.local_span().data();
+    // Owners serve each unique requested element once: a branch-free copy
+    // through the precomputed flat offsets into exactly-sized buffers.
     std::vector<std::vector<T>> serve(static_cast<std::size_t>(np));
     for (int p = 0; p < np; ++p) {
-      const auto& pts = serve_unique_[static_cast<std::size_t>(p)];
-      auto& buf = serve[static_cast<std::size_t>(p)];
-      buf.reserve(pts.size());
-      for (const auto& i : pts) buf.push_back(src.at(i));
+      const auto up = static_cast<std::size_t>(p);
+      const std::size_t b = serve_start_[up];
+      const std::size_t e = serve_start_[up + 1];
+      auto& buf = serve[up];
+      buf.resize(e - b);
+      for (std::size_t k = b; k < e; ++k) {
+        buf[k - b] = data[bound_.serve_off[k]];
+      }
     }
-    auto in = ctx.alltoallv(std::move(serve));
-    for (std::size_t k = 0; k < local_points_.size(); ++k) {
-      out[local_positions_[k]] = src.at(local_points_[k]);
+    auto in = ctx.alltoallv_known(std::move(serve),
+                                  std::span<const std::uint64_t>(
+                                      req_unique_counts_));
+    for (std::size_t k = 0; k < local_linear_.size(); ++k) {
+      out[local_positions_[k]] = data[bound_.local_off[k]];
     }
     // Fan replies out to every occurrence.
     for (int p = 0; p < np; ++p) {
@@ -112,12 +128,13 @@ class Schedule {
   void exec_scatter(msg::Context& ctx, std::span<const T> in,
                     rt::DistArray<T>& dst, bool accumulate) const {
     check_size(in.size());
+    bind(dst);
     const int np = ctx.nprocs();
     // Requester-side combining: one slot per unique remote element.
     std::vector<std::vector<T>> out(static_cast<std::size_t>(np));
     for (int p = 0; p < np; ++p) {
       const auto up = static_cast<std::size_t>(p);
-      out[up].assign(serve_counts_[up], T{});
+      out[up].assign(static_cast<std::size_t>(req_unique_counts_[up]), T{});
       const auto& occ = occ_unique_index_[up];
       const auto& pos = occ_positions_[up];
       for (std::size_t k = 0; k < occ.size(); ++k) {
@@ -128,9 +145,12 @@ class Schedule {
         }
       }
     }
-    auto incoming = ctx.alltoallv(std::move(out));
-    for (std::size_t k = 0; k < local_points_.size(); ++k) {
-      T& slot = dst.at(local_points_[k]);
+    auto incoming = ctx.alltoallv_known(std::move(out),
+                                        std::span<const std::uint64_t>(
+                                            expect_scatter_));
+    T* data = dst.local_span().data();
+    for (std::size_t k = 0; k < local_linear_.size(); ++k) {
+      T& slot = data[bound_.local_off[k]];
       if (accumulate) {
         slot += in[local_positions_[k]];
       } else {
@@ -139,14 +159,15 @@ class Schedule {
     }
     for (int p = 0; p < np; ++p) {
       const auto up = static_cast<std::size_t>(p);
-      const auto& pts = serve_unique_[up];
+      const std::size_t b = serve_start_[up];
+      const std::size_t e = serve_start_[up + 1];
       const auto& vals = incoming[up];
-      for (std::size_t k = 0; k < pts.size(); ++k) {
-        T& slot = dst.at(pts[k]);
+      for (std::size_t k = b; k < e; ++k) {
+        T& slot = data[bound_.serve_off[k]];
         if (accumulate) {
-          slot += vals[k];
+          slot += vals[k - b];
         } else {
-          slot = vals[k];
+          slot = vals[k - b];
         }
       }
     }
@@ -160,6 +181,12 @@ class Schedule {
     }
   }
 
+  /// Translates the served and local index points into flat storage
+  /// offsets of `a` (cached; re-translated only when the array or its
+  /// distribution changes).  Schedules are per-rank objects, so no
+  /// synchronization is needed.
+  void bind(const rt::DistArrayBase& a) const;
+
   std::size_t n_points_ = 0;
   std::size_t n_unique_offproc_ = 0;
 
@@ -168,15 +195,42 @@ class Schedule {
   // the peer's serve list.
   std::vector<std::vector<std::size_t>> occ_positions_;
   std::vector<std::vector<std::size_t>> occ_unique_index_;
-  // Number of unique elements I exchange with each peer (as requester).
-  std::vector<std::size_t> serve_counts_;
+  // Number of unique elements I exchange with each peer (as requester);
+  // doubles as the pre-agreed per-peer count of values arriving during a
+  // gather, so it feeds alltoallv_known directly.
+  std::vector<std::uint64_t> req_unique_counts_;
 
-  // Owner side, per peer: unique points to serve.
-  std::vector<std::vector<dist::IndexVec>> serve_unique_;
+  // Owner side: unique linearized points to serve, concatenated per peer
+  // with serve_start_[p] .. serve_start_[p+1] delimiting peer p's slice.
+  dist::IndexDomain dom_;
+  std::vector<dist::Index> serve_linear_;
+  std::vector<std::size_t> serve_start_;
 
-  // Locally satisfied points.
-  std::vector<dist::IndexVec> local_points_;
+  // Locally satisfied points (linearized) and their buffer positions.
+  std::vector<dist::Index> local_linear_;
   std::vector<std::size_t> local_positions_;
+
+  // Pre-agreed per-peer count of values arriving during a scatter (the
+  // serve-slice sizes, cached as one vector for alltoallv_known).
+  std::vector<std::uint64_t> expect_scatter_;
+
+  // Copy of the inspected target distribution: executors refuse to bind
+  // an array whose distribution no longer maps the same way (structural
+  // fingerprint fast path, mapping-level comparison for descriptor-only
+  // swaps such as a no-op DISTRIBUTE to an equivalent spelling).
+  std::uint64_t target_fingerprint_ = 0;
+  std::shared_ptr<const dist::Distribution> target_;
+
+  // Flat storage offsets bound to one array instance + distribution.  The
+  // DistributionPtr is held (not a raw address) so a recycled heap address
+  // can never alias a stale binding.
+  struct Binding {
+    const void* array = nullptr;
+    dist::DistributionPtr dist;
+    std::vector<std::size_t> serve_off;  ///< parallel to serve_linear_
+    std::vector<std::size_t> local_off;  ///< parallel to local_linear_
+  };
+  mutable Binding bound_;
 };
 
 }  // namespace vf::parti

@@ -1,8 +1,11 @@
 // Type-erased distributed-array base: descriptors, the DYNAMIC attribute,
-// RANGE enforcement, and the DISTRIBUTE statement (paper Sections 2.3, 2.4
-// and 3.2.2).
+// RANGE enforcement, the DISTRIBUTE statement (paper Sections 2.3, 2.4
+// and 3.2.2), and the element-type-independent local storage geometry
+// (overlap widths, allocation strides, loc_map offsets) that both the
+// runtime and the PARTI executors address through.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -182,6 +185,29 @@ class DistArrayBase {
   /// Number of bytes per element (for communication accounting).
   [[nodiscard]] virtual std::size_t element_size() const noexcept = 0;
 
+  // ---- local storage geometry (loc_map, Section 3.2.1) --------------------
+  //
+  // Local storage is laid out column-major over the per-dimension dense
+  // local indices, padded by the overlap (ghost) widths.  The geometry is
+  // element-type independent, so executors (PARTI schedules) can translate
+  // index points to flat storage offsets through the base class.
+
+  /// Flat local-storage offset of an owned element (no ownership check;
+  /// the caller guarantees this rank owns i).
+  [[nodiscard]] dist::Index storage_offset(const dist::IndexVec& i) const {
+    if (!dist_) throw NotDistributedError(name_);
+    dist::Index off = 0;
+    for (int d = 0; d < dom_.rank(); ++d) {
+      off += (dim_local(d, i[d]) + ghost_lo_[d]) * alloc_strides_[d];
+    }
+    return off;
+  }
+
+  /// Total allocated elements (owned extent plus ghost padding).
+  [[nodiscard]] dist::Index alloc_total() const noexcept {
+    return alloc_total_;
+  }
+
  protected:
   DistArrayBase(Env& env, std::string name, dist::IndexDomain dom,
                 bool dynamic, query::RangeSpec range,
@@ -210,6 +236,58 @@ class DistArrayBase {
     }
   }
 
+  /// Local coordinate (0-based within the owned extent) of global index g
+  /// in dimension d; may be negative / beyond the extent for halo use.
+  [[nodiscard]] dist::Index dim_local(int d, dist::Index g) const {
+    if (contig_[static_cast<std::size_t>(d)]) {
+      return g - seg_lo_[d];
+    }
+    return dist_->dim_map(d).local_of(g);
+  }
+
+  /// Storage offset for halo-readable element (bounds-checked).
+  [[nodiscard]] dist::Index halo_offset(const dist::IndexVec& i) const {
+    if (!dist_) throw NotDistributedError(name_);
+    dist::Index off = 0;
+    for (int d = 0; d < dom_.rank(); ++d) {
+      const dist::Index l = dim_local(d, i[d]);
+      if (l < -ghost_lo_[d] || l >= layout_.counts[d] + ghost_hi_[d]) {
+        throw std::out_of_range("halo access outside overlap area of " +
+                                name_);
+      }
+      off += (l + ghost_lo_[d]) * alloc_strides_[d];
+    }
+    return off;
+  }
+
+  /// Recomputes the allocation shape (counts, strides, segment bases) for
+  /// the current distribution and ghost widths.
+  void rebuild_storage_shape() {
+    const int r = dom_.rank();
+    alloc_counts_ = dist::IndexVec::filled(r, 0);
+    alloc_strides_ = dist::IndexVec::filled(r, 0);
+    seg_lo_ = dist::IndexVec::filled(r, 0);
+    alloc_total_ = layout_.member ? 1 : 0;
+    for (int d = 0; d < r; ++d) {
+      const auto& m = dist_->dim_map(d);
+      contig_[static_cast<std::size_t>(d)] = m.contiguous();
+      if ((ghost_lo_[d] > 0 || ghost_hi_[d] > 0) && !m.contiguous()) {
+        throw std::invalid_argument(
+            "array " + name_ +
+            ": overlap areas require a contiguous distribution in dimension " +
+            std::to_string(d));
+      }
+      if (!layout_.member) continue;
+      if (contig_[static_cast<std::size_t>(d)]) {
+        auto seg = m.segment(static_cast<int>(layout_.coords[d]));
+        seg_lo_[d] = seg ? seg->lo : 0;
+      }
+      alloc_counts_[d] = layout_.counts[d] + ghost_lo_[d] + ghost_hi_[d];
+      alloc_strides_[d] = alloc_total_;
+      alloc_total_ *= alloc_counts_[d];
+    }
+  }
+
   Env* env_;
   std::string name_;
   dist::IndexDomain dom_;
@@ -218,6 +296,15 @@ class DistArrayBase {
   dist::DistributionPtr dist_;
   dist::LocalLayout layout_;
   std::shared_ptr<ConnectClass> cclass_;
+
+  // Storage geometry under the current distribution.
+  dist::IndexVec ghost_lo_;
+  dist::IndexVec ghost_hi_;
+  dist::IndexVec alloc_counts_;
+  dist::IndexVec alloc_strides_;
+  dist::IndexVec seg_lo_;
+  dist::Index alloc_total_ = 0;
+  std::array<bool, dist::kMaxRank> contig_{};
 };
 
 }  // namespace vf::rt

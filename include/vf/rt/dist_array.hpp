@@ -5,10 +5,14 @@
 //     the owned index set, with optional overlap (ghost) areas;
 //   * the access functions loc_map (owned access) and halo access;
 //   * the realization of the DISTRIBUTE statement's data motion
-//     (Section 3.2.2): each processor determines the new locations of its
-//     current local data, ships it with at most one message per
-//     destination processor, and receives its new local data;
-//   * overlap-area exchange for stencil codes and global reductions.
+//     (Section 3.2.2): the exchange is decomposed into maximal
+//     innermost-dimension contiguous runs (RedistPlan), moved with memcpy
+//     into exactly-sized buffers, and shipped with at most one message per
+//     destination processor.  Plans are cached per (old, new) distribution
+//     pair, so repeated DISTRIBUTE flips -- the ADI row/column pattern of
+//     Section 4 -- pay the inspector cost once;
+//   * overlap-area exchange for stencil codes and global reductions, also
+//     run-based.
 //
 // Declaration mirrors the language syntax through DistArray<T>::Spec:
 //
@@ -22,15 +26,16 @@
 //                                       {p_block(), p_col()}}});
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
-#include <functional>
 #include <limits>
 #include <span>
 #include <type_traits>
 
 #include "vf/msg/context.hpp"
 #include "vf/rt/array_base.hpp"
+#include "vf/rt/redist_plan.hpp"
 
 namespace vf::rt {
 
@@ -121,16 +126,19 @@ class DistArray final : public DistArrayBase {
   // ---- whole-array operations ---------------------------------------------
 
   /// Calls fn(i, element) for every owned element, in global column-major
-  /// order.
-  void for_owned(const std::function<void(const dist::IndexVec&, T&)>& fn) {
+  /// order.  fn is a templated callable -- no std::function indirection on
+  /// the iteration path.
+  template <typename F>
+  void for_owned(F&& fn) {
     distribution().for_owned(env_->rank(), [&](const dist::IndexVec& i) {
       fn(i, local_[static_cast<std::size_t>(storage_offset(i))]);
     });
   }
-  void for_owned(
-      const std::function<void(const dist::IndexVec&, const T&)>& fn) const {
+  template <typename F>
+  void for_owned(F&& fn) const {
     distribution().for_owned(env_->rank(), [&](const dist::IndexVec& i) {
-      fn(i, local_[static_cast<std::size_t>(storage_offset(i))]);
+      fn(i, static_cast<const T&>(
+                local_[static_cast<std::size_t>(storage_offset(i))]));
     });
   }
 
@@ -139,7 +147,8 @@ class DistArray final : public DistArrayBase {
   }
 
   /// Initializes every owned element from a global function of its index.
-  void init(const std::function<T(const dist::IndexVec&)>& f) {
+  template <typename F>
+  void init(F&& f) {
     for_owned([&](const dist::IndexVec& i, T& x) { x = f(i); });
   }
 
@@ -175,8 +184,26 @@ class DistArray final : public DistArrayBase {
 
   /// Exchanges overlap areas with segment neighbours in every dimension
   /// with non-zero ghost widths (collective).  Faces only; corners are not
-  /// exchanged.
+  /// exchanged.  Whole innermost-dimension runs are packed and unpacked
+  /// with memcpy, and the exchange uses exact expected counts (no count
+  /// collective).
   void exchange_overlap();
+
+  // ---- redistribution plan cache ------------------------------------------
+
+  /// Enables/disables the (old, new) distribution plan cache; disabling
+  /// also drops cached plans.  Mainly for benchmarks measuring the cold
+  /// inspector path.
+  void set_redist_plan_cache(bool enabled) {
+    plan_cache_enabled_ = enabled;
+    if (!enabled) plan_cache_.clear();
+  }
+  [[nodiscard]] std::uint64_t redist_plan_hits() const noexcept {
+    return plan_hits_;
+  }
+  [[nodiscard]] std::uint64_t redist_plan_misses() const noexcept {
+    return plan_misses_;
+  }
 
  private:
   DistArray(Env& env, Spec spec, std::optional<Connection> connect)
@@ -223,7 +250,7 @@ class DistArray final : public DistArrayBase {
 
   [[nodiscard]] dist::IndexVec normalize_ghost(const dist::IndexVec& g) const {
     if (g.empty()) return dist::IndexVec::filled(dom_.rank(), 0);
-    if (g.size() != dom_.rank()) {
+    if (static_cast<int>(g.size()) != dom_.rank()) {
       throw std::invalid_argument("array " + name_ +
                                   ": overlap widths must match the rank");
     }
@@ -231,66 +258,6 @@ class DistArray final : public DistArrayBase {
       if (w < 0) throw std::invalid_argument("negative overlap width");
     }
     return g;
-  }
-
-  /// Local coordinate (0-based within the owned extent) of global index g
-  /// in dimension d; may be negative / beyond the extent for halo use.
-  [[nodiscard]] dist::Index dim_local(int d, dist::Index g) const {
-    if (contig_[static_cast<std::size_t>(d)]) {
-      return g - seg_lo_[d];
-    }
-    return dist_->dim_map(d).local_of(g);
-  }
-
-  /// Storage offset of an owned element.
-  [[nodiscard]] dist::Index storage_offset(const dist::IndexVec& i) const {
-    if (!dist_) throw NotDistributedError(name_);
-    dist::Index off = 0;
-    for (int d = 0; d < dom_.rank(); ++d) {
-      off += (dim_local(d, i[d]) + ghost_lo_[d]) * alloc_strides_[d];
-    }
-    return off;
-  }
-
-  /// Storage offset for halo-readable element (bounds-checked).
-  [[nodiscard]] dist::Index halo_offset(const dist::IndexVec& i) const {
-    if (!dist_) throw NotDistributedError(name_);
-    dist::Index off = 0;
-    for (int d = 0; d < dom_.rank(); ++d) {
-      const dist::Index l = dim_local(d, i[d]);
-      if (l < -ghost_lo_[d] || l >= layout_.counts[d] + ghost_hi_[d]) {
-        throw std::out_of_range("halo access outside overlap area of " +
-                                name_);
-      }
-      off += (l + ghost_lo_[d]) * alloc_strides_[d];
-    }
-    return off;
-  }
-
-  void rebuild_storage_shape() {
-    const int r = dom_.rank();
-    alloc_counts_ = dist::IndexVec::filled(r, 0);
-    alloc_strides_ = dist::IndexVec::filled(r, 0);
-    seg_lo_ = dist::IndexVec::filled(r, 0);
-    alloc_total_ = layout_.member ? 1 : 0;
-    for (int d = 0; d < r; ++d) {
-      const auto& m = dist_->dim_map(d);
-      contig_[static_cast<std::size_t>(d)] = m.contiguous();
-      if ((ghost_lo_[d] > 0 || ghost_hi_[d] > 0) && !m.contiguous()) {
-        throw std::invalid_argument(
-            "array " + name_ +
-            ": overlap areas require a contiguous distribution in dimension " +
-            std::to_string(d));
-      }
-      if (!layout_.member) continue;
-      if (contig_[static_cast<std::size_t>(d)]) {
-        auto seg = m.segment(static_cast<int>(layout_.coords[d]));
-        seg_lo_[d] = seg ? seg->lo : 0;
-      }
-      alloc_counts_[d] = layout_.counts[d] + ghost_lo_[d] + ghost_hi_[d];
-      alloc_strides_[d] = alloc_total_;
-      alloc_total_ *= alloc_counts_[d];
-    }
   }
 
   void apply_distribution(dist::DistributionPtr nd, bool transfer) override {
@@ -311,10 +278,43 @@ class DistArray final : public DistArrayBase {
     rebuild_storage_shape();
   }
 
-  /// The data-motion core of DISTRIBUTE (Section 3.2.2): both sides
-  /// enumerate their (old/new) owned sets in global column-major order;
-  /// the per-(sender,receiver) subsequences agree, so no index lists need
-  /// to travel -- only values, at most one message per processor pair.
+  // ---- DISTRIBUTE data motion (Section 3.2.2) -----------------------------
+
+  /// Looks up a cached plan for the (old, new) pair; fingerprints are
+  /// verified with a full structural comparison so a hash collision can
+  /// never replay a wrong plan.
+  [[nodiscard]] std::shared_ptr<const RedistPlan> lookup_plan(
+      const dist::Distribution& od, const dist::Distribution& nd) {
+    if (!plan_cache_enabled_) return nullptr;
+    for (const PlanEntry& e : plan_cache_) {
+      if (e.od->fingerprint() == od.fingerprint() &&
+          e.nd->fingerprint() == nd.fingerprint() &&
+          e.od->structural_equal(od) && e.nd->structural_equal(nd)) {
+        ++plan_hits_;
+        return e.plan;
+      }
+    }
+    ++plan_misses_;
+    return nullptr;
+  }
+
+  void store_plan(dist::DistributionPtr od, dist::DistributionPtr nd,
+                  std::shared_ptr<const RedistPlan> plan) {
+    if (!plan_cache_enabled_) return;
+    if (plan_cache_.size() >= kPlanCacheCapacity) {
+      plan_cache_.erase(plan_cache_.begin());
+    }
+    plan_cache_.push_back(
+        PlanEntry{std::move(od), std::move(nd), std::move(plan)});
+  }
+
+  /// The data-motion core of DISTRIBUTE: both sides enumerate their
+  /// (old/new) owned sets in global column-major order; the
+  /// per-(sender,receiver) subsequences agree, so no index lists travel --
+  /// only values, at most one message per processor pair.  The enumeration
+  /// itself is factored into a cached RedistPlan of contiguous runs; data
+  /// moves with memcpy into exactly-sized buffers, and the exchange skips
+  /// the count collective because the plan knows both sides' counts.
   void redistribute_data(dist::DistributionPtr ndp) {
     auto& ctx = env_->comm();
     const int np = ctx.nprocs();
@@ -322,111 +322,44 @@ class DistArray final : public DistArrayBase {
     // Keep the old distribution alive through the unpack phase (the
     // descriptor swap below releases this array's reference to it).
     const dist::DistributionPtr odp = dist_;
-    const dist::Distribution& od = *odp;
-    const dist::Distribution& nd = *ndp;
-    const int r = dom_.rank();
 
-    // ---- pack: walk my old owned set, bucket values by new owner --------
-    std::vector<std::vector<T>> out(static_cast<std::size_t>(np));
-    if (layout_.member && layout_.total > 0) {
-      // Per-dimension precomputation: old storage offset contribution and
-      // new owner-rank contribution for every owned index.
-      std::array<std::vector<dist::Index>, dist::kMaxRank> off_c;
-      std::array<std::vector<dist::Index>, dist::kMaxRank> rank_c;
-      const auto& na = nd.rank_affine();
-      for (int d = 0; d < r; ++d) {
-        auto owned = od.owned_in_dim(me, d);
-        off_c[static_cast<std::size_t>(d)].reserve(owned.size());
-        rank_c[static_cast<std::size_t>(d)].reserve(owned.size());
-        for (dist::Index g : owned) {
-          off_c[static_cast<std::size_t>(d)].push_back(
-              (dim_local(d, g) + ghost_lo_[d]) * alloc_strides_[d]);
-          rank_c[static_cast<std::size_t>(d)].push_back(
-              na.stride[static_cast<std::size_t>(d)] *
-              nd.dim_map(d).proc_of(g));
-        }
-      }
-      std::array<std::size_t, dist::kMaxRank> pos{};
-      std::array<std::size_t, dist::kMaxRank> lim{};
-      for (int d = 0; d < r; ++d) {
-        lim[static_cast<std::size_t>(d)] =
-            off_c[static_cast<std::size_t>(d)].size();
-      }
-      for (;;) {
-        dist::Index off = 0;
-        dist::Index dest = na.base;
-        for (int d = 0; d < r; ++d) {
-          off += off_c[static_cast<std::size_t>(d)]
-                      [pos[static_cast<std::size_t>(d)]];
-          dest += rank_c[static_cast<std::size_t>(d)]
-                        [pos[static_cast<std::size_t>(d)]];
-        }
-        out[static_cast<std::size_t>(dest)].push_back(
-            local_[static_cast<std::size_t>(off)]);
-        int d = 0;
-        for (; d < r; ++d) {
-          if (++pos[static_cast<std::size_t>(d)] <
-              lim[static_cast<std::size_t>(d)]) {
-            break;
-          }
-          pos[static_cast<std::size_t>(d)] = 0;
-        }
-        if (d == r) break;
-      }
+    std::shared_ptr<const RedistPlan> plan = lookup_plan(*odp, *ndp);
+    if (!plan) {
+      plan = std::make_shared<const RedistPlan>(
+          RedistPlan::build(*odp, *ndp, me, np, ghost_lo_, ghost_hi_));
+      store_plan(odp, ndp, plan);
     }
 
-    auto in = ctx.alltoallv(std::move(out));
+    // ---- pack: one memcpy per run into exactly-sized buffers ------------
+    std::vector<std::vector<T>> out(static_cast<std::size_t>(np));
+    for (int p = 0; p < np; ++p) {
+      out[static_cast<std::size_t>(p)].resize(static_cast<std::size_t>(
+          plan->send_counts[static_cast<std::size_t>(p)]));
+    }
+    std::vector<std::size_t> cur(static_cast<std::size_t>(np), 0);
+    const T* src = local_.data();
+    for (const RedistPlan::Run& run : plan->pack_runs) {
+      const auto peer = static_cast<std::size_t>(run.peer);
+      std::memcpy(out[peer].data() + cur[peer], src + run.offset,
+                  run.length * sizeof(T));
+      cur[peer] += run.length;
+    }
+
+    auto in = ctx.alltoallv_known(std::move(out),
+                                  std::span<const std::uint64_t>(
+                                      plan->recv_counts));
 
     // ---- install the new distribution and unpack ------------------------
     set_distribution(std::move(ndp));
     rebuild_storage_shape();
     local_.assign(static_cast<std::size_t>(alloc_total_), T{});
-
-    if (layout_.member && layout_.total > 0) {
-      std::array<std::vector<dist::Index>, dist::kMaxRank> off_c;
-      std::array<std::vector<dist::Index>, dist::kMaxRank> rank_c;
-      const auto& oa = od.rank_affine();
-      for (int d = 0; d < r; ++d) {
-        auto owned = nd.owned_in_dim(me, d);
-        off_c[static_cast<std::size_t>(d)].reserve(owned.size());
-        rank_c[static_cast<std::size_t>(d)].reserve(owned.size());
-        for (dist::Index g : owned) {
-          off_c[static_cast<std::size_t>(d)].push_back(
-              (dim_local(d, g) + ghost_lo_[d]) * alloc_strides_[d]);
-          rank_c[static_cast<std::size_t>(d)].push_back(
-              oa.stride[static_cast<std::size_t>(d)] *
-              od.dim_map(d).proc_of(g));
-        }
-      }
-      std::vector<std::size_t> cursor(static_cast<std::size_t>(np), 0);
-      std::array<std::size_t, dist::kMaxRank> pos{};
-      std::array<std::size_t, dist::kMaxRank> lim{};
-      for (int d = 0; d < r; ++d) {
-        lim[static_cast<std::size_t>(d)] =
-            off_c[static_cast<std::size_t>(d)].size();
-      }
-      for (;;) {
-        dist::Index off = 0;
-        dist::Index src = oa.base;
-        for (int d = 0; d < r; ++d) {
-          off += off_c[static_cast<std::size_t>(d)]
-                      [pos[static_cast<std::size_t>(d)]];
-          src += rank_c[static_cast<std::size_t>(d)]
-                       [pos[static_cast<std::size_t>(d)]];
-        }
-        local_[static_cast<std::size_t>(off)] =
-            in[static_cast<std::size_t>(src)]
-              [cursor[static_cast<std::size_t>(src)]++];
-        int d = 0;
-        for (; d < r; ++d) {
-          if (++pos[static_cast<std::size_t>(d)] <
-              lim[static_cast<std::size_t>(d)]) {
-            break;
-          }
-          pos[static_cast<std::size_t>(d)] = 0;
-        }
-        if (d == r) break;
-      }
+    std::fill(cur.begin(), cur.end(), std::size_t{0});
+    T* dst = local_.data();
+    for (const RedistPlan::Run& run : plan->unpack_runs) {
+      const auto peer = static_cast<std::size_t>(run.peer);
+      std::memcpy(dst + run.offset, in[peer].data() + cur[peer],
+                  run.length * sizeof(T));
+      cur[peer] += run.length;
     }
   }
 
@@ -466,43 +399,30 @@ class DistArray final : public DistArrayBase {
     return static_cast<int>(env_->rank() + delta);
   }
 
-  /// Copies the slab of owned elements with dimension-d local coordinates
-  /// in [from, from+width) into a flat buffer (all other dimensions full
-  /// owned extent, ghost planes excluded).
-  void pack_slab(int d, dist::Index from, dist::Index width,
-                 std::vector<T>& buf) const {
-    iterate_slab(d, from, width, [&](dist::Index off) {
-      buf.push_back(local_[static_cast<std::size_t>(off)]);
-    });
-  }
-
-  void unpack_slab(int d, dist::Index from, dist::Index width,
-                   const std::vector<T>& buf, std::size_t& cur) {
-    iterate_slab(d, from, width, [&](dist::Index off) {
-      local_[static_cast<std::size_t>(off)] = buf[cur++];
-    });
-  }
-
-  /// Iterates storage offsets of the slab where dim-d local coordinates
+  /// Calls fn(offset, length) for every maximal innermost-dimension
+  /// contiguous storage run of the slab where dim-d local coordinates
   /// (possibly in ghost space: negative or >= count) span [from,
   /// from+width) and the other dimensions cover their owned extents.
-  void iterate_slab(int d, dist::Index from, dist::Index width,
-                    const std::function<void(dist::Index)>& fn) const {
+  template <typename F>
+  void for_each_slab_run(int d, dist::Index from, dist::Index width,
+                         F&& fn) const {
     const int r = dom_.rank();
+    const dist::Index len0 = d == 0 ? width : layout_.counts[0];
+    const dist::Index base0 = d == 0 ? from : 0;
+    if (len0 <= 0 || width <= 0) return;
     std::array<dist::Index, dist::kMaxRank> pos{};
     for (;;) {
-      dist::Index off = 0;
-      for (int e = 0; e < r; ++e) {
+      dist::Index off = (base0 + ghost_lo_[0]) * alloc_strides_[0];
+      for (int e = 1; e < r; ++e) {
         const dist::Index l =
             e == d ? from + pos[static_cast<std::size_t>(e)]
                    : pos[static_cast<std::size_t>(e)];
         off += (l + ghost_lo_[e]) * alloc_strides_[e];
       }
-      fn(off);
-      int e = 0;
+      fn(off, len0);
+      int e = 1;
       for (; e < r; ++e) {
-        const dist::Index limit =
-            e == d ? width : layout_.counts[e];
+        const dist::Index limit = e == d ? width : layout_.counts[e];
         if (++pos[static_cast<std::size_t>(e)] < limit) break;
         pos[static_cast<std::size_t>(e)] = 0;
       }
@@ -510,14 +430,37 @@ class DistArray final : public DistArrayBase {
     }
   }
 
+  /// Copies the slab into `dst + cur` run by run (memcpy), advancing cur.
+  void pack_slab(int d, dist::Index from, dist::Index width, T* dst,
+                 std::size_t& cur) const {
+    for_each_slab_run(d, from, width, [&](dist::Index off, dist::Index len) {
+      std::memcpy(dst + cur, local_.data() + off,
+                  static_cast<std::size_t>(len) * sizeof(T));
+      cur += static_cast<std::size_t>(len);
+    });
+  }
+
+  void unpack_slab(int d, dist::Index from, dist::Index width, const T* src,
+                   std::size_t& cur) {
+    for_each_slab_run(d, from, width, [&](dist::Index off, dist::Index len) {
+      std::memcpy(local_.data() + off, src + cur,
+                  static_cast<std::size_t>(len) * sizeof(T));
+      cur += static_cast<std::size_t>(len);
+    });
+  }
+
+  struct PlanEntry {
+    dist::DistributionPtr od;
+    dist::DistributionPtr nd;
+    std::shared_ptr<const RedistPlan> plan;
+  };
+  static constexpr std::size_t kPlanCacheCapacity = 8;
+
   std::vector<T> local_;
-  dist::IndexVec ghost_lo_;
-  dist::IndexVec ghost_hi_;
-  dist::IndexVec alloc_counts_;
-  dist::IndexVec alloc_strides_;
-  dist::IndexVec seg_lo_;
-  dist::Index alloc_total_ = 0;
-  std::array<bool, dist::kMaxRank> contig_{};
+  std::vector<PlanEntry> plan_cache_;
+  bool plan_cache_enabled_ = true;
+  std::uint64_t plan_hits_ = 0;
+  std::uint64_t plan_misses_ = 0;
 };
 
 template <typename T>
@@ -525,6 +468,7 @@ void DistArray<T>::exchange_overlap() {
   auto& ctx = env_->comm();
   const int np = ctx.nprocs();
   std::vector<std::vector<T>> out(static_cast<std::size_t>(np));
+  std::vector<std::uint64_t> expect(static_cast<std::size_t>(np), 0);
   struct Expect {
     int src;
     int d;
@@ -532,10 +476,18 @@ void DistArray<T>::exchange_overlap() {
     dist::Index width;
   };
   std::vector<Expect> expected;
+  struct Send {
+    int dest;
+    int d;
+    dist::Index from;
+    dist::Index width;
+  };
+  std::vector<Send> sends;
 
   if (layout_.member && layout_.total > 0) {
     for (int d = 0; d < dom_.rank(); ++d) {
       if (ghost_lo_[d] == 0 && ghost_hi_[d] == 0) continue;
+      const dist::Index plane = layout_.total / layout_.counts[d];
       const int c = static_cast<int>(layout_.coords[d]);
       const int lo_n = neighbour_coord(d, c, -1);
       const int hi_n = neighbour_coord(d, c, +1);
@@ -544,13 +496,13 @@ void DistArray<T>::exchange_overlap() {
       if (lo_n >= 0 && ghost_hi_[d] > 0) {
         const dist::Index w = std::min<dist::Index>(ghost_hi_[d],
                                                     layout_.counts[d]);
-        pack_slab(d, 0, w, out[static_cast<std::size_t>(rank_with_coord(d, lo_n))]);
+        sends.push_back(Send{rank_with_coord(d, lo_n), d, 0, w});
       }
       if (hi_n >= 0 && ghost_lo_[d] > 0) {
         const dist::Index w = std::min<dist::Index>(ghost_lo_[d],
                                                     layout_.counts[d]);
-        pack_slab(d, layout_.counts[d] - w, w,
-                  out[static_cast<std::size_t>(rank_with_coord(d, hi_n))]);
+        sends.push_back(
+            Send{rank_with_coord(d, hi_n), d, layout_.counts[d] - w, w});
       }
       // Expected widths are bounded by the *neighbour's* segment size: a
       // neighbour owning fewer planes than the overlap width sends what it
@@ -559,26 +511,54 @@ void DistArray<T>::exchange_overlap() {
       if (lo_n >= 0 && ghost_lo_[d] > 0) {
         const dist::Index w =
             std::min<dist::Index>(ghost_lo_[d], m.count_on(lo_n));
-        if (w > 0) expected.push_back(Expect{rank_with_coord(d, lo_n), d, true, w});
+        if (w > 0) {
+          const int src = rank_with_coord(d, lo_n);
+          expected.push_back(Expect{src, d, true, w});
+          expect[static_cast<std::size_t>(src)] +=
+              static_cast<std::uint64_t>(w * plane);
+        }
       }
       if (hi_n >= 0 && ghost_hi_[d] > 0) {
         const dist::Index w =
             std::min<dist::Index>(ghost_hi_[d], m.count_on(hi_n));
-        if (w > 0) expected.push_back(Expect{rank_with_coord(d, hi_n), d, false, w});
+        if (w > 0) {
+          const int src = rank_with_coord(d, hi_n);
+          expected.push_back(Expect{src, d, false, w});
+          expect[static_cast<std::size_t>(src)] +=
+              static_cast<std::uint64_t>(w * plane);
+        }
       }
+    }
+    // Counting pass: size every outgoing buffer exactly once.
+    std::vector<std::size_t> send_total(static_cast<std::size_t>(np), 0);
+    for (const Send& s : sends) {
+      send_total[static_cast<std::size_t>(s.dest)] += static_cast<std::size_t>(
+          s.width * (layout_.total / layout_.counts[s.d]));
+    }
+    for (int p = 0; p < np; ++p) {
+      out[static_cast<std::size_t>(p)].resize(
+          send_total[static_cast<std::size_t>(p)]);
+    }
+    std::vector<std::size_t> cur(static_cast<std::size_t>(np), 0);
+    for (const Send& s : sends) {
+      pack_slab(s.d, s.from, s.width,
+                out[static_cast<std::size_t>(s.dest)].data(),
+                cur[static_cast<std::size_t>(s.dest)]);
     }
   }
 
-  auto in = ctx.alltoallv(std::move(out));
+  auto in = ctx.alltoallv_known(std::move(out),
+                                std::span<const std::uint64_t>(expect));
 
   std::vector<std::size_t> cursor(static_cast<std::size_t>(np), 0);
   for (const auto& e : expected) {
     if (e.from_low) {
-      unpack_slab(e.d, -e.width, e.width, in[static_cast<std::size_t>(e.src)],
+      unpack_slab(e.d, -e.width, e.width,
+                  in[static_cast<std::size_t>(e.src)].data(),
                   cursor[static_cast<std::size_t>(e.src)]);
     } else {
       unpack_slab(e.d, layout_.counts[e.d], e.width,
-                  in[static_cast<std::size_t>(e.src)],
+                  in[static_cast<std::size_t>(e.src)].data(),
                   cursor[static_cast<std::size_t>(e.src)]);
     }
   }

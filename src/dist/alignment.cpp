@@ -1,0 +1,153 @@
+#include "vf/dist/alignment.hpp"
+
+#include <stdexcept>
+
+namespace vf::dist {
+
+Alignment::Alignment(int source_rank, std::vector<AlignExpr> exprs)
+    : src_rank_(source_rank), exprs_(std::move(exprs)) {
+  if (src_rank_ < 0 || src_rank_ > kMaxRank) {
+    throw std::invalid_argument("Alignment: bad source rank");
+  }
+  if (exprs_.empty() ||
+      exprs_.size() > static_cast<std::size_t>(kMaxRank)) {
+    throw std::invalid_argument("Alignment: bad target rank");
+  }
+  std::vector<bool> used(static_cast<std::size_t>(src_rank_), false);
+  for (const AlignExpr& e : exprs_) {
+    if (e.kind != AlignExpr::Kind::Dim) continue;
+    if (e.src_dim < 0 || e.src_dim >= src_rank_) {
+      throw std::invalid_argument(
+          "Alignment: source dimension index outside the source rank");
+    }
+    if (used[static_cast<std::size_t>(e.src_dim)]) {
+      throw std::invalid_argument(
+          "Alignment: a source dimension may appear at most once");
+    }
+    used[static_cast<std::size_t>(e.src_dim)] = true;
+    if (e.stride != 1 && e.stride != -1) {
+      throw std::invalid_argument("Alignment: stride must be +1 or -1");
+    }
+  }
+}
+
+Alignment Alignment::identity(int r) {
+  std::vector<AlignExpr> es;
+  es.reserve(static_cast<std::size_t>(r));
+  for (int d = 0; d < r; ++d) es.push_back(AlignExpr::dim(d));
+  return Alignment(r, std::move(es));
+}
+
+Alignment Alignment::permutation(int source_rank, std::vector<int> perm) {
+  std::vector<AlignExpr> es;
+  es.reserve(perm.size());
+  for (int s : perm) es.push_back(AlignExpr::dim(s));
+  return Alignment(source_rank, std::move(es));
+}
+
+IndexVec Alignment::apply(const IndexVec& i) const {
+  if (static_cast<int>(i.size()) != src_rank_) {
+    throw std::invalid_argument("Alignment::apply: rank mismatch");
+  }
+  IndexVec out;
+  for (const AlignExpr& e : exprs_) {
+    if (e.kind == AlignExpr::Kind::Constant) {
+      out.push_back(e.value);
+    } else {
+      out.push_back(e.stride * i[e.src_dim] + e.offset);
+    }
+  }
+  return out;
+}
+
+Distribution Alignment::construct(const Distribution& target,
+                                  const IndexDomain& source_dom) const {
+  if (static_cast<int>(exprs_.size()) != target.domain().rank()) {
+    throw std::invalid_argument(
+        "CONSTRUCT: alignment target rank does not match the target "
+        "array's rank");
+  }
+  if (source_dom.rank() != src_rank_) {
+    throw std::invalid_argument(
+        "CONSTRUCT: source domain rank does not match the alignment");
+  }
+
+  const ProcessorSection& bsec = target.section();
+  // Array-dimension index (within the processor array) of each free dim.
+  std::vector<int> free_to_array_dim;
+  for (int d = 0; d < bsec.array().rank(); ++d) {
+    if (!bsec.dims()[static_cast<std::size_t>(d)].fixed) {
+      free_to_array_dim.push_back(d);
+    }
+  }
+
+  // Which target dimension (if any) feeds each source dimension, and
+  // which free dims get pinned by constant alignments.
+  std::vector<int> feeding(static_cast<std::size_t>(src_rank_), -1);
+  std::vector<SectionDim> sdims = bsec.dims();
+  std::vector<bool> pinned(static_cast<std::size_t>(bsec.free_rank()), false);
+  for (int t = 0; t < static_cast<int>(exprs_.size()); ++t) {
+    const AlignExpr& e = exprs_[static_cast<std::size_t>(t)];
+    const int f = target.proc_dim_of(t);
+    if (e.kind == AlignExpr::Kind::Dim) {
+      if (f >= 0) feeding[static_cast<std::size_t>(e.src_dim)] = t;
+      continue;
+    }
+    if (f < 0) continue;  // constant into a collapsed dimension: no effect
+    // Pin the free dimension to the coordinate owning the constant.
+    const int c = target.dim_map(t).proc_of(e.value);
+    const int ad = free_to_array_dim[static_cast<std::size_t>(f)];
+    sdims[static_cast<std::size_t>(ad)] = SectionDim::at(
+        sdims[static_cast<std::size_t>(ad)].range.lo + c);
+    pinned[static_cast<std::size_t>(f)] = true;
+  }
+
+  ProcessorSection nsec(bsec.array(), std::move(sdims));
+  // Old free-dim index -> new free-dim index after pinning.
+  std::vector<int> remap(static_cast<std::size_t>(bsec.free_rank()), -1);
+  int next = 0;
+  for (int f = 0; f < bsec.free_rank(); ++f) {
+    if (!pinned[static_cast<std::size_t>(f)]) {
+      remap[static_cast<std::size_t>(f)] = next++;
+    }
+  }
+
+  std::vector<DimMap> maps;
+  std::vector<int> free_dims;
+  std::vector<DimDist> tdims;
+  for (int s = 0; s < src_rank_; ++s) {
+    const Range sr = source_dom.dim(s);
+    const int t = feeding[static_cast<std::size_t>(s)];
+    if (t < 0) {
+      maps.push_back(DimMap::collapsed(sr));
+      free_dims.push_back(-1);
+      tdims.push_back(col());
+      continue;
+    }
+    const AlignExpr& e = exprs_[static_cast<std::size_t>(t)];
+    DimMap m = target.dim_map(t).realigned(sr, e.stride, e.offset);
+    const bool ident = e.stride == 1 && e.offset == 0 &&
+                       sr == target.domain().dim(t);
+    if (ident) {
+      tdims.push_back(target.type().dim(t));
+    } else if (target.type().dim(t).kind != DimDistKind::Indirect &&
+               m.contiguous()) {
+      std::vector<Index> sizes;
+      sizes.reserve(static_cast<std::size_t>(m.nprocs()));
+      for (int c = 0; c < m.nprocs(); ++c) sizes.push_back(m.count_on(c));
+      tdims.push_back(s_block(std::move(sizes)));
+    } else {
+      std::vector<int> owners;
+      owners.reserve(static_cast<std::size_t>(sr.size()));
+      for (Index g = sr.lo; g <= sr.hi; ++g) owners.push_back(m.proc_of(g));
+      tdims.push_back(indirect(std::move(owners)));
+    }
+    maps.push_back(std::move(m));
+    free_dims.push_back(remap[static_cast<std::size_t>(target.proc_dim_of(t))]);
+  }
+
+  return Distribution(source_dom, DistributionType(std::move(tdims)),
+                      std::move(nsec), std::move(maps), std::move(free_dims));
+}
+
+}  // namespace vf::dist

@@ -1,0 +1,339 @@
+#include "vf/dist/dim_map.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vf::dist {
+
+namespace {
+
+[[noreturn]] void bad_domain_index(Index g, Range dom) {
+  throw std::out_of_range("DimMap: index " + std::to_string(g) +
+                          " outside domain [" + std::to_string(dom.lo) + "," +
+                          std::to_string(dom.hi) + "]");
+}
+
+}  // namespace
+
+void DimMap::check_coord(int c) const {
+  if (c < 0 || c >= np_) {
+    throw std::out_of_range("DimMap: processor coordinate " +
+                            std::to_string(c) + " outside 0.." +
+                            std::to_string(np_ - 1));
+  }
+}
+
+void DimMap::check_index(Index g) const {
+  if (!dom_.contains(g)) bad_domain_index(g, dom_);
+}
+
+void DimMap::build_contig_lookup() {
+  starts_.clear();
+  for (int c = 0; c < np_; ++c) {
+    const Range& s = segs_[static_cast<std::size_t>(c)];
+    if (!s.empty()) starts_.emplace_back(s.lo, c);
+  }
+  std::sort(starts_.begin(), starts_.end());
+}
+
+DimMap DimMap::block(Range dom, int nprocs) {
+  if (nprocs < 1) throw std::invalid_argument("DimMap::block: nprocs < 1");
+  const Index n = dom.size();
+  const Index w = n == 0 ? 1 : (n + nprocs - 1) / nprocs;
+  return block_width(dom, nprocs, w);
+}
+
+DimMap DimMap::block_width(Range dom, int nprocs, Index w) {
+  if (nprocs < 1) {
+    throw std::invalid_argument("DimMap::block_width: nprocs < 1");
+  }
+  if (w < 1) {
+    throw std::invalid_argument("BLOCK(M): width must be at least 1");
+  }
+  if (w * nprocs < dom.size()) {
+    throw std::invalid_argument(
+        "BLOCK(M): M * nprocs does not cover the dimension");
+  }
+  DimMap m;
+  m.rep_ = Rep::Contig;
+  m.dom_ = dom;
+  m.np_ = nprocs;
+  m.segs_.resize(static_cast<std::size_t>(nprocs));
+  for (int c = 0; c < nprocs; ++c) {
+    const Index lo = dom.lo + static_cast<Index>(c) * w;
+    const Index hi = std::min(dom.hi, lo + w - 1);
+    m.segs_[static_cast<std::size_t>(c)] =
+        lo > dom.hi ? Range{1, 0} : Range{lo, hi};
+  }
+  m.build_contig_lookup();
+  return m;
+}
+
+DimMap DimMap::cyclic(Range dom, int nprocs, Index k) {
+  if (nprocs < 1) throw std::invalid_argument("DimMap::cyclic: nprocs < 1");
+  if (k < 1) {
+    throw std::invalid_argument("CYCLIC(k): block length must be at least 1");
+  }
+  DimMap m;
+  m.rep_ = Rep::Cyclic;
+  m.dom_ = dom;
+  m.np_ = nprocs;
+  m.k_ = k;
+  m.contiguous_ = nprocs == 1 || dom.size() <= k * nprocs;
+  return m;
+}
+
+DimMap DimMap::gen_block(Range dom, std::vector<Index> sizes) {
+  if (sizes.empty()) {
+    throw std::invalid_argument("GEN_BLOCK: at least one size required");
+  }
+  Index total = 0;
+  for (Index s : sizes) {
+    if (s < 0) throw std::invalid_argument("GEN_BLOCK: negative segment size");
+    total += s;
+  }
+  if (total != dom.size()) {
+    throw std::invalid_argument(
+        "GEN_BLOCK: segment sizes must sum to the dimension extent");
+  }
+  DimMap m;
+  m.rep_ = Rep::Contig;
+  m.dom_ = dom;
+  m.np_ = static_cast<int>(sizes.size());
+  m.segs_.resize(sizes.size());
+  Index lo = dom.lo;
+  for (std::size_t c = 0; c < sizes.size(); ++c) {
+    m.segs_[c] = sizes[c] == 0 ? Range{1, 0} : Range{lo, lo + sizes[c] - 1};
+    lo += sizes[c];
+  }
+  m.build_contig_lookup();
+  return m;
+}
+
+DimMap DimMap::collapsed(Range dom) {
+  DimMap m;
+  m.rep_ = Rep::Contig;
+  m.dom_ = dom;
+  m.np_ = 1;
+  m.collapsed_ = true;
+  m.segs_ = {dom};
+  m.build_contig_lookup();
+  return m;
+}
+
+DimMap DimMap::indirect(Range dom, std::vector<int> owners, int nprocs) {
+  if (nprocs < 1) throw std::invalid_argument("INDIRECT: nprocs < 1");
+  if (static_cast<Index>(owners.size()) != dom.size()) {
+    throw std::invalid_argument(
+        "INDIRECT: mapping array length must equal the dimension extent");
+  }
+  for (int o : owners) {
+    if (o < 0 || o >= nprocs) {
+      throw std::invalid_argument(
+          "INDIRECT: owner coordinate outside the processor range");
+    }
+  }
+  DimMap m;
+  m.rep_ = Rep::Table;
+  m.dom_ = dom;
+  m.np_ = nprocs;
+  m.owners_ = std::move(owners);
+  m.locals_.resize(m.owners_.size());
+  m.owned_.resize(static_cast<std::size_t>(nprocs));
+  for (std::size_t j = 0; j < m.owners_.size(); ++j) {
+    auto& lst = m.owned_[static_cast<std::size_t>(m.owners_[j])];
+    m.locals_[j] = static_cast<Index>(lst.size());
+    lst.push_back(dom.lo + static_cast<Index>(j));
+  }
+  m.contiguous_ = true;
+  for (const auto& lst : m.owned_) {
+    if (!lst.empty() &&
+        lst.back() - lst.front() + 1 != static_cast<Index>(lst.size())) {
+      m.contiguous_ = false;
+      break;
+    }
+  }
+  return m;
+}
+
+int DimMap::proc_of(Index g) const {
+  check_index(g);
+  switch (rep_) {
+    case Rep::Contig: {
+      // Last entry with start <= g.
+      auto it = std::upper_bound(
+          starts_.begin(), starts_.end(), std::make_pair(g, np_));
+      return std::prev(it)->second;
+    }
+    case Rep::Cyclic:
+      return static_cast<int>(((g - dom_.lo) / k_) % np_);
+    case Rep::Table:
+      return owners_[static_cast<std::size_t>(g - dom_.lo)];
+  }
+  return 0;
+}
+
+Index DimMap::local_of(Index g) const {
+  check_index(g);
+  switch (rep_) {
+    case Rep::Contig: {
+      auto it = std::upper_bound(
+          starts_.begin(), starts_.end(), std::make_pair(g, np_));
+      return g - std::prev(it)->first;
+    }
+    case Rep::Cyclic: {
+      const Index i0 = g - dom_.lo;
+      return (i0 / (k_ * np_)) * k_ + i0 % k_;
+    }
+    case Rep::Table:
+      return locals_[static_cast<std::size_t>(g - dom_.lo)];
+  }
+  return 0;
+}
+
+Index DimMap::global_of(int c, Index l) const {
+  check_coord(c);
+  if (l < 0 || l >= count_on(c)) {
+    throw std::out_of_range("DimMap::global_of: local index outside segment");
+  }
+  switch (rep_) {
+    case Rep::Contig:
+      return segs_[static_cast<std::size_t>(c)].lo + l;
+    case Rep::Cyclic: {
+      const Index cycle = l / k_;
+      const Index pos = l % k_;
+      return dom_.lo + cycle * k_ * np_ + static_cast<Index>(c) * k_ + pos;
+    }
+    case Rep::Table:
+      return owned_[static_cast<std::size_t>(c)][static_cast<std::size_t>(l)];
+  }
+  return 0;
+}
+
+Index DimMap::count_on(int c) const {
+  check_coord(c);
+  switch (rep_) {
+    case Rep::Contig:
+      return segs_[static_cast<std::size_t>(c)].size();
+    case Rep::Cyclic: {
+      const Index n = dom_.size();
+      const Index cycle = k_ * np_;
+      const Index full = n / cycle;
+      const Index rem = n % cycle;
+      const Index extra =
+          std::clamp<Index>(rem - static_cast<Index>(c) * k_, 0, k_);
+      return full * k_ + extra;
+    }
+    case Rep::Table:
+      return static_cast<Index>(owned_[static_cast<std::size_t>(c)].size());
+  }
+  return 0;
+}
+
+std::optional<Range> DimMap::segment(int c) const {
+  check_coord(c);
+  if (!contiguous_ || count_on(c) == 0) return std::nullopt;
+  switch (rep_) {
+    case Rep::Contig:
+      return segs_[static_cast<std::size_t>(c)];
+    case Rep::Cyclic: {
+      if (np_ == 1) return dom_;
+      const Index lo = dom_.lo + static_cast<Index>(c) * k_;
+      return Range{lo, std::min(dom_.hi, lo + k_ - 1)};
+    }
+    case Rep::Table: {
+      const auto& lst = owned_[static_cast<std::size_t>(c)];
+      return Range{lst.front(), lst.back()};
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Index> DimMap::owned_ascending(int c) const {
+  check_coord(c);
+  switch (rep_) {
+    case Rep::Contig: {
+      const Range& s = segs_[static_cast<std::size_t>(c)];
+      std::vector<Index> out;
+      out.reserve(static_cast<std::size_t>(s.size()));
+      for (Index g = s.lo; g <= s.hi; ++g) out.push_back(g);
+      return out;
+    }
+    case Rep::Cyclic: {
+      std::vector<Index> out;
+      out.reserve(static_cast<std::size_t>(count_on(c)));
+      const Index n = dom_.size();
+      for (Index start = static_cast<Index>(c) * k_; start < n;
+           start += k_ * np_) {
+        for (Index j = 0; j < k_ && start + j < n; ++j) {
+          out.push_back(dom_.lo + start + j);
+        }
+      }
+      return out;
+    }
+    case Rep::Table:
+      return owned_[static_cast<std::size_t>(c)];
+  }
+  return {};
+}
+
+bool DimMap::same_mapping(const DimMap& o) const {
+  if (!(dom_ == o.dom_)) return false;
+  for (Index g = dom_.lo; g <= dom_.hi; ++g) {
+    if (proc_of(g) != o.proc_of(g)) return false;
+  }
+  return true;
+}
+
+DimMap DimMap::realigned(Range new_dom, Index stride, Index offset) const {
+  if (stride != 1 && stride != -1) {
+    throw std::invalid_argument(
+        "DimMap::realigned: alignment stride must be +1 or -1");
+  }
+  if (!new_dom.empty()) {
+    const Index a = stride * new_dom.lo + offset;
+    const Index b = stride * new_dom.hi + offset;
+    if (!dom_.contains(a) || !dom_.contains(b)) {
+      throw std::out_of_range(
+          "DimMap::realigned: aligned image escapes the target dimension");
+    }
+  }
+  // Identity alignment over a prefix of the domain keeps the closed form.
+  if (rep_ == Rep::Cyclic && stride == 1 && offset == 0 &&
+      new_dom.lo == dom_.lo) {
+    DimMap m = *this;
+    m.dom_ = new_dom;
+    m.contiguous_ = np_ == 1 || new_dom.size() <= k_ * np_;
+    return m;
+  }
+  if (rep_ == Rep::Contig) {
+    // Preimages of contiguous segments are contiguous.
+    DimMap m;
+    m.rep_ = Rep::Contig;
+    m.dom_ = new_dom;
+    m.np_ = np_;
+    m.collapsed_ = collapsed_;
+    m.segs_.resize(static_cast<std::size_t>(np_));
+    for (int c = 0; c < np_; ++c) {
+      const Range& s = segs_[static_cast<std::size_t>(c)];
+      Range pre{1, 0};
+      if (!s.empty()) {
+        pre = stride == 1 ? Range{s.lo - offset, s.hi - offset}
+                          : Range{offset - s.hi, offset - s.lo};
+        pre = pre.intersect(new_dom);
+      }
+      m.segs_[static_cast<std::size_t>(c)] = pre.empty() ? Range{1, 0} : pre;
+    }
+    m.build_contig_lookup();
+    return m;
+  }
+  // General case: materialize the owner table.
+  std::vector<int> owners;
+  owners.reserve(static_cast<std::size_t>(new_dom.size()));
+  for (Index i = new_dom.lo; i <= new_dom.hi; ++i) {
+    owners.push_back(proc_of(stride * i + offset));
+  }
+  return indirect(new_dom, std::move(owners), np_);
+}
+
+}  // namespace vf::dist

@@ -1,0 +1,132 @@
+#include "vf/dist/dist_type.hpp"
+
+#include <sstream>
+
+namespace vf::dist {
+
+std::string to_string(DimDistKind k) {
+  switch (k) {
+    case DimDistKind::Collapsed:
+      return ":";
+    case DimDistKind::Block:
+      return "BLOCK";
+    case DimDistKind::Cyclic:
+      return "CYCLIC";
+    case DimDistKind::GenBlock:
+      return "GEN_BLOCK";
+    case DimDistKind::Indirect:
+      return "INDIRECT";
+  }
+  return "?";
+}
+
+std::string DimDist::to_string() const {
+  std::ostringstream os;
+  switch (kind) {
+    case DimDistKind::Collapsed:
+      return ":";
+    case DimDistKind::Block:
+      if (block_width > 0) {
+        os << "BLOCK(" << block_width << ")";
+      } else {
+        os << "BLOCK";
+      }
+      return os.str();
+    case DimDistKind::Cyclic:
+      os << "CYCLIC(" << cyclic_block << ")";
+      return os.str();
+    case DimDistKind::GenBlock:
+      if (!gen_bounds.empty()) {
+        os << "B_BLOCK(";
+        for (std::size_t k = 0; k < gen_bounds.size(); ++k) {
+          os << (k ? "," : "") << gen_bounds[k];
+        }
+      } else {
+        os << "S_BLOCK(";
+        for (std::size_t k = 0; k < gen_sizes.size(); ++k) {
+          os << (k ? "," : "") << gen_sizes[k];
+        }
+      }
+      os << ")";
+      return os.str();
+    case DimDistKind::Indirect:
+      os << "INDIRECT(" << owners.size() << ")";
+      return os.str();
+  }
+  return "?";
+}
+
+DimDist block() {
+  DimDist d;
+  d.kind = DimDistKind::Block;
+  return d;
+}
+
+DimDist block_width(Index m) {
+  if (m < 1) {
+    throw std::invalid_argument("BLOCK(M): width must be at least 1");
+  }
+  DimDist d;
+  d.kind = DimDistKind::Block;
+  d.block_width = m;
+  return d;
+}
+
+DimDist cyclic(Index k) {
+  if (k < 1) {
+    throw std::invalid_argument("CYCLIC(k): block length must be at least 1");
+  }
+  DimDist d;
+  d.kind = DimDistKind::Cyclic;
+  d.cyclic_block = k;
+  return d;
+}
+
+DimDist col() { return DimDist{}; }
+
+DimDist s_block(std::vector<Index> sizes) {
+  if (sizes.empty()) {
+    throw std::invalid_argument("S_BLOCK: at least one size required");
+  }
+  DimDist d;
+  d.kind = DimDistKind::GenBlock;
+  d.gen_sizes = std::move(sizes);
+  return d;
+}
+
+DimDist b_block(std::vector<Index> bounds) {
+  if (bounds.empty()) {
+    throw std::invalid_argument("B_BLOCK: at least one bound required");
+  }
+  for (std::size_t k = 1; k < bounds.size(); ++k) {
+    if (bounds[k] < bounds[k - 1]) {
+      throw std::invalid_argument("B_BLOCK: bounds must be non-decreasing");
+    }
+  }
+  DimDist d;
+  d.kind = DimDistKind::GenBlock;
+  d.gen_bounds = std::move(bounds);
+  return d;
+}
+
+DimDist indirect(std::vector<int> owners) {
+  if (owners.empty()) {
+    throw std::invalid_argument("INDIRECT: mapping array must be non-empty");
+  }
+  DimDist d;
+  d.kind = DimDistKind::Indirect;
+  d.owners = std::move(owners);
+  return d;
+}
+
+std::string DistributionType::to_string() const {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    os << (d ? ", " : "") << dims_[d].to_string();
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace vf::dist

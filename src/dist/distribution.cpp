@@ -1,0 +1,251 @@
+#include "vf/dist/distribution.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace vf::dist {
+
+namespace {
+
+/// Converts B_BLOCK cumulative bounds into per-coordinate sizes.
+std::vector<Index> sizes_from_bounds(const std::vector<Index>& bounds,
+                                     Range dom) {
+  std::vector<Index> sizes;
+  sizes.reserve(bounds.size());
+  Index prev = dom.lo - 1;
+  for (Index b : bounds) {
+    if (b < prev) {
+      throw std::invalid_argument("B_BLOCK: bounds must be non-decreasing");
+    }
+    sizes.push_back(b - prev);
+    prev = b;
+  }
+  if (prev != dom.hi) {
+    throw std::invalid_argument(
+        "B_BLOCK: final bound must equal the dimension upper bound");
+  }
+  return sizes;
+}
+
+/// Word-wise FNV-1a variant: one xor-multiply per 64-bit value (the
+/// fingerprint hashes whole owners tables, so per-byte mixing would make
+/// indirect-distribution construction O(8n) multiplies).
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t x) {
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  return (h ^ x) * kPrime;
+}
+
+}  // namespace
+
+Distribution::Distribution(IndexDomain dom, DistributionType type,
+                           ProcessorSection sec)
+    : dom_(dom), type_(std::move(type)), sec_(std::move(sec)) {
+  if (type_.rank() != dom_.rank()) {
+    throw std::invalid_argument(
+        "Distribution: type rank " + std::to_string(type_.rank()) +
+        " does not match array rank " + std::to_string(dom_.rank()));
+  }
+  int distributed = 0;
+  for (const DimDist& d : type_.dims()) {
+    if (d.distributed()) ++distributed;
+  }
+  // Each distributed dimension consumes one section free dimension, in
+  // order.  Surplus free dimensions are only tolerated when they carry a
+  // single processor (e.g. a fully collapsed type on a 1-processor
+  // section); anything else would silently ignore processors.
+  if (distributed > sec_.free_rank()) {
+    throw std::invalid_argument(
+        "Distribution: " + std::to_string(distributed) +
+        " distributed dimensions exceed the section's free rank " +
+        std::to_string(sec_.free_rank()));
+  }
+  for (int f = distributed; f < sec_.free_rank(); ++f) {
+    if (sec_.free_extent(f) != 1) {
+      throw std::invalid_argument(
+          "Distribution: " + std::to_string(distributed) +
+          " distributed dimensions do not match the section's free rank " +
+          std::to_string(sec_.free_rank()));
+    }
+  }
+
+  maps_.reserve(static_cast<std::size_t>(dom_.rank()));
+  free_dims_.reserve(static_cast<std::size_t>(dom_.rank()));
+  int next_free = 0;
+  for (int d = 0; d < dom_.rank(); ++d) {
+    const DimDist& dd = type_.dim(d);
+    const Range r = dom_.dim(d);
+    if (!dd.distributed()) {
+      maps_.push_back(DimMap::collapsed(r));
+      free_dims_.push_back(-1);
+      continue;
+    }
+    const int p = sec_.free_extent(next_free);
+    switch (dd.kind) {
+      case DimDistKind::Block:
+        maps_.push_back(dd.block_width > 0
+                            ? DimMap::block_width(r, p, dd.block_width)
+                            : DimMap::block(r, p));
+        break;
+      case DimDistKind::Cyclic:
+        maps_.push_back(DimMap::cyclic(r, p, dd.cyclic_block));
+        break;
+      case DimDistKind::GenBlock: {
+        std::vector<Index> sizes = dd.gen_bounds.empty()
+                                       ? dd.gen_sizes
+                                       : sizes_from_bounds(dd.gen_bounds, r);
+        if (static_cast<int>(sizes.size()) != p) {
+          throw std::invalid_argument(
+              "GEN_BLOCK: segment count does not match the processor count");
+        }
+        maps_.push_back(DimMap::gen_block(r, std::move(sizes)));
+        break;
+      }
+      case DimDistKind::Indirect:
+        maps_.push_back(DimMap::indirect(r, dd.owners, p));
+        break;
+      case DimDistKind::Collapsed:
+        break;  // unreachable
+    }
+    free_dims_.push_back(next_free++);
+  }
+  finish_init();
+}
+
+Distribution::Distribution(IndexDomain dom, DistributionType type,
+                           ProcessorSection sec, std::vector<DimMap> maps,
+                           std::vector<int> free_dims)
+    : dom_(dom),
+      type_(std::move(type)),
+      sec_(std::move(sec)),
+      maps_(std::move(maps)),
+      free_dims_(std::move(free_dims)) {
+  if (static_cast<int>(maps_.size()) != dom_.rank() ||
+      free_dims_.size() != maps_.size()) {
+    throw std::invalid_argument(
+        "Distribution: one DimMap and free-dim index per dimension required");
+  }
+  for (int d = 0; d < dom_.rank(); ++d) {
+    const int f = free_dims_[static_cast<std::size_t>(d)];
+    const int expect =
+        f < 0 ? 1 : sec_.free_extent(f);
+    if (maps_[static_cast<std::size_t>(d)].nprocs() != expect) {
+      throw std::invalid_argument(
+          "Distribution: DimMap processor count does not match the section");
+    }
+  }
+  finish_init();
+}
+
+void Distribution::finish_init() {
+  affine_.base = sec_.rank_base();
+  for (int d = 0; d < dom_.rank(); ++d) {
+    const int f = free_dims_[static_cast<std::size_t>(d)];
+    affine_.stride[static_cast<std::size_t>(d)] =
+        f < 0 ? 0 : sec_.rank_stride(f);
+  }
+
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (int d = 0; d < dom_.rank(); ++d) {
+    const Range r = dom_.dim(d);
+    h = fnv1a(h, static_cast<std::uint64_t>(r.lo));
+    h = fnv1a(h, static_cast<std::uint64_t>(r.hi));
+    const DimDist& dd = type_.dim(d);
+    h = fnv1a(h, static_cast<std::uint64_t>(dd.kind));
+    h = fnv1a(h, static_cast<std::uint64_t>(dd.block_width));
+    h = fnv1a(h, static_cast<std::uint64_t>(dd.cyclic_block));
+    for (Index s : dd.gen_sizes) h = fnv1a(h, static_cast<std::uint64_t>(s));
+    for (Index b : dd.gen_bounds) h = fnv1a(h, static_cast<std::uint64_t>(b));
+    for (int o : dd.owners) h = fnv1a(h, static_cast<std::uint64_t>(o));
+    h = fnv1a(h, static_cast<std::uint64_t>(
+                     free_dims_[static_cast<std::size_t>(d)] + 1));
+  }
+  h = fnv1a(h, static_cast<std::uint64_t>(sec_.array().base_rank()));
+  for (const SectionDim& s : sec_.dims()) {
+    h = fnv1a(h, s.fixed ? 1u : 0u);
+    h = fnv1a(h, static_cast<std::uint64_t>(s.fixed ? s.coord : s.range.lo));
+    h = fnv1a(h, static_cast<std::uint64_t>(s.fixed ? 0 : s.range.hi));
+  }
+  fingerprint_ = h;
+}
+
+int Distribution::owner_rank(const IndexVec& i) const {
+  if (static_cast<int>(i.size()) != dom_.rank()) {
+    throw std::invalid_argument("Distribution::owner_rank: rank mismatch");
+  }
+  Index rank = affine_.base;
+  for (int d = 0; d < dom_.rank(); ++d) {
+    rank += affine_.stride[static_cast<std::size_t>(d)] *
+            maps_[static_cast<std::size_t>(d)].proc_of(i[d]);
+  }
+  return static_cast<int>(rank);
+}
+
+Index Distribution::local_size(int rank) const {
+  const LocalLayout L = layout_for(rank);
+  return L.member ? L.total : 0;
+}
+
+LocalLayout Distribution::layout_for(int rank) const {
+  LocalLayout L;
+  const auto fc = sec_.free_coords_of(rank);
+  if (!fc) return L;
+  L.member = true;
+  L.total = 1;
+  for (int d = 0; d < dom_.rank(); ++d) {
+    const int f = free_dims_[static_cast<std::size_t>(d)];
+    const Index c = f < 0 ? 0 : (*fc)[f];
+    L.coords.push_back(c);
+    const Index n =
+        maps_[static_cast<std::size_t>(d)].count_on(static_cast<int>(c));
+    L.counts.push_back(n);
+    L.total *= n;
+  }
+  return L;
+}
+
+Index Distribution::local_offset(const LocalLayout& L,
+                                 const IndexVec& i) const {
+  Index off = 0;
+  Index stride = 1;
+  for (int d = 0; d < dom_.rank(); ++d) {
+    off += maps_[static_cast<std::size_t>(d)].local_of(i[d]) * stride;
+    stride *= L.counts[d];
+  }
+  return off;
+}
+
+std::vector<Index> Distribution::owned_in_dim(int rank, int d) const {
+  if (d < 0 || d >= dom_.rank()) {
+    throw std::out_of_range("Distribution::owned_in_dim");
+  }
+  const auto fc = sec_.free_coords_of(rank);
+  if (!fc) return {};
+  const int f = free_dims_[static_cast<std::size_t>(d)];
+  const Index c = f < 0 ? 0 : (*fc)[f];
+  return maps_[static_cast<std::size_t>(d)].owned_ascending(
+      static_cast<int>(c));
+}
+
+bool Distribution::same_mapping(const Distribution& o) const {
+  if (!(dom_ == o.dom_)) return false;
+  if (affine_.base != o.affine_.base) return false;
+  for (int d = 0; d < dom_.rank(); ++d) {
+    const Index sa = affine_.stride[static_cast<std::size_t>(d)];
+    const Index sb = o.affine_.stride[static_cast<std::size_t>(d)];
+    const DimMap& ma = maps_[static_cast<std::size_t>(d)];
+    const DimMap& mb = o.maps_[static_cast<std::size_t>(d)];
+    const Range r = dom_.dim(d);
+    for (Index g = r.lo; g <= r.hi; ++g) {
+      if (sa * ma.proc_of(g) != sb * mb.proc_of(g)) return false;
+    }
+  }
+  return true;
+}
+
+std::string Distribution::to_string() const {
+  std::ostringstream os;
+  os << type_.to_string() << " TO " << sec_.to_string();
+  return os.str();
+}
+
+}  // namespace vf::dist

@@ -1,0 +1,188 @@
+#include "vf/dist/processors.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace vf::dist {
+
+ProcessorArray::ProcessorArray(std::string name, IndexDomain dom,
+                               int base_rank)
+    : name_(std::move(name)), dom_(dom), base_(base_rank) {
+  if (dom_.rank() == 0 || dom_.size() <= 0) {
+    throw std::invalid_argument("ProcessorArray " + name_ +
+                                ": domain must be non-empty");
+  }
+  if (base_ < 0) {
+    throw std::invalid_argument("ProcessorArray " + name_ +
+                                ": negative base rank");
+  }
+}
+
+ProcessorArray ProcessorArray::line(int n) {
+  return ProcessorArray("$P", IndexDomain::of_extents({n}));
+}
+
+ProcessorArray ProcessorArray::grid(int r, int c) {
+  return ProcessorArray("$P", IndexDomain::of_extents({r, c}));
+}
+
+int ProcessorArray::machine_rank(const IndexVec& coords) const {
+  if (!dom_.contains(coords)) {
+    throw std::out_of_range("ProcessorArray " + name_ + ": coordinates " +
+                            coords.to_string() + " outside the array");
+  }
+  return base_ + static_cast<int>(dom_.linearize(coords));
+}
+
+IndexVec ProcessorArray::coords_of(int machine_rank) const {
+  if (!contains_rank(machine_rank)) {
+    throw std::out_of_range("ProcessorArray " + name_ +
+                            ": machine rank outside the array");
+  }
+  return dom_.delinearize(machine_rank - base_);
+}
+
+bool ProcessorArray::contains_rank(int machine_rank) const noexcept {
+  return machine_rank >= base_ && machine_rank < base_ + nprocs();
+}
+
+ProcessorSection::ProcessorSection(ProcessorArray arr) : arr_(std::move(arr)) {
+  dims_.reserve(static_cast<std::size_t>(arr_.rank()));
+  for (int d = 0; d < arr_.rank(); ++d) {
+    dims_.push_back(SectionDim::all(arr_.domain().dim(d)));
+    free_.push_back(d);
+  }
+}
+
+ProcessorSection::ProcessorSection(ProcessorArray arr,
+                                   std::vector<SectionDim> dims)
+    : arr_(std::move(arr)), dims_(std::move(dims)) {
+  if (static_cast<int>(dims_.size()) != arr_.rank()) {
+    throw std::invalid_argument(
+        "ProcessorSection: one SectionDim per processor-array dimension "
+        "required");
+  }
+  for (int d = 0; d < arr_.rank(); ++d) {
+    const SectionDim& s = dims_[static_cast<std::size_t>(d)];
+    const Range& dom = arr_.domain().dim(d);
+    if (s.fixed) {
+      if (!dom.contains(s.coord)) {
+        throw std::out_of_range(
+            "ProcessorSection: fixed coordinate outside the array");
+      }
+    } else {
+      if (s.range.empty() || !dom.contains(s.range.lo) ||
+          !dom.contains(s.range.hi)) {
+        throw std::out_of_range(
+            "ProcessorSection: coordinate range outside the array");
+      }
+      free_.push_back(d);
+    }
+  }
+  if (free_.empty()) {
+    throw std::invalid_argument(
+        "ProcessorSection: at least one free dimension required");
+  }
+}
+
+int ProcessorSection::nprocs() const noexcept {
+  int n = 1;
+  for (int f : free_) {
+    n *= static_cast<int>(dims_[static_cast<std::size_t>(f)].range.size());
+  }
+  return n;
+}
+
+int ProcessorSection::free_extent(int f) const {
+  if (f < 0 || f >= free_rank()) {
+    throw std::out_of_range("ProcessorSection::free_extent");
+  }
+  return static_cast<int>(
+      dims_[static_cast<std::size_t>(free_[static_cast<std::size_t>(f)])]
+          .range.size());
+}
+
+int ProcessorSection::machine_rank(const IndexVec& free_coords) const {
+  if (static_cast<int>(free_coords.size()) != free_rank()) {
+    throw std::invalid_argument(
+        "ProcessorSection::machine_rank: coordinate count mismatch");
+  }
+  IndexVec full;
+  int f = 0;
+  for (int d = 0; d < arr_.rank(); ++d) {
+    const SectionDim& s = dims_[static_cast<std::size_t>(d)];
+    if (s.fixed) {
+      full.push_back(s.coord);
+    } else {
+      const Index c = free_coords[f++];
+      if (c < 0 || c >= s.range.size()) {
+        throw std::out_of_range(
+            "ProcessorSection::machine_rank: free coordinate outside range");
+      }
+      full.push_back(s.range.lo + c);
+    }
+  }
+  return arr_.machine_rank(full);
+}
+
+int ProcessorSection::rank_base() const {
+  return machine_rank(IndexVec::filled(free_rank(), 0));
+}
+
+Index ProcessorSection::rank_stride(int f) const {
+  if (free_extent(f) <= 1) return 0;
+  IndexVec unit = IndexVec::filled(free_rank(), 0);
+  unit[f] = 1;
+  return machine_rank(unit) - rank_base();
+}
+
+std::vector<int> ProcessorSection::machine_ranks() const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(nprocs()));
+  IndexVec c = IndexVec::filled(free_rank(), 0);
+  for (;;) {
+    out.push_back(machine_rank(c));
+    int f = 0;
+    for (; f < free_rank(); ++f) {
+      if (++c[f] < free_extent(f)) break;
+      c[f] = 0;
+    }
+    if (f == free_rank()) break;
+  }
+  return out;
+}
+
+std::optional<IndexVec> ProcessorSection::free_coords_of(
+    int machine_rank) const {
+  if (!arr_.contains_rank(machine_rank)) return std::nullopt;
+  const IndexVec coords = arr_.coords_of(machine_rank);
+  IndexVec fc;
+  for (int d = 0; d < arr_.rank(); ++d) {
+    const SectionDim& s = dims_[static_cast<std::size_t>(d)];
+    if (s.fixed) {
+      if (coords[d] != s.coord) return std::nullopt;
+    } else {
+      if (!s.range.contains(coords[d])) return std::nullopt;
+      fc.push_back(coords[d] - s.range.lo);
+    }
+  }
+  return fc;
+}
+
+std::string ProcessorSection::to_string() const {
+  std::ostringstream os;
+  os << arr_.name() << "(";
+  for (int d = 0; d < arr_.rank(); ++d) {
+    const SectionDim& s = dims_[static_cast<std::size_t>(d)];
+    if (d) os << ", ";
+    if (s.fixed) {
+      os << s.coord;
+    } else {
+      os << s.range.lo << ":" << s.range.hi;
+    }
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace vf::dist

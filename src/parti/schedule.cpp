@@ -5,16 +5,16 @@
 namespace vf::parti {
 
 Schedule::Schedule(msg::Context& ctx, const dist::Distribution& target,
-                   std::vector<dist::IndexVec> points) {
+                   std::vector<dist::IndexVec> points)
+    : dom_(target.domain()),
+      target_fingerprint_(target.fingerprint()),
+      target_(std::make_shared<const dist::Distribution>(target)) {
   const int np = ctx.nprocs();
   const int me = ctx.rank();
   n_points_ = points.size();
   occ_positions_.resize(static_cast<std::size_t>(np));
   occ_unique_index_.resize(static_cast<std::size_t>(np));
-  serve_counts_.assign(static_cast<std::size_t>(np), 0);
-  serve_unique_.resize(static_cast<std::size_t>(np));
-
-  const dist::IndexDomain& dom = target.domain();
+  req_unique_counts_.assign(static_cast<std::size_t>(np), 0);
 
   // Group this rank's requests by owner and deduplicate per owner, in
   // order of first occurrence.  Only the unique linear ids travel.
@@ -25,31 +25,71 @@ Schedule::Schedule(msg::Context& ctx, const dist::Distribution& target,
   for (std::size_t k = 0; k < points.size(); ++k) {
     const dist::IndexVec& pt = points[k];
     const int p = target.owner_rank(pt);
+    const dist::Index lin = dom_.linearize(pt);
     if (p == me) {
-      local_points_.push_back(pt);
+      local_linear_.push_back(lin);
       local_positions_.push_back(k);
       continue;
     }
     const auto up = static_cast<std::size_t>(p);
-    const dist::Index lin = dom.linearize(pt);
     auto [it, inserted] = uniq[up].try_emplace(lin, uniq[up].size());
     if (inserted) unique_ids[up].push_back(lin);
     occ_positions_[up].push_back(k);
     occ_unique_index_[up].push_back(it->second);
   }
   for (std::size_t p = 0; p < uniq.size(); ++p) {
-    serve_counts_[p] = unique_ids[p].size();
+    req_unique_counts_[p] = unique_ids[p].size();
     n_unique_offproc_ += unique_ids[p].size();
   }
 
-  // Inspector exchange: ship the unique request lists to the owners.
+  // Inspector exchange: ship the unique request lists to the owners.  This
+  // is the only count-establishing collective; executors replay with
+  // pre-agreed counts.
   auto incoming = ctx.alltoallv(std::move(unique_ids));
+  serve_start_.assign(static_cast<std::size_t>(np) + 1, 0);
+  expect_scatter_.assign(static_cast<std::size_t>(np), 0);
+  std::size_t total = 0;
   for (int s = 0; s < np; ++s) {
     const auto us = static_cast<std::size_t>(s);
-    serve_unique_[us].reserve(incoming[us].size());
-    for (dist::Index lin : incoming[us]) {
-      serve_unique_[us].push_back(dom.delinearize(lin));
-    }
+    serve_start_[us] = total;
+    total += incoming[us].size();
+    expect_scatter_[us] = incoming[us].size();
+  }
+  serve_start_[static_cast<std::size_t>(np)] = total;
+  serve_linear_.reserve(total);
+  for (int s = 0; s < np; ++s) {
+    const auto& ids = incoming[static_cast<std::size_t>(s)];
+    serve_linear_.insert(serve_linear_.end(), ids.begin(), ids.end());
+  }
+}
+
+void Schedule::bind(const rt::DistArrayBase& a) const {
+  dist::DistributionPtr d = a.distribution_ptr();
+  if (bound_.array == &a && bound_.dist == d) return;
+  // Fast path: structurally identical to the inspected distribution.
+  // Fall back to a mapping-level comparison so a descriptor-only swap to
+  // an equivalent spelling (no-op DISTRIBUTE, adopt_descriptor) still
+  // binds; only a genuinely different mapping is rejected.
+  const bool structural =
+      d && d->fingerprint() == target_fingerprint_ &&
+      d->structural_equal(*target_);
+  if (!structural && (!d || !d->same_mapping(*target_))) {
+    throw std::logic_error(
+        "Schedule: array " + a.name() +
+        "'s distribution does not match the inspected target (was the "
+        "array redistributed since the inspector ran?)");
+  }
+  bound_.array = &a;
+  bound_.dist = std::move(d);
+  bound_.serve_off.resize(serve_linear_.size());
+  for (std::size_t k = 0; k < serve_linear_.size(); ++k) {
+    bound_.serve_off[k] = static_cast<std::size_t>(
+        a.storage_offset(dom_.delinearize(serve_linear_[k])));
+  }
+  bound_.local_off.resize(local_linear_.size());
+  for (std::size_t k = 0; k < local_linear_.size(); ++k) {
+    bound_.local_off[k] = static_cast<std::size_t>(
+        a.storage_offset(dom_.delinearize(local_linear_[k])));
   }
 }
 

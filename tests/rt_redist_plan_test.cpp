@@ -1,0 +1,180 @@
+// Tests for the run-based redistribution plan cache (Section 3.2.2 +
+// inspector/executor amortization): a cached DISTRIBUTE must produce
+// bit-identical data to the cold path across the whole distribution
+// family, must actually hit the cache on repeated flips, and must not
+// re-run any inspector exchange -- the repeated flip performs exactly one
+// collective (the value all-to-all) with zero control messages.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "spmd_test_util.hpp"
+#include "vf/rt/dist_array.hpp"
+
+namespace vf::rt {
+namespace {
+
+using dist::block;
+using dist::col;
+using dist::cyclic;
+using dist::DistributionType;
+using dist::Index;
+using dist::IndexDomain;
+using dist::IndexVec;
+using msg::Context;
+using testing::run_checked;
+using testing::SpmdChecker;
+
+std::vector<int> pseudo_owners(Index n, int nprocs, int salt) {
+  std::vector<int> owners;
+  owners.reserve(static_cast<std::size_t>(n));
+  for (Index k = 0; k < n; ++k) {
+    owners.push_back(static_cast<int>((k * 7 + salt) % nprocs));
+  }
+  return owners;
+}
+
+/// Property: flipping A<->B twice with the plan cache enabled must yield
+/// exactly the same global contents as with the cache disabled, for every
+/// ordered pair of the family.
+TEST(RedistPlanCache, CachedFlipsMatchColdPathAcrossFamily) {
+  constexpr int kProcs = 4;
+  constexpr Index kN = 29;
+  const std::vector<std::pair<std::string, DistributionType>> family = {
+      {"block", {block()}},
+      {"cyclic3", {cyclic(3)}},
+      {"sblock", {dist::s_block({12, 2, 7, 8})}},
+      {"indirect", {dist::indirect(pseudo_owners(kN, kProcs, 3))}},
+  };
+  for (const auto& [na, ta] : family) {
+    for (const auto& [nb, tb] : family) {
+      if (na == nb) continue;
+      std::vector<double> cold;
+      std::vector<double> cached;
+      for (const bool use_cache : {false, true}) {
+        run_checked(kProcs, [&, use_cache](Context& ctx, SpmdChecker& ck) {
+          Env env(ctx);
+          DistArray<double> a(env, {.name = "A",
+                                    .domain = IndexDomain::of_extents({kN}),
+                                    .dynamic = true,
+                                    .initial = ta});
+          a.set_redist_plan_cache(use_cache);
+          a.init([](const IndexVec& i) { return 10.0 * i[0] + 0.5; });
+          // Two full round trips: the second exercises cached plans for
+          // both directions when the cache is on.
+          for (int flip = 0; flip < 4; ++flip) {
+            a.distribute(flip % 2 == 0 ? tb : ta);
+          }
+          if (use_cache) {
+            ck.check(a.redist_plan_hits() >= 2, ctx.rank(),
+                     na + "->" + nb + ": expected plan cache hits");
+          } else {
+            ck.check_eq(a.redist_plan_hits(), std::uint64_t{0}, ctx.rank(),
+                        "cache disabled: no hits");
+          }
+          auto full = a.gather_global();
+          if (ctx.rank() == 0) {
+            (use_cache ? cached : cold) = full;
+          }
+        });
+      }
+      EXPECT_EQ(cold, cached) << na << " -> " << nb;
+      ASSERT_EQ(cold.size(), static_cast<std::size_t>(kN));
+      for (Index k = 0; k < kN; ++k) {
+        EXPECT_EQ(cold[static_cast<std::size_t>(k)], 10.0 * (k + 1) + 0.5)
+            << na << " -> " << nb << " at " << k;
+      }
+    }
+  }
+}
+
+/// A repeated DISTRIBUTE must not re-run any inspector exchange: the plan
+/// knows both sides' counts, so each flip is exactly one collective (the
+/// value all-to-all) and sends zero control messages.
+TEST(RedistPlanCache, RepeatedDistributeRunsNoInspectorExchange) {
+  msg::Machine m(4);
+  msg::CommStats warm_stats;
+  msg::run_spmd(m, [&](Context& ctx) {
+    Env env(ctx);
+    DistArray<double> a(env, {.name = "A",
+                              .domain = IndexDomain::of_extents({16, 16}),
+                              .dynamic = true,
+                              .initial = DistributionType{col(), block()}});
+    a.fill(1.0);
+    // Warm the cache with one full row<->column round trip (the ADI
+    // pattern of Section 4).
+    a.distribute(DistributionType{block(), col()});
+    a.distribute(DistributionType{col(), block()});
+    ctx.barrier();
+    if (ctx.rank() == 0) ctx.machine().reset_stats();
+    ctx.barrier();
+    a.distribute(DistributionType{block(), col()});
+    ctx.barrier();
+    if (ctx.rank() == 0) warm_stats = ctx.machine().total_stats();
+    ctx.barrier();
+    EXPECT_GE(a.redist_plan_hits(), 1u);
+  });
+  // One alltoallv_known per rank = 4 collectives machine-wide (plus the
+  // barriers we injected around the measurement, which send no payload).
+  EXPECT_EQ(warm_stats.ctl_messages, 0u);
+  EXPECT_EQ(warm_stats.ctl_bytes, 0u);
+  EXPECT_GT(warm_stats.data_messages, 0u);
+  EXPECT_LE(warm_stats.data_messages, 4u * 3u);
+}
+
+/// The cold path already avoids the count exchange (the freshly built plan
+/// knows the counts), but must re-run the local inspector; the cache
+/// counters expose the difference.
+TEST(RedistPlanCache, CountersDistinguishColdAndCachedFlips) {
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<int> a(env, {.name = "A",
+                           .domain = IndexDomain::of_extents({48}),
+                           .dynamic = true,
+                           .initial = DistributionType{block()}});
+    a.init([](const IndexVec& i) { return static_cast<int>(i[0]); });
+    a.distribute(DistributionType{cyclic(1)});
+    ck.check_eq(a.redist_plan_misses(), std::uint64_t{1}, ctx.rank(),
+                "first flip is a miss");
+    a.distribute(DistributionType{block()});
+    a.distribute(DistributionType{cyclic(1)});
+    a.distribute(DistributionType{block()});
+    ck.check_eq(a.redist_plan_misses(), std::uint64_t{2}, ctx.rank(),
+                "one miss per direction");
+    ck.check_eq(a.redist_plan_hits(), std::uint64_t{2}, ctx.rank(),
+                "repeats hit");
+    a.for_owned([&](const IndexVec& i, int& v) {
+      ck.check_eq(v, static_cast<int>(i[0]), ctx.rank(), "data preserved");
+    });
+  });
+}
+
+/// Overlap (ghost) widths change the storage geometry, so plans built with
+/// ghosts must still round-trip data exactly.
+TEST(RedistPlanCache, GhostPaddedStorageRedistributesCorrectly) {
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<double> a(env, {.name = "A",
+                              .domain = IndexDomain::of_extents({24}),
+                              .dynamic = true,
+                              .initial = DistributionType{block()},
+                              .overlap_lo = {2},
+                              .overlap_hi = {2}});
+    a.init([](const IndexVec& i) { return 3.0 * i[0]; });
+    a.distribute(DistributionType{dist::s_block({9, 3, 5, 7})});
+    a.distribute(DistributionType{block()});
+    a.for_owned([&](const IndexVec& i, double& v) {
+      ck.check_eq(v, 3.0 * i[0], ctx.rank(), "ghost-padded round trip");
+    });
+    a.exchange_overlap();
+    const Index lo = 6 * ctx.rank() + 1;
+    if (lo > 1) {
+      ck.check_eq(a.halo({lo - 1}), 3.0 * (lo - 1), ctx.rank(),
+                  "ghost value after redistribute");
+    }
+  });
+}
+
+}  // namespace
+}  // namespace vf::rt
