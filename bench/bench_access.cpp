@@ -100,7 +100,7 @@ void BM_ElementwiseRemote(benchmark::State& state) {
       double acc = 0.0;
       for (Index i = 1; i <= kN; ++i) {
         IndexVec pt{i, std::min<Index>(jb + 1, kN)};
-        parti::Schedule one(ctx, a.distribution(), {pt});
+        parti::Schedule one(ctx, a.dist_handle(), {pt});
         std::vector<double> v(1);
         one.gather(ctx, a, v);
         acc += v[0];

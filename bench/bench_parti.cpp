@@ -50,7 +50,7 @@ void BM_GatherWithScheduleReuse(benchmark::State& state) {
       ctx.barrier();
       if (ctx.rank() == 0) machine.reset_stats();
       ctx.barrier();
-      parti::Schedule sched(ctx, a.distribution(), pts);  // inspector, once
+      parti::Schedule sched(ctx, a.dist_handle(), pts);  // inspector, once
       std::vector<double> out(pts.size());
       for (int r = 0; r < reuse; ++r) {
         sched.gather(ctx, a, out);  // executor, `reuse` times
@@ -87,7 +87,7 @@ void BM_GatherRebuildEveryTime(benchmark::State& state) {
       ctx.barrier();
       std::vector<double> out(pts.size());
       for (int r = 0; r < repeats; ++r) {
-        parti::Schedule sched(ctx, a.distribution(), pts);  // every time
+        parti::Schedule sched(ctx, a.dist_handle(), pts);  // every time
         sched.gather(ctx, a, out);
       }
       benchmark::DoNotOptimize(out.data());

@@ -173,9 +173,15 @@ void BM_Redistribute(benchmark::State& state) {
 
 /// Repeated-flip benchmark: DISTRIBUTE back and forth between two
 /// distributions many times on one machine, measuring steady-state
-/// ns/flip.  `cached == 0` disables the plan cache (every flip re-runs the
-/// run-construction inspector: the cold path); `cached == 1` replays the
-/// cached plans (inspector paid once during warmup).
+/// ns/flip.  `cached == 0` disables BOTH the plan cache and the
+/// descriptor registry: every flip re-runs descriptor construction
+/// (owner-table copy + DimMap build) and the run-construction inspector
+/// -- the per-statement cost the paper's Section 3.2.2 charges a naive
+/// runtime.  `cached == 1` interns descriptors (each flip resolves the
+/// target via a registry hash hit) and replays plans keyed on the
+/// (old, new) handle-identity pair.  The gap matters most for
+/// flip_indirect, where descriptor construction used to dominate and
+/// made plan caching alone net-neutral (ROADMAP).
 void BM_RedistributeFlip(benchmark::State& state) {
   const int pattern = static_cast<int>(state.range(0));
   const bool cached = state.range(1) != 0;
@@ -191,11 +197,15 @@ void BM_RedistributeFlip(benchmark::State& state) {
   msg::CommStats stats;
   double total_seconds = 0;
   std::int64_t total_flips = 0;
+  std::atomic<std::uint64_t> reg_hits{0};
+  std::atomic<std::uint64_t> reg_misses{0};
+  std::atomic<std::uint64_t> reg_size{0};
   for (auto _ : state) {
     msg::Machine machine(nprocs);
     std::atomic<double> secs{0.0};
     msg::run_spmd(machine, [&](msg::Context& ctx) {
       rt::Env env(ctx);
+      env.registry().set_enabled(cached);
       dist::DistributionType ta;
       dist::DistributionType tb;
       IndexDomain dom = IndexDomain::of_extents({n});
@@ -249,6 +259,9 @@ void BM_RedistributeFlip(benchmark::State& state) {
         secs.store(std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - t0)
                        .count());
+        reg_hits.store(env.registry().stats().hits);
+        reg_misses.store(env.registry().stats().misses);
+        reg_size.store(env.registry().size());
       }
     });
     total_seconds += secs.load();
@@ -259,6 +272,17 @@ void BM_RedistributeFlip(benchmark::State& state) {
   state.counters["ns_per_flip"] =
       total_seconds * 1e9 / static_cast<double>(total_flips);
   state.counters["plan_cached"] = cached ? 1 : 0;
+  // Descriptor-registry traffic on rank 0 of the last run: a healthy
+  // cached flip loop shows hits ~= flips (every DISTRIBUTE resolves its
+  // target descriptor by hash lookup) and a small constant miss count.
+  state.counters["registry_hits"] = static_cast<double>(reg_hits.load());
+  state.counters["registry_misses"] = static_cast<double>(reg_misses.load());
+  state.counters["registry_hit_rate"] =
+      reg_hits.load() + reg_misses.load() == 0
+          ? 0.0
+          : static_cast<double>(reg_hits.load()) /
+                static_cast<double>(reg_hits.load() + reg_misses.load());
+  state.counters["registry_interned"] = static_cast<double>(reg_size.load());
   state.counters["data_msgs_per_flip"] =
       static_cast<double>(stats.data_messages) / kFlips;
   state.counters["data_bytes_per_flip"] =

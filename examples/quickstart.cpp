@@ -108,7 +108,7 @@ void program(msg::Context& ctx) {
   // --- Section 3.2: inspector/executor for an irregular access -----------
   std::vector<IndexVec> wanted;
   for (dist::Index k = 1; k <= N; k += 3) wanted.push_back({k});
-  parti::Schedule sched(ctx, B2.distribution(), wanted);
+  parti::Schedule sched(ctx, B2.dist_handle(), wanted);
   std::vector<double> vals(wanted.size());
   sched.gather(ctx, B2, vals);
   if (root) {

@@ -1,0 +1,72 @@
+// Hash-consed abstract distribution values for the compile layer.
+//
+// The reaching-distribution analysis (paper Section 3.1) manipulates sets
+// of abstract distribution types (query::TypePattern).  Interning every
+// pattern into a shared immutable handle makes abstract-value equality
+// pointer identity, so DistSet membership tests, set merges and the
+// fixpoint's state comparisons are integer compares and shared_ptr copies
+// instead of deep pattern comparisons and vector clones -- the compile-
+// layer mirror of the runtime's DistHandle.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "vf/query/pattern.hpp"
+
+namespace vf::compile {
+
+/// Shared immutable reference to an interned TypePattern.  Constructing
+/// one from a TypePattern interns it (process-wide, thread-safe), so two
+/// handles are equal iff their patterns are structurally equal -- and
+/// equality is one pointer compare.
+class PatternHandle {
+ public:
+  PatternHandle() = default;
+  PatternHandle(const query::TypePattern& p);  // NOLINT(google-explicit-constructor)
+  PatternHandle(query::TypePattern&& p);       // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] const query::TypePattern& operator*() const noexcept {
+    return *p_;
+  }
+  [[nodiscard]] const query::TypePattern* operator->() const noexcept {
+    return p_.get();
+  }
+  [[nodiscard]] const query::TypePattern* get() const noexcept {
+    return p_.get();
+  }
+  operator const query::TypePattern&() const noexcept {  // NOLINT
+    return *p_;
+  }
+  explicit operator bool() const noexcept { return p_ != nullptr; }
+
+  friend bool operator==(const PatternHandle&, const PatternHandle&) = default;
+
+  // Mixed comparisons against plain patterns compare structurally (exact-
+  // match overloads, so the implicit conversions in both directions never
+  // make handle/pattern comparisons ambiguous).
+  friend bool operator==(const PatternHandle& a, const query::TypePattern& b) {
+    return a.p_ != nullptr && *a.p_ == b;
+  }
+  friend bool operator==(const query::TypePattern& a, const PatternHandle& b) {
+    return b == a;
+  }
+
+ private:
+  friend PatternHandle intern_pattern(query::TypePattern p);
+  explicit PatternHandle(std::shared_ptr<const query::TypePattern> p)
+      : p_(std::move(p)) {}
+
+  std::shared_ptr<const query::TypePattern> p_;
+};
+
+/// Structural hash of a pattern (the interner's bucket key).
+[[nodiscard]] std::uint64_t hash_pattern(const query::TypePattern& p) noexcept;
+
+/// Interns `p` into the process-wide pattern table.
+[[nodiscard]] PatternHandle intern_pattern(query::TypePattern p);
+
+/// Number of distinct patterns interned so far (diagnostics).
+[[nodiscard]] std::size_t interned_pattern_count();
+
+}  // namespace vf::compile

@@ -19,20 +19,28 @@
 #include <vector>
 
 #include "vf/compile/ir.hpp"
+#include "vf/compile/pattern_intern.hpp"
 
 namespace vf::compile {
 
 /// The set of plausible distributions of one array at one program point.
+///
+/// Members are interned pattern handles (see pattern_intern.hpp):
+/// membership tests, merges and the fixpoint's state comparisons key on
+/// handle identity -- integer compares -- and never deep-compare
+/// patterns.  Handles convert implicitly to `const query::TypePattern&`,
+/// so pattern queries read through them unchanged.
 struct DistSet {
   /// The array may reach this point without an associated distribution.
   bool undistributed = false;
-  /// May-set of abstract distribution types.
-  std::vector<AbstractDist> types;
+  /// May-set of abstract distribution types (interned handles).
+  std::vector<PatternHandle> types;
 
   /// Widening bound: sets larger than this collapse to the wildcard.
   static constexpr std::size_t kWidenLimit = 8;
 
   void add(const AbstractDist& d);
+  void add(const PatternHandle& h);
   void merge(const DistSet& o);
 
   [[nodiscard]] bool is_widened() const;

@@ -6,7 +6,9 @@
 // index domain and a processor section yields a concrete Distribution.
 #pragma once
 
+#include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -19,6 +21,32 @@ enum class DimDistKind { Collapsed, Block, Cyclic, GenBlock, Indirect };
 
 [[nodiscard]] std::string to_string(DimDistKind k);
 
+/// An immutable INDIRECT mapping array, content-hashed exactly once at
+/// construction.  DimDists share tables by pointer, so copying a
+/// DistributionType that carries an INDIRECT dimension never copies the
+/// owner table, and equality tests compare pointer, then hash, then (only
+/// on a hash tie between distinct tables) contents.
+class IndirectTable {
+ public:
+  explicit IndirectTable(std::vector<int> owners);
+
+  [[nodiscard]] const std::vector<int>& owners() const noexcept {
+    return owners_;
+  }
+  [[nodiscard]] std::uint64_t hash() const noexcept { return hash_; }
+  [[nodiscard]] std::size_t size() const noexcept { return owners_.size(); }
+
+  friend bool operator==(const IndirectTable& a, const IndirectTable& b) {
+    return a.hash_ == b.hash_ && a.owners_ == b.owners_;
+  }
+
+ private:
+  std::vector<int> owners_;
+  std::uint64_t hash_ = 0;
+};
+
+using IndirectTablePtr = std::shared_ptr<const IndirectTable>;
+
 /// Distribution of a single array dimension.
 struct DimDist {
   DimDistKind kind = DimDistKind::Collapsed;
@@ -30,16 +58,29 @@ struct DimDist {
   std::vector<Index> gen_sizes;
   /// B_BLOCK(b1, ..., bP): cumulative per-processor upper bounds.
   std::vector<Index> gen_bounds;
-  /// INDIRECT(map): owner coordinate of each element, in index order.
-  std::vector<int> owners;
+  /// INDIRECT(map): shared owner table (owner coordinate of each element,
+  /// in index order); null for every other kind.
+  IndirectTablePtr owners;
 
   [[nodiscard]] bool distributed() const noexcept {
     return kind != DimDistKind::Collapsed;
   }
 
+  /// Structural hash; the INDIRECT owner table contributes its
+  /// precomputed content hash, so hashing is O(P) worst case (general
+  /// block sizes), never O(N).
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+
   [[nodiscard]] std::string to_string() const;
 
-  friend bool operator==(const DimDist&, const DimDist&) = default;
+  friend bool operator==(const DimDist& a, const DimDist& b) {
+    return a.kind == b.kind && a.block_width == b.block_width &&
+           a.cyclic_block == b.cyclic_block && a.gen_sizes == b.gen_sizes &&
+           a.gen_bounds == b.gen_bounds &&
+           (a.owners == b.owners ||
+            (a.owners != nullptr && b.owners != nullptr &&
+             *a.owners == *b.owners));
+  }
 };
 
 /// BLOCK: contiguous even partition.
@@ -54,8 +95,12 @@ struct DimDist {
 [[nodiscard]] DimDist s_block(std::vector<Index> sizes);
 /// B_BLOCK(bounds): general block with cumulative upper bounds.
 [[nodiscard]] DimDist b_block(std::vector<Index> bounds);
-/// INDIRECT(owners): user-defined mapping array.
+/// INDIRECT(owners): user-defined mapping array (hashed once, shared
+/// thereafter).
 [[nodiscard]] DimDist indirect(std::vector<int> owners);
+/// INDIRECT over an existing shared table: reusing a table across
+/// DISTRIBUTE statements makes repeated flips O(1) in the table size.
+[[nodiscard]] DimDist indirect(IndirectTablePtr table);
 
 /// Distribution of a whole array: one DimDist per dimension.
 class DistributionType {

@@ -38,6 +38,8 @@ struct RankAffine {
 
 class Distribution;
 using DistributionPtr = std::shared_ptr<const Distribution>;
+using DimMapPtr = std::shared_ptr<const DimMap>;
+using ProcessorSectionPtr = std::shared_ptr<const ProcessorSection>;
 
 class Distribution {
  public:
@@ -56,9 +58,41 @@ class Distribution {
   Distribution(IndexDomain dom, DistributionType type, ProcessorSection sec,
                std::vector<DimMap> maps, std::vector<int> free_dims);
 
+  /// Shared-component constructor (the DistRegistry's interning path):
+  /// like the explicit-maps form, but every per-dimension map and the
+  /// section are immutable shared objects, so a registry hit or a
+  /// partially shared construction performs no owner-table or section
+  /// copies.
+  Distribution(IndexDomain dom, DistributionType type,
+               ProcessorSectionPtr sec, std::vector<DimMapPtr> maps,
+               std::vector<int> free_dims);
+
+  /// The per-dimension map a DimDist induces on range `r` over `nprocs`
+  /// processor coordinates (the per-dimension step of the type-based
+  /// constructor, exposed so the DistRegistry can intern maps before
+  /// building them).
+  [[nodiscard]] static DimMap build_dim_map(const DimDist& dd, Range r,
+                                            int nprocs);
+
+  /// The section free-dimension assignment the type-based constructor
+  /// derives: distributed dimensions take free dims in order, collapsed
+  /// dimensions get -1.
+  [[nodiscard]] static std::vector<int> derive_free_dims(
+      const DistributionType& type);
+
+  /// Validates that `type` can be applied to `dom` on `sec` (rank match,
+  /// free-rank consumption); throws invalid_argument otherwise.  The
+  /// type-based constructor and the DistRegistry share this check.
+  static void check_applicable(const IndexDomain& dom,
+                               const DistributionType& type,
+                               const ProcessorSection& sec);
+
   [[nodiscard]] const IndexDomain& domain() const noexcept { return dom_; }
   [[nodiscard]] const DistributionType& type() const noexcept { return type_; }
   [[nodiscard]] const ProcessorSection& section() const noexcept {
+    return *sec_;
+  }
+  [[nodiscard]] const ProcessorSectionPtr& section_ptr() const noexcept {
     return sec_;
   }
 
@@ -66,7 +100,7 @@ class Distribution {
     if (d < 0 || d >= dom_.rank()) {
       throw std::out_of_range("Distribution::dim_map");
     }
-    return maps_[static_cast<std::size_t>(d)];
+    return *maps_[static_cast<std::size_t>(d)];
   }
 
   /// Section free-dimension index dimension d maps onto, or -1 when d is
@@ -116,7 +150,7 @@ class Distribution {
     std::array<std::vector<Index>, kMaxRank> owned;
     for (int d = 0; d < r; ++d) {
       owned[static_cast<std::size_t>(d)] =
-          maps_[static_cast<std::size_t>(d)].owned_ascending(
+          maps_[static_cast<std::size_t>(d)]->owned_ascending(
               static_cast<int>(L.coords[d]));
       if (owned[static_cast<std::size_t>(d)].empty()) return;
     }
@@ -149,16 +183,24 @@ class Distribution {
   [[nodiscard]] bool same_mapping(const Distribution& o) const;
 
   /// Structural fingerprint of (domain, type, section, free-dim
-  /// assignment): equal fingerprints (verified with structural_equal for
-  /// collision safety) imply identical mappings and layouts.  Used as the
-  /// redistribution plan cache key.
+  /// assignment): equal fingerprints imply identical mappings and layouts
+  /// modulo hash collisions.  The DistRegistry uses it as the interning
+  /// bucket key (verifying structurally only at admission); cache hot
+  /// paths key on handle identity instead and never re-verify.
   [[nodiscard]] std::uint64_t fingerprint() const noexcept {
     return fingerprint_;
   }
   [[nodiscard]] bool structural_equal(const Distribution& o) const {
-    return dom_ == o.dom_ && type_ == o.type_ && sec_ == o.sec_ &&
+    return dom_ == o.dom_ && type_ == o.type_ && *sec_ == *o.sec_ &&
            free_dims_ == o.free_dims_;
   }
+
+  /// The fingerprint a distribution over (dom, type, sec, free_dims)
+  /// would carry, computable without building any per-dimension map --
+  /// the DistRegistry's lookup key.
+  [[nodiscard]] static std::uint64_t fingerprint_of(
+      const IndexDomain& dom, const DistributionType& type,
+      const ProcessorSection& sec, const std::vector<int>& free_dims);
 
   [[nodiscard]] std::string to_string() const;
 
@@ -167,8 +209,8 @@ class Distribution {
 
   IndexDomain dom_;
   DistributionType type_;
-  ProcessorSection sec_;
-  std::vector<DimMap> maps_;
+  ProcessorSectionPtr sec_;
+  std::vector<DimMapPtr> maps_;
   std::vector<int> free_dims_;
   RankAffine affine_;
   std::uint64_t fingerprint_ = 0;

@@ -1,0 +1,23 @@
+// The word-wise FNV-1a primitive every structural hash in the tree is
+// built from (type hashes, distribution fingerprints, registry bucket
+// keys, interned pattern keys).  One definition keeps all those keyspaces
+// in agreement: Distribution::fingerprint_of and DistRegistry lookups,
+// for instance, must hash identically or interning would silently miss.
+#pragma once
+
+#include <cstdint>
+
+namespace vf::dist {
+
+inline constexpr std::uint64_t kFnvBasis = 1469598103934665603ULL;
+
+/// One xor-multiply per 64-bit value (not per byte: fingerprints fold in
+/// whole owner-table hashes and size vectors, so per-byte mixing would
+/// cost 8x the multiplies for no benefit).
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::uint64_t h,
+                                            std::uint64_t x) noexcept {
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  return (h ^ x) * kPrime;
+}
+
+}  // namespace vf::dist

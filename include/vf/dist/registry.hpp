@@ -1,0 +1,155 @@
+// Hash-consed distribution descriptors (paper Sections 2.2 and 3.2.2).
+//
+// The DISTRIBUTE statement makes distributions first-class run-time values
+// that are compared, cached and passed across procedure boundaries.  The
+// DistRegistry makes those values cheap: it interns Distribution objects
+// (together with their per-dimension DimMaps and processor sections; index
+// domains are kMaxRank-bounded trivially copyable values that need no
+// sharing) into immutable shared DistHandles, so that
+//
+//   * descriptor equality is pointer identity (one integer compare);
+//   * a DISTRIBUTE of a previously-seen distribution costs a hash lookup
+//     -- O(rank) thanks to IndirectTable's precomputed content hashes --
+//     instead of an owner-table copy plus a DimMap::indirect rebuild;
+//   * downstream caches (redistribution plans, PARTI schedule bindings,
+//     procedure interface matching) key on handle identity, with no
+//     fingerprint-collision re-verification on any hot path.
+//
+// Structural verification happens exactly once, at admission time; after
+// that, two handles are equal iff their distributions are structurally
+// equal.  One registry lives in each rt::Env (registries are per virtual
+// processor and not thread-safe).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "vf/dist/distribution.hpp"
+
+namespace vf::dist {
+
+class DistRegistry;
+
+/// Shared immutable reference to an interned Distribution.  Equality is
+/// pointer identity; uid() is a small dense id (unique per registry, 0 for
+/// the null handle and for unregistered wrappers) that downstream caches
+/// pack into flat integer keys.
+class DistHandle {
+ public:
+  DistHandle() = default;
+
+  [[nodiscard]] const Distribution& operator*() const noexcept { return *p_; }
+  [[nodiscard]] const Distribution* operator->() const noexcept {
+    return p_.get();
+  }
+  [[nodiscard]] const Distribution* get() const noexcept { return p_.get(); }
+  [[nodiscard]] const DistributionPtr& ptr() const noexcept { return p_; }
+  explicit operator bool() const noexcept { return p_ != nullptr; }
+
+  /// Dense registry id; 0 when null or created with a disabled registry
+  /// (such handles never hit identity-keyed caches).
+  [[nodiscard]] std::uint32_t uid() const noexcept { return uid_; }
+  [[nodiscard]] bool interned() const noexcept { return uid_ != 0; }
+
+  friend bool operator==(const DistHandle&, const DistHandle&) = default;
+  friend bool operator==(const DistHandle& h, std::nullptr_t) noexcept {
+    return h.p_ == nullptr;
+  }
+
+ private:
+  friend class DistRegistry;
+  DistHandle(DistributionPtr p, std::uint32_t uid)
+      : p_(std::move(p)), uid_(uid) {}
+
+  DistributionPtr p_;
+  std::uint32_t uid_ = 0;
+};
+
+/// Interning traffic counters (reported per bench run as registry_* in
+/// BENCH_<name>.json).
+struct RegistryStats {
+  std::uint64_t hits = 0;            ///< whole-distribution intern hits
+  std::uint64_t misses = 0;          ///< whole-distribution admissions
+  std::uint64_t dim_map_hits = 0;    ///< per-dimension map intern hits
+  std::uint64_t dim_map_misses = 0;  ///< per-dimension map admissions
+};
+
+class DistRegistry {
+ public:
+  DistRegistry() = default;
+  DistRegistry(const DistRegistry&) = delete;
+  DistRegistry& operator=(const DistRegistry&) = delete;
+
+  /// Interns the distribution `type` would induce on `dom` over `sec`.
+  /// On a hit nothing is constructed: the key is hashed (O(rank), owner
+  /// tables contribute precomputed hashes), the bucket candidate is
+  /// verified component-wise, and the existing handle is returned.  On a
+  /// miss the distribution is built from interned sections and dimension
+  /// maps and admitted.
+  [[nodiscard]] DistHandle intern(const IndexDomain& dom,
+                                  const DistributionType& type,
+                                  const ProcessorSection& sec);
+  [[nodiscard]] DistHandle intern(const IndexDomain& dom,
+                                  const DistributionType& type,
+                                  ProcessorSectionPtr sec);
+
+  /// Post-hoc interning of an already-constructed distribution (alignment
+  /// CONSTRUCT results and other explicit-map forms): structurally keyed;
+  /// `d` is dropped when an equal distribution is already interned.
+  [[nodiscard]] DistHandle intern(Distribution d);
+
+  /// Canonicalizes an already-shared distribution: a hit returns the
+  /// interned handle, a miss admits the pointer as-is (no copy).
+  [[nodiscard]] DistHandle intern(DistributionPtr d);
+
+  /// Wraps a distribution without interning (uid 0); what intern()
+  /// degrades to while the registry is disabled.
+  [[nodiscard]] static DistHandle wrap(Distribution d);
+  [[nodiscard]] static DistHandle wrap(DistributionPtr d);
+
+  /// The per-dimension map `dd` induces on `r` over `nprocs` coordinates,
+  /// shared across every interned distribution that uses it.
+  [[nodiscard]] DimMapPtr intern_dim_map(const DimDist& dd, Range r,
+                                         int nprocs);
+
+  [[nodiscard]] ProcessorSectionPtr intern_section(const ProcessorSection& s);
+
+  /// Disabling makes intern() construct fresh unregistered handles (the
+  /// benchmark cold path, measuring per-statement descriptor
+  /// construction); existing entries are kept for re-enabling.
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  [[nodiscard]] const RegistryStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = RegistryStats{}; }
+
+  /// Number of interned distributions.
+  [[nodiscard]] std::size_t size() const noexcept { return n_dists_; }
+
+  void clear();
+
+ private:
+  struct DimMapEntry {
+    DimDist dd;  // shares the owner table: cheap to keep as the key
+    Range r;
+    int np = 1;
+    DimMapPtr map;
+  };
+
+  [[nodiscard]] DistHandle admit(DistributionPtr d, std::uint64_t key);
+
+  bool enabled_ = true;
+  RegistryStats stats_;
+  std::uint32_t next_uid_ = 1;
+  std::size_t n_dists_ = 0;
+
+  // Buckets keyed by structural fingerprint; vectors absorb collisions.
+  std::unordered_map<std::uint64_t, std::vector<DistHandle>> dists_;
+  std::unordered_map<std::uint64_t, std::vector<DimMapEntry>> dim_maps_;
+  std::unordered_map<std::uint64_t, std::vector<ProcessorSectionPtr>>
+      sections_;
+};
+
+}  // namespace vf::dist

@@ -112,19 +112,16 @@ class Context {
   }
 
   /// Broadcast a vector from `root`; non-root input values are ignored.
+  ///
+  /// Binomial tree: the payload fans out over ceil(log2 P) rounds, so no
+  /// rank (in particular not the root) sends more than ceil(log2 P)
+  /// messages -- the modeled critical path is O(alpha log P) instead of
+  /// the O(alpha P) a root-serialized broadcast costs.
   template <detail::TriviallySendable T>
   [[nodiscard]] std::vector<T> broadcast_vec(std::vector<T> v, int root = 0) {
     const int tag = next_coll_tag();
     stats().collectives++;
-    if (rank_ == root) {
-      for (int p = 0; p < nprocs(); ++p) {
-        if (p == root) continue;
-        send_ctl_bytes(p, tag, std::as_bytes(std::span<const T>(v)));
-      }
-      return v;
-    }
-    auto bytes = recv_bytes(root, tag);
-    return bytes_to_vector<T>(bytes);
+    return broadcast_tree(std::move(v), root, tag);
   }
 
   /// All-reduce of a single value.
@@ -135,24 +132,38 @@ class Context {
   }
 
   /// Element-wise all-reduce of equal-length vectors.
+  ///
+  /// Binomial reduction to rank 0 followed by a binomial broadcast: every
+  /// rank sends at most 1 + ceil(log2 P) messages and the critical path
+  /// is O(alpha log P).  (The old implementation serialized 2(P-1)
+  /// messages through rank 0.)  Reduction order is the binomial-tree
+  /// combine order, deterministic for a given P.
   template <detail::TriviallySendable T>
   [[nodiscard]] std::vector<T> allreduce_vec(std::vector<T> v, ReduceOp op) {
-    const int tag = next_coll_tag();
+    const int reduce_tag = next_coll_tag();
+    const int bcast_tag = next_coll_tag();
     stats().collectives++;
-    if (rank_ == 0) {
-      for (int p = 1; p < nprocs(); ++p) {
-        auto contrib = bytes_to_vector<T>(recv_bytes(p, tag));
+    const int np = nprocs();
+    for (int mask = 1; mask < np; mask <<= 1) {
+      if ((rank_ & mask) != 0) {
+        // Fold my partial into the partner below and leave the tree.
+        send_ctl_bytes(rank_ - mask, reduce_tag,
+                       std::as_bytes(std::span<const T>(v)));
+        break;
+      }
+      const int src = rank_ + mask;
+      if (src < np) {
+        auto contrib = bytes_to_vector<T>(recv_bytes(src, reduce_tag));
+        if (contrib.size() != v.size()) {
+          throw std::runtime_error(
+              "allreduce_vec: contribution length mismatch");
+        }
         for (std::size_t i = 0; i < v.size(); ++i) {
-          v[i] = detail::apply_op(op, v[i], contrib.at(i));
+          v[i] = detail::apply_op(op, v[i], contrib[i]);
         }
       }
-      for (int p = 1; p < nprocs(); ++p) {
-        send_ctl_bytes(p, tag, std::as_bytes(std::span<const T>(v)));
-      }
-      return v;
     }
-    send_ctl_bytes(0, tag, std::as_bytes(std::span<const T>(v)));
-    return bytes_to_vector<T>(recv_bytes(0, tag));
+    return broadcast_tree(std::move(v), 0, bcast_tag);
   }
 
   /// Gather one value per rank; every rank receives the full vector,
@@ -284,6 +295,37 @@ class Context {
  private:
   /// Control-plane send: same transport, separate accounting.
   void send_ctl_bytes(int dest, int tag, std::span<const std::byte> payload);
+
+  /// Binomial-tree broadcast body shared by broadcast_vec and the
+  /// broadcast phase of allreduce_vec (does not bump the collectives
+  /// counter; the caller owns the tag).
+  template <detail::TriviallySendable T>
+  [[nodiscard]] std::vector<T> broadcast_tree(std::vector<T> v, int root,
+                                              int tag) {
+    const int np = nprocs();
+    if (np == 1) return v;
+    const int rel = (rank_ - root + np) % np;
+    int mask = 1;
+    while (mask < np) {
+      if ((rel & mask) != 0) {
+        const int src = (rel - mask + root) % np;
+        v = bytes_to_vector<T>(recv_bytes(src, tag));
+        break;
+      }
+      mask <<= 1;
+    }
+    // Forward to children: every mask below the one that delivered (for
+    // the root: below the smallest power of two >= P).
+    mask >>= 1;
+    while (mask > 0) {
+      if (rel + mask < np) {
+        const int dst = (rel + mask + root) % np;
+        send_ctl_bytes(dst, tag, std::as_bytes(std::span<const T>(v)));
+      }
+      mask >>= 1;
+    }
+    return v;
+  }
 
   [[nodiscard]] int next_coll_tag() noexcept {
     // Collective tags live in the negative tag space, below kAnySource.

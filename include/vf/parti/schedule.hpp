@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "vf/dist/distribution.hpp"
+#include "vf/dist/registry.hpp"
 #include "vf/msg/context.hpp"
 #include "vf/rt/dist_array.hpp"
 
@@ -32,8 +33,13 @@ namespace vf::parti {
 class Schedule {
  public:
   /// Inspector (collective): `points` are the global index points this
-  /// rank's executor calls will touch, in local buffer order.
-  Schedule(msg::Context& ctx, const dist::Distribution& target,
+  /// rank's executor calls will touch, in local buffer order.  `target`
+  /// is the interned descriptor of the distribution the points are
+  /// resolved against (normally some array's dist_handle()); executors
+  /// accept any array whose handle is identical -- one pointer compare --
+  /// and fall back to a mapping-level comparison only for
+  /// descriptor-swapped equivalents.
+  Schedule(msg::Context& ctx, dist::DistHandle target,
            std::vector<dist::IndexVec> points);
 
   /// Number of points this rank requested.
@@ -54,7 +60,7 @@ class Schedule {
   void gather(msg::Context& ctx, const rt::DistArray<T>& src,
               std::span<T> out) const {
     check_size(out.size());
-    bind(src);
+    const Binding& bound = bind(src);
     const int np = ctx.nprocs();
     const T* data = src.local_span().data();
     // Owners serve each unique requested element once: a branch-free copy
@@ -67,14 +73,14 @@ class Schedule {
       auto& buf = serve[up];
       buf.resize(e - b);
       for (std::size_t k = b; k < e; ++k) {
-        buf[k - b] = data[bound_.serve_off[k]];
+        buf[k - b] = data[bound.serve_off[k]];
       }
     }
     auto in = ctx.alltoallv_known(std::move(serve),
                                   std::span<const std::uint64_t>(
                                       req_unique_counts_));
     for (std::size_t k = 0; k < local_linear_.size(); ++k) {
-      out[local_positions_[k]] = data[bound_.local_off[k]];
+      out[local_positions_[k]] = data[bound.local_off[k]];
     }
     // Fan replies out to every occurrence.
     for (int p = 0; p < np; ++p) {
@@ -128,7 +134,7 @@ class Schedule {
   void exec_scatter(msg::Context& ctx, std::span<const T> in,
                     rt::DistArray<T>& dst, bool accumulate) const {
     check_size(in.size());
-    bind(dst);
+    const Binding& bound = bind(dst);
     const int np = ctx.nprocs();
     // Requester-side combining: one slot per unique remote element.
     std::vector<std::vector<T>> out(static_cast<std::size_t>(np));
@@ -150,7 +156,7 @@ class Schedule {
                                             expect_scatter_));
     T* data = dst.local_span().data();
     for (std::size_t k = 0; k < local_linear_.size(); ++k) {
-      T& slot = data[bound_.local_off[k]];
+      T& slot = data[bound.local_off[k]];
       if (accumulate) {
         slot += in[local_positions_[k]];
       } else {
@@ -163,7 +169,7 @@ class Schedule {
       const std::size_t e = serve_start_[up + 1];
       const auto& vals = incoming[up];
       for (std::size_t k = b; k < e; ++k) {
-        T& slot = data[bound_.serve_off[k]];
+        T& slot = data[bound.serve_off[k]];
         if (accumulate) {
           slot += vals[k - b];
         } else {
@@ -181,11 +187,40 @@ class Schedule {
     }
   }
 
+  // Flat storage offsets bound to one array instance + distribution.
+  // Keyed by the array's process-unique serial (never recycled, unlike a
+  // heap address) plus its descriptor handle, so neither a recycled
+  // address nor a shared interned descriptor can alias a stale binding.
+  struct Binding {
+    std::uint64_t array_serial = 0;
+    dist::DistHandle dist;
+    std::vector<std::size_t> serve_off;  ///< parallel to serve_linear_
+    std::vector<std::size_t> local_off;  ///< parallel to local_linear_
+  };
+
+ public:
+  /// Number of arrays currently bound (distinct translation sets held by
+  /// the multi-array binding cache).
+  [[nodiscard]] std::size_t n_bound_arrays() const noexcept {
+    return bindings_.size();
+  }
+  /// Executor-side binding cache hits/misses (a miss translates all
+  /// served and local points of one array into flat storage offsets).
+  [[nodiscard]] std::uint64_t binding_hits() const noexcept {
+    return binding_hits_;
+  }
+  [[nodiscard]] std::uint64_t binding_misses() const noexcept {
+    return binding_misses_;
+  }
+
+ private:
   /// Translates the served and local index points into flat storage
-  /// offsets of `a` (cached; re-translated only when the array or its
-  /// distribution changes).  Schedules are per-rank objects, so no
-  /// synchronization is needed.
-  void bind(const rt::DistArrayBase& a) const;
+  /// offsets of `a`, through the multi-array binding cache: one schedule
+  /// can serve gathers/scatters against several arrays (keyed by array
+  /// identity + descriptor handle) without re-translating on every
+  /// alternation.  Schedules are per-rank objects, so no synchronization
+  /// is needed.
+  const Binding& bind(const rt::DistArrayBase& a) const;
 
   std::size_t n_points_ = 0;
   std::size_t n_unique_offproc_ = 0;
@@ -214,23 +249,19 @@ class Schedule {
   // serve-slice sizes, cached as one vector for alltoallv_known).
   std::vector<std::uint64_t> expect_scatter_;
 
-  // Copy of the inspected target distribution: executors refuse to bind
-  // an array whose distribution no longer maps the same way (structural
-  // fingerprint fast path, mapping-level comparison for descriptor-only
-  // swaps such as a no-op DISTRIBUTE to an equivalent spelling).
-  std::uint64_t target_fingerprint_ = 0;
-  std::shared_ptr<const dist::Distribution> target_;
+  // The inspected target descriptor: executors accept an array whose
+  // handle is identical (one pointer compare -- the hot path) and fall
+  // back to a mapping-level comparison only for descriptor-only swaps
+  // such as a no-op DISTRIBUTE to an equivalent spelling.  No structural
+  // or fingerprint verification happens on the hot path.
+  dist::DistHandle target_;
 
-  // Flat storage offsets bound to one array instance + distribution.  The
-  // DistributionPtr is held (not a raw address) so a recycled heap address
-  // can never alias a stale binding.
-  struct Binding {
-    const void* array = nullptr;
-    dist::DistributionPtr dist;
-    std::vector<std::size_t> serve_off;  ///< parallel to serve_linear_
-    std::vector<std::size_t> local_off;  ///< parallel to local_linear_
-  };
-  mutable Binding bound_;
+  // Multi-array binding cache (most recently used first), bounded by
+  // kBindingCapacity.
+  static constexpr std::size_t kBindingCapacity = 8;
+  mutable std::vector<Binding> bindings_;
+  mutable std::uint64_t binding_hits_ = 0;
+  mutable std::uint64_t binding_misses_ = 0;
 };
 
 }  // namespace vf::parti

@@ -60,7 +60,17 @@ class DCase {
   /// first matching arm's action runs; at most one arm executes.  Returns
   /// the index of the executed arm, or -1 if no condition matched.
   /// Every selector must be associated with a distribution.
+  ///
+  /// Dispatch is memoized on the selectors' descriptor handles: re-running
+  /// the construct while every selector still holds the same interned
+  /// descriptor replays the previously matched arm (its action still
+  /// runs) after rank-many pointer compares, with no pattern matching.
   int run() const;
+
+  /// Memoized-dispatch hit counter (diagnostics and benchmarks).
+  [[nodiscard]] std::uint64_t dispatch_hits() const noexcept {
+    return dispatch_hits_;
+  }
 
  private:
   struct Arm {
@@ -73,6 +83,13 @@ class DCase {
 
   std::vector<const rt::DistArrayBase*> selectors_;
   std::vector<Arm> arms_;
+
+  // Dispatch memo: the arm matched the last time every selector held
+  // these descriptor handles (invalidated by arm-list growth).
+  mutable std::vector<dist::DistHandle> memo_handles_;
+  mutable int memo_arm_ = -1;
+  mutable std::size_t memo_arm_count_ = 0;
+  mutable std::uint64_t dispatch_hits_ = 0;
 };
 
 /// Convenience entry point mirroring SELECT DCASE (A1, ..., Ar).

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -92,11 +93,14 @@ class DistExpr {
   }
 
   /// Evaluates the expression for `target` (the array being distributed):
-  /// returns the new distribution.  `fallback_section` is used when no
-  /// explicit section was given.
-  [[nodiscard]] dist::Distribution evaluate(
+  /// returns the new distribution as an interned handle from `reg`.
+  /// `fallback_section` is used when no explicit section was given.  For
+  /// the plain-type and extraction forms a previously-seen distribution
+  /// is a registry hash hit -- nothing is constructed.
+  [[nodiscard]] dist::DistHandle evaluate(
       const DistArrayBase& target,
-      const dist::ProcessorSection& fallback_section) const;
+      const dist::ProcessorSection& fallback_section,
+      dist::DistRegistry& reg) const;
 
  private:
   std::variant<dist::DistributionType, std::vector<DimExprItem>,
@@ -126,7 +130,7 @@ struct NoTransfer {
 /// components of the information stored locally on each processor.
 struct Descriptor {
   dist::IndexDomain index_dom;                 ///< index_dom(A)
-  dist::DistributionPtr dist;                  ///< dist(A); null if none
+  dist::DistHandle dist;                       ///< dist(A); null if none
   dist::LocalLayout segment;                   ///< loc_map / segment basis
   bool dynamic = false;
   bool primary = false;
@@ -140,6 +144,12 @@ class DistArrayBase {
   virtual ~DistArrayBase();
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Process-unique array identity (never recycled, unlike heap
+  /// addresses): the key executor binding caches use, since with interned
+  /// descriptors two distinct arrays may share one DistHandle.
+  [[nodiscard]] std::uint64_t serial() const noexcept { return serial_; }
+
   [[nodiscard]] const dist::IndexDomain& domain() const noexcept {
     return dom_;
   }
@@ -156,7 +166,10 @@ class DistArrayBase {
     if (!dist_) throw NotDistributedError(name_);
     return *dist_;
   }
-  [[nodiscard]] dist::DistributionPtr distribution_ptr() const noexcept {
+  /// The array's current descriptor as an interned handle: the identity
+  /// key every runtime cache (plans, schedule bindings, procedure
+  /// interfaces) uses.  Null when no distribution is associated.
+  [[nodiscard]] const dist::DistHandle& dist_handle() const noexcept {
     return dist_;
   }
   /// This rank's local layout under the current distribution.
@@ -181,6 +194,12 @@ class DistArrayBase {
   /// skipping data motion for NOTRANSFER members and for members whose
   /// mapping does not actually change.
   void distribute(const DistExpr& expr, const NoTransfer& nt = {});
+
+  /// DISTRIBUTE to a pre-interned descriptor: the handle must cover this
+  /// array's index domain.  Distributing to the array's current handle is
+  /// a pure no-op (identity is equality); otherwise a cached plan keyed on
+  /// the (old, new) handle pair replays without any mapping comparison.
+  void distribute(const dist::DistHandle& nd, const NoTransfer& nt = {});
 
   /// Number of bytes per element (for communication accounting).
   [[nodiscard]] virtual std::size_t element_size() const noexcept = 0;
@@ -216,16 +235,27 @@ class DistArrayBase {
   /// Installs a new distribution.  When `transfer` is true the previous
   /// distribution's data must be moved to the new one (collective); when
   /// false the storage is reallocated with unspecified contents.
-  virtual void apply_distribution(dist::DistributionPtr nd, bool transfer) = 0;
+  virtual void apply_distribution(dist::DistHandle nd, bool transfer) = 0;
 
   /// Installs a new distribution that is mapping-equivalent to the current
   /// one: only the descriptor changes (e.g. DISTRIBUTE to an S_BLOCK that
   /// happens to equal the current BLOCK); data stays in place.
-  virtual void adopt_descriptor(dist::DistributionPtr nd) = 0;
+  virtual void adopt_descriptor(dist::DistHandle nd) = 0;
+
+  /// Whether a redistribution plan for the (old, new) handle pair is
+  /// already cached (an identity-keyed peek; never touches hit/miss
+  /// counters).  The DISTRIBUTE engine uses it to skip the O(N) mapping
+  /// comparison on flips whose motion is already planned.
+  [[nodiscard]] virtual bool has_cached_plan(
+      const dist::DistHandle& od, const dist::DistHandle& nd) const {
+    (void)od;
+    (void)nd;
+    return false;
+  }
 
   /// Called by subclasses and the DISTRIBUTE engine after storage has been
   /// swapped.
-  void set_distribution(dist::DistributionPtr d) {
+  void set_distribution(dist::DistHandle d) {
     dist_ = std::move(d);
     layout_ = dist_ ? dist_->layout_for(env_->rank()) : dist::LocalLayout{};
   }
@@ -260,6 +290,13 @@ class DistArrayBase {
     return off;
   }
 
+  /// Precondition checks shared by both distribute() entry points.
+  void check_distribute_legal(const NoTransfer& nt) const;
+
+  /// The DISTRIBUTE engine proper, after the target descriptor has been
+  /// resolved to an interned handle.
+  void distribute_resolved(dist::DistHandle nd, const NoTransfer& nt);
+
   /// Recomputes the allocation shape (counts, strides, segment bases) for
   /// the current distribution and ghost widths.
   void rebuild_storage_shape() {
@@ -288,12 +325,18 @@ class DistArrayBase {
     }
   }
 
+  [[nodiscard]] static std::uint64_t next_serial() noexcept {
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
   Env* env_;
+  std::uint64_t serial_ = next_serial();
   std::string name_;
   dist::IndexDomain dom_;
   bool dynamic_;
   query::RangeSpec range_;
-  dist::DistributionPtr dist_;
+  dist::DistHandle dist_;
   dist::LocalLayout layout_;
   std::shared_ptr<ConnectClass> cclass_;
 

@@ -26,22 +26,22 @@ class AssignPlan {
   /// distributions; run() refuses to execute if either has changed.
   AssignPlan(msg::Context& ctx, const DistArray<T>& src,
              const DistArray<T>& dst)
-      : src_dist_(src.distribution_ptr()), dst_dist_(dst.distribution_ptr()) {
+      : src_dist_(src.dist_handle()), dst_dist_(dst.dist_handle()) {
     if (!(src.domain() == dst.domain())) {
       throw std::invalid_argument(
           "AssignPlan: arrays must share an index domain");
     }
     dst.distribution().for_owned(
         ctx.rank(), [&](const dist::IndexVec& i) { points_.push_back(i); });
-    schedule_ = std::make_unique<parti::Schedule>(ctx, src.distribution(),
+    schedule_ = std::make_unique<parti::Schedule>(ctx, src.dist_handle(),
                                                   points_);
     buf_.resize(points_.size());
   }
 
-  /// Executes dst = src (collective).
+  /// Executes dst = src (collective).  Validity is handle identity: the
+  /// plan is bound to the descriptors current at construction.
   void run(msg::Context& ctx, const DistArray<T>& src, DistArray<T>& dst) {
-    if (src.distribution_ptr() != src_dist_ ||
-        dst.distribution_ptr() != dst_dist_) {
+    if (src.dist_handle() != src_dist_ || dst.dist_handle() != dst_dist_) {
       throw std::logic_error(
           "AssignPlan: an array was redistributed since the plan was built");
     }
@@ -56,8 +56,8 @@ class AssignPlan {
   }
 
  private:
-  dist::DistributionPtr src_dist_;
-  dist::DistributionPtr dst_dist_;
+  dist::DistHandle src_dist_;
+  dist::DistHandle dst_dist_;
   std::vector<dist::IndexVec> points_;
   std::unique_ptr<parti::Schedule> schedule_;
   std::vector<T> buf_;

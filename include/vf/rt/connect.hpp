@@ -12,6 +12,7 @@
 
 #include "vf/dist/alignment.hpp"
 #include "vf/dist/distribution.hpp"
+#include "vf/dist/registry.hpp"
 
 namespace vf::rt {
 
@@ -60,6 +61,14 @@ class ConnectClass {
   /// the distribution type for extraction connections.
   [[nodiscard]] dist::Distribution construct_for(
       const Member& m, const dist::Distribution& primary_dist) const;
+
+  /// Interned variant: extraction connections resolve through the
+  /// registry's (domain, type, section) fast path -- a repeated primary
+  /// DISTRIBUTE re-derives every secondary descriptor as a hash hit --
+  /// and alignment CONSTRUCT results are interned post hoc.
+  [[nodiscard]] dist::DistHandle construct_handle_for(
+      const Member& m, const dist::DistHandle& primary,
+      dist::DistRegistry& reg) const;
 
  private:
   DistArrayBase* primary_;

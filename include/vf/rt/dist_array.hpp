@@ -32,6 +32,7 @@
 #include <limits>
 #include <span>
 #include <type_traits>
+#include <unordered_map>
 
 #include "vf/msg/context.hpp"
 #include "vf/rt/array_base.hpp"
@@ -52,6 +53,9 @@ class DistArray final : public DistArrayBase {
     bool dynamic = false;
     /// Initial distribution (DIST clause); static arrays must provide one.
     std::optional<dist::DistributionType> initial;
+    /// Pre-interned initial descriptor (alternative to `initial`): the
+    /// handle form of the DIST clause, for code that already holds one.
+    dist::DistHandle initial_dist;
     /// Target processor section of the initial distribution (TO clause);
     /// defaults to the whole processor array.
     std::optional<dist::ProcessorSection> to;
@@ -170,14 +174,32 @@ class DistArray final : public DistArrayBase {
   /// Collects the full array on every rank, ordered by the domain's
   /// column-major linearization (collective; intended for tests, examples
   /// and verification).  Requires an arithmetic element type.
+  ///
+  /// Implemented as an allgatherv of owned runs: each rank contributes
+  /// only its owned values in deterministic global column-major order,
+  /// and every receiver re-enumerates each peer's owned set locally to
+  /// place them -- so contribution traffic is O(N) total instead of the
+  /// former allreduce over a full-size zero vector (O(P*N) inbound plus a
+  /// per-element reduction).
   [[nodiscard]] std::vector<T> gather_global() const {
     static_assert(std::is_arithmetic_v<T>,
                   "gather_global requires an arithmetic element type");
+    const dist::Distribution& d = distribution();
+    std::vector<T> mine;
+    mine.reserve(static_cast<std::size_t>(layout_.member ? layout_.total
+                                                         : 0));
+    for_owned([&](const dist::IndexVec&, const T& x) { mine.push_back(x); });
+    auto per_rank = env_->comm().allgather_vec(std::move(mine));
     std::vector<T> full(static_cast<std::size_t>(dom_.size()), T{});
-    for_owned([&](const dist::IndexVec& i, const T& x) {
-      full[static_cast<std::size_t>(dom_.linearize(i))] = x;
-    });
-    return env_->comm().allreduce_vec(std::move(full), msg::ReduceOp::Sum);
+    for (int p = 0; p < env_->comm().nprocs(); ++p) {
+      const auto& vals = per_rank[static_cast<std::size_t>(p)];
+      std::size_t k = 0;
+      d.for_owned(p, [&](const dist::IndexVec& i) {
+        full[static_cast<std::size_t>(dom_.linearize(i))] =
+            vals[k++];
+      });
+    }
+    return full;
   }
 
   // ---- overlap areas -------------------------------------------------------
@@ -196,7 +218,10 @@ class DistArray final : public DistArrayBase {
   /// inspector path.
   void set_redist_plan_cache(bool enabled) {
     plan_cache_enabled_ = enabled;
-    if (!enabled) plan_cache_.clear();
+    if (!enabled) {
+      plan_cache_.clear();
+      plan_order_.clear();
+    }
   }
   [[nodiscard]] std::uint64_t redist_plan_hits() const noexcept {
     return plan_hits_;
@@ -209,7 +234,8 @@ class DistArray final : public DistArrayBase {
   DistArray(Env& env, Spec spec, std::optional<Connection> connect)
       : DistArrayBase(env, std::move(spec.name), spec.domain, spec.dynamic,
                       std::move(spec.range), connect) {
-    if (!dynamic_ && !spec.initial && !connect) {
+    const bool has_initial = spec.initial || spec.initial_dist;
+    if (!dynamic_ && !has_initial && !connect) {
       throw std::invalid_argument(
           "array " + name_ +
           ": statically distributed arrays need a DIST clause");
@@ -220,7 +246,7 @@ class DistArray final : public DistArrayBase {
     if (connect) {
       // Secondary: adopt a distribution derived from the primary if the
       // primary already has one.  An explicit DIST clause is not allowed.
-      if (spec.initial) {
+      if (has_initial) {
         throw std::invalid_argument(
             "array " + name_ +
             ": secondary arrays derive their distribution from the primary");
@@ -229,22 +255,42 @@ class DistArray final : public DistArrayBase {
       if (prim->has_distribution()) {
         for (const auto& m : cclass_->secondaries()) {
           if (m.array == this) {
-            auto sd = std::make_shared<const dist::Distribution>(
-                cclass_->construct_for(m, prim->distribution()));
+            dist::DistHandle sd = cclass_->construct_handle_for(
+                m, prim->dist_handle(), env.registry());
             check_range(sd->type());
-            apply_distribution(sd, false);
+            apply_distribution(std::move(sd), false);
             break;
           }
         }
       }
       return;
     }
-    if (spec.initial) {
-      auto d = std::make_shared<const dist::Distribution>(
-          dist::Distribution(dom_, *spec.initial,
-                             spec.to ? *spec.to : env.whole()));
+    if (spec.initial_dist) {
+      if (spec.initial) {
+        throw std::invalid_argument(
+            "array " + name_ + ": initial and initial_dist are exclusive");
+      }
+      if (spec.to) {
+        throw std::invalid_argument(
+            "array " + name_ +
+            ": initial_dist already fixes the processor section; a TO "
+            "clause is not allowed");
+      }
+      if (!(spec.initial_dist->domain() == dom_)) {
+        throw std::invalid_argument(
+            "array " + name_ +
+            ": initial_dist's index domain does not match the array");
+      }
+      dist::DistHandle d = env.registry().intern(spec.initial_dist.ptr());
       check_range(d->type());
-      apply_distribution(d, false);
+      apply_distribution(std::move(d), false);
+      return;
+    }
+    if (spec.initial) {
+      dist::DistHandle d = env.registry().intern(
+          dom_, *spec.initial, spec.to ? *spec.to : env.whole());
+      check_range(d->type());
+      apply_distribution(std::move(d), false);
     }
   }
 
@@ -260,7 +306,7 @@ class DistArray final : public DistArrayBase {
     return g;
   }
 
-  void apply_distribution(dist::DistributionPtr nd, bool transfer) override {
+  void apply_distribution(dist::DistHandle nd, bool transfer) override {
     if (!transfer) {
       set_distribution(std::move(nd));
       rebuild_storage_shape();
@@ -270,7 +316,7 @@ class DistArray final : public DistArrayBase {
     redistribute_data(std::move(nd));
   }
 
-  void adopt_descriptor(dist::DistributionPtr nd) override {
+  void adopt_descriptor(dist::DistHandle nd) override {
     // Mapping-equivalent swap: same owned sets, same local ordering and
     // sizes; only the descriptor (and the per-dimension addressing
     // representation) changes.
@@ -279,33 +325,86 @@ class DistArray final : public DistArrayBase {
   }
 
   // ---- DISTRIBUTE data motion (Section 3.2.2) -----------------------------
+  //
+  // Plans are cached in a flat map keyed on the (old, new) handle-identity
+  // pair.  Interning makes handle identity equivalent to structural
+  // equality, so a hit needs no fingerprint comparison and no structural
+  // re-verification -- one integer hash lookup.
 
-  /// Looks up a cached plan for the (old, new) pair; fingerprints are
-  /// verified with a full structural comparison so a hash collision can
-  /// never replay a wrong plan.
+  [[nodiscard]] static std::uint64_t plan_key(
+      const dist::DistHandle& od, const dist::DistHandle& nd) noexcept {
+    return (static_cast<std::uint64_t>(od.uid()) << 32) | nd.uid();
+  }
+
+  [[nodiscard]] bool has_cached_plan(
+      const dist::DistHandle& od,
+      const dist::DistHandle& nd) const override {
+    return plan_cache_enabled_ && od.interned() && nd.interned() &&
+           plan_cache_.contains(plan_key(od, nd));
+  }
+
+  /// Looks up a cached plan for the (old, new) handle pair.  Handles that
+  /// never went through a registry (uid 0) are uncacheable and always
+  /// rebuild -- exactly the benchmark cold path.
   [[nodiscard]] std::shared_ptr<const RedistPlan> lookup_plan(
-      const dist::Distribution& od, const dist::Distribution& nd) {
-    if (!plan_cache_enabled_) return nullptr;
-    for (const PlanEntry& e : plan_cache_) {
-      if (e.od->fingerprint() == od.fingerprint() &&
-          e.nd->fingerprint() == nd.fingerprint() &&
-          e.od->structural_equal(od) && e.nd->structural_equal(nd)) {
-        ++plan_hits_;
-        return e.plan;
-      }
+      const dist::DistHandle& od, const dist::DistHandle& nd) {
+    if (!plan_cache_enabled_ || !od.interned() || !nd.interned()) {
+      return nullptr;
+    }
+    const auto it = plan_cache_.find(plan_key(od, nd));
+    if (it != plan_cache_.end()) {
+      ++plan_hits_;
+      return it->second.plan;
     }
     ++plan_misses_;
     return nullptr;
   }
 
-  void store_plan(dist::DistributionPtr od, dist::DistributionPtr nd,
-                  std::shared_ptr<const RedistPlan> plan) {
-    if (!plan_cache_enabled_) return;
-    if (plan_cache_.size() >= kPlanCacheCapacity) {
-      plan_cache_.erase(plan_cache_.begin());
+  /// Evicts the oldest per-element-fragmented cached plan, falling back
+  /// to the overall oldest when none is fragmented.
+  void evict_plan() {
+    for (auto it = plan_order_.begin(); it != plan_order_.end(); ++it) {
+      const auto f = plan_cache_.find(*it);
+      if (f->second.plan->per_element_fragmented()) {
+        plan_cache_.erase(f);
+        plan_order_.erase(it);
+        return;
+      }
     }
-    plan_cache_.push_back(
-        PlanEntry{std::move(od), std::move(nd), std::move(plan)});
+    if (!plan_order_.empty()) {
+      plan_cache_.erase(plan_order_.front());
+      plan_order_.erase(plan_order_.begin());
+    }
+  }
+
+  void store_plan(dist::DistHandle od, dist::DistHandle nd,
+                  std::shared_ptr<const RedistPlan> plan) {
+    if (!plan_cache_enabled_ || !od.interned() || !nd.interned()) return;
+    // Cache-bypass heuristic for per-element-fragmented plans (ROADMAP):
+    // their replay advantage is the smallest and their run lists are the
+    // largest (O(N) Run entries), so they get a small budget of their own
+    // and never evict a compact plan -- when the cache is full of compact
+    // plans, the fragmented plan is simply not cached.
+    if (plan->per_element_fragmented()) {
+      std::size_t fragmented = 0;
+      for (const auto& [k, e] : plan_cache_) {
+        fragmented += e.plan->per_element_fragmented() ? 1u : 0u;
+      }
+      if (fragmented >= kFragmentedPlanCapacity) {
+        evict_plan();  // a fragmented entry exists; it is evicted
+      } else if (plan_cache_.size() >= kPlanCacheCapacity) {
+        if (fragmented == 0) return;  // bypass: keep the compact plans
+        evict_plan();
+      }
+    } else if (plan_cache_.size() >= kPlanCacheCapacity) {
+      // Compact insert into a full cache: prefer evicting the oldest
+      // fragmented plan, falling back to the overall oldest.
+      evict_plan();
+    }
+    const std::uint64_t key = plan_key(od, nd);
+    plan_order_.push_back(key);
+    plan_cache_.insert_or_assign(
+        key, PlanEntry{std::move(od), std::move(nd), std::move(plan)});
   }
 
   /// The data-motion core of DISTRIBUTE: both sides enumerate their
@@ -315,15 +414,15 @@ class DistArray final : public DistArrayBase {
   /// itself is factored into a cached RedistPlan of contiguous runs; data
   /// moves with memcpy into exactly-sized buffers, and the exchange skips
   /// the count collective because the plan knows both sides' counts.
-  void redistribute_data(dist::DistributionPtr ndp) {
+  void redistribute_data(dist::DistHandle ndp) {
     auto& ctx = env_->comm();
     const int np = ctx.nprocs();
     const int me = env_->rank();
     // Keep the old distribution alive through the unpack phase (the
     // descriptor swap below releases this array's reference to it).
-    const dist::DistributionPtr odp = dist_;
+    const dist::DistHandle odp = dist_;
 
-    std::shared_ptr<const RedistPlan> plan = lookup_plan(*odp, *ndp);
+    std::shared_ptr<const RedistPlan> plan = lookup_plan(odp, ndp);
     if (!plan) {
       plan = std::make_shared<const RedistPlan>(
           RedistPlan::build(*odp, *ndp, me, np, ghost_lo_, ghost_hi_));
@@ -450,14 +549,18 @@ class DistArray final : public DistArrayBase {
   }
 
   struct PlanEntry {
-    dist::DistributionPtr od;
-    dist::DistributionPtr nd;
+    // The handles pin the interned distributions (and therefore the uid
+    // pair the key was built from) for the lifetime of the entry.
+    dist::DistHandle od;
+    dist::DistHandle nd;
     std::shared_ptr<const RedistPlan> plan;
   };
   static constexpr std::size_t kPlanCacheCapacity = 8;
+  static constexpr std::size_t kFragmentedPlanCapacity = 2;
 
   std::vector<T> local_;
-  std::vector<PlanEntry> plan_cache_;
+  std::unordered_map<std::uint64_t, PlanEntry> plan_cache_;
+  std::vector<std::uint64_t> plan_order_;  ///< insertion order for eviction
   bool plan_cache_enabled_ = true;
   std::uint64_t plan_hits_ = 0;
   std::uint64_t plan_misses_ = 0;

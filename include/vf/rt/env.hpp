@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "vf/dist/processors.hpp"
+#include "vf/dist/registry.hpp"
 #include "vf/msg/context.hpp"
 
 namespace vf::rt {
@@ -45,6 +46,26 @@ class Env {
   /// executing the program.
   [[nodiscard]] int np() const noexcept { return nprocs(); }
 
+  /// This rank's descriptor registry: every distribution the runtime
+  /// traffics in is interned here, so descriptor equality is handle
+  /// identity (see dist/registry.hpp).
+  [[nodiscard]] dist::DistRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] const dist::DistRegistry& registry() const noexcept {
+    return registry_;
+  }
+
+  /// Convenience interning of a distribution type over this Env's default
+  /// section (or an explicit one).
+  [[nodiscard]] dist::DistHandle intern(const dist::IndexDomain& dom,
+                                        const dist::DistributionType& type) {
+    return registry_.intern(dom, type, whole());
+  }
+  [[nodiscard]] dist::DistHandle intern(const dist::IndexDomain& dom,
+                                        const dist::DistributionType& type,
+                                        const dist::ProcessorSection& sec) {
+    return registry_.intern(dom, type, sec);
+  }
+
   // Array registry (used by diagnostics and name-based lookups).
   void register_array(DistArrayBase& a);
   void unregister_array(DistArrayBase& a) noexcept;
@@ -53,6 +74,7 @@ class Env {
  private:
   msg::Context* ctx_;
   dist::ProcessorArray procs_;
+  dist::DistRegistry registry_;
   std::vector<DistArrayBase*> arrays_;
 };
 

@@ -52,6 +52,21 @@ struct RedistPlan {
   /// Exact elements received from each rank (index = source rank).
   std::vector<std::uint64_t> recv_counts;
 
+  /// Whether this plan degenerates to (near) per-element runs: the run
+  /// lists are large and the average run moves fewer than two elements,
+  /// so replaying buys the least over rebuilding while the cached Run
+  /// lists cost the most memory.  The DistArray plan cache gives such
+  /// plans a small budget of their own and never lets them evict compact
+  /// plans (the ROADMAP cache-bypass heuristic).
+  [[nodiscard]] bool per_element_fragmented() const noexcept {
+    const std::size_t runs = pack_runs.size() + unpack_runs.size();
+    if (runs < 64) return false;
+    std::uint64_t moved = 0;
+    for (std::uint64_t c : send_counts) moved += c;
+    for (std::uint64_t c : recv_counts) moved += c;
+    return moved < 2 * runs;
+  }
+
   /// Builds the plan for rank `me` of an `np`-processor machine moving an
   /// array with the given ghost widths from `od` to `nd`.  Purely local:
   /// no communication.

@@ -77,7 +77,7 @@ AdiResult run_static_gather(msg::Context& ctx, const AdiConfig& cfg) {
   for (Index i = 1 + ctx.rank(); i <= cfg.nx; i += ctx.nprocs()) {
     for (Index j = 1; j <= cfg.ny; ++j) my_row_points.push_back({i, j});
   }
-  parti::Schedule rows(ctx, v.distribution(), my_row_points);
+  parti::Schedule rows(ctx, v.dist_handle(), my_row_points);
   std::vector<double> buf(my_row_points.size());
 
   for (int iter = 0; iter < cfg.iterations; ++iter) {
@@ -110,11 +110,11 @@ AdiResult run_two_copies(msg::Context& ctx, const AdiConfig& cfg) {
   std::vector<IndexVec> vt_owned;
   vt.distribution().for_owned(
       ctx.rank(), [&](const IndexVec& i) { vt_owned.push_back(i); });
-  parti::Schedule to_vt(ctx, v.distribution(), vt_owned);
+  parti::Schedule to_vt(ctx, v.dist_handle(), vt_owned);
   std::vector<IndexVec> v_owned;
   v.distribution().for_owned(
       ctx.rank(), [&](const IndexVec& i) { v_owned.push_back(i); });
-  parti::Schedule to_v(ctx, vt.distribution(), v_owned);
+  parti::Schedule to_v(ctx, vt.dist_handle(), v_owned);
   std::vector<double> bufa(vt_owned.size());
   std::vector<double> bufb(v_owned.size());
 

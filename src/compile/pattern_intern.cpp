@@ -1,0 +1,68 @@
+#include "vf/compile/pattern_intern.hpp"
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "vf/dist/hash.hpp"
+
+namespace vf::compile {
+
+namespace {
+
+using dist::fnv1a;
+
+struct Interner {
+  std::mutex mu;
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::shared_ptr<const query::TypePattern>>>
+      buckets;
+  std::size_t count = 0;
+};
+
+Interner& interner() {
+  static Interner i;
+  return i;
+}
+
+}  // namespace
+
+std::uint64_t hash_pattern(const query::TypePattern& p) noexcept {
+  std::uint64_t h = dist::kFnvBasis;
+  h = fnv1a(h, p.is_wildcard() ? 1u : 0u);
+  h = fnv1a(h, p.dims().size());
+  for (const query::DimPattern& d : p.dims()) {
+    h = fnv1a(h, d.kind ? static_cast<std::uint64_t>(*d.kind) + 1 : 0);
+    h = fnv1a(h, d.param ? static_cast<std::uint64_t>(*d.param) + 1 : 0);
+  }
+  return h;
+}
+
+PatternHandle intern_pattern(query::TypePattern p) {
+  Interner& in = interner();
+  const std::uint64_t key = hash_pattern(p);
+  const std::scoped_lock lock(in.mu);
+  auto& bucket = in.buckets[key];
+  for (const auto& cand : bucket) {
+    if (*cand == p) return PatternHandle(cand);
+  }
+  auto shared = std::make_shared<const query::TypePattern>(std::move(p));
+  bucket.push_back(shared);
+  ++in.count;
+  return PatternHandle(std::move(shared));
+}
+
+std::size_t interned_pattern_count() {
+  Interner& in = interner();
+  const std::scoped_lock lock(in.mu);
+  return in.count;
+}
+
+PatternHandle::PatternHandle(const query::TypePattern& p)
+    : PatternHandle(query::TypePattern(p)) {}
+
+PatternHandle::PatternHandle(query::TypePattern&& p) {
+  *this = intern_pattern(std::move(p));
+}
+
+}  // namespace vf::compile

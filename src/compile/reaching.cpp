@@ -7,13 +7,16 @@
 
 namespace vf::compile {
 
-void DistSet::add(const AbstractDist& d) {
+void DistSet::add(const AbstractDist& d) { add(PatternHandle(d)); }
+
+void DistSet::add(const PatternHandle& h) {
   if (is_widened()) return;
-  if (std::find(types.begin(), types.end(), d) != types.end()) return;
-  types.push_back(d);
+  // Interning makes membership a pointer scan: no deep pattern compares.
+  if (std::find(types.begin(), types.end(), h) != types.end()) return;
+  types.push_back(h);
   if (types.size() > kWidenLimit) {
     types.clear();
-    types.push_back(AbstractDist::wildcard());
+    types.push_back(PatternHandle(AbstractDist::wildcard()));
   }
 }
 
@@ -23,7 +26,7 @@ void DistSet::merge(const DistSet& o) {
 }
 
 bool DistSet::is_widened() const {
-  return types.size() == 1 && types.front().is_wildcard();
+  return types.size() == 1 && types.front()->is_wildcard();
 }
 
 std::string DistSet::to_string() const {
@@ -36,7 +39,7 @@ std::string DistSet::to_string() const {
   }
   for (const auto& t : types) {
     if (!first) os << ", ";
-    os << t.to_string();
+    os << t->to_string();
     first = false;
   }
   os << "}";

@@ -2,7 +2,26 @@
 
 #include <sstream>
 
+#include "vf/dist/hash.hpp"
+
 namespace vf::dist {
+
+IndirectTable::IndirectTable(std::vector<int> owners)
+    : owners_(std::move(owners)) {
+  std::uint64_t h = fnv1a(kFnvBasis, owners_.size());
+  for (int o : owners_) h = fnv1a(h, static_cast<std::uint64_t>(o));
+  hash_ = h;
+}
+
+std::uint64_t DimDist::hash() const noexcept {
+  std::uint64_t h = fnv1a(kFnvBasis, static_cast<std::uint64_t>(kind));
+  h = fnv1a(h, static_cast<std::uint64_t>(block_width));
+  h = fnv1a(h, static_cast<std::uint64_t>(cyclic_block));
+  for (Index s : gen_sizes) h = fnv1a(h, static_cast<std::uint64_t>(s));
+  for (Index b : gen_bounds) h = fnv1a(h, static_cast<std::uint64_t>(b));
+  if (owners != nullptr) h = fnv1a(h, owners->hash());
+  return h;
+}
 
 std::string to_string(DimDistKind k) {
   switch (k) {
@@ -50,7 +69,7 @@ std::string DimDist::to_string() const {
       os << ")";
       return os.str();
     case DimDistKind::Indirect:
-      os << "INDIRECT(" << owners.size() << ")";
+      os << "INDIRECT(" << (owners ? owners->size() : 0) << ")";
       return os.str();
   }
   return "?";
@@ -113,9 +132,16 @@ DimDist indirect(std::vector<int> owners) {
   if (owners.empty()) {
     throw std::invalid_argument("INDIRECT: mapping array must be non-empty");
   }
+  return indirect(std::make_shared<const IndirectTable>(std::move(owners)));
+}
+
+DimDist indirect(IndirectTablePtr table) {
+  if (table == nullptr || table->size() == 0) {
+    throw std::invalid_argument("INDIRECT: mapping array must be non-empty");
+  }
   DimDist d;
   d.kind = DimDistKind::Indirect;
-  d.owners = std::move(owners);
+  d.owners = std::move(table);
   return d;
 }
 

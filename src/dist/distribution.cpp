@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "vf/dist/hash.hpp"
+
 namespace vf::dist {
 
 namespace {
@@ -27,86 +29,93 @@ std::vector<Index> sizes_from_bounds(const std::vector<Index>& bounds,
   return sizes;
 }
 
-/// Word-wise FNV-1a variant: one xor-multiply per 64-bit value (the
-/// fingerprint hashes whole owners tables, so per-byte mixing would make
-/// indirect-distribution construction O(8n) multiplies).
-std::uint64_t fnv1a(std::uint64_t h, std::uint64_t x) {
-  constexpr std::uint64_t kPrime = 1099511628211ULL;
-  return (h ^ x) * kPrime;
-}
-
 }  // namespace
 
-Distribution::Distribution(IndexDomain dom, DistributionType type,
-                           ProcessorSection sec)
-    : dom_(dom), type_(std::move(type)), sec_(std::move(sec)) {
-  if (type_.rank() != dom_.rank()) {
+void Distribution::check_applicable(const IndexDomain& dom,
+                                    const DistributionType& type,
+                                    const ProcessorSection& sec) {
+  if (type.rank() != dom.rank()) {
     throw std::invalid_argument(
-        "Distribution: type rank " + std::to_string(type_.rank()) +
-        " does not match array rank " + std::to_string(dom_.rank()));
+        "Distribution: type rank " + std::to_string(type.rank()) +
+        " does not match array rank " + std::to_string(dom.rank()));
   }
   int distributed = 0;
-  for (const DimDist& d : type_.dims()) {
+  for (const DimDist& d : type.dims()) {
     if (d.distributed()) ++distributed;
   }
   // Each distributed dimension consumes one section free dimension, in
   // order.  Surplus free dimensions are only tolerated when they carry a
   // single processor (e.g. a fully collapsed type on a 1-processor
   // section); anything else would silently ignore processors.
-  if (distributed > sec_.free_rank()) {
+  if (distributed > sec.free_rank()) {
     throw std::invalid_argument(
         "Distribution: " + std::to_string(distributed) +
         " distributed dimensions exceed the section's free rank " +
-        std::to_string(sec_.free_rank()));
+        std::to_string(sec.free_rank()));
   }
-  for (int f = distributed; f < sec_.free_rank(); ++f) {
-    if (sec_.free_extent(f) != 1) {
+  for (int f = distributed; f < sec.free_rank(); ++f) {
+    if (sec.free_extent(f) != 1) {
       throw std::invalid_argument(
           "Distribution: " + std::to_string(distributed) +
           " distributed dimensions do not match the section's free rank " +
-          std::to_string(sec_.free_rank()));
+          std::to_string(sec.free_rank()));
     }
   }
+}
 
-  maps_.reserve(static_cast<std::size_t>(dom_.rank()));
-  free_dims_.reserve(static_cast<std::size_t>(dom_.rank()));
+DimMap Distribution::build_dim_map(const DimDist& dd, Range r, int nprocs) {
+  switch (dd.kind) {
+    case DimDistKind::Collapsed:
+      return DimMap::collapsed(r);
+    case DimDistKind::Block:
+      return dd.block_width > 0 ? DimMap::block_width(r, nprocs,
+                                                      dd.block_width)
+                                : DimMap::block(r, nprocs);
+    case DimDistKind::Cyclic:
+      return DimMap::cyclic(r, nprocs, dd.cyclic_block);
+    case DimDistKind::GenBlock: {
+      std::vector<Index> sizes = dd.gen_bounds.empty()
+                                     ? dd.gen_sizes
+                                     : sizes_from_bounds(dd.gen_bounds, r);
+      if (static_cast<int>(sizes.size()) != nprocs) {
+        throw std::invalid_argument(
+            "GEN_BLOCK: segment count does not match the processor count");
+      }
+      return DimMap::gen_block(r, std::move(sizes));
+    }
+    case DimDistKind::Indirect:
+      if (dd.owners == nullptr) {
+        throw std::invalid_argument("INDIRECT: missing owner table");
+      }
+      return DimMap::indirect(r, dd.owners->owners(), nprocs);
+  }
+  throw std::invalid_argument("Distribution: unknown dimension kind");
+}
+
+std::vector<int> Distribution::derive_free_dims(const DistributionType& type) {
+  std::vector<int> free_dims;
+  free_dims.reserve(static_cast<std::size_t>(type.rank()));
   int next_free = 0;
+  for (const DimDist& dd : type.dims()) {
+    free_dims.push_back(dd.distributed() ? next_free++ : -1);
+  }
+  return free_dims;
+}
+
+Distribution::Distribution(IndexDomain dom, DistributionType type,
+                           ProcessorSection sec)
+    : dom_(dom),
+      type_(std::move(type)),
+      sec_(std::make_shared<const ProcessorSection>(std::move(sec))) {
+  check_applicable(dom_, type_, *sec_);
+  maps_.reserve(static_cast<std::size_t>(dom_.rank()));
+  free_dims_ = derive_free_dims(type_);
   for (int d = 0; d < dom_.rank(); ++d) {
     const DimDist& dd = type_.dim(d);
-    const Range r = dom_.dim(d);
-    if (!dd.distributed()) {
-      maps_.push_back(DimMap::collapsed(r));
-      free_dims_.push_back(-1);
-      continue;
-    }
-    const int p = sec_.free_extent(next_free);
-    switch (dd.kind) {
-      case DimDistKind::Block:
-        maps_.push_back(dd.block_width > 0
-                            ? DimMap::block_width(r, p, dd.block_width)
-                            : DimMap::block(r, p));
-        break;
-      case DimDistKind::Cyclic:
-        maps_.push_back(DimMap::cyclic(r, p, dd.cyclic_block));
-        break;
-      case DimDistKind::GenBlock: {
-        std::vector<Index> sizes = dd.gen_bounds.empty()
-                                       ? dd.gen_sizes
-                                       : sizes_from_bounds(dd.gen_bounds, r);
-        if (static_cast<int>(sizes.size()) != p) {
-          throw std::invalid_argument(
-              "GEN_BLOCK: segment count does not match the processor count");
-        }
-        maps_.push_back(DimMap::gen_block(r, std::move(sizes)));
-        break;
-      }
-      case DimDistKind::Indirect:
-        maps_.push_back(DimMap::indirect(r, dd.owners, p));
-        break;
-      case DimDistKind::Collapsed:
-        break;  // unreachable
-    }
-    free_dims_.push_back(next_free++);
+    const int f = free_dims_[static_cast<std::size_t>(d)];
+    const int p = f < 0 ? 1 : sec_->free_extent(f);
+    maps_.push_back(
+        std::make_shared<const DimMap>(build_dim_map(dd, dom_.dim(d), p)));
   }
   finish_init();
 }
@@ -116,9 +125,12 @@ Distribution::Distribution(IndexDomain dom, DistributionType type,
                            std::vector<int> free_dims)
     : dom_(dom),
       type_(std::move(type)),
-      sec_(std::move(sec)),
-      maps_(std::move(maps)),
+      sec_(std::make_shared<const ProcessorSection>(std::move(sec))),
       free_dims_(std::move(free_dims)) {
+  maps_.reserve(maps.size());
+  for (DimMap& m : maps) {
+    maps_.push_back(std::make_shared<const DimMap>(std::move(m)));
+  }
   if (static_cast<int>(maps_.size()) != dom_.rank() ||
       free_dims_.size() != maps_.size()) {
     throw std::invalid_argument(
@@ -126,9 +138,8 @@ Distribution::Distribution(IndexDomain dom, DistributionType type,
   }
   for (int d = 0; d < dom_.rank(); ++d) {
     const int f = free_dims_[static_cast<std::size_t>(d)];
-    const int expect =
-        f < 0 ? 1 : sec_.free_extent(f);
-    if (maps_[static_cast<std::size_t>(d)].nprocs() != expect) {
+    const int expect = f < 0 ? 1 : sec_->free_extent(f);
+    if (maps_[static_cast<std::size_t>(d)]->nprocs() != expect) {
       throw std::invalid_argument(
           "Distribution: DimMap processor count does not match the section");
     }
@@ -136,36 +147,69 @@ Distribution::Distribution(IndexDomain dom, DistributionType type,
   finish_init();
 }
 
-void Distribution::finish_init() {
-  affine_.base = sec_.rank_base();
+Distribution::Distribution(IndexDomain dom, DistributionType type,
+                           ProcessorSectionPtr sec,
+                           std::vector<DimMapPtr> maps,
+                           std::vector<int> free_dims)
+    : dom_(dom),
+      type_(std::move(type)),
+      sec_(std::move(sec)),
+      maps_(std::move(maps)),
+      free_dims_(std::move(free_dims)) {
+  if (sec_ == nullptr) {
+    throw std::invalid_argument("Distribution: null processor section");
+  }
+  if (static_cast<int>(maps_.size()) != dom_.rank() ||
+      free_dims_.size() != maps_.size()) {
+    throw std::invalid_argument(
+        "Distribution: one DimMap and free-dim index per dimension required");
+  }
   for (int d = 0; d < dom_.rank(); ++d) {
     const int f = free_dims_[static_cast<std::size_t>(d)];
-    affine_.stride[static_cast<std::size_t>(d)] =
-        f < 0 ? 0 : sec_.rank_stride(f);
+    const int expect = f < 0 ? 1 : sec_->free_extent(f);
+    const DimMapPtr& m = maps_[static_cast<std::size_t>(d)];
+    if (m == nullptr || m->nprocs() != expect) {
+      throw std::invalid_argument(
+          "Distribution: DimMap processor count does not match the section");
+    }
   }
+  finish_init();
+}
 
-  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
-  for (int d = 0; d < dom_.rank(); ++d) {
-    const Range r = dom_.dim(d);
+std::uint64_t Distribution::fingerprint_of(const IndexDomain& dom,
+                                           const DistributionType& type,
+                                           const ProcessorSection& sec,
+                                           const std::vector<int>& free_dims) {
+  // Indirect owner tables contribute their content hash precomputed at
+  // table admission (IndirectTable), so a fingerprint is O(rank * P) --
+  // never O(N) -- and repeated DISTRIBUTE statements pay no per-element
+  // work.
+  std::uint64_t h = kFnvBasis;
+  for (int d = 0; d < dom.rank(); ++d) {
+    const Range r = dom.dim(d);
     h = fnv1a(h, static_cast<std::uint64_t>(r.lo));
     h = fnv1a(h, static_cast<std::uint64_t>(r.hi));
-    const DimDist& dd = type_.dim(d);
-    h = fnv1a(h, static_cast<std::uint64_t>(dd.kind));
-    h = fnv1a(h, static_cast<std::uint64_t>(dd.block_width));
-    h = fnv1a(h, static_cast<std::uint64_t>(dd.cyclic_block));
-    for (Index s : dd.gen_sizes) h = fnv1a(h, static_cast<std::uint64_t>(s));
-    for (Index b : dd.gen_bounds) h = fnv1a(h, static_cast<std::uint64_t>(b));
-    for (int o : dd.owners) h = fnv1a(h, static_cast<std::uint64_t>(o));
+    h = fnv1a(h, type.dim(d).hash());
     h = fnv1a(h, static_cast<std::uint64_t>(
-                     free_dims_[static_cast<std::size_t>(d)] + 1));
+                     free_dims[static_cast<std::size_t>(d)] + 1));
   }
-  h = fnv1a(h, static_cast<std::uint64_t>(sec_.array().base_rank()));
-  for (const SectionDim& s : sec_.dims()) {
+  h = fnv1a(h, static_cast<std::uint64_t>(sec.array().base_rank()));
+  for (const SectionDim& s : sec.dims()) {
     h = fnv1a(h, s.fixed ? 1u : 0u);
     h = fnv1a(h, static_cast<std::uint64_t>(s.fixed ? s.coord : s.range.lo));
     h = fnv1a(h, static_cast<std::uint64_t>(s.fixed ? 0 : s.range.hi));
   }
-  fingerprint_ = h;
+  return h;
+}
+
+void Distribution::finish_init() {
+  affine_.base = sec_->rank_base();
+  for (int d = 0; d < dom_.rank(); ++d) {
+    const int f = free_dims_[static_cast<std::size_t>(d)];
+    affine_.stride[static_cast<std::size_t>(d)] =
+        f < 0 ? 0 : sec_->rank_stride(f);
+  }
+  fingerprint_ = fingerprint_of(dom_, type_, *sec_, free_dims_);
 }
 
 int Distribution::owner_rank(const IndexVec& i) const {
@@ -175,7 +219,7 @@ int Distribution::owner_rank(const IndexVec& i) const {
   Index rank = affine_.base;
   for (int d = 0; d < dom_.rank(); ++d) {
     rank += affine_.stride[static_cast<std::size_t>(d)] *
-            maps_[static_cast<std::size_t>(d)].proc_of(i[d]);
+            maps_[static_cast<std::size_t>(d)]->proc_of(i[d]);
   }
   return static_cast<int>(rank);
 }
@@ -187,7 +231,7 @@ Index Distribution::local_size(int rank) const {
 
 LocalLayout Distribution::layout_for(int rank) const {
   LocalLayout L;
-  const auto fc = sec_.free_coords_of(rank);
+  const auto fc = sec_->free_coords_of(rank);
   if (!fc) return L;
   L.member = true;
   L.total = 1;
@@ -196,7 +240,7 @@ LocalLayout Distribution::layout_for(int rank) const {
     const Index c = f < 0 ? 0 : (*fc)[f];
     L.coords.push_back(c);
     const Index n =
-        maps_[static_cast<std::size_t>(d)].count_on(static_cast<int>(c));
+        maps_[static_cast<std::size_t>(d)]->count_on(static_cast<int>(c));
     L.counts.push_back(n);
     L.total *= n;
   }
@@ -208,7 +252,7 @@ Index Distribution::local_offset(const LocalLayout& L,
   Index off = 0;
   Index stride = 1;
   for (int d = 0; d < dom_.rank(); ++d) {
-    off += maps_[static_cast<std::size_t>(d)].local_of(i[d]) * stride;
+    off += maps_[static_cast<std::size_t>(d)]->local_of(i[d]) * stride;
     stride *= L.counts[d];
   }
   return off;
@@ -218,11 +262,11 @@ std::vector<Index> Distribution::owned_in_dim(int rank, int d) const {
   if (d < 0 || d >= dom_.rank()) {
     throw std::out_of_range("Distribution::owned_in_dim");
   }
-  const auto fc = sec_.free_coords_of(rank);
+  const auto fc = sec_->free_coords_of(rank);
   if (!fc) return {};
   const int f = free_dims_[static_cast<std::size_t>(d)];
   const Index c = f < 0 ? 0 : (*fc)[f];
-  return maps_[static_cast<std::size_t>(d)].owned_ascending(
+  return maps_[static_cast<std::size_t>(d)]->owned_ascending(
       static_cast<int>(c));
 }
 
@@ -232,8 +276,10 @@ bool Distribution::same_mapping(const Distribution& o) const {
   for (int d = 0; d < dom_.rank(); ++d) {
     const Index sa = affine_.stride[static_cast<std::size_t>(d)];
     const Index sb = o.affine_.stride[static_cast<std::size_t>(d)];
-    const DimMap& ma = maps_[static_cast<std::size_t>(d)];
-    const DimMap& mb = o.maps_[static_cast<std::size_t>(d)];
+    const DimMap& ma = *maps_[static_cast<std::size_t>(d)];
+    const DimMap& mb = *o.maps_[static_cast<std::size_t>(d)];
+    // Shared interned maps on matching strides are trivially equal.
+    if (sa == sb && &ma == &mb) continue;
     const Range r = dom_.dim(d);
     for (Index g = r.lo; g <= r.hi; ++g) {
       if (sa * ma.proc_of(g) != sb * mb.proc_of(g)) return false;
@@ -244,7 +290,7 @@ bool Distribution::same_mapping(const Distribution& o) const {
 
 std::string Distribution::to_string() const {
   std::ostringstream os;
-  os << type_.to_string() << " TO " << sec_.to_string();
+  os << type_.to_string() << " TO " << sec_->to_string();
   return os.str();
 }
 

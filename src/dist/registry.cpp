@@ -1,0 +1,158 @@
+#include "vf/dist/registry.hpp"
+
+#include <string_view>
+#include <utility>
+
+#include "vf/dist/hash.hpp"
+
+namespace vf::dist {
+
+namespace {
+
+std::uint64_t hash_range(std::uint64_t h, Range r) noexcept {
+  h = fnv1a(h, static_cast<std::uint64_t>(r.lo));
+  return fnv1a(h, static_cast<std::uint64_t>(r.hi));
+}
+
+std::uint64_t hash_domain(const IndexDomain& d) noexcept {
+  std::uint64_t h = fnv1a(kFnvBasis, static_cast<std::uint64_t>(d.rank()));
+  for (int k = 0; k < d.rank(); ++k) h = hash_range(h, d.dim(k));
+  return h;
+}
+
+std::uint64_t hash_section(const ProcessorSection& s) noexcept {
+  std::uint64_t h = kFnvBasis;
+  for (char c : std::string_view(s.array().name())) {
+    h = fnv1a(h, static_cast<unsigned char>(c));
+  }
+  h = fnv1a(h, static_cast<std::uint64_t>(s.array().base_rank()));
+  h = fnv1a(h, hash_domain(s.array().domain()));
+  for (const SectionDim& d : s.dims()) {
+    h = fnv1a(h, d.fixed ? 1u : 0u);
+    h = fnv1a(h, static_cast<std::uint64_t>(d.fixed ? d.coord : d.range.lo));
+    h = fnv1a(h, static_cast<std::uint64_t>(d.fixed ? 0 : d.range.hi));
+  }
+  return h;
+}
+
+}  // namespace
+
+DistHandle DistRegistry::wrap(Distribution d) {
+  return DistHandle(std::make_shared<const Distribution>(std::move(d)), 0);
+}
+
+DistHandle DistRegistry::wrap(DistributionPtr d) {
+  return DistHandle(std::move(d), 0);
+}
+
+DistHandle DistRegistry::admit(DistributionPtr d, std::uint64_t key) {
+  DistHandle h(std::move(d), next_uid_++);
+  dists_[key].push_back(h);
+  ++n_dists_;
+  return h;
+}
+
+DistHandle DistRegistry::intern(const IndexDomain& dom,
+                                const DistributionType& type,
+                                const ProcessorSection& sec) {
+  if (!enabled_) return wrap(Distribution(dom, type, sec));
+  return intern(dom, type, intern_section(sec));
+}
+
+DistHandle DistRegistry::intern(const IndexDomain& dom,
+                                const DistributionType& type,
+                                ProcessorSectionPtr sec) {
+  if (sec == nullptr) {
+    throw std::invalid_argument("DistRegistry::intern: null section");
+  }
+  if (!enabled_) return wrap(Distribution(dom, type, *sec));
+  Distribution::check_applicable(dom, type, *sec);
+  const std::vector<int> fd = Distribution::derive_free_dims(type);
+  const std::uint64_t key = Distribution::fingerprint_of(dom, type, *sec, fd);
+  for (const DistHandle& cand : dists_[key]) {
+    // Admission-time structural verification: after this, handle identity
+    // IS structural equality, so no downstream cache re-verifies.
+    if (cand->domain() == dom && cand->free_dims() == fd &&
+        cand->type() == type && cand->section() == *sec) {
+      ++stats_.hits;
+      return cand;
+    }
+  }
+  ++stats_.misses;
+  std::vector<DimMapPtr> maps;
+  maps.reserve(static_cast<std::size_t>(dom.rank()));
+  for (int d = 0; d < dom.rank(); ++d) {
+    const int f = fd[static_cast<std::size_t>(d)];
+    const int p = f < 0 ? 1 : sec->free_extent(f);
+    maps.push_back(intern_dim_map(type.dim(d), dom.dim(d), p));
+  }
+  return admit(std::make_shared<const Distribution>(
+                   dom, type, std::move(sec), std::move(maps), fd),
+               key);
+}
+
+DistHandle DistRegistry::intern(Distribution d) {
+  if (!enabled_) return wrap(std::move(d));
+  const std::uint64_t key = d.fingerprint();
+  for (const DistHandle& cand : dists_[key]) {
+    if (cand->structural_equal(d)) {
+      ++stats_.hits;
+      return cand;
+    }
+  }
+  ++stats_.misses;
+  return admit(std::make_shared<const Distribution>(std::move(d)), key);
+}
+
+DistHandle DistRegistry::intern(DistributionPtr d) {
+  if (d == nullptr) {
+    throw std::invalid_argument("DistRegistry::intern: null distribution");
+  }
+  if (!enabled_) return wrap(std::move(d));
+  const std::uint64_t key = d->fingerprint();
+  for (const DistHandle& cand : dists_[key]) {
+    if (cand.get() == d.get() || cand->structural_equal(*d)) {
+      ++stats_.hits;
+      return cand;
+    }
+  }
+  ++stats_.misses;
+  return admit(std::move(d), key);
+}
+
+DimMapPtr DistRegistry::intern_dim_map(const DimDist& dd, Range r,
+                                       int nprocs) {
+  std::uint64_t key = fnv1a(kFnvBasis, dd.hash());
+  key = hash_range(key, r);
+  key = fnv1a(key, static_cast<std::uint64_t>(nprocs));
+  for (const DimMapEntry& e : dim_maps_[key]) {
+    if (e.np == nprocs && e.r == r && e.dd == dd) {
+      ++stats_.dim_map_hits;
+      return e.map;
+    }
+  }
+  ++stats_.dim_map_misses;
+  auto m = std::make_shared<const DimMap>(
+      Distribution::build_dim_map(dd, r, nprocs));
+  dim_maps_[key].push_back(DimMapEntry{dd, r, nprocs, m});
+  return m;
+}
+
+ProcessorSectionPtr DistRegistry::intern_section(const ProcessorSection& s) {
+  const std::uint64_t key = hash_section(s);
+  for (const ProcessorSectionPtr& cand : sections_[key]) {
+    if (*cand == s) return cand;
+  }
+  auto p = std::make_shared<const ProcessorSection>(s);
+  sections_[key].push_back(p);
+  return p;
+}
+
+void DistRegistry::clear() {
+  dists_.clear();
+  dim_maps_.clear();
+  sections_.clear();
+  n_dists_ = 0;
+}
+
+}  // namespace vf::dist

@@ -1,14 +1,17 @@
 #include "vf/parti/schedule.hpp"
 
+#include <algorithm>
 #include <unordered_map>
 
 namespace vf::parti {
 
-Schedule::Schedule(msg::Context& ctx, const dist::Distribution& target,
+Schedule::Schedule(msg::Context& ctx, dist::DistHandle target,
                    std::vector<dist::IndexVec> points)
-    : dom_(target.domain()),
-      target_fingerprint_(target.fingerprint()),
-      target_(std::make_shared<const dist::Distribution>(target)) {
+    : target_(std::move(target)) {
+  if (!target_) {
+    throw std::invalid_argument("Schedule: null target distribution handle");
+  }
+  dom_ = target_->domain();
   const int np = ctx.nprocs();
   const int me = ctx.rank();
   n_points_ = points.size();
@@ -24,7 +27,7 @@ Schedule::Schedule(msg::Context& ctx, const dist::Distribution& target,
       static_cast<std::size_t>(np));
   for (std::size_t k = 0; k < points.size(); ++k) {
     const dist::IndexVec& pt = points[k];
-    const int p = target.owner_rank(pt);
+    const int p = target_->owner_rank(pt);
     const dist::Index lin = dom_.linearize(pt);
     if (p == me) {
       local_linear_.push_back(lin);
@@ -63,34 +66,50 @@ Schedule::Schedule(msg::Context& ctx, const dist::Distribution& target,
   }
 }
 
-void Schedule::bind(const rt::DistArrayBase& a) const {
-  dist::DistributionPtr d = a.distribution_ptr();
-  if (bound_.array == &a && bound_.dist == d) return;
-  // Fast path: structurally identical to the inspected distribution.
-  // Fall back to a mapping-level comparison so a descriptor-only swap to
-  // an equivalent spelling (no-op DISTRIBUTE, adopt_descriptor) still
-  // binds; only a genuinely different mapping is rejected.
-  const bool structural =
-      d && d->fingerprint() == target_fingerprint_ &&
-      d->structural_equal(*target_);
-  if (!structural && (!d || !d->same_mapping(*target_))) {
+const Schedule::Binding& Schedule::bind(const rt::DistArrayBase& a) const {
+  const dist::DistHandle& d = a.dist_handle();
+  // Multi-array binding cache: most recently used first.  The hot path is
+  // an integer compare and a pointer compare against the front entry.
+  for (std::size_t k = 0; k < bindings_.size(); ++k) {
+    Binding& b = bindings_[k];
+    if (b.array_serial == a.serial() && b.dist == d) {
+      ++binding_hits_;
+      if (k != 0) {
+        // Rotate (not swap) the hit to the front so the tail keeps true
+        // recency order and pop_back always evicts the least recent.
+        std::rotate(bindings_.begin(), bindings_.begin() + k,
+                    bindings_.begin() + k + 1);
+      }
+      return bindings_.front();
+    }
+  }
+  // Identity hit against the inspected target is the expected case; a
+  // descriptor-only swap to an equivalent spelling still binds through
+  // the mapping-level comparison.  Only a genuinely different mapping is
+  // rejected.
+  if (d != target_ && (!d || !d->same_mapping(*target_))) {
     throw std::logic_error(
         "Schedule: array " + a.name() +
         "'s distribution does not match the inspected target (was the "
         "array redistributed since the inspector ran?)");
   }
-  bound_.array = &a;
-  bound_.dist = std::move(d);
-  bound_.serve_off.resize(serve_linear_.size());
+  ++binding_misses_;
+  Binding b;
+  b.array_serial = a.serial();
+  b.dist = d;
+  b.serve_off.resize(serve_linear_.size());
   for (std::size_t k = 0; k < serve_linear_.size(); ++k) {
-    bound_.serve_off[k] = static_cast<std::size_t>(
+    b.serve_off[k] = static_cast<std::size_t>(
         a.storage_offset(dom_.delinearize(serve_linear_[k])));
   }
-  bound_.local_off.resize(local_linear_.size());
+  b.local_off.resize(local_linear_.size());
   for (std::size_t k = 0; k < local_linear_.size(); ++k) {
-    bound_.local_off[k] = static_cast<std::size_t>(
+    b.local_off[k] = static_cast<std::size_t>(
         a.storage_offset(dom_.delinearize(local_linear_[k])));
   }
+  if (bindings_.size() >= kBindingCapacity) bindings_.pop_back();
+  bindings_.insert(bindings_.begin(), std::move(b));
+  return bindings_.front();
 }
 
 }  // namespace vf::parti

@@ -76,6 +76,29 @@ int DCase::selector_index(const std::string& name) const {
 }
 
 int DCase::run() const {
+  // Memoized dispatch: identical descriptor handles imply identical
+  // types, so the previously matched arm is still the first match.  An
+  // undistributed selector has a null handle, never equals the memoized
+  // (non-null) one, and falls through to the type loop below that throws.
+  if (memo_arm_count_ == arms_.size() &&
+      memo_handles_.size() == selectors_.size()) {
+    bool same = true;
+    for (std::size_t k = 0; k < selectors_.size(); ++k) {
+      if (!(selectors_[k]->dist_handle() == memo_handles_[k])) {
+        same = false;
+        break;
+      }
+    }
+    if (same) {
+      ++dispatch_hits_;
+      if (memo_arm_ >= 0) {
+        const Arm& arm = arms_[static_cast<std::size_t>(memo_arm_)];
+        if (arm.action) arm.action();
+      }
+      return memo_arm_;
+    }
+  }
+
   // "At the time of execution of the dcase construct, each selector must
   // be allocated and associated with a well-defined distribution."
   std::vector<const dist::DistributionType*> types;
@@ -83,6 +106,15 @@ int DCase::run() const {
   for (const auto* s : selectors_) {
     types.push_back(&s->distribution().type());  // throws if undistributed
   }
+
+  const auto memoize = [&](int arm) {
+    memo_handles_.clear();
+    memo_handles_.reserve(selectors_.size());
+    for (const auto* s : selectors_) memo_handles_.push_back(s->dist_handle());
+    memo_arm_ = arm;
+    memo_arm_count_ = arms_.size();
+  };
+
   for (std::size_t j = 0; j < arms_.size(); ++j) {
     const Arm& arm = arms_[j];
     bool match = true;
@@ -92,10 +124,12 @@ int DCase::run() const {
       }
     }
     if (match) {
+      memoize(static_cast<int>(j));
       if (arm.action) arm.action();
       return static_cast<int>(j);
     }
   }
+  memoize(-1);
   return -1;
 }
 

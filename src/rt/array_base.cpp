@@ -15,13 +15,14 @@ DistExpr DistExpr::align_with(const DistArrayBase& target, dist::Alignment a) {
   return e;
 }
 
-dist::Distribution DistExpr::evaluate(
+dist::DistHandle DistExpr::evaluate(
     const DistArrayBase& target,
-    const dist::ProcessorSection& fallback_section) const {
+    const dist::ProcessorSection& fallback_section,
+    dist::DistRegistry& reg) const {
   const dist::ProcessorSection& section = to_ ? *to_ : fallback_section;
 
   if (const auto* t = std::get_if<dist::DistributionType>(&form_)) {
-    return dist::Distribution(target.domain(), *t, section);
+    return reg.intern(target.domain(), *t, section);
   }
   if (const auto* items = std::get_if<std::vector<DimExprItem>>(&form_)) {
     std::vector<dist::DimDist> dims;
@@ -35,20 +36,20 @@ dist::Distribution DistExpr::evaluate(
         dims.push_back(arr->distribution().type().dim(d));
       }
     }
-    return dist::Distribution(target.domain(),
-                              dist::DistributionType(std::move(dims)),
-                              section);
+    return reg.intern(target.domain(),
+                      dist::DistributionType(std::move(dims)), section);
   }
   if (const auto* whole = std::get_if<const DistArrayBase*>(&form_)) {
     // Whole-type extraction (=A): apply A's current type on A's section
     // (an explicit `to` clause overrides the section).
     const auto& src = (*whole)->distribution();
-    return dist::Distribution(target.domain(), src.type(),
-                              to_ ? *to_ : src.section());
+    if (to_) return reg.intern(target.domain(), src.type(), *to_);
+    return reg.intern(target.domain(), src.type(), src.section_ptr());
   }
   const auto& [aligned_to, align] =
       std::get<std::pair<const DistArrayBase*, dist::Alignment>>(form_);
-  return align.construct(aligned_to->distribution(), target.domain());
+  return reg.intern(
+      align.construct(aligned_to->distribution(), target.domain()));
 }
 
 DistArrayBase::DistArrayBase(Env& env, std::string name, dist::IndexDomain dom,
@@ -100,7 +101,7 @@ Descriptor DistArrayBase::describe() const {
   return d;
 }
 
-void DistArrayBase::distribute(const DistExpr& expr, const NoTransfer& nt) {
+void DistArrayBase::check_distribute_legal(const NoTransfer& nt) const {
   if (!dynamic_) {
     throw std::logic_error("DISTRIBUTE " + name_ +
                            ": array is statically distributed");
@@ -122,41 +123,80 @@ void DistArrayBase::distribute(const DistExpr& expr, const NoTransfer& nt) {
           ")");
     }
   }
+}
 
-  // Step 1 (Section 3.2.2): evaluate the new distribution.
+void DistArrayBase::distribute(const DistExpr& expr, const NoTransfer& nt) {
+  check_distribute_legal(nt);
+
+  // Step 1 (Section 3.2.2): evaluate the new distribution.  A previously
+  // seen distribution resolves to its interned handle without descriptor
+  // construction.
   const dist::ProcessorSection fallback =
       dist_ ? dist_->section() : env_->whole();
-  auto nd = std::make_shared<const dist::Distribution>(
-      expr.evaluate(*this, fallback));
+  dist::DistHandle nd = expr.evaluate(*this, fallback, env_->registry());
   check_range(nd->type());
+  distribute_resolved(std::move(nd), nt);
+}
+
+void DistArrayBase::distribute(const dist::DistHandle& nd,
+                               const NoTransfer& nt) {
+  check_distribute_legal(nt);
+  if (!nd) {
+    throw std::invalid_argument("DISTRIBUTE " + name_ + ": null descriptor");
+  }
+  if (!(nd->domain() == dom_)) {
+    throw std::invalid_argument(
+        "DISTRIBUTE " + name_ +
+        ": descriptor's index domain does not match the array");
+  }
+  // Canonicalize through this Env's registry so identity keys stay
+  // consistent even for handles wrapped elsewhere.
+  dist::DistHandle canon = env_->registry().intern(nd.ptr());
+  check_range(canon->type());
+  distribute_resolved(std::move(canon), nt);
+}
+
+void DistArrayBase::distribute_resolved(dist::DistHandle nd,
+                                        const NoTransfer& nt) {
+  // Identity is equality: distributing to the handle the whole connect
+  // class already holds is a pure no-op (secondaries were derived from
+  // this very handle and interning makes the derivation stable).
+  if (dist_ == nd) return;
 
   // Primary: move data unless this is the first distribution or a no-op
   // (equivalent mappings still swap descriptors so queries see the
-  // requested type).
-  const bool primary_noop = dist_ && dist_->same_mapping(*nd);
-  if (primary_noop) {
+  // requested type).  A cached plan for the (old, new) handle pair
+  // already proves the mappings differ, so the O(N) comparison is skipped
+  // on planned flips.
+  const bool first = dist_ == nullptr;
+  if (!first && has_cached_plan(dist_, nd)) {
+    apply_distribution(nd, true);
+  } else if (!first && dist_->same_mapping(*nd)) {
     adopt_descriptor(nd);
   } else {
-    apply_distribution(nd, dist_ != nullptr);
+    apply_distribution(nd, !first);
   }
 
   // Steps 2+3: determine the distributions of connected arrays and
   // communicate.
   for (const auto& m : cclass_->secondaries()) {
-    auto sd = std::make_shared<const dist::Distribution>(
-        cclass_->construct_for(m, *nd));
+    dist::DistHandle sd =
+        cclass_->construct_handle_for(m, dist_, env_->registry());
     if (!query::range_allows(m.array->range_, sd->type())) {
       throw RangeViolationError(m.array->name_, sd->type().to_string());
     }
-    const bool noop =
-        m.array->dist_ && m.array->dist_->same_mapping(*sd);
-    if (noop) {
-      m.array->adopt_descriptor(sd);
+    DistArrayBase* a = m.array;
+    if (a->dist_ == sd) continue;
+    const bool transfer = a->dist_ != nullptr && !nt.contains(a);
+    if (transfer && a->has_cached_plan(a->dist_, sd)) {
+      a->apply_distribution(sd, true);
       continue;
     }
-    const bool transfer =
-        m.array->dist_ != nullptr && !nt.contains(m.array);
-    m.array->apply_distribution(sd, transfer);
+    if (a->dist_ && a->dist_->same_mapping(*sd)) {
+      a->adopt_descriptor(sd);
+      continue;
+    }
+    a->apply_distribution(sd, transfer);
   }
 }
 

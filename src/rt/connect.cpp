@@ -38,4 +38,14 @@ dist::Distribution ConnectClass::construct_for(
                             primary_dist.section());
 }
 
+dist::DistHandle ConnectClass::construct_handle_for(
+    const Member& m, const dist::DistHandle& primary,
+    dist::DistRegistry& reg) const {
+  if (m.align) {
+    return reg.intern(m.align->construct(*primary, m.array->domain()));
+  }
+  return reg.intern(m.array->domain(), primary->type(),
+                    primary->section_ptr());
+}
+
 }  // namespace vf::rt

@@ -9,17 +9,20 @@ CallReport call_procedure(
 
   struct Saved {
     DistArrayBase* array;
-    dist::DistributionPtr entry_dist;
+    dist::DistHandle entry_dist;
   };
   std::vector<Saved> saved;
   saved.reserve(args.size());
 
-  // Entry: bind actuals to formals.
+  // Entry: bind actuals to formals.  Interface matching keys on handle
+  // identity: the formal's required distribution is interned once into
+  // the actual's registry, so an already-matching actual is recognized
+  // with one pointer compare and no descriptor construction.
   for (auto& [array, formal] : args) {
     if (array == nullptr) {
       throw std::invalid_argument("call_procedure: null actual argument");
     }
-    saved.push_back(Saved{array, array->distribution_ptr()});
+    saved.push_back(Saved{array, array->dist_handle()});
     switch (formal.kind()) {
       case FormalArg::Kind::Inherited:
         break;
@@ -34,12 +37,11 @@ CallReport call_procedure(
       case FormalArg::Kind::Explicit: {
         const dist::ProcessorSection target_section =
             formal.to() ? *formal.to() : array->distribution().section();
-        const dist::Distribution want(array->domain(), formal.type(),
-                                      target_section);
-        if (!array->distribution().same_mapping(want)) {
-          DistExpr expr{formal.type()};
-          array->distribute(formal.to() ? std::move(expr).to(*formal.to())
-                                        : expr);
+        const dist::DistHandle want = array->env().registry().intern(
+            array->domain(), formal.type(), target_section);
+        if (array->dist_handle() == want) break;  // identity: no motion
+        if (!array->distribution().same_mapping(*want)) {
+          array->distribute(want);
           ++report.entry_redistributions;
         }
         break;
@@ -50,14 +52,15 @@ CallReport call_procedure(
   body();
 
   // Exit: HPF semantics reinstate the caller's distribution; Vienna
-  // Fortran returns whatever the procedure left behind.
+  // Fortran returns whatever the procedure left behind.  An unchanged
+  // handle is again one pointer compare.
   if (mode == ArgReturnMode::RestoreOnExit) {
     for (auto& s : saved) {
       if (!s.entry_dist) continue;  // was undistributed at entry
+      if (s.array->dist_handle() == s.entry_dist) continue;
       if (!s.array->has_distribution() ||
           !s.array->distribution().same_mapping(*s.entry_dist)) {
-        s.array->distribute(DistExpr{s.entry_dist->type()}.to(
-            s.entry_dist->section()));
+        s.array->distribute(s.entry_dist);
         ++report.exit_restores;
       }
     }

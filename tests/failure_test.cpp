@@ -40,7 +40,7 @@ TEST(Failure, DuplicateGenBlockSizesRejected) {
   EXPECT_THROW((void)dist::b_block({}), std::invalid_argument);
   EXPECT_THROW((void)dist::b_block({5, 3}), std::invalid_argument);
   EXPECT_THROW((void)dist::cyclic(0), std::invalid_argument);
-  EXPECT_THROW((void)dist::indirect({}), std::invalid_argument);
+  EXPECT_THROW((void)dist::indirect(std::vector<int>{}), std::invalid_argument);
 }
 
 TEST(Failure, ArrayStateSurvivesRangeViolation) {
@@ -123,7 +123,7 @@ TEST(Failure, ScheduleRejectsOutOfDomainPoints) {
                               .dynamic = true,
                               .initial = DistributionType{block()}});
     try {
-      parti::Schedule s(ctx, a.distribution(), {{99}});
+      parti::Schedule s(ctx, a.dist_handle(), {{99}});
       ck.fail("expected out_of_range");
     } catch (const std::out_of_range&) {
     }

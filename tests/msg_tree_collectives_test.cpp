@@ -1,0 +1,104 @@
+// Tree-structured collectives: broadcast_vec and allreduce_vec run over
+// binomial trees, so no rank serializes P-1 messages and the modeled
+// communication critical path drops from O(alpha * P) to
+// O(alpha * log2 P).  Correctness across roots, sizes and non-power-of-2
+// processor counts, plus cost-model assertions on the per-rank message
+// bound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "spmd_test_util.hpp"
+#include "vf/msg/spmd.hpp"
+
+namespace vf::msg {
+namespace {
+
+using testing::run_checked;
+using testing::SpmdChecker;
+
+int ceil_log2(int p) {
+  int bits = 0;
+  while ((1 << bits) < p) ++bits;
+  return bits;
+}
+
+TEST(TreeCollectives, BroadcastDeliversFromEveryRoot) {
+  for (const int np : {1, 2, 3, 4, 5, 7, 8, 16}) {
+    run_checked(np, [np](Context& ctx, SpmdChecker& ck) {
+      for (int root = 0; root < np; ++root) {
+        std::vector<int> v;
+        if (ctx.rank() == root) {
+          v = {root * 100, root * 100 + 1, root * 100 + 2};
+        }
+        const auto got = ctx.broadcast_vec(v, root);
+        ck.check_eq(got.size(), std::size_t{3}, ctx.rank(), "bcast size");
+        ck.check_eq(got[0], root * 100, ctx.rank(), "bcast payload");
+        ck.check_eq(got[2], root * 100 + 2, ctx.rank(), "bcast payload end");
+      }
+    });
+  }
+}
+
+TEST(TreeCollectives, AllreduceMatchesAnalyticResultsAtAnyP) {
+  for (const int np : {1, 2, 3, 5, 6, 8, 13}) {
+    run_checked(np, [np](Context& ctx, SpmdChecker& ck) {
+      const int r = ctx.rank();
+      ck.check_eq(ctx.allreduce(r, ReduceOp::Sum), np * (np - 1) / 2, r,
+                  "sum 0..P-1");
+      ck.check_eq(ctx.allreduce(r, ReduceOp::Min), 0, r, "min");
+      ck.check_eq(ctx.allreduce(r, ReduceOp::Max), np - 1, r, "max");
+      auto v = std::vector<double>{static_cast<double>(r), 1.0};
+      auto s = ctx.allreduce_vec(v, ReduceOp::Sum);
+      ck.check_eq(s[0], static_cast<double>(np * (np - 1)) / 2.0, r,
+                  "vec sum");
+      ck.check_eq(s[1], static_cast<double>(np), r, "vec count");
+    });
+  }
+}
+
+/// The modeled critical path of one broadcast is O(alpha log P): with
+/// beta = 0 and alpha = 1, the busiest rank sends at most ceil(log2 P)
+/// messages (the old root-serialized implementation sent P-1).
+TEST(TreeCollectives, BroadcastCriticalPathIsLogP) {
+  for (const int np : {4, 8, 16, 32}) {
+    const CostModel cm{.alpha_us = 1.0, .beta_us_per_byte = 0.0};
+    Machine m(np, cm);
+    run_spmd(m, [](Context& ctx) {
+      (void)ctx.broadcast_vec(std::vector<int>{1, 2, 3}, 0);
+    });
+    const double critical = m.max_rank_modeled_us();
+    EXPECT_LE(critical, static_cast<double>(ceil_log2(np))) << "P=" << np;
+    EXPECT_LT(critical, static_cast<double>(np - 1)) << "P=" << np;
+    // Total message count is still P-1: every rank receives exactly once.
+    EXPECT_DOUBLE_EQ(
+        static_cast<double>(m.total_stats().ctl_messages),
+        static_cast<double>(np - 1));
+  }
+}
+
+/// One allreduce_vec = a binomial reduction plus a binomial broadcast:
+/// the busiest rank sends at most 1 + ceil(log2 P) messages, so the
+/// modeled critical path is O(log P), not the old 2(P-1) serialization
+/// through rank 0.
+TEST(TreeCollectives, AllreduceCriticalPathIsLogP) {
+  for (const int np : {4, 8, 16, 32}) {
+    const CostModel cm{.alpha_us = 1.0, .beta_us_per_byte = 0.0};
+    Machine m(np, cm);
+    run_spmd(m, [](Context& ctx) {
+      (void)ctx.allreduce(1, ReduceOp::Sum);
+    });
+    const double critical = m.max_rank_modeled_us();
+    EXPECT_LE(critical, static_cast<double>(1 + ceil_log2(np)))
+        << "P=" << np;
+    EXPECT_LT(critical, static_cast<double>(2 * (np - 1))) << "P=" << np;
+    // Reduction and broadcast each deliver P-1 messages machine-wide.
+    EXPECT_DOUBLE_EQ(
+        static_cast<double>(m.total_stats().ctl_messages),
+        static_cast<double>(2 * (np - 1)));
+  }
+}
+
+}  // namespace
+}  // namespace vf::msg

@@ -83,7 +83,7 @@ TEST(Schedule, GatherFetchesRemoteValues) {
     std::vector<IndexVec> wanted;
     const Index base = ((ctx.rank() + 2) % 4) * 8 + 1;
     for (Index k = 0; k < 8; ++k) wanted.push_back({base + k});
-    Schedule s(ctx, a.distribution(), wanted);
+    Schedule s(ctx, a.dist_handle(), wanted);
     ck.check_eq(s.n_points(), std::size_t{8}, ctx.rank(), "points");
     ck.check_eq(s.n_local(), std::size_t{0}, ctx.rank(), "all remote");
     std::vector<double> out(8);
@@ -112,7 +112,7 @@ TEST(Schedule, DuplicateRequestsTravelOnce) {
     ctx.barrier();
     if (ctx.rank() == 0) ctx.machine().reset_stats();
     ctx.barrier();
-    Schedule s(ctx, a.distribution(), wanted);
+    Schedule s(ctx, a.dist_handle(), wanted);
     if (ctx.rank() == 0 && s.n_unique_offproc() != 1) {
       throw std::runtime_error("dedup failed");
     }
@@ -144,7 +144,7 @@ TEST(Schedule, GatherMixedLocalAndRemote) {
     wanted.push_back({my_first, 1});                       // local
     wanted.push_back({(my_first + 4 - 1) % 16 + 1, 2});    // mostly remote
     wanted.push_back({my_first, 3});                       // local
-    Schedule s(ctx, a.distribution(), wanted);
+    Schedule s(ctx, a.dist_handle(), wanted);
     std::vector<int> out(wanted.size());
     s.gather(ctx, a, out);
     for (std::size_t k = 0; k < wanted.size(); ++k) {
@@ -168,7 +168,7 @@ TEST(Schedule, ScatterWritesRemoteValues) {
     std::vector<IndexVec> targets;
     const Index base = ((ctx.rank() + 1) % 4) * 8 + 1;
     for (Index k = 0; k < 8; ++k) targets.push_back({base + k});
-    Schedule s(ctx, a.distribution(), targets);
+    Schedule s(ctx, a.dist_handle(), targets);
     std::vector<double> vals;
     for (Index k = 0; k < 8; ++k) {
       vals.push_back(100.0 * ctx.rank() + static_cast<double>(k));
@@ -195,7 +195,7 @@ TEST(Schedule, ScatterAddAccumulatesAllContributions) {
     a.fill(0);
     // Every rank adds 1 to every element, twice (duplicates must count).
     std::vector<IndexVec> targets = {{1}, {2}, {3}, {4}, {1}, {2}, {3}, {4}};
-    Schedule s(ctx, a.distribution(), targets);
+    Schedule s(ctx, a.dist_handle(), targets);
     std::vector<long> ones(targets.size(), 1);
     s.scatter_add(ctx, std::span<const long>(ones), a);
     ctx.barrier();
@@ -214,7 +214,7 @@ TEST(Schedule, ReusedScheduleSeesUpdatedData) {
                               .dynamic = true,
                               .initial = DistributionType{block()}});
     std::vector<IndexVec> wanted = {{1}, {8}};
-    Schedule s(ctx, a.distribution(), wanted);
+    Schedule s(ctx, a.dist_handle(), wanted);
     std::vector<double> out(2);
     for (int round = 0; round < 3; ++round) {
       a.init([&](const IndexVec& i) {
@@ -235,7 +235,7 @@ TEST(Schedule, ExecutorBufferSizeIsValidated) {
                               .domain = IndexDomain::of_extents({8}),
                               .dynamic = true,
                               .initial = DistributionType{block()}});
-    Schedule s(ctx, a.distribution(), {{1}, {2}});
+    Schedule s(ctx, a.dist_handle(), {{1}, {2}});
     std::vector<double> wrong(3);
     try {
       s.gather(ctx, a, std::span<double>(wrong));
@@ -246,6 +246,47 @@ TEST(Schedule, ExecutorBufferSizeIsValidated) {
     }
     std::vector<double> right(2);
     s.gather(ctx, a, right);
+  });
+}
+
+TEST(Schedule, MultiArrayBindingCacheServesSeveralArrays) {
+  // One schedule, several arrays with the identical interned descriptor:
+  // alternating executors must not re-translate offsets on every call
+  // (the ROADMAP multi-array binding item), and every array still gets
+  // correct data.
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    const IndexDomain dom = IndexDomain::of_extents({40});
+    const DistributionType t{cyclic(2)};
+    DistArray<int> a(env, {.name = "A", .domain = dom, .initial = t});
+    DistArray<int> b(env, {.name = "B", .domain = dom, .initial = t});
+    DistArray<int> c(env, {.name = "C", .domain = dom, .initial = t});
+    ck.check(a.dist_handle() == b.dist_handle(), ctx.rank(),
+             "identical specs intern to one descriptor");
+    a.init([](const IndexVec& i) { return static_cast<int>(i[0]); });
+    b.init([](const IndexVec& i) { return static_cast<int>(100 + i[0]); });
+    c.init([](const IndexVec& i) { return static_cast<int>(200 + i[0]); });
+
+    std::vector<IndexVec> wanted;
+    for (Index g = 1 + ctx.rank(); g <= 40; g += 4) wanted.push_back({g});
+    Schedule s(ctx, a.dist_handle(), wanted);
+    std::vector<int> out(wanted.size());
+    for (int round = 0; round < 3; ++round) {
+      for (DistArray<int>* arr : {&a, &b, &c}) {
+        s.gather(ctx, *arr, out);
+        const int base = arr == &a ? 0 : (arr == &b ? 100 : 200);
+        for (std::size_t k = 0; k < wanted.size(); ++k) {
+          ck.check_eq(out[k], base + static_cast<int>(wanted[k][0]),
+                      ctx.rank(), "multi-array gather");
+        }
+      }
+    }
+    ck.check_eq(s.n_bound_arrays(), std::size_t{3}, ctx.rank(),
+                "three bindings cached");
+    ck.check_eq(s.binding_misses(), std::uint64_t{3}, ctx.rank(),
+                "one translation per array");
+    ck.check_eq(s.binding_hits(), std::uint64_t{6}, ctx.rank(),
+                "later rounds hit the binding cache");
   });
 }
 
@@ -264,7 +305,7 @@ TEST(Schedule, RandomizedGatherAgainstGlobalTruth) {
     std::uniform_int_distribution<Index> pick(0, dom.size() - 1);
     std::vector<IndexVec> wanted;
     for (int k = 0; k < 100; ++k) wanted.push_back(dom.delinearize(pick(rng)));
-    Schedule s(ctx, a.distribution(), wanted);
+    Schedule s(ctx, a.dist_handle(), wanted);
     std::vector<int> out(wanted.size());
     s.gather(ctx, a, out);
     for (std::size_t k = 0; k < wanted.size(); ++k) {

@@ -250,5 +250,38 @@ TEST(DCase, SelectorsChangeBetweenRuns) {
   });
 }
 
+TEST(DCase, DispatchMemoizesOnDescriptorHandles) {
+  // Re-running a DCASE while every selector still holds the identical
+  // interned descriptor replays the matched arm (actions included) after
+  // pointer compares only; any redistribution invalidates the memo.
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<int> b(env, {.name = "B",
+                           .domain = IndexDomain::of_extents({8}),
+                           .dynamic = true,
+                           .initial = DistributionType{block()}});
+    int actions = 0;
+    auto dc = dcase({&b})
+                  .when({TypePattern{p_block()}}, [&] { ++actions; })
+                  .when({TypePattern{p_cyclic_any()}}, nullptr);
+    for (int k = 0; k < 5; ++k) {
+      ck.check_eq(dc.run(), 0, ctx.rank(), "memoized arm");
+    }
+    ck.check_eq(actions, 5, ctx.rank(), "action runs on every dispatch");
+    ck.check_eq(dc.dispatch_hits(), std::uint64_t{4}, ctx.rank(),
+                "repeat dispatches hit the handle memo");
+    b.distribute(DistributionType{cyclic(2)});
+    ck.check_eq(dc.run(), 1, ctx.rank(), "remap invalidates the memo");
+    ck.check_eq(dc.dispatch_hits(), std::uint64_t{4}, ctx.rank(),
+                "changed handle misses");
+    // A no-op DISTRIBUTE to the same spelling keeps the handle: memo hits
+    // resume immediately.
+    b.distribute(DistributionType{cyclic(2)});
+    ck.check_eq(dc.run(), 1, ctx.rank(), "same arm");
+    ck.check_eq(dc.dispatch_hits(), std::uint64_t{5}, ctx.rank(),
+                "identity DISTRIBUTE preserves the memo");
+  });
+}
+
 }  // namespace
 }  // namespace vf::query
