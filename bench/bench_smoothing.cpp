@@ -29,20 +29,43 @@ void BM_Smoothing(benchmark::State& state) {
                                           : apps::SmoothLayout::Grid2D;
   const auto n = static_cast<dist::Index>(state.range(1));
   const int nprocs = static_cast<int>(state.range(2));
+  const auto stencil = state.range(3) == 0 ? apps::SmoothStencil::FivePoint
+                                           : apps::SmoothStencil::NinePoint;
   const int steps = 4;
   const msg::CostModel cm{};
 
+  state.SetLabel(std::string(apps::to_string(layout)) + "/" +
+                 apps::to_string(stencil));
+
   msg::CommStats stats;
   double checksum = 0.0;
+  std::uint64_t halo_hits = 0;
+  std::uint64_t halo_misses = 0;
   for (auto _ : state) {
     msg::Machine machine(nprocs, cm);
     msg::run_spmd(machine, [&](msg::Context& ctx) {
-      auto r = apps::run_smoothing(ctx, {.n = n, .steps = steps}, layout);
-      if (ctx.rank() == 0) checksum = r.checksum;
+      auto r = apps::run_smoothing(
+          ctx, {.n = n, .steps = steps, .stencil = stencil}, layout);
+      if (ctx.rank() == 0) {
+        checksum = r.checksum;
+        halo_hits = r.halo_plan_hits;
+        halo_misses = r.halo_plan_misses;
+      }
     });
     stats = machine.total_stats();
   }
   benchmark::DoNotOptimize(checksum);
+
+  // Halo-plan cache traffic (machine-wide): the run-based plans are built
+  // once per (rank, distribution, spec) and shared by the ping-pong pair,
+  // so hits/(hits+misses) approaches 1 as steps grow.
+  state.counters["halo_plan_hits"] = static_cast<double>(halo_hits);
+  state.counters["halo_plan_misses"] = static_cast<double>(halo_misses);
+  state.counters["halo_plan_hit_rate"] =
+      halo_hits + halo_misses == 0
+          ? 0.0
+          : static_cast<double>(halo_hits) /
+                static_cast<double>(halo_hits + halo_misses);
 
   // Interior ranks exchange on both sides in every ghosted dimension.
   const double interior =
@@ -66,7 +89,7 @@ void BM_Smoothing(benchmark::State& state) {
 }  // namespace
 
 BENCHMARK(BM_Smoothing)
-    ->ArgNames({"layout", "N", "P"})
-    ->ArgsProduct({{0, 1}, {64, 128, 256, 512}, {4, 16}})
+    ->ArgNames({"layout", "N", "P", "stencil"})
+    ->ArgsProduct({{0, 1}, {64, 128, 256, 512}, {4, 16}, {0, 1}})
     ->Unit(benchmark::kMillisecond)
     ->Iterations(2);

@@ -40,6 +40,12 @@ struct AdiConfig {
 
 struct AdiResult {
   double checksum = 0.0;  ///< sum of V after the last iteration
+  /// Machine-wide halo-plan cache traffic (summed over ranks).  ADI
+  /// itself needs no ghost regions, so these stay 0 unless a strategy
+  /// grows stencil phases -- emitted alongside the smoothing counters so
+  /// BENCH json diffs cover every halo consumer.
+  std::uint64_t halo_plan_hits = 0;
+  std::uint64_t halo_plan_misses = 0;
 };
 
 /// Runs the ADI iteration on the calling SPMD context (collective).

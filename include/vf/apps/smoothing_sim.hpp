@@ -14,6 +14,8 @@
 // $NP).
 #pragma once
 
+#include <cstdint>
+
 #include "vf/dist/index.hpp"
 #include "vf/msg/context.hpp"
 
@@ -26,14 +28,40 @@ enum class SmoothLayout {
 
 [[nodiscard]] const char* to_string(SmoothLayout l);
 
+/// Stencil shape of one smoothing step.
+enum class SmoothStencil {
+  FivePoint,  ///< 4 nearest neighbours (faces only)
+  NinePoint,  ///< + the 4 diagonal neighbours: needs corner exchange on
+              ///< a 2-D block distribution
+};
+
+[[nodiscard]] const char* to_string(SmoothStencil s);
+
 struct SmoothConfig {
   dist::Index n = 256;  ///< grid is n x n
   int steps = 8;
+  SmoothStencil stencil = SmoothStencil::FivePoint;
 };
 
 struct SmoothResult {
   double checksum = 0.0;
+  /// Machine-wide halo-plan cache traffic (summed over ranks): with the
+  /// run-based plan cache, repeat steps under an unchanged distribution
+  /// are hits -- one plan build per (rank, distribution, spec).
+  std::uint64_t halo_plan_hits = 0;
+  std::uint64_t halo_plan_misses = 0;
 };
+
+/// One 9-point combination with weights 4:2:1 (sum 16) in a fixed
+/// evaluation order, shared by the distributed kernel and sequential
+/// references so results compare bitwise.  (w/e are the +-1 neighbours in
+/// dimension 0, so/no in dimension 1, the rest the diagonals.)
+[[nodiscard]] inline double smooth9_combine(double c, double w, double e,
+                                            double so, double no, double wso,
+                                            double wno, double eso,
+                                            double eno) {
+  return (4.0 * c + 2.0 * (w + e + so + no) + (wso + wno + eso + eno)) / 16.0;
+}
 
 /// Runs the smoothing steps on the calling SPMD context (collective).
 /// Grid2D requires nprocs to be a perfect square.

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "vf/halo/spec.hpp"
 #include "vf/query/pattern.hpp"
 
 namespace vf::compile {
@@ -30,25 +31,33 @@ struct ArrayInfo {
   bool dynamic = true;
   query::RangeSpec range;               ///< empty = unrestricted
   std::optional<AbstractDist> initial;  ///< DIST clause, if any
+  /// OVERLAP annotation: the halo spec the array's ghost exchanges use.
+  /// Carried through the reaching-distribution sets so partial evaluation
+  /// can reason about exchange redundancy.
+  std::optional<halo::HaloSpec> halo;
 };
 
 enum class StmtKind {
   Entry,
   Exit,
   Nop,
-  Distribute,   ///< DISTRIBUTE array :: dist
-  Assume,       ///< analysis-only: array's type matches `dist` (DCASE arm)
-  Use,          ///< array reference point (where plausible sets are queried)
-  CallUnknown,  ///< opaque call that may redistribute the named arrays
-  CallProc,     ///< call of a declared procedure (interprocedural analysis)
+  Distribute,    ///< DISTRIBUTE array :: dist
+  Assume,        ///< analysis-only: array's type matches `dist` (DCASE arm)
+  Use,           ///< array reference point (where plausible sets are queried)
+  ExchangeHalo,  ///< overlap-area exchange of `array`'s ghost regions
+  CallUnknown,   ///< opaque call that may redistribute the named arrays
+  CallProc,      ///< call of a declared procedure (interprocedural analysis)
 };
 
 struct Stmt {
   StmtKind kind = StmtKind::Nop;
-  std::string array;                ///< Distribute / Assume target
+  std::string array;                ///< Distribute / Assume / Exchange target
   AbstractDist dist;                ///< Distribute: new type; Assume: filter
   std::vector<std::string> arrays;  ///< Use / CallUnknown / CallProc actuals
   int proc = -1;                    ///< CallProc: procedure table index
+  bool writes = false;              ///< Use: the reference may store into
+                                    ///< the arrays (invalidates halo
+                                    ///< freshness)
   std::string label;                ///< diagnostic tag
 };
 
@@ -158,6 +167,16 @@ class ProgramBuilder {
   /// An array-reference program point; `label` names it for queries.
   ProgramBuilder& use(std::vector<std::string> arrays,
                       const std::string& label = "");
+
+  /// An array-reference point that may store into the named arrays: a
+  /// write invalidates any overlap-area freshness the arrays had.
+  ProgramBuilder& write(std::vector<std::string> arrays,
+                        const std::string& label = "");
+
+  /// An overlap-area (ghost) exchange of `array` (the runtime
+  /// exchange_overlap call); `label` names it for partial evaluation.
+  ProgramBuilder& exchange_halo(const std::string& array,
+                                const std::string& label = "");
 
   /// A call that may redistribute the named arrays (worst case bounded by
   /// their RANGE attributes).

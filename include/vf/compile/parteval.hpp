@@ -37,6 +37,11 @@ struct PartialEvalReport {
   /// Distribute nodes whose target equals the unique plausible reaching
   /// distribution (same type, fully concrete): data motion is redundant.
   std::vector<int> redundant_distributes;
+  /// ExchangeHalo nodes provably redundant: either the ghost regions are
+  /// still current on every reaching path (halo_fresh -- no write,
+  /// DISTRIBUTE or opaque call since the previous exchange) or the
+  /// array's declared halo spec has no ghost planes at all.
+  std::vector<int> redundant_halo_exchanges;
   /// (node, array): DISTRIBUTE statements that may violate the array's
   /// RANGE attribute.
   std::vector<std::pair<int, std::string>> possible_range_violations;

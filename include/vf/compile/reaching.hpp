@@ -30,11 +30,22 @@ namespace vf::compile {
 /// handle identity -- integer compares -- and never deep-compare
 /// patterns.  Handles convert implicitly to `const query::TypePattern&`,
 /// so pattern queries read through them unchanged.
+///
+/// Alongside the may-set of types, the set carries the array's declared
+/// halo (OVERLAP) spec and a must-flag `halo_fresh`: whether the ghost
+/// regions are known current on every path reaching this point (set by
+/// ExchangeHalo, cleared by writes, DISTRIBUTE and opaque calls, ANDed at
+/// joins).  Partial evaluation uses it to prove an exchange redundant.
 struct DistSet {
   /// The array may reach this point without an associated distribution.
   bool undistributed = false;
   /// May-set of abstract distribution types (interned handles).
   std::vector<PatternHandle> types;
+  /// The array's declared halo spec, if any (flows unchanged from the
+  /// declaration; merged away if two paths ever disagree).
+  std::optional<halo::HaloSpec> halo;
+  /// MUST-flag: ghost regions are current on every path to this point.
+  bool halo_fresh = false;
 
   /// Widening bound: sets larger than this collapse to the wildcard.
   static constexpr std::size_t kWidenLimit = 8;

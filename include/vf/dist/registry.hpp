@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "vf/dist/distribution.hpp"
+#include "vf/halo/spec.hpp"
 
 namespace vf::dist {
 
@@ -74,6 +75,8 @@ struct RegistryStats {
   std::uint64_t misses = 0;          ///< whole-distribution admissions
   std::uint64_t dim_map_hits = 0;    ///< per-dimension map intern hits
   std::uint64_t dim_map_misses = 0;  ///< per-dimension map admissions
+  std::uint64_t halo_spec_hits = 0;    ///< halo-spec intern hits
+  std::uint64_t halo_spec_misses = 0;  ///< halo-spec admissions
 };
 
 class DistRegistry {
@@ -116,6 +119,11 @@ class DistRegistry {
 
   [[nodiscard]] ProcessorSectionPtr intern_section(const ProcessorSection& s);
 
+  /// Interns a halo (overlap) spec alongside the distributions: spec
+  /// equality becomes handle identity, and the (DistHandle uid, HaloSpec
+  /// uid) pair keys the run-based halo-plan cache as one flat integer.
+  [[nodiscard]] halo::HaloHandle intern(const halo::HaloSpec& s);
+
   /// Disabling makes intern() construct fresh unregistered handles (the
   /// benchmark cold path, measuring per-statement descriptor
   /// construction); existing entries are kept for re-enabling.
@@ -143,6 +151,7 @@ class DistRegistry {
   bool enabled_ = true;
   RegistryStats stats_;
   std::uint32_t next_uid_ = 1;
+  std::uint32_t next_halo_uid_ = 1;
   std::size_t n_dists_ = 0;
 
   // Buckets keyed by structural fingerprint; vectors absorb collisions.
@@ -150,6 +159,7 @@ class DistRegistry {
   std::unordered_map<std::uint64_t, std::vector<DimMapEntry>> dim_maps_;
   std::unordered_map<std::uint64_t, std::vector<ProcessorSectionPtr>>
       sections_;
+  std::unordered_map<std::uint64_t, std::vector<halo::HaloHandle>> halos_;
 };
 
 }  // namespace vf::dist

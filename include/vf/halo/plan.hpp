@@ -1,0 +1,144 @@
+// Run-based halo (overlap-area) exchange plans -- the ghost-region
+// counterpart of rt::RedistPlan.
+//
+// The overlap exchange of a distribution + halo spec pair is deterministic
+// per rank: every ghost region is filled by exactly one neighbouring rank
+// (the nearest coordinate owning planes in that direction, clipped to what
+// it owns), and both sides enumerate the region in the same local
+// column-major order, so only values travel.  A HaloPlan is the inspector
+// product of that enumeration:
+//
+//   * pack_runs:   maximal innermost-dimension contiguous runs of local
+//                  storage whose elements fill one neighbour's ghost
+//                  region -- one memcpy per run into that peer's buffer;
+//   * send_counts: exact per-peer element counts, so buffers are sized
+//                  once with no counting pass at exchange time;
+//   * unpack_runs / recv_counts: the mirror image into this rank's ghost
+//                  storage.
+//
+// With spec.corners() set, diagonal directions (more than one non-zero
+// per-dimension offset) are exchanged in the same single alltoallv --
+// the corner traffic a 9-point stencil needs and the face-only routine
+// formerly buried in rt::array_base could not produce.
+//
+// Plans depend only on (Distribution, HaloSpec, rank, nprocs), so they are
+// cached per Env in a HaloPlanCache keyed on the flat
+// (DistHandle uid, HaloSpec uid) integer pair and shared by every array
+// with that descriptor pair (the smoothing ping-pong arrays A and B hit
+// the same plan).  Plans invalidate naturally on DISTRIBUTE: the
+// descriptor handle changes, so the key changes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "vf/dist/distribution.hpp"
+#include "vf/dist/registry.hpp"
+#include "vf/halo/spec.hpp"
+
+namespace vf::halo {
+
+struct HaloPlan {
+  /// One contiguous span of local storage exchanged with one peer.
+  struct Run {
+    std::size_t offset;  ///< element offset into local (ghost-padded) storage
+    std::size_t length;  ///< run length in elements
+    int peer;            ///< destination (pack) / source (unpack) rank
+  };
+
+  std::vector<Run> pack_runs;
+  std::vector<std::uint64_t> send_counts;
+  std::vector<Run> unpack_runs;
+  std::vector<std::uint64_t> recv_counts;
+
+  /// Total elements this rank sends per exchange.
+  [[nodiscard]] std::uint64_t sent_elems() const noexcept {
+    std::uint64_t n = 0;
+    for (std::uint64_t c : send_counts) n += c;
+    return n;
+  }
+
+  /// Builds the plan for rank `me` of an `np`-rank machine.  Purely local:
+  /// no communication.  Ghosted dimensions must be contiguous.
+  [[nodiscard]] static HaloPlan build(const dist::Distribution& d,
+                                      const HaloSpec& spec, int me, int np);
+
+  /// Process-wide count of build() invocations (monotonic; the repeat-
+  /// exchange tests assert the cache keeps this flat on the hot path).
+  [[nodiscard]] static std::uint64_t builds() noexcept;
+};
+
+/// Receiver-side filled ghost widths of one rank: how many ghost planes on
+/// each side actually receive values during an exchange (clipped by the
+/// neighbour's segment size; 0 where no neighbour exists).  PARTI
+/// schedules use this to decide which overlap-area reads the halo already
+/// serves.
+struct HaloFill {
+  bool member = false;   ///< rank owns part of the array
+  bool corners = false;  ///< diagonal regions are filled too
+  dist::IndexVec lo;     ///< filled low-side widths per dimension
+  dist::IndexVec hi;     ///< filled high-side widths per dimension
+};
+
+[[nodiscard]] HaloFill filled_widths(const dist::Distribution& d,
+                                     const HaloSpec& spec, int me);
+
+/// Per-Env cache of HaloPlans keyed on the (DistHandle uid, HaloSpec uid)
+/// pair.  Identity-keyed: a hit is one integer hash lookup with no
+/// structural comparison or index-list rebuild.  Uninterned handles
+/// (uid 0) are uncacheable and rebuild every time -- the benchmark cold
+/// path.
+class HaloPlanCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  /// Returns the cached plan for (d, h), building and caching it on a
+  /// miss.
+  [[nodiscard]] std::shared_ptr<const HaloPlan> lookup_or_build(
+      const dist::DistHandle& d, const HaloHandle& h, int me, int np);
+
+  /// Disabling also drops cached plans (benchmarks measuring the cold
+  /// plan-construction + exchange path).
+  void set_enabled(bool on) {
+    enabled_ = on;
+    if (!on) clear();
+  }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  void clear() {
+    map_.clear();
+    order_.clear();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = Stats{}; }
+
+ private:
+  struct Entry {
+    // The handles pin the interned descriptor pair (and therefore the uid
+    // pair the key was built from) for the lifetime of the entry.
+    dist::DistHandle dist;
+    HaloHandle halo;
+    std::shared_ptr<const HaloPlan> plan;
+  };
+
+  [[nodiscard]] static std::uint64_t key_of(const dist::DistHandle& d,
+                                            const HaloHandle& h) noexcept {
+    return (static_cast<std::uint64_t>(d.uid()) << 32) | h.uid();
+  }
+
+  static constexpr std::size_t kCapacity = 16;
+
+  bool enabled_ = true;
+  Stats stats_;
+  std::unordered_map<std::uint64_t, Entry> map_;
+  std::vector<std::uint64_t> order_;  ///< insertion order for eviction
+};
+
+}  // namespace vf::halo

@@ -1,0 +1,103 @@
+// HaloSpec: the overlap (ghost) description of the paper's OVERLAP
+// annotation (Section 3.1 "overlap areas") promoted to a first-class
+// interned value, the way distributions already are.
+//
+// A HaloSpec records, per array dimension, the lower and upper ghost
+// widths plus whether diagonal (corner) ghost regions are maintained --
+// the difference between a 5-point and a 9-point stencil on a
+// (BLOCK, BLOCK) grid.  Specs are interned through dist::DistRegistry
+// alongside distributions, so spec equality is pointer identity and the
+// (DistHandle uid, HaloSpec uid) pair is a flat integer key for the
+// run-based HaloPlan cache (see halo/plan.hpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "vf/dist/hash.hpp"
+#include "vf/dist/index.hpp"
+
+namespace vf::dist {
+class DistRegistry;
+}  // namespace vf::dist
+
+namespace vf::halo {
+
+/// Per-dimension ghost widths plus the corners flag.  Immutable after
+/// construction; rank 0 means "no overlap areas at all".
+class HaloSpec {
+ public:
+  HaloSpec() = default;
+
+  /// lo[d] / hi[d] are the ghost plane counts below / above this rank's
+  /// segment in dimension d; both vectors must have the same rank and
+  /// non-negative entries.  `corners` requests diagonal ghost regions
+  /// (every direction with more than one non-zero offset) in addition to
+  /// the faces.
+  HaloSpec(dist::IndexVec lo, dist::IndexVec hi, bool corners = false);
+
+  /// The all-zero spec of the given rank (faces nor corners).
+  [[nodiscard]] static HaloSpec none(int rank);
+
+  [[nodiscard]] int rank() const noexcept {
+    return static_cast<int>(lo_.size());
+  }
+  [[nodiscard]] dist::Index lo(int d) const noexcept { return lo_[d]; }
+  [[nodiscard]] dist::Index hi(int d) const noexcept { return hi_[d]; }
+  [[nodiscard]] const dist::IndexVec& lo_vec() const noexcept { return lo_; }
+  [[nodiscard]] const dist::IndexVec& hi_vec() const noexcept { return hi_; }
+  [[nodiscard]] bool corners() const noexcept { return corners_; }
+
+  /// Whether every width is zero (no ghost storage, exchange is a no-op).
+  [[nodiscard]] bool empty() const noexcept;
+
+  /// Structural hash (the registry's interning bucket key).
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const HaloSpec&, const HaloSpec&) = default;
+
+ private:
+  dist::IndexVec lo_;
+  dist::IndexVec hi_;
+  bool corners_ = false;
+};
+
+using HaloSpecPtr = std::shared_ptr<const HaloSpec>;
+
+/// Shared immutable reference to an interned HaloSpec.  Like DistHandle:
+/// equality is pointer identity, uid() is a small dense per-registry id (0
+/// for the null handle and for unregistered wrappers) that plan caches
+/// pack into flat integer keys.
+class HaloHandle {
+ public:
+  HaloHandle() = default;
+
+  [[nodiscard]] const HaloSpec& operator*() const noexcept { return *p_; }
+  [[nodiscard]] const HaloSpec* operator->() const noexcept {
+    return p_.get();
+  }
+  [[nodiscard]] const HaloSpec* get() const noexcept { return p_.get(); }
+  explicit operator bool() const noexcept { return p_ != nullptr; }
+
+  [[nodiscard]] std::uint32_t uid() const noexcept { return uid_; }
+  [[nodiscard]] bool interned() const noexcept { return uid_ != 0; }
+
+  /// Wraps a spec without interning (uid 0; never hits identity caches).
+  [[nodiscard]] static HaloHandle wrap(HaloSpec s) {
+    return HaloHandle(std::make_shared<const HaloSpec>(std::move(s)), 0);
+  }
+
+  friend bool operator==(const HaloHandle&, const HaloHandle&) = default;
+
+ private:
+  friend class vf::dist::DistRegistry;
+  HaloHandle(HaloSpecPtr p, std::uint32_t uid) : p_(std::move(p)), uid_(uid) {}
+
+  HaloSpecPtr p_;
+  std::uint32_t uid_ = 0;
+};
+
+}  // namespace vf::halo

@@ -4,6 +4,7 @@
 // the all-to-all exchange that underlies DISTRIBUTE).
 #pragma once
 
+#include <algorithm>
 #include <concepts>
 #include <cstddef>
 #include <cstring>
@@ -180,32 +181,32 @@ class Context {
   /// Gather a (possibly differently sized) vector from each rank; every
   /// rank receives all contributions, indexed by rank.
   ///
-  /// The root keeps (moves) its own contribution, and each non-root's own
-  /// contribution is moved straight into its result instead of round-
-  /// tripping through the root's rebroadcast blob -- the blob a rank
-  /// receives contains only the other ranks' payloads.
+  /// Dissemination (Bruck) algorithm: in the round with distance d, every
+  /// rank ships the blocks the rank d below still lacks and receives the
+  /// matching blocks from the rank d above, doubling its held prefix.
+  /// After ceil(log2 P) rounds each rank holds all P contributions.  No
+  /// rank ever serializes O(P) messages (the old implementation funneled
+  /// everything through rank 0); every rank sends exactly ceil(log2 P)
+  /// messages, so the modeled critical path is O(alpha log P + beta N).
+  /// Block membership per round is deterministic, so no block headers
+  /// travel -- only [count, payload] frames in rank order.
   template <detail::TriviallySendable T>
   [[nodiscard]] std::vector<std::vector<T>> allgather_vec(std::vector<T> v) {
     const int tag = next_coll_tag();
     stats().collectives++;
-    std::vector<std::vector<T>> all(static_cast<std::size_t>(nprocs()));
-    if (rank_ == 0) {
-      all[0] = std::move(v);
-      for (int p = 1; p < nprocs(); ++p) {
-        all[static_cast<std::size_t>(p)] =
-            bytes_to_vector<T>(recv_bytes(p, tag));
-      }
-      // Serialize as [count, payload]* per receiver, skipping the
-      // receiver's own contribution.
-      for (int p = 1; p < nprocs(); ++p) {
-        send_ctl_bytes(p, tag, pack_vectors(all, /*skip=*/p));
-      }
-      return all;
-    }
-    send_ctl_bytes(0, tag, std::as_bytes(std::span<const T>(v)));
-    auto blob = recv_bytes(0, tag);
-    all = unpack_vectors<T>(blob, nprocs(), /*skip=*/rank_);
+    const int np = nprocs();
+    std::vector<std::vector<T>> all(static_cast<std::size_t>(np));
     all[static_cast<std::size_t>(rank_)] = std::move(v);
+    // Invariant: before the round with distance d, every rank r holds
+    // blocks {r, r+1, ..., r + min(d, P) - 1} (mod P).
+    for (int d = 1; d < np; d <<= 1) {
+      const int have = std::min(2 * d, np) - d;  // blocks the receiver lacks
+      const int dest = (rank_ - d + np) % np;
+      const int src = (rank_ + d) % np;
+      send_ctl_bytes(dest, tag, pack_ring(all, rank_, have, np));
+      auto blob = recv_bytes(src, tag);
+      unpack_ring<T>(blob, all, src, have, np);
+    }
     return all;
   }
 
@@ -260,20 +261,51 @@ class Context {
   [[nodiscard]] std::vector<std::vector<T>> alltoallv_known(
       std::vector<std::vector<T>> out,
       std::span<const std::uint64_t> expected) {
-    const int np = nprocs();
-    if (static_cast<int>(out.size()) != np ||
-        static_cast<int>(expected.size()) != np) {
+    if (static_cast<int>(out.size()) != nprocs() ||
+        static_cast<int>(expected.size()) != nprocs()) {
       throw std::invalid_argument(
           "alltoallv_known: out/expected size != nprocs()");
     }
+    auto local = std::move(out[static_cast<std::size_t>(rank_)]);
+    return alltoallv_known_body(out, expected, std::move(local));
+  }
+
+  /// alltoallv_known variant reading the outgoing payloads from caller-
+  /// owned buffers that survive the call: executor hot paths (cached halo
+  /// exchange) keep their pack buffers across replays, so the send side
+  /// allocates nothing after the first call.  Semantics otherwise match
+  /// alltoallv_known; the local slot is copied instead of moved.
+  template <detail::TriviallySendable T>
+  [[nodiscard]] std::vector<std::vector<T>> alltoallv_known_reuse(
+      const std::vector<std::vector<T>>& out,
+      std::span<const std::uint64_t> expected) {
+    if (static_cast<int>(out.size()) != nprocs() ||
+        static_cast<int>(expected.size()) != nprocs()) {
+      throw std::invalid_argument(
+          "alltoallv_known_reuse: out/expected size != nprocs()");
+    }
+    return alltoallv_known_body(out, expected,
+                                out[static_cast<std::size_t>(rank_)]);
+  }
+
+ private:
+  /// The shared counted-exchange body of alltoallv_known and
+  /// alltoallv_known_reuse: sends every non-empty non-local payload of
+  /// `out`, receives per the pre-agreed counts, verifies them, and plants
+  /// `local` (the caller's own slot, moved or copied) in the result.  The
+  /// local slot of `out` is never read here.
+  template <detail::TriviallySendable T>
+  [[nodiscard]] std::vector<std::vector<T>> alltoallv_known_body(
+      const std::vector<std::vector<T>>& out,
+      std::span<const std::uint64_t> expected, std::vector<T> local) {
+    const int np = nprocs();
     const int tag = next_coll_tag();
     stats().collectives++;
     std::vector<std::vector<T>> in(static_cast<std::size_t>(np));
-    in[static_cast<std::size_t>(rank_)] =
-        std::move(out[static_cast<std::size_t>(rank_)]);
+    in[static_cast<std::size_t>(rank_)] = std::move(local);
     for (int d = 0; d < np; ++d) {
       if (d == rank_) continue;
-      auto& payload = out[static_cast<std::size_t>(d)];
+      const auto& payload = out[static_cast<std::size_t>(d)];
       if (payload.empty()) continue;
       send_bytes(d, tag, std::as_bytes(std::span<const T>(payload)));
     }
@@ -291,8 +323,6 @@ class Context {
     }
     return in;
   }
-
- private:
   /// Control-plane send: same transport, separate accounting.
   void send_ctl_bytes(int dest, int tag, std::span<const std::byte> payload);
 
@@ -342,21 +372,21 @@ class Context {
     return v;
   }
 
-  /// Serializes [count, payload]* for every vector except index `skip`
-  /// (skip < 0 packs everything).
+  /// Serializes [count, payload] frames for the `count` blocks starting
+  /// at ring position `start` (mod np), in ring order -- the dissemination
+  /// round's deterministic wire format.
   template <typename T>
-  static std::vector<std::byte> pack_vectors(
-      const std::vector<std::vector<T>>& vs, int skip = -1) {
+  static std::vector<std::byte> pack_ring(
+      const std::vector<std::vector<T>>& vs, int start, int count, int np) {
     std::size_t total = 0;
-    for (std::size_t k = 0; k < vs.size(); ++k) {
-      if (static_cast<int>(k) == skip) continue;
+    for (int j = 0; j < count; ++j) {
+      const auto k = static_cast<std::size_t>((start + j) % np);
       total += sizeof(std::uint64_t) + vs[k].size() * sizeof(T);
     }
     std::vector<std::byte> blob(total);
     std::size_t off = 0;
-    for (std::size_t k = 0; k < vs.size(); ++k) {
-      if (static_cast<int>(k) == skip) continue;
-      const auto& v = vs[k];
+    for (int j = 0; j < count; ++j) {
+      const auto& v = vs[static_cast<std::size_t>((start + j) % np)];
       const std::uint64_t n = v.size();
       std::memcpy(blob.data() + off, &n, sizeof n);
       off += sizeof n;
@@ -368,30 +398,31 @@ class Context {
     return blob;
   }
 
-  /// Inverse of pack_vectors: slot `skip` is left empty for the caller to
-  /// fill (its own moved contribution).
+  /// Inverse of pack_ring: fills slots start, start+1, ... (mod np) of
+  /// `vs` from the blob's frames.
   template <typename T>
-  static std::vector<std::vector<T>> unpack_vectors(
-      std::span<const std::byte> blob, int np, int skip = -1) {
-    std::vector<std::vector<T>> vs(static_cast<std::size_t>(np));
+  static void unpack_ring(std::span<const std::byte> blob,
+                          std::vector<std::vector<T>>& vs, int start,
+                          int count, int np) {
     std::size_t off = 0;
-    for (int k = 0; k < np; ++k) {
-      if (k == skip) continue;
-      auto& v = vs[static_cast<std::size_t>(k)];
+    for (int j = 0; j < count; ++j) {
+      auto& v = vs[static_cast<std::size_t>((start + j) % np)];
       std::uint64_t n = 0;
       if (off + sizeof n > blob.size()) {
-        throw std::runtime_error("unpack_vectors: truncated blob");
+        throw std::runtime_error("unpack_ring: truncated blob");
       }
       std::memcpy(&n, blob.data() + off, sizeof n);
       off += sizeof n;
       if (off + n * sizeof(T) > blob.size()) {
-        throw std::runtime_error("unpack_vectors: truncated payload");
+        throw std::runtime_error("unpack_ring: truncated payload");
       }
       v.resize(n);
       if (n != 0) std::memcpy(v.data(), blob.data() + off, n * sizeof(T));
       off += n * sizeof(T);
     }
-    return vs;
+    if (off != blob.size()) {
+      throw std::runtime_error("unpack_ring: trailing bytes in blob");
+    }
   }
 
   Machine* m_;

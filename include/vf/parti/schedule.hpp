@@ -25,6 +25,7 @@
 
 #include "vf/dist/distribution.hpp"
 #include "vf/dist/registry.hpp"
+#include "vf/halo/spec.hpp"
 #include "vf/msg/context.hpp"
 #include "vf/rt/dist_array.hpp"
 
@@ -42,6 +43,17 @@ class Schedule {
   Schedule(msg::Context& ctx, dist::DistHandle target,
            std::vector<dist::IndexVec> points);
 
+  /// Inspector that reuses the target's halo runs for overlap-area reads:
+  /// points owned by a neighbour but lying inside this rank's *filled*
+  /// ghost region under (target, halo) -- the planes a preceding
+  /// exchange_overlap() made current -- are satisfied from local ghost
+  /// storage instead of travelling in the executor exchange.  The caller
+  /// guarantees ghosts are current (exchange_overlap() since the last
+  /// write); halo-satisfied points are read-only, so scatter executors
+  /// reject schedules that carry any.
+  Schedule(msg::Context& ctx, dist::DistHandle target,
+           std::vector<dist::IndexVec> points, halo::HaloHandle halo);
+
   /// Number of points this rank requested.
   [[nodiscard]] std::size_t n_points() const noexcept { return n_points_; }
   /// Number of distinct off-processor elements this rank touches per
@@ -52,6 +64,10 @@ class Schedule {
   /// Number of points satisfied locally.
   [[nodiscard]] std::size_t n_local() const noexcept {
     return local_linear_.size();
+  }
+  /// Number of points satisfied from the overlap (ghost) area.
+  [[nodiscard]] std::size_t n_halo() const noexcept {
+    return halo_linear_.size();
   }
 
   /// Executor: fills out[k] with the value of the k-th requested point.
@@ -81,6 +97,11 @@ class Schedule {
                                       req_unique_counts_));
     for (std::size_t k = 0; k < local_linear_.size(); ++k) {
       out[local_positions_[k]] = data[bound.local_off[k]];
+    }
+    // Overlap-area reads: served from ghost storage the preceding halo
+    // exchange already filled -- no transport at all.
+    for (std::size_t k = 0; k < halo_linear_.size(); ++k) {
+      out[halo_positions_[k]] = data[bound.halo_off[k]];
     }
     // Fan replies out to every occurrence.
     for (int p = 0; p < np; ++p) {
@@ -134,6 +155,11 @@ class Schedule {
   void exec_scatter(msg::Context& ctx, std::span<const T> in,
                     rt::DistArray<T>& dst, bool accumulate) const {
     check_size(in.size());
+    if (!halo_linear_.empty()) {
+      throw std::logic_error(
+          "Schedule: halo-satisfied points are read-only; scatter needs a "
+          "schedule built without a halo spec");
+    }
     const Binding& bound = bind(dst);
     const int np = ctx.nprocs();
     // Requester-side combining: one slot per unique remote element.
@@ -196,6 +222,7 @@ class Schedule {
     dist::DistHandle dist;
     std::vector<std::size_t> serve_off;  ///< parallel to serve_linear_
     std::vector<std::size_t> local_off;  ///< parallel to local_linear_
+    std::vector<std::size_t> halo_off;   ///< parallel to halo_linear_
   };
 
  public:
@@ -244,6 +271,13 @@ class Schedule {
   // Locally satisfied points (linearized) and their buffer positions.
   std::vector<dist::Index> local_linear_;
   std::vector<std::size_t> local_positions_;
+
+  // Overlap-area (ghost) satisfied points: owned by a neighbour but
+  // current in this rank's filled halo region, so gathers read them
+  // locally.  Only populated by the halo-aware constructor.
+  std::vector<dist::Index> halo_linear_;
+  std::vector<std::size_t> halo_positions_;
+  halo::HaloHandle halo_;
 
   // Pre-agreed per-peer count of values arriving during a scatter (the
   // serve-slice sizes, cached as one vector for alltoallv_known).

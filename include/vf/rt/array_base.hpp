@@ -172,6 +172,12 @@ class DistArrayBase {
   [[nodiscard]] const dist::DistHandle& dist_handle() const noexcept {
     return dist_;
   }
+  /// The array's interned overlap description (never null): together with
+  /// dist_handle() it keys the Env's halo-plan cache, and PARTI schedule
+  /// bindings compare it by identity to validate overlap-area reads.
+  [[nodiscard]] const halo::HaloHandle& halo_spec() const noexcept {
+    return halo_;
+  }
   /// This rank's local layout under the current distribution.
   [[nodiscard]] const dist::LocalLayout& layout() const {
     if (!dist_) throw NotDistributedError(name_);
@@ -227,6 +233,23 @@ class DistArrayBase {
     return alloc_total_;
   }
 
+  /// Storage offset for a halo-readable element (bounds-checked against
+  /// the overlap widths): the access function overlap-area reads -- the
+  /// halo() accessor and PARTI halo bindings -- translate through.
+  [[nodiscard]] dist::Index halo_offset(const dist::IndexVec& i) const {
+    if (!dist_) throw NotDistributedError(name_);
+    dist::Index off = 0;
+    for (int d = 0; d < dom_.rank(); ++d) {
+      const dist::Index l = dim_local(d, i[d]);
+      if (l < -ghost_lo_[d] || l >= layout_.counts[d] + ghost_hi_[d]) {
+        throw std::out_of_range("halo access outside overlap area of " +
+                                name_);
+      }
+      off += (l + ghost_lo_[d]) * alloc_strides_[d];
+    }
+    return off;
+  }
+
  protected:
   DistArrayBase(Env& env, std::string name, dist::IndexDomain dom,
                 bool dynamic, query::RangeSpec range,
@@ -273,21 +296,6 @@ class DistArrayBase {
       return g - seg_lo_[d];
     }
     return dist_->dim_map(d).local_of(g);
-  }
-
-  /// Storage offset for halo-readable element (bounds-checked).
-  [[nodiscard]] dist::Index halo_offset(const dist::IndexVec& i) const {
-    if (!dist_) throw NotDistributedError(name_);
-    dist::Index off = 0;
-    for (int d = 0; d < dom_.rank(); ++d) {
-      const dist::Index l = dim_local(d, i[d]);
-      if (l < -ghost_lo_[d] || l >= layout_.counts[d] + ghost_hi_[d]) {
-        throw std::out_of_range("halo access outside overlap area of " +
-                                name_);
-      }
-      off += (l + ghost_lo_[d]) * alloc_strides_[d];
-    }
-    return off;
   }
 
   /// Precondition checks shared by both distribute() entry points.
@@ -338,6 +346,7 @@ class DistArrayBase {
   query::RangeSpec range_;
   dist::DistHandle dist_;
   dist::LocalLayout layout_;
+  halo::HaloHandle halo_;
   std::shared_ptr<ConnectClass> cclass_;
 
   // Storage geometry under the current distribution.

@@ -65,6 +65,9 @@ class DistArray final : public DistArrayBase {
     /// widths require the dimension's distribution to be contiguous.
     dist::IndexVec overlap_lo;
     dist::IndexVec overlap_hi;
+    /// Whether diagonal (corner) ghost regions are exchanged too -- the
+    /// OVERLAP shape a 9-point stencil needs.  Faces only by default.
+    bool overlap_corners = false;
   };
 
   /// Declares a primary (or static) array.
@@ -205,10 +208,13 @@ class DistArray final : public DistArrayBase {
   // ---- overlap areas -------------------------------------------------------
 
   /// Exchanges overlap areas with segment neighbours in every dimension
-  /// with non-zero ghost widths (collective).  Faces only; corners are not
-  /// exchanged.  Whole innermost-dimension runs are packed and unpacked
-  /// with memcpy, and the exchange uses exact expected counts (no count
-  /// collective).
+  /// with non-zero ghost widths (collective); with overlap_corners set,
+  /// diagonal regions travel in the same exchange.  The pack/unpack run
+  /// lists come from the Env's halo-plan cache keyed on this array's
+  /// (DistHandle, HaloSpec) uid pair: a repeat exchange under an
+  /// unchanged distribution replays memcpy runs with pre-agreed counts
+  /// (no count collective, no index-list rebuild); a DISTRIBUTE swaps the
+  /// handle and thereby the plan.
   void exchange_overlap();
 
   // ---- redistribution plan cache ------------------------------------------
@@ -242,6 +248,8 @@ class DistArray final : public DistArrayBase {
     }
     ghost_lo_ = normalize_ghost(spec.overlap_lo);
     ghost_hi_ = normalize_ghost(spec.overlap_hi);
+    halo_ = env.registry().intern(
+        halo::HaloSpec(ghost_lo_, ghost_hi_, spec.overlap_corners));
 
     if (connect) {
       // Secondary: adopt a distribution derived from the primary if the
@@ -478,76 +486,6 @@ class DistArray final : public DistArrayBase {
     return T{};
   }
 
-  // ---- overlap exchange helpers -------------------------------------------
-
-  /// Next section coordinate at or beyond `c` (exclusive) in direction
-  /// `step` with a non-empty owned count in dimension d, or -1.
-  [[nodiscard]] int neighbour_coord(int d, int c, int step) const {
-    const auto& m = dist_->dim_map(d);
-    for (int x = c + step; x >= 0 && x < m.nprocs(); x += step) {
-      if (m.count_on(x) > 0) return x;
-    }
-    return -1;
-  }
-
-  [[nodiscard]] int rank_with_coord(int d, int coord) const {
-    const auto& a = dist_->rank_affine();
-    const dist::Index delta =
-        (static_cast<dist::Index>(coord) - layout_.coords[d]) *
-        a.stride[static_cast<std::size_t>(d)];
-    return static_cast<int>(env_->rank() + delta);
-  }
-
-  /// Calls fn(offset, length) for every maximal innermost-dimension
-  /// contiguous storage run of the slab where dim-d local coordinates
-  /// (possibly in ghost space: negative or >= count) span [from,
-  /// from+width) and the other dimensions cover their owned extents.
-  template <typename F>
-  void for_each_slab_run(int d, dist::Index from, dist::Index width,
-                         F&& fn) const {
-    const int r = dom_.rank();
-    const dist::Index len0 = d == 0 ? width : layout_.counts[0];
-    const dist::Index base0 = d == 0 ? from : 0;
-    if (len0 <= 0 || width <= 0) return;
-    std::array<dist::Index, dist::kMaxRank> pos{};
-    for (;;) {
-      dist::Index off = (base0 + ghost_lo_[0]) * alloc_strides_[0];
-      for (int e = 1; e < r; ++e) {
-        const dist::Index l =
-            e == d ? from + pos[static_cast<std::size_t>(e)]
-                   : pos[static_cast<std::size_t>(e)];
-        off += (l + ghost_lo_[e]) * alloc_strides_[e];
-      }
-      fn(off, len0);
-      int e = 1;
-      for (; e < r; ++e) {
-        const dist::Index limit = e == d ? width : layout_.counts[e];
-        if (++pos[static_cast<std::size_t>(e)] < limit) break;
-        pos[static_cast<std::size_t>(e)] = 0;
-      }
-      if (e == r) break;
-    }
-  }
-
-  /// Copies the slab into `dst + cur` run by run (memcpy), advancing cur.
-  void pack_slab(int d, dist::Index from, dist::Index width, T* dst,
-                 std::size_t& cur) const {
-    for_each_slab_run(d, from, width, [&](dist::Index off, dist::Index len) {
-      std::memcpy(dst + cur, local_.data() + off,
-                  static_cast<std::size_t>(len) * sizeof(T));
-      cur += static_cast<std::size_t>(len);
-    });
-  }
-
-  void unpack_slab(int d, dist::Index from, dist::Index width, const T* src,
-                   std::size_t& cur) {
-    for_each_slab_run(d, from, width, [&](dist::Index off, dist::Index len) {
-      std::memcpy(local_.data() + off, src + cur,
-                  static_cast<std::size_t>(len) * sizeof(T));
-      cur += static_cast<std::size_t>(len);
-    });
-  }
-
   struct PlanEntry {
     // The handles pin the interned distributions (and therefore the uid
     // pair the key was built from) for the lifetime of the entry.
@@ -559,6 +497,9 @@ class DistArray final : public DistArrayBase {
   static constexpr std::size_t kFragmentedPlanCapacity = 2;
 
   std::vector<T> local_;
+  // Persistent halo-exchange pack scratch (see exchange_overlap).
+  std::vector<std::vector<T>> halo_pack_scratch_;
+  std::vector<std::size_t> halo_cursor_scratch_;
   std::unordered_map<std::uint64_t, PlanEntry> plan_cache_;
   std::vector<std::uint64_t> plan_order_;  ///< insertion order for eviction
   bool plan_cache_enabled_ = true;
@@ -568,102 +509,44 @@ class DistArray final : public DistArrayBase {
 
 template <typename T>
 void DistArray<T>::exchange_overlap() {
+  if (!dist_) throw NotDistributedError(name_);
   auto& ctx = env_->comm();
   const int np = ctx.nprocs();
-  std::vector<std::vector<T>> out(static_cast<std::size_t>(np));
-  std::vector<std::uint64_t> expect(static_cast<std::size_t>(np), 0);
-  struct Expect {
-    int src;
-    int d;
-    bool from_low;  // fills my low ghost
-    dist::Index width;
-  };
-  std::vector<Expect> expected;
-  struct Send {
-    int dest;
-    int d;
-    dist::Index from;
-    dist::Index width;
-  };
-  std::vector<Send> sends;
+  const std::shared_ptr<const halo::HaloPlan> plan =
+      env_->halo_plans().lookup_or_build(dist_, halo_, env_->rank(), np);
 
-  if (layout_.member && layout_.total > 0) {
-    for (int d = 0; d < dom_.rank(); ++d) {
-      if (ghost_lo_[d] == 0 && ghost_hi_[d] == 0) continue;
-      const dist::Index plane = layout_.total / layout_.counts[d];
-      const int c = static_cast<int>(layout_.coords[d]);
-      const int lo_n = neighbour_coord(d, c, -1);
-      const int hi_n = neighbour_coord(d, c, +1);
-      // Send my bottom ghost_hi planes to the low neighbour (they fill its
-      // high ghost) and my top ghost_lo planes to the high neighbour.
-      if (lo_n >= 0 && ghost_hi_[d] > 0) {
-        const dist::Index w = std::min<dist::Index>(ghost_hi_[d],
-                                                    layout_.counts[d]);
-        sends.push_back(Send{rank_with_coord(d, lo_n), d, 0, w});
-      }
-      if (hi_n >= 0 && ghost_lo_[d] > 0) {
-        const dist::Index w = std::min<dist::Index>(ghost_lo_[d],
-                                                    layout_.counts[d]);
-        sends.push_back(
-            Send{rank_with_coord(d, hi_n), d, layout_.counts[d] - w, w});
-      }
-      // Expected widths are bounded by the *neighbour's* segment size: a
-      // neighbour owning fewer planes than the overlap width sends what it
-      // has (partial fill; faces only).
-      const auto& m = dist_->dim_map(d);
-      if (lo_n >= 0 && ghost_lo_[d] > 0) {
-        const dist::Index w =
-            std::min<dist::Index>(ghost_lo_[d], m.count_on(lo_n));
-        if (w > 0) {
-          const int src = rank_with_coord(d, lo_n);
-          expected.push_back(Expect{src, d, true, w});
-          expect[static_cast<std::size_t>(src)] +=
-              static_cast<std::uint64_t>(w * plane);
-        }
-      }
-      if (hi_n >= 0 && ghost_hi_[d] > 0) {
-        const dist::Index w =
-            std::min<dist::Index>(ghost_hi_[d], m.count_on(hi_n));
-        if (w > 0) {
-          const int src = rank_with_coord(d, hi_n);
-          expected.push_back(Expect{src, d, false, w});
-          expect[static_cast<std::size_t>(src)] +=
-              static_cast<std::uint64_t>(w * plane);
-        }
-      }
-    }
-    // Counting pass: size every outgoing buffer exactly once.
-    std::vector<std::size_t> send_total(static_cast<std::size_t>(np), 0);
-    for (const Send& s : sends) {
-      send_total[static_cast<std::size_t>(s.dest)] += static_cast<std::size_t>(
-          s.width * (layout_.total / layout_.counts[s.d]));
-    }
-    for (int p = 0; p < np; ++p) {
-      out[static_cast<std::size_t>(p)].resize(
-          send_total[static_cast<std::size_t>(p)]);
-    }
-    std::vector<std::size_t> cur(static_cast<std::size_t>(np), 0);
-    for (const Send& s : sends) {
-      pack_slab(s.d, s.from, s.width,
-                out[static_cast<std::size_t>(s.dest)].data(),
-                cur[static_cast<std::size_t>(s.dest)]);
-    }
+  // Executor: one memcpy per run into exactly-sized buffers, one
+  // pre-counted all-to-all, one memcpy per run out -- no per-call
+  // neighbour analysis or index lists.  The pack buffers and cursors are
+  // persistent scratch: on a repeat exchange the resizes are no-ops, so
+  // the hot path performs no send-side allocation at all.
+  auto& out = halo_pack_scratch_;
+  out.resize(static_cast<std::size_t>(np));
+  for (int p = 0; p < np; ++p) {
+    out[static_cast<std::size_t>(p)].resize(static_cast<std::size_t>(
+        plan->send_counts[static_cast<std::size_t>(p)]));
+  }
+  auto& cur = halo_cursor_scratch_;
+  cur.assign(static_cast<std::size_t>(np), 0);
+  const T* src = local_.data();
+  for (const halo::HaloPlan::Run& run : plan->pack_runs) {
+    const auto peer = static_cast<std::size_t>(run.peer);
+    std::memcpy(out[peer].data() + cur[peer], src + run.offset,
+                run.length * sizeof(T));
+    cur[peer] += run.length;
   }
 
-  auto in = ctx.alltoallv_known(std::move(out),
-                                std::span<const std::uint64_t>(expect));
+  auto in = ctx.alltoallv_known_reuse(out,
+                                      std::span<const std::uint64_t>(
+                                          plan->recv_counts));
 
-  std::vector<std::size_t> cursor(static_cast<std::size_t>(np), 0);
-  for (const auto& e : expected) {
-    if (e.from_low) {
-      unpack_slab(e.d, -e.width, e.width,
-                  in[static_cast<std::size_t>(e.src)].data(),
-                  cursor[static_cast<std::size_t>(e.src)]);
-    } else {
-      unpack_slab(e.d, layout_.counts[e.d], e.width,
-                  in[static_cast<std::size_t>(e.src)].data(),
-                  cursor[static_cast<std::size_t>(e.src)]);
-    }
+  std::fill(cur.begin(), cur.end(), std::size_t{0});
+  T* dst = local_.data();
+  for (const halo::HaloPlan::Run& run : plan->unpack_runs) {
+    const auto peer = static_cast<std::size_t>(run.peer);
+    std::memcpy(dst + run.offset, in[peer].data() + cur[peer],
+                run.length * sizeof(T));
+    cur[peer] += run.length;
   }
 }
 

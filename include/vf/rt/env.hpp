@@ -11,6 +11,7 @@
 
 #include "vf/dist/processors.hpp"
 #include "vf/dist/registry.hpp"
+#include "vf/halo/plan.hpp"
 #include "vf/msg/context.hpp"
 
 namespace vf::rt {
@@ -54,6 +55,18 @@ class Env {
     return registry_;
   }
 
+  /// This rank's halo-plan cache, keyed on interned (DistHandle uid,
+  /// HaloSpec uid) pairs and shared by every array of this Env: two
+  /// arrays with the same descriptor pair (the smoothing ping-pong pair)
+  /// replay one plan.  Plans invalidate naturally on DISTRIBUTE because
+  /// the descriptor handle changes.
+  [[nodiscard]] halo::HaloPlanCache& halo_plans() noexcept {
+    return halo_plans_;
+  }
+  [[nodiscard]] const halo::HaloPlanCache& halo_plans() const noexcept {
+    return halo_plans_;
+  }
+
   /// Convenience interning of a distribution type over this Env's default
   /// section (or an explicit one).
   [[nodiscard]] dist::DistHandle intern(const dist::IndexDomain& dom,
@@ -75,6 +88,7 @@ class Env {
   msg::Context* ctx_;
   dist::ProcessorArray procs_;
   dist::DistRegistry registry_;
+  halo::HaloPlanCache halo_plans_;
   std::vector<DistArrayBase*> arrays_;
 };
 

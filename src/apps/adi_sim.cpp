@@ -15,6 +15,18 @@ using dist::Index;
 using dist::IndexDomain;
 using dist::IndexVec;
 
+/// Finishes a strategy run: the checksum reduction plus the machine-wide
+/// halo-plan counters every AdiResult reports.
+AdiResult finish(msg::Context& ctx, rt::Env& env, rt::DistArray<double>& v) {
+  const auto& cache = env.halo_plans().stats();
+  return AdiResult{
+      v.reduce(msg::ReduceOp::Sum),
+      static_cast<std::uint64_t>(ctx.allreduce(
+          static_cast<std::int64_t>(cache.hits), msg::ReduceOp::Sum)),
+      static_cast<std::uint64_t>(ctx.allreduce(
+          static_cast<std::int64_t>(cache.misses), msg::ReduceOp::Sum))};
+}
+
 void fill_rhs(rt::DistArray<double>& v, int iter) {
   v.for_owned([&](const IndexVec& i, double& x) {
     x = std::sin(0.01 * static_cast<double>(i[0] * (iter + 1))) +
@@ -61,7 +73,7 @@ AdiResult run_dynamic(msg::Context& ctx, const AdiConfig& cfg) {
     solve_local_lines(v, /*d=*/1, ctx.rank());  // y-lines local
     v.distribute(dist::DistributionType{dist::col(), dist::block()});
   }
-  return AdiResult{v.reduce(msg::ReduceOp::Sum)};
+  return finish(ctx, env, v);
 }
 
 AdiResult run_static_gather(msg::Context& ctx, const AdiConfig& cfg) {
@@ -93,7 +105,7 @@ AdiResult run_static_gather(msg::Context& ctx, const AdiConfig& cfg) {
     rows.scatter(ctx, buf, v);
     ctx.barrier();
   }
-  return AdiResult{v.reduce(msg::ReduceOp::Sum)};
+  return finish(ctx, env, v);
 }
 
 AdiResult run_two_copies(msg::Context& ctx, const AdiConfig& cfg) {
@@ -134,7 +146,7 @@ AdiResult run_two_copies(msg::Context& ctx, const AdiConfig& cfg) {
     }
     ctx.barrier();
   }
-  return AdiResult{v.reduce(msg::ReduceOp::Sum)};
+  return finish(ctx, env, v);
 }
 
 }  // namespace

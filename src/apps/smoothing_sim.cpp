@@ -19,10 +19,28 @@ int isqrt(int p) {
   return r;
 }
 
+/// One 9-point update at i; out-of-domain neighbours reuse the centre
+/// value, like the 5-point kernel.
+double smooth9(const rt::DistArray<double>& src, const IndexVec& i, Index n) {
+  const double c = src.at(i);
+  const auto rd = [&](Index di, Index dj) {
+    const Index x = i[0] + di;
+    const Index y = i[1] + dj;
+    if (x < 1 || x > n || y < 1 || y > n) return c;
+    return src.halo({x, y});
+  };
+  return smooth9_combine(c, rd(-1, 0), rd(+1, 0), rd(0, -1), rd(0, +1),
+                         rd(-1, -1), rd(-1, +1), rd(+1, -1), rd(+1, +1));
+}
+
 }  // namespace
 
 const char* to_string(SmoothLayout l) {
   return l == SmoothLayout::Columns ? "columns" : "grid2d";
+}
+
+const char* to_string(SmoothStencil s) {
+  return s == SmoothStencil::FivePoint ? "5pt" : "9pt";
 }
 
 SmoothResult run_smoothing(msg::Context& ctx, const SmoothConfig& cfg,
@@ -49,19 +67,25 @@ SmoothResult run_smoothing(msg::Context& ctx, const SmoothConfig& cfg,
     glo = {1, 1};
     ghi = {1, 1};
   }
+  // A 9-point step reads the diagonal neighbours too; on a 2-D block
+  // grid those live in corner ghost regions (on the column layout the
+  // first dimension is fully local, so faces already cover them).
+  const bool corners = cfg.stencil == SmoothStencil::NinePoint;
   rt::Env env(ctx, parr);
   rt::DistArray<double> a(env, {.name = "A",
                                 .domain = IndexDomain::of_extents({n, n}),
                                 .dynamic = true,
                                 .initial = type,
                                 .overlap_lo = glo,
-                                .overlap_hi = ghi});
+                                .overlap_hi = ghi,
+                                .overlap_corners = corners});
   rt::DistArray<double> b(env, {.name = "B",
                                 .domain = IndexDomain::of_extents({n, n}),
                                 .dynamic = true,
                                 .initial = type,
                                 .overlap_lo = glo,
-                                .overlap_hi = ghi});
+                                .overlap_hi = ghi,
+                                .overlap_corners = corners});
   a.init([n](const IndexVec& i) {
     return std::sin(0.07 * static_cast<double>(i[0])) *
            std::cos(0.05 * static_cast<double>(i[1])) +
@@ -72,17 +96,31 @@ SmoothResult run_smoothing(msg::Context& ctx, const SmoothConfig& cfg,
   rt::DistArray<double>* dst = &b;
   for (int s = 0; s < cfg.steps; ++s) {
     src->exchange_overlap();
-    dst->for_owned([&](const IndexVec& i, double& out) {
-      const double c = src->at(i);
-      const double w = i[0] > 1 ? src->halo({i[0] - 1, i[1]}) : c;
-      const double e = i[0] < n ? src->halo({i[0] + 1, i[1]}) : c;
-      const double so = i[1] > 1 ? src->halo({i[0], i[1] - 1}) : c;
-      const double no = i[1] < n ? src->halo({i[0], i[1] + 1}) : c;
-      out = 0.2 * (c + w + e + so + no);
-    });
+    if (cfg.stencil == SmoothStencil::FivePoint) {
+      dst->for_owned([&](const IndexVec& i, double& out) {
+        const double c = src->at(i);
+        const double w = i[0] > 1 ? src->halo({i[0] - 1, i[1]}) : c;
+        const double e = i[0] < n ? src->halo({i[0] + 1, i[1]}) : c;
+        const double so = i[1] > 1 ? src->halo({i[0], i[1] - 1}) : c;
+        const double no = i[1] < n ? src->halo({i[0], i[1] + 1}) : c;
+        out = 0.2 * (c + w + e + so + no);
+      });
+    } else {
+      dst->for_owned([&](const IndexVec& i, double& out) {
+        out = smooth9(*src, i, n);
+      });
+    }
     std::swap(src, dst);
   }
-  return SmoothResult{src->reduce(msg::ReduceOp::Sum)};
+  const auto& cache = env.halo_plans().stats();
+  const auto hits = static_cast<std::int64_t>(cache.hits);
+  const auto misses = static_cast<std::int64_t>(cache.misses);
+  return SmoothResult{
+      src->reduce(msg::ReduceOp::Sum),
+      static_cast<std::uint64_t>(
+          ctx.allreduce(hits, msg::ReduceOp::Sum)),
+      static_cast<std::uint64_t>(
+          ctx.allreduce(misses, msg::ReduceOp::Sum))};
 }
 
 double modeled_step_cost_us(SmoothLayout layout, Index n, int nprocs,

@@ -95,6 +95,29 @@ ProgramBuilder& ProgramBuilder::use(std::vector<std::string> arrays,
   return *this;
 }
 
+ProgramBuilder& ProgramBuilder::write(std::vector<std::string> arrays,
+                                      const std::string& label) {
+  for (const auto& a : arrays) {
+    if (p_.array(a) == nullptr) {
+      throw std::invalid_argument("write: undeclared array " + a);
+    }
+  }
+  append(Stmt{.kind = StmtKind::Use,
+              .arrays = std::move(arrays),
+              .writes = true,
+              .label = label});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::exchange_halo(const std::string& array,
+                                              const std::string& label) {
+  if (p_.array(array) == nullptr) {
+    throw std::invalid_argument("exchange_halo: undeclared array " + array);
+  }
+  append(Stmt{.kind = StmtKind::ExchangeHalo, .array = array, .label = label});
+  return *this;
+}
+
 ProgramBuilder& ProgramBuilder::call_unknown(std::vector<std::string> arrays) {
   append(Stmt{.kind = StmtKind::CallUnknown, .arrays = std::move(arrays)});
   return *this;

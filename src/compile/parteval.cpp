@@ -112,6 +112,12 @@ PartialEvalReport partial_eval(const Program& p, const ReachingResult& r) {
         }
       }
     }
+    if (n.stmt.kind == StmtKind::ExchangeHalo) {
+      const DistSet& before = r.plausible(n.id, n.stmt.array);
+      if (before.halo_fresh || (before.halo && before.halo->empty())) {
+        report.redundant_halo_exchanges.push_back(n.id);
+      }
+    }
     if (n.stmt.kind == StmtKind::Use) {
       for (const auto& a : n.stmt.arrays) {
         if (r.plausible(n.id, a).undistributed) {

@@ -23,6 +23,14 @@ void DistSet::add(const PatternHandle& h) {
 void DistSet::merge(const DistSet& o) {
   undistributed = undistributed || o.undistributed;
   for (const auto& t : o.types) add(t);
+  // Freshness is a must-property: the ghosts are current only if every
+  // joining path left them current.
+  halo_fresh = halo_fresh && o.halo_fresh;
+  if (!halo) {
+    halo = o.halo;
+  } else if (o.halo && !(*halo == *o.halo)) {
+    halo.reset();
+  }
 }
 
 bool DistSet::is_widened() const {
@@ -40,6 +48,11 @@ std::string DistSet::to_string() const {
   for (const auto& t : types) {
     if (!first) os << ", ";
     os << t->to_string();
+    first = false;
+  }
+  if (halo) {
+    if (!first) os << ", ";
+    os << halo->to_string() << (halo_fresh ? "/fresh" : "/stale");
     first = false;
   }
   os << "}";
@@ -66,26 +79,38 @@ State transfer(const Program& p, const Node& n, State s,
   switch (n.stmt.kind) {
     case StmtKind::Distribute: {
       // Strong update: after DISTRIBUTE the (only) plausible type is the
-      // statement's (possibly partially unknown) type.
+      // statement's (possibly partially unknown) type.  Redistribution
+      // reallocates ghost storage, so any overlap freshness is lost (the
+      // declared spec itself is a property of the array and survives).
       DistSet d;
       d.undistributed = false;
       d.add(n.stmt.dist);
+      const auto it = s.find(n.stmt.array);
+      if (it != s.end()) d.halo = it->second.halo;
       s[n.stmt.array] = std::move(d);
       break;
     }
     case StmtKind::Assume: {
       // DCASE arm entry: the selector matched the arm's pattern, so prune
       // plausible types that cannot match, and the selector was
-      // necessarily distributed.
+      // necessarily distributed.  Analysis-only: ghosts are untouched.
       auto it = s.find(n.stmt.array);
       if (it != s.end()) {
         DistSet d;
         d.undistributed = false;
+        d.halo = it->second.halo;
+        d.halo_fresh = it->second.halo_fresh;
         for (const auto& t : it->second.types) {
           if (n.stmt.dist.may_match(t)) d.add(t);
         }
         it->second = std::move(d);
       }
+      break;
+    }
+    case StmtKind::ExchangeHalo: {
+      // The exchange makes every ghost plane current.
+      auto it = s.find(n.stmt.array);
+      if (it != s.end()) it->second.halo_fresh = true;
       break;
     }
     case StmtKind::CallUnknown: {
@@ -102,26 +127,43 @@ State transfer(const Program& p, const Node& n, State s,
         } else {
           d.add(AbstractDist::wildcard());
         }
+        const auto it = s.find(name);
+        if (it != s.end()) d.halo = it->second.halo;
         s[name] = std::move(d);
       }
       break;
     }
     case StmtKind::CallProc: {
       // Interprocedural: the callee's exit sets flow back to the actuals
-      // (Vienna Fortran returns the new distribution to the caller).
+      // (Vienna Fortran returns the new distribution to the caller).  The
+      // callee may have written the actuals, so halo freshness is lost;
+      // the caller's declared spec is kept.
       auto& cached = summaries.at(static_cast<std::size_t>(n.stmt.proc));
       if (!cached) {
         cached = summarize_procedure(p.procedure(n.stmt.proc));
       }
       for (std::size_t k = 0; k < n.stmt.arrays.size(); ++k) {
-        s[n.stmt.arrays[k]] = cached->exit_sets.at(k);
+        DistSet d = cached->exit_sets.at(k);
+        const auto it = s.find(n.stmt.arrays[k]);
+        if (it != s.end()) d.halo = it->second.halo;
+        d.halo_fresh = false;
+        s[n.stmt.arrays[k]] = std::move(d);
+      }
+      break;
+    }
+    case StmtKind::Use: {
+      // A storing reference invalidates overlap freshness.
+      if (n.stmt.writes) {
+        for (const auto& name : n.stmt.arrays) {
+          auto it = s.find(name);
+          if (it != s.end()) it->second.halo_fresh = false;
+        }
       }
       break;
     }
     case StmtKind::Entry:
     case StmtKind::Exit:
     case StmtKind::Nop:
-    case StmtKind::Use:
       break;
   }
   return s;
@@ -173,6 +215,7 @@ ReachingResult analyze_reaching(const Program& p,
     } else {
       d.undistributed = true;
     }
+    d.halo = a.halo;
     init[a.name] = std::move(d);
   }
   if (entry_override != nullptr) {

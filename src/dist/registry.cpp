@@ -148,10 +148,27 @@ ProcessorSectionPtr DistRegistry::intern_section(const ProcessorSection& s) {
   return p;
 }
 
+halo::HaloHandle DistRegistry::intern(const halo::HaloSpec& s) {
+  if (!enabled_) return halo::HaloHandle::wrap(s);
+  const std::uint64_t key = s.hash();
+  for (const halo::HaloHandle& cand : halos_[key]) {
+    if (*cand == s) {
+      ++stats_.halo_spec_hits;
+      return cand;
+    }
+  }
+  ++stats_.halo_spec_misses;
+  halo::HaloHandle h(std::make_shared<const halo::HaloSpec>(s),
+                     next_halo_uid_++);
+  halos_[key].push_back(h);
+  return h;
+}
+
 void DistRegistry::clear() {
   dists_.clear();
   dim_maps_.clear();
   sections_.clear();
+  halos_.clear();
   n_dists_ = 0;
 }
 

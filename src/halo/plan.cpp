@@ -1,0 +1,276 @@
+#include "vf/halo/plan.hpp"
+
+#include <array>
+#include <atomic>
+#include <stdexcept>
+
+namespace vf::halo {
+
+namespace {
+
+using dist::Index;
+using dist::kMaxRank;
+
+std::atomic<std::uint64_t> g_builds{0};
+
+/// Nearest coordinate at or beyond `c` (exclusive) in direction `step`
+/// with a non-empty owned count in the map, or -1.
+int neighbour_coord(const dist::DimMap& m, int c, int step) {
+  for (int x = c + step; x >= 0 && x < m.nprocs(); x += step) {
+    if (m.count_on(x) > 0) return x;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::uint64_t HaloPlan::builds() noexcept {
+  return g_builds.load(std::memory_order_relaxed);
+}
+
+HaloPlan HaloPlan::build(const dist::Distribution& d, const HaloSpec& spec,
+                         int me, int np) {
+  g_builds.fetch_add(1, std::memory_order_relaxed);
+  HaloPlan plan;
+  plan.send_counts.assign(static_cast<std::size_t>(np), 0);
+  plan.recv_counts.assign(static_cast<std::size_t>(np), 0);
+
+  const int r = d.domain().rank();
+  if (spec.rank() != 0 && spec.rank() != r) {
+    throw std::invalid_argument(
+        "HaloPlan: spec rank does not match the distribution");
+  }
+  const dist::LocalLayout L = d.layout_for(me);
+  if (!L.member || L.total == 0) return plan;
+
+  // Ghost widths and the ghost-padded column-major storage geometry this
+  // plan's offsets address (the same shape DistArrayBase allocates).
+  std::array<Index, kMaxRank> glo{};
+  std::array<Index, kMaxRank> ghi{};
+  std::array<Index, kMaxRank> stride{};
+  Index total_alloc = 1;
+  bool any_ghost = false;
+  for (int dd = 0; dd < r; ++dd) {
+    glo[static_cast<std::size_t>(dd)] = spec.rank() == 0 ? 0 : spec.lo(dd);
+    ghi[static_cast<std::size_t>(dd)] = spec.rank() == 0 ? 0 : spec.hi(dd);
+    if (glo[static_cast<std::size_t>(dd)] > 0 ||
+        ghi[static_cast<std::size_t>(dd)] > 0) {
+      any_ghost = true;
+      if (!d.dim_map(dd).contiguous()) {
+        throw std::invalid_argument(
+            "HaloPlan: overlap areas require a contiguous distribution in "
+            "dimension " +
+            std::to_string(dd));
+      }
+    }
+    stride[static_cast<std::size_t>(dd)] = total_alloc;
+    total_alloc *= L.counts[dd] + glo[static_cast<std::size_t>(dd)] +
+                   ghi[static_cast<std::size_t>(dd)];
+  }
+  if (!any_ghost) return plan;
+
+  const dist::RankAffine& affine = d.rank_affine();
+  const auto rank_of = [&](const std::array<int, kMaxRank>& coords) {
+    Index delta = 0;
+    for (int dd = 0; dd < r; ++dd) {
+      delta += (static_cast<Index>(coords[static_cast<std::size_t>(dd)]) -
+                L.coords[dd]) *
+               affine.stride[static_cast<std::size_t>(dd)];
+    }
+    return static_cast<int>(me + delta);
+  };
+
+  // Emits one rectangular region (per-dimension local [from, from+width))
+  // as innermost-dimension runs, in local column-major order.  Both sides
+  // of every transfer enumerate ascending, so the per-pair sequences
+  // agree and only values travel.
+  const auto emit = [&](const std::array<Index, kMaxRank>& from,
+                        const std::array<Index, kMaxRank>& width, int peer,
+                        std::vector<Run>& runs,
+                        std::vector<std::uint64_t>& counts) {
+    Index total = 1;
+    for (int dd = 0; dd < r; ++dd) total *= width[static_cast<std::size_t>(dd)];
+    counts[static_cast<std::size_t>(peer)] +=
+        static_cast<std::uint64_t>(total);
+    std::array<Index, kMaxRank> pos{};
+    for (;;) {
+      Index off = (from[0] + glo[0]) * stride[0];
+      for (int e = 1; e < r; ++e) {
+        off += (from[static_cast<std::size_t>(e)] +
+                pos[static_cast<std::size_t>(e)] +
+                glo[static_cast<std::size_t>(e)]) *
+               stride[static_cast<std::size_t>(e)];
+      }
+      runs.push_back(Run{static_cast<std::size_t>(off),
+                         static_cast<std::size_t>(width[0]), peer});
+      int e = 1;
+      for (; e < r; ++e) {
+        if (++pos[static_cast<std::size_t>(e)] <
+            width[static_cast<std::size_t>(e)]) {
+          break;
+        }
+        pos[static_cast<std::size_t>(e)] = 0;
+      }
+      if (e >= r) break;
+    }
+  };
+
+  // Every non-zero direction vector in {-1, 0, +1}^r names one ghost
+  // region: faces have exactly one non-zero offset, corners more.  Each
+  // region is filled by the nearest rank owning planes in that direction,
+  // clipped to what it owns ("partial fill": a neighbour owning fewer
+  // planes than the overlap width sends what it has).  Distinct
+  // directions always name distinct peers, so each ordered pair moves at
+  // most one region -- one buffer, one message.
+  std::array<int, kMaxRank> s{};
+  for (int dd = 0; dd < r; ++dd) s[static_cast<std::size_t>(dd)] = -1;
+  const auto advance = [&]() {
+    for (int dd = 0; dd < r; ++dd) {
+      auto& x = s[static_cast<std::size_t>(dd)];
+      if (++x <= 1) return true;
+      x = -1;
+    }
+    return false;
+  };
+  do {
+    int nonzero = 0;
+    for (int dd = 0; dd < r; ++dd) nonzero += s[static_cast<std::size_t>(dd)] != 0;
+    if (nonzero == 0) continue;
+    if (nonzero > 1 && !spec.corners()) continue;
+
+    // Receiver role: the rank at direction s is my source; it fills my
+    // ghost region on side s.
+    {
+      bool valid = true;
+      std::array<Index, kMaxRank> from{};
+      std::array<Index, kMaxRank> width{};
+      std::array<int, kMaxRank> peer{};
+      for (int dd = 0; dd < r && valid; ++dd) {
+        const auto ud = static_cast<std::size_t>(dd);
+        const int c = static_cast<int>(L.coords[dd]);
+        peer[ud] = c;
+        if (s[ud] == 0) {
+          from[ud] = 0;
+          width[ud] = L.counts[dd];
+        } else {
+          const dist::DimMap& m = d.dim_map(dd);
+          const Index g = s[ud] < 0 ? glo[ud] : ghi[ud];
+          const int n = neighbour_coord(m, c, s[ud]);
+          if (g == 0 || n < 0) {
+            valid = false;
+            break;
+          }
+          const Index w = std::min<Index>(g, m.count_on(n));
+          if (w == 0) {
+            valid = false;
+            break;
+          }
+          peer[ud] = n;
+          from[ud] = s[ud] < 0 ? -w : L.counts[dd];
+          width[ud] = w;
+        }
+      }
+      if (valid) {
+        emit(from, width, rank_of(peer), plan.unpack_runs, plan.recv_counts);
+      }
+    }
+
+    // Sender role: the rank at direction s is my receiver; I fill its
+    // ghost region on the side facing me with my outermost owned planes.
+    {
+      bool valid = true;
+      std::array<Index, kMaxRank> from{};
+      std::array<Index, kMaxRank> width{};
+      std::array<int, kMaxRank> peer{};
+      for (int dd = 0; dd < r && valid; ++dd) {
+        const auto ud = static_cast<std::size_t>(dd);
+        const int c = static_cast<int>(L.coords[dd]);
+        peer[ud] = c;
+        if (s[ud] == 0) {
+          from[ud] = 0;
+          width[ud] = L.counts[dd];
+        } else {
+          // A receiver above me (s = +1) reads my top planes into its low
+          // ghost; a receiver below reads my bottom planes into its high
+          // ghost.
+          const dist::DimMap& m = d.dim_map(dd);
+          const Index g = s[ud] > 0 ? glo[ud] : ghi[ud];
+          const int n = neighbour_coord(m, c, s[ud]);
+          if (g == 0 || n < 0) {
+            valid = false;
+            break;
+          }
+          const Index w = std::min<Index>(g, L.counts[dd]);
+          if (w == 0) {
+            valid = false;
+            break;
+          }
+          peer[ud] = n;
+          from[ud] = s[ud] > 0 ? L.counts[dd] - w : 0;
+          width[ud] = w;
+        }
+      }
+      if (valid) {
+        emit(from, width, rank_of(peer), plan.pack_runs, plan.send_counts);
+      }
+    }
+  } while (advance());
+
+  return plan;
+}
+
+HaloFill filled_widths(const dist::Distribution& d, const HaloSpec& spec,
+                       int me) {
+  HaloFill f;
+  const int r = d.domain().rank();
+  f.lo = dist::IndexVec::filled(r, 0);
+  f.hi = dist::IndexVec::filled(r, 0);
+  f.corners = spec.corners();
+  const dist::LocalLayout L = d.layout_for(me);
+  f.member = L.member && L.total > 0;
+  if (!f.member || spec.rank() == 0) return f;
+  for (int dd = 0; dd < r; ++dd) {
+    const dist::DimMap& m = d.dim_map(dd);
+    const int c = static_cast<int>(L.coords[dd]);
+    if (spec.lo(dd) > 0) {
+      const int n = neighbour_coord(m, c, -1);
+      if (n >= 0) f.lo[dd] = std::min<Index>(spec.lo(dd), m.count_on(n));
+    }
+    if (spec.hi(dd) > 0) {
+      const int n = neighbour_coord(m, c, +1);
+      if (n >= 0) f.hi[dd] = std::min<Index>(spec.hi(dd), m.count_on(n));
+    }
+  }
+  return f;
+}
+
+std::shared_ptr<const HaloPlan> HaloPlanCache::lookup_or_build(
+    const dist::DistHandle& d, const HaloHandle& h, int me, int np) {
+  if (!d || !h) {
+    throw std::invalid_argument(
+        "HaloPlanCache: null distribution or halo handle");
+  }
+  const bool cacheable = enabled_ && d.interned() && h.interned();
+  if (cacheable) {
+    const auto it = map_.find(key_of(d, h));
+    if (it != map_.end()) {
+      ++stats_.hits;
+      return it->second.plan;
+    }
+    ++stats_.misses;
+  }
+  auto plan =
+      std::make_shared<const HaloPlan>(HaloPlan::build(*d, *h, me, np));
+  if (cacheable) {
+    if (map_.size() >= kCapacity && !order_.empty()) {
+      map_.erase(order_.front());
+      order_.erase(order_.begin());
+    }
+    const std::uint64_t key = key_of(d, h);
+    order_.push_back(key);
+    map_.insert_or_assign(key, Entry{d, h, plan});
+  }
+  return plan;
+}
+
+}  // namespace vf::halo

@@ -1,0 +1,56 @@
+#include "vf/halo/spec.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace vf::halo {
+
+HaloSpec::HaloSpec(dist::IndexVec lo, dist::IndexVec hi, bool corners)
+    : lo_(lo), hi_(hi), corners_(corners) {
+  if (lo_.size() != hi_.size()) {
+    throw std::invalid_argument(
+        "HaloSpec: lo and hi widths must have the same rank");
+  }
+  for (dist::Index w : lo_) {
+    if (w < 0) throw std::invalid_argument("HaloSpec: negative low width");
+  }
+  for (dist::Index w : hi_) {
+    if (w < 0) throw std::invalid_argument("HaloSpec: negative high width");
+  }
+}
+
+HaloSpec HaloSpec::none(int rank) {
+  return HaloSpec(dist::IndexVec::filled(rank, 0),
+                  dist::IndexVec::filled(rank, 0), false);
+}
+
+bool HaloSpec::empty() const noexcept {
+  for (dist::Index w : lo_) {
+    if (w != 0) return false;
+  }
+  for (dist::Index w : hi_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+std::uint64_t HaloSpec::hash() const noexcept {
+  std::uint64_t h = dist::fnv1a(dist::kFnvBasis,
+                                static_cast<std::uint64_t>(lo_.size()));
+  for (dist::Index w : lo_) h = dist::fnv1a(h, static_cast<std::uint64_t>(w));
+  for (dist::Index w : hi_) h = dist::fnv1a(h, static_cast<std::uint64_t>(w));
+  return dist::fnv1a(h, corners_ ? 1u : 0u);
+}
+
+std::string HaloSpec::to_string() const {
+  std::ostringstream os;
+  os << "HALO(";
+  for (int d = 0; d < rank(); ++d) {
+    if (d) os << ", ";
+    os << lo_[d] << ":" << hi_[d];
+  }
+  os << (corners_ ? "; corners" : "") << ")";
+  return os.str();
+}
+
+}  // namespace vf::halo

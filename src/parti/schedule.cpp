@@ -3,11 +3,18 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "vf/halo/plan.hpp"
+
 namespace vf::parti {
 
 Schedule::Schedule(msg::Context& ctx, dist::DistHandle target,
                    std::vector<dist::IndexVec> points)
-    : target_(std::move(target)) {
+    : Schedule(ctx, std::move(target), std::move(points), halo::HaloHandle{}) {
+}
+
+Schedule::Schedule(msg::Context& ctx, dist::DistHandle target,
+                   std::vector<dist::IndexVec> points, halo::HaloHandle halo)
+    : halo_(std::move(halo)), target_(std::move(target)) {
   if (!target_) {
     throw std::invalid_argument("Schedule: null target distribution handle");
   }
@@ -18,6 +25,36 @@ Schedule::Schedule(msg::Context& ctx, dist::DistHandle target,
   occ_positions_.resize(static_cast<std::size_t>(np));
   occ_unique_index_.resize(static_cast<std::size_t>(np));
   req_unique_counts_.assign(static_cast<std::size_t>(np), 0);
+
+  // The filled ghost widths of (target, halo) on this rank: points inside
+  // them are current after an exchange_overlap(), so the inspector plants
+  // them in the halo-read list instead of requesting them remotely.
+  halo::HaloFill fill;
+  const bool use_halo = halo_ && !halo_->empty();
+  if (use_halo) fill = halo::filled_widths(*target_, *halo_, me);
+  const dist::LocalLayout L = target_->layout_for(me);
+  const auto halo_readable = [&](const dist::IndexVec& pt) {
+    if (!use_halo || !fill.member) return false;
+    int ghost_dims = 0;
+    for (int d = 0; d < dom_.rank(); ++d) {
+      const dist::DimMap& m = target_->dim_map(d);
+      const int c = static_cast<int>(L.coords[d]);
+      if (m.proc_of(pt[d]) == c) continue;  // owned in this dimension
+      if (!m.contiguous()) return false;
+      const auto seg = m.segment(c);
+      if (!seg) return false;
+      if (pt[d] < seg->lo && seg->lo - pt[d] <= fill.lo[d]) {
+        ++ghost_dims;
+        continue;
+      }
+      if (pt[d] > seg->hi && pt[d] - seg->hi <= fill.hi[d]) {
+        ++ghost_dims;
+        continue;
+      }
+      return false;
+    }
+    return ghost_dims == 1 || (ghost_dims > 1 && fill.corners);
+  };
 
   // Group this rank's requests by owner and deduplicate per owner, in
   // order of first occurrence.  Only the unique linear ids travel.
@@ -32,6 +69,11 @@ Schedule::Schedule(msg::Context& ctx, dist::DistHandle target,
     if (p == me) {
       local_linear_.push_back(lin);
       local_positions_.push_back(k);
+      continue;
+    }
+    if (halo_readable(pt)) {
+      halo_linear_.push_back(lin);
+      halo_positions_.push_back(k);
       continue;
     }
     const auto up = static_cast<std::size_t>(p);
@@ -93,6 +135,15 @@ const Schedule::Binding& Schedule::bind(const rt::DistArrayBase& a) const {
         "'s distribution does not match the inspected target (was the "
         "array redistributed since the inspector ran?)");
   }
+  // Halo-satisfied reads address the array's ghost storage, so its
+  // overlap description must be the inspected one -- one pointer compare
+  // thanks to interning.
+  if (!halo_linear_.empty() && a.halo_spec() != halo_) {
+    throw std::logic_error(
+        "Schedule: array " + a.name() +
+        "'s halo spec does not match the one this schedule was inspected "
+        "with");
+  }
   ++binding_misses_;
   Binding b;
   b.array_serial = a.serial();
@@ -106,6 +157,11 @@ const Schedule::Binding& Schedule::bind(const rt::DistArrayBase& a) const {
   for (std::size_t k = 0; k < local_linear_.size(); ++k) {
     b.local_off[k] = static_cast<std::size_t>(
         a.storage_offset(dom_.delinearize(local_linear_[k])));
+  }
+  b.halo_off.resize(halo_linear_.size());
+  for (std::size_t k = 0; k < halo_linear_.size(); ++k) {
+    b.halo_off[k] = static_cast<std::size_t>(
+        a.halo_offset(dom_.delinearize(halo_linear_[k])));
   }
   if (bindings_.size() >= kBindingCapacity) bindings_.pop_back();
   bindings_.insert(bindings_.begin(), std::move(b));

@@ -18,6 +18,8 @@ using query::TypePattern;
 AbstractDist blockT() { return TypePattern{p_block()}; }
 AbstractDist cyclicT(dist::Index k) { return TypePattern{p_cyclic(k)}; }
 
+halo::HaloSpec halo1() { return halo::HaloSpec({1}, {1}, false); }
+
 TEST(EvalIdt, ThreeWayVerdicts) {
   DistSet s;
   s.add(blockT());
@@ -190,6 +192,115 @@ TEST(PartialEval, AdiPatternStaysPrecise) {
   auto report = partial_eval(p, r);
   EXPECT_EQ(report.dcases[0].arms[0], ArmVerdict::Never);
   EXPECT_EQ(report.dcases[0].arms[1], ArmVerdict::Always);
+}
+
+/// Halo redundancy: a second exchange with only reads in between is
+/// provably redundant; a write or a DISTRIBUTE in between makes the next
+/// exchange necessary again.
+TEST(PartialEvalHalo, BackToBackExchangeIsRedundant) {
+  ProgramBuilder b;
+  b.declare({.name = "A",
+             .rank = 1,
+             .dynamic = true,
+             .initial = blockT(),
+             .halo = halo1()})
+      .exchange_halo("A", "x1")
+      .use({"A"}, "read")
+      .exchange_halo("A", "x2")
+      .write({"A"}, "store")
+      .exchange_halo("A", "x3")
+      .distribute("A", cyclicT(2))
+      .exchange_halo("A", "x4");
+  Program p = b.build();
+  auto r = analyze_reaching(p);
+  auto report = partial_eval(p, r);
+  // Only x2 (reads since x1) is redundant; x1 starts stale, x3 follows a
+  // write, and x4 follows a DISTRIBUTE (ghost storage reallocated).
+  ASSERT_EQ(report.redundant_halo_exchanges.size(), 1u);
+  EXPECT_EQ(report.redundant_halo_exchanges[0], p.find_label("x2"));
+  // The declared spec flows into the reaching sets.
+  const DistSet& at_read = r.plausible(p.find_label("read"), "A");
+  ASSERT_TRUE(at_read.halo.has_value());
+  EXPECT_EQ(*at_read.halo, halo1());
+  EXPECT_TRUE(at_read.halo_fresh);
+}
+
+TEST(PartialEvalHalo, JoinNeedsFreshnessOnEveryPath) {
+  // Only the then-branch exchanges: after the join the ghosts may be
+  // stale, so the following exchange is NOT redundant.
+  ProgramBuilder b;
+  b.declare({.name = "A",
+             .rank = 1,
+             .dynamic = true,
+             .initial = blockT(),
+             .halo = halo1()})
+      .if_else([](ProgramBuilder& t) { t.exchange_halo("A", "maybe"); })
+      .exchange_halo("A", "after_join");
+  Program p = b.build();
+  auto report = partial_eval(p, analyze_reaching(p));
+  EXPECT_TRUE(report.redundant_halo_exchanges.empty());
+
+  // Both branches exchanging makes the join fresh.
+  ProgramBuilder b2;
+  b2.declare({.name = "A",
+              .rank = 1,
+              .dynamic = true,
+              .initial = blockT(),
+              .halo = halo1()})
+      .if_else([](ProgramBuilder& t) { t.exchange_halo("A", "t"); },
+               [](ProgramBuilder& e) { e.exchange_halo("A", "e"); })
+      .exchange_halo("A", "after_join");
+  Program p2 = b2.build();
+  auto report2 = partial_eval(p2, analyze_reaching(p2));
+  ASSERT_EQ(report2.redundant_halo_exchanges.size(), 1u);
+  EXPECT_EQ(report2.redundant_halo_exchanges[0], p2.find_label("after_join"));
+}
+
+TEST(PartialEvalHalo, LoopBackEdgeInvalidatesFreshness) {
+  // The loop body writes after the exchange, so on the back edge the
+  // exchange's ghosts are stale again: the in-loop exchange is needed on
+  // every iteration (the classic stencil loop shape).
+  ProgramBuilder b;
+  b.declare({.name = "A",
+             .rank = 1,
+             .dynamic = true,
+             .initial = blockT(),
+             .halo = halo1()})
+      .loop([](ProgramBuilder& body) {
+        body.exchange_halo("A", "in_loop").write({"A"}, "update");
+      });
+  Program p = b.build();
+  auto report = partial_eval(p, analyze_reaching(p));
+  EXPECT_TRUE(report.redundant_halo_exchanges.empty());
+}
+
+TEST(PartialEvalHalo, OpaqueCallAndProcCallInvalidate) {
+  ProgramBuilder b;
+  b.declare({.name = "A",
+             .rank = 1,
+             .dynamic = true,
+             .initial = blockT(),
+             .halo = halo1()})
+      .exchange_halo("A", "x1")
+      .call_unknown({"A"})
+      .exchange_halo("A", "x2");
+  Program p = b.build();
+  auto report = partial_eval(p, analyze_reaching(p));
+  EXPECT_TRUE(report.redundant_halo_exchanges.empty());
+}
+
+TEST(PartialEvalHalo, EmptySpecExchangeIsTriviallyRedundant) {
+  ProgramBuilder b;
+  b.declare({.name = "A",
+             .rank = 1,
+             .dynamic = true,
+             .initial = blockT(),
+             .halo = halo::HaloSpec::none(1)})
+      .exchange_halo("A", "noop");
+  Program p = b.build();
+  auto report = partial_eval(p, analyze_reaching(p));
+  ASSERT_EQ(report.redundant_halo_exchanges.size(), 1u);
+  EXPECT_EQ(report.redundant_halo_exchanges[0], p.find_label("noop"));
 }
 
 }  // namespace

@@ -1,0 +1,256 @@
+// Tests for the first-class halo subsystem: HaloSpec interning through the
+// DistRegistry, run-based HaloPlans with corner (diagonal) exchange, and
+// the per-Env plan cache keyed on (DistHandle uid, HaloSpec uid) -- in
+// particular that a repeat exchange_overlap under an unchanged
+// distribution is a pure cache hit that rebuilds no index lists.
+#include <gtest/gtest.h>
+
+#include "spmd_test_util.hpp"
+#include "vf/halo/plan.hpp"
+#include "vf/rt/dist_array.hpp"
+
+namespace vf::rt {
+namespace {
+
+using dist::block;
+using dist::col;
+using dist::DistributionType;
+using dist::IndexDomain;
+using dist::IndexVec;
+using msg::Context;
+using testing::run_checked;
+using testing::SpmdChecker;
+
+TEST(HaloSpec, InterningIsIdentity) {
+  dist::DistRegistry reg;
+  const halo::HaloSpec s({1, 2}, {0, 1}, true);
+  const halo::HaloHandle h1 = reg.intern(s);
+  const halo::HaloHandle h2 = reg.intern(halo::HaloSpec({1, 2}, {0, 1}, true));
+  EXPECT_TRUE(h1 == h2);
+  EXPECT_EQ(h1.uid(), h2.uid());
+  EXPECT_NE(h1.uid(), 0u);
+  EXPECT_EQ(reg.stats().halo_spec_hits, 1u);
+  EXPECT_EQ(reg.stats().halo_spec_misses, 1u);
+
+  // The corners flag and each width participate in identity.
+  const halo::HaloHandle faces =
+      reg.intern(halo::HaloSpec({1, 2}, {0, 1}, false));
+  EXPECT_FALSE(h1 == faces);
+  EXPECT_NE(h1.uid(), faces.uid());
+}
+
+TEST(HaloSpec, ValidationRejectsBadWidths) {
+  EXPECT_THROW(halo::HaloSpec({1}, {1, 1}), std::invalid_argument);
+  EXPECT_THROW(halo::HaloSpec({-1}, {0}), std::invalid_argument);
+  EXPECT_TRUE(halo::HaloSpec::none(2).empty());
+  EXPECT_FALSE(halo::HaloSpec({0, 1}, {0, 0}).empty());
+}
+
+/// Satellite: repeat exchanges must be allocation-free on the planning
+/// path -- the second exchange_overlap is a cache hit that invokes
+/// HaloPlan::build zero times (no send/recv index-list rebuild).
+TEST(HaloPlanCache, RepeatExchangeDoesNotRebuildPlans) {
+  constexpr int kP = 4;
+  run_checked(kP, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<double> a(env, {.name = "A",
+                              .domain = IndexDomain::of_extents({32}),
+                              .dynamic = true,
+                              .initial = DistributionType{block()},
+                              .overlap_lo = {1},
+                              .overlap_hi = {1}});
+    a.init([](const IndexVec& i) { return static_cast<double>(i[0]); });
+
+    // Barrier-bracketed snapshot: every rank captures the process-wide
+    // build counter before any rank can reach its first exchange.
+    ctx.barrier();
+    const std::uint64_t builds0 = halo::HaloPlan::builds();
+    ctx.barrier();
+    a.exchange_overlap();
+    const auto& st = env.halo_plans().stats();
+    ck.check_eq(st.misses, std::uint64_t{1}, ctx.rank(), "first is a miss");
+    ck.check_eq(st.hits, std::uint64_t{0}, ctx.rank(), "no hit yet");
+
+    // Each rank built exactly one plan; the repeats build none.
+    a.exchange_overlap();
+    a.exchange_overlap();
+    ck.check_eq(st.misses, std::uint64_t{1}, ctx.rank(),
+                "repeat exchanges stay misses == 1");
+    ck.check_eq(st.hits, std::uint64_t{2}, ctx.rank(), "two hits");
+    ctx.barrier();
+    if (ctx.rank() == 0) {
+      // Machine-wide: kP builds total, all from the first exchange.
+      ck.check_eq(halo::HaloPlan::builds() - builds0,
+                  std::uint64_t{kP}, 0, "one build per rank, ever");
+    }
+    // Values are still exchanged correctly on the replayed plan.
+    const dist::Index lo = 8 * ctx.rank() + 1;
+    if (lo > 1) {
+      ck.check_eq(a.halo({lo - 1}), static_cast<double>(lo - 1), ctx.rank(),
+                  "low ghost value");
+    }
+  });
+}
+
+/// Two arrays with the same interned (distribution, spec) pair share one
+/// cached plan: the Env-level cache serves the smoothing ping-pong pair
+/// with a single inspector run.
+TEST(HaloPlanCache, CrossArrayPlanSharing) {
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    const DistArray<double>::Spec spec{
+        .name = "A",
+        .domain = IndexDomain::of_extents({32}),
+        .dynamic = true,
+        .initial = DistributionType{block()},
+        .overlap_lo = {1},
+        .overlap_hi = {1}};
+    DistArray<double> a(env, spec);
+    auto bspec = spec;
+    bspec.name = "B";
+    DistArray<double> b(env, bspec);
+    ck.check(a.dist_handle() == b.dist_handle(), ctx.rank(),
+             "interning shares the descriptor");
+    ck.check(a.halo_spec() == b.halo_spec(), ctx.rank(),
+             "interning shares the halo spec");
+    a.exchange_overlap();
+    b.exchange_overlap();
+    const auto& st = env.halo_plans().stats();
+    ck.check_eq(st.misses, std::uint64_t{1}, ctx.rank(),
+                "second array reuses the first's plan");
+    ck.check_eq(st.hits, std::uint64_t{1}, ctx.rank(), "one hit");
+  });
+}
+
+/// DISTRIBUTE swaps the descriptor handle, so the cached plan is keyed
+/// away naturally -- no explicit invalidation -- and the exchange under
+/// the new layout is correct.
+TEST(HaloPlanCache, DistributeInvalidatesByKey) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<double> a(env, {.name = "A",
+                              .domain = IndexDomain::of_extents({8, 8}),
+                              .dynamic = true,
+                              .initial = DistributionType{col(), block()},
+                              .overlap_lo = {0, 1},
+                              .overlap_hi = {0, 1}});
+    a.init([](const IndexVec& i) {
+      return static_cast<double>(100 * i[0] + i[1]);
+    });
+    a.exchange_overlap();
+    const auto& st = env.halo_plans().stats();
+    ck.check_eq(st.misses, std::uint64_t{1}, ctx.rank(), "first plan");
+    a.distribute(DistributionType{col(), dist::cyclic(4)});
+    a.exchange_overlap();
+    ck.check_eq(st.misses, std::uint64_t{2}, ctx.rank(),
+                "new handle, new plan");
+    // Ghost columns adjacent to the new segments carry neighbour values.
+    const dist::Index jb = ctx.rank() == 0 ? 5 : 4;
+    for (dist::Index i = 1; i <= 8; ++i) {
+      ck.check_eq(a.halo({i, jb}), static_cast<double>(100 * i + jb),
+                  ctx.rank(), "ghost after redistribute");
+    }
+  });
+}
+
+/// Corner exchange: on a 2x2 (BLOCK, BLOCK) grid with corners enabled,
+/// the diagonal ghost element is filled; with corners disabled it stays
+/// at its initialized value.
+TEST(HaloCorners, DiagonalGhostsFilledWhenRequested) {
+  for (const bool corners : {true, false}) {
+    run_checked(4, [corners](Context& ctx, SpmdChecker& ck) {
+      dist::ProcessorArray grid = dist::ProcessorArray::grid(2, 2);
+      Env env(ctx, grid);
+      DistArray<double> a(env, {.name = "A",
+                                .domain = IndexDomain::of_extents({8, 8}),
+                                .dynamic = true,
+                                .initial = DistributionType{block(), block()},
+                                .overlap_lo = {1, 1},
+                                .overlap_hi = {1, 1},
+                                .overlap_corners = corners});
+      a.init([](const IndexVec& i) {
+        return static_cast<double>(100 * i[0] + i[1]);
+      });
+      a.exchange_overlap();
+      // Every rank owns a 4x4 block; its inward diagonal neighbour exists.
+      const dist::Index x0 = ctx.rank() % 2 == 0 ? 4 : 5;  // my corner row
+      const dist::Index y0 = ctx.rank() / 2 == 0 ? 4 : 5;  // my corner col
+      const dist::Index dx = ctx.rank() % 2 == 0 ? 1 : -1;
+      const dist::Index dy = ctx.rank() / 2 == 0 ? 1 : -1;
+      const IndexVec diag{x0 + dx, y0 + dy};
+      ck.check(a.halo_readable(diag), ctx.rank(), "corner storage exists");
+      const double expect_filled =
+          static_cast<double>(100 * diag[0] + diag[1]);
+      if (corners) {
+        ck.check_eq(a.halo(diag), expect_filled, ctx.rank(),
+                    "diagonal ghost value");
+      } else {
+        ck.check_eq(a.halo(diag), 0.0, ctx.rank(),
+                    "faces-only leaves the corner unfilled");
+      }
+      // Face ghosts are filled either way.
+      ck.check_eq(a.halo({x0 + dx, y0}),
+                  static_cast<double>(100 * (x0 + dx) + y0), ctx.rank(),
+                  "face ghost value");
+    });
+  }
+}
+
+/// A neighbour owning fewer planes than the overlap width sends what it
+/// has (partial fill), for faces and corners alike; coordinates owning
+/// nothing are skipped when locating the neighbour.
+TEST(HaloCorners, PartialWidthsAndEmptySegments) {
+  run_checked(9, [](Context& ctx, SpmdChecker& ck) {
+    dist::ProcessorArray grid = dist::ProcessorArray::grid(3, 3);
+    Env env(ctx, grid);
+    // BLOCK on 4 elements over 3 coords: sizes 2, 2, 0 -- the last
+    // coordinate owns nothing in each dimension.
+    DistArray<double> a(env, {.name = "A",
+                              .domain = IndexDomain::of_extents({4, 4}),
+                              .dynamic = true,
+                              .initial = DistributionType{block(), block()},
+                              .overlap_lo = {2, 2},
+                              .overlap_hi = {2, 2},
+                              .overlap_corners = true});
+    a.init([](const IndexVec& i) {
+      return static_cast<double>(10 * i[0] + i[1]);
+    });
+    a.exchange_overlap();
+    const auto& L = a.layout();
+    if (L.member && L.total > 0) {
+      // Every in-domain neighbour within the exchanged widths is correct.
+      a.for_owned([&](const IndexVec& i, double&) {
+        for (dist::Index di = -2; di <= 2; ++di) {
+          for (dist::Index dj = -2; dj <= 2; ++dj) {
+            const IndexVec p{i[0] + di, i[1] + dj};
+            if (!a.domain().contains(p)) continue;
+            if (!a.halo_readable(p)) continue;
+            ck.check_eq(a.halo(p), static_cast<double>(10 * p[0] + p[1]),
+                        ctx.rank(), "value at " + p.to_string());
+          }
+        }
+      });
+    }
+  });
+}
+
+/// Arrays without overlap widths still make the (collective) exchange a
+/// cheap no-op, and plans for the empty spec move nothing.
+TEST(HaloPlanCache, EmptySpecExchangesNothing) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<int> a(env, {.name = "A",
+                           .domain = IndexDomain::of_extents({8}),
+                           .dynamic = true,
+                           .initial = DistributionType{block()}});
+    a.init([](const IndexVec& i) { return static_cast<int>(i[0]); });
+    const auto before = ctx.stats().data_messages;
+    a.exchange_overlap();
+    a.exchange_overlap();
+    ck.check_eq(ctx.stats().data_messages, before, ctx.rank(),
+                "no data traffic for the empty spec");
+  });
+}
+
+}  // namespace
+}  // namespace vf::rt

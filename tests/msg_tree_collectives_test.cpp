@@ -1,12 +1,14 @@
 // Tree-structured collectives: broadcast_vec and allreduce_vec run over
-// binomial trees, so no rank serializes P-1 messages and the modeled
+// binomial trees, and allgather_vec over a dissemination (Bruck)
+// schedule, so no rank serializes P-1 messages and the modeled
 // communication critical path drops from O(alpha * P) to
 // O(alpha * log2 P).  Correctness across roots, sizes and non-power-of-2
 // processor counts, plus cost-model assertions on the per-rank message
-// bound.
+// bound and the total round count.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 #include "spmd_test_util.hpp"
@@ -98,6 +100,81 @@ TEST(TreeCollectives, AllreduceCriticalPathIsLogP) {
         static_cast<double>(m.total_stats().ctl_messages),
         static_cast<double>(2 * (np - 1)));
   }
+}
+
+/// Dissemination allgather_vec: every rank ends up with every rank's
+/// contribution in rank order -- the same result the old rank-0
+/// fan-in/fan-out produced -- across non-power-of-two P, ragged sizes and
+/// empty contributions.
+TEST(TreeCollectives, AllgatherVecMatchesOldSemanticsAtAnyP) {
+  for (const int np : {1, 2, 3, 5, 6, 7, 12, 13}) {
+    run_checked(np, [np](Context& ctx, SpmdChecker& ck) {
+      const int r = ctx.rank();
+      // Ragged: rank r contributes r % 4 values 1000*r + k (rank 2 etc.
+      // contribute nothing when r % 4 == 0).
+      std::vector<int> mine;
+      for (int k = 0; k < r % 4; ++k) mine.push_back(1000 * r + k);
+      const auto all = ctx.allgather_vec(mine);
+      ck.check_eq(all.size(), static_cast<std::size_t>(np), r, "P slots");
+      for (int s = 0; s < np; ++s) {
+        const auto& got = all[static_cast<std::size_t>(s)];
+        ck.check_eq(got.size(), static_cast<std::size_t>(s % 4), r,
+                    "contribution size of rank " + std::to_string(s));
+        for (int k = 0; k < s % 4; ++k) {
+          ck.check_eq(got[static_cast<std::size_t>(k)], 1000 * s + k, r,
+                      "contribution value");
+        }
+      }
+    });
+  }
+}
+
+/// The dissemination schedule runs ceil(log2 P) rounds with exactly one
+/// send per rank per round: P * ceil(log2 P) messages machine-wide and an
+/// O(alpha log P) modeled critical path -- not the 2(P-1) messages the
+/// old implementation serialized through rank 0.
+TEST(TreeCollectives, AllgatherVecRoundCountIsLogP) {
+  for (const int np : {4, 5, 8, 12, 16, 32}) {
+    const CostModel cm{.alpha_us = 1.0, .beta_us_per_byte = 0.0};
+    Machine m(np, cm);
+    run_spmd(m, [](Context& ctx) {
+      (void)ctx.allgather_vec(std::vector<int>{ctx.rank()});
+    });
+    const double critical = m.max_rank_modeled_us();
+    EXPECT_LE(critical, static_cast<double>(ceil_log2(np))) << "P=" << np;
+    EXPECT_LT(critical, static_cast<double>(2 * (np - 1))) << "P=" << np;
+    EXPECT_DOUBLE_EQ(
+        static_cast<double>(m.total_stats().ctl_messages),
+        static_cast<double>(np * ceil_log2(np)));
+  }
+}
+
+/// alltoallv's count exchange rides on the dissemination allgather, so no
+/// collective in the Context serializes through rank 0 any more: with
+/// uniform per-pair payloads no rank's modeled time exceeds
+/// O(log P + payload sends).
+TEST(TreeCollectives, AlltoallvCountExchangeIsNotRankSerialized) {
+  const int np = 8;
+  const CostModel cm{.alpha_us = 1.0, .beta_us_per_byte = 0.0};
+  Machine m(np, cm);
+  run_spmd(m, [np](Context& ctx) {
+    std::vector<std::vector<int>> out(static_cast<std::size_t>(np));
+    for (int d = 0; d < np; ++d) {
+      out[static_cast<std::size_t>(d)] = {ctx.rank(), d};
+    }
+    auto in = ctx.alltoallv(std::move(out));
+    for (int s = 0; s < np; ++s) {
+      const auto& v = in[static_cast<std::size_t>(s)];
+      if (v.size() != 2 || v[0] != s || v[1] != ctx.rank()) {
+        throw std::runtime_error("alltoallv payload corrupted");
+      }
+    }
+  });
+  // Count exchange: log2(8) = 3 sends per rank; payloads: 7 sends per
+  // rank.  The old rank-0 fan-in/fan-out gave rank 0 alone 2(P-1) = 14
+  // control sends before any payload moved.
+  const double critical = m.max_rank_modeled_us();
+  EXPECT_LE(critical, 3.0 + static_cast<double>(np - 1));
 }
 
 }  // namespace

@@ -315,5 +315,128 @@ TEST(Schedule, RandomizedGatherAgainstGlobalTruth) {
   });
 }
 
+/// Halo reuse: a schedule built with the target's halo spec satisfies
+/// overlap-area reads from ghost storage a preceding exchange_overlap
+/// filled, so a stencil gather moves NO data at all -- the inspector
+/// plants those points in the halo list instead of the request lists.
+TEST(Schedule, HaloAwareGatherReadsGhostsWithoutTransport) {
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<double> a(env, {.name = "A",
+                              .domain = IndexDomain::of_extents({16}),
+                              .dynamic = true,
+                              .initial = DistributionType{block()},
+                              .overlap_lo = {1},
+                              .overlap_hi = {1}});
+    a.init([](const IndexVec& i) { return static_cast<double>(7 * i[0]); });
+    a.exchange_overlap();
+
+    // Every rank reads its owned points plus their +-1 neighbours (the
+    // 3-point stencil support): all off-processor reads land in the halo.
+    std::vector<IndexVec> pts;
+    const Index lo = 4 * ctx.rank() + 1;
+    for (Index i = lo; i < lo + 4; ++i) {
+      for (Index d = -1; d <= 1; ++d) {
+        const Index x = i + d;
+        if (x >= 1 && x <= 16) pts.push_back({x});
+      }
+    }
+    Schedule sched(ctx, a.dist_handle(), pts, a.halo_spec());
+    ck.check(sched.n_halo() > 0, ctx.rank(),
+             "boundary neighbours are halo-satisfied");
+    ck.check_eq(sched.n_unique_offproc(), std::size_t{0}, ctx.rank(),
+                "no off-processor uniques remain");
+
+    const auto before = ctx.stats().data_messages;
+    std::vector<double> out(pts.size());
+    sched.gather(ctx, a, out);
+    ck.check_eq(ctx.stats().data_messages, before, ctx.rank(),
+                "gather sent no data messages");
+    for (std::size_t k = 0; k < pts.size(); ++k) {
+      ck.check_eq(out[k], static_cast<double>(7 * pts[k][0]), ctx.rank(),
+                  "gathered value at " + pts[k].to_string());
+    }
+
+    // Halo-satisfied points are read-only.
+    try {
+      sched.scatter(ctx, out, a);
+      ck.fail("scatter through a halo-aware schedule must throw");
+    } catch (const std::logic_error&) {
+    }
+  });
+}
+
+/// Reads beyond the filled ghost width still travel: the inspector only
+/// plants points the exchange actually made current.
+TEST(Schedule, HaloAwareInspectorRespectsFilledWidths) {
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<double> a(env, {.name = "A",
+                              .domain = IndexDomain::of_extents({16}),
+                              .dynamic = true,
+                              .initial = DistributionType{block()},
+                              .overlap_lo = {1},
+                              .overlap_hi = {1}});
+    a.init([](const IndexVec& i) { return static_cast<double>(3 * i[0]); });
+    a.exchange_overlap();
+    // Distance-2 neighbours are outside the width-1 halo: they must be
+    // fetched from their owners, and the gather still returns the truth.
+    std::vector<IndexVec> pts;
+    const Index lo = 4 * ctx.rank() + 1;
+    for (const Index d : {Index{-2}, Index{2}}) {
+      const Index x = lo + (d < 0 ? 0 : 3) + d;
+      if (x >= 1 && x <= 16) pts.push_back({x});
+    }
+    Schedule sched(ctx, a.dist_handle(), pts, a.halo_spec());
+    ck.check_eq(sched.n_halo(), std::size_t{0}, ctx.rank(),
+                "distance-2 points are not halo-satisfied");
+    ck.check_eq(sched.n_unique_offproc(), pts.size(), ctx.rank(),
+                "they travel as off-processor uniques");
+    std::vector<double> out(pts.size());
+    sched.gather(ctx, a, out);
+    for (std::size_t k = 0; k < pts.size(); ++k) {
+      ck.check_eq(out[k], static_cast<double>(3 * pts[k][0]), ctx.rank(),
+                  "fetched value");
+    }
+  });
+}
+
+/// Binding validates the array's halo spec by identity: an array with a
+/// different overlap description cannot serve halo-satisfied reads.
+TEST(Schedule, HaloAwareBindingRejectsMismatchedSpec) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<double> a(env, {.name = "A",
+                              .domain = IndexDomain::of_extents({8}),
+                              .dynamic = true,
+                              .initial = DistributionType{block()},
+                              .overlap_lo = {1},
+                              .overlap_hi = {1}});
+    DistArray<double> c(env, {.name = "C",
+                              .domain = IndexDomain::of_extents({8}),
+                              .dynamic = true,
+                              .initial = DistributionType{block()},
+                              .overlap_lo = {2},
+                              .overlap_hi = {2}});
+    a.init([](const IndexVec& i) { return static_cast<double>(i[0]); });
+    c.init([](const IndexVec& i) { return static_cast<double>(i[0]); });
+    a.exchange_overlap();
+    c.exchange_overlap();
+    // A boundary neighbour: halo-satisfied under A's spec.
+    const Index x = ctx.rank() == 0 ? 5 : 4;
+    std::vector<IndexVec> pts{{x}};
+    Schedule sched(ctx, a.dist_handle(), pts, a.halo_spec());
+    ck.check_eq(sched.n_halo(), std::size_t{1}, ctx.rank(), "halo point");
+    std::vector<double> out(1);
+    sched.gather(ctx, a, out);  // same spec: fine
+    ck.check_eq(out[0], static_cast<double>(x), ctx.rank(), "value");
+    try {
+      sched.gather(ctx, c, out);
+      ck.fail("gather against a different halo spec must throw");
+    } catch (const std::logic_error&) {
+    }
+  });
+}
+
 }  // namespace
 }  // namespace vf::parti
