@@ -54,8 +54,10 @@ void BM_HaloExchange(benchmark::State& state) {
   std::vector<double> iter_seconds;
   std::atomic<std::uint64_t> plan_hits{0};
   std::atomic<std::uint64_t> plan_misses{0};
+  std::atomic<std::uint64_t> scratch_allocs{0};
   for (auto _ : state) {
     msg::Machine machine(nprocs);
+    scratch_allocs = 0;
     std::atomic<double> secs{0.0};
     msg::run_spmd(machine, [&](msg::Context& ctx) {
       const int q = nprocs == 4 ? 2 : 3;
@@ -79,8 +81,11 @@ void BM_HaloExchange(benchmark::State& state) {
         return static_cast<double>(i[0] + i[1]);
       });
       // Warmup: with the cache on this builds (and caches) the plan; the
-      // cold path rebuilds it inside every timed exchange anyway.
+      // cold path rebuilds it inside every timed exchange anyway.  The
+      // exchange scratch is warm either way, so the timed loop must not
+      // grow it (allocs_per_exchange == 0 in steady state).
       a.exchange_overlap();
+      a.reset_exchange_scratch_stats();
       ctx.barrier();
       ctx.stats() = msg::CommStats{};
       const auto t0 = std::chrono::steady_clock::now();
@@ -96,6 +101,7 @@ void BM_HaloExchange(benchmark::State& state) {
         plan_hits.store(env.halo_plans().stats().hits);
         plan_misses.store(env.halo_plans().stats().misses);
       }
+      scratch_allocs.fetch_add(a.exchange_scratch_stats().grow_allocs);
     });
     iter_seconds.push_back(secs.load());
     stats = machine.total_stats();
@@ -120,6 +126,11 @@ void BM_HaloExchange(benchmark::State& state) {
       static_cast<double>(stats.data_messages) / kExchanges;
   state.counters["data_bytes_per_exchange"] =
       static_cast<double>(stats.data_bytes) / kExchanges;
+  // Machine-wide scratch growth of the last iteration's timed loop:
+  // zero after warmup, cold or cached (the scratch outlives the plan).
+  state.counters["allocs_per_exchange"] =
+      static_cast<double>(scratch_allocs.load()) /
+      (static_cast<double>(kExchanges) * nprocs);
 }
 
 }  // namespace

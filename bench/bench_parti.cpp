@@ -4,8 +4,17 @@
 // per-access cost converging to the pure executor cost; the
 // rebuild-every-time column is the strawman a compiler without schedule
 // reuse would produce.
+//
+// BM_ExecutorReplay and BM_ExecutorSteadyStateAllocs measure the replay
+// discipline itself: a warmed-up executor call must beat the
+// rebuild-per-call path on wall time (CI gates warm >= 1.5x cold) and
+// must perform zero heap allocations in the exchange-scratch facility
+// (allocs_per_replay == 0 for gather, scatter and scatter_add; CI-gated).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <random>
 
 #include "vf/msg/spmd.hpp"
@@ -101,6 +110,111 @@ void BM_GatherRebuildEveryTime(benchmark::State& state) {
       static_cast<double>(stats.data_bytes) / repeats;
 }
 
+/// Warm executor replay (persistent schedule + scratch) vs cold
+/// rebuild-per-call (inspector + first-touch translation + fresh scratch
+/// every time).  ns_per_call medians feed the CI cached-vs-cold executor
+/// timing gate.
+void BM_ExecutorReplay(benchmark::State& state) {
+  const bool warm = state.range(0) != 0;
+  constexpr int kCalls = 24;
+  const msg::CostModel cm{};
+  state.SetLabel(warm ? "executor/warm" : "executor/cold");
+
+  std::vector<double> iter_seconds;
+  for (auto _ : state) {
+    msg::Machine machine(kProcs, cm);
+    std::atomic<double> secs{0.0};
+    msg::run_spmd(machine, [&](msg::Context& ctx) {
+      rt::Env env(ctx);
+      rt::DistArray<double> a(env, {.name = "A",
+                                    .domain = IndexDomain::of_extents({kN}),
+                                    .dynamic = true,
+                                    .initial = {{dist::block()}}});
+      a.init([](const IndexVec& i) { return static_cast<double>(i[0]); });
+      auto pts = random_points(ctx.rank(), kN, kRequests);
+      parti::Schedule sched(ctx, a.dist_handle(), pts);
+      std::vector<double> out(pts.size());
+      sched.gather(ctx, a, out);  // warm the binding and the scratch
+      ctx.barrier();
+      const auto t0 = std::chrono::steady_clock::now();
+      ctx.barrier();
+      for (int c = 0; c < kCalls; ++c) {
+        if (warm) {
+          sched.gather(ctx, a, out);
+        } else {
+          parti::Schedule fresh(ctx, a.dist_handle(), pts);
+          fresh.gather(ctx, a, out);
+        }
+      }
+      ctx.barrier();
+      if (ctx.rank() == 0) {
+        secs.store(std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count());
+      }
+      benchmark::DoNotOptimize(out.data());
+    });
+    iter_seconds.push_back(secs.load());
+  }
+  std::sort(iter_seconds.begin(), iter_seconds.end());
+  const double median = iter_seconds[iter_seconds.size() / 2];
+  state.counters["ns_per_call"] = median * 1e9 / kCalls;
+  state.counters["warm"] = warm ? 1 : 0;
+}
+
+/// Steady-state allocation audit of the executor replay paths: after one
+/// warmup call per executor, kReplays replays of each must not grow the
+/// schedule's exchange scratch at all.  Counters are machine-wide sums,
+/// so allocs_per_replay_* == 0 certifies every rank.
+void BM_ExecutorSteadyStateAllocs(benchmark::State& state) {
+  constexpr int kReplays = 24;
+  const msg::CostModel cm{};
+  std::atomic<std::uint64_t> grow_gather{0}, grow_scatter{0},
+      grow_scatter_add{0}, prepares{0};
+
+  for (auto _ : state) {
+    grow_gather = grow_scatter = grow_scatter_add = prepares = 0;
+    msg::Machine machine(kProcs, cm);
+    msg::run_spmd(machine, [&](msg::Context& ctx) {
+      rt::Env env(ctx);
+      rt::DistArray<double> a(env, {.name = "A",
+                                    .domain = IndexDomain::of_extents({kN}),
+                                    .dynamic = true,
+                                    .initial = {{dist::block()}}});
+      a.init([](const IndexVec& i) { return static_cast<double>(i[0]); });
+      auto pts = random_points(ctx.rank(), kN, kRequests);
+      parti::Schedule sched(ctx, a.dist_handle(), pts);
+      std::vector<double> out(pts.size());
+      std::vector<double> vals(pts.size(), 1.0);
+      // Warmup: one call of each executor grows the lanes to their
+      // steady-state envelope.
+      sched.gather(ctx, a, out);
+      sched.scatter(ctx, vals, a);
+      sched.scatter_add(ctx, vals, a);
+
+      auto audit = [&](std::atomic<std::uint64_t>& sink, auto&& call) {
+        sched.reset_scratch_stats();
+        for (int r = 0; r < kReplays; ++r) call();
+        sink.fetch_add(sched.scratch_stats().grow_allocs);
+        prepares.fetch_add(sched.scratch_stats().prepares);
+      };
+      audit(grow_gather, [&] { sched.gather(ctx, a, out); });
+      audit(grow_scatter, [&] { sched.scatter(ctx, vals, a); });
+      audit(grow_scatter_add, [&] { sched.scatter_add(ctx, vals, a); });
+      benchmark::DoNotOptimize(out.data());
+    });
+  }
+  const double denom = static_cast<double>(kReplays) * kProcs;
+  state.counters["allocs_per_replay_gather"] =
+      static_cast<double>(grow_gather.load()) / denom;
+  state.counters["allocs_per_replay_scatter"] =
+      static_cast<double>(grow_scatter.load()) / denom;
+  state.counters["allocs_per_replay_scatter_add"] =
+      static_cast<double>(grow_scatter_add.load()) / denom;
+  state.counters["scratch_prepares"] =
+      static_cast<double>(prepares.load());
+}
+
 void BM_TranslationTableDereference(benchmark::State& state) {
   const msg::CostModel cm{};
   msg::CommStats stats;
@@ -149,3 +263,14 @@ BENCHMARK(BM_GatherRebuildEveryTime)
 BENCHMARK(BM_TranslationTableDereference)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(2);
+
+BENCHMARK(BM_ExecutorReplay)
+    ->ArgNames({"warm"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(9);
+
+BENCHMARK(BM_ExecutorSteadyStateAllocs)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);

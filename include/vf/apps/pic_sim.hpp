@@ -62,6 +62,13 @@ struct PicResult {
   /// particle work (arbitrary per-particle unit).
   double makespan_units = 0.0;
   std::int64_t final_particles = 0;
+  /// Machine-wide exchange-scratch traffic of the simulation's
+  /// redistribution replays (FIELD + COUNT arrays, summed over ranks):
+  /// replays routed through the facility and heap allocations it
+  /// performed.  A healthy rebalance loop grows the scratch only while
+  /// the partition envelope is still widening.
+  std::uint64_t redist_scratch_prepares = 0;
+  std::uint64_t redist_scratch_allocs = 0;
 };
 
 /// Runs the PIC simulation on the calling SPMD context (collective).

@@ -13,6 +13,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "vf/msg/exchange_scratch.hpp"
 #include "vf/msg/machine.hpp"
 
 namespace vf::msg {
@@ -39,6 +40,77 @@ T apply_op(ReduceOp op, T a, T b) {
       return static_cast<T>(a || b);
   }
   return a;
+}
+
+/// Deserializes a typed payload.  The element count is derived from the
+/// byte size (never from wire-carried counts), so the only failure mode
+/// is a size that is not a multiple of sizeof(T).
+template <typename T>
+std::vector<T> bytes_to_vector(std::span<const std::byte> bytes) {
+  const std::size_t n = bytes.size() / sizeof(T);
+  if (n * sizeof(T) != bytes.size()) {
+    throw std::runtime_error("typed recv: payload size mismatch");
+  }
+  std::vector<T> v(n);
+  if (!v.empty()) std::memcpy(v.data(), bytes.data(), bytes.size());
+  return v;
+}
+
+/// Serializes [count, payload] frames for the `count` blocks starting
+/// at ring position `start` (mod np), in ring order -- the dissemination
+/// round's deterministic wire format.
+template <typename T>
+std::vector<std::byte> pack_ring(const std::vector<std::vector<T>>& vs,
+                                 int start, int count, int np) {
+  std::size_t total = 0;
+  for (int j = 0; j < count; ++j) {
+    const auto k = static_cast<std::size_t>((start + j) % np);
+    total += sizeof(std::uint64_t) + vs[k].size() * sizeof(T);
+  }
+  std::vector<std::byte> blob(total);
+  std::size_t off = 0;
+  for (int j = 0; j < count; ++j) {
+    const auto& v = vs[static_cast<std::size_t>((start + j) % np)];
+    const std::uint64_t n = v.size();
+    std::memcpy(blob.data() + off, &n, sizeof n);
+    off += sizeof n;
+    if (n != 0) {
+      std::memcpy(blob.data() + off, v.data(), n * sizeof(T));
+      off += n * sizeof(T);
+    }
+  }
+  return blob;
+}
+
+/// Inverse of pack_ring: fills slots start, start+1, ... (mod np) of
+/// `vs` from the blob's frames.  The per-frame element count n comes off
+/// the wire, so every bound is checked with overflow-safe arithmetic: a
+/// corrupt n must not wrap `off + n * sizeof(T)` past the blob size (and
+/// thereby pass the truncation check into a huge resize or a read past
+/// the buffer).
+template <typename T>
+void unpack_ring(std::span<const std::byte> blob,
+                 std::vector<std::vector<T>>& vs, int start, int count,
+                 int np) {
+  std::size_t off = 0;
+  for (int j = 0; j < count; ++j) {
+    auto& v = vs[static_cast<std::size_t>((start + j) % np)];
+    std::uint64_t n = 0;
+    if (blob.size() - off < sizeof n) {  // off <= blob.size() invariant
+      throw std::runtime_error("unpack_ring: truncated blob");
+    }
+    std::memcpy(&n, blob.data() + off, sizeof n);
+    off += sizeof n;
+    if (n > (blob.size() - off) / sizeof(T)) {
+      throw std::runtime_error("unpack_ring: truncated payload");
+    }
+    v.resize(static_cast<std::size_t>(n));
+    if (n != 0) std::memcpy(v.data(), blob.data() + off, n * sizeof(T));
+    off += static_cast<std::size_t>(n) * sizeof(T);
+  }
+  if (off != blob.size()) {
+    throw std::runtime_error("unpack_ring: trailing bytes in blob");
+  }
 }
 }  // namespace detail
 
@@ -73,6 +145,13 @@ class Context {
   /// kAnySource).
   [[nodiscard]] Message recv_msg(int src, int tag);
 
+  /// Counted blocking receive into caller-owned storage: the matched
+  /// message's payload must be exactly dst.size() bytes (the pre-agreed
+  /// count of a planned exchange); anything else is a protocol error.
+  /// The executor-replay receive path -- no allocation attributable to
+  /// the caller, no vector handed back.
+  void recv_bytes_into(int src, int tag, std::span<std::byte> dst);
+
   /// Typed send/recv of contiguous trivially-copyable elements.
   template <detail::TriviallySendable T>
   void send(int dest, int tag, std::span<const T> data) {
@@ -87,7 +166,7 @@ class Context {
   template <detail::TriviallySendable T>
   [[nodiscard]] std::vector<T> recv(int src, int tag) {
     auto bytes = recv_bytes(src, tag);
-    return bytes_to_vector<T>(bytes);
+    return detail::bytes_to_vector<T>(bytes);
   }
 
   template <detail::TriviallySendable T>
@@ -154,7 +233,7 @@ class Context {
       }
       const int src = rank_ + mask;
       if (src < np) {
-        auto contrib = bytes_to_vector<T>(recv_bytes(src, reduce_tag));
+        auto contrib = detail::bytes_to_vector<T>(recv_bytes(src, reduce_tag));
         if (contrib.size() != v.size()) {
           throw std::runtime_error(
               "allreduce_vec: contribution length mismatch");
@@ -203,9 +282,9 @@ class Context {
       const int have = std::min(2 * d, np) - d;  // blocks the receiver lacks
       const int dest = (rank_ - d + np) % np;
       const int src = (rank_ + d) % np;
-      send_ctl_bytes(dest, tag, pack_ring(all, rank_, have, np));
+      send_ctl_bytes(dest, tag, detail::pack_ring(all, rank_, have, np));
       auto blob = recv_bytes(src, tag);
-      unpack_ring<T>(blob, all, src, have, np);
+      detail::unpack_ring<T>(blob, all, src, have, np);
     }
     return all;
   }
@@ -261,48 +340,17 @@ class Context {
   [[nodiscard]] std::vector<std::vector<T>> alltoallv_known(
       std::vector<std::vector<T>> out,
       std::span<const std::uint64_t> expected) {
-    if (static_cast<int>(out.size()) != nprocs() ||
-        static_cast<int>(expected.size()) != nprocs()) {
+    const int np = nprocs();
+    if (static_cast<int>(out.size()) != np ||
+        static_cast<int>(expected.size()) != np) {
       throw std::invalid_argument(
           "alltoallv_known: out/expected size != nprocs()");
     }
-    auto local = std::move(out[static_cast<std::size_t>(rank_)]);
-    return alltoallv_known_body(out, expected, std::move(local));
-  }
-
-  /// alltoallv_known variant reading the outgoing payloads from caller-
-  /// owned buffers that survive the call: executor hot paths (cached halo
-  /// exchange) keep their pack buffers across replays, so the send side
-  /// allocates nothing after the first call.  Semantics otherwise match
-  /// alltoallv_known; the local slot is copied instead of moved.
-  template <detail::TriviallySendable T>
-  [[nodiscard]] std::vector<std::vector<T>> alltoallv_known_reuse(
-      const std::vector<std::vector<T>>& out,
-      std::span<const std::uint64_t> expected) {
-    if (static_cast<int>(out.size()) != nprocs() ||
-        static_cast<int>(expected.size()) != nprocs()) {
-      throw std::invalid_argument(
-          "alltoallv_known_reuse: out/expected size != nprocs()");
-    }
-    return alltoallv_known_body(out, expected,
-                                out[static_cast<std::size_t>(rank_)]);
-  }
-
- private:
-  /// The shared counted-exchange body of alltoallv_known and
-  /// alltoallv_known_reuse: sends every non-empty non-local payload of
-  /// `out`, receives per the pre-agreed counts, verifies them, and plants
-  /// `local` (the caller's own slot, moved or copied) in the result.  The
-  /// local slot of `out` is never read here.
-  template <detail::TriviallySendable T>
-  [[nodiscard]] std::vector<std::vector<T>> alltoallv_known_body(
-      const std::vector<std::vector<T>>& out,
-      std::span<const std::uint64_t> expected, std::vector<T> local) {
-    const int np = nprocs();
     const int tag = next_coll_tag();
     stats().collectives++;
     std::vector<std::vector<T>> in(static_cast<std::size_t>(np));
-    in[static_cast<std::size_t>(rank_)] = std::move(local);
+    in[static_cast<std::size_t>(rank_)] =
+        std::move(out[static_cast<std::size_t>(rank_)]);
     for (int d = 0; d < np; ++d) {
       if (d == rank_) continue;
       const auto& payload = out[static_cast<std::size_t>(d)];
@@ -311,7 +359,8 @@ class Context {
     }
     for (int s = 0; s < np; ++s) {
       if (s == rank_ || expected[static_cast<std::size_t>(s)] == 0) continue;
-      in[static_cast<std::size_t>(s)] = bytes_to_vector<T>(recv_bytes(s, tag));
+      in[static_cast<std::size_t>(s)] =
+          detail::bytes_to_vector<T>(recv_bytes(s, tag));
     }
     for (int s = 0; s < np; ++s) {
       if (in[static_cast<std::size_t>(s)].size() !=
@@ -323,6 +372,24 @@ class Context {
     }
     return in;
   }
+
+  /// The fully reusable counted exchange: both sides of the transfer live
+  /// in one ExchangeLane the caller owns and keeps across replays.  The
+  /// caller packs lane.send(d) for every destination (sizes fixed by the
+  /// last prepare(); they ARE the pre-agreed send counts) and on return
+  /// lane.recv(s) holds rank s's payload (its size is the pre-agreed
+  /// receive count, enforced against what actually arrived).  The local
+  /// slot is copied send -> recv without touching the network.
+  ///
+  /// This is the executor-replay transport: a warmed-up replay (cached
+  /// RedistPlan, PARTI executor, halo exchange) allocates nothing on
+  /// either side of the exchange.  The count precondition of
+  /// alltoallv_known applies unchanged: both ranks' lane geometries must
+  /// come from one deterministic inspector product, and a zero-size send
+  /// a peer expects data for blocks that peer in recv.
+  void alltoallv_known_into(ExchangeLane& lane);
+
+ private:
   /// Control-plane send: same transport, separate accounting.
   void send_ctl_bytes(int dest, int tag, std::span<const std::byte> payload);
 
@@ -339,7 +406,7 @@ class Context {
     while (mask < np) {
       if ((rel & mask) != 0) {
         const int src = (rel - mask + root) % np;
-        v = bytes_to_vector<T>(recv_bytes(src, tag));
+        v = detail::bytes_to_vector<T>(recv_bytes(src, tag));
         break;
       }
       mask <<= 1;
@@ -360,69 +427,6 @@ class Context {
   [[nodiscard]] int next_coll_tag() noexcept {
     // Collective tags live in the negative tag space, below kAnySource.
     return -2 - (coll_seq_++ % 1'000'000'000);
-  }
-
-  template <typename T>
-  static std::vector<T> bytes_to_vector(std::span<const std::byte> bytes) {
-    if (bytes.size() % sizeof(T) != 0) {
-      throw std::runtime_error("typed recv: payload size mismatch");
-    }
-    std::vector<T> v(bytes.size() / sizeof(T));
-    if (!v.empty()) std::memcpy(v.data(), bytes.data(), bytes.size());
-    return v;
-  }
-
-  /// Serializes [count, payload] frames for the `count` blocks starting
-  /// at ring position `start` (mod np), in ring order -- the dissemination
-  /// round's deterministic wire format.
-  template <typename T>
-  static std::vector<std::byte> pack_ring(
-      const std::vector<std::vector<T>>& vs, int start, int count, int np) {
-    std::size_t total = 0;
-    for (int j = 0; j < count; ++j) {
-      const auto k = static_cast<std::size_t>((start + j) % np);
-      total += sizeof(std::uint64_t) + vs[k].size() * sizeof(T);
-    }
-    std::vector<std::byte> blob(total);
-    std::size_t off = 0;
-    for (int j = 0; j < count; ++j) {
-      const auto& v = vs[static_cast<std::size_t>((start + j) % np)];
-      const std::uint64_t n = v.size();
-      std::memcpy(blob.data() + off, &n, sizeof n);
-      off += sizeof n;
-      if (n != 0) {
-        std::memcpy(blob.data() + off, v.data(), n * sizeof(T));
-        off += n * sizeof(T);
-      }
-    }
-    return blob;
-  }
-
-  /// Inverse of pack_ring: fills slots start, start+1, ... (mod np) of
-  /// `vs` from the blob's frames.
-  template <typename T>
-  static void unpack_ring(std::span<const std::byte> blob,
-                          std::vector<std::vector<T>>& vs, int start,
-                          int count, int np) {
-    std::size_t off = 0;
-    for (int j = 0; j < count; ++j) {
-      auto& v = vs[static_cast<std::size_t>((start + j) % np)];
-      std::uint64_t n = 0;
-      if (off + sizeof n > blob.size()) {
-        throw std::runtime_error("unpack_ring: truncated blob");
-      }
-      std::memcpy(&n, blob.data() + off, sizeof n);
-      off += sizeof n;
-      if (off + n * sizeof(T) > blob.size()) {
-        throw std::runtime_error("unpack_ring: truncated payload");
-      }
-      v.resize(n);
-      if (n != 0) std::memcpy(v.data(), blob.data() + off, n * sizeof(T));
-      off += n * sizeof(T);
-    }
-    if (off != blob.size()) {
-      throw std::runtime_error("unpack_ring: trailing bytes in blob");
-    }
   }
 
   Machine* m_;

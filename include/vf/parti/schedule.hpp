@@ -15,11 +15,15 @@
 // re-translates only if the array or its distribution changes), so
 // repeated executor calls perform no per-element IndexVec arithmetic, no
 // at() ownership checks, and -- because both sides' counts were agreed at
-// inspector time -- no count-exchange collective (alltoallv_known).  This
-// is what makes the inspector cost amortizable (bench E7) in codes like
-// the PIC example of Section 4.
+// inspector time -- no count-exchange collective.  Serve/combine and
+// receive buffers are persistent per-schedule exchange scratch
+// (msg::ExchangeScratch, one lane per element size) moved through
+// Context::alltoallv_known_into, so a warmed-up executor replay performs
+// no heap allocation at all.  This is what makes the inspector cost
+// amortizable (bench E7) in codes like the PIC example of Section 4.
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
@@ -80,21 +84,23 @@ class Schedule {
     const int np = ctx.nprocs();
     const T* data = src.local_span().data();
     // Owners serve each unique requested element once: a branch-free copy
-    // through the precomputed flat offsets into exactly-sized buffers.
-    std::vector<std::vector<T>> serve(static_cast<std::size_t>(np));
+    // through the precomputed flat offsets into exactly-sized per-peer
+    // buffers.  The buffers are persistent per-schedule scratch, keyed by
+    // element size (one schedule may alternate double and int arrays
+    // through its binding cache): a warmed-up replay allocates nothing on
+    // either side of the exchange.
+    msg::ExchangeLane& lane = scratch_.lane(sizeof(T));
+    lane.prepare(expect_scatter_, req_unique_counts_);
     for (int p = 0; p < np; ++p) {
       const auto up = static_cast<std::size_t>(p);
       const std::size_t b = serve_start_[up];
       const std::size_t e = serve_start_[up + 1];
-      auto& buf = serve[up];
-      buf.resize(e - b);
+      T* buf = lane.send<T>(p).data();
       for (std::size_t k = b; k < e; ++k) {
         buf[k - b] = data[bound.serve_off[k]];
       }
     }
-    auto in = ctx.alltoallv_known(std::move(serve),
-                                  std::span<const std::uint64_t>(
-                                      req_unique_counts_));
+    ctx.alltoallv_known_into(lane);
     for (std::size_t k = 0; k < local_linear_.size(); ++k) {
       out[local_positions_[k]] = data[bound.local_off[k]];
     }
@@ -107,7 +113,7 @@ class Schedule {
     for (int p = 0; p < np; ++p) {
       const auto& occ = occ_unique_index_[static_cast<std::size_t>(p)];
       const auto& pos = occ_positions_[static_cast<std::size_t>(p)];
-      const auto& vals = in[static_cast<std::size_t>(p)];
+      const T* vals = lane.recv<T>(p).data();
       for (std::size_t k = 0; k < occ.size(); ++k) {
         out[pos[k]] = vals[occ[k]];
       }
@@ -162,24 +168,28 @@ class Schedule {
     }
     const Binding& bound = bind(dst);
     const int np = ctx.nprocs();
-    // Requester-side combining: one slot per unique remote element.
-    std::vector<std::vector<T>> out(static_cast<std::size_t>(np));
+    // Requester-side combining into persistent per-schedule scratch: one
+    // slot per unique remote element.  The accumulate path pre-fills the
+    // combine buffers with the additive identity; plain scatter writes
+    // every slot (each unique element has at least one occurrence), so no
+    // fill is needed and last-occurrence-wins falls out of request order.
+    msg::ExchangeLane& lane = scratch_.lane(sizeof(T));
+    lane.prepare(req_unique_counts_, expect_scatter_);
     for (int p = 0; p < np; ++p) {
       const auto up = static_cast<std::size_t>(p);
-      out[up].assign(static_cast<std::size_t>(req_unique_counts_[up]), T{});
+      const std::span<T> buf = lane.send<T>(p);
+      if (accumulate) std::fill(buf.begin(), buf.end(), T{});
       const auto& occ = occ_unique_index_[up];
       const auto& pos = occ_positions_[up];
       for (std::size_t k = 0; k < occ.size(); ++k) {
         if (accumulate) {
-          out[up][occ[k]] += in[pos[k]];
+          buf[occ[k]] += in[pos[k]];
         } else {
-          out[up][occ[k]] = in[pos[k]];
+          buf[occ[k]] = in[pos[k]];
         }
       }
     }
-    auto incoming = ctx.alltoallv_known(std::move(out),
-                                        std::span<const std::uint64_t>(
-                                            expect_scatter_));
+    ctx.alltoallv_known_into(lane);
     T* data = dst.local_span().data();
     for (std::size_t k = 0; k < local_linear_.size(); ++k) {
       T& slot = data[bound.local_off[k]];
@@ -193,7 +203,7 @@ class Schedule {
       const auto up = static_cast<std::size_t>(p);
       const std::size_t b = serve_start_[up];
       const std::size_t e = serve_start_[up + 1];
-      const auto& vals = incoming[up];
+      const T* vals = lane.recv<T>(p).data();
       for (std::size_t k = b; k < e; ++k) {
         T& slot = data[bound.serve_off[k]];
         if (accumulate) {
@@ -239,6 +249,15 @@ class Schedule {
   [[nodiscard]] std::uint64_t binding_misses() const noexcept {
     return binding_misses_;
   }
+  /// Executor exchange-scratch counters (prepares == executor calls that
+  /// exchanged data; grow_allocs == heap allocations the scratch arena
+  /// performed).  A warmed-up replay loop holds grow_allocs flat -- the
+  /// allocs_per_replay == 0 steady state bench_parti gates.
+  [[nodiscard]] const msg::ExchangeScratch::Stats& scratch_stats()
+      const noexcept {
+    return scratch_.stats();
+  }
+  void reset_scratch_stats() const noexcept { scratch_.reset_stats(); }
 
  private:
   /// Translates the served and local index points into flat storage
@@ -296,6 +315,11 @@ class Schedule {
   mutable std::vector<Binding> bindings_;
   mutable std::uint64_t binding_hits_ = 0;
   mutable std::uint64_t binding_misses_ = 0;
+
+  // Persistent executor exchange scratch: per-element-size send/combine
+  // and receive buffers shared by gather, scatter and scatter_add.
+  // Warmed-up executor replays perform no heap allocation.
+  mutable msg::ExchangeScratch scratch_;
 };
 
 }  // namespace vf::parti

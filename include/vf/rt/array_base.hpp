@@ -16,6 +16,7 @@
 
 #include "vf/dist/alignment.hpp"
 #include "vf/dist/distribution.hpp"
+#include "vf/msg/exchange_scratch.hpp"
 #include "vf/query/pattern.hpp"
 #include "vf/rt/connect.hpp"
 #include "vf/rt/env.hpp"
@@ -210,6 +211,19 @@ class DistArrayBase {
   /// Number of bytes per element (for communication accounting).
   [[nodiscard]] virtual std::size_t element_size() const noexcept = 0;
 
+  /// Counters of this array's exchange scratch (shared by DISTRIBUTE
+  /// replay and exchange_overlap): prepares == replays that moved data
+  /// through the facility, grow_allocs == heap allocations it performed.
+  /// A warmed-up replay loop holds grow_allocs flat -- the
+  /// allocs_per_replay == 0 steady state bench_pic/bench_halo gate.
+  [[nodiscard]] const msg::ExchangeScratch::Stats& exchange_scratch_stats()
+      const noexcept {
+    return exch_scratch_.stats();
+  }
+  void reset_exchange_scratch_stats() const noexcept {
+    exch_scratch_.reset_stats();
+  }
+
   // ---- local storage geometry (loc_map, Section 3.2.1) --------------------
   //
   // Local storage is laid out column-major over the per-dimension dense
@@ -348,6 +362,12 @@ class DistArrayBase {
   dist::LocalLayout layout_;
   halo::HaloHandle halo_;
   std::shared_ptr<ConnectClass> cclass_;
+
+  // Persistent exchange scratch shared by every executor replay this
+  // array performs (cached DISTRIBUTE data motion, halo exchange): one
+  // element-size lane (sizeof(T)), per-peer send/recv buffers and run
+  // cursors that survive across calls.
+  mutable msg::ExchangeScratch exch_scratch_;
 
   // Storage geometry under the current distribution.
   dist::IndexVec ghost_lo_;

@@ -420,8 +420,10 @@ class DistArray final : public DistArrayBase {
   /// per-(sender,receiver) subsequences agree, so no index lists travel --
   /// only values, at most one message per processor pair.  The enumeration
   /// itself is factored into a cached RedistPlan of contiguous runs; data
-  /// moves with memcpy into exactly-sized buffers, and the exchange skips
-  /// the count collective because the plan knows both sides' counts.
+  /// moves with memcpy through the array's persistent exchange scratch,
+  /// and the exchange skips the count collective because the plan knows
+  /// both sides' counts.  A replayed flip (cached plan, warmed scratch,
+  /// storage capacity settled) performs no heap allocation.
   void redistribute_data(dist::DistHandle ndp) {
     auto& ctx = env_->comm();
     const int np = ctx.nprocs();
@@ -437,26 +439,23 @@ class DistArray final : public DistArrayBase {
       store_plan(odp, ndp, plan);
     }
 
-    // ---- pack: one memcpy per run into exactly-sized buffers ------------
-    std::vector<std::vector<T>> out(static_cast<std::size_t>(np));
-    for (int p = 0; p < np; ++p) {
-      out[static_cast<std::size_t>(p)].resize(static_cast<std::size_t>(
-          plan->send_counts[static_cast<std::size_t>(p)]));
-    }
-    std::vector<std::size_t> cur(static_cast<std::size_t>(np), 0);
+    // ---- pack: one memcpy per run into exactly-sized scratch buffers ----
+    msg::ExchangeLane& lane = exch_scratch_.lane(sizeof(T));
+    lane.prepare(plan->send_counts, plan->recv_counts);
+    const std::span<std::size_t> cur = lane.cursors();
     const T* src = local_.data();
     for (const RedistPlan::Run& run : plan->pack_runs) {
       const auto peer = static_cast<std::size_t>(run.peer);
-      std::memcpy(out[peer].data() + cur[peer], src + run.offset,
-                  run.length * sizeof(T));
+      std::memcpy(lane.send<T>(run.peer).data() + cur[peer],
+                  src + run.offset, run.length * sizeof(T));
       cur[peer] += run.length;
     }
 
-    auto in = ctx.alltoallv_known(std::move(out),
-                                  std::span<const std::uint64_t>(
-                                      plan->recv_counts));
+    ctx.alltoallv_known_into(lane);
 
     // ---- install the new distribution and unpack ------------------------
+    // assign() reuses local_'s capacity: once a flip loop has seen its
+    // largest shape, the reallocation below disappears too.
     set_distribution(std::move(ndp));
     rebuild_storage_shape();
     local_.assign(static_cast<std::size_t>(alloc_total_), T{});
@@ -464,7 +463,7 @@ class DistArray final : public DistArrayBase {
     T* dst = local_.data();
     for (const RedistPlan::Run& run : plan->unpack_runs) {
       const auto peer = static_cast<std::size_t>(run.peer);
-      std::memcpy(dst + run.offset, in[peer].data() + cur[peer],
+      std::memcpy(dst + run.offset, lane.recv<T>(run.peer).data() + cur[peer],
                   run.length * sizeof(T));
       cur[peer] += run.length;
     }
@@ -497,9 +496,6 @@ class DistArray final : public DistArrayBase {
   static constexpr std::size_t kFragmentedPlanCapacity = 2;
 
   std::vector<T> local_;
-  // Persistent halo-exchange pack scratch (see exchange_overlap).
-  std::vector<std::vector<T>> halo_pack_scratch_;
-  std::vector<std::size_t> halo_cursor_scratch_;
   std::unordered_map<std::uint64_t, PlanEntry> plan_cache_;
   std::vector<std::uint64_t> plan_order_;  ///< insertion order for eviction
   bool plan_cache_enabled_ = true;
@@ -517,34 +513,28 @@ void DistArray<T>::exchange_overlap() {
 
   // Executor: one memcpy per run into exactly-sized buffers, one
   // pre-counted all-to-all, one memcpy per run out -- no per-call
-  // neighbour analysis or index lists.  The pack buffers and cursors are
-  // persistent scratch: on a repeat exchange the resizes are no-ops, so
-  // the hot path performs no send-side allocation at all.
-  auto& out = halo_pack_scratch_;
-  out.resize(static_cast<std::size_t>(np));
-  for (int p = 0; p < np; ++p) {
-    out[static_cast<std::size_t>(p)].resize(static_cast<std::size_t>(
-        plan->send_counts[static_cast<std::size_t>(p)]));
-  }
-  auto& cur = halo_cursor_scratch_;
-  cur.assign(static_cast<std::size_t>(np), 0);
+  // neighbour analysis or index lists.  Buffers and cursors live in the
+  // array's shared exchange scratch (the same facility DISTRIBUTE replay
+  // uses), moved through alltoallv_known_into: a repeat exchange performs
+  // no heap allocation on either side.
+  msg::ExchangeLane& lane = exch_scratch_.lane(sizeof(T));
+  lane.prepare(plan->send_counts, plan->recv_counts);
+  const std::span<std::size_t> cur = lane.cursors();
   const T* src = local_.data();
   for (const halo::HaloPlan::Run& run : plan->pack_runs) {
     const auto peer = static_cast<std::size_t>(run.peer);
-    std::memcpy(out[peer].data() + cur[peer], src + run.offset,
+    std::memcpy(lane.send<T>(run.peer).data() + cur[peer], src + run.offset,
                 run.length * sizeof(T));
     cur[peer] += run.length;
   }
 
-  auto in = ctx.alltoallv_known_reuse(out,
-                                      std::span<const std::uint64_t>(
-                                          plan->recv_counts));
+  ctx.alltoallv_known_into(lane);
 
   std::fill(cur.begin(), cur.end(), std::size_t{0});
   T* dst = local_.data();
   for (const halo::HaloPlan::Run& run : plan->unpack_runs) {
     const auto peer = static_cast<std::size_t>(run.peer);
-    std::memcpy(dst + run.offset, in[peer].data() + cur[peer],
+    std::memcpy(dst + run.offset, lane.recv<T>(run.peer).data() + cur[peer],
                 run.length * sizeof(T));
     cur[peer] += run.length;
   }

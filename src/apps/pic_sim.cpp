@@ -179,6 +179,14 @@ PicResult run_pic(msg::Context& ctx, const PicConfig& cfg) {
   count.for_owned([&](const IndexVec&, const std::int64_t& n) { mine += n; });
   result.final_particles = ctx.allreduce(mine, msg::ReduceOp::Sum);
   result.dropped = ctx.allreduce(result.dropped, msg::ReduceOp::Sum);
+  const auto& fs = field.exchange_scratch_stats();
+  const auto& cs = count.exchange_scratch_stats();
+  result.redist_scratch_prepares = static_cast<std::uint64_t>(ctx.allreduce(
+      static_cast<std::int64_t>(fs.prepares + cs.prepares),
+      msg::ReduceOp::Sum));
+  result.redist_scratch_allocs = static_cast<std::uint64_t>(ctx.allreduce(
+      static_cast<std::int64_t>(fs.grow_allocs + cs.grow_allocs),
+      msg::ReduceOp::Sum));
   return result;
 }
 

@@ -31,6 +31,49 @@ std::vector<std::byte> Context::recv_bytes(int src, int tag) {
   return m_->mailbox(rank_).pop(src, tag).payload;
 }
 
+void Context::recv_bytes_into(int src, int tag, std::span<std::byte> dst) {
+  const Message m = m_->mailbox(rank_).pop(src, tag);
+  if (m.payload.size() != dst.size()) {
+    throw std::runtime_error(
+        "recv_bytes_into: payload size does not match the pre-agreed count");
+  }
+  if (!dst.empty()) std::memcpy(dst.data(), m.payload.data(), dst.size());
+}
+
+void Context::alltoallv_known_into(ExchangeLane& lane) {
+  const int np = nprocs();
+  if (lane.peers() != np) {
+    throw std::invalid_argument(
+        "alltoallv_known_into: lane was prepared for a different rank count");
+  }
+  const int tag = next_coll_tag();
+  stats().collectives++;
+  // Local slot: delivered by copy, never through the network.  Both sides
+  // of the local transfer are pinned by the same inspector product, so a
+  // size disagreement is a caller bug, not a peer protocol violation.
+  {
+    const auto src = lane.send_bytes(rank_);
+    const auto dst = lane.recv_bytes(rank_);
+    if (src.size() != dst.size()) {
+      throw std::logic_error(
+          "alltoallv_known_into: local send/recv sizes disagree");
+    }
+    if (!src.empty()) std::memcpy(dst.data(), src.data(), src.size());
+  }
+  for (int d = 0; d < np; ++d) {
+    if (d == rank_) continue;
+    const auto payload = lane.send_bytes(d);
+    if (payload.empty()) continue;
+    send_bytes(d, tag, payload);
+  }
+  for (int s = 0; s < np; ++s) {
+    if (s == rank_) continue;
+    const auto dst = lane.recv_bytes(s);
+    if (dst.empty()) continue;
+    recv_bytes_into(s, tag, dst);
+  }
+}
+
 Message Context::recv_msg(int src, int tag) {
   return m_->mailbox(rank_).pop(src, tag);
 }

@@ -64,6 +64,16 @@ Schedule::Schedule(msg::Context& ctx, dist::DistHandle target,
       static_cast<std::size_t>(np));
   for (std::size_t k = 0; k < points.size(); ++k) {
     const dist::IndexVec& pt = points[k];
+    // Validate against the target domain up front: an out-of-domain point
+    // must fail here, with the offending point named, before anything is
+    // planted in the serve/request structures.  (Relying on downstream
+    // per-dimension checks would report a DimMap range error instead and
+    // leaves the guarantee at the mercy of every map representation.)
+    if (!dom_.contains(pt)) {
+      throw std::out_of_range(
+          "Schedule inspector: requested point " + pt.to_string() +
+          " is outside the target's index domain");
+    }
     const int p = target_->owner_rank(pt);
     const dist::Index lin = dom_.linearize(pt);
     if (p == me) {
@@ -145,6 +155,15 @@ const Schedule::Binding& Schedule::bind(const rt::DistArrayBase& a) const {
         "with");
   }
   ++binding_misses_;
+  // An array holds exactly one descriptor at a time, so on a miss every
+  // cached binding with this serial is stale (the array was redistributed
+  // to a different -- mapping-equivalent -- handle since it was
+  // translated).  Left in place, each DISTRIBUTE flip would leak one of
+  // the kBindingCapacity slots until LRU eviction and could squeeze out
+  // live bindings of other arrays; purge them now.
+  std::erase_if(bindings_, [&](const Binding& sb) {
+    return sb.array_serial == a.serial();
+  });
   Binding b;
   b.array_serial = a.serial();
   b.dist = d;

@@ -122,12 +122,60 @@ TEST(Failure, ScheduleRejectsOutOfDomainPoints) {
                               .domain = IndexDomain::of_extents({8}),
                               .dynamic = true,
                               .initial = DistributionType{block()}});
+    // The inspector validates every point against the target domain
+    // before planting anything in its serve/request structures, and the
+    // error names the offending point.
     try {
       parti::Schedule s(ctx, a.dist_handle(), {{99}});
       ck.fail("expected out_of_range");
+    } catch (const std::out_of_range& e) {
+      ck.check(std::string(e.what()).find("(99)") != std::string::npos,
+               ctx.rank(), "error message names the point");
+    }
+    // Below-range and zero (the domain is 1-based) fail the same way.
+    try {
+      parti::Schedule s(ctx, a.dist_handle(), {{1}, {0}});
+      ck.fail("expected out_of_range for index 0");
     } catch (const std::out_of_range&) {
     }
-    // Both ranks threw before communicating; the machine is still usable.
+    // A point whose rank does not match the domain is out of domain too.
+    try {
+      parti::Schedule s(ctx, a.dist_handle(), {{1, 1}});
+      ck.fail("expected out_of_range for rank mismatch");
+    } catch (const std::out_of_range&) {
+    }
+    // Both ranks threw before communicating; the machine is still usable,
+    // and a valid schedule built afterwards works.
+    ctx.barrier();
+    a.init([](const dist::IndexVec& i) { return 2.0 * i[0]; });
+    parti::Schedule good(ctx, a.dist_handle(),
+                         {{static_cast<dist::Index>(1 + ctx.rank() * 4)}});
+    std::vector<double> out(1);
+    good.gather(ctx, a, out);
+    ck.check_eq(out[0], 2.0 * (1 + ctx.rank() * 4), ctx.rank(),
+                "machine usable after rejected inspectors");
+  });
+}
+
+TEST(Failure, ScheduleRejectsOutOfDomainPoints2D) {
+  // Per-dimension validity is not enough: each component may lie inside
+  // its own dimension's range of SOME point while the tuple as a whole is
+  // outside the domain (wrong rank), or one component strays while the
+  // others are fine.  The inspector must catch all of it up front.
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<int> a(env, {.name = "A",
+                           .domain = IndexDomain::of_extents({6, 4}),
+                           .dynamic = true,
+                           .initial = DistributionType{block(), dist::col()}});
+    for (const dist::IndexVec bad :
+         {dist::IndexVec{7, 1}, dist::IndexVec{1, 5}, dist::IndexVec{3}}) {
+      try {
+        parti::Schedule s(ctx, a.dist_handle(), {bad});
+        ck.fail("expected out_of_range for " + bad.to_string());
+      } catch (const std::out_of_range&) {
+      }
+    }
     ctx.barrier();
   });
 }

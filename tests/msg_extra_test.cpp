@@ -2,6 +2,8 @@
 // concurrency stress, and cost-model accounting of the collectives.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstring>
 #include <numeric>
 
 #include "spmd_test_util.hpp"
@@ -130,6 +132,91 @@ TEST(Reduce, LogicalOps) {
                 "and");
     ck.check_eq(ctx.allreduce(mine, ReduceOp::LogicalOr), 1, ctx.rank(),
                 "or");
+  });
+}
+
+TEST(WireFormat, UnpackRingRoundTripsPackRing) {
+  std::vector<std::vector<std::int32_t>> vs = {{1, 2, 3}, {}, {7}, {9, 9}};
+  const auto blob = detail::pack_ring(vs, 2, 3, 4);  // blocks 2, 3, 0
+  std::vector<std::vector<std::int32_t>> out(4);
+  detail::unpack_ring<std::int32_t>(blob, out, 2, 3, 4);
+  EXPECT_EQ(out[2], vs[2]);
+  EXPECT_EQ(out[3], vs[3]);
+  EXPECT_EQ(out[0], vs[0]);
+  EXPECT_TRUE(out[1].empty());  // block 1 not in the frame set
+}
+
+TEST(WireFormat, UnpackRingRejectsCorruptFrameCount) {
+  // A corrupt element count n from the wire must not wrap the bounds
+  // check: with the old `off + n * sizeof(T) > blob.size()` arithmetic,
+  // n = 2^61 makes n * sizeof(double) wrap to 0 and the truncated frame
+  // sails through into a resize(2^61).  The overflow-safe rewrite
+  // (`n > (blob.size() - off) / sizeof(T)`) rejects it.
+  std::vector<std::byte> blob(sizeof(std::uint64_t));
+  const std::uint64_t evil = std::uint64_t{1} << 61;  // evil * 8 wraps to 0
+  std::memcpy(blob.data(), &evil, sizeof evil);
+  std::vector<std::vector<double>> vs(2);
+  EXPECT_THROW(detail::unpack_ring<double>(blob, vs, 0, 1, 2),
+               std::runtime_error);
+  // Near-max counts whose byte size wraps to a small positive value are
+  // caught by the same check.
+  const std::uint64_t evil2 = (std::uint64_t{1} << 61) + 1;  // wraps to 8
+  std::memcpy(blob.data(), &evil2, sizeof evil2);
+  EXPECT_THROW(detail::unpack_ring<double>(blob, vs, 0, 1, 2),
+               std::runtime_error);
+}
+
+TEST(WireFormat, UnpackRingRejectsTruncatedAndTrailingBytes) {
+  std::vector<std::vector<std::int64_t>> one = {{42}};
+  auto blob = detail::pack_ring(one, 0, 1, 1);
+  std::vector<std::vector<std::int64_t>> out(1);
+
+  // Truncated payload: frame promises one element, bytes end early.
+  std::vector<std::byte> cut(blob.begin(), blob.end() - 4);
+  EXPECT_THROW(detail::unpack_ring<std::int64_t>(cut, out, 0, 1, 1),
+               std::runtime_error);
+
+  // Truncated header: fewer than 8 bytes left where a count is due.
+  std::vector<std::byte> stub(blob.begin(), blob.begin() + 3);
+  EXPECT_THROW(detail::unpack_ring<std::int64_t>(stub, out, 0, 1, 1),
+               std::runtime_error);
+
+  // Trailing garbage after the last frame.
+  auto padded = blob;
+  padded.push_back(std::byte{0});
+  EXPECT_THROW(detail::unpack_ring<std::int64_t>(padded, out, 0, 1, 1),
+               std::runtime_error);
+
+  // The intact blob still round-trips.
+  detail::unpack_ring<std::int64_t>(blob, out, 0, 1, 1);
+  EXPECT_EQ(out[0], one[0]);
+}
+
+TEST(WireFormat, BytesToVectorRejectsRaggedPayload) {
+  std::vector<std::byte> bytes(12);  // not a multiple of sizeof(double)
+  EXPECT_THROW(detail::bytes_to_vector<double>(bytes), std::runtime_error);
+  EXPECT_TRUE(detail::bytes_to_vector<double>({}).empty());
+  bytes.resize(16);
+  EXPECT_EQ(detail::bytes_to_vector<double>(bytes).size(), 2u);
+}
+
+TEST(Transport, RecvBytesIntoEnforcesPreAgreedCount) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    if (ctx.rank() == 0) {
+      const std::array<double, 3> payload{1.0, 2.0, 3.0};
+      ctx.send(1, 5, std::span<const double>(payload));
+      ctx.send(1, 6, std::span<const double>(payload));
+    } else {
+      std::array<double, 3> buf{};
+      ctx.recv_bytes_into(0, 5, std::as_writable_bytes(std::span(buf)));
+      ck.check_eq(buf[2], 3.0, 1, "counted receive fills caller storage");
+      std::array<double, 2> wrong{};
+      try {
+        ctx.recv_bytes_into(0, 6, std::as_writable_bytes(std::span(wrong)));
+        ck.fail("expected runtime_error for count mismatch");
+      } catch (const std::runtime_error&) {
+      }
+    }
   });
 }
 

@@ -290,6 +290,72 @@ TEST(Schedule, MultiArrayBindingCacheServesSeveralArrays) {
   });
 }
 
+TEST(Schedule, BindingCachePurgesStaleEntriesAcrossFlips) {
+  // Repeated DISTRIBUTE flips between mapping-equivalent spellings swap
+  // the array's descriptor handle without moving data, so the schedule
+  // keeps serving it -- through a fresh binding each flip.  The stale
+  // (serial, old-handle) entries must be purged on the miss path, or each
+  // flip leaks one of the kBindingCapacity slots until LRU eviction and
+  // can squeeze out live bindings of other arrays.
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    const IndexDomain dom = IndexDomain::of_extents({16});
+    DistArray<double> a(env, {.name = "A",
+                              .domain = dom,
+                              .dynamic = true,
+                              .initial = DistributionType{block()}});
+    a.init([](const IndexVec& i) { return 3.0 * i[0]; });
+    // A second array with the same descriptor: its binding must survive
+    // A's flips.
+    DistArray<double> b(env, {.name = "B",
+                              .domain = dom,
+                              .dynamic = true,
+                              .initial = DistributionType{block()}});
+    b.init([](const IndexVec& i) { return 1000.0 + i[0]; });
+
+    std::vector<IndexVec> wanted;
+    for (Index g = 1 + ctx.rank(); g <= 16; g += 4) wanted.push_back({g});
+    Schedule s(ctx, a.dist_handle(), wanted);
+    std::vector<double> out(wanted.size());
+    s.gather(ctx, b, out);  // bind B once, up front
+
+    // Four spellings of the identical BLOCK mapping over 4 ranks; each
+    // interns to a distinct handle, so each flip is an adopt-descriptor
+    // swap (no data motion) that invalidates A's previous binding.
+    std::vector<int> owners;
+    for (int p = 0; p < 4; ++p) {
+      for (int k = 0; k < 4; ++k) owners.push_back(p);
+    }
+    const std::vector<DistributionType> spellings = {
+        DistributionType{dist::s_block({4, 4, 4, 4})},
+        DistributionType{dist::block()},
+        DistributionType{dist::b_block({4, 8, 12, 16})},
+        DistributionType{dist::indirect(owners)},
+    };
+    for (int round = 0; round < 4; ++round) {
+      for (const auto& t : spellings) {
+        a.distribute(t);
+        s.gather(ctx, a, out);
+        for (std::size_t k = 0; k < wanted.size(); ++k) {
+          ck.check_eq(out[k], 3.0 * wanted[k][0], ctx.rank(),
+                      "gather across spelling flip");
+        }
+        ck.check(s.n_bound_arrays() <= 2, ctx.rank(),
+                 "stale bindings purged (A keeps exactly one slot)");
+      }
+    }
+    // B's binding never went stale and must still be cached: gathering
+    // from B now is a pure hit, not a re-translation.
+    const auto misses_before = s.binding_misses();
+    s.gather(ctx, b, out);
+    ck.check_eq(s.binding_misses(), misses_before, ctx.rank(),
+                "B's binding survived A's flips");
+    for (std::size_t k = 0; k < wanted.size(); ++k) {
+      ck.check_eq(out[k], 1000.0 + wanted[k][0], ctx.rank(), "B data");
+    }
+  });
+}
+
 TEST(Schedule, RandomizedGatherAgainstGlobalTruth) {
   run_checked(4, [](Context& ctx, SpmdChecker& ck) {
     Env env(ctx);
