@@ -1,0 +1,42 @@
+// Asymmetric per-rank overlap areas driven by an adaptive refinement
+// front: a 2-D (BLOCK, BLOCK) field smoothed with a locally refined
+// stencil whose wide radius follows a front sweeping across the grid.
+// Each rank declares ghost widths exactly as wide as its own cells'
+// reads (DistArray::set_overlap, per-rank asymmetric); the plan-time
+// spec exchange reconciles them so the send side packs precisely what
+// each neighbour demands.  The run verifies bitwise against the
+// sequential reference and prints the spec-exchange / plan-cache
+// traffic: a moving front re-reconciles per step, yet every repeated
+// (distribution, family) pair replays a cached plan.
+#include <cstdio>
+
+#include "vf/apps/amr_front.hpp"
+#include "vf/msg/spmd.hpp"
+
+using namespace vf;  // NOLINT(google-build-using-namespace)
+
+int main() {
+  constexpr int kProcs = 4;
+  const apps::AmrFrontConfig cfg{
+      .n = 96, .steps = 10, .front0 = 8, .front_step = 8};
+
+  msg::Machine machine(kProcs);
+  apps::AmrFrontResult res;
+  msg::run_spmd(machine, [&](msg::Context& ctx) {
+    const auto r = apps::run_amr_front(ctx, cfg);
+    if (ctx.rank() == 0) res = r;
+  });
+
+  const double want = apps::amr_checksum(apps::amr_front_reference(cfg));
+  std::printf("amr_front: n=%lld steps=%d on %d procs\n",
+              static_cast<long long>(cfg.n), cfg.steps, kProcs);
+  std::printf("checksum %.6f (sequential reference %.6f, %s)\n",
+              res.checksum, want,
+              res.checksum == want ? "bitwise equal" : "MISMATCH");
+  std::printf(
+      "spec exchanges %llu, halo plan hits %llu / misses %llu\n",
+      static_cast<unsigned long long>(res.spec_exchanges),
+      static_cast<unsigned long long>(res.halo_plan_hits),
+      static_cast<unsigned long long>(res.halo_plan_misses));
+  return res.checksum == want ? 0 : 1;
+}

@@ -35,6 +35,12 @@ struct ArrayInfo {
   /// Carried through the reaching-distribution sets so partial evaluation
   /// can reason about exchange redundancy.
   std::optional<halo::HaloSpec> halo;
+  /// The OVERLAP declaration is per-rank (asymmetric): `halo` is only this
+  /// rank's local spec and other ranks may have declared wider ghosts.
+  /// Rank-local facts (an empty local spec, say) then prove nothing about
+  /// the collective exchange -- this rank still serves its neighbours --
+  /// so partial evaluation must not use them for redundancy.
+  bool halo_asymmetric = false;
 };
 
 enum class StmtKind {

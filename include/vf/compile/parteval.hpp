@@ -40,7 +40,10 @@ struct PartialEvalReport {
   /// ExchangeHalo nodes provably redundant: either the ghost regions are
   /// still current on every reaching path (halo_fresh -- no write,
   /// DISTRIBUTE or opaque call since the previous exchange) or the
-  /// array's declared halo spec has no ghost planes at all.
+  /// array's declared halo spec has no ghost planes at all.  The
+  /// empty-spec argument is suppressed for per-rank (asymmetric)
+  /// declarations: an empty LOCAL spec does not make the collective
+  /// redundant -- this rank may still serve wider-halo neighbours.
   std::vector<int> redundant_halo_exchanges;
   /// (node, array): DISTRIBUTE statements that may violate the array's
   /// RANGE attribute.

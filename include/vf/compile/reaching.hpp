@@ -46,6 +46,11 @@ struct DistSet {
   std::optional<halo::HaloSpec> halo;
   /// MUST-flag: ghost regions are current on every path to this point.
   bool halo_fresh = false;
+  /// MAY-flag: the declaration is per-rank (asymmetric), so `halo` is only
+  /// this rank's local spec; spec-shape deductions (e.g. "empty spec =>
+  /// exchange moves nothing") are unsound and partial evaluation skips
+  /// them.  ORed at joins, copied wherever `halo` is copied.
+  bool halo_asymmetric = false;
 
   /// Widening bound: sets larger than this collapse to the wildcard.
   static constexpr std::size_t kWidenLimit = 8;

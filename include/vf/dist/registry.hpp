@@ -77,6 +77,8 @@ struct RegistryStats {
   std::uint64_t dim_map_misses = 0;  ///< per-dimension map admissions
   std::uint64_t halo_spec_hits = 0;    ///< halo-spec intern hits
   std::uint64_t halo_spec_misses = 0;  ///< halo-spec admissions
+  std::uint64_t halo_family_hits = 0;    ///< halo-family intern hits
+  std::uint64_t halo_family_misses = 0;  ///< halo-family admissions
 };
 
 class DistRegistry {
@@ -124,6 +126,15 @@ class DistRegistry {
   /// uid) pair keys the run-based halo-plan cache as one flat integer.
   [[nodiscard]] halo::HaloHandle intern(const halo::HaloSpec& s);
 
+  /// Interns a reconciled per-rank spec family (the product of the
+  /// plan-time spec exchange, see halo/exchange.hpp).  Members must be
+  /// handles interned in THIS registry, so family equality reduces to
+  /// element-wise handle identity and the (DistHandle uid, family uid)
+  /// pair keys asymmetric halo plans the same way the (DistHandle uid,
+  /// HaloSpec uid) pair keys uniform ones.
+  [[nodiscard]] halo::FamilyHandle intern_family(
+      std::vector<halo::HaloHandle> specs);
+
   /// Disabling makes intern() construct fresh unregistered handles (the
   /// benchmark cold path, measuring per-statement descriptor
   /// construction); existing entries are kept for re-enabling.
@@ -152,6 +163,7 @@ class DistRegistry {
   RegistryStats stats_;
   std::uint32_t next_uid_ = 1;
   std::uint32_t next_halo_uid_ = 1;
+  std::uint32_t next_family_uid_ = 1;
   std::size_t n_dists_ = 0;
 
   // Buckets keyed by structural fingerprint; vectors absorb collisions.
@@ -160,6 +172,8 @@ class DistRegistry {
   std::unordered_map<std::uint64_t, std::vector<ProcessorSectionPtr>>
       sections_;
   std::unordered_map<std::uint64_t, std::vector<halo::HaloHandle>> halos_;
+  std::unordered_map<std::uint64_t, std::vector<halo::FamilyHandle>>
+      halo_families_;
 };
 
 }  // namespace vf::dist

@@ -1,0 +1,50 @@
+// The plan-time halo SPEC EXCHANGE: the collective that lifts the paper's
+// SPMD-uniform OVERLAP declaration (Section 3.1) to per-rank asymmetric
+// ghost widths -- the shape adaptive refinement fronts need.
+//
+// Protocol (one collective, riding the dissemination/Bruck allgather of
+// msg::Context::allgather_vec):
+//
+//   1. every rank flattens its locally declared HaloSpec into a small
+//      Index vector  [rank, corners, lo_0..lo_{r-1}, hi_0..hi_{r-1}];
+//   2. one allgather_vec ships all P width vectors to all ranks in
+//      ceil(log2 P) rounds;
+//   3. each rank re-interns every peer's spec in its own DistRegistry and
+//      interns the resulting per-rank HaloFamily, so the family handle's
+//      uid is a dense local id the HaloPlanCache packs into its key.
+//
+// Reconciliation is where uniformity detects itself: if all P interned
+// handles are identical the family reports uniform() and the caller keeps
+// the uniform plan path and the pre-family (DistHandle uid, HaloSpec uid)
+// cache key.  Arrays whose spec is DECLARED uniform (the SPMD default)
+// never call this at all -- the zero-extra-collective fast path; the
+// spec_exchanges() counter exists so tests and benchmarks can assert
+// exactly that.
+//
+// The exchange is independent of the array's current distribution: a
+// DISTRIBUTE invalidates halo plans (the descriptor uid changes) but not
+// the reconciled family; only a new per-rank spec declaration
+// (DistArray::set_overlap, collective) forces a re-exchange.
+#pragma once
+
+#include <cstdint>
+
+#include "vf/dist/registry.hpp"
+#include "vf/halo/spec.hpp"
+#include "vf/msg/context.hpp"
+
+namespace vf::halo {
+
+/// Process-wide count of spec-exchange collectives performed (monotonic,
+/// summed over all ranks' calls).  Uniform-spec arrays must hold this flat
+/// -- the no-extra-collective fast path the tests gate on.
+[[nodiscard]] std::uint64_t spec_exchanges() noexcept;
+
+/// Reconciles the per-rank overlap declarations of one array (collective:
+/// every rank passes its own interned local spec).  Returns the interned
+/// family; family.handle_of(ctx.rank()) equals `local` re-interned.
+[[nodiscard]] FamilyHandle exchange_specs(msg::Context& ctx,
+                                          dist::DistRegistry& reg,
+                                          const HaloHandle& local);
+
+}  // namespace vf::halo

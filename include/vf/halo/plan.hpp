@@ -60,10 +60,29 @@ struct HaloPlan {
     return n;
   }
 
-  /// Builds the plan for rank `me` of an `np`-rank machine.  Purely local:
-  /// no communication.  Ghosted dimensions must be contiguous.
+  /// Builds the plan for rank `me` of an `np`-rank machine under a
+  /// uniform (SPMD-declared) spec.  Purely local: no communication.
+  /// Ghosted dimensions must be contiguous.  Ghost widths wider than a
+  /// neighbour's owned segment are clipped ("partial fill").
   [[nodiscard]] static HaloPlan build(const dist::Distribution& d,
                                       const HaloSpec& spec, int me, int np);
+
+  /// Builds the plan for rank `me` under a reconciled per-rank spec
+  /// family (halo/exchange.hpp): the receive side enumerates MY ghost
+  /// regions from my own spec, the send side packs exactly what each
+  /// neighbour's spec demands -- so a rank with an empty local spec still
+  /// serves its wide-halo neighbours.  Purely local once the family is
+  /// known (the spec exchange already ran).  A uniform family delegates to
+  /// the uniform build above (including its partial-fill clipping); a
+  /// genuinely asymmetric family is validated strictly first: every
+  /// ghosted dimension must be contiguous for every member, and a rank
+  /// requesting a ghost wider than its neighbour's owned segment is a
+  /// std::invalid_argument naming the rank, dimension and widths
+  /// (asymmetric widths are refinement-driven and exact by contract;
+  /// silent clipping would hide a mis-sized front).
+  [[nodiscard]] static HaloPlan build_family(const dist::Distribution& d,
+                                             const HaloFamily& fam, int me,
+                                             int np);
 
   /// Process-wide count of build() invocations (monotonic; the repeat-
   /// exchange tests assert the cache keeps this flat on the hot path).
@@ -102,6 +121,15 @@ class HaloPlanCache {
   [[nodiscard]] std::shared_ptr<const HaloPlan> lookup_or_build(
       const dist::DistHandle& d, const HaloHandle& h, int me, int np);
 
+  /// Family-keyed lookup for asymmetric per-rank specs: the key packs the
+  /// interned family uid (tagged so it can never collide with a spec uid)
+  /// next to the distribution uid.  Callers divert uniform families to the
+  /// uniform overload above, so an asymmetric declaration that reconciles
+  /// to a uniform family hits the very same cache entry a uniform
+  /// declaration would.
+  [[nodiscard]] std::shared_ptr<const HaloPlan> lookup_or_build(
+      const dist::DistHandle& d, const FamilyHandle& f, int me, int np);
+
   /// Disabling also drops cached plans (benchmarks measuring the cold
   /// plan-construction + exchange path).
   void set_enabled(bool on) {
@@ -121,17 +149,32 @@ class HaloPlanCache {
 
  private:
   struct Entry {
-    // The handles pin the interned descriptor pair (and therefore the uid
-    // pair the key was built from) for the lifetime of the entry.
+    // The handles pin the interned descriptors (and therefore the uids
+    // the key was built from) for the lifetime of the entry.  Exactly one
+    // of halo/family is non-null.
     dist::DistHandle dist;
     HaloHandle halo;
+    FamilyHandle family;
     std::shared_ptr<const HaloPlan> plan;
   };
 
+  // Spec and family uids live in separate registry keyspaces, so the key
+  // tags its low bit: uniform entries end in 0, family entries in 1.  A
+  // uniform lookup therefore keys on the same (dist uid, spec uid) pair it
+  // did before families existed.
   [[nodiscard]] static std::uint64_t key_of(const dist::DistHandle& d,
                                             const HaloHandle& h) noexcept {
-    return (static_cast<std::uint64_t>(d.uid()) << 32) | h.uid();
+    return (static_cast<std::uint64_t>(d.uid()) << 33) |
+           (static_cast<std::uint64_t>(h.uid()) << 1);
   }
+  [[nodiscard]] static std::uint64_t key_of(const dist::DistHandle& d,
+                                            const FamilyHandle& f) noexcept {
+    return (static_cast<std::uint64_t>(d.uid()) << 33) |
+           (static_cast<std::uint64_t>(f.uid()) << 1) | 1u;
+  }
+
+  [[nodiscard]] std::shared_ptr<const HaloPlan> insert(std::uint64_t key,
+                                                       Entry e);
 
   static constexpr std::size_t kCapacity = 16;
 

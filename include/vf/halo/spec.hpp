@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "vf/dist/hash.hpp"
 #include "vf/dist/index.hpp"
@@ -97,6 +98,96 @@ class HaloHandle {
   HaloHandle(HaloSpecPtr p, std::uint32_t uid) : p_(std::move(p)), uid_(uid) {}
 
   HaloSpecPtr p_;
+  std::uint32_t uid_ = 0;
+};
+
+/// The reconciled per-rank overlap description of one distributed array:
+/// one interned HaloSpec handle per rank of the machine, in rank order.
+///
+/// Uniform SPMD programs declare the same spec everywhere and never build
+/// a family (the local handle alone keys every cache, as before this type
+/// existed).  Adaptive codes -- a refinement front widening ghost zones
+/// only where it currently sits -- declare per-rank specs; the plan-time
+/// spec exchange (halo/exchange.hpp) allgathers every rank's widths and
+/// reconciles them into a HaloFamily, so the send side of a halo plan can
+/// pack exactly what each neighbour's spec demands.
+///
+/// Reconciliation detects uniformity: a family whose per-rank handles are
+/// all identical reports uniform(), and callers fall back to the uniform
+/// plan path and the pre-family (DistHandle uid, HaloSpec uid) cache key.
+class HaloFamily {
+ public:
+  HaloFamily() = default;
+
+  /// One interned handle per rank (all non-null, same rank).  Throws on an
+  /// empty vector, a null member or mismatched spec ranks.
+  explicit HaloFamily(std::vector<HaloHandle> specs);
+
+  [[nodiscard]] int nprocs() const noexcept {
+    return static_cast<int>(specs_.size());
+  }
+  [[nodiscard]] const HaloHandle& handle_of(int rank) const noexcept {
+    return specs_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] const HaloSpec& spec_of(int rank) const noexcept {
+    return *specs_[static_cast<std::size_t>(rank)];
+  }
+
+  /// All per-rank handles identical: the family degenerates to one spec
+  /// and callers keep the uniform fast path and cache key.
+  [[nodiscard]] bool uniform() const noexcept { return uniform_; }
+  /// Every rank's spec has all-zero widths (exchange is a no-op).
+  [[nodiscard]] bool empty() const noexcept { return empty_; }
+
+  /// Structural hash over the member specs (the registry's interning
+  /// bucket key).
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Element-wise handle identity: families built from handles interned in
+  /// the same registry compare structurally through it.
+  friend bool operator==(const HaloFamily&, const HaloFamily&) = default;
+
+ private:
+  std::vector<HaloHandle> specs_;
+  bool uniform_ = true;
+  bool empty_ = true;
+};
+
+using HaloFamilyPtr = std::shared_ptr<const HaloFamily>;
+
+/// Shared immutable reference to an interned HaloFamily, mirroring
+/// HaloHandle: equality is pointer identity, uid() is a small dense
+/// per-registry id (0 for null / unregistered wrappers) that the halo-plan
+/// cache packs into flat integer keys alongside the distribution uid.
+class FamilyHandle {
+ public:
+  FamilyHandle() = default;
+
+  [[nodiscard]] const HaloFamily& operator*() const noexcept { return *p_; }
+  [[nodiscard]] const HaloFamily* operator->() const noexcept {
+    return p_.get();
+  }
+  [[nodiscard]] const HaloFamily* get() const noexcept { return p_.get(); }
+  explicit operator bool() const noexcept { return p_ != nullptr; }
+
+  [[nodiscard]] std::uint32_t uid() const noexcept { return uid_; }
+  [[nodiscard]] bool interned() const noexcept { return uid_ != 0; }
+
+  /// Wraps a family without interning (uid 0; never hits identity caches).
+  [[nodiscard]] static FamilyHandle wrap(HaloFamily f) {
+    return FamilyHandle(std::make_shared<const HaloFamily>(std::move(f)), 0);
+  }
+
+  friend bool operator==(const FamilyHandle&, const FamilyHandle&) = default;
+
+ private:
+  friend class vf::dist::DistRegistry;
+  FamilyHandle(HaloFamilyPtr p, std::uint32_t uid)
+      : p_(std::move(p)), uid_(uid) {}
+
+  HaloFamilyPtr p_;
   std::uint32_t uid_ = 0;
 };
 

@@ -55,6 +55,13 @@ class Schedule {
   /// guarantees ghosts are current (exchange_overlap() since the last
   /// write); halo-satisfied points are read-only, so scatter executors
   /// reject schedules that carry any.
+  ///
+  /// `halo` is this rank's LOCAL spec even under an asymmetric per-rank
+  /// declaration (pass the array's halo_spec()): which overlap reads the
+  /// exchange serves is a pure receiver-side fact -- filled widths are my
+  /// own declared widths clipped by what my neighbours own, and the spec
+  /// exchange makes the send side honour exactly them -- so the inspector
+  /// needs no knowledge of the reconciled family.
   Schedule(msg::Context& ctx, dist::DistHandle target,
            std::vector<dist::IndexVec> points, halo::HaloHandle halo);
 

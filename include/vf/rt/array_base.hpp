@@ -173,11 +173,32 @@ class DistArrayBase {
   [[nodiscard]] const dist::DistHandle& dist_handle() const noexcept {
     return dist_;
   }
-  /// The array's interned overlap description (never null): together with
-  /// dist_handle() it keys the Env's halo-plan cache, and PARTI schedule
-  /// bindings compare it by identity to validate overlap-area reads.
+  /// The array's interned LOCAL overlap description (never null): together
+  /// with dist_handle() it keys the Env's halo-plan cache, and PARTI
+  /// schedule bindings compare it by identity to validate overlap-area
+  /// reads.  Under an asymmetric declaration this is this rank's own spec;
+  /// the reconciled per-rank family lives in halo_family().
   [[nodiscard]] const halo::HaloHandle& halo_spec() const noexcept {
     return halo_;
+  }
+  /// Whether the overlap declaration is per-rank (asymmetric): each rank
+  /// may have declared different ghost widths, reconciled by a plan-time
+  /// spec exchange (halo/exchange.hpp).  Uniform (SPMD-declared) arrays
+  /// never pay that collective.
+  [[nodiscard]] bool halo_asymmetric() const noexcept {
+    return halo_asymmetric_;
+  }
+  /// The reconciled per-rank spec family; null until the first
+  /// exchange_overlap() after an asymmetric declaration (the exchange is
+  /// lazy, at plan time), and always null for uniform declarations.
+  [[nodiscard]] const halo::FamilyHandle& halo_family() const noexcept {
+    return halo_family_;
+  }
+  /// Number of spec-exchange collectives this array has performed (one per
+  /// asymmetric declaration actually used by an exchange; 0 forever for
+  /// uniform arrays -- the fast-path assertion).
+  [[nodiscard]] std::uint64_t halo_spec_exchanges() const noexcept {
+    return halo_spec_exchanges_;
   }
   /// This rank's local layout under the current distribution.
   [[nodiscard]] const dist::LocalLayout& layout() const {
@@ -315,6 +336,16 @@ class DistArrayBase {
   /// Precondition checks shared by both distribute() entry points.
   void check_distribute_legal(const NoTransfer& nt) const;
 
+  /// Resolves this array's current halo plan through the Env's cache.
+  /// Uniform declarations key on the (DistHandle uid, HaloSpec uid) pair
+  /// exactly as before families existed; asymmetric declarations first
+  /// reconcile the per-rank family (one lazy allgather, cached on the
+  /// array until the next set_overlap) and -- unless reconciliation
+  /// detected the family is actually uniform -- key on the family uid
+  /// instead, so two ranks with different local specs can never alias one
+  /// plan entry.
+  [[nodiscard]] std::shared_ptr<const halo::HaloPlan> lookup_halo_plan();
+
   /// The DISTRIBUTE engine proper, after the target descriptor has been
   /// resolved to an interned handle.
   void distribute_resolved(dist::DistHandle nd, const NoTransfer& nt);
@@ -361,6 +392,11 @@ class DistArrayBase {
   dist::DistHandle dist_;
   dist::LocalLayout layout_;
   halo::HaloHandle halo_;
+  // Asymmetric overlap state: the declaration flag, the lazily reconciled
+  // per-rank family (null while stale) and the spec-exchange count.
+  bool halo_asymmetric_ = false;
+  halo::FamilyHandle halo_family_;
+  std::uint64_t halo_spec_exchanges_ = 0;
   std::shared_ptr<ConnectClass> cclass_;
 
   // Persistent exchange scratch shared by every executor replay this

@@ -68,6 +68,12 @@ class DistArray final : public DistArrayBase {
     /// Whether diagonal (corner) ghost regions are exchanged too -- the
     /// OVERLAP shape a 9-point stencil needs.  Faces only by default.
     bool overlap_corners = false;
+    /// Per-rank (asymmetric) overlap: each rank may pass DIFFERENT widths
+    /// above (an adaptive refinement front widening its ghost zone only
+    /// where it currently sits).  The first exchange_overlap() reconciles
+    /// them with a plan-time spec exchange; the default (uniform, the
+    /// SPMD-declared OVERLAP of the paper) never pays that collective.
+    bool overlap_asymmetric = false;
   };
 
   /// Declares a primary (or static) array.
@@ -217,6 +223,38 @@ class DistArray final : public DistArrayBase {
   /// handle and thereby the plan.
   void exchange_overlap();
 
+  /// Re-declares this array's overlap (ghost) widths -- the dynamic
+  /// counterpart of the Spec's OVERLAP clause, for adaptive codes whose
+  /// ghost needs move with a refinement front.  Collective: EVERY rank
+  /// must call it at the same point, even ranks whose own widths are
+  /// unchanged (the call marks the reconciled spec family stale on all
+  /// ranks together; a rank that skipped it would enter the next spec
+  /// exchange with a stale family and the collective would not match up).
+  /// With `asymmetric` (the default) each rank passes its own widths;
+  /// with it false the call is the uniform SPMD declaration and no spec
+  /// exchange will happen.  Owned element values are preserved across the
+  /// storage reshape; ghost contents are invalidated (zeroed) until the
+  /// next exchange_overlap().
+  void set_overlap(const dist::IndexVec& lo, const dist::IndexVec& hi,
+                   bool corners = false, bool asymmetric = true) {
+    const dist::IndexVec nlo = normalize_ghost(lo);
+    const dist::IndexVec nhi = normalize_ghost(hi);
+    halo::HaloHandle nh =
+        env_->registry().intern(halo::HaloSpec(nlo, nhi, corners));
+    halo_asymmetric_ = asymmetric;
+    // Stale on every call: peers may have changed their widths even when
+    // this rank's handle is unchanged.
+    halo_family_ = halo::FamilyHandle{};
+    if (nh == halo_) return;
+    if (!dist_) {
+      ghost_lo_ = nlo;
+      ghost_hi_ = nhi;
+      halo_ = std::move(nh);
+      return;
+    }
+    reshape_ghost_storage(nlo, nhi, std::move(nh));
+  }
+
   // ---- redistribution plan cache ------------------------------------------
 
   /// Enables/disables the (old, new) distribution plan cache; disabling
@@ -250,6 +288,7 @@ class DistArray final : public DistArrayBase {
     ghost_hi_ = normalize_ghost(spec.overlap_hi);
     halo_ = env.registry().intern(
         halo::HaloSpec(ghost_lo_, ghost_hi_, spec.overlap_corners));
+    halo_asymmetric_ = spec.overlap_asymmetric;
 
     if (connect) {
       // Secondary: adopt a distribution derived from the primary if the
@@ -299,6 +338,43 @@ class DistArray final : public DistArrayBase {
           dom_, *spec.initial, spec.to ? *spec.to : env.whole());
       check_range(d->type());
       apply_distribution(std::move(d), false);
+    }
+  }
+
+  /// Re-allocates local storage for new ghost widths, copying the owned
+  /// block across (run-wise over the innermost dimension: both layouts are
+  /// column-major over the same owned counts, only the ghost padding and
+  /// therefore the strides differ).  Ghost planes start zeroed.
+  void reshape_ghost_storage(const dist::IndexVec& nlo,
+                             const dist::IndexVec& nhi, halo::HaloHandle nh) {
+    const dist::IndexVec old_lo = ghost_lo_;
+    const dist::IndexVec old_strides = alloc_strides_;
+    const std::vector<T> old_local = std::move(local_);
+    ghost_lo_ = nlo;
+    ghost_hi_ = nhi;
+    halo_ = std::move(nh);
+    rebuild_storage_shape();
+    local_.assign(static_cast<std::size_t>(alloc_total_), T{});
+    if (!layout_.member || layout_.total == 0) return;
+    const int r = dom_.rank();
+    std::array<dist::Index, dist::kMaxRank> pos{};
+    for (;;) {
+      dist::Index old_off = old_lo[0] * old_strides[0];
+      dist::Index new_off = ghost_lo_[0] * alloc_strides_[0];
+      for (int d = 1; d < r; ++d) {
+        old_off += (pos[static_cast<std::size_t>(d)] + old_lo[d]) *
+                   old_strides[d];
+        new_off += (pos[static_cast<std::size_t>(d)] + ghost_lo_[d]) *
+                   alloc_strides_[d];
+      }
+      std::memcpy(local_.data() + new_off, old_local.data() + old_off,
+                  static_cast<std::size_t>(layout_.counts[0]) * sizeof(T));
+      int d = 1;
+      for (; d < r; ++d) {
+        if (++pos[static_cast<std::size_t>(d)] < layout_.counts[d]) break;
+        pos[static_cast<std::size_t>(d)] = 0;
+      }
+      if (d >= r) break;
     }
   }
 
@@ -505,11 +581,12 @@ class DistArray final : public DistArrayBase {
 
 template <typename T>
 void DistArray<T>::exchange_overlap() {
-  if (!dist_) throw NotDistributedError(name_);
   auto& ctx = env_->comm();
-  const int np = ctx.nprocs();
-  const std::shared_ptr<const halo::HaloPlan> plan =
-      env_->halo_plans().lookup_or_build(dist_, halo_, env_->rank(), np);
+  // Plan resolution handles both declaration forms: uniform specs go
+  // straight to the (DistHandle, HaloSpec) keyed cache with no extra
+  // collective; asymmetric specs reconcile the per-rank family first (one
+  // lazy allgather) and key on it unless it turned out uniform.
+  const std::shared_ptr<const halo::HaloPlan> plan = lookup_halo_plan();
 
   // Executor: one memcpy per run into exactly-sized buffers, one
   // pre-counted all-to-all, one memcpy per run out -- no per-call

@@ -1,0 +1,166 @@
+#include "vf/apps/amr_front.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "vf/rt/dist_array.hpp"
+
+namespace vf::apps {
+
+namespace {
+
+using dist::Index;
+using dist::IndexVec;
+
+/// Per-rank ghost widths in dimension 0 for a segment [a, b] when the
+/// front is at f: the widest reach of any owned cell's radius past each
+/// segment edge.  A cell i reads down to i - r(i), so the low width is
+/// max over owned i of r(i) - (i - a); only cells within front_width of
+/// the edge can contribute a positive value.
+struct Dim0Widths {
+  Index lo = 0;
+  Index hi = 0;
+};
+
+Dim0Widths dim0_widths(Index a, Index b, Index f, const AmrFrontConfig& cfg) {
+  Dim0Widths w;
+  for (Index i = a; i <= b && i <= a + cfg.front_width; ++i) {
+    const Index r =
+        amr_radius(i, f, cfg.front_halfspan, cfg.base_width, cfg.front_width);
+    w.lo = std::max(w.lo, r - (i - a));
+  }
+  for (Index i = std::max(a, b - cfg.front_width); i <= b; ++i) {
+    const Index r =
+        amr_radius(i, f, cfg.front_halfspan, cfg.base_width, cfg.front_width);
+    w.hi = std::max(w.hi, r - (b - i));
+  }
+  return w;
+}
+
+int isqrt_exact(int np) {
+  int q = 1;
+  while (q * q < np) ++q;
+  if (q * q != np) {
+    throw std::invalid_argument(
+        "run_amr_front: nprocs must be a perfect square, got " +
+        std::to_string(np));
+  }
+  return q;
+}
+
+}  // namespace
+
+double amr_seed(Index i, Index j, Index n) {
+  // Position-sensitive and cheap; the spike makes directional mistakes
+  // visible immediately.
+  return static_cast<double>((i * 13 + j * 29) % 31) +
+         (i == n / 2 && j == n / 3 ? 50.0 : 0.0);
+}
+
+double amr_checksum(const std::vector<double>& full) {
+  double acc = 0.0;
+  for (double v : full) acc += v;
+  return acc;
+}
+
+AmrFrontResult run_amr_front(msg::Context& ctx, const AmrFrontConfig& cfg) {
+  const int np = ctx.nprocs();
+  const int q = isqrt_exact(np);
+  // The asymmetric spec contract is exact (no partial fill): every
+  // non-empty BLOCK segment must be able to serve a front_width ghost.
+  const Index bw = (cfg.n + q - 1) / q;           // ceil(n / q)
+  const Index last = cfg.n - (q - 1) * bw;        // final coordinate's share
+  if (cfg.front_width > bw || (last > 0 && cfg.front_width > last)) {
+    throw std::invalid_argument(
+        "run_amr_front: block segments must be at least front_width wide");
+  }
+  rt::Env env(ctx, dist::ProcessorArray::grid(q, q));
+  const Index n = cfg.n;
+  const rt::DistArray<double>::Spec base{
+      .name = "AMR_A",
+      .domain = dist::IndexDomain::of_extents({n, n}),
+      .dynamic = true,
+      .initial = dist::DistributionType{dist::block(), dist::block()},
+      .overlap_lo = {cfg.base_width, 1},
+      .overlap_hi = {cfg.base_width, 1},
+      .overlap_corners = false,
+      .overlap_asymmetric = true};
+  rt::DistArray<double> a(env, base);
+  auto bspec = base;
+  bspec.name = "AMR_B";
+  rt::DistArray<double> b(env, bspec);
+  a.init([n](const IndexVec& i) { return amr_seed(i[0], i[1], n); });
+
+  rt::DistArray<double>* src = &a;
+  rt::DistArray<double>* dst = &b;
+  for (int step = 0; step < cfg.steps; ++step) {
+    const Index f = cfg.front0 + static_cast<Index>(step) * cfg.front_step;
+    // Re-declare this rank's ghost needs for the current front position
+    // (collective: every rank calls, including ranks far from the front
+    // whose widths stay at base_width).
+    Index lo0 = cfg.base_width;
+    Index hi0 = cfg.base_width;
+    if (src->layout().member) {
+      const auto seg = src->distribution().dim_map(0).segment(
+          static_cast<int>(src->layout().coords[0]));
+      if (seg) {
+        const Dim0Widths w = dim0_widths(seg->lo, seg->hi, f, cfg);
+        lo0 = std::max(lo0, w.lo);
+        hi0 = std::max(hi0, w.hi);
+      }
+    }
+    src->set_overlap({lo0, 1}, {hi0, 1}, /*corners=*/false,
+                     /*asymmetric=*/true);
+    src->exchange_overlap();
+    dst->for_owned([&](const IndexVec& i, double& out) {
+      const Index r = amr_radius(i[0], f, cfg.front_halfspan, cfg.base_width,
+                                 cfg.front_width);
+      out = amr_point(i[0], i[1], n, r, [&](Index x, Index y) {
+        return src->halo({x, y});
+      });
+    });
+    std::swap(src, dst);
+  }
+
+  AmrFrontResult res;
+  const std::vector<double> full = src->gather_global();
+  res.checksum = amr_checksum(full);
+  res.spec_exchanges = ctx.allreduce<std::uint64_t>(
+      a.halo_spec_exchanges() + b.halo_spec_exchanges(), msg::ReduceOp::Sum);
+  res.halo_plan_hits = ctx.allreduce<std::uint64_t>(
+      env.halo_plans().stats().hits, msg::ReduceOp::Sum);
+  res.halo_plan_misses = ctx.allreduce<std::uint64_t>(
+      env.halo_plans().stats().misses, msg::ReduceOp::Sum);
+  return res;
+}
+
+std::vector<double> amr_front_reference(const AmrFrontConfig& cfg) {
+  const Index n = cfg.n;
+  std::vector<double> cur(static_cast<std::size_t>(n * n));
+  for (Index j = 1; j <= n; ++j) {
+    for (Index i = 1; i <= n; ++i) {
+      cur[static_cast<std::size_t>((i - 1) + n * (j - 1))] =
+          amr_seed(i, j, n);
+    }
+  }
+  std::vector<double> next(cur.size());
+  for (int step = 0; step < cfg.steps; ++step) {
+    const Index f = cfg.front0 + static_cast<Index>(step) * cfg.front_step;
+    const auto rd = [&](Index x, Index y) {
+      return cur[static_cast<std::size_t>((x - 1) + n * (y - 1))];
+    };
+    for (Index j = 1; j <= n; ++j) {
+      for (Index i = 1; i <= n; ++i) {
+        const Index r = amr_radius(i, f, cfg.front_halfspan, cfg.base_width,
+                                   cfg.front_width);
+        next[static_cast<std::size_t>((i - 1) + n * (j - 1))] =
+            amr_point(i, j, n, r, rd);
+      }
+    }
+    std::swap(cur, next);
+  }
+  return cur;
+}
+
+}  // namespace vf::apps

@@ -114,7 +114,14 @@ PartialEvalReport partial_eval(const Program& p, const ReachingResult& r) {
     }
     if (n.stmt.kind == StmtKind::ExchangeHalo) {
       const DistSet& before = r.plausible(n.id, n.stmt.array);
-      if (before.halo_fresh || (before.halo && before.halo->empty())) {
+      // The empty-spec shortcut is a rank-local spec-shape deduction:
+      // under an asymmetric declaration this rank's spec says nothing
+      // about its neighbours' ghost demands (and a rank-dependent skip of
+      // a collective would deadlock), so only the SPMD-consistent
+      // freshness argument applies there.
+      const bool empty_spec = !before.halo_asymmetric && before.halo &&
+                              before.halo->empty();
+      if (before.halo_fresh || empty_spec) {
         report.redundant_halo_exchanges.push_back(n.id);
       }
     }

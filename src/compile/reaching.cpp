@@ -26,6 +26,9 @@ void DistSet::merge(const DistSet& o) {
   // Freshness is a must-property: the ghosts are current only if every
   // joining path left them current.
   halo_fresh = halo_fresh && o.halo_fresh;
+  // Asymmetry is a may-property: if any joining path carries a per-rank
+  // declaration, spec-shape deductions stay disabled downstream.
+  halo_asymmetric = halo_asymmetric || o.halo_asymmetric;
   if (!halo) {
     halo = o.halo;
   } else if (o.halo && !(*halo == *o.halo)) {
@@ -52,7 +55,8 @@ std::string DistSet::to_string() const {
   }
   if (halo) {
     if (!first) os << ", ";
-    os << halo->to_string() << (halo_fresh ? "/fresh" : "/stale");
+    os << halo->to_string() << (halo_fresh ? "/fresh" : "/stale")
+       << (halo_asymmetric ? "/asym" : "");
     first = false;
   }
   os << "}";
@@ -86,7 +90,10 @@ State transfer(const Program& p, const Node& n, State s,
       d.undistributed = false;
       d.add(n.stmt.dist);
       const auto it = s.find(n.stmt.array);
-      if (it != s.end()) d.halo = it->second.halo;
+      if (it != s.end()) {
+        d.halo = it->second.halo;
+        d.halo_asymmetric = it->second.halo_asymmetric;
+      }
       s[n.stmt.array] = std::move(d);
       break;
     }
@@ -100,6 +107,7 @@ State transfer(const Program& p, const Node& n, State s,
         d.undistributed = false;
         d.halo = it->second.halo;
         d.halo_fresh = it->second.halo_fresh;
+        d.halo_asymmetric = it->second.halo_asymmetric;
         for (const auto& t : it->second.types) {
           if (n.stmt.dist.may_match(t)) d.add(t);
         }
@@ -128,7 +136,10 @@ State transfer(const Program& p, const Node& n, State s,
           d.add(AbstractDist::wildcard());
         }
         const auto it = s.find(name);
-        if (it != s.end()) d.halo = it->second.halo;
+        if (it != s.end()) {
+          d.halo = it->second.halo;
+          d.halo_asymmetric = it->second.halo_asymmetric;
+        }
         s[name] = std::move(d);
       }
       break;
@@ -145,7 +156,10 @@ State transfer(const Program& p, const Node& n, State s,
       for (std::size_t k = 0; k < n.stmt.arrays.size(); ++k) {
         DistSet d = cached->exit_sets.at(k);
         const auto it = s.find(n.stmt.arrays[k]);
-        if (it != s.end()) d.halo = it->second.halo;
+        if (it != s.end()) {
+          d.halo = it->second.halo;
+          d.halo_asymmetric = it->second.halo_asymmetric;
+        }
         d.halo_fresh = false;
         s[n.stmt.arrays[k]] = std::move(d);
       }
@@ -216,6 +230,7 @@ ReachingResult analyze_reaching(const Program& p,
       d.undistributed = true;
     }
     d.halo = a.halo;
+    d.halo_asymmetric = a.halo_asymmetric;
     init[a.name] = std::move(d);
   }
   if (entry_override != nullptr) {

@@ -164,11 +164,30 @@ halo::HaloHandle DistRegistry::intern(const halo::HaloSpec& s) {
   return h;
 }
 
+halo::FamilyHandle DistRegistry::intern_family(
+    std::vector<halo::HaloHandle> specs) {
+  halo::HaloFamily f(std::move(specs));
+  if (!enabled_) return halo::FamilyHandle::wrap(std::move(f));
+  const std::uint64_t key = f.hash();
+  for (const halo::FamilyHandle& cand : halo_families_[key]) {
+    if (*cand == f) {
+      ++stats_.halo_family_hits;
+      return cand;
+    }
+  }
+  ++stats_.halo_family_misses;
+  halo::FamilyHandle h(std::make_shared<const halo::HaloFamily>(std::move(f)),
+                       next_family_uid_++);
+  halo_families_[key].push_back(h);
+  return h;
+}
+
 void DistRegistry::clear() {
   dists_.clear();
   dim_maps_.clear();
   sections_.clear();
   halos_.clear();
+  halo_families_.clear();
   n_dists_ = 0;
 }
 

@@ -1,0 +1,61 @@
+#include "vf/halo/exchange.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace vf::halo {
+
+namespace {
+
+std::atomic<std::uint64_t> g_spec_exchanges{0};
+
+/// Wire form of one rank's spec: [rank, corners, lo..., hi...].
+std::vector<dist::Index> flatten(const HaloSpec& s) {
+  std::vector<dist::Index> v;
+  v.reserve(2 + 2 * static_cast<std::size_t>(s.rank()));
+  v.push_back(s.rank());
+  v.push_back(s.corners() ? 1 : 0);
+  for (int d = 0; d < s.rank(); ++d) v.push_back(s.lo(d));
+  for (int d = 0; d < s.rank(); ++d) v.push_back(s.hi(d));
+  return v;
+}
+
+HaloSpec unflatten(const std::vector<dist::Index>& v, int peer) {
+  if (v.size() < 2 || v[0] < 0 || v[0] > dist::kMaxRank ||
+      v.size() != 2 + 2 * static_cast<std::size_t>(v[0])) {
+    throw std::runtime_error("halo spec exchange: malformed width vector "
+                             "from rank " +
+                             std::to_string(peer));
+  }
+  const int r = static_cast<int>(v[0]);
+  dist::IndexVec lo = dist::IndexVec::filled(r, 0);
+  dist::IndexVec hi = dist::IndexVec::filled(r, 0);
+  for (int d = 0; d < r; ++d) {
+    lo[d] = v[static_cast<std::size_t>(2 + d)];
+    hi[d] = v[static_cast<std::size_t>(2 + r + d)];
+  }
+  return HaloSpec(lo, hi, v[1] != 0);
+}
+
+}  // namespace
+
+std::uint64_t spec_exchanges() noexcept {
+  return g_spec_exchanges.load(std::memory_order_relaxed);
+}
+
+FamilyHandle exchange_specs(msg::Context& ctx, dist::DistRegistry& reg,
+                            const HaloHandle& local) {
+  if (!local) {
+    throw std::invalid_argument("exchange_specs: null local halo handle");
+  }
+  g_spec_exchanges.fetch_add(1, std::memory_order_relaxed);
+  auto per_rank = ctx.allgather_vec(flatten(*local));
+  std::vector<HaloHandle> specs;
+  specs.reserve(per_rank.size());
+  for (std::size_t p = 0; p < per_rank.size(); ++p) {
+    specs.push_back(reg.intern(unflatten(per_rank[p], static_cast<int>(p))));
+  }
+  return reg.intern_family(std::move(specs));
+}
+
+}  // namespace vf::halo

@@ -22,20 +22,75 @@ int neighbour_coord(const dist::DimMap& m, int c, int step) {
   return -1;
 }
 
-}  // namespace
-
-std::uint64_t HaloPlan::builds() noexcept {
-  return g_builds.load(std::memory_order_relaxed);
+/// Strict admission check of a genuinely asymmetric family against a
+/// distribution: every ghosted dimension must be contiguous for every
+/// member, and no rank may request a ghost wider than the segment its
+/// neighbour actually owns (the uniform path clips instead -- see
+/// HaloPlan::build_family's contract).
+void validate_family(const dist::Distribution& d, const HaloFamily& fam,
+                     int np) {
+  const int r = d.domain().rank();
+  for (int dd = 0; dd < r; ++dd) {
+    bool any = false;
+    for (int p = 0; p < np && !any; ++p) {
+      const HaloSpec& s = fam.spec_of(p);
+      any = s.rank() != 0 && (s.lo(dd) > 0 || s.hi(dd) > 0);
+    }
+    if (any && !d.dim_map(dd).contiguous()) {
+      throw std::invalid_argument(
+          "HaloPlan: asymmetric overlap areas require a contiguous "
+          "distribution in dimension " +
+          std::to_string(dd));
+    }
+  }
+  const auto check_side = [&](int p, const dist::LocalLayout& L, int dd,
+                              Index want, int step, const char* side) {
+    if (want <= 0) return;
+    const dist::DimMap& m = d.dim_map(dd);
+    const int n = neighbour_coord(m, static_cast<int>(L.coords[dd]), step);
+    if (n >= 0 && m.count_on(n) < want) {
+      throw std::invalid_argument(
+          "HaloPlan: rank " + std::to_string(p) + " requests a " + side +
+          " ghost of " + std::to_string(want) + " plane(s) in dimension " +
+          std::to_string(dd) + " but its neighbour owns only " +
+          std::to_string(m.count_on(n)) +
+          " (asymmetric specs are exact; shrink the requested width)");
+    }
+  };
+  for (int p = 0; p < np; ++p) {
+    const HaloSpec& s = fam.spec_of(p);
+    if (s.rank() == 0 || s.empty()) continue;
+    if (s.rank() != r) {
+      throw std::invalid_argument(
+          "HaloPlan: rank " + std::to_string(p) +
+          "'s spec rank does not match the distribution");
+    }
+    const dist::LocalLayout L = d.layout_for(p);
+    if (!L.member || L.total == 0) continue;
+    for (int dd = 0; dd < r; ++dd) {
+      check_side(p, L, dd, s.lo(dd), -1, "low");
+      check_side(p, L, dd, s.hi(dd), +1, "high");
+    }
+  }
 }
 
-HaloPlan HaloPlan::build(const dist::Distribution& d, const HaloSpec& spec,
-                         int me, int np) {
+/// The shared plan-construction body.  `mine` is this rank's own spec (the
+/// receive side: my ghost regions); `spec_of(rank)` yields the spec of any
+/// peer (the send side: what that peer's ghost regions demand of me).  For
+/// the uniform build both are the same spec; for a family the send side
+/// reads each neighbour's member spec.  `any_remote_ghost` says whether
+/// ANY rank's spec has non-zero widths -- a rank with an empty local spec
+/// must still walk the direction loop to serve its neighbours.
+template <typename SpecOf>
+HaloPlan build_impl(const dist::Distribution& d, const HaloSpec& mine,
+                    SpecOf&& spec_of, bool any_remote_ghost, int me, int np) {
   g_builds.fetch_add(1, std::memory_order_relaxed);
   HaloPlan plan;
   plan.send_counts.assign(static_cast<std::size_t>(np), 0);
   plan.recv_counts.assign(static_cast<std::size_t>(np), 0);
 
   const int r = d.domain().rank();
+  const HaloSpec& spec = mine;
   if (spec.rank() != 0 && spec.rank() != r) {
     throw std::invalid_argument(
         "HaloPlan: spec rank does not match the distribution");
@@ -67,7 +122,7 @@ HaloPlan HaloPlan::build(const dist::Distribution& d, const HaloSpec& spec,
     total_alloc *= L.counts[dd] + glo[static_cast<std::size_t>(dd)] +
                    ghi[static_cast<std::size_t>(dd)];
   }
-  if (!any_ghost) return plan;
+  if (!any_ghost && !any_remote_ghost) return plan;
 
   const dist::RankAffine& affine = d.rank_affine();
   const auto rank_of = [&](const std::array<int, kMaxRank>& coords) {
@@ -86,7 +141,7 @@ HaloPlan HaloPlan::build(const dist::Distribution& d, const HaloSpec& spec,
   // agree and only values travel.
   const auto emit = [&](const std::array<Index, kMaxRank>& from,
                         const std::array<Index, kMaxRank>& width, int peer,
-                        std::vector<Run>& runs,
+                        std::vector<HaloPlan::Run>& runs,
                         std::vector<std::uint64_t>& counts) {
     Index total = 1;
     for (int dd = 0; dd < r; ++dd) total *= width[static_cast<std::size_t>(dd)];
@@ -101,7 +156,7 @@ HaloPlan HaloPlan::build(const dist::Distribution& d, const HaloSpec& spec,
                 glo[static_cast<std::size_t>(e)]) *
                stride[static_cast<std::size_t>(e)];
       }
-      runs.push_back(Run{static_cast<std::size_t>(off),
+      runs.push_back(HaloPlan::Run{static_cast<std::size_t>(off),
                          static_cast<std::size_t>(width[0]), peer});
       int e = 1;
       for (; e < r; ++e) {
@@ -136,11 +191,11 @@ HaloPlan HaloPlan::build(const dist::Distribution& d, const HaloSpec& spec,
     int nonzero = 0;
     for (int dd = 0; dd < r; ++dd) nonzero += s[static_cast<std::size_t>(dd)] != 0;
     if (nonzero == 0) continue;
-    if (nonzero > 1 && !spec.corners()) continue;
 
     // Receiver role: the rank at direction s is my source; it fills my
-    // ghost region on side s.
-    {
+    // ghost region on side s.  Gated on MY corners flag -- my spec alone
+    // defines my ghost regions.
+    if (nonzero == 1 || spec.corners()) {
       bool valid = true;
       std::array<Index, kMaxRank> from{};
       std::array<Index, kMaxRank> width{};
@@ -177,46 +232,86 @@ HaloPlan HaloPlan::build(const dist::Distribution& d, const HaloSpec& spec,
 
     // Sender role: the rank at direction s is my receiver; I fill its
     // ghost region on the side facing me with my outermost owned planes.
+    // The region is defined by the RECEIVER's spec (widths and corners
+    // flag), so resolve the peer rank first and read its member spec --
+    // under a uniform family that is my own spec and this degenerates to
+    // the original symmetric walk.
     {
       bool valid = true;
-      std::array<Index, kMaxRank> from{};
-      std::array<Index, kMaxRank> width{};
       std::array<int, kMaxRank> peer{};
       for (int dd = 0; dd < r && valid; ++dd) {
         const auto ud = static_cast<std::size_t>(dd);
         const int c = static_cast<int>(L.coords[dd]);
         peer[ud] = c;
-        if (s[ud] == 0) {
-          from[ud] = 0;
-          width[ud] = L.counts[dd];
-        } else {
+        if (s[ud] == 0) continue;
+        const int n = neighbour_coord(d.dim_map(dd), c, s[ud]);
+        if (n < 0) {
+          valid = false;
+          break;
+        }
+        peer[ud] = n;
+      }
+      if (valid) {
+        const int peer_rank = rank_of(peer);
+        const HaloSpec& rs = spec_of(peer_rank);
+        const bool rs_none = rs.rank() == 0;
+        if (nonzero > 1 && (rs_none || !rs.corners())) valid = false;
+        std::array<Index, kMaxRank> from{};
+        std::array<Index, kMaxRank> width{};
+        for (int dd = 0; dd < r && valid; ++dd) {
+          const auto ud = static_cast<std::size_t>(dd);
+          if (s[ud] == 0) {
+            from[ud] = 0;
+            width[ud] = L.counts[dd];
+            continue;
+          }
           // A receiver above me (s = +1) reads my top planes into its low
           // ghost; a receiver below reads my bottom planes into its high
           // ghost.
-          const dist::DimMap& m = d.dim_map(dd);
-          const Index g = s[ud] > 0 ? glo[ud] : ghi[ud];
-          const int n = neighbour_coord(m, c, s[ud]);
-          if (g == 0 || n < 0) {
-            valid = false;
-            break;
-          }
+          const Index g = rs_none ? 0 : (s[ud] > 0 ? rs.lo(dd) : rs.hi(dd));
           const Index w = std::min<Index>(g, L.counts[dd]);
           if (w == 0) {
             valid = false;
             break;
           }
-          peer[ud] = n;
           from[ud] = s[ud] > 0 ? L.counts[dd] - w : 0;
           width[ud] = w;
         }
-      }
-      if (valid) {
-        emit(from, width, rank_of(peer), plan.pack_runs, plan.send_counts);
+        if (valid) {
+          emit(from, width, peer_rank, plan.pack_runs, plan.send_counts);
+        }
       }
     }
   } while (advance());
 
   return plan;
+}
+
+}  // namespace
+
+std::uint64_t HaloPlan::builds() noexcept {
+  return g_builds.load(std::memory_order_relaxed);
+}
+
+HaloPlan HaloPlan::build(const dist::Distribution& d, const HaloSpec& spec,
+                         int me, int np) {
+  return build_impl(
+      d, spec, [&](int) -> const HaloSpec& { return spec; },
+      /*any_remote_ghost=*/!spec.empty(), me, np);
+}
+
+HaloPlan HaloPlan::build_family(const dist::Distribution& d,
+                                const HaloFamily& fam, int me, int np) {
+  if (fam.nprocs() != np) {
+    throw std::invalid_argument(
+        "HaloPlan: family member count does not match the machine size");
+  }
+  if (fam.uniform()) return build(d, fam.spec_of(me), me, np);
+  validate_family(d, fam, np);
+  return build_impl(
+      d, fam.spec_of(me),
+      [&](int rank) -> const HaloSpec& { return fam.spec_of(rank); },
+      /*any_remote_ghost=*/!fam.empty(), me, np);
 }
 
 HaloFill filled_widths(const dist::Distribution& d, const HaloSpec& spec,
@@ -244,6 +339,18 @@ HaloFill filled_widths(const dist::Distribution& d, const HaloSpec& spec,
   return f;
 }
 
+std::shared_ptr<const HaloPlan> HaloPlanCache::insert(std::uint64_t key,
+                                                      Entry e) {
+  if (map_.size() >= kCapacity && !order_.empty()) {
+    map_.erase(order_.front());
+    order_.erase(order_.begin());
+  }
+  order_.push_back(key);
+  auto plan = e.plan;
+  map_.insert_or_assign(key, std::move(e));
+  return plan;
+}
+
 std::shared_ptr<const HaloPlan> HaloPlanCache::lookup_or_build(
     const dist::DistHandle& d, const HaloHandle& h, int me, int np) {
   if (!d || !h) {
@@ -262,13 +369,30 @@ std::shared_ptr<const HaloPlan> HaloPlanCache::lookup_or_build(
   auto plan =
       std::make_shared<const HaloPlan>(HaloPlan::build(*d, *h, me, np));
   if (cacheable) {
-    if (map_.size() >= kCapacity && !order_.empty()) {
-      map_.erase(order_.front());
-      order_.erase(order_.begin());
+    return insert(key_of(d, h), Entry{d, h, FamilyHandle{}, std::move(plan)});
+  }
+  return plan;
+}
+
+std::shared_ptr<const HaloPlan> HaloPlanCache::lookup_or_build(
+    const dist::DistHandle& d, const FamilyHandle& f, int me, int np) {
+  if (!d || !f) {
+    throw std::invalid_argument(
+        "HaloPlanCache: null distribution or family handle");
+  }
+  const bool cacheable = enabled_ && d.interned() && f.interned();
+  if (cacheable) {
+    const auto it = map_.find(key_of(d, f));
+    if (it != map_.end()) {
+      ++stats_.hits;
+      return it->second.plan;
     }
-    const std::uint64_t key = key_of(d, h);
-    order_.push_back(key);
-    map_.insert_or_assign(key, Entry{d, h, plan});
+    ++stats_.misses;
+  }
+  auto plan = std::make_shared<const HaloPlan>(
+      HaloPlan::build_family(*d, *f, me, np));
+  if (cacheable) {
+    return insert(key_of(d, f), Entry{d, HaloHandle{}, f, std::move(plan)});
   }
   return plan;
 }

@@ -5,6 +5,12 @@
 
 namespace vf::halo {
 
+namespace {
+// Families hash in a salted keyspace so a single-member family can never
+// collide with its member spec inside a shared bucket map.
+constexpr std::uint64_t kFamilyHashSalt = 0x9e3779b97f4a7c15ULL;
+}  // namespace
+
 HaloSpec::HaloSpec(dist::IndexVec lo, dist::IndexVec hi, bool corners)
     : lo_(lo), hi_(hi), corners_(corners) {
   if (lo_.size() != hi_.size()) {
@@ -40,6 +46,49 @@ std::uint64_t HaloSpec::hash() const noexcept {
   for (dist::Index w : lo_) h = dist::fnv1a(h, static_cast<std::uint64_t>(w));
   for (dist::Index w : hi_) h = dist::fnv1a(h, static_cast<std::uint64_t>(w));
   return dist::fnv1a(h, corners_ ? 1u : 0u);
+}
+
+HaloFamily::HaloFamily(std::vector<HaloHandle> specs)
+    : specs_(std::move(specs)) {
+  if (specs_.empty()) {
+    throw std::invalid_argument("HaloFamily: no per-rank specs");
+  }
+  const HaloHandle& first = specs_.front();
+  if (!first) throw std::invalid_argument("HaloFamily: null member spec");
+  // Rank consistency is checked against the first member that actually
+  // declares a rank; rank-0 "none" specs are compatible with anything.
+  int rank = 0;
+  for (const HaloHandle& h : specs_) {
+    if (!h) throw std::invalid_argument("HaloFamily: null member spec");
+    if (h->rank() != 0) {
+      if (rank == 0) {
+        rank = h->rank();
+      } else if (h->rank() != rank) {
+        throw std::invalid_argument(
+            "HaloFamily: member specs disagree on the array rank");
+      }
+    }
+    uniform_ = uniform_ && h == first;
+    empty_ = empty_ && h->empty();
+  }
+}
+
+std::uint64_t HaloFamily::hash() const noexcept {
+  std::uint64_t h = dist::fnv1a(kFamilyHashSalt,
+                                static_cast<std::uint64_t>(specs_.size()));
+  for (const HaloHandle& s : specs_) h = dist::fnv1a(h, s->hash());
+  return h;
+}
+
+std::string HaloFamily::to_string() const {
+  std::ostringstream os;
+  os << "FAMILY[";
+  for (std::size_t r = 0; r < specs_.size(); ++r) {
+    if (r) os << ", ";
+    os << specs_[r]->to_string();
+  }
+  os << "]";
+  return os.str();
 }
 
 std::string HaloSpec::to_string() const {

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "vf/halo/exchange.hpp"
+#include "vf/halo/plan.hpp"
+
 namespace vf::rt {
 
 DimExprItem extract_dim(const DistArrayBase& b, int dim) {
@@ -123,6 +126,29 @@ void DistArrayBase::check_distribute_legal(const NoTransfer& nt) const {
           ")");
     }
   }
+}
+
+std::shared_ptr<const halo::HaloPlan> DistArrayBase::lookup_halo_plan() {
+  if (!dist_) throw NotDistributedError(name_);
+  const int me = env_->rank();
+  const int np = env_->nprocs();
+  if (halo_asymmetric_) {
+    if (!halo_family_) {
+      // Plan-time spec exchange (lazy, collective): one allgather of the
+      // per-rank width vectors, cached until the next set_overlap.  All
+      // ranks' families go stale together because set_overlap is
+      // collective, so the collective below matches up.
+      halo_family_ =
+          halo::exchange_specs(env_->comm(), env_->registry(), halo_);
+      ++halo_spec_exchanges_;
+    }
+    if (!halo_family_->uniform()) {
+      return env_->halo_plans().lookup_or_build(dist_, halo_family_, me, np);
+    }
+    // Reconciliation found the family uniform: fall through to the
+    // uniform key so this entry is shared with uniform declarations.
+  }
+  return env_->halo_plans().lookup_or_build(dist_, halo_, me, np);
 }
 
 void DistArrayBase::distribute(const DistExpr& expr, const NoTransfer& nt) {

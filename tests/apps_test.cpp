@@ -8,6 +8,7 @@
 
 #include "spmd_test_util.hpp"
 #include "vf/apps/adi_sim.hpp"
+#include "vf/apps/amr_front.hpp"
 #include "vf/apps/kernels.hpp"
 #include "vf/apps/pic_sim.hpp"
 #include "vf/apps/smoothing_sim.hpp"
@@ -184,6 +185,72 @@ TEST(Pic, RebalancingImprovesLoadBalance) {
   EXPECT_LT(dynamic.makespan_units, statics.makespan_units);
   EXPECT_GT(dynamic.rebalances, 0);
   EXPECT_EQ(statics.rebalances, 0);
+}
+
+/// The refinement-front mini-app: per-rank asymmetric ghost widths that
+/// follow the front must reproduce the sequential reference BITWISE on
+/// every machine size -- including P = 9, where small grids leave whole
+/// processor rows without interior cells.
+TEST(AmrFront, MatchesSequentialReferenceAcrossMachineSizes) {
+  const AmrFrontConfig cfg{
+      .n = 30, .steps = 5, .front0 = 3, .front_step = 5};
+  const double want = amr_checksum(amr_front_reference(cfg));
+  for (const int np : {1, 4, 9}) {
+    double got = 0.0;
+    msg::Machine m(np);
+    msg::run_spmd(m, [&](Context& ctx) {
+      const auto r = run_amr_front(ctx, cfg);
+      if (ctx.rank() == 0) got = r.checksum;
+    });
+    EXPECT_EQ(got, want) << "P=" << np;
+  }
+}
+
+/// Counter contract of the sweep: one spec exchange per rank per step
+/// (each step re-declares the overlap), and a stationary front turns
+/// every exchange after the first into a family-plan cache hit.
+TEST(AmrFront, SpecExchangeAndPlanCacheCounters) {
+  constexpr int kP = 4;
+  {
+    AmrFrontResult res;
+    msg::Machine m(kP);
+    msg::run_spmd(m, [&](Context& ctx) {
+      const auto r = run_amr_front(
+          ctx, {.n = 24, .steps = 6, .front0 = 4, .front_step = 4});
+      if (ctx.rank() == 0) res = r;
+    });
+    EXPECT_EQ(res.spec_exchanges, 6u * kP);  // one per rank per step
+  }
+  {
+    // Stationary front: the family re-interns identically each step, so
+    // one plan build per rank and hits for every further exchange.
+    AmrFrontResult res;
+    msg::Machine m(kP);
+    msg::run_spmd(m, [&](Context& ctx) {
+      const auto r = run_amr_front(
+          ctx, {.n = 24, .steps = 6, .front0 = 12, .front_step = 0});
+      if (ctx.rank() == 0) res = r;
+    });
+    EXPECT_EQ(res.spec_exchanges, 6u * kP);
+    EXPECT_EQ(res.halo_plan_misses, static_cast<std::uint64_t>(kP));
+    EXPECT_EQ(res.halo_plan_hits, 5u * kP);
+  }
+}
+
+TEST(AmrFront, RejectsNonSquareMachinesAndThinSegments) {
+  msg::Machine m(2);
+  EXPECT_THROW(msg::run_spmd(m,
+                             [&](Context& ctx) {
+                               (void)run_amr_front(ctx, {.n = 24});
+                             }),
+               std::invalid_argument);
+  // n = 4 over a 2x2 grid: 2-cell segments cannot serve front_width 3.
+  msg::Machine m2(4);
+  EXPECT_THROW(msg::run_spmd(m2,
+                             [&](Context& ctx) {
+                               (void)run_amr_front(ctx, {.n = 4});
+                             }),
+               std::invalid_argument);
 }
 
 }  // namespace

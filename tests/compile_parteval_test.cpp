@@ -303,5 +303,32 @@ TEST(PartialEvalHalo, EmptySpecExchangeIsTriviallyRedundant) {
   EXPECT_EQ(report.redundant_halo_exchanges[0], p.find_label("noop"));
 }
 
+/// Under a per-rank (asymmetric) declaration an empty LOCAL spec proves
+/// nothing: other ranks may have declared wide ghosts this rank must
+/// serve, and a rank-dependent skip of the collective would deadlock --
+/// so the empty-spec shortcut is suppressed.  The freshness argument is
+/// SPMD-consistent (derived from program structure) and still applies.
+TEST(PartialEvalHalo, AsymmetricSpecSuppressesEmptySpecShortcut) {
+  ProgramBuilder b;
+  b.declare({.name = "A",
+             .rank = 1,
+             .dynamic = true,
+             .initial = blockT(),
+             .halo = halo::HaloSpec::none(1),
+             .halo_asymmetric = true})
+      .exchange_halo("A", "first")
+      .use({"A"}, "read")
+      .exchange_halo("A", "second");
+  Program p = b.build();
+  auto r = analyze_reaching(p);
+  auto report = partial_eval(p, r);
+  // "first" must NOT be reported (the empty local spec is a rank-local
+  // fact); "second" still is, via freshness.
+  ASSERT_EQ(report.redundant_halo_exchanges.size(), 1u);
+  EXPECT_EQ(report.redundant_halo_exchanges[0], p.find_label("second"));
+  // The asymmetry flag flows through the reaching sets.
+  EXPECT_TRUE(r.plausible(p.find_label("read"), "A").halo_asymmetric);
+}
+
 }  // namespace
 }  // namespace vf::compile

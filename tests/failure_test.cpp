@@ -238,5 +238,112 @@ TEST(Failure, IndexVecOverflowThrows) {
                std::length_error);
 }
 
+/// Asymmetric overlap negative paths: a set_overlap whose width vectors
+/// do not match the array rank (or carry negative widths) must throw
+/// without corrupting the array, which stays usable afterwards.
+TEST(Failure, SetOverlapRejectsBadWidths) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<double> a(env,
+                        {.name = "A",
+                         .domain = IndexDomain::of_extents({8, 6}),
+                         .dynamic = true,
+                         .initial = DistributionType{block(), dist::col()}});
+    a.init([](const dist::IndexVec& i) {
+      return static_cast<double>(i[0] * 10 + i[1]);
+    });
+    try {
+      a.set_overlap({1}, {1});  // rank-1 widths on a rank-2 array
+      ck.fail("expected invalid_argument (rank mismatch)");
+    } catch (const std::invalid_argument&) {
+    }
+    try {
+      a.set_overlap({1, -1}, {1, 0});
+      ck.fail("expected invalid_argument (negative width)");
+    } catch (const std::invalid_argument&) {
+    }
+    // State intact: a legal declaration and exchange still work, and the
+    // owned values survived the rejected calls.
+    a.set_overlap({1, 0}, {1, 0}, false, /*asymmetric=*/true);
+    a.exchange_overlap();
+    a.for_owned([&](const dist::IndexVec& i, const double& v) {
+      ck.check_eq(v, static_cast<double>(i[0] * 10 + i[1]), ctx.rank(),
+                  "owned value after rejected set_overlap");
+    });
+  });
+}
+
+/// Ghost-satisfied points are read-only under asymmetric specs too: a
+/// halo-aware schedule that planted overlap reads must reject scatter
+/// executors, and stay usable for gathers afterwards.
+TEST(Failure, AsymmetricGhostScatterRejected) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    const IndexDomain dom = IndexDomain::of_extents({8});
+    DistArray<double> a(env, {.name = "A",
+                              .domain = dom,
+                              .dynamic = true,
+                              .initial = DistributionType{block()}});
+    a.init([&](const dist::IndexVec& i) {
+      return static_cast<double>(dom.linearize(i)) + 0.5;
+    });
+    const dist::Index w = ctx.rank() == 0 ? 1 : 2;  // per-rank widths
+    a.set_overlap({w}, {w}, false, /*asymmetric=*/true);
+    a.exchange_overlap();
+    // One owned point and one filled ghost point per rank.
+    const dist::Index ghost = ctx.rank() == 0 ? 5 : 3;
+    std::vector<dist::IndexVec> pts{{ctx.rank() == 0 ? 2 : 6}, {ghost}};
+    parti::Schedule sched(ctx, a.dist_handle(), pts, a.halo_spec());
+    ck.check(sched.n_halo() == 1, ctx.rank(), "expected one halo point");
+    std::vector<double> in(pts.size(), 1.0);
+    try {
+      sched.scatter(ctx, in, a);
+      ck.fail("expected logic_error (scatter through ghost region)");
+    } catch (const std::logic_error&) {
+    }
+    std::vector<double> out(pts.size());
+    sched.gather(ctx, a, out);
+    for (std::size_t k = 0; k < pts.size(); ++k) {
+      ck.check_eq(out[k],
+                  static_cast<double>(dom.linearize(pts[k])) + 0.5,
+                  ctx.rank(), "gather after rejected scatter");
+    }
+  });
+}
+
+/// The asymmetric spec contract is exact: a rank requesting a ghost wider
+/// than its neighbour's owned segment is rejected at plan time with a
+/// clear error (every rank throws identically -- the family is
+/// replicated -- so no rank hangs in the exchange), and the machine is
+/// usable after shrinking the width.
+TEST(Failure, AsymmetricGhostWiderThanNeighbourSegmentThrows) {
+  run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    const IndexDomain dom = IndexDomain::of_extents({4});
+    DistArray<double> a(env, {.name = "A",
+                              .domain = dom,
+                              .dynamic = true,
+                              .initial = DistributionType{block()}});
+    a.init([](const dist::IndexVec& i) { return 1.0 * i[0]; });
+    // BLOCK of 4 over 4 ranks: one cell each.  Rank 1 asks for 2 low
+    // ghost planes; rank 0 owns only 1.
+    a.set_overlap({ctx.rank() == 1 ? 2 : 1}, {1}, false,
+                  /*asymmetric=*/true);
+    try {
+      a.exchange_overlap();
+      ck.fail("expected invalid_argument (ghost wider than neighbour)");
+    } catch (const std::invalid_argument& e) {
+      ck.check(std::string(e.what()).find("owns only") != std::string::npos,
+               ctx.rank(), std::string("unclear error: ") + e.what());
+    }
+    // Shrinking the request makes the family servable again.
+    a.set_overlap({1}, {1}, false, /*asymmetric=*/true);
+    a.exchange_overlap();
+    a.for_owned([&](const dist::IndexVec& i, const double& v) {
+      ck.check_eq(v, 1.0 * i[0], ctx.rank(), "owned value after recovery");
+    });
+  });
+}
+
 }  // namespace
 }  // namespace vf

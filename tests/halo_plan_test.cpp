@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "spmd_test_util.hpp"
+#include "vf/halo/exchange.hpp"
 #include "vf/halo/plan.hpp"
 #include "vf/rt/dist_array.hpp"
 
@@ -250,6 +251,153 @@ TEST(HaloPlanCache, EmptySpecExchangesNothing) {
     ck.check_eq(ctx.stats().data_messages, before, ctx.rank(),
                 "no data traffic for the empty spec");
   });
+}
+
+/// HaloFamily interning: identity, uniformity detection, order
+/// sensitivity and the hit/miss counters.
+TEST(HaloFamily, InterningAndUniformity) {
+  dist::DistRegistry reg;
+  const halo::HaloHandle h1 = reg.intern(halo::HaloSpec({1}, {1}));
+  const halo::HaloHandle h2 = reg.intern(halo::HaloSpec({2}, {0}));
+  const halo::FamilyHandle uni = reg.intern_family({h1, h1});
+  EXPECT_TRUE(uni->uniform());
+  EXPECT_FALSE(uni->empty());
+  EXPECT_TRUE(uni.interned());
+  const halo::FamilyHandle asym = reg.intern_family({h1, h2});
+  EXPECT_FALSE(asym->uniform());
+  const halo::FamilyHandle asym2 = reg.intern_family({h1, h2});
+  EXPECT_TRUE(asym == asym2);
+  EXPECT_EQ(asym.uid(), asym2.uid());
+  EXPECT_EQ(reg.stats().halo_family_hits, 1u);
+  EXPECT_EQ(reg.stats().halo_family_misses, 2u);
+  // Member order is identity: the family names ranks positionally.
+  const halo::FamilyHandle swapped = reg.intern_family({h2, h1});
+  EXPECT_NE(asym.uid(), swapped.uid());
+  // All-zero members make an empty family.
+  const halo::HaloHandle z = reg.intern(halo::HaloSpec::none(1));
+  EXPECT_TRUE(reg.intern_family({z, z})->empty());
+  // Null members and mismatched ranks are rejected.
+  EXPECT_THROW((void)reg.intern_family({}), std::invalid_argument);
+  EXPECT_THROW((void)reg.intern_family({h1, halo::HaloHandle{}}),
+               std::invalid_argument);
+  const halo::HaloHandle r2 = reg.intern(halo::HaloSpec({1, 1}, {1, 1}));
+  EXPECT_THROW((void)reg.intern_family({h1, r2}), std::invalid_argument);
+  // A leading rank-0 "none" spec is compatible with anything but must not
+  // disable the consistency check for the members after it.
+  const halo::HaloHandle none = reg.intern(halo::HaloSpec{});
+  EXPECT_THROW((void)reg.intern_family({none, h1, r2}),
+               std::invalid_argument);
+  EXPECT_FALSE(reg.intern_family({none, h1, h1})->uniform());
+}
+
+/// Keying satellite: two arrays whose LOCAL spec is identical on this
+/// rank but whose families differ must not alias one plan entry -- the
+/// pre-family (DistHandle uid, HaloSpec uid) key could not tell them
+/// apart on the rank where the local specs coincide, the family uid can.
+TEST(HaloPlanCache, AsymmetricFamiliesDoNotAliasLocalSpecs) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    const IndexDomain dom = IndexDomain::of_extents({12});
+    const auto mk = [&](const char* name) {
+      return DistArray<double>(env, {.name = name,
+                                     .domain = dom,
+                                     .dynamic = true,
+                                     .initial = DistributionType{block()}});
+    };
+    auto a = mk("A");
+    auto b = mk("B");
+    const auto fp = [&](const IndexVec& i) {
+      return static_cast<double>(dom.linearize(i)) + 0.25;
+    };
+    a.init(fp);
+    b.init(fp);
+    // Rank 0's local spec is {1}/{1} in BOTH families; rank 1 differs
+    // (2 vs 3 low planes), so A and B reconcile to distinct families and
+    // rank 0's send side must pack 2 planes for A but 3 for B.
+    a.set_overlap({ctx.rank() == 0 ? 1 : 2}, {1}, false, true);
+    b.set_overlap({ctx.rank() == 0 ? 1 : 3}, {1}, false, true);
+    a.exchange_overlap();
+    b.exchange_overlap();
+    ck.check(a.halo_family() && !a.halo_family()->uniform(), ctx.rank(),
+             "A's family should be asymmetric");
+    ck.check(!(a.halo_family() == b.halo_family()), ctx.rank(),
+             "families must be distinct handles");
+    if (ctx.rank() == 0) {
+      // Same local spec handle, same distribution -- the pre-family key
+      // would collide here.
+      ck.check(a.halo_spec() == b.halo_spec(), 0,
+               "local specs should coincide on rank 0");
+      ck.check_eq(env.halo_plans().size(), std::size_t{2}, 0,
+                  "two distinct family plan entries");
+      ck.check_eq(env.halo_plans().stats().misses, std::uint64_t{2}, 0,
+                  "no aliasing hit between the families");
+    }
+    if (ctx.rank() == 1) {
+      // The ghosts prove the send sides differed: rank 1's segment is
+      // [7, 12], so 2 filled planes under A's family ({5, 6}) and 3
+      // under B's ({4, 5, 6}).
+      for (dist::Index g = 5; g <= 6; ++g) {
+        ck.check_eq(a.halo({g}), fp({g}), 1, "A ghost");
+      }
+      for (dist::Index g = 4; g <= 6; ++g) {
+        ck.check_eq(b.halo({g}), fp({g}), 1, "B ghost");
+      }
+    }
+  });
+}
+
+/// Keying satellite: an asymmetric DECLARATION whose widths happen to be
+/// equal everywhere reconciles to a uniform family and must hit the very
+/// same cache entry a uniform declaration produced -- while the uniform
+/// declaration itself never performs a spec exchange at all (the
+/// zero-extra-collective fast path, asserted through the counters).
+TEST(HaloPlanCache, UniformFamilyHitsPrePRKey) {
+  const std::uint64_t global_before = halo::spec_exchanges();
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    const IndexDomain dom = IndexDomain::of_extents({12});
+    DistArray<double> a(env, {.name = "A",
+                              .domain = dom,
+                              .dynamic = true,
+                              .initial = DistributionType{block()},
+                              .overlap_lo = {1},
+                              .overlap_hi = {1}});
+    DistArray<double> b(env, {.name = "B",
+                              .domain = dom,
+                              .dynamic = true,
+                              .initial = DistributionType{block()},
+                              .overlap_lo = {1},
+                              .overlap_hi = {1},
+                              .overlap_asymmetric = true});
+    a.init([](const IndexVec&) { return 1.0; });
+    b.init([](const IndexVec&) { return 2.0; });
+    a.exchange_overlap();
+    const auto misses_after_a = env.halo_plans().stats().misses;
+    b.exchange_overlap();
+    // The uniform declaration paid no spec exchange; the asymmetric one
+    // paid exactly one and detected uniformity.
+    ck.check_eq(a.halo_spec_exchanges(), std::uint64_t{0}, ctx.rank(),
+                "uniform spec must not spec-exchange");
+    ck.check_eq(b.halo_spec_exchanges(), std::uint64_t{1}, ctx.rank(),
+                "asymmetric declaration reconciles once");
+    ck.check(b.halo_family() && b.halo_family()->uniform(), ctx.rank(),
+             "family should reconcile to uniform");
+    // Same cache entry: B's exchange was a HIT on A's (dist, spec) key.
+    ck.check_eq(env.halo_plans().stats().misses, misses_after_a, ctx.rank(),
+                "uniform family must reuse the pre-family cache entry");
+    ck.check(env.halo_plans().stats().hits >= 1, ctx.rank(),
+             "expected a cache hit for the uniform family");
+    ck.check_eq(env.halo_plans().size(), std::size_t{1}, ctx.rank(),
+                "one shared plan entry");
+    // Repeat exchanges stay spec-exchange-free: the family is cached on
+    // the array until the next set_overlap.
+    b.exchange_overlap();
+    ck.check_eq(b.halo_spec_exchanges(), std::uint64_t{1}, ctx.rank(),
+                "repeat exchange must not re-reconcile");
+  });
+  // The process-wide counter agrees: one reconcile per rank for B, none
+  // for A, across the whole machine run.
+  EXPECT_EQ(halo::spec_exchanges() - global_before, 2u);
 }
 
 }  // namespace
