@@ -26,6 +26,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <vector>
 
 #include "vf/msg/spmd.hpp"
@@ -43,10 +44,11 @@ void BM_HaloExchange(benchmark::State& state) {
   const bool cached = state.range(1) != 0;
   const auto n = static_cast<Index>(state.range(2));
   const int nprocs = static_cast<int>(state.range(3));
+  const bool watchdog = state.range(4) != 0;
   constexpr int kExchanges = 64;
 
   state.SetLabel(std::string(shape == 0 ? "halo9" : "halorows") +
-                 (cached ? "/cached" : "/cold"));
+                 (cached ? "/cached" : "/cold") + (watchdog ? "/wd" : ""));
 
   msg::CommStats stats;
   // Median over iterations: the threaded transport makes whole iterations
@@ -55,8 +57,18 @@ void BM_HaloExchange(benchmark::State& state) {
   std::atomic<std::uint64_t> plan_hits{0};
   std::atomic<std::uint64_t> plan_misses{0};
   std::atomic<std::uint64_t> scratch_allocs{0};
+  std::uint64_t fence_trips = 0;
+  std::uint64_t faults_injected = 0;
   for (auto _ : state) {
     msg::Machine machine(nprocs);
+    // Armed watchdog = the containment layer's overhead configuration:
+    // every blocking recv and barrier waits with a deadline instead of
+    // indefinitely.  The deadline is far above any healthy exchange, so
+    // a trip means a real hang; the CI gate proves the armed cached
+    // replay still clearly beats the cold path.
+    if (watchdog) {
+      machine.set_recv_watchdog(std::chrono::milliseconds(30000));
+    }
     scratch_allocs = 0;
     std::atomic<double> secs{0.0};
     msg::run_spmd(machine, [&](msg::Context& ctx) {
@@ -105,6 +117,8 @@ void BM_HaloExchange(benchmark::State& state) {
     });
     iter_seconds.push_back(secs.load());
     stats = machine.total_stats();
+    fence_trips = machine.fence_trips();
+    faults_injected = machine.faults_injected();
   }
 
   std::sort(iter_seconds.begin(), iter_seconds.end());
@@ -131,12 +145,20 @@ void BM_HaloExchange(benchmark::State& state) {
   state.counters["allocs_per_exchange"] =
       static_cast<double>(scratch_allocs.load()) /
       (static_cast<double>(kExchanges) * nprocs);
+  // Containment-layer health of the last iteration: a healthy exchange
+  // loop must never trip the fence or inject anything (CI-gated zeros).
+  state.counters["watchdog_armed"] = watchdog ? 1 : 0;
+  state.counters["fence_trips"] = static_cast<double>(fence_trips);
+  state.counters["faults_injected"] = static_cast<double>(faults_injected);
 }
 
 }  // namespace
 
 BENCHMARK(BM_HaloExchange)
-    ->ArgNames({"shape", "cached", "n", "P"})
-    ->ArgsProduct({{0, 1}, {0, 1}, {512, 1024}, {4}})
+    ->ArgNames({"shape", "cached", "n", "P", "wd"})
+    ->ArgsProduct({{0, 1}, {0, 1}, {512, 1024}, {4}, {0}})
+    // Watchdog-armed cached replays: the fence-overhead configuration the
+    // CI gate compares against the cold path.
+    ->ArgsProduct({{0, 1}, {1}, {512, 1024}, {4}, {1}})
     ->Unit(benchmark::kMillisecond)
     ->Iterations(13);

@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <random>
 
 #include "vf/msg/spmd.hpp"
@@ -115,14 +116,25 @@ void BM_GatherRebuildEveryTime(benchmark::State& state) {
 /// every time).  ns_per_call medians feed the CI cached-vs-cold executor
 /// timing gate.
 void BM_ExecutorReplay(benchmark::State& state) {
-  const bool warm = state.range(0) != 0;
+  // mode 0 = cold rebuild-per-call, 1 = warm replay, 2 = warm replay with
+  // the recv watchdog armed (the containment layer's overhead
+  // configuration: every blocking wait carries a deadline).
+  const int mode = static_cast<int>(state.range(0));
+  const bool warm = mode != 0;
   constexpr int kCalls = 24;
   const msg::CostModel cm{};
-  state.SetLabel(warm ? "executor/warm" : "executor/cold");
+  state.SetLabel(mode == 0   ? "executor/cold"
+                 : mode == 1 ? "executor/warm"
+                             : "executor/warm_wd");
 
   std::vector<double> iter_seconds;
+  std::uint64_t fence_trips = 0;
+  std::uint64_t faults_injected = 0;
   for (auto _ : state) {
     msg::Machine machine(kProcs, cm);
+    if (mode == 2) {
+      machine.set_recv_watchdog(std::chrono::milliseconds(30000));
+    }
     std::atomic<double> secs{0.0};
     msg::run_spmd(machine, [&](msg::Context& ctx) {
       rt::Env env(ctx);
@@ -155,11 +167,16 @@ void BM_ExecutorReplay(benchmark::State& state) {
       benchmark::DoNotOptimize(out.data());
     });
     iter_seconds.push_back(secs.load());
+    fence_trips = machine.fence_trips();
+    faults_injected = machine.faults_injected();
   }
   std::sort(iter_seconds.begin(), iter_seconds.end());
   const double median = iter_seconds[iter_seconds.size() / 2];
   state.counters["ns_per_call"] = median * 1e9 / kCalls;
   state.counters["warm"] = warm ? 1 : 0;
+  state.counters["watchdog_armed"] = mode == 2 ? 1 : 0;
+  state.counters["fence_trips"] = static_cast<double>(fence_trips);
+  state.counters["faults_injected"] = static_cast<double>(faults_injected);
 }
 
 /// Steady-state allocation audit of the executor replay paths: after one
@@ -265,9 +282,10 @@ BENCHMARK(BM_TranslationTableDereference)
     ->Iterations(2);
 
 BENCHMARK(BM_ExecutorReplay)
-    ->ArgNames({"warm"})
+    ->ArgNames({"mode"})
     ->Arg(0)
     ->Arg(1)
+    ->Arg(2)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(9);
 

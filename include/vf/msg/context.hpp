@@ -9,7 +9,9 @@
 #include <cstddef>
 #include <cstring>
 #include <functional>
+#include <limits>
 #include <span>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -172,8 +174,35 @@ class Context {
   template <detail::TriviallySendable T>
   [[nodiscard]] T recv_value(int src, int tag) {
     auto v = recv<T>(src, tag);
-    return v.at(0);
+    if (v.empty()) {
+      throw std::runtime_error(
+          "recv_value: empty payload from src=" + std::to_string(src) +
+          " tag=" + std::to_string(tag) + "; expected 1 element of " +
+          std::to_string(sizeof(T)) + " bytes");
+    }
+    return v.front();
   }
+
+  // ---- failure containment -------------------------------------------------
+
+  /// Trips the machine's abort fence with this rank as the origin and
+  /// throws the corresponding RankAbort: every peer blocked in a receive
+  /// or barrier wakes and throws the same structured error, and run_spmd
+  /// rethrows it with a per-rank report.  Use for rank-local conditions
+  /// (bad input, broken invariant) that make continuing the SPMD program
+  /// pointless.
+  [[noreturn]] void abort(const std::string& reason);
+
+  /// Collective sequence numbers at or below this value map to distinct
+  /// negative tags (the last one to INT_MIN); next_coll_tag() throws
+  /// std::overflow_error beyond it rather than reusing tags.
+  static constexpr std::uint64_t kMaxCollSeq =
+      static_cast<std::uint64_t>(std::numeric_limits<int>::max()) - 1;
+
+  /// Advances the collective sequence counter without communicating --
+  /// a test hook for exercising tag-space exhaustion.  All ranks of a
+  /// machine must skip identically or subsequent collectives mismatch.
+  void skip_coll_tags(std::uint64_t n) noexcept { coll_seq_ += n; }
 
   // ---- collectives ---------------------------------------------------------
 
@@ -424,9 +453,19 @@ class Context {
     return v;
   }
 
-  [[nodiscard]] int next_coll_tag() noexcept {
-    // Collective tags live in the negative tag space, below kAnySource.
-    return -2 - (coll_seq_++ % 1'000'000'000);
+  [[nodiscard]] int next_coll_tag() {
+    // Collective tags live in the negative tag space, below kAnySource:
+    // tag = -2 - seq, so seq kMaxCollSeq maps to INT_MIN exactly.  Beyond
+    // that the space is exhausted; wrapping would silently re-match stale
+    // pending messages from collectives issued ~2^31 calls earlier, so we
+    // fail loudly instead.
+    if (coll_seq_ > kMaxCollSeq) {
+      throw std::overflow_error(
+          "Context: collective tag space exhausted after " +
+          std::to_string(kMaxCollSeq + 1) + " collectives on rank " +
+          std::to_string(rank_));
+    }
+    return -2 - static_cast<int>(coll_seq_++);
   }
 
   Machine* m_;

@@ -1,0 +1,216 @@
+// Failure containment for the virtual machine: the abort fence, the recv
+// watchdog, and the seeded fault-injection plan.
+//
+// The paper's SPMD model assumes every processor executes the same
+// communication sequence; its worst failure mode is therefore a rank-local
+// error mid-collective that leaves every peer blocked forever.  This header
+// gives the machine three layers of defence:
+//
+//   * AbortFence -- a machine-wide abort flag every blocking primitive
+//     (Mailbox::pop, Machine::barrier_wait and everything built on them)
+//     checks.  The first rank to fail trips the fence; every other rank
+//     wakes out of its blocking call and throws a structured RankAbort
+//     naming the origin rank, so run_spmd can join everyone and rethrow
+//     the ORIGINAL error with a per-rank report.
+//   * Recv watchdog -- an optional machine deadline on blocking waits.  A
+//     rank blocked past the deadline snapshots every rank's blocked-on
+//     state (src/tag or barrier generation) into a deadlock report and
+//     trips the fence: count-mismatch bugs become named in-process
+//     failures instead of external test timeouts.
+//   * FaultPlan -- a seeded per-Machine fault injector on the delivery
+//     path (drop / delay / duplicate / truncate / bit-flip), paired with
+//     lightweight frame integrity (per-link sequence numbers on every
+//     message, checksums on control messages and -- whenever a plan is
+//     active -- on data messages too) so every injected fault is detected,
+//     reported and fence-propagated rather than hanging the machine.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vf::msg {
+
+/// The structured abort error: thrown by every blocking primitive once the
+/// fence is tripped, and by the detection sites (frame integrity, watchdog,
+/// Context::abort) that trip it.  `origin_rank` is the rank the failure
+/// originated on; `reason` is the origin's error text or deadlock report.
+struct RankAbort : std::runtime_error {
+  RankAbort(int origin, const std::string& why)
+      : std::runtime_error("rank " + std::to_string(origin) +
+                           " aborted the machine: " + why),
+        origin_rank(origin),
+        reason(why) {}
+
+  int origin_rank;
+  std::string reason;
+};
+
+/// Fault classes the injector can apply to one delivery.
+enum class FaultKind : int {
+  None = 0,
+  Drop,       ///< the frame never reaches the destination mailbox
+  Delay,      ///< the frame is parked in flight (not delivered until reset)
+  Duplicate,  ///< the frame is delivered twice (replayed link sequence)
+  Truncate,   ///< the payload is cut short; the checksum still covers the
+              ///< original bytes, so the receiver detects the loss
+  BitFlip,    ///< one payload bit is flipped after checksumming
+};
+
+[[nodiscard]] const char* to_string(FaultKind k);
+
+/// A seeded per-Machine fault-injection plan, consulted on every delivery.
+/// Two modes:
+///   * one-shot (`rate == 0`): inject `kind` on the `nth` delivery the
+///     machine performs (0-based, machine-wide order);
+///   * rate (`rate > 0`): inject `kind` on each delivery independently
+///     with probability `rate`, decided by a hash of (seed, src, dest,
+///     link seq) -- deterministic per link position regardless of thread
+///     interleaving.
+struct FaultPlan {
+  FaultKind kind = FaultKind::None;
+  std::uint64_t nth = 0;
+  double rate = 0.0;
+  std::uint64_t seed = 0;
+
+  [[nodiscard]] bool active() const noexcept {
+    return kind != FaultKind::None;
+  }
+};
+
+/// FNV-1a 64-bit payload checksum: the lightweight frame-integrity hash.
+[[nodiscard]] std::uint64_t frame_checksum(
+    std::span<const std::byte> payload) noexcept;
+
+/// splitmix64 finalizer: the deterministic hash behind rate-mode fault
+/// decisions and bit-flip positions.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// What one rank of a finished (failed) SPMD run did.
+struct RankFailure {
+  int rank = -1;
+  bool failed = false;
+  /// Origin rank of the RankAbort this rank threw, or -1 if it threw a
+  /// non-fence error (the original failure) or completed.
+  int abort_origin = -1;
+  std::string what;
+};
+
+/// The per-rank report run_spmd leaves on the Machine after a failed run:
+/// which rank originated the failure, why, and what every other rank threw
+/// (or that it completed).
+struct FailureReport {
+  bool any_failed = false;
+  int origin_rank = -1;
+  std::string reason;
+  std::vector<RankFailure> ranks;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The machine-wide abort fence plus the blocked-state registry the recv
+/// watchdog snapshots.  One per Machine; thread-safe.
+class AbortFence {
+ public:
+  explicit AbortFence(int nprocs);
+
+  /// True once any rank tripped the fence.  Checked (one acquire load) by
+  /// every blocking primitive before and after each wait.
+  [[nodiscard]] bool aborted() const noexcept {
+    return aborted_.load(std::memory_order_acquire);
+  }
+
+  /// Trips the fence (first caller wins; later calls are no-ops) and
+  /// wakes every registered blocking primitive.  Returns true iff this
+  /// call tripped it.
+  bool trip(int origin, std::string reason);
+
+  /// The RankAbort a blocking primitive throws after waking on a tripped
+  /// fence (precondition: aborted()).
+  [[nodiscard]] RankAbort make_abort() const;
+
+  [[nodiscard]] int origin() const;
+  [[nodiscard]] std::string reason() const;
+
+  /// Cumulative trip count (0 across any healthy run -- the bench
+  /// fence_trips counter).
+  [[nodiscard]] std::uint64_t trips() const noexcept {
+    return trips_.load(std::memory_order_relaxed);
+  }
+
+  /// Clears the abort state (not the cumulative trip counter).  Only safe
+  /// with no rank running -- run_spmd calls it after joining a failed run.
+  void reset();
+
+  /// Registers a blocking primitive's (mutex, condvar) pair so trip() can
+  /// wake it.  Registration happens at Machine construction only.
+  void register_wake(std::mutex* mu, std::condition_variable* cv);
+
+  // ---- recv watchdog -----------------------------------------------------
+
+  /// Arms (or, with zero, disarms) the deadline on blocking waits.
+  void set_watchdog(std::chrono::milliseconds d) noexcept {
+    watchdog_ms_.store(d.count(), std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::chrono::milliseconds watchdog() const noexcept {
+    return std::chrono::milliseconds(
+        watchdog_ms_.load(std::memory_order_relaxed));
+  }
+
+  // ---- blocked-state registry --------------------------------------------
+  // Each blocking primitive records what its rank is blocked on; the
+  // watchdog's deadlock report is a snapshot of these.  Relaxed atomics:
+  // the report is diagnostic, a torn read across fields is acceptable.
+
+  void enter_recv(int rank, int src, int tag) noexcept;
+  void enter_barrier(int rank, std::uint64_t gen) noexcept;
+  void leave(int rank) noexcept;
+
+  /// The deadlock report a watchdog expiry produces: every rank's
+  /// blocked-on state plus any frames parked by fault injection.
+  [[nodiscard]] std::string deadlock_report(int expired_rank) const;
+
+  /// Fault-injection bookkeeping surfaced in deadlock reports.
+  void note_parked(std::uint64_t n) noexcept {
+    parked_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void clear_parked() noexcept {
+    parked_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  enum class BlockKind : int { None = 0, Recv = 1, Barrier = 2 };
+
+  struct alignas(64) BlockedState {
+    std::atomic<int> kind{0};
+    std::atomic<int> src{0};
+    std::atomic<int> tag{0};
+    std::atomic<std::uint64_t> gen{0};
+    std::atomic<std::int64_t> since_ms{0};  ///< steady-clock entry stamp
+  };
+
+  std::atomic<bool> aborted_{false};
+  std::atomic<std::uint64_t> trips_{0};
+  mutable std::mutex mu_;
+  int origin_ = -1;
+  std::string reason_;
+  std::vector<std::pair<std::mutex*, std::condition_variable*>> wakes_;
+  std::atomic<std::int64_t> watchdog_ms_{0};
+  std::vector<BlockedState> blocked_;
+  std::atomic<std::uint64_t> parked_{0};
+};
+
+}  // namespace vf::msg

@@ -7,6 +7,10 @@
 // communication is metered per rank (CommStats) and priced by a CostModel,
 // so the experiments can report machine-independent message counts/volumes
 // as well as modeled time.
+//
+// The machine also owns the failure-containment layer (fault.hpp): an abort
+// fence every blocking primitive checks, an optional recv watchdog, and a
+// seeded fault-injection plan applied on the single delivery path deliver().
 #pragma once
 
 #include <cstdint>
@@ -14,12 +18,15 @@
 #include <vector>
 
 #include "vf/msg/cost_model.hpp"
+#include "vf/msg/fault.hpp"
 #include "vf/msg/mailbox.hpp"
 
 namespace vf::msg {
 
 /// Shared state of a P-processor virtual machine.  Construct once, then run
-/// SPMD programs on it with run_spmd() (see spmd.hpp).  Thread-safe.
+/// SPMD programs on it with run_spmd() (see spmd.hpp).  Thread-safe, and
+/// reusable after a failed run: run_spmd() calls reset_failure_state() once
+/// every rank has been joined.
 class Machine {
  public:
   /// Creates a machine with `nprocs` virtual processors.  nprocs >= 1.
@@ -41,12 +48,65 @@ class Machine {
 
   void reset_stats();
 
-  /// Sense-reversing barrier across all nprocs() ranks.
-  void barrier_wait();
+  /// The single delivery path: frames the payload (per-link sequence
+  /// number; checksum on control messages always and on data messages when
+  /// a fault plan is active), consults the fault plan, and pushes into the
+  /// destination mailbox.  Called on the sending rank's thread; throws
+  /// RankAbort if the push detects a frame-integrity violation.
+  void deliver(int src, int dest, int tag, bool ctl,
+               std::vector<std::byte> payload);
+
+  /// Sense-reversing barrier across all nprocs() ranks.  `rank` (when >= 0)
+  /// is recorded in the blocked-state registry for watchdog reports.
+  /// Throws RankAbort once the fence trips, or on watchdog expiry.
+  void barrier_wait(int rank = -1);
+
+  // ---- failure containment ------------------------------------------------
+
+  [[nodiscard]] AbortFence& fence() noexcept { return fence_; }
+  [[nodiscard]] const AbortFence& fence() const noexcept { return fence_; }
+
+  /// Arms (zero disarms) the recv watchdog: the deadline on every blocking
+  /// receive and barrier wait.  Set while no SPMD run is in flight.
+  void set_recv_watchdog(std::chrono::milliseconds d) noexcept {
+    fence_.set_watchdog(d);
+  }
+
+  /// Cumulative fence trips (0 across any healthy run).
+  [[nodiscard]] std::uint64_t fence_trips() const noexcept {
+    return fence_.trips();
+  }
+
+  /// Installs a fault-injection plan (FaultKind::None clears it) and
+  /// rewinds the delivery / injected-fault counters.  Set while no SPMD
+  /// run is in flight.
+  void set_fault_plan(const FaultPlan& plan) noexcept;
+  [[nodiscard]] const FaultPlan& fault_plan() const noexcept { return plan_; }
+
+  /// Machine-wide deliveries performed since the last set_fault_plan()
+  /// (the coordinate space of FaultPlan::nth).
+  [[nodiscard]] std::uint64_t deliveries() const noexcept {
+    return deliveries_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t faults_injected() const noexcept {
+    return faults_injected_.load(std::memory_order_relaxed);
+  }
+
+  /// Clears all failure state -- fence, queued and parked frames, link
+  /// sequence numbers, barrier arrival count -- so the machine can run
+  /// again after an aborted SPMD run.  Only safe with no rank running.
+  void reset_failure_state();
+
+  /// The per-rank report of the most recent failed run_spmd() on this
+  /// machine (FailureReport::any_failed == false if the last run, or no
+  /// run yet, completed cleanly).
+  [[nodiscard]] FailureReport last_failure_report() const;
+  void set_last_failure_report(FailureReport r);
 
  private:
   int nprocs_;
   CostModel cm_;
+  AbortFence fence_;  // before boxes_: mailboxes register wakes with it
   std::vector<std::unique_ptr<Mailbox>> boxes_;
 
   // Stats are padded to their own cache lines: every send bumps the
@@ -60,6 +120,25 @@ class Machine {
   std::condition_variable barrier_cv_;
   int barrier_count_ = 0;
   std::uint64_t barrier_gen_ = 0;
+
+  // Sender-side per-link sequence counters, indexed src * nprocs + dest.
+  // Row `src` is touched only by rank src's thread during a run; reset
+  // only happens with no rank running.
+  std::vector<std::uint64_t> link_seq_;
+
+  FaultPlan plan_;  // written only while no run is in flight
+  std::atomic<std::uint64_t> deliveries_{0};
+  std::atomic<std::uint64_t> faults_injected_{0};
+
+  struct ParkedFrame {
+    int dest;
+    Message m;
+  };
+  std::mutex parked_mu_;
+  std::vector<ParkedFrame> parked_;  // frames held in flight by Delay faults
+
+  mutable std::mutex report_mu_;
+  FailureReport report_;
 };
 
 }  // namespace vf::msg

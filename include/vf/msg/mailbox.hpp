@@ -9,13 +9,22 @@
 #include <mutex>
 #include <vector>
 
+#include "vf/msg/fault.hpp"
+
 namespace vf::msg {
 
-/// A message in flight: sender rank, user tag, raw payload bytes.
+/// A message in flight: sender rank, user tag, raw payload bytes, plus the
+/// frame-integrity fields the fabric maintains (per-link sequence number
+/// and, when `checked`, a checksum over the payload as the sender framed
+/// it -- control messages always, data messages whenever a fault plan is
+/// active).
 struct Message {
   int src = -1;
   int tag = 0;
   std::vector<std::byte> payload;
+  std::uint64_t seq = 0;  ///< 1-based per (src, dest) link; 0 = unframed
+  std::uint64_t checksum = 0;
+  bool checked = false;
 };
 
 /// Matches any source rank when passed as the `src` argument of
@@ -28,31 +37,58 @@ inline constexpr int kAnySource = -1;
 /// into the destination mailbox and continues), so programs written against
 /// this substrate cannot deadlock on send order -- matching the buffered
 /// message layer the Vienna Fortran Engine assumes.
+///
+/// A machine-owned mailbox is fenced: push() verifies per-link frame
+/// sequence numbers (a replayed or skipped seq -- a duplicated, dropped or
+/// delayed frame -- trips the machine's abort fence), and pop() verifies
+/// checksummed frames, honours the recv watchdog, and wakes with a
+/// RankAbort once the fence trips.  A default-constructed mailbox has no
+/// fence and behaves as a plain queue (unit tests).
 class Mailbox {
  public:
   Mailbox() = default;
+  Mailbox(AbortFence* fence, int rank, int nprocs);
   Mailbox(const Mailbox&) = delete;
   Mailbox& operator=(const Mailbox&) = delete;
 
-  /// Deliver a message (called by the sending rank's thread).
+  /// Deliver a message (called by the sending rank's thread).  On a
+  /// framed message whose seq is not the link's next expected, trips the
+  /// fence and throws RankAbort (frame-integrity violation).
   void push(Message m);
 
   /// Block until a message matching (src, tag) is available and remove it.
   /// `src == kAnySource` matches any sender.  Messages are matched in FIFO
-  /// order among those that satisfy the filter.
+  /// order among those that satisfy the filter.  Throws RankAbort once the
+  /// machine's fence trips (or, with the recv watchdog armed, when this
+  /// rank has been blocked past the deadline -- tripping the fence with a
+  /// machine-wide deadlock report), and RankAbort on a checksum mismatch
+  /// of the matched frame.
   [[nodiscard]] Message pop(int src, int tag);
 
   /// Non-blocking variant: returns true and fills `out` if a matching
-  /// message was available.
+  /// message was available.  Never blocks, so it does not consult the
+  /// fence; a matched corrupt frame still throws.
   [[nodiscard]] bool try_pop(int src, int tag, Message& out);
 
   /// Number of queued messages (racy; intended for tests/diagnostics).
   [[nodiscard]] std::size_t size() const;
 
+  /// Drops all queued messages and rewinds the per-link expected sequence
+  /// numbers.  Part of Machine::reset_failure_state(); only safe with no
+  /// rank running.
+  void reset_links();
+
  private:
+  /// Verifies a matched frame's checksum; trips the fence and throws
+  /// RankAbort on mismatch.  Called with mu_ NOT held.
+  void verify_frame(const Message& m) const;
+
+  AbortFence* fence_ = nullptr;
+  int rank_ = -1;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Message> q_;
+  std::vector<std::uint64_t> expected_seq_;  ///< per src, guarded by mu_
 };
 
 }  // namespace vf::msg

@@ -11,14 +11,29 @@
 namespace vf::msg {
 
 /// Runs `body(ctx)` on nprocs threads, one per virtual processor, and joins
-/// them.  If any rank throws, the first exception (by rank order) is
-/// rethrown on the calling thread after all ranks have been joined.
+/// them.
 ///
-/// Note: an exception escaping one rank does not interrupt the others; if
-/// they are blocked waiting for the failed rank (recv, barrier), the
-/// program deadlocks -- the same behaviour as an MPI job whose member
-/// aborts.  Throw on every rank (deterministic validation before
-/// communication) or on none.
+/// Failure semantics: any exception escaping one rank's body (or a call to
+/// Context::abort) trips the machine's abort fence.  Every peer blocked in
+/// a receive or barrier wakes and throws a structured RankAbort naming the
+/// origin rank, so a rank-local error -- a plan-time validation failure, a
+/// frame-integrity violation, a watchdog expiry -- can no longer strand the
+/// other ranks.  Once every rank has been joined, run_spmd:
+///
+///   * stores a per-rank FailureReport on the Machine
+///     (Machine::last_failure_report()) recording what each rank threw or
+///     that it completed;
+///   * resets the machine's failure state (fence, queued frames, link
+///     sequence numbers, barrier count) so the Machine is reusable;
+///   * rethrows the ORIGIN rank's original exception -- the error that
+///     started the abort, with its concrete type preserved -- not the
+///     secondary RankAborts the other ranks threw.
+///
+/// Ranks are never interrupted mid-computation: the fence is only observed
+/// at blocking communication points, so a rank that communicates no further
+/// simply runs to completion.  A failure that blocks without throwing (a
+/// count mismatch where no message is ever sent) is only detected if the
+/// recv watchdog is armed (Machine::set_recv_watchdog).
 void run_spmd(Machine& m, const std::function<void(Context&)>& body);
 
 /// Convenience: build a machine with `nprocs` processors, run `body`, and

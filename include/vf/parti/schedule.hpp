@@ -44,6 +44,12 @@ class Schedule {
   /// accept any array whose handle is identical -- one pointer compare --
   /// and fall back to a mapping-level comparison only for
   /// descriptor-swapped equivalents.
+  ///
+  /// Every point is validated against the target domain BEFORE the
+  /// inspector communicates; a bad point throws std::out_of_range naming
+  /// it.  The throw need not be rank-symmetric: peers already blocked in
+  /// the inspector's collectives are woken by the machine's abort fence
+  /// with a RankAbort, and run_spmd rethrows this rank's original error.
   Schedule(msg::Context& ctx, dist::DistHandle target,
            std::vector<dist::IndexVec> points);
 

@@ -235,6 +235,12 @@ class DistArray final : public DistArrayBase {
   /// exchange will happen.  Owned element values are preserved across the
   /// storage reshape; ghost contents are invalidated (zeroed) until the
   /// next exchange_overlap().
+  ///
+  /// Validation errors (rank mismatch, negative widths, a ghost wider
+  /// than a neighbour's segment at plan time) need not be thrown on
+  /// every rank: a lone failing rank trips the machine's abort fence and
+  /// peers blocked in the spec exchange or the halo exchange wake with a
+  /// RankAbort instead of hanging.
   void set_overlap(const dist::IndexVec& lo, const dist::IndexVec& hi,
                    bool corners = false, bool asymmetric = true) {
     const dist::IndexVec nlo = normalize_ghost(lo);

@@ -27,6 +27,11 @@ int neighbour_coord(const dist::DimMap& m, int c, int step) {
 /// member, and no rank may request a ghost wider than the segment its
 /// neighbour actually owns (the uniform path clips instead -- see
 /// HaloPlan::build_family's contract).
+///
+/// The family is replicated, so these throws are normally rank-symmetric
+/// -- but they no longer have to be: a rank that swallows the error (or
+/// validates against a diverged family) trips the abort fence on its
+/// next blocking call instead of deadlocking the exchange.
 void validate_family(const dist::Distribution& d, const HaloFamily& fam,
                      int np) {
   const int r = d.domain().rank();

@@ -11,8 +11,8 @@ void Context::send_bytes(int dest, int tag, std::span<const std::byte> payload) 
   auto& st = stats();
   st.data_messages++;
   st.data_bytes += payload.size();
-  m_->mailbox(dest).push(
-      Message{rank_, tag, {payload.begin(), payload.end()}});
+  m_->deliver(rank_, dest, tag, /*ctl=*/false,
+              {payload.begin(), payload.end()});
 }
 
 void Context::send_ctl_bytes(int dest, int tag,
@@ -23,8 +23,8 @@ void Context::send_ctl_bytes(int dest, int tag,
   auto& st = stats();
   st.ctl_messages++;
   st.ctl_bytes += payload.size();
-  m_->mailbox(dest).push(
-      Message{rank_, tag, {payload.begin(), payload.end()}});
+  m_->deliver(rank_, dest, tag, /*ctl=*/true,
+              {payload.begin(), payload.end()});
 }
 
 std::vector<std::byte> Context::recv_bytes(int src, int tag) {
@@ -80,7 +80,12 @@ Message Context::recv_msg(int src, int tag) {
 
 void Context::barrier() {
   stats().collectives++;
-  m_->barrier_wait();
+  m_->barrier_wait(rank_);
+}
+
+void Context::abort(const std::string& reason) {
+  m_->fence().trip(rank_, reason);
+  throw RankAbort(rank_, reason);
 }
 
 }  // namespace vf::msg

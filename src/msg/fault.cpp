@@ -1,0 +1,164 @@
+#include "vf/msg/fault.hpp"
+
+#include <chrono>
+#include <sstream>
+
+namespace vf::msg {
+
+namespace {
+std::int64_t steady_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::None:
+      return "none";
+    case FaultKind::Drop:
+      return "drop";
+    case FaultKind::Delay:
+      return "delay";
+    case FaultKind::Duplicate:
+      return "duplicate";
+    case FaultKind::Truncate:
+      return "truncate";
+    case FaultKind::BitFlip:
+      return "bit-flip";
+  }
+  return "?";
+}
+
+std::uint64_t frame_checksum(std::span<const std::byte> payload) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (const std::byte b : payload) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
+std::string FailureReport::to_string() const {
+  std::ostringstream os;
+  if (!any_failed) return "all ranks completed";
+  os << "origin rank " << origin_rank << ": " << reason;
+  for (const RankFailure& r : ranks) {
+    os << "\n  rank " << r.rank << ": ";
+    if (!r.failed) {
+      os << "completed";
+    } else if (r.abort_origin >= 0 && r.abort_origin != r.rank) {
+      os << "aborted by rank " << r.abort_origin;
+    } else {
+      os << r.what;
+    }
+  }
+  return os.str();
+}
+
+AbortFence::AbortFence(int nprocs)
+    : blocked_(static_cast<std::size_t>(nprocs)) {}
+
+bool AbortFence::trip(int origin, std::string reason) {
+  {
+    std::lock_guard lk(mu_);
+    if (aborted_.load(std::memory_order_relaxed)) return false;
+    origin_ = origin;
+    reason_ = std::move(reason);
+    aborted_.store(true, std::memory_order_release);
+    trips_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Wake every registered blocking primitive.  Locking (then releasing)
+  // the primitive's mutex before notifying closes the check-then-wait
+  // race: a waiter that read aborted == false under its lock is either
+  // already in wait() when we acquire that lock, or will re-check after
+  // we release it.
+  for (auto& [mu, cv] : wakes_) {
+    { std::lock_guard lk(*mu); }
+    cv->notify_all();
+  }
+  return true;
+}
+
+RankAbort AbortFence::make_abort() const {
+  std::lock_guard lk(mu_);
+  return RankAbort(origin_, reason_);
+}
+
+int AbortFence::origin() const {
+  std::lock_guard lk(mu_);
+  return origin_;
+}
+
+std::string AbortFence::reason() const {
+  std::lock_guard lk(mu_);
+  return reason_;
+}
+
+void AbortFence::reset() {
+  std::lock_guard lk(mu_);
+  aborted_.store(false, std::memory_order_release);
+  origin_ = -1;
+  reason_.clear();
+}
+
+void AbortFence::register_wake(std::mutex* mu, std::condition_variable* cv) {
+  std::lock_guard lk(mu_);
+  wakes_.emplace_back(mu, cv);
+}
+
+void AbortFence::enter_recv(int rank, int src, int tag) noexcept {
+  auto& b = blocked_[static_cast<std::size_t>(rank)];
+  b.src.store(src, std::memory_order_relaxed);
+  b.tag.store(tag, std::memory_order_relaxed);
+  b.since_ms.store(steady_now_ms(), std::memory_order_relaxed);
+  b.kind.store(static_cast<int>(BlockKind::Recv), std::memory_order_release);
+}
+
+void AbortFence::enter_barrier(int rank, std::uint64_t gen) noexcept {
+  auto& b = blocked_[static_cast<std::size_t>(rank)];
+  b.gen.store(gen, std::memory_order_relaxed);
+  b.since_ms.store(steady_now_ms(), std::memory_order_relaxed);
+  b.kind.store(static_cast<int>(BlockKind::Barrier),
+               std::memory_order_release);
+}
+
+void AbortFence::leave(int rank) noexcept {
+  blocked_[static_cast<std::size_t>(rank)].kind.store(
+      static_cast<int>(BlockKind::None), std::memory_order_release);
+}
+
+std::string AbortFence::deadlock_report(int expired_rank) const {
+  const std::int64_t now = steady_now_ms();
+  std::ostringstream os;
+  os << "recv watchdog expired on rank " << expired_rank << " after "
+     << watchdog().count() << " ms; blocked-on snapshot:";
+  for (std::size_t r = 0; r < blocked_.size(); ++r) {
+    const auto& b = blocked_[r];
+    os << "\n  rank " << r << ": ";
+    switch (static_cast<BlockKind>(b.kind.load(std::memory_order_acquire))) {
+      case BlockKind::None:
+        os << "running (not blocked)";
+        break;
+      case BlockKind::Recv:
+        os << "blocked in recv(src="
+           << b.src.load(std::memory_order_relaxed)
+           << ", tag=" << b.tag.load(std::memory_order_relaxed) << ") for "
+           << now - b.since_ms.load(std::memory_order_relaxed) << " ms";
+        break;
+      case BlockKind::Barrier:
+        os << "blocked in barrier (generation "
+           << b.gen.load(std::memory_order_relaxed) << ") for "
+           << now - b.since_ms.load(std::memory_order_relaxed) << " ms";
+        break;
+    }
+  }
+  const std::uint64_t parked = parked_.load(std::memory_order_relaxed);
+  if (parked != 0) {
+    os << "\n  " << parked << " frame(s) parked in flight by fault injection";
+  }
+  return os.str();
+}
+
+}  // namespace vf::msg

@@ -1,6 +1,8 @@
 #include "vf/msg/mailbox.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
 
 namespace vf::msg {
 
@@ -10,43 +12,123 @@ bool matches(const Message& m, int src, int tag) {
 }
 }  // namespace
 
+Mailbox::Mailbox(AbortFence* fence, int rank, int nprocs)
+    : fence_(fence),
+      rank_(rank),
+      expected_seq_(static_cast<std::size_t>(nprocs), 0) {
+  if (fence_ != nullptr) fence_->register_wake(&mu_, &cv_);
+}
+
 void Mailbox::push(Message m) {
+  std::string violation;
+  const int link_src = m.src;
   {
     std::lock_guard lk(mu_);
-    q_.push_back(std::move(m));
+    if (m.seq != 0 && !expected_seq_.empty()) {
+      std::uint64_t& expected = expected_seq_[static_cast<std::size_t>(m.src)];
+      if (m.seq != expected + 1) {
+        violation =
+            "frame integrity: link " + std::to_string(m.src) + " -> " +
+            std::to_string(rank_) + " (tag " + std::to_string(m.tag) +
+            ") delivered seq " + std::to_string(m.seq) + ", expected " +
+            std::to_string(expected + 1) +
+            (m.seq <= expected ? " (replayed/duplicated frame)"
+                               : " (frame(s) lost or delayed in flight)");
+      } else {
+        expected = m.seq;
+      }
+    }
+    if (violation.empty()) q_.push_back(std::move(m));
+  }
+  if (!violation.empty()) {
+    // The delivery endpoint detected the violation, but it runs on the
+    // sending rank's thread: that rank originates the abort.
+    if (fence_ != nullptr) fence_->trip(link_src, violation);
+    throw RankAbort(link_src, violation);
   }
   cv_.notify_all();
 }
 
+void Mailbox::verify_frame(const Message& m) const {
+  if (!m.checked || frame_checksum(m.payload) == m.checksum) return;
+  const std::string violation =
+      "frame integrity: checksum mismatch on message from rank " +
+      std::to_string(m.src) + " tag " + std::to_string(m.tag) + " (" +
+      std::to_string(m.payload.size()) +
+      " bytes): payload corrupted or truncated in flight";
+  if (fence_ != nullptr) fence_->trip(rank_, violation);
+  throw RankAbort(rank_, violation);
+}
+
 Message Mailbox::pop(int src, int tag) {
+  // Blocked-state bookkeeping for the watchdog's deadlock report; cleared
+  // on every exit path (including the abort throws).
+  struct BlockedScope {
+    AbortFence* f;
+    int r;
+    ~BlockedScope() {
+      if (f != nullptr) f->leave(r);
+    }
+  } blocked{fence_, rank_};
+  if (fence_ != nullptr) fence_->enter_recv(rank_, src, tag);
+
+  const auto watchdog = fence_ != nullptr ? fence_->watchdog()
+                                          : std::chrono::milliseconds(0);
+  const auto deadline = std::chrono::steady_clock::now() + watchdog;
+
   std::unique_lock lk(mu_);
   for (;;) {
+    if (fence_ != nullptr && fence_->aborted()) throw fence_->make_abort();
     auto it = std::find_if(q_.begin(), q_.end(), [&](const Message& m) {
       return matches(m, src, tag);
     });
     if (it != q_.end()) {
       Message m = std::move(*it);
       q_.erase(it);
+      lk.unlock();
+      verify_frame(m);
       return m;
     }
-    cv_.wait(lk);
+    if (watchdog.count() > 0) {
+      if (cv_.wait_until(lk, deadline) == std::cv_status::timeout &&
+          std::none_of(q_.begin(), q_.end(), [&](const Message& m) {
+            return matches(m, src, tag);
+          })) {
+        if (fence_->aborted()) throw fence_->make_abort();
+        const std::string report = fence_->deadlock_report(rank_);
+        lk.unlock();  // trip() wakes this mailbox too; avoid self-deadlock
+        fence_->trip(rank_, report);
+        throw RankAbort(rank_, report);
+      }
+    } else {
+      cv_.wait(lk);
+    }
   }
 }
 
 bool Mailbox::try_pop(int src, int tag, Message& out) {
-  std::lock_guard lk(mu_);
+  std::unique_lock lk(mu_);
   auto it = std::find_if(q_.begin(), q_.end(), [&](const Message& m) {
     return matches(m, src, tag);
   });
   if (it == q_.end()) return false;
-  out = std::move(*it);
+  Message m = std::move(*it);
   q_.erase(it);
+  lk.unlock();
+  verify_frame(m);
+  out = std::move(m);
   return true;
 }
 
 std::size_t Mailbox::size() const {
   std::lock_guard lk(mu_);
   return q_.size();
+}
+
+void Mailbox::reset_links() {
+  std::lock_guard lk(mu_);
+  q_.clear();
+  std::fill(expected_seq_.begin(), expected_seq_.end(), 0);
 }
 
 }  // namespace vf::msg

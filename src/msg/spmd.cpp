@@ -16,14 +16,66 @@ void run_spmd(Machine& m, const std::function<void(Context&)>& body) {
       try {
         Context ctx(m, r);
         body(ctx);
+      } catch (const RankAbort&) {
+        // Fence already tripped by whoever originated this abort.
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      } catch (const std::exception& e) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        m.fence().trip(r, e.what());
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        m.fence().trip(r, "unknown exception escaped the SPMD body");
       }
     });
   }
   for (auto& t : threads) t.join();
-  for (auto& e : errors) {
-    if (e) std::rethrow_exception(e);
+
+  FailureReport report;
+  report.ranks.resize(static_cast<std::size_t>(np));
+  for (int r = 0; r < np; ++r) {
+    RankFailure& f = report.ranks[static_cast<std::size_t>(r)];
+    f.rank = r;
+    const auto& e = errors[static_cast<std::size_t>(r)];
+    if (!e) continue;
+    f.failed = true;
+    report.any_failed = true;
+    try {
+      std::rethrow_exception(e);
+    } catch (const RankAbort& a) {
+      f.abort_origin = a.origin_rank;
+      f.what = a.what();
+    } catch (const std::exception& ex) {
+      f.what = ex.what();
+    } catch (...) {
+      f.what = "unknown exception";
+    }
+  }
+  const bool tripped = m.fence().aborted();
+  if (tripped) {
+    report.origin_rank = m.fence().origin();
+    report.reason = m.fence().reason();
+  } else if (report.any_failed) {
+    // Defensive: every throw path trips the fence, but if one ever does
+    // not, still name the first failed rank.
+    for (const RankFailure& f : report.ranks) {
+      if (f.failed) {
+        report.origin_rank = f.rank;
+        report.reason = f.what;
+        break;
+      }
+    }
+  }
+  m.set_last_failure_report(report);
+  if (tripped) m.reset_failure_state();
+
+  if (report.any_failed) {
+    const auto origin = static_cast<std::size_t>(report.origin_rank);
+    if (report.origin_rank >= 0 && errors[origin]) {
+      std::rethrow_exception(errors[origin]);
+    }
+    // The origin rank itself completed (it tripped the fence from another
+    // rank's delivery path and kept running): surface the fence reason.
+    throw RankAbort(report.origin_rank, report.reason);
   }
 }
 

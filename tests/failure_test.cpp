@@ -3,6 +3,10 @@
 // is observable afterwards.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
 #include "spmd_test_util.hpp"
 #include "vf/compile/parteval.hpp"
 #include "vf/parti/schedule.hpp"
@@ -21,6 +25,7 @@ using msg::Context;
 using rt::DistArray;
 using rt::Env;
 using testing::run_checked;
+using testing::run_checked_on;
 using testing::SpmdChecker;
 
 TEST(Failure, EnvRejectsOversizedProcessorArray) {
@@ -343,6 +348,195 @@ TEST(Failure, AsymmetricGhostWiderThanNeighbourSegmentThrows) {
       ck.check_eq(v, 1.0 * i[0], ctx.rank(), "owned value after recovery");
     });
   });
+}
+
+// ---- abort-fence containment: rank-local failures no longer deadlock ------
+
+/// A single rank throwing out of its body (while every peer sits in a
+/// collective) used to deadlock the machine; the fence now wakes the peers
+/// with RankAbort and run_spmd rethrows the origin's ORIGINAL error type.
+TEST(Failure, LoneRankThrowIsContained) {
+  msg::Machine m(4);
+  try {
+    msg::run_spmd(m, [](Context& ctx) {
+      if (ctx.rank() == 2) throw std::out_of_range("rank 2 local failure");
+      (void)ctx.allreduce(1, msg::ReduceOp::Sum);  // peers block here
+    });
+    FAIL() << "expected out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_STREQ(e.what(), "rank 2 local failure");
+  }
+  const msg::FailureReport rep = m.last_failure_report();
+  EXPECT_TRUE(rep.any_failed);
+  EXPECT_EQ(rep.origin_rank, 2);
+  for (const msg::RankFailure& f : rep.ranks) {
+    EXPECT_TRUE(f.failed) << "rank " << f.rank;
+    if (f.rank != 2) {
+      EXPECT_EQ(f.abort_origin, 2) << "rank " << f.rank;
+    }
+  }
+  EXPECT_EQ(m.fence_trips(), 1u);
+}
+
+/// Context::abort trips the fence explicitly: peers blocked in a barrier
+/// wake with the origin's reason.
+TEST(Failure, ContextAbortPropagatesToAllRanks) {
+  msg::Machine m(4);
+  try {
+    msg::run_spmd(m, [](Context& ctx) {
+      if (ctx.rank() == 1) ctx.abort("unrecoverable input on rank 1");
+      ctx.barrier();
+    });
+    FAIL() << "expected RankAbort";
+  } catch (const msg::RankAbort& e) {
+    EXPECT_EQ(e.origin_rank, 1);
+    EXPECT_EQ(e.reason, "unrecoverable input on rank 1");
+  }
+  for (const msg::RankFailure& f : m.last_failure_report().ranks) {
+    EXPECT_TRUE(f.failed);
+    EXPECT_EQ(f.abort_origin, 1);
+  }
+}
+
+/// Plan-time validation failure on ONE rank only: rank 0 hands the
+/// inspector an out-of-domain point while the others build a valid
+/// schedule and block in its collectives.  Pre-fence this required every
+/// rank to throw identically; now the lone bad rank aborts the machine
+/// and the original out_of_range surfaces.
+TEST(Failure, InspectorBadPointOnOneRankIsContained) {
+  msg::Machine m(4);
+  EXPECT_THROW(
+      msg::run_spmd(m,
+                    [](Context& ctx) {
+                      Env env(ctx);
+                      DistArray<double> a(
+                          env, {.name = "A",
+                                .domain = IndexDomain::of_extents({16}),
+                                .dynamic = true,
+                                .initial = DistributionType{block()}});
+                      a.init([](const dist::IndexVec& i) { return 1.0 * i[0]; });
+                      const dist::IndexVec pt =
+                          ctx.rank() == 0 ? dist::IndexVec{99}
+                                          : dist::IndexVec{1};
+                      parti::Schedule s(ctx, a.dist_handle(), {pt});
+                      std::vector<double> out(1);
+                      s.gather(ctx, a, out);
+                    }),
+      std::out_of_range);
+  EXPECT_EQ(m.last_failure_report().origin_rank, 0);
+}
+
+/// Too-wide ghost with ASYMMETRIC handling: ranks 1-3 let the plan-time
+/// invalid_argument propagate, rank 0 catches it locally and walks into a
+/// barrier.  The fence turns rank 0's barrier into a secondary RankAbort
+/// instead of a deadlock, and run_spmd still rethrows the original
+/// invalid_argument.
+TEST(Failure, TooWideGhostWithLocalCatchOnOneRank) {
+  msg::Machine m(4);
+  EXPECT_THROW(
+      msg::run_spmd(
+          m,
+          [](Context& ctx) {
+            Env env(ctx);
+            DistArray<double> a(env,
+                                {.name = "A",
+                                 .domain = IndexDomain::of_extents({4}),
+                                 .dynamic = true,
+                                 .initial = DistributionType{block()}});
+            a.init([](const dist::IndexVec& i) { return 1.0 * i[0]; });
+            // One cell per rank; rank 1 requests 2 low ghost planes.
+            a.set_overlap({ctx.rank() == 1 ? 2 : 1}, {1}, false,
+                          /*asymmetric=*/true);
+            if (ctx.rank() == 0) {
+              try {
+                a.exchange_overlap();
+              } catch (const std::invalid_argument&) {
+                // Swallowed locally -- pre-fence this rank would now hang
+                // forever in the barrier below.
+              }
+              ctx.barrier();
+            } else {
+              a.exchange_overlap();
+              ctx.barrier();
+            }
+          }),
+      std::invalid_argument);
+  const msg::FailureReport rep = m.last_failure_report();
+  EXPECT_TRUE(rep.any_failed);
+  EXPECT_NE(rep.origin_rank, 0);  // rank 0 swallowed its own error
+  const msg::RankFailure& r0 = rep.ranks.at(0);
+  EXPECT_TRUE(r0.failed);
+  EXPECT_EQ(r0.abort_origin, rep.origin_rank);
+}
+
+/// A count mismatch sends nothing, so nothing throws -- only the recv
+/// watchdog can surface it.  The deadlock report must name what the stuck
+/// rank was blocked on.
+TEST(Failure, CountMismatchSurfacesViaWatchdog) {
+  msg::Machine m(2);
+  m.set_recv_watchdog(std::chrono::milliseconds(300));
+  try {
+    msg::run_spmd(m, [](Context& ctx) {
+      if (ctx.rank() == 0) {
+        (void)ctx.recv_bytes(1, 7);  // rank 1 never sends
+      }
+    });
+    FAIL() << "expected RankAbort";
+  } catch (const msg::RankAbort& e) {
+    EXPECT_EQ(e.origin_rank, 0);
+    EXPECT_NE(e.reason.find("recv watchdog expired"), std::string::npos)
+        << e.reason;
+    EXPECT_NE(e.reason.find("blocked in recv(src=1, tag=7)"),
+              std::string::npos)
+        << e.reason;
+  }
+}
+
+/// Watchdog coverage for barriers: a rank that never arrives is reported
+/// with the blocked ranks' barrier generation.
+TEST(Failure, MissingBarrierArrivalSurfacesViaWatchdog) {
+  msg::Machine m(2);
+  m.set_recv_watchdog(std::chrono::milliseconds(300));
+  try {
+    msg::run_spmd(m, [](Context& ctx) {
+      if (ctx.rank() == 0) ctx.barrier();  // rank 1 never arrives
+    });
+    FAIL() << "expected RankAbort";
+  } catch (const msg::RankAbort& e) {
+    EXPECT_NE(e.reason.find("blocked in barrier"), std::string::npos)
+        << e.reason;
+  }
+  m.set_recv_watchdog(std::chrono::milliseconds(0));
+}
+
+/// The machine is reusable after an aborted run: reset_failure_state
+/// clears queued frames, link sequences and the fence, so a healthy run
+/// on the same machine completes with correct results.
+TEST(Failure, MachineIsReusableAfterAbort) {
+  msg::Machine m(4);
+  EXPECT_THROW(msg::run_spmd(m,
+                             [](Context& ctx) {
+                               if (ctx.rank() == 3) {
+                                 throw std::runtime_error("boom");
+                               }
+                               // Peers with in-flight traffic and a
+                               // collective in progress when the fence
+                               // trips.
+                               ctx.send_value(3, 5, ctx.rank());
+                               (void)ctx.allreduce(1, msg::ReduceOp::Sum);
+                             }),
+               std::runtime_error);
+  EXPECT_EQ(m.fence_trips(), 1u);
+  run_checked_on(m, [](Context& ctx, SpmdChecker& ck) {
+    const int sum = ctx.allreduce(ctx.rank(), msg::ReduceOp::Sum);
+    ck.check_eq(sum, 6, ctx.rank(), "allreduce after reset");
+    const int right = (ctx.rank() + 1) % ctx.nprocs();
+    const int left = (ctx.rank() + ctx.nprocs() - 1) % ctx.nprocs();
+    ctx.send_value(right, 9, ctx.rank());
+    ck.check_eq(ctx.recv_value<int>(left, 9), left, ctx.rank(),
+                "point-to-point after reset");
+  });
+  EXPECT_FALSE(m.last_failure_report().any_failed);
 }
 
 }  // namespace

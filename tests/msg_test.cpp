@@ -50,6 +50,53 @@ TEST(CostModel, StatsAccumulate) {
   EXPECT_EQ(c.collectives, 55u);
 }
 
+TEST(Mailbox, TryPopMatchesWithoutBlocking) {
+  msg::Mailbox box;
+  msg::Message out;
+  EXPECT_FALSE(box.try_pop(msg::kAnySource, 0, out));  // empty: no block
+  box.push(msg::Message{0, 5, {std::byte{1}}});
+  box.push(msg::Message{1, 7, {std::byte{2}}});
+  EXPECT_FALSE(box.try_pop(0, 7, out));  // (src, tag) must BOTH match
+  EXPECT_FALSE(box.try_pop(1, 5, out));
+  ASSERT_TRUE(box.try_pop(1, 7, out));
+  EXPECT_EQ(out.src, 1);
+  EXPECT_EQ(out.payload.at(0), std::byte{2});
+  EXPECT_EQ(box.size(), 1u);
+  ASSERT_TRUE(box.try_pop(msg::kAnySource, 5, out));
+  EXPECT_EQ(out.src, 0);
+  EXPECT_FALSE(box.try_pop(msg::kAnySource, 5, out));
+  EXPECT_EQ(box.size(), 0u);
+}
+
+TEST(Mailbox, AnySourcePopsFifoAmongMatching) {
+  // The documented guarantee: among messages satisfying the filter,
+  // matching is in arrival order -- even with non-matching messages
+  // interleaved ahead of them.
+  msg::Mailbox box;
+  box.push(msg::Message{3, 9, {std::byte{30}}});  // wrong tag, stays queued
+  box.push(msg::Message{2, 4, {std::byte{20}}});
+  box.push(msg::Message{0, 4, {std::byte{0}}});
+  box.push(msg::Message{1, 4, {std::byte{10}}});
+  EXPECT_EQ(box.pop(msg::kAnySource, 4).src, 2);
+  EXPECT_EQ(box.pop(msg::kAnySource, 4).src, 0);
+  EXPECT_EQ(box.pop(msg::kAnySource, 4).src, 1);
+  EXPECT_EQ(box.pop(msg::kAnySource, 9).src, 3);
+}
+
+TEST(Mailbox, PerSourceFifoWithExplicitSource) {
+  msg::Mailbox box;
+  for (int k = 0; k < 3; ++k) {
+    box.push(msg::Message{0, 1, {std::byte(k)}});
+    box.push(msg::Message{1, 1, {std::byte(100 + k)}});
+  }
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_EQ(box.pop(1, 1).payload.at(0), std::byte(100 + k));
+  }
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_EQ(box.pop(0, 1).payload.at(0), std::byte(k));
+  }
+}
+
 TEST(Machine, RejectsNonPositiveProcs) {
   EXPECT_THROW(Machine(0), std::invalid_argument);
   EXPECT_THROW(Machine(-3), std::invalid_argument);
@@ -241,6 +288,41 @@ TEST(Collectives, InterleavedCollectivesStayMatched) {
       ck.check_eq(s, 3, ctx.rank(), "sum stays 3");
       const int b = ctx.broadcast(ctx.rank() == 0 ? iter : -1, 0);
       ck.check_eq(b, iter, ctx.rank(), "broadcast iteration");
+    }
+  });
+}
+
+TEST(PointToPoint, RecvValueRejectsEmptyPayloadWithProtocolError) {
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    if (ctx.rank() == 0) {
+      ctx.send_bytes(1, 11, {});  // zero bytes where one element is expected
+    } else {
+      try {
+        (void)ctx.recv_value<int>(0, 11);
+        ck.fail("expected runtime_error");
+      } catch (const std::runtime_error& e) {
+        const std::string what = e.what();
+        ck.check(what.find("src=0") != std::string::npos, 1, what);
+        ck.check(what.find("tag=11") != std::string::npos, 1, what);
+      }
+    }
+  });
+}
+
+TEST(Collectives, TagSpaceExhaustionFailsLoudly) {
+  // Near the top of the sequence space collectives still work (the last
+  // usable tag is INT_MIN exactly); one step beyond throws instead of
+  // silently recycling tags that may still have pending messages.
+  run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    ctx.skip_coll_tags(Context::kMaxCollSeq - 1);
+    ck.check_eq(ctx.allreduce(1, ReduceOp::Sum), 2, ctx.rank(),
+                "collective near the tag-space edge");
+    // allreduce consumed seq kMaxCollSeq-1 and kMaxCollSeq; the space is
+    // now exhausted on every rank.
+    try {
+      (void)ctx.broadcast(1, 0);
+      ck.fail("expected overflow_error");
+    } catch (const std::overflow_error&) {
     }
   });
 }

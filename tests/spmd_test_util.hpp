@@ -56,6 +56,16 @@ class SpmdChecker {
   std::vector<std::string> failures_;
 };
 
+/// Runs `body(ctx, checker)` on every rank of an existing machine and
+/// asserts no recorded failures -- for tests exercising machine reuse.
+inline void run_checked_on(
+    msg::Machine& m,
+    const std::function<void(msg::Context&, SpmdChecker&)>& body) {
+  SpmdChecker checker;
+  msg::run_spmd(m, [&](msg::Context& ctx) { body(ctx, checker); });
+  checker.expect_clean();
+}
+
 /// Runs `body(ctx, checker)` on `nprocs` ranks and asserts no recorded
 /// failures.  Returns the machine's total communication statistics.
 inline msg::CommStats run_checked(
