@@ -45,10 +45,15 @@ void BM_HaloExchange(benchmark::State& state) {
   const auto n = static_cast<Index>(state.range(2));
   const int nprocs = static_cast<int>(state.range(3));
   const bool watchdog = state.range(4) != 0;
+  const auto transport = state.range(5) != 0 ? msg::TransportKind::SharedMemory
+                                             : msg::TransportKind::Mailbox;
+  const bool split = state.range(6) != 0;
   constexpr int kExchanges = 64;
 
   state.SetLabel(std::string(shape == 0 ? "halo9" : "halorows") +
-                 (cached ? "/cached" : "/cold") + (watchdog ? "/wd" : ""));
+                 (cached ? "/cached" : "/cold") + (watchdog ? "/wd" : "") +
+                 "/" + msg::to_string(transport) +
+                 (split ? "/split" : "/blocking"));
 
   msg::CommStats stats;
   // Median over iterations: the threaded transport makes whole iterations
@@ -60,7 +65,7 @@ void BM_HaloExchange(benchmark::State& state) {
   std::uint64_t fence_trips = 0;
   std::uint64_t faults_injected = 0;
   for (auto _ : state) {
-    msg::Machine machine(nprocs);
+    msg::Machine machine(nprocs, {}, transport);
     // Armed watchdog = the containment layer's overhead configuration:
     // every blocking recv and barrier waits with a deadline instead of
     // indefinitely.  The deadline is far above any healthy exchange, so
@@ -72,7 +77,8 @@ void BM_HaloExchange(benchmark::State& state) {
     scratch_allocs = 0;
     std::atomic<double> secs{0.0};
     msg::run_spmd(machine, [&](msg::Context& ctx) {
-      const int q = nprocs == 4 ? 2 : 3;
+      int q = 1;
+      while (q * q < nprocs) ++q;  // P is a perfect square for halo9 rows
       rt::Env env(ctx, shape == 0
                            ? dist::ProcessorArray::grid(q, q)
                            : dist::ProcessorArray::line(nprocs));
@@ -102,8 +108,18 @@ void BM_HaloExchange(benchmark::State& state) {
       ctx.stats() = msg::CommStats{};
       const auto t0 = std::chrono::steady_clock::now();
       ctx.barrier();
+      // The split rows run the identical byte movement through the
+      // begin/end pair back-to-back: the delta against the blocking rows
+      // is the split-phase bookkeeping itself, and under the shm
+      // transport the zero-copy hand-off (no compute is overlapped here
+      // -- that methodology row lives in bench_smoothing).
       for (int e = 0; e < kExchanges; ++e) {
-        a.exchange_overlap();
+        if (split) {
+          a.begin_exchange_overlap();
+          a.end_exchange_overlap();
+        } else {
+          a.exchange_overlap();
+        }
       }
       ctx.barrier();
       if (ctx.rank() == 0) {
@@ -150,15 +166,24 @@ void BM_HaloExchange(benchmark::State& state) {
   state.counters["watchdog_armed"] = watchdog ? 1 : 0;
   state.counters["fence_trips"] = static_cast<double>(fence_trips);
   state.counters["faults_injected"] = static_cast<double>(faults_injected);
+  state.counters["transport_shm"] =
+      transport == msg::TransportKind::SharedMemory ? 1 : 0;
+  state.counters["split_phase"] = split ? 1 : 0;
 }
 
 }  // namespace
 
 BENCHMARK(BM_HaloExchange)
-    ->ArgNames({"shape", "cached", "n", "P", "wd"})
-    ->ArgsProduct({{0, 1}, {0, 1}, {512, 1024}, {4}, {0}})
+    ->ArgNames({"shape", "cached", "n", "P", "wd", "tr", "split"})
+    ->ArgsProduct({{0, 1}, {0, 1}, {512, 1024}, {4}, {0}, {0}, {0}})
     // Watchdog-armed cached replays: the fence-overhead configuration the
     // CI gate compares against the cold path.
-    ->ArgsProduct({{0, 1}, {1}, {512, 1024}, {4}, {1}})
+    ->ArgsProduct({{0, 1}, {1}, {512, 1024}, {4}, {1}, {0}, {0}})
+    // Transport matrix: the same cached exchange over the framed mailbox
+    // and the zero-copy shared-memory transport, blocking and split-phase
+    // (CI gates shm >= 1.2x mailbox on ns_per_exchange here).
+    ->ArgsProduct({{0, 1}, {1}, {512}, {4, 16}, {0}, {0, 1}, {0, 1}})
+    // Scale grid for the CI bench job: thin-plane rows at P in {16, 64}.
+    ->ArgsProduct({{1}, {1}, {256}, {16, 64}, {0}, {0, 1}, {0, 1}})
     ->Unit(benchmark::kMillisecond)
     ->Iterations(13);

@@ -36,6 +36,18 @@ struct AdiConfig {
   dist::Index nx = 64;
   dist::Index ny = 64;
   int iterations = 4;
+  /// Opt-in neighbour-coupled right-hand side: the RHS of each iteration
+  /// reads the previous iterate's dimension-1 neighbours of V, which
+  /// needs a (0,1)/(0,1) overlap area and a halo exchange before every
+  /// RHS fill.  Off by default -- the classic index-only RHS and its
+  /// checksums are unchanged.
+  bool rhs_halo = false;
+  /// With rhs_halo: run that halo exchange split-phase, computing
+  /// interior RHS values while boundary planes are in flight.  The RHS
+  /// is computed into scratch and written back afterwards, so the result
+  /// is bitwise-identical to the blocking variant regardless of
+  /// traversal order.
+  bool split_phase = false;
 };
 
 struct AdiResult {

@@ -30,6 +30,15 @@ struct AmrFrontConfig {
   dist::Index front_halfspan = 2;  ///< |i - front| <= halfspan is "near"
   dist::Index front0 = 4;          ///< front column at step 0
   dist::Index front_step = 3;      ///< columns the front advances per step
+  /// Overlap the halo exchange with the interior update (split-phase):
+  /// the destination traversal is partitioned by the largest stencil
+  /// radius any of the rank's own cells reads with (front_width when the
+  /// front zone touches the segment) -- wider than the declared ghost
+  /// widths, whose max(radius - edge distance) shape under-covers a
+  /// refined cell sitting inside the segment -- so every in-flight read
+  /// stays owned and only true boundary cells wait for
+  /// end_exchange_overlap.  Bitwise-identical to the blocking schedule.
+  bool split_phase = false;
 };
 
 struct AmrFrontResult {

@@ -48,10 +48,32 @@ struct HaloPlan {
     int peer;            ///< destination (pack) / source (unpack) rank
   };
 
+  /// One contiguous block of unpack_runs sourced from one peer: entries
+  /// [begin, end) of unpack_runs all carry .peer == peer, in the
+  /// enumeration order the peer packs.  Split-phase consumers use this to
+  /// scatter ONE arriving payload without scanning the whole run list
+  /// (the zero-copy transport hands payloads over peer by peer).
+  struct PeerRuns {
+    int peer;
+    std::uint32_t begin;
+    std::uint32_t end;
+  };
+
   std::vector<Run> pack_runs;
   std::vector<std::uint64_t> send_counts;
   std::vector<Run> unpack_runs;
+  std::vector<PeerRuns> unpack_peers;  ///< unpack_runs grouped by source
   std::vector<std::uint64_t> recv_counts;
+
+  /// Declared ghost widths of this rank per side (zeros for non-members
+  /// and empty specs): the interior margins of a split-phase exchange.
+  /// Owned elements at least this far from every ghosted face cannot be
+  /// read by any stencil the halo serves (reach <= declared width by
+  /// contract), so they are safe to update while the exchange is in
+  /// flight.  Declared -- not clipped -- widths: partial fill only ever
+  /// shrinks what arrives, so these margins are conservative.
+  dist::IndexVec interior_lo;
+  dist::IndexVec interior_hi;
 
   /// Total elements this rank sends per exchange.
   [[nodiscard]] std::uint64_t sent_elems() const noexcept {

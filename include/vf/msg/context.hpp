@@ -44,6 +44,20 @@ T apply_op(ReduceOp op, T a, T b) {
   return a;
 }
 
+/// PeerConsumer adapter over a callable -- lets end_exchange take a
+/// lambda without a std::function allocation.
+template <typename F>
+class FnConsumer final : public PeerConsumer {
+ public:
+  explicit FnConsumer(F& f) : f_(f) {}
+  void consume(int peer, std::span<const std::byte> bytes) override {
+    f_(peer, bytes);
+  }
+
+ private:
+  F& f_;
+};
+
 /// Deserializes a typed payload.  The element count is derived from the
 /// byte size (never from wire-carried counts), so the only failure mode
 /// is a size that is not a multiple of sizeof(T).
@@ -233,22 +247,39 @@ class Context {
     return broadcast_tree(std::move(v), root, tag);
   }
 
-  /// All-reduce of a single value.
+  /// All-reduce of a single value.  Allocation-free: the value reduces
+  /// in place on the stack and the fan-in rides the persistent
+  /// collective scratch.
   template <detail::TriviallySendable T>
   [[nodiscard]] T allreduce(T v, ReduceOp op) {
-    auto r = allreduce_vec(std::vector<T>{v}, op);
-    return r.at(0);
+    allreduce_inplace(std::span<T>(&v, 1), op);
+    return v;
   }
 
-  /// Element-wise all-reduce of equal-length vectors.
+  /// Element-wise all-reduce of equal-length vectors.  See
+  /// allreduce_inplace for the algorithm and allocation contract.
+  template <detail::TriviallySendable T>
+  [[nodiscard]] std::vector<T> allreduce_vec(std::vector<T> v, ReduceOp op) {
+    allreduce_inplace(std::span<T>(v), op);
+    return v;
+  }
+
+  /// Element-wise all-reduce over caller-owned storage: every rank passes
+  /// an equal-length span and receives the reduction in place.
   ///
   /// Binomial reduction to rank 0 followed by a binomial broadcast: every
   /// rank sends at most 1 + ceil(log2 P) messages and the critical path
   /// is O(alpha log P).  (The old implementation serialized 2(P-1)
   /// messages through rank 0.)  Reduction order is the binomial-tree
   /// combine order, deterministic for a given P.
+  ///
+  /// The fan-in receives each contribution into a persistent lane of the
+  /// context's collective scratch and the broadcast phase fills `v`
+  /// directly (its length is SPMD-agreed), so a warm replay -- every
+  /// reduction after the first of a given element size -- performs no
+  /// heap allocation (the collective_scratch_stats() counters CI gates).
   template <detail::TriviallySendable T>
-  [[nodiscard]] std::vector<T> allreduce_vec(std::vector<T> v, ReduceOp op) {
+  void allreduce_inplace(std::span<T> v, ReduceOp op) {
     const int reduce_tag = next_coll_tag();
     const int bcast_tag = next_coll_tag();
     stats().collectives++;
@@ -256,23 +287,25 @@ class Context {
     for (int mask = 1; mask < np; mask <<= 1) {
       if ((rank_ & mask) != 0) {
         // Fold my partial into the partner below and leave the tree.
-        send_ctl_bytes(rank_ - mask, reduce_tag,
-                       std::as_bytes(std::span<const T>(v)));
+        send_ctl_bytes(rank_ - mask, reduce_tag, std::as_bytes(v));
         break;
       }
       const int src = rank_ + mask;
       if (src < np) {
-        auto contrib = detail::bytes_to_vector<T>(recv_bytes(src, reduce_tag));
-        if (contrib.size() != v.size()) {
-          throw std::runtime_error(
-              "allreduce_vec: contribution length mismatch");
-        }
+        // One single-peer lane per element size: the contribution buffer
+        // that replaces the per-receive bytes_to_vector allocation.
+        ExchangeLane& lane = coll_scratch_.lane(sizeof(T));
+        const std::uint64_t n = v.size();
+        lane.prepare(std::span<const std::uint64_t>(&n, 1),
+                     std::span<const std::uint64_t>(&n, 1));
+        recv_bytes_into(src, reduce_tag, lane.recv_bytes(0));
+        const std::span<const T> contrib = lane.recv<T>(0);
         for (std::size_t i = 0; i < v.size(); ++i) {
           v[i] = detail::apply_op(op, v[i], contrib[i]);
         }
       }
     }
-    return broadcast_tree(std::move(v), 0, bcast_tag);
+    broadcast_tree_into(v, 0, bcast_tag);
   }
 
   /// Gather one value per rank; every rank receives the full vector,
@@ -388,16 +421,18 @@ class Context {
     }
     for (int s = 0; s < np; ++s) {
       if (s == rank_ || expected[static_cast<std::size_t>(s)] == 0) continue;
-      in[static_cast<std::size_t>(s)] =
-          detail::bytes_to_vector<T>(recv_bytes(s, tag));
+      // Size the result slot up front and receive straight into it: the
+      // counted receive enforces the pre-agreed size, and no intermediate
+      // bytes_to_vector allocation is made per peer.
+      auto& slot = in[static_cast<std::size_t>(s)];
+      slot.resize(static_cast<std::size_t>(expected[static_cast<std::size_t>(s)]));
+      recv_bytes_into(s, tag, std::as_writable_bytes(std::span<T>(slot)));
     }
-    for (int s = 0; s < np; ++s) {
-      if (in[static_cast<std::size_t>(s)].size() !=
-          expected[static_cast<std::size_t>(s)]) {
-        throw std::runtime_error(
-            "alltoallv_known: received payload size does not match the "
-            "pre-agreed count");
-      }
+    if (in[static_cast<std::size_t>(rank_)].size() !=
+        expected[static_cast<std::size_t>(rank_)]) {
+      throw std::runtime_error(
+          "alltoallv_known: received payload size does not match the "
+          "pre-agreed count");
     }
     return in;
   }
@@ -417,6 +452,50 @@ class Context {
   /// come from one deterministic inspector product, and a zero-size send
   /// a peer expects data for blocks that peer in recv.
   void alltoallv_known_into(ExchangeLane& lane);
+
+  // ---- split-phase counted exchange ---------------------------------------
+
+  /// Starts a counted exchange on `lane` and returns its matching tag:
+  /// the active transport ships (or publishes) every non-empty remote
+  /// send buffer and returns WITHOUT waiting for anything to arrive.
+  /// The caller may now compute on data unrelated to the exchange --
+  /// that is the whole point -- and must eventually call end_exchange()
+  /// with the returned tag.  The lane's buffers (both sides) must stay
+  /// untouched until end_exchange() returns.
+  ///
+  /// Counts as one collective; the count precondition of
+  /// alltoallv_known_into applies unchanged.
+  [[nodiscard]] int begin_exchange(ExchangeLane& lane);
+
+  /// Completes a split-phase exchange: copies the local slot send->recv,
+  /// then receives every expected remote payload into lane.recv(s).
+  void end_exchange(ExchangeLane& lane, int tag);
+
+  /// As above, but hands each non-empty payload (local slot included) to
+  /// `consume(int peer, std::span<const std::byte> bytes)` instead of
+  /// unconditionally memcpying into lane.recv(peer).  Under the
+  /// shared-memory transport `bytes` aliases the PEER's send buffer --
+  /// the consumer unpacks zero-copy; under the mailbox transport it is
+  /// lane.recv(peer), already filled.  The consumer must not recurse
+  /// into this context.
+  template <typename F>
+  void end_exchange(ExchangeLane& lane, int tag, F&& consume) {
+    detail::FnConsumer<std::remove_reference_t<F>> c(consume);
+    end_exchange_impl(lane, tag, c);
+  }
+
+  /// Counters of the persistent scratch behind the allocation-free
+  /// collectives (allreduce / allreduce_vec / allreduce_inplace): after
+  /// one warmup reduction per element size, grow_allocs stays flat
+  /// across replays -- the collectives-side analogue of the executor
+  /// allocs_per_replay == 0 contract.
+  [[nodiscard]] const ExchangeScratch::Stats& collective_scratch_stats()
+      const noexcept {
+    return coll_scratch_.stats();
+  }
+  void reset_collective_scratch_stats() noexcept {
+    coll_scratch_.reset_stats();
+  }
 
  private:
   /// Control-plane send: same transport, separate accounting.
@@ -453,6 +532,40 @@ class Context {
     return v;
   }
 
+  /// broadcast_tree over caller-owned storage: every rank passes a span
+  /// whose length equals the root's payload (SPMD-agreed), so non-root
+  /// ranks receive straight into it with a counted receive -- no
+  /// bytes_to_vector allocation.  Does not bump the collectives counter;
+  /// the caller owns the tag.
+  template <detail::TriviallySendable T>
+  void broadcast_tree_into(std::span<T> v, int root, int tag) {
+    const int np = nprocs();
+    if (np == 1) return;
+    const int rel = (rank_ - root + np) % np;
+    int mask = 1;
+    while (mask < np) {
+      if ((rel & mask) != 0) {
+        const int src = (rel - mask + root) % np;
+        recv_bytes_into(src, tag, std::as_writable_bytes(v));
+        break;
+      }
+      mask <<= 1;
+    }
+    mask >>= 1;
+    while (mask > 0) {
+      if (rel + mask < np) {
+        const int dst = (rel + mask + root) % np;
+        send_ctl_bytes(dst, tag, std::as_bytes(v));
+      }
+      mask >>= 1;
+    }
+  }
+
+  /// Shared body of the end_exchange overloads: handles the local slot
+  /// first (size check + consume), then lets the active transport drain
+  /// the remote payloads through `consume`.
+  void end_exchange_impl(ExchangeLane& lane, int tag, PeerConsumer& consume);
+
   [[nodiscard]] int next_coll_tag() {
     // Collective tags live in the negative tag space, below kAnySource:
     // tag = -2 - seq, so seq kMaxCollSeq maps to INT_MIN exactly.  Beyond
@@ -471,6 +584,11 @@ class Context {
   Machine* m_;
   int rank_;
   std::uint64_t coll_seq_ = 0;
+  // Persistent fan-in buffers for the allocation-free collectives.  Its
+  // lanes only ever hold single-peer geometry (peers() == 1): reusing a
+  // lane across different peer counts would shrink-and-regrow the inner
+  // buffers and show up as spurious grow_allocs.
+  ExchangeScratch coll_scratch_;
 };
 
 }  // namespace vf::msg

@@ -20,6 +20,7 @@
 #include "vf/msg/cost_model.hpp"
 #include "vf/msg/fault.hpp"
 #include "vf/msg/mailbox.hpp"
+#include "vf/msg/transport.hpp"
 
 namespace vf::msg {
 
@@ -30,13 +31,44 @@ namespace vf::msg {
 class Machine {
  public:
   /// Creates a machine with `nprocs` virtual processors.  nprocs >= 1.
-  explicit Machine(int nprocs, CostModel cm = {});
+  ///
+  /// `transport` selects how counted exchanges (alltoallv_known_into and
+  /// the split-phase begin/end_exchange pair) move lane buffers:
+  ///
+  ///   * TransportKind::Mailbox (default) -- every payload serializes
+  ///     into a mailbox frame through deliver(), carrying the full
+  ///     failure-containment stack (per-link sequence numbers, checksums,
+  ///     fault injection);
+  ///   * TransportKind::SharedMemory -- counted exchanges hand lane
+  ///     buffers off pointer-wise between rank threads (an on-node halo
+  ///     exchange is two memcpys, no frame serialization).  All OTHER
+  ///     traffic still rides deliver(), and the zero-copy rendezvous is
+  ///     fence-registered and watchdog-aware, so aborts and deadlock
+  ///     reports work unchanged.
+  ///
+  /// The default comes from the VF_TRANSPORT environment variable
+  /// ("mailbox" | "shm"; unset means mailbox) -- the switch CI's
+  /// transport-matrix job flips to run the whole suite over both.  Both
+  /// transports are constructed up front; set_transport() swaps between
+  /// them at any point with no SPMD run in flight.
+  explicit Machine(int nprocs, CostModel cm = {},
+                   TransportKind transport = default_transport_kind());
 
   [[nodiscard]] int nprocs() const noexcept { return nprocs_; }
   [[nodiscard]] const CostModel& cost_model() const noexcept { return cm_; }
 
   [[nodiscard]] Mailbox& mailbox(int rank);
   [[nodiscard]] CommStats& stats(int rank);
+
+  /// The active counted-exchange transport (see the constructor docs).
+  [[nodiscard]] Transport& transport() noexcept { return *active_transport_; }
+  [[nodiscard]] TransportKind transport_kind() const noexcept {
+    return active_transport_->kind();
+  }
+  /// Switches the active transport.  Only safe with no SPMD run in
+  /// flight; in-flight split-phase exchanges must complete under the
+  /// transport they began on.
+  void set_transport(TransportKind k) noexcept;
 
   /// Sum of all per-rank statistics.
   [[nodiscard]] CommStats total_stats() const;
@@ -108,6 +140,13 @@ class Machine {
   CostModel cm_;
   AbortFence fence_;  // before boxes_: mailboxes register wakes with it
   std::vector<std::unique_ptr<Mailbox>> boxes_;
+
+  // Both transports live for the machine's lifetime (the shared-memory
+  // one registers fence wake-ups at construction, which cannot be
+  // undone); switching only swaps the active pointer.
+  std::unique_ptr<Transport> mailbox_transport_;
+  std::unique_ptr<Transport> shm_transport_;
+  Transport* active_transport_ = nullptr;
 
   // Stats are padded to their own cache lines: every send bumps the
   // sender's counters and ranks run concurrently.

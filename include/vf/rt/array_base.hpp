@@ -44,6 +44,42 @@ class RangeViolationError : public std::runtime_error {
                            array) {}
 };
 
+/// Thrown when an operation that would invalidate or tear down halo
+/// geometry (DISTRIBUTE, set_overlap, a second begin_exchange_overlap)
+/// is attempted while a split-phase overlap exchange is in flight on the
+/// array.  The exchange pins the plan and the lane buffers; completing
+/// it first (end_exchange_overlap) is the only legal continuation.
+class ExchangeInFlightError : public std::logic_error {
+ public:
+  ExchangeInFlightError(const std::string& array, const std::string& op,
+                        int tag)
+      : std::logic_error(op + " on array " + array +
+                         ": a split-phase overlap exchange (tag " +
+                         std::to_string(tag) +
+                         ") is in flight; call end_exchange_overlap() first"),
+        array_name(array),
+        operation(op),
+        pending_tag(tag) {}
+
+  std::string array_name;
+  std::string operation;
+  int pending_tag;
+};
+
+/// Thrown by end_exchange_overlap() when no begin_exchange_overlap() is
+/// pending on the array.
+class NoExchangeInFlightError : public std::logic_error {
+ public:
+  explicit NoExchangeInFlightError(const std::string& array)
+      : std::logic_error(
+            "end_exchange_overlap on array " + array +
+            ": no split-phase overlap exchange is in flight (call "
+            "begin_exchange_overlap() first)"),
+        array_name(array) {}
+
+  std::string array_name;
+};
+
 class DistArrayBase;
 
 /// One component of a distribution expression: a per-dimension intrinsic
@@ -232,6 +268,26 @@ class DistArrayBase {
   /// Number of bytes per element (for communication accounting).
   [[nodiscard]] virtual std::size_t element_size() const noexcept = 0;
 
+  /// Whether a split-phase overlap exchange (begin_exchange_overlap) is
+  /// pending on this array.  While true, DISTRIBUTE, set_overlap and a
+  /// second begin throw ExchangeInFlightError; end_exchange_overlap()
+  /// clears it.
+  [[nodiscard]] bool exchange_in_flight() const noexcept {
+    return exchange_in_flight_;
+  }
+
+  /// The per-side interior margins of this rank under the array's halo
+  /// plan: owned elements at least this far from every face are safe to
+  /// update while an overlap exchange is in flight (see
+  /// HaloPlan::interior_lo).  Uses the pending plan when an exchange is
+  /// in flight, so a consumer array of a different shape (e.g. the amr
+  /// destination) can partition ITS traversal by the source's margins.
+  struct SplitMargins {
+    dist::IndexVec lo;
+    dist::IndexVec hi;
+  };
+  [[nodiscard]] SplitMargins split_margins();
+
   /// Counters of this array's exchange scratch (shared by DISTRIBUTE
   /// replay and exchange_overlap): prepares == replays that moved data
   /// through the facility, grow_allocs == heap allocations it performed.
@@ -336,6 +392,10 @@ class DistArrayBase {
   /// Precondition checks shared by both distribute() entry points.
   void check_distribute_legal(const NoTransfer& nt) const;
 
+  /// Throws ExchangeInFlightError naming `op` if a split-phase overlap
+  /// exchange is pending on this array.
+  void check_no_exchange_in_flight(const char* op) const;
+
   /// Resolves this array's current halo plan through the Env's cache.
   /// Uniform declarations key on the (DistHandle uid, HaloSpec uid) pair
   /// exactly as before families existed; asymmetric declarations first
@@ -398,6 +458,14 @@ class DistArrayBase {
   halo::FamilyHandle halo_family_;
   std::uint64_t halo_spec_exchanges_ = 0;
   std::shared_ptr<ConnectClass> cclass_;
+
+  // Split-phase overlap exchange state: the transport tag the begin
+  // returned and the plan it packed under, pinned so the end unpacks the
+  // exact same geometry even if the Env's plan cache evicts the entry
+  // mid-flight.
+  bool exchange_in_flight_ = false;
+  int pending_exchange_tag_ = 0;
+  std::shared_ptr<const halo::HaloPlan> pending_halo_plan_;
 
   // Persistent exchange scratch shared by every executor replay this
   // array performs (cached DISTRIBUTE data motion, halo exchange): one

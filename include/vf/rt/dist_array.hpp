@@ -223,6 +223,96 @@ class DistArray final : public DistArrayBase {
   /// handle and thereby the plan.
   void exchange_overlap();
 
+  // ---- split-phase overlap exchange ---------------------------------------
+  //
+  // begin_exchange_overlap() packs this rank's boundary planes (a
+  // SNAPSHOT: later owned writes do not affect what peers receive) and
+  // starts the exchange on the machine's active transport;
+  // end_exchange_overlap() completes it, scattering arriving payloads
+  // into the ghost planes.  Between the two calls:
+  //
+  //   * owned elements remain readable AND writable -- the exchange
+  //     works from the packed snapshot and writes only ghost storage;
+  //   * ghost values are UNSPECIFIED: halo() reads of non-owned points
+  //     are only meaningful again after end_exchange_overlap() returns;
+  //   * DISTRIBUTE, set_overlap and a second begin on this array throw
+  //     ExchangeInFlightError -- they would tear down the plan and
+  //     storage the pending exchange unpacks into;
+  //   * the overlapped-computation pattern is
+  //         src.begin_exchange_overlap();
+  //         /* update interior points: for_owned_interior */
+  //         src.end_exchange_overlap();
+  //         /* update boundary points: for_owned_boundary */
+  //     which is bitwise-identical to exchange_overlap() followed by a
+  //     full sweep, because interior points never read ghost values.
+  //
+  // Collective exactly like exchange_overlap(): every rank must begin
+  // and end in matching order.
+  void begin_exchange_overlap();
+  void end_exchange_overlap();
+
+  /// Calls fn(i, element) for every owned element whose per-dimension
+  /// distance from this rank's segment faces is at least the plan's
+  /// interior margin (HaloPlan::interior_lo/_hi) -- the elements whose
+  /// stencil reads cannot touch ghost storage, safe to update while an
+  /// overlap exchange is in flight.  One rectangular core box, walked in
+  /// column-major order.
+  template <typename F>
+  void for_owned_interior(F&& fn) {
+    for_owned_interior(split_margins(), std::forward<F>(fn));
+  }
+
+  /// As above with explicit margins: a consumer array updated from a
+  /// DIFFERENT array's halo (the amr destination reading the source's
+  /// ghosts) partitions its own traversal by the source's margins.
+  template <typename F>
+  void for_owned_interior(const SplitMargins& m, F&& fn) {
+    OwnedPartition p;
+    if (!owned_partition(m, p)) return;
+    walk_box(p.owned, p.core_lo, p.core_hi, fn);
+  }
+
+  /// Complement of for_owned_interior under the same margins: the owned
+  /// elements within the margin of some face.  Together the two visit
+  /// every owned element exactly once.  Walked as at most 2*rank disjoint
+  /// boxes (low/high slab per dimension), each in column-major order.
+  template <typename F>
+  void for_owned_boundary(F&& fn) {
+    for_owned_boundary(split_margins(), std::forward<F>(fn));
+  }
+
+  template <typename F>
+  void for_owned_boundary(const SplitMargins& m, F&& fn) {
+    OwnedPartition p;
+    if (!owned_partition(m, p)) return;
+    const int r = dom_.rank();
+    // Slab decomposition: dimension d's low/high slabs span the core of
+    // every earlier dimension and the full extent of every later one, so
+    // the slabs are disjoint and their union with the core box is the
+    // whole owned block.
+    std::array<std::size_t, dist::kMaxRank> lo{};
+    std::array<std::size_t, dist::kMaxRank> hi{};
+    for (int d = 0; d < r; ++d) {
+      for (int e = 0; e < r; ++e) {
+        if (e < d) {
+          lo[static_cast<std::size_t>(e)] = p.core_lo[static_cast<std::size_t>(e)];
+          hi[static_cast<std::size_t>(e)] = p.core_hi[static_cast<std::size_t>(e)];
+        } else {
+          lo[static_cast<std::size_t>(e)] = 0;
+          hi[static_cast<std::size_t>(e)] =
+              p.owned[static_cast<std::size_t>(e)].size();
+        }
+      }
+      lo[static_cast<std::size_t>(d)] = 0;
+      hi[static_cast<std::size_t>(d)] = p.core_lo[static_cast<std::size_t>(d)];
+      walk_box(p.owned, lo, hi, fn);
+      lo[static_cast<std::size_t>(d)] = p.core_hi[static_cast<std::size_t>(d)];
+      hi[static_cast<std::size_t>(d)] =
+          p.owned[static_cast<std::size_t>(d)].size();
+      walk_box(p.owned, lo, hi, fn);
+    }
+  }
+
   /// Re-declares this array's overlap (ghost) widths -- the dynamic
   /// counterpart of the Spec's OVERLAP clause, for adaptive codes whose
   /// ghost needs move with a refinement front.  Collective: EVERY rank
@@ -243,6 +333,7 @@ class DistArray final : public DistArrayBase {
   /// RankAbort instead of hanging.
   void set_overlap(const dist::IndexVec& lo, const dist::IndexVec& hi,
                    bool corners = false, bool asymmetric = true) {
+    check_no_exchange_in_flight("set_overlap");
     const dist::IndexVec nlo = normalize_ghost(lo);
     const dist::IndexVec nhi = normalize_ghost(hi);
     halo::HaloHandle nh =
@@ -551,6 +642,71 @@ class DistArray final : public DistArrayBase {
     }
   }
 
+  // ---- split-phase traversal helpers --------------------------------------
+
+  /// Per-dimension owned index lists plus the position bounds of the core
+  /// (interior) box under a set of margins.
+  struct OwnedPartition {
+    std::array<std::vector<dist::Index>, dist::kMaxRank> owned;
+    std::array<std::size_t, dist::kMaxRank> core_lo{};
+    std::array<std::size_t, dist::kMaxRank> core_hi{};
+  };
+
+  /// Fills `p` for this rank; returns false when the rank owns nothing.
+  /// core = positions [min(m_lo, len), max(that, len - m_hi)) per dim --
+  /// clamped so oversized margins yield an empty core, never wrap.
+  [[nodiscard]] bool owned_partition(const SplitMargins& m,
+                                     OwnedPartition& p) {
+    if (!dist_) throw NotDistributedError(name_);
+    if (!layout_.member || layout_.total == 0) return false;
+    const int r = dom_.rank();
+    for (int d = 0; d < r; ++d) {
+      const auto ud = static_cast<std::size_t>(d);
+      p.owned[ud] = distribution().owned_in_dim(env_->rank(), d);
+      if (p.owned[ud].empty()) return false;
+      const std::size_t len = p.owned[ud].size();
+      const auto mlo = static_cast<std::size_t>(m.lo[d]);
+      const auto mhi = static_cast<std::size_t>(m.hi[d]);
+      p.core_lo[ud] = std::min(mlo, len);
+      p.core_hi[ud] =
+          std::max(p.core_lo[ud], len - std::min(mhi, len));
+    }
+    return true;
+  }
+
+  /// Calls fn(i, element) for every owned element whose per-dimension
+  /// positions (into the owned index lists) fall in [lo[d], hi[d]), in
+  /// column-major order.
+  template <typename F>
+  void walk_box(const std::array<std::vector<dist::Index>,
+                                 dist::kMaxRank>& owned,
+                const std::array<std::size_t, dist::kMaxRank>& lo,
+                const std::array<std::size_t, dist::kMaxRank>& hi, F&& fn) {
+    const int r = dom_.rank();
+    dist::IndexVec i;
+    for (int d = 0; d < r; ++d) {
+      const auto ud = static_cast<std::size_t>(d);
+      if (lo[ud] >= hi[ud]) return;
+      i.push_back(owned[ud][lo[ud]]);
+    }
+    std::array<std::size_t, dist::kMaxRank> pos = lo;
+    for (;;) {
+      fn(static_cast<const dist::IndexVec&>(i),
+         local_[static_cast<std::size_t>(storage_offset(i))]);
+      int d = 0;
+      for (; d < r; ++d) {
+        const auto ud = static_cast<std::size_t>(d);
+        if (++pos[ud] < hi[ud]) {
+          i[d] = owned[ud][pos[ud]];
+          break;
+        }
+        pos[ud] = lo[ud];
+        i[d] = owned[ud][pos[ud]];
+      }
+      if (d >= r) break;
+    }
+  }
+
   static T identity_of(msg::ReduceOp op) {
     switch (op) {
       case msg::ReduceOp::Sum:
@@ -587,19 +743,25 @@ class DistArray final : public DistArrayBase {
 
 template <typename T>
 void DistArray<T>::exchange_overlap() {
-  auto& ctx = env_->comm();
+  check_no_exchange_in_flight("exchange_overlap");
+  begin_exchange_overlap();
+  end_exchange_overlap();
+}
+
+template <typename T>
+void DistArray<T>::begin_exchange_overlap() {
+  check_no_exchange_in_flight("begin_exchange_overlap");
   // Plan resolution handles both declaration forms: uniform specs go
   // straight to the (DistHandle, HaloSpec) keyed cache with no extra
   // collective; asymmetric specs reconcile the per-rank family first (one
   // lazy allgather) and key on it unless it turned out uniform.
   const std::shared_ptr<const halo::HaloPlan> plan = lookup_halo_plan();
 
-  // Executor: one memcpy per run into exactly-sized buffers, one
-  // pre-counted all-to-all, one memcpy per run out -- no per-call
-  // neighbour analysis or index lists.  Buffers and cursors live in the
-  // array's shared exchange scratch (the same facility DISTRIBUTE replay
-  // uses), moved through alltoallv_known_into: a repeat exchange performs
-  // no heap allocation on either side.
+  // Executor, send half: one memcpy per run into exactly-sized buffers,
+  // then hand the lane to the active transport.  Buffers and cursors live
+  // in the array's shared exchange scratch (the same facility DISTRIBUTE
+  // replay uses): a repeat exchange performs no heap allocation on either
+  // side.
   msg::ExchangeLane& lane = exch_scratch_.lane(sizeof(T));
   lane.prepare(plan->send_counts, plan->recv_counts);
   const std::span<std::size_t> cur = lane.cursors();
@@ -611,16 +773,43 @@ void DistArray<T>::exchange_overlap() {
     cur[peer] += run.length;
   }
 
-  ctx.alltoallv_known_into(lane);
+  pending_exchange_tag_ = env_->comm().begin_exchange(lane);
+  pending_halo_plan_ = plan;
+  exchange_in_flight_ = true;
+}
 
-  std::fill(cur.begin(), cur.end(), std::size_t{0});
+template <typename T>
+void DistArray<T>::end_exchange_overlap() {
+  if (!exchange_in_flight_) throw NoExchangeInFlightError(name_);
+  const std::shared_ptr<const halo::HaloPlan> plan =
+      std::move(pending_halo_plan_);
+  msg::ExchangeLane& lane = exch_scratch_.lane(sizeof(T));
   T* dst = local_.data();
-  for (const halo::HaloPlan::Run& run : plan->unpack_runs) {
-    const auto peer = static_cast<std::size_t>(run.peer);
-    std::memcpy(dst + run.offset, lane.recv<T>(run.peer).data() + cur[peer],
-                run.length * sizeof(T));
-    cur[peer] += run.length;
-  }
+  // Executor, receive half: scatter each arriving payload straight into
+  // the ghost planes, peer by peer, via the plan's grouped unpack runs.
+  // Under the shared-memory transport `bytes` aliases the PEER's packed
+  // send buffer -- the whole transfer is pack memcpy + this scatter, no
+  // intermediate frame; under the mailbox transport it is this lane's
+  // already-filled recv buffer.  Within one peer the runs advance a
+  // cursor in block order, consuming the payload in exactly the order the
+  // peer packed it.
+  env_->comm().end_exchange(
+      lane, pending_exchange_tag_,
+      [&](int peer, std::span<const std::byte> bytes) {
+        const T* in = reinterpret_cast<const T*>(bytes.data());
+        std::size_t cursor = 0;
+        for (const halo::HaloPlan::PeerRuns& g : plan->unpack_peers) {
+          if (g.peer != peer) continue;
+          for (std::uint32_t k = g.begin; k < g.end; ++k) {
+            const halo::HaloPlan::Run& run = plan->unpack_runs[k];
+            std::memcpy(dst + run.offset, in + cursor,
+                        run.length * sizeof(T));
+            cursor += run.length;
+          }
+        }
+      });
+  exchange_in_flight_ = false;
+  pending_exchange_tag_ = 0;
 }
 
 }  // namespace vf::rt

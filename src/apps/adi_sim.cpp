@@ -27,11 +27,60 @@ AdiResult finish(msg::Context& ctx, rt::Env& env, rt::DistArray<double>& v) {
           static_cast<std::int64_t>(cache.misses), msg::ReduceOp::Sum))};
 }
 
-void fill_rhs(rt::DistArray<double>& v, int iter) {
+/// The neighbour-coupled RHS (rhs_halo): base term plus a fraction of
+/// the previous iterate's dimension-1 neighbours.  Computed into a
+/// storage-shaped scratch first and written back in a second sweep, so
+/// neither the in-place write order nor the interior/boundary traversal
+/// split can change the values read.
+void fill_rhs_coupled(rt::DistArray<double>& v, int iter,
+                      const AdiConfig& cfg) {
+  const Index ny = cfg.ny;
+  std::vector<double> rhs(v.local_span().size());
+  double* base = v.local_span().data();
+  const auto compute = [&](const IndexVec& i, double& x) {
+    const double b = std::sin(0.01 * static_cast<double>(i[0] * (iter + 1))) +
+                     0.001 * static_cast<double>(i[1]);
+    const double c = v.at(i);
+    const double lo = i[1] > 1 ? v.halo({i[0], i[1] - 1}) : c;
+    const double hi = i[1] < ny ? v.halo({i[0], i[1] + 1}) : c;
+    rhs[static_cast<std::size_t>(&x - base)] = b + 0.125 * (lo + hi);
+  };
+  if (cfg.split_phase) {
+    // Interior cells' dim-1 neighbours are owned (margin 1 from the
+    // ghosted faces), so they compute while the boundary planes travel.
+    v.begin_exchange_overlap();
+    const auto m = v.split_margins();
+    v.for_owned_interior(m, compute);
+    v.end_exchange_overlap();
+    v.for_owned_boundary(m, compute);
+  } else {
+    v.exchange_overlap();
+    v.for_owned(compute);
+  }
+  v.for_owned([&](const IndexVec&, double& x) {
+    x = rhs[static_cast<std::size_t>(&x - base)];
+  });
+}
+
+void fill_rhs(rt::DistArray<double>& v, int iter, const AdiConfig& cfg) {
+  if (cfg.rhs_halo) {
+    fill_rhs_coupled(v, iter, cfg);
+    return;
+  }
   v.for_owned([&](const IndexVec& i, double& x) {
     x = std::sin(0.01 * static_cast<double>(i[0] * (iter + 1))) +
         0.001 * static_cast<double>(i[1]);
   });
+}
+
+/// The (0,1)/(0,1) overlap the coupled RHS needs, applied to a V spec.
+template <typename Spec>
+Spec with_rhs_overlap(Spec s, const AdiConfig& cfg) {
+  if (cfg.rhs_halo) {
+    s.overlap_lo = {0, 1};
+    s.overlap_hi = {0, 1};
+  }
+  return s;
 }
 
 /// Solves every owned line along dimension `d` of a locally complete
@@ -59,15 +108,18 @@ void solve_local_lines(rt::DistArray<double>& v, int d, int me) {
 AdiResult run_dynamic(msg::Context& ctx, const AdiConfig& cfg) {
   rt::Env env(ctx);
   rt::DistArray<double> v(
-      env, {.name = "V",
-            .domain = IndexDomain({dist::Range{1, cfg.nx},
-                                   dist::Range{1, cfg.ny}}),
-            .dynamic = true,
-            .initial = {{dist::col(), dist::block()}},
-            .range = {{query::p_col(), query::p_block()},
-                      {query::p_block(), query::p_col()}}});
+      env, with_rhs_overlap(
+               rt::DistArray<double>::Spec{
+                   .name = "V",
+                   .domain = IndexDomain({dist::Range{1, cfg.nx},
+                                          dist::Range{1, cfg.ny}}),
+                   .dynamic = true,
+                   .initial = {{dist::col(), dist::block()}},
+                   .range = {{query::p_col(), query::p_block()},
+                             {query::p_block(), query::p_col()}}},
+               cfg));
   for (int iter = 0; iter < cfg.iterations; ++iter) {
-    fill_rhs(v, iter);
+    fill_rhs(v, iter, cfg);
     solve_local_lines(v, /*d=*/0, ctx.rank());  // x-lines local
     v.distribute(dist::DistributionType{dist::block(), dist::col()});
     solve_local_lines(v, /*d=*/1, ctx.rank());  // y-lines local
@@ -78,10 +130,14 @@ AdiResult run_dynamic(msg::Context& ctx, const AdiConfig& cfg) {
 
 AdiResult run_static_gather(msg::Context& ctx, const AdiConfig& cfg) {
   rt::Env env(ctx);
-  rt::DistArray<double> v(env, {.name = "V",
-                                .domain = IndexDomain({dist::Range{1, cfg.nx},
-                                                       dist::Range{1, cfg.ny}}),
-                                .initial = {{dist::col(), dist::block()}}});
+  rt::DistArray<double> v(
+      env, with_rhs_overlap(
+               rt::DistArray<double>::Spec{
+                   .name = "V",
+                   .domain = IndexDomain({dist::Range{1, cfg.nx},
+                                          dist::Range{1, cfg.ny}}),
+                   .initial = {{dist::col(), dist::block()}}},
+               cfg));
   // The y-sweep's lines (rows) are distributed: assign rows to processors
   // round-robin and build a reusable gather/scatter schedule for the rows
   // this rank is responsible for.
@@ -93,7 +149,7 @@ AdiResult run_static_gather(msg::Context& ctx, const AdiConfig& cfg) {
   std::vector<double> buf(my_row_points.size());
 
   for (int iter = 0; iter < cfg.iterations; ++iter) {
-    fill_rhs(v, iter);
+    fill_rhs(v, iter, cfg);
     solve_local_lines(v, /*d=*/0, ctx.rank());  // x-lines local
     // y-sweep: gather my rows, solve, scatter back -- per-iteration
     // communication the static layout cannot avoid.
@@ -111,9 +167,13 @@ AdiResult run_static_gather(msg::Context& ctx, const AdiConfig& cfg) {
 AdiResult run_two_copies(msg::Context& ctx, const AdiConfig& cfg) {
   rt::Env env(ctx);
   const IndexDomain dom({dist::Range{1, cfg.nx}, dist::Range{1, cfg.ny}});
-  rt::DistArray<double> v(env, {.name = "V",
-                                .domain = dom,
-                                .initial = {{dist::col(), dist::block()}}});
+  rt::DistArray<double> v(
+      env, with_rhs_overlap(
+               rt::DistArray<double>::Spec{
+                   .name = "V",
+                   .domain = dom,
+                   .initial = {{dist::col(), dist::block()}}},
+               cfg));
   rt::DistArray<double> vt(env, {.name = "VT",
                                  .domain = dom,
                                  .initial = {{dist::block(), dist::col()}}});
@@ -131,7 +191,7 @@ AdiResult run_two_copies(msg::Context& ctx, const AdiConfig& cfg) {
   std::vector<double> bufb(v_owned.size());
 
   for (int iter = 0; iter < cfg.iterations; ++iter) {
-    fill_rhs(v, iter);
+    fill_rhs(v, iter, cfg);
     solve_local_lines(v, /*d=*/0, ctx.rank());
     // VT = V (array assignment across distributions).
     to_vt.gather(ctx, v, bufa);

@@ -112,14 +112,43 @@ AmrFrontResult run_amr_front(msg::Context& ctx, const AmrFrontConfig& cfg) {
     }
     src->set_overlap({lo0, 1}, {hi0, 1}, /*corners=*/false,
                      /*asymmetric=*/true);
-    src->exchange_overlap();
-    dst->for_owned([&](const IndexVec& i, double& out) {
+    const auto update = [&](const IndexVec& i, double& out) {
       const Index r = amr_radius(i[0], f, cfg.front_halfspan, cfg.base_width,
                                  cfg.front_width);
       out = amr_point(i[0], i[1], n, r, [&](Index x, Index y) {
         return src->halo({x, y});
       });
-    });
+    };
+    if (cfg.split_phase) {
+      // The interior margin must cover the stencil's TRUE per-cell reach,
+      // which for the refined stencil is wider than the declared ghost
+      // widths split_margins() reports: those are max over cells of
+      // (radius - edge distance), so a cell can sit `width` cells inside
+      // the segment and still read past the edge with its own radius.
+      // The largest radius any owned cell reads with is front_width when
+      // the front zone touches this rank's segment, base_width otherwise;
+      // partitioning dst (which shares src's distribution) by that keeps
+      // every in-flight read owned.
+      src->begin_exchange_overlap();
+      auto m = src->split_margins();
+      Index reach = cfg.base_width;
+      if (src->layout().member) {
+        const auto seg = src->distribution().dim_map(0).segment(
+            static_cast<int>(src->layout().coords[0]));
+        if (seg && seg->lo <= f + cfg.front_halfspan &&
+            seg->hi >= f - cfg.front_halfspan) {
+          reach = cfg.front_width;
+        }
+      }
+      m.lo[0] = reach;
+      m.hi[0] = reach;
+      dst->for_owned_interior(m, update);
+      src->end_exchange_overlap();
+      dst->for_owned_boundary(m, update);
+    } else {
+      src->exchange_overlap();
+      dst->for_owned(update);
+    }
     std::swap(src, dst);
   }
 

@@ -95,20 +95,31 @@ SmoothResult run_smoothing(msg::Context& ctx, const SmoothConfig& cfg,
   rt::DistArray<double>* src = &a;
   rt::DistArray<double>* dst = &b;
   for (int s = 0; s < cfg.steps; ++s) {
-    src->exchange_overlap();
-    if (cfg.stencil == SmoothStencil::FivePoint) {
-      dst->for_owned([&](const IndexVec& i, double& out) {
+    const auto update = [&](const IndexVec& i, double& out) {
+      if (cfg.stencil == SmoothStencil::FivePoint) {
         const double c = src->at(i);
         const double w = i[0] > 1 ? src->halo({i[0] - 1, i[1]}) : c;
         const double e = i[0] < n ? src->halo({i[0] + 1, i[1]}) : c;
         const double so = i[1] > 1 ? src->halo({i[0], i[1] - 1}) : c;
         const double no = i[1] < n ? src->halo({i[0], i[1] + 1}) : c;
         out = 0.2 * (c + w + e + so + no);
-      });
-    } else {
-      dst->for_owned([&](const IndexVec& i, double& out) {
+      } else {
         out = smooth9(*src, i, n);
-      });
+      }
+    };
+    if (cfg.split_phase) {
+      // Interior points read only owned src values, so they update while
+      // the boundary exchange is in flight; boundary points wait for the
+      // ghosts.  src and dst share their distribution and spec, but the
+      // margins are src's by rights (its ghosts are the ones arriving).
+      src->begin_exchange_overlap();
+      const auto m = src->split_margins();
+      dst->for_owned_interior(m, update);
+      src->end_exchange_overlap();
+      dst->for_owned_boundary(m, update);
+    } else {
+      src->exchange_overlap();
+      dst->for_owned(update);
     }
     std::swap(src, dst);
   }

@@ -95,6 +95,8 @@ HaloPlan build_impl(const dist::Distribution& d, const HaloSpec& mine,
   plan.recv_counts.assign(static_cast<std::size_t>(np), 0);
 
   const int r = d.domain().rank();
+  plan.interior_lo = dist::IndexVec::filled(r, 0);
+  plan.interior_hi = dist::IndexVec::filled(r, 0);
   const HaloSpec& spec = mine;
   if (spec.rank() != 0 && spec.rank() != r) {
     throw std::invalid_argument(
@@ -126,6 +128,8 @@ HaloPlan build_impl(const dist::Distribution& d, const HaloSpec& mine,
     stride[static_cast<std::size_t>(dd)] = total_alloc;
     total_alloc *= L.counts[dd] + glo[static_cast<std::size_t>(dd)] +
                    ghi[static_cast<std::size_t>(dd)];
+    plan.interior_lo[dd] = glo[static_cast<std::size_t>(dd)];
+    plan.interior_hi[dd] = ghi[static_cast<std::size_t>(dd)];
   }
   if (!any_ghost && !any_remote_ghost) return plan;
 
@@ -288,6 +292,23 @@ HaloPlan build_impl(const dist::Distribution& d, const HaloSpec& mine,
       }
     }
   } while (advance());
+
+  // Group unpack_runs into contiguous same-peer blocks.  The direction
+  // walk emits each region's runs back to back, and distinct directions
+  // name distinct peers, so one block per (direction, peer) pair results;
+  // consumers scatter one peer's payload by walking every block with that
+  // peer (corners make several blocks per peer).
+  for (std::size_t i = 0; i < plan.unpack_runs.size();) {
+    std::size_t j = i;
+    while (j < plan.unpack_runs.size() &&
+           plan.unpack_runs[j].peer == plan.unpack_runs[i].peer) {
+      ++j;
+    }
+    plan.unpack_peers.push_back(HaloPlan::PeerRuns{
+        plan.unpack_runs[i].peer, static_cast<std::uint32_t>(i),
+        static_cast<std::uint32_t>(j)});
+    i = j;
+  }
 
   return plan;
 }

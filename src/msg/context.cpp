@@ -40,38 +40,61 @@ void Context::recv_bytes_into(int src, int tag, std::span<std::byte> dst) {
   if (!dst.empty()) std::memcpy(dst.data(), m.payload.data(), dst.size());
 }
 
-void Context::alltoallv_known_into(ExchangeLane& lane) {
-  const int np = nprocs();
-  if (lane.peers() != np) {
+namespace {
+
+/// The default end_exchange consumer: fills lane.recv(peer).  When the
+/// transport already received in place (mailbox: `bytes` IS the lane's
+/// recv buffer) the copy is skipped; when `bytes` aliases the peer's send
+/// buffer (shared memory) this memcpy is the entire receive-side cost.
+class LaneFillConsumer final : public PeerConsumer {
+ public:
+  explicit LaneFillConsumer(ExchangeLane& lane) : lane_(&lane) {}
+  void consume(int peer, std::span<const std::byte> bytes) override {
+    const auto dst = lane_->recv_bytes(peer);
+    if (bytes.data() == dst.data() || bytes.empty()) return;
+    std::memcpy(dst.data(), bytes.data(), bytes.size());
+  }
+
+ private:
+  ExchangeLane* lane_;
+};
+
+}  // namespace
+
+int Context::begin_exchange(ExchangeLane& lane) {
+  if (lane.peers() != nprocs()) {
     throw std::invalid_argument(
-        "alltoallv_known_into: lane was prepared for a different rank count");
+        "begin_exchange: lane was prepared for a different rank count");
   }
   const int tag = next_coll_tag();
   stats().collectives++;
-  // Local slot: delivered by copy, never through the network.  Both sides
-  // of the local transfer are pinned by the same inspector product, so a
-  // size disagreement is a caller bug, not a peer protocol violation.
+  m_->transport().begin(*this, lane, tag);
+  return tag;
+}
+
+void Context::end_exchange(ExchangeLane& lane, int tag) {
+  LaneFillConsumer fill(lane);
+  end_exchange_impl(lane, tag, fill);
+}
+
+void Context::end_exchange_impl(ExchangeLane& lane, int tag,
+                                PeerConsumer& consume) {
+  // Local slot: delivered by consume, never through the transport.  Both
+  // sides of the local transfer are pinned by the same inspector product,
+  // so a size disagreement is a caller bug, not a peer protocol violation.
   {
     const auto src = lane.send_bytes(rank_);
     const auto dst = lane.recv_bytes(rank_);
     if (src.size() != dst.size()) {
-      throw std::logic_error(
-          "alltoallv_known_into: local send/recv sizes disagree");
+      throw std::logic_error("end_exchange: local send/recv sizes disagree");
     }
-    if (!src.empty()) std::memcpy(dst.data(), src.data(), src.size());
+    if (!src.empty()) consume.consume(rank_, src);
   }
-  for (int d = 0; d < np; ++d) {
-    if (d == rank_) continue;
-    const auto payload = lane.send_bytes(d);
-    if (payload.empty()) continue;
-    send_bytes(d, tag, payload);
-  }
-  for (int s = 0; s < np; ++s) {
-    if (s == rank_) continue;
-    const auto dst = lane.recv_bytes(s);
-    if (dst.empty()) continue;
-    recv_bytes_into(s, tag, dst);
-  }
+  m_->transport().end(*this, lane, tag, consume);
+}
+
+void Context::alltoallv_known_into(ExchangeLane& lane) {
+  end_exchange(lane, begin_exchange(lane));
 }
 
 Message Context::recv_msg(int src, int tag) {

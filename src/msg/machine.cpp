@@ -13,7 +13,7 @@ int checked_nprocs(int nprocs) {
 }
 }  // namespace
 
-Machine::Machine(int nprocs, CostModel cm)
+Machine::Machine(int nprocs, CostModel cm, TransportKind transport)
     : nprocs_(checked_nprocs(nprocs)), cm_(cm), fence_(nprocs) {
   boxes_.reserve(static_cast<std::size_t>(nprocs));
   for (int i = 0; i < nprocs; ++i) {
@@ -23,6 +23,15 @@ Machine::Machine(int nprocs, CostModel cm)
   link_seq_.assign(
       static_cast<std::size_t>(nprocs) * static_cast<std::size_t>(nprocs), 0);
   fence_.register_wake(&barrier_mu_, &barrier_cv_);
+  mailbox_transport_ = make_transport(TransportKind::Mailbox, fence_, nprocs);
+  shm_transport_ = make_transport(TransportKind::SharedMemory, fence_, nprocs);
+  set_transport(transport);
+}
+
+void Machine::set_transport(TransportKind k) noexcept {
+  active_transport_ = k == TransportKind::SharedMemory
+                          ? shm_transport_.get()
+                          : mailbox_transport_.get();
 }
 
 Mailbox& Machine::mailbox(int rank) {
@@ -185,6 +194,8 @@ void Machine::reset_failure_state() {
     std::lock_guard lk(barrier_mu_);
     barrier_count_ = 0;
   }
+  mailbox_transport_->reset();
+  shm_transport_->reset();
 }
 
 FailureReport Machine::last_failure_report() const {

@@ -1,0 +1,92 @@
+// The default frame-serializing transport: counted-exchange payloads
+// travel as ordinary data messages through Machine::deliver, so they are
+// framed with per-link sequence numbers, checksummed whenever a fault
+// plan is active, subject to fault injection, and received through the
+// fence-checked, watchdog-aware Mailbox::pop -- exactly the path
+// alltoallv_known_into used before the transport layer existed.
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "vf/msg/context.hpp"
+#include "vf/msg/transport.hpp"
+
+namespace vf::msg {
+
+namespace {
+
+class MailboxTransport final : public Transport {
+ public:
+  [[nodiscard]] TransportKind kind() const noexcept override {
+    return TransportKind::Mailbox;
+  }
+  [[nodiscard]] const char* name() const noexcept override {
+    return "mailbox";
+  }
+
+  void begin(Context& ctx, ExchangeLane& lane, int tag) override {
+    const int np = ctx.nprocs();
+    const int me = ctx.rank();
+    for (int d = 0; d < np; ++d) {
+      if (d == me) continue;
+      const auto payload = lane.send_bytes(d);
+      if (payload.empty()) continue;
+      ctx.send_bytes(d, tag, payload);
+    }
+  }
+
+  void end(Context& ctx, ExchangeLane& lane, int tag,
+           PeerConsumer& consume) override {
+    const int np = ctx.nprocs();
+    const int me = ctx.rank();
+    for (int s = 0; s < np; ++s) {
+      if (s == me) continue;
+      const auto dst = lane.recv_bytes(s);
+      if (dst.empty()) continue;
+      ctx.recv_bytes_into(s, tag, dst);
+      consume.consume(s, dst);
+    }
+  }
+};
+
+}  // namespace
+
+const char* to_string(TransportKind k) noexcept {
+  switch (k) {
+    case TransportKind::Mailbox:
+      return "mailbox";
+    case TransportKind::SharedMemory:
+      return "shm";
+  }
+  return "?";
+}
+
+TransportKind default_transport_kind() {
+  const char* v = std::getenv("VF_TRANSPORT");
+  if (v == nullptr || *v == '\0') return TransportKind::Mailbox;
+  const std::string_view s(v);
+  if (s == "mailbox") return TransportKind::Mailbox;
+  if (s == "shm" || s == "shared" || s == "shared-memory" ||
+      s == "shared_memory") {
+    return TransportKind::SharedMemory;
+  }
+  throw std::invalid_argument(
+      "VF_TRANSPORT: unknown transport '" + std::string(s) +
+      "' (expected 'mailbox' or 'shm')");
+}
+
+std::unique_ptr<Transport> make_shm_transport(AbortFence& fence, int nprocs);
+
+std::unique_ptr<Transport> make_transport(TransportKind k, AbortFence& fence,
+                                          int nprocs) {
+  switch (k) {
+    case TransportKind::Mailbox:
+      return std::make_unique<MailboxTransport>();
+    case TransportKind::SharedMemory:
+      return make_shm_transport(fence, nprocs);
+  }
+  throw std::invalid_argument("make_transport: unknown transport kind");
+}
+
+}  // namespace vf::msg

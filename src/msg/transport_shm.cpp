@@ -1,0 +1,229 @@
+// The shared-memory zero-copy transport.
+//
+// All ranks of the virtual machine are threads of one process, so a
+// counted exchange needs no frame serialization at all: begin() PUBLISHES
+// a {tag, pointer, size} record per non-empty destination (the pointer
+// aliases the sender's ExchangeLane send buffer), and the receiver's
+// end() waits for the record, hands the peer's buffer directly to the
+// PeerConsumer (which unpacks straight out of it -- for a halo exchange
+// that makes the whole transfer two memcpys: pack and unpack), then ACKS
+// the record so the sender may reuse its buffer.  end() finally waits for
+// the acks of its own publications before returning, which is what makes
+// the lane's send buffers safe to repack after end().
+//
+// Deadlock freedom: every rank first drains ALL its inbound payloads
+// (consuming and acking; this never blocks on the rank's own outbound
+// acks), and only then waits for its own publications to be acked.
+// Since every rank eventually consumes everything inbound, every
+// publication is eventually acked.
+//
+// Failure containment: each per-destination endpoint registers its
+// (mutex, condvar) with the machine's AbortFence at construction, every
+// wait re-checks fence.aborted() and throws the structured RankAbort,
+// and waits honour the recv watchdog exactly like Mailbox::pop -- a rank
+// blocked mid-exchange past the deadline trips the fence with a
+// machine-wide deadlock report.  The exchange itself is not subject to
+// fault injection (there are no frames to corrupt); all other traffic
+// still rides Machine::deliver, so fault-fuzz remains meaningful under
+// this transport.
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "vf/msg/context.hpp"
+#include "vf/msg/transport.hpp"
+
+namespace vf::msg {
+
+namespace {
+
+class ShmTransport final : public Transport {
+ public:
+  ShmTransport(AbortFence& fence, int nprocs)
+      : fence_(&fence), np_(nprocs) {
+    eps_.reserve(static_cast<std::size_t>(nprocs));
+    for (int i = 0; i < nprocs; ++i) {
+      auto ep = std::make_unique<Endpoint>();
+      ep->from.resize(static_cast<std::size_t>(nprocs));
+      fence_->register_wake(&ep->mu, &ep->cv);
+      eps_.push_back(std::move(ep));
+    }
+  }
+
+  [[nodiscard]] TransportKind kind() const noexcept override {
+    return TransportKind::SharedMemory;
+  }
+  [[nodiscard]] const char* name() const noexcept override { return "shm"; }
+
+  void begin(Context& ctx, ExchangeLane& lane, int tag) override {
+    const int me = ctx.rank();
+    auto& st = ctx.stats();
+    for (int d = 0; d < np_; ++d) {
+      if (d == me) continue;
+      const auto payload = lane.send_bytes(d);
+      if (payload.empty()) continue;
+      // Same accounting as a framed send: the bytes move between ranks
+      // either way, only the mechanism differs.
+      st.data_messages++;
+      st.data_bytes += payload.size();
+      Endpoint& ep = *eps_[static_cast<std::size_t>(d)];
+      {
+        std::lock_guard lk(ep.mu);
+        ep.from[static_cast<std::size_t>(me)].push_back(
+            Pub{tag, payload.data(), payload.size(), false});
+      }
+      ep.cv.notify_all();
+    }
+  }
+
+  void end(Context& ctx, ExchangeLane& lane, int tag,
+           PeerConsumer& consume) override {
+    const int me = ctx.rank();
+    // Phase 1: drain inbound -- wait for each expected publication,
+    // unpack directly from the peer's buffer, ack it.
+    Endpoint& mine = *eps_[static_cast<std::size_t>(me)];
+    for (int s = 0; s < np_; ++s) {
+      if (s == me) continue;
+      const std::size_t expected = lane.recv_bytes(s).size();
+      if (expected == 0) continue;
+      const Pub pub = wait_published(mine, me, s, tag);
+      if (pub.size != expected) {
+        const std::string why =
+            "shm transport: payload from rank " + std::to_string(s) +
+            " (tag " + std::to_string(tag) + ") is " +
+            std::to_string(pub.size) + " bytes, expected " +
+            std::to_string(expected) +
+            " (pre-agreed counts disagree between the two sides)";
+        fence_->trip(me, why);
+        throw RankAbort(me, why);
+      }
+      consume.consume(s, std::span<const std::byte>(pub.data, pub.size));
+      {
+        std::lock_guard lk(mine.mu);
+        ack(mine.from[static_cast<std::size_t>(s)], tag);
+      }
+      mine.cv.notify_all();
+    }
+    // Phase 2: wait for the acks of my own publications (and retire
+    // them), so the caller may repack the lane's send buffers.
+    for (int d = 0; d < np_; ++d) {
+      if (d == me) continue;
+      if (lane.send_bytes(d).empty()) continue;
+      wait_acked(*eps_[static_cast<std::size_t>(d)], me, d, tag);
+    }
+  }
+
+  void reset() override {
+    for (auto& ep : eps_) {
+      std::lock_guard lk(ep->mu);
+      for (auto& pubs : ep->from) pubs.clear();
+    }
+  }
+
+ private:
+  /// One published payload in flight on a (src, dest) link.
+  struct Pub {
+    int tag;
+    const std::byte* data;
+    std::size_t size;
+    bool consumed;
+  };
+
+  /// Per-destination rendezvous point; all state for payloads INTO rank d
+  /// (including the consumed acks its senders wait on) is guarded by
+  /// eps_[d].mu, so no operation ever holds two locks.
+  struct alignas(64) Endpoint {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<std::vector<Pub>> from;  ///< indexed by source rank
+  };
+
+  static std::vector<Pub>::iterator find_tag(std::vector<Pub>& pubs,
+                                             int tag) {
+    return std::find_if(pubs.begin(), pubs.end(),
+                        [&](const Pub& p) { return p.tag == tag; });
+  }
+
+  static void ack(std::vector<Pub>& pubs, int tag) {
+    const auto it = find_tag(pubs, tag);
+    if (it != pubs.end()) it->consumed = true;
+  }
+
+  /// Blocks until rank `src` has published `tag` into `ep` (rank me's own
+  /// endpoint) and returns a copy of the record.  Fence- and
+  /// watchdog-aware, modeled on Mailbox::pop.
+  Pub wait_published(Endpoint& ep, int me, int src, int tag) {
+    return wait_on(ep, me, src, tag, [&]() -> const Pub* {
+      const auto it = find_tag(ep.from[static_cast<std::size_t>(src)], tag);
+      return it != ep.from[static_cast<std::size_t>(src)].end() ? &*it
+                                                                : nullptr;
+    });
+  }
+
+  /// Blocks until rank `dest` has consumed my publication of `tag`, then
+  /// retires the record.
+  void wait_acked(Endpoint& ep, int me, int dest, int tag) {
+    (void)wait_on(ep, me, dest, tag, [&]() -> const Pub* {
+      auto& pubs = ep.from[static_cast<std::size_t>(me)];
+      const auto it = find_tag(pubs, tag);
+      return it != pubs.end() && it->consumed ? &*it : nullptr;
+    });
+    std::lock_guard lk(ep.mu);
+    auto& pubs = ep.from[static_cast<std::size_t>(me)];
+    const auto it = find_tag(pubs, tag);
+    if (it != pubs.end()) pubs.erase(it);
+  }
+
+  /// The shared wait loop: blocks on ep.cv until the side-effect-free
+  /// `ready` predicate returns a record (called with ep.mu held; the
+  /// record is copied out under the lock), the fence trips, or the
+  /// watchdog expires.  `peer` is what this rank reports itself blocked
+  /// on in deadlock reports.
+  template <typename Ready>
+  Pub wait_on(Endpoint& ep, int me, int peer, int tag, Ready&& ready) {
+    struct BlockedScope {
+      AbortFence* f;
+      int r;
+      ~BlockedScope() { f->leave(r); }
+    } blocked{fence_, me};
+    fence_->enter_recv(me, peer, tag);
+
+    const auto watchdog = fence_->watchdog();
+    const auto deadline = std::chrono::steady_clock::now() + watchdog;
+
+    std::unique_lock lk(ep.mu);
+    for (;;) {
+      if (fence_->aborted()) throw fence_->make_abort();
+      if (const Pub* p = ready()) return *p;
+      if (watchdog.count() > 0) {
+        if (ep.cv.wait_until(lk, deadline) == std::cv_status::timeout &&
+            ready() == nullptr) {
+          if (fence_->aborted()) throw fence_->make_abort();
+          const std::string report = fence_->deadlock_report(me);
+          lk.unlock();  // trip() wakes ep.cv too; avoid self-deadlock
+          fence_->trip(me, report);
+          throw RankAbort(me, report);
+        }
+      } else {
+        ep.cv.wait(lk);
+      }
+    }
+  }
+
+  AbortFence* fence_;
+  int np_;
+  std::vector<std::unique_ptr<Endpoint>> eps_;
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> make_shm_transport(AbortFence& fence, int nprocs) {
+  return std::make_unique<ShmTransport>(fence, nprocs);
+}
+
+}  // namespace vf::msg

@@ -104,7 +104,26 @@ Descriptor DistArrayBase::describe() const {
   return d;
 }
 
+void DistArrayBase::check_no_exchange_in_flight(const char* op) const {
+  if (exchange_in_flight_) {
+    throw ExchangeInFlightError(name_, op, pending_exchange_tag_);
+  }
+}
+
+DistArrayBase::SplitMargins DistArrayBase::split_margins() {
+  const std::shared_ptr<const halo::HaloPlan> plan =
+      exchange_in_flight_ ? pending_halo_plan_ : lookup_halo_plan();
+  return SplitMargins{plan->interior_lo, plan->interior_hi};
+}
+
 void DistArrayBase::check_distribute_legal(const NoTransfer& nt) const {
+  // A redistribution tears down the very storage and plan a pending
+  // split-phase exchange will unpack into -- on this array or any
+  // connect-class member it would drag along.
+  check_no_exchange_in_flight("distribute");
+  for (const auto& m : cclass_->secondaries()) {
+    m.array->check_no_exchange_in_flight("distribute (via connect class)");
+  }
   if (!dynamic_) {
     throw std::logic_error("DISTRIBUTE " + name_ +
                            ": array is statically distributed");

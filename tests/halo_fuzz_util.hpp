@@ -1,0 +1,179 @@
+// Shared generators for the halo fuzz harnesses (halo_fuzz_test and
+// split_phase_test): seeded random contiguous distributions, per-rank
+// overlap specs with the asymmetric admission rule re-derived
+// independently of halo::filled_widths, and the expected filled widths of
+// one rank's ghost frame.  Everything is SPMD-deterministic -- all ranks
+// drawing from the same seed see the same values.
+#pragma once
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "vf/dist/distribution.hpp"
+
+namespace vf::testing {
+
+inline double fingerprint(dist::Index lin) {
+  return static_cast<double>(lin) + 1.5;
+}
+
+struct FuzzConfig {
+  const char* name;
+  int nprocs;
+  bool grid;  ///< grid(q, q) with q = sqrt(nprocs), else line(nprocs)
+  int q0;     ///< coordinates in dimension 0
+  int q1;     ///< coordinates in dimension 1 (1 = collapsed)
+};
+
+inline constexpr FuzzConfig kFuzzConfigs[] = {
+    {"p1", 1, true, 1, 1},
+    {"grid4", 4, true, 2, 2},
+    {"line4", 4, false, 4, 1},
+    {"grid9", 9, true, 3, 3},
+};
+
+/// Random contiguous per-dimension distribution over `q` coordinates:
+/// BLOCK or a random S_BLOCK partition (zeros allowed -- coordinates that
+/// own nothing).
+inline dist::DimDist random_contiguous(std::mt19937& rng, dist::Index extent,
+                                       int q) {
+  if (q == 1 || rng() % 2 == 0) return dist::block();
+  std::vector<dist::Index> sizes(static_cast<std::size_t>(q), 0);
+  dist::Index rest = extent;
+  for (int c = 0; c < q - 1; ++c) {
+    sizes[static_cast<std::size_t>(c)] =
+        static_cast<dist::Index>(rng() % (rest + 1));
+    rest -= sizes[static_cast<std::size_t>(c)];
+  }
+  sizes[static_cast<std::size_t>(q - 1)] = rest;
+  return dist::s_block(std::move(sizes));
+}
+
+inline dist::DistributionType random_dist(std::mt19937& rng,
+                                          const FuzzConfig& cfg,
+                                          dist::Index n0, dist::Index n1) {
+  if (cfg.grid) {
+    return dist::DistributionType{random_contiguous(rng, n0, cfg.q0),
+                                  random_contiguous(rng, n1, cfg.q1)};
+  }
+  // Processor line: one distributed dimension, the other collapsed.
+  if (rng() % 2 == 0) {
+    return dist::DistributionType{random_contiguous(rng, n0, cfg.nprocs),
+                                  dist::col()};
+  }
+  return dist::DistributionType{dist::col(),
+                                random_contiguous(rng, n1, cfg.nprocs)};
+}
+
+/// Largest strictly-servable ghost width per dimension: the smallest
+/// non-zero owned count among the dimension's coordinates (capped at 3 to
+/// keep regions small).  Asymmetric specs must respect this; uniform
+/// specs may exceed it and get clipped.
+inline dist::Index width_cap(const dist::Distribution& d, int dim) {
+  const dist::DimMap& m = d.dim_map(dim);
+  dist::Index cap = 3;
+  for (int c = 0; c < m.nprocs(); ++c) {
+    if (m.count_on(c) > 0) cap = std::min(cap, m.count_on(c));
+  }
+  return cap;
+}
+
+struct RankSpec {
+  dist::IndexVec lo;
+  dist::IndexVec hi;
+  bool corners = false;
+};
+
+/// Draws one spec per rank (identically on every rank: the rng is SPMD-
+/// shared).  `asymmetric` draws independent per-rank widths bounded by
+/// the strict caps; uniform draws one shared spec with unbounded widths
+/// in [0, 3] (clipping allowed there).
+inline std::vector<RankSpec> draw_specs(std::mt19937& rng, int np,
+                                        bool asymmetric,
+                                        const dist::Distribution& d) {
+  using dist::Index;
+  std::vector<RankSpec> specs(static_cast<std::size_t>(np));
+  const Index cap0 = width_cap(d, 0);
+  const Index cap1 = width_cap(d, 1);
+  const bool corners = rng() % 2 == 0;
+  if (!asymmetric) {
+    RankSpec s{{static_cast<Index>(rng() % 4), static_cast<Index>(rng() % 4)},
+               {static_cast<Index>(rng() % 4), static_cast<Index>(rng() % 4)},
+               corners};
+    for (auto& out : specs) out = s;
+    return specs;
+  }
+  for (auto& out : specs) {
+    out = RankSpec{{static_cast<Index>(rng() % (cap0 + 1)),
+                    static_cast<Index>(rng() % (cap1 + 1))},
+                   {static_cast<Index>(rng() % (cap0 + 1)),
+                    static_cast<Index>(rng() % (cap1 + 1))},
+                   corners};
+  }
+  return specs;
+}
+
+/// Whether every rank's spec is strictly servable under `d` (the
+/// asymmetric-plan admission rule, recomputed independently).
+inline bool specs_valid(const std::vector<RankSpec>& specs,
+                        const dist::Distribution& d, int np) {
+  using dist::Index;
+  for (int p = 0; p < np; ++p) {
+    const dist::LocalLayout L = d.layout_for(p);
+    if (!L.member || L.total == 0) continue;
+    for (int dim = 0; dim < 2; ++dim) {
+      const dist::DimMap& m = d.dim_map(dim);
+      const int c = static_cast<int>(L.coords[dim]);
+      const auto neighbour_count = [&](int step) -> Index {
+        for (int x = c + step; x >= 0 && x < m.nprocs(); x += step) {
+          if (m.count_on(x) > 0) return m.count_on(x);
+        }
+        return -1;  // no neighbour: any width is fine (region absent)
+      };
+      const Index nl = neighbour_count(-1);
+      const Index nh = neighbour_count(+1);
+      if (specs[static_cast<std::size_t>(p)].lo[dim] > 0 && nl >= 0 &&
+          nl < specs[static_cast<std::size_t>(p)].lo[dim]) {
+        return false;
+      }
+      if (specs[static_cast<std::size_t>(p)].hi[dim] > 0 && nh >= 0 &&
+          nh < specs[static_cast<std::size_t>(p)].hi[dim]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Independently derived filled widths of one rank: own declared width
+/// clipped by the nearest non-empty neighbour's owned count, 0 without a
+/// neighbour.
+struct Fill {
+  dist::Index lo[2] = {0, 0};
+  dist::Index hi[2] = {0, 0};
+};
+
+inline Fill expected_fill(const RankSpec& mine, const dist::Distribution& d,
+                          const dist::LocalLayout& L) {
+  Fill f;
+  for (int dim = 0; dim < 2; ++dim) {
+    const dist::DimMap& m = d.dim_map(dim);
+    const int c = static_cast<int>(L.coords[dim]);
+    for (int x = c - 1; x >= 0; --x) {
+      if (m.count_on(x) > 0) {
+        f.lo[dim] = std::min(mine.lo[dim], m.count_on(x));
+        break;
+      }
+    }
+    for (int x = c + 1; x < m.nprocs(); ++x) {
+      if (m.count_on(x) > 0) {
+        f.hi[dim] = std::min(mine.hi[dim], m.count_on(x));
+        break;
+      }
+    }
+  }
+  return f;
+}
+
+}  // namespace vf::testing

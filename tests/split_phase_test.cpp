@@ -1,0 +1,353 @@
+// Split-phase halo exchange: begin/end must be bitwise-equivalent to the
+// blocking exchange_overlap under the full halo fuzz space (random
+// contiguous distributions, per-rank asymmetric specs, DISTRIBUTE flips,
+// empty ranks, P in {1, 4, 9}), the interior/boundary traversal pair must
+// partition the owned set exactly, the in-flight misuse guards must throw
+// the documented structured errors without corrupting the array, and the
+// split-phase application paths (smoothing, AMR front, ADI coupled RHS)
+// must reproduce their blocking checksums bitwise.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "halo_fuzz_util.hpp"
+#include "spmd_test_util.hpp"
+#include "vf/apps/adi_sim.hpp"
+#include "vf/apps/amr_front.hpp"
+#include "vf/apps/smoothing_sim.hpp"
+#include "vf/rt/dist_array.hpp"
+
+namespace vf::rt {
+namespace {
+
+using dist::block;
+using dist::DistributionType;
+using dist::Index;
+using dist::IndexDomain;
+using dist::IndexVec;
+using msg::Context;
+using testing::draw_specs;
+using testing::fingerprint;
+using testing::FuzzConfig;
+using testing::kFuzzConfigs;
+using testing::random_dist;
+using testing::RankSpec;
+using testing::specs_valid;
+using testing::SpmdChecker;
+
+/// Twin-array chain: BLK exchanges blocking, SPL split-phase, both walked
+/// through the identical sequence of re-specs and DISTRIBUTE flips.  After
+/// every step the two local storages (owned + every ghost cell) must
+/// compare bitwise, and the interior/boundary pair must have visited each
+/// owned cell of SPL exactly once and nothing else.
+void run_twin_chain(const FuzzConfig& cfg, unsigned seed) {
+  constexpr int kSteps = 5;
+  msg::Machine machine(cfg.nprocs);
+  SpmdChecker ck;
+  msg::run_spmd(machine, [&](Context& ctx) {
+    std::mt19937 rng(seed);
+    Env env(ctx, cfg.grid ? dist::ProcessorArray::grid(cfg.q0, cfg.q1)
+                          : dist::ProcessorArray::line(cfg.nprocs));
+    const Index n0 = 2 + static_cast<Index>(rng() % 8);
+    const Index n1 = 2 + static_cast<Index>(rng() % 8);
+    const IndexDomain dom = IndexDomain::of_extents({n0, n1});
+    const DistributionType type0 = random_dist(rng, cfg, n0, n1);
+    DistArray<double> blk(env, {.name = "BLK",
+                                .domain = dom,
+                                .dynamic = true,
+                                .initial = type0});
+    DistArray<double> spl(env, {.name = "SPL",
+                                .domain = dom,
+                                .dynamic = true,
+                                .initial = type0});
+    const auto fp = [&](const IndexVec& i) {
+      return fingerprint(dom.linearize(i));
+    };
+    blk.init(fp);
+    spl.init(fp);
+
+    bool asymmetric = rng() % 2 == 0;
+    std::vector<RankSpec> specs =
+        draw_specs(rng, cfg.nprocs, asymmetric, blk.distribution());
+    const auto apply_specs = [&]() {
+      const RankSpec& mine = specs[static_cast<std::size_t>(ctx.rank())];
+      blk.set_overlap(mine.lo, mine.hi, mine.corners, asymmetric);
+      spl.set_overlap(mine.lo, mine.hi, mine.corners, asymmetric);
+    };
+    apply_specs();
+
+    for (int step = 0; step < kSteps; ++step) {
+      const std::string tag =
+          std::string(cfg.name) + " seed " + std::to_string(seed) +
+          " step " + std::to_string(step);
+      switch (rng() % 3) {
+        case 0: {
+          asymmetric = rng() % 2 == 0;
+          specs = draw_specs(rng, cfg.nprocs, asymmetric, blk.distribution());
+          apply_specs();
+          break;
+        }
+        case 1: {
+          const DistributionType next = random_dist(rng, cfg, n0, n1);
+          blk.distribute(next);
+          spl.distribute(next);
+          if (asymmetric &&
+              !specs_valid(specs, blk.distribution(), cfg.nprocs)) {
+            specs = draw_specs(rng, cfg.nprocs, asymmetric,
+                               blk.distribution());
+            apply_specs();
+          }
+          break;
+        }
+        default:
+          break;  // repeat exchange on the warm plan
+      }
+
+      blk.exchange_overlap();
+
+      spl.begin_exchange_overlap();
+      const auto m = spl.split_margins();
+      std::vector<int> counts(spl.local_span().size(), 0);
+      double* const base = spl.local_span().data();
+      const auto visit = [&](const IndexVec&, double& x) {
+        counts[static_cast<std::size_t>(&x - base)]++;
+      };
+      spl.for_owned_interior(m, visit);
+      spl.end_exchange_overlap();
+      spl.for_owned_boundary(m, visit);
+
+      // Exact partition: every owned cell once, no ghost cell at all.
+      spl.for_owned([&](const IndexVec& i, double& x) {
+        const std::size_t off = static_cast<std::size_t>(&x - base);
+        if (counts[off] != 1) {
+          ck.fail("[rank " + std::to_string(ctx.rank()) + "] " + tag +
+                  " owned cell " + i.to_string() + " visited " +
+                  std::to_string(counts[off]) + " times");
+        }
+        counts[off] = 0;
+      });
+      for (std::size_t off = 0; off < counts.size(); ++off) {
+        if (counts[off] != 0) {
+          ck.fail("[rank " + std::to_string(ctx.rank()) + "] " + tag +
+                  " non-owned storage cell " + std::to_string(off) +
+                  " visited by the split traversals");
+        }
+      }
+
+      // Bitwise twin comparison over the whole local storage (owned data
+      // and every ghost cell, filled or untouched).
+      const auto sa = blk.local_span();
+      const auto sb = spl.local_span();
+      ck.check(sa.size() == sb.size(), ctx.rank(), tag + " storage sizes");
+      if (sa.size() == sb.size() && !sa.empty() &&
+          std::memcmp(sa.data(), sb.data(), sa.size_bytes()) != 0) {
+        ck.fail("[rank " + std::to_string(ctx.rank()) + "] " + tag +
+                " split-phase storage differs from blocking twin");
+      }
+    }
+  });
+  ck.expect_clean();
+}
+
+class SplitPhaseFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SplitPhaseFuzz, BitwiseEqualToBlockingExchange) {
+  for (const FuzzConfig& cfg : kFuzzConfigs) {
+    run_twin_chain(cfg, GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SplitPhaseFuzz, ::testing::Range(1u, 7u));
+
+/// The in-flight misuse guards: DISTRIBUTE, set_overlap and a second
+/// begin throw ExchangeInFlightError naming the array, the operation and
+/// the pending tag; the exchange then completes normally and the array
+/// (ghosts included) is intact, so the guard never corrupts state.
+TEST(SplitPhaseGuards, GeometryChangesInFlightThrowStructuredErrors) {
+  constexpr int kP = 4;
+  msg::Machine machine(kP);
+  SpmdChecker ck;
+  msg::run_spmd(machine, [&](Context& ctx) {
+    Env env(ctx, dist::ProcessorArray::line(kP));
+    const IndexDomain dom = IndexDomain::of_extents({16});
+    DistArray<double> a(env, {.name = "A",
+                              .domain = dom,
+                              .dynamic = true,
+                              .initial = DistributionType{block()},
+                              .overlap_lo = {1},
+                              .overlap_hi = {1}});
+    a.init([&](const IndexVec& i) { return fingerprint(dom.linearize(i)); });
+    a.begin_exchange_overlap();
+    ck.check(a.exchange_in_flight(), ctx.rank(), "in-flight flag set");
+
+    const auto expect_in_flight = [&](const char* op, auto&& call) {
+      try {
+        call();
+        ck.fail("[rank " + std::to_string(ctx.rank()) + "] " +
+                std::string(op) + " in flight did not throw");
+      } catch (const ExchangeInFlightError& e) {
+        ck.check_eq(e.array_name, std::string("A"), ctx.rank(),
+                    std::string(op) + ": array_name");
+        ck.check_eq(e.operation, std::string(op), ctx.rank(), "operation");
+        ck.check(e.pending_tag < 0, ctx.rank(),
+                 std::string(op) + ": pending_tag is a collective tag");
+      }
+    };
+    expect_in_flight("distribute", [&] {
+      a.distribute(DistributionType{dist::cyclic(1)});
+    });
+    expect_in_flight("set_overlap", [&] { a.set_overlap({2}, {2}); });
+    expect_in_flight("begin_exchange_overlap",
+                     [&] { a.begin_exchange_overlap(); });
+
+    // The pending exchange is untouched by the rejected calls: it
+    // completes, fills the ghosts, and the array accepts geometry
+    // changes again.
+    a.end_exchange_overlap();
+    ck.check(!a.exchange_in_flight(), ctx.rank(), "in-flight flag cleared");
+    const auto seg = a.distribution().dim_map(0).segment(
+        static_cast<int>(a.layout().coords[0]));
+    if (seg && ctx.rank() > 0) {
+      ck.check_eq(a.halo({seg->lo - 1}), fingerprint(seg->lo - 2),
+                  ctx.rank(), "low ghost after guarded exchange");
+    }
+    a.distribute(DistributionType{dist::s_block({2, 6, 4, 4})});
+    a.for_owned([&](const IndexVec& i, double& v) {
+      ck.check_eq(v, fingerprint(dom.linearize(i)), ctx.rank(),
+                  "data after post-guard distribute");
+    });
+  });
+  ck.expect_clean();
+}
+
+TEST(SplitPhaseGuards, EndWithoutBeginThrows) {
+  testing::run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    DistArray<double> a(env, {.name = "A",
+                              .domain = IndexDomain::of_extents({8}),
+                              .dynamic = true,
+                              .initial = DistributionType{block()},
+                              .overlap_lo = {1},
+                              .overlap_hi = {1}});
+    a.init([](const IndexVec& i) { return 1.0 * i[0]; });
+    try {
+      a.end_exchange_overlap();
+      ck.fail("end without begin did not throw");
+    } catch (const NoExchangeInFlightError& e) {
+      ck.check_eq(e.array_name, std::string("A"), ctx.rank(), "array_name");
+    }
+    // A completed pair re-arms the guard: a second end throws again.
+    a.begin_exchange_overlap();
+    a.end_exchange_overlap();
+    try {
+      a.end_exchange_overlap();
+      ck.fail("double end did not throw");
+    } catch (const NoExchangeInFlightError&) {
+    }
+  });
+}
+
+/// DISTRIBUTE on a connect-class member is also blocked while any OTHER
+/// member has an exchange in flight -- the redistribution would drag the
+/// in-flight array's storage along.
+TEST(SplitPhaseGuards, ConnectClassDistributeBlockedBySecondaryInFlight) {
+  testing::run_checked(2, [](Context& ctx, SpmdChecker& ck) {
+    Env env(ctx);
+    const IndexDomain dom = IndexDomain::of_extents({8});
+    DistArray<double> b(env, {.name = "B",
+                              .domain = dom,
+                              .dynamic = true,
+                              .initial = DistributionType{block()}});
+    DistArray<double> a(env,
+                        {.name = "A", .domain = dom, .dynamic = true},
+                        Connection::extraction(b));
+    a.set_overlap({1}, {1});
+    a.begin_exchange_overlap();
+    try {
+      b.distribute(DistributionType{dist::s_block({2, 6})});
+      ck.fail("distribute with secondary in flight did not throw");
+    } catch (const ExchangeInFlightError& e) {
+      ck.check_eq(e.array_name, std::string("A"), ctx.rank(), "array_name");
+      ck.check_eq(e.operation, std::string("distribute (via connect class)"),
+                  ctx.rank(), "operation");
+    }
+    a.end_exchange_overlap();
+    b.distribute(DistributionType{dist::s_block({2, 6})});
+  });
+}
+
+// ---- application paths: split-phase reproduces blocking bitwise -----------
+
+TEST(SplitPhaseApps, SmoothingMatchesBlockingBitwise) {
+  for (const apps::SmoothStencil st :
+       {apps::SmoothStencil::FivePoint, apps::SmoothStencil::NinePoint}) {
+    for (const apps::SmoothLayout ly :
+         {apps::SmoothLayout::Columns, apps::SmoothLayout::Grid2D}) {
+      SCOPED_TRACE(std::string(to_string(st)) + "/" + to_string(ly));
+      double blocking = 0.0;
+      double split = 0.0;
+      testing::run_checked(4, [&](Context& ctx, SpmdChecker&) {
+        const auto r = apps::run_smoothing(
+            ctx, {.n = 16, .steps = 3, .stencil = st}, ly);
+        if (ctx.rank() == 0) blocking = r.checksum;
+      });
+      testing::run_checked(4, [&](Context& ctx, SpmdChecker&) {
+        const auto r = apps::run_smoothing(
+            ctx, {.n = 16, .steps = 3, .stencil = st, .split_phase = true},
+            ly);
+        if (ctx.rank() == 0) split = r.checksum;
+      });
+      EXPECT_EQ(blocking, split);
+    }
+  }
+}
+
+TEST(SplitPhaseApps, AmrFrontMatchesBlockingAndReferenceBitwise) {
+  const apps::AmrFrontConfig base{.n = 16, .steps = 3};
+  double blocking = 0.0;
+  double split = 0.0;
+  testing::run_checked(4, [&](Context& ctx, SpmdChecker&) {
+    const auto r = apps::run_amr_front(ctx, base);
+    if (ctx.rank() == 0) blocking = r.checksum;
+  });
+  apps::AmrFrontConfig cfg = base;
+  cfg.split_phase = true;
+  testing::run_checked(4, [&](Context& ctx, SpmdChecker&) {
+    const auto r = apps::run_amr_front(ctx, cfg);
+    if (ctx.rank() == 0) split = r.checksum;
+  });
+  EXPECT_EQ(blocking, split);
+  EXPECT_EQ(split, apps::amr_checksum(apps::amr_front_reference(base)));
+}
+
+TEST(SplitPhaseApps, AdiCoupledRhsMatchesBlockingBitwise) {
+  for (const apps::AdiStrategy strat :
+       {apps::AdiStrategy::DynamicRedistribution,
+        apps::AdiStrategy::StaticGatherLines,
+        apps::AdiStrategy::StaticTwoCopies}) {
+    SCOPED_TRACE(apps::to_string(strat));
+    const apps::AdiConfig base{
+        .nx = 12, .ny = 12, .iterations = 3, .rhs_halo = true};
+    double blocking = 0.0;
+    double split = 0.0;
+    testing::run_checked(4, [&](Context& ctx, SpmdChecker&) {
+      const auto r = apps::run_adi(ctx, base, strat);
+      if (ctx.rank() == 0) blocking = r.checksum;
+    });
+    apps::AdiConfig cfg = base;
+    cfg.split_phase = true;
+    testing::run_checked(4, [&](Context& ctx, SpmdChecker&) {
+      const auto r = apps::run_adi(ctx, cfg, strat);
+      if (ctx.rank() == 0) split = r.checksum;
+    });
+    EXPECT_EQ(blocking, split);
+    // The coupled RHS actually exercises the halo path.
+    EXPECT_NE(blocking, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace vf::rt

@@ -1,0 +1,266 @@
+// The pluggable counted-exchange transport layer: VF_TRANSPORT parsing,
+// mailbox/shared-memory equivalence (results AND data-traffic accounting),
+// switching transports on a live machine, the zero-copy rendezvous's
+// failure containment (RankAbort mid-exchange, pre-agreed count mismatch,
+// machine reuse after an abort), and the allocation-free collective
+// scratch the transports feed.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "spmd_test_util.hpp"
+#include "vf/apps/amr_front.hpp"
+#include "vf/apps/smoothing_sim.hpp"
+#include "vf/msg/exchange_scratch.hpp"
+#include "vf/msg/transport.hpp"
+#include "vf/rt/dist_array.hpp"
+
+namespace vf {
+namespace {
+
+using dist::block;
+using dist::DistributionType;
+using dist::IndexDomain;
+using dist::IndexVec;
+using msg::Context;
+using msg::ExchangeLane;
+using msg::ExchangeScratch;
+using msg::Machine;
+using msg::RankAbort;
+using msg::TransportKind;
+using testing::run_checked_on;
+using testing::SpmdChecker;
+
+/// Scoped VF_TRANSPORT override that restores the previous value.
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* value) {
+    const char* old = std::getenv("VF_TRANSPORT");
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    if (value == nullptr) {
+      ::unsetenv("VF_TRANSPORT");
+    } else {
+      ::setenv("VF_TRANSPORT", value, 1);
+    }
+  }
+  ~EnvGuard() {
+    if (had_) {
+      ::setenv("VF_TRANSPORT", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("VF_TRANSPORT");
+    }
+  }
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(TransportSelect, EnvVariableParsing) {
+  {
+    EnvGuard g(nullptr);
+    EXPECT_EQ(msg::default_transport_kind(), TransportKind::Mailbox);
+  }
+  {
+    EnvGuard g("mailbox");
+    EXPECT_EQ(msg::default_transport_kind(), TransportKind::Mailbox);
+  }
+  for (const char* shm : {"shm", "shared", "shared-memory", "shared_memory"}) {
+    EnvGuard g(shm);
+    EXPECT_EQ(msg::default_transport_kind(), TransportKind::SharedMemory)
+        << shm;
+  }
+  {
+    EnvGuard g("carrier-pigeon");
+    EXPECT_THROW((void)msg::default_transport_kind(), std::invalid_argument);
+  }
+  EXPECT_STREQ(msg::to_string(TransportKind::Mailbox), "mailbox");
+  EXPECT_STREQ(msg::to_string(TransportKind::SharedMemory), "shm");
+}
+
+TEST(TransportSelect, MachineExposesAndSwitchesKind) {
+  Machine m(2, {}, TransportKind::Mailbox);
+  EXPECT_EQ(m.transport_kind(), TransportKind::Mailbox);
+  m.set_transport(TransportKind::SharedMemory);
+  EXPECT_EQ(m.transport_kind(), TransportKind::SharedMemory);
+  m.set_transport(TransportKind::Mailbox);
+  EXPECT_EQ(m.transport_kind(), TransportKind::Mailbox);
+}
+
+/// A ring alltoallv_known_into round on an existing machine; returns
+/// nothing but checks every received value.
+void ring_exchange_round(Context& ctx, SpmdChecker& ck, int round) {
+  const int np = ctx.nprocs();
+  ExchangeScratch arena;
+  ExchangeLane& lane = arena.lane(sizeof(double));
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(np), 2);
+  lane.prepare(counts, counts);
+  for (int d = 0; d < np; ++d) {
+    lane.send<double>(d)[0] = ctx.rank() * 100.0 + d + round;
+    lane.send<double>(d)[1] = 0.5 * ctx.rank();
+  }
+  ctx.alltoallv_known_into(lane);
+  for (int s = 0; s < np; ++s) {
+    ck.check_eq(lane.recv<double>(s)[0], s * 100.0 + ctx.rank() + round,
+                ctx.rank(), "ring value");
+    ck.check_eq(lane.recv<double>(s)[1], 0.5 * s, ctx.rank(), "ring value 2");
+  }
+}
+
+/// The same workloads under both transports must produce bitwise-equal
+/// results and, by design, identical data-message accounting: the
+/// zero-copy transport meters every published payload exactly as the
+/// framed path does.
+TEST(TransportEquivalence, WorkloadResultsAndAccountingMatch) {
+  double checksum[2] = {0.0, 0.0};
+  msg::CommStats stats[2];
+  const TransportKind kinds[2] = {TransportKind::Mailbox,
+                                  TransportKind::SharedMemory};
+  for (int t = 0; t < 2; ++t) {
+    Machine m(4, {}, kinds[t]);
+    SpmdChecker ck;
+    msg::run_spmd(m, [&](Context& ctx) {
+      ring_exchange_round(ctx, ck, 7);
+      const auto r = apps::run_smoothing(
+          ctx,
+          {.n = 16, .steps = 3, .stencil = apps::SmoothStencil::NinePoint,
+           .split_phase = true},
+          apps::SmoothLayout::Grid2D);
+      if (ctx.rank() == 0) checksum[t] = r.checksum;
+    });
+    ck.expect_clean();
+    stats[t] = m.total_stats();
+  }
+  EXPECT_EQ(checksum[0], checksum[1]);
+  EXPECT_EQ(stats[0].data_messages, stats[1].data_messages);
+  EXPECT_EQ(stats[0].data_bytes, stats[1].data_bytes);
+  EXPECT_EQ(stats[0].collectives, stats[1].collectives);
+}
+
+TEST(TransportEquivalence, SetTransportBetweenRunsOnOneMachine) {
+  Machine m(4);
+  double first = 0.0;
+  double second = 0.0;
+  run_checked_on(m, [&](Context& ctx, SpmdChecker& ck) {
+    ring_exchange_round(ctx, ck, 1);
+    const auto r = apps::run_amr_front(ctx, {.n = 16, .steps = 2});
+    if (ctx.rank() == 0) first = r.checksum;
+  });
+  m.set_transport(TransportKind::SharedMemory);
+  run_checked_on(m, [&](Context& ctx, SpmdChecker& ck) {
+    ring_exchange_round(ctx, ck, 2);
+    const auto r = apps::run_amr_front(
+        ctx, {.n = 16, .steps = 2, .split_phase = true});
+    if (ctx.rank() == 0) second = r.checksum;
+  });
+  EXPECT_EQ(first, second);
+}
+
+// ---- zero-copy failure containment ----------------------------------------
+
+/// One rank dies between begin and end while its peers are already
+/// blocked in the zero-copy rendezvous (waiting for rank 2's acks that
+/// will never come).  The fence must wake every peer with a RankAbort --
+/// not a hang -- and run_spmd rethrows the origin's original error.
+TEST(TransportAbort, RankDeathMidExchangeWakesBlockedPeers) {
+  Machine m(4, {}, TransportKind::SharedMemory);
+  m.set_recv_watchdog(std::chrono::milliseconds(2000));
+  try {
+    msg::run_spmd(m, [](Context& ctx) {
+      ExchangeScratch arena;
+      ExchangeLane& lane = arena.lane(sizeof(double));
+      const std::vector<std::uint64_t> counts(4, 1);
+      lane.prepare(counts, counts);
+      for (int d = 0; d < 4; ++d) lane.send<double>(d)[0] = 1.0 * ctx.rank();
+      const int tag = ctx.begin_exchange(lane);
+      if (ctx.rank() == 2) {
+        throw std::runtime_error("rank 2 dies mid-exchange");
+      }
+      ctx.end_exchange(lane, tag);  // peers block on rank 2's ack
+    });
+    FAIL() << "expected the origin's runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "rank 2 dies mid-exchange");
+  }
+  const msg::FailureReport rep = m.last_failure_report();
+  EXPECT_TRUE(rep.any_failed);
+  EXPECT_EQ(rep.origin_rank, 2);
+  for (const msg::RankFailure& f : rep.ranks) {
+    EXPECT_TRUE(f.failed) << "rank " << f.rank;
+    if (f.rank != 2) EXPECT_EQ(f.abort_origin, 2) << "rank " << f.rank;
+  }
+  // reset_failure_state drops the orphaned publications: the machine is
+  // fully reusable for a clean zero-copy run.
+  run_checked_on(m, [](Context& ctx, SpmdChecker& ck) {
+    ring_exchange_round(ctx, ck, 3);
+  });
+  EXPECT_FALSE(m.last_failure_report().any_failed);
+}
+
+/// Disagreeing pre-agreed counts (sender publishes 2 elements, receiver
+/// expects 3) surface as a structured RankAbort naming the mismatch, on
+/// both ranks, instead of reading past a buffer.
+TEST(TransportAbort, PreAgreedCountMismatchAborts) {
+  Machine m(2, {}, TransportKind::SharedMemory);
+  m.set_recv_watchdog(std::chrono::milliseconds(2000));
+  try {
+    msg::run_spmd(m, [](Context& ctx) {
+      ExchangeScratch arena;
+      ExchangeLane& lane = arena.lane(sizeof(double));
+      if (ctx.rank() == 0) {
+        // Sends 2 to rank 1, expects 1 back.
+        lane.prepare(std::vector<std::uint64_t>{0, 2},
+                     std::vector<std::uint64_t>{0, 1});
+      } else {
+        // Sends 1 to rank 0, expects 3 -- but rank 0 published 2.
+        lane.prepare(std::vector<std::uint64_t>{1, 0},
+                     std::vector<std::uint64_t>{3, 0});
+      }
+      ctx.end_exchange(lane, ctx.begin_exchange(lane));
+    });
+    FAIL() << "expected RankAbort";
+  } catch (const RankAbort& e) {
+    EXPECT_EQ(e.origin_rank, 1);  // the receiver detects the mismatch
+    EXPECT_NE(e.reason.find("pre-agreed counts disagree"), std::string::npos)
+        << e.reason;
+  }
+  EXPECT_TRUE(m.last_failure_report().any_failed);
+}
+
+// ---- allocation-free collectives ------------------------------------------
+
+/// Warm allreduce / allreduce_vec replays draw their fan-in buffers from
+/// the context's persistent collective scratch: after one warmup round
+/// the grow_allocs counter must stay flat on every rank (this is the
+/// allocs_per_exchange == 0 gate CI enforces on the bench side).
+TEST(CollectiveScratch, WarmAllreduceReplaysAllocationFree) {
+  testing::run_checked(4, [](Context& ctx, SpmdChecker& ck) {
+    std::vector<double> v(32);
+    for (std::size_t k = 0; k < v.size(); ++k) {
+      v[k] = 0.25 * static_cast<double>(k) + ctx.rank();
+    }
+    // Warmup: both the scalar and the vector shape.
+    (void)ctx.allreduce(1 + ctx.rank(), msg::ReduceOp::Sum);
+    std::vector<double> w = ctx.allreduce_vec(v, msg::ReduceOp::Max);
+    ctx.reset_collective_scratch_stats();
+
+    for (int round = 0; round < 10; ++round) {
+      const int s = ctx.allreduce(1 + ctx.rank(), msg::ReduceOp::Sum);
+      ck.check_eq(s, 10, ctx.rank(), "scalar allreduce value");
+      w = ctx.allreduce_vec(std::move(w), msg::ReduceOp::Max);
+      for (std::size_t k = 0; k < w.size(); ++k) {
+        ck.check_eq(w[k], 0.25 * static_cast<double>(k) + 3, ctx.rank(),
+                    "vector allreduce value");
+      }
+    }
+    ck.check_eq(ctx.collective_scratch_stats().grow_allocs, std::uint64_t{0},
+                ctx.rank(), "warm collective replays allocate nothing");
+  });
+}
+
+}  // namespace
+}  // namespace vf
