@@ -1,0 +1,214 @@
+// Skew-aware redistribution (PRPD hybrid plans) vs the all-to-owner
+// baseline.
+//
+// The workload is the heavy-key DISTRIBUTE the ROADMAP names: a 1-D array
+// flipping between BLOCK and an INDIRECT owner table, where the table is
+// either uniform (a rotated block -- balanced, but every element moves) or
+// Zipf-distributed over ranks (s in {0.8, 1.2}: rank r attracts elements
+// with probability proportional to (r+1)^-s, hot-spotting rank 0).
+//
+// Rows: procs in {4, 16, 64} x zipf_x10 in {0 (uniform), 8, 12} x
+// hybrid in {0 (SkewPolicy::Off), 1 (Auto)}.
+// Counters:
+//   balance            -- max_rank_bytes / mean_rank_bytes of the timed
+//                         flip loop, from CommStats' per-peer counters
+//                         (sent + received per rank)
+//   ns_per_flip        -- median wall-clock per DISTRIBUTE
+//   target_skew        -- ownership max/mean the detector saw
+//   hybrid_flips       -- flips whose target was hybridized (must be 0 on
+//                         uniform rows: zero hybrid overhead, CI-gated)
+//   allocs_per_replay_redist -- heap allocations per cached flip (CI = 0)
+// CI gates (P = 16, s = 1.2): hybrid balance <= 0.5x baseline balance and
+// hybrid ns_per_flip <= baseline ns_per_flip.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "vf/msg/spmd.hpp"
+#include "vf/rt/dist_array.hpp"
+
+namespace {
+
+using namespace vf;  // NOLINT(google-build-using-namespace)
+using dist::Index;
+using dist::IndexDomain;
+using dist::IndexVec;
+
+// Large enough that the bytes each flip moves dominate the fixed per-flip
+// cost (plan replay, barriers, rank scheduling); at 1<<16 the fixed cost
+// hides the hybrid's ~3x data-volume reduction entirely.
+constexpr Index kElems = 1 << 19;
+constexpr int kFlips = 16;
+
+/// The target owner table: uniform rows get a rotated block (balanced,
+/// but disjoint from BLOCK so every element moves); Zipf rows draw each
+/// element's owner from a Zipf-over-ranks inverse CDF with a fixed seed,
+/// so every benchmark process builds the identical table.
+std::vector<int> make_owner_table(int np, double zipf_s) {
+  std::vector<int> owners(static_cast<std::size_t>(kElems));
+  if (zipf_s <= 0.0) {
+    for (Index i = 0; i < kElems; ++i) {
+      owners[static_cast<std::size_t>(i)] =
+          static_cast<int>((i * np / kElems + 1) % np);
+    }
+    return owners;
+  }
+  std::vector<double> cdf(static_cast<std::size_t>(np));
+  double acc = 0.0;
+  for (int r = 0; r < np; ++r) {
+    acc += std::pow(static_cast<double>(r + 1), -zipf_s);
+    cdf[static_cast<std::size_t>(r)] = acc;
+  }
+  for (double& v : cdf) v /= acc;
+  std::mt19937_64 rng(0xBADC0FFEuLL + static_cast<std::uint64_t>(np) * 1000 +
+                      static_cast<std::uint64_t>(zipf_s * 100));
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (Index i = 0; i < kElems; ++i) {
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), unit(rng));
+    owners[static_cast<std::size_t>(i)] =
+        static_cast<int>(it - cdf.begin());
+  }
+  return owners;
+}
+
+void BM_SkewFlip(benchmark::State& state) {
+  const int np = static_cast<int>(state.range(0));
+  const double zipf_s = static_cast<double>(state.range(1)) / 10.0;
+  const bool hybrid = state.range(2) != 0;
+  const msg::CostModel cm{};
+  state.SetLabel(std::string(zipf_s > 0.0
+                                 ? "zipf" + std::to_string(state.range(1))
+                                 : "uniform") +
+                 (hybrid ? "/hybrid" : "/baseline"));
+
+  const auto table = std::make_shared<const dist::IndirectTable>(
+      make_owner_table(np, zipf_s));
+
+  std::vector<double> iter_seconds;
+  std::atomic<double> balance{1.0}, target_skew{1.0}, moved_mb{0.0};
+  std::atomic<std::uint64_t> hybrid_flips{0}, skew_checks{0}, plan_hits{0},
+      grow{0};
+  for (auto _ : state) {
+    grow = 0;
+    msg::Machine machine(np, cm);
+    std::atomic<double> secs{0.0};
+    msg::run_spmd(machine, [&](msg::Context& ctx) {
+      rt::Env env(ctx);
+      rt::DistArray<double> a(
+          env, {.name = "A",
+                .domain = IndexDomain({dist::Range{1, kElems}}),
+                .dynamic = true,
+                .initial = {{dist::block()}}});
+      a.init([](const IndexVec& i) { return static_cast<double>(i[0]); });
+      // cap_factor 0.5 bounds every heavy rank's receive volume at half
+      // its fair share: the excess stays with the (balanced) old owners,
+      // halving both the hot link and the total data moved.
+      a.set_skew_policy(hybrid ? rt::DistArrayBase::SkewPolicy::Auto
+                               : rt::DistArrayBase::SkewPolicy::Off,
+                        /*threshold=*/4.0, /*cap_factor=*/0.5);
+      const dist::DistributionType blockT{dist::block()};
+      const dist::DistributionType target{dist::indirect(table)};
+      // Warmup plans both directions (and, under Auto, runs the one-time
+      // detection + hybridization per direction).
+      a.distribute(target);
+      a.distribute(blockT);
+      a.distribute(target);
+      a.distribute(blockT);
+      a.reset_exchange_scratch_stats();
+      // Per-peer byte snapshot so balance covers exactly the timed loop.
+      const std::vector<std::uint64_t> before = ctx.stats().peer_bytes;
+      ctx.barrier();
+      const auto t0 = std::chrono::steady_clock::now();
+      ctx.barrier();
+      for (int f = 0; f < kFlips; ++f) {
+        a.distribute(f % 2 ? blockT : target);
+      }
+      ctx.barrier();
+      if (ctx.rank() == 0) {
+        secs.store(std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count());
+      }
+      std::vector<std::uint64_t> sent = ctx.stats().peer_bytes;
+      if (sent.size() < static_cast<std::size_t>(np)) {
+        sent.resize(static_cast<std::size_t>(np), 0);
+      }
+      for (std::size_t d = 0; d < before.size(); ++d) sent[d] -= before[d];
+      // Per-rank totals (sent + received) from everyone's per-peer rows;
+      // the collective runs outside the timed region.
+      const auto rows = ctx.allgather_vec(std::move(sent));
+      if (ctx.rank() == 0) {
+        std::vector<double> total(static_cast<std::size_t>(np), 0.0);
+        for (int r = 0; r < np; ++r) {
+          for (int d = 0; d < np; ++d) {
+            const auto b = static_cast<double>(
+                rows[static_cast<std::size_t>(r)]
+                    [static_cast<std::size_t>(d)]);
+            total[static_cast<std::size_t>(r)] += b;  // sent by r
+            total[static_cast<std::size_t>(d)] += b;  // received by d
+          }
+        }
+        double sum = 0.0, max = 0.0;
+        for (const double t : total) {
+          sum += t;
+          max = std::max(max, t);
+        }
+        balance.store(sum > 0.0 ? max / (sum / np) : 1.0);
+        moved_mb.store(sum / 2.0 / (1 << 20));  // sent+received double-counts
+        target_skew.store(a.peak_target_skew());
+        hybrid_flips.store(a.hybrid_flips());
+        skew_checks.store(a.skew_checks());
+        plan_hits.store(a.redist_plan_hits());
+      }
+      grow.fetch_add(a.exchange_scratch_stats().grow_allocs);
+    });
+    iter_seconds.push_back(secs.load());
+  }
+  std::sort(iter_seconds.begin(), iter_seconds.end());
+  const double median = iter_seconds[iter_seconds.size() / 2];
+  state.counters["ns_per_flip"] = median * 1e9 / kFlips;
+  state.counters["balance"] = balance.load();
+  state.counters["moved_mb"] = moved_mb.load();
+  state.counters["target_skew"] = target_skew.load();
+  state.counters["procs"] = np;
+  state.counters["hybrid"] = hybrid ? 1 : 0;
+  state.counters["zipf_x10"] = static_cast<double>(state.range(1));
+  state.counters["hybrid_flips"] = static_cast<double>(hybrid_flips.load());
+  state.counters["skew_checks"] = static_cast<double>(skew_checks.load());
+  state.counters["redist_plan_hits"] = static_cast<double>(plan_hits.load());
+  state.counters["allocs_per_replay_redist"] =
+      static_cast<double>(grow.load()) /
+      (static_cast<double>(kFlips) * np);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SkewFlip)
+    ->ArgNames({"procs", "zipf_x10", "hybrid"})
+    ->Args({4, 0, 0})
+    ->Args({4, 0, 1})
+    ->Args({4, 8, 0})
+    ->Args({4, 8, 1})
+    ->Args({4, 12, 0})
+    ->Args({4, 12, 1})
+    ->Args({16, 0, 0})
+    ->Args({16, 0, 1})
+    ->Args({16, 8, 0})
+    ->Args({16, 8, 1})
+    ->Args({16, 12, 0})
+    ->Args({16, 12, 1})
+    ->Args({64, 0, 0})
+    ->Args({64, 0, 1})
+    ->Args({64, 8, 0})
+    ->Args({64, 8, 1})
+    ->Args({64, 12, 0})
+    ->Args({64, 12, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);

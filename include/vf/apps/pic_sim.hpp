@@ -31,6 +31,10 @@
 
 namespace vf::apps {
 
+/// Skew policy applied to FIELD's dynamic redistribution (mirrors
+/// rt::DistArrayBase::SkewPolicy without pulling the rt headers in).
+enum class PicSkewMode { Off, Auto, Force };
+
 struct PicConfig {
   dist::Index ncell = 256;
   dist::Index npart_max = 512;   ///< NPART: max particles per cell
@@ -44,6 +48,15 @@ struct PicConfig {
   double drift = 0.8;       ///< cells per step the cloud moves
   double focus = 0.25;      ///< self-focusing strength (clustering)
   std::uint64_t seed = 42;  ///< initial cloud placement
+  /// Zipf exponent of the initial particle cloud: 0 keeps the Gaussian
+  /// cloud of Figure 2; > 0 clusters particles over cells with
+  /// probability proportional to cell^-s (heavy-key rebalance traffic --
+  /// the skewed workload of the PRPD plans).
+  double zipf_s = 0.0;
+  /// Skew policy for FIELD's DISTRIBUTE statements.
+  PicSkewMode skew = PicSkewMode::Off;
+  /// Ownership max/mean above which PicSkewMode::Auto hybridizes.
+  double skew_threshold = 4.0;
 };
 
 struct PicStepStats {
@@ -69,6 +82,12 @@ struct PicResult {
   /// the partition envelope is still widening.
   std::uint64_t redist_scratch_prepares = 0;
   std::uint64_t redist_scratch_allocs = 0;
+  /// Skew-aware redistribution counters of FIELD (SPMD-uniform): detection
+  /// passes run, flips whose target was hybridized, and the ownership
+  /// max/mean of the last inspected target mapping.
+  std::uint64_t skew_checks = 0;
+  std::uint64_t hybrid_flips = 0;
+  double last_target_skew = 1.0;
 };
 
 /// Runs the PIC simulation on the calling SPMD context (collective).

@@ -1,0 +1,84 @@
+// Skew detection and PRPD-style hybridization of target distributions.
+//
+// Vienna Fortran's dynamic DISTRIBUTE moves every element to its single
+// owner, so an INDIRECT owner table (or a value-based repartition) with
+// heavy keys hot-spots one rank: its send/recv volume dominates wall-clock
+// while the rest of the machine idles.  This module implements the classic
+// PRPD answer (partial redistribution / partial duplication):
+//
+//   * `ownership_skew` is the cheap inspector pass -- an exact per-owner
+//     element histogram of a target mapping, O(P * rank) via the closed-form
+//     `Distribution::local_size`, flagging skew when max/mean exceeds a
+//     threshold (the same max-rank/mean-rank balance metric CommStats'
+//     per-peer counters report at run time);
+//
+//   * `hybridize` builds the hybrid target H(old, new): equal to `new`
+//     except that dimension-0 elements in excess of a per-rank fair-share
+//     cap KEEP their `old` owners.  Heavy keys thus stay local -- the
+//     redistribution old -> H ships strictly less data than old -> new and
+//     bounds every rank's receive volume at the cap -- while light keys
+//     ride the existing run-based plan machinery unchanged.  The result is
+//     a plain interned INDIRECT distribution, so plan caching, hash-consed
+//     descriptor equality and allocation-free replay all apply untouched.
+//
+// The duplication half of PRPD (replicating widely-shared heavy elements
+// via allgather with an owner-side combine) lives in the PARTI Schedule
+// inspector (parti/schedule.hpp), where per-element fan-in is known.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vf/dist/distribution.hpp"
+#include "vf/dist/registry.hpp"
+
+namespace vf::dist {
+
+/// Tuning knobs for detection and hybridization.
+struct SkewConfig {
+  /// Ownership max/mean above which a target mapping counts as skewed.
+  double threshold = 4.0;
+  /// Per-rank receive cap as a multiple of the dimension-0 fair share
+  /// (ceil(extent / nprocs)).  1.0 bounds every rank at its fair share.
+  double cap_factor = 1.0;
+};
+
+/// Exact per-rank ownership histogram of a distribution.
+struct SkewReport {
+  std::vector<Index> rank_elems;  ///< elements owned per machine rank
+  Index total = 0;                ///< sum over member ranks
+  int members = 0;                ///< ranks belonging to the target section
+
+  /// Balance metric: max owned elements over the member-rank mean.
+  /// 1.0 for perfectly balanced or empty mappings.
+  [[nodiscard]] double max_over_mean() const noexcept;
+  [[nodiscard]] bool skewed(double threshold) const noexcept {
+    return max_over_mean() > threshold;
+  }
+};
+
+/// Runs the inspector histogram pass over `d` for machine ranks
+/// [0, nprocs).  O(nprocs * rank): per-rank counts come from the
+/// closed-form layout, no element enumeration.
+[[nodiscard]] SkewReport ownership_skew(const Distribution& d, int nprocs);
+
+/// Builds and interns the hybrid target H(old, new) described above, or
+/// returns a null handle when hybridization does not apply:
+///
+///   * the two distributions differ in domain, section, free-dimension
+///     assignment, or any dimension >= 1 mapping (the cap walk only
+///     reassigns dimension-0 owners, so everything else must agree);
+///   * dimension 0 is collapsed in either distribution, or the two
+///     dimension-0 maps span different processor-coordinate counts;
+///   * no element exceeds the cap (the target is already balanced --
+///     callers fall through to the ordinary all-to-owner plan, keeping
+///     uniform workloads at zero hybrid overhead).
+///
+/// Determinism: the cap walk scans dimension-0 globals in ascending order,
+/// so every rank computes the identical owner table and the interned
+/// handle is SPMD-uniform by construction.
+[[nodiscard]] DistHandle hybridize(DistRegistry& reg, const DistHandle& od,
+                                   const DistHandle& nd,
+                                   const SkewConfig& cfg);
+
+}  // namespace vf::dist

@@ -10,8 +10,11 @@
 // the paper can be checked against observed message counts and volumes.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace vf::msg {
 
@@ -43,12 +46,33 @@ struct CommStats {
   std::uint64_t ctl_bytes = 0;      ///< control bytes sent
   std::uint64_t collectives = 0;    ///< collective operations entered
 
+  /// Per-destination data traffic (payload messages / bytes sent to each
+  /// peer).  Sized lazily to the highest destination rank seen, so a rank
+  /// that never sends carries no per-peer storage.  The skew detector and
+  /// `bench_skew` read real per-link volumes from here instead of
+  /// re-deriving them from plan counts.
+  std::vector<std::uint64_t> peer_messages;
+  std::vector<std::uint64_t> peer_bytes;
+
+  /// Record one data message of `bytes` payload bytes sent to `dest`.
+  void add_peer(int dest, std::uint64_t bytes) {
+    const auto need = static_cast<std::size_t>(dest) + 1;
+    if (peer_messages.size() < need) {
+      peer_messages.resize(need, 0);
+      peer_bytes.resize(need, 0);
+    }
+    peer_messages[static_cast<std::size_t>(dest)] += 1;
+    peer_bytes[static_cast<std::size_t>(dest)] += bytes;
+  }
+
   CommStats& operator+=(const CommStats& o) noexcept {
     data_messages += o.data_messages;
     data_bytes += o.data_bytes;
     ctl_messages += o.ctl_messages;
     ctl_bytes += o.ctl_bytes;
     collectives += o.collectives;
+    merge_peer(peer_messages, o.peer_messages);
+    merge_peer(peer_bytes, o.peer_bytes);
     return *this;
   }
 
@@ -57,7 +81,15 @@ struct CommStats {
     return a;
   }
 
-  friend bool operator==(const CommStats&, const CommStats&) = default;
+  /// Equality treats absent per-peer slots as zero, so a fresh counter and
+  /// one that was resized by traffic to silent peers still compare equal.
+  friend bool operator==(const CommStats& a, const CommStats& b) noexcept {
+    return a.data_messages == b.data_messages && a.data_bytes == b.data_bytes &&
+           a.ctl_messages == b.ctl_messages && a.ctl_bytes == b.ctl_bytes &&
+           a.collectives == b.collectives &&
+           peer_equal(a.peer_messages, b.peer_messages) &&
+           peer_equal(a.peer_bytes, b.peer_bytes);
+  }
 
   /// Total modeled communication time in microseconds under `cm`,
   /// counting both data and control traffic.
@@ -77,6 +109,24 @@ struct CommStats {
   }
 
   [[nodiscard]] std::string to_string() const;
+
+ private:
+  static void merge_peer(std::vector<std::uint64_t>& dst,
+                         const std::vector<std::uint64_t>& src) {
+    if (dst.size() < src.size()) dst.resize(src.size(), 0);
+    for (std::size_t i = 0; i < src.size(); ++i) dst[i] += src[i];
+  }
+
+  static bool peer_equal(const std::vector<std::uint64_t>& a,
+                         const std::vector<std::uint64_t>& b) noexcept {
+    const std::size_t n = std::max(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t av = i < a.size() ? a[i] : 0;
+      const std::uint64_t bv = i < b.size() ? b[i] : 0;
+      if (av != bv) return false;
+    }
+    return true;
+  }
 };
 
 }  // namespace vf::msg

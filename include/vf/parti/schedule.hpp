@@ -71,6 +71,41 @@ class Schedule {
   Schedule(msg::Context& ctx, dist::DistHandle target,
            std::vector<dist::IndexVec> points, halo::HaloHandle halo);
 
+  /// Knobs for the skew-aware hybrid (PRPD partial-duplication) inspector.
+  /// Must be SPMD-uniform, like every other inspector argument.
+  struct SkewConfig {
+    bool enabled = false;  ///< run the serve-load skew pass at all
+    /// Serve-load max/mean above which the inspector goes hybrid.
+    double threshold = 4.0;
+    /// Minimum requester fan-in for a served element to count as heavy;
+    /// 0 selects max(2, nprocs/2).
+    std::size_t min_fan = 0;
+  };
+
+  /// Skew-aware inspector: like the plain form, but when the per-owner
+  /// serve loads are skewed beyond `cfg.threshold`, owners mark their
+  /// widely-requested elements (fan-in >= min_fan) heavy and announce
+  /// them in one plan-time allgather.  Heavy elements leave the
+  /// all-to-owner request/serve structures on both sides; executors
+  /// replicate them instead: gather allgathers the owners' heavy values
+  /// and fans them out locally, scatter_add pre-combines each requester's
+  /// heavy contributions, allgathers the partials and lets each owner
+  /// reduce them in ascending rank order -- on dyadic values the result
+  /// is bitwise identical to the all-to-owner reference.  Plain scatter
+  /// (last-writer-wins) is not defined on replicated elements and throws
+  /// std::logic_error on a hybrid schedule.
+  Schedule(msg::Context& ctx, dist::DistHandle target,
+           std::vector<dist::IndexVec> points, const SkewConfig& cfg);
+
+  /// Whether the inspector selected the hybrid (partial-duplication)
+  /// path.  False whenever the serve loads were balanced or no element
+  /// met the fan-in bar -- the zero-overhead uniform outcome.
+  [[nodiscard]] bool hybrid() const noexcept { return hybrid_; }
+  /// Machine-wide count of heavy (replicated) elements.
+  [[nodiscard]] std::size_t n_heavy() const noexcept { return n_heavy_; }
+  /// Serve-load max/mean observed by the skew pass (1.0 when disabled).
+  [[nodiscard]] double serve_skew() const noexcept { return serve_skew_; }
+
   /// Number of points this rank requested.
   [[nodiscard]] std::size_t n_points() const noexcept { return n_points_; }
   /// Number of distinct off-processor elements this rank touches per
@@ -131,6 +166,26 @@ class Schedule {
         out[pos[k]] = vals[occ[k]];
       }
     }
+    if (!hybrid_) return;
+    // Replicated side: owners publish their heavy values once (Bruck
+    // allgather), every rank fans them out to its occurrences locally.
+    // A heavy element thus costs its owner one send per allgather round
+    // instead of one serve slot per requesting rank.
+    std::vector<T> mine(heavy_serve_linear_.size());
+    for (std::size_t k = 0; k < mine.size(); ++k) {
+      mine[k] = data[bound.heavy_off[k]];
+    }
+    const auto per_rank = ctx.allgather_vec(std::move(mine));
+    std::vector<T> heavy_vals(n_heavy_);
+    for (int r = 0; r < np; ++r) {
+      const auto ur = static_cast<std::size_t>(r);
+      std::copy(per_rank[ur].begin(), per_rank[ur].end(),
+                heavy_vals.begin() +
+                    static_cast<std::ptrdiff_t>(heavy_owner_start_[ur]));
+    }
+    for (std::size_t k = 0; k < heavy_occ_slot_.size(); ++k) {
+      out[heavy_occ_pos_[k]] = heavy_vals[heavy_occ_slot_[k]];
+    }
   }
 
   /// Vector convenience overloads (template deduction does not see through
@@ -179,6 +234,15 @@ class Schedule {
           "Schedule: halo-satisfied points are read-only; scatter needs a "
           "schedule built without a halo spec");
     }
+    if (hybrid_ && !accumulate) {
+      // Replicated elements have no single last writer across ranks;
+      // plain scatter is undefined on them.  hybrid_ is SPMD-uniform, so
+      // this throws on every rank symmetrically.
+      throw std::logic_error(
+          "Schedule: plain scatter is not defined on a hybrid "
+          "(partial-duplication) schedule; use scatter_add or build the "
+          "schedule without SkewConfig");
+    }
     const Binding& bound = bind(dst);
     const int np = ctx.nprocs();
     // Requester-side combining into persistent per-schedule scratch: one
@@ -226,6 +290,25 @@ class Schedule {
         }
       }
     }
+    if (!hybrid_) return;
+    // Replicated side of scatter_add: each requester pre-combines its
+    // contributions to the heavy elements it touches, the partials are
+    // allgathered, and each owner folds them into its heavy slots in
+    // ascending rank order -- a deterministic reduction that is exact
+    // (hence bitwise identical to all-to-owner) on dyadic values.
+    std::vector<T> partials(touched_slots_.size(), T{});
+    for (std::size_t k = 0; k < heavy_occ_touch_.size(); ++k) {
+      partials[heavy_occ_touch_[k]] += in[heavy_occ_pos_[k]];
+    }
+    const auto all = ctx.allgather_vec(std::move(partials));
+    for (std::size_t k = 0; k < heavy_serve_linear_.size(); ++k) {
+      T& slot = data[bound.heavy_off[k]];
+      for (std::size_t j = owner_reduce_start_[k];
+           j < owner_reduce_start_[k + 1]; ++j) {
+        slot += all[static_cast<std::size_t>(owner_reduce_rank_[j])]
+                   [owner_reduce_idx_[j]];
+      }
+    }
   }
 
   void check_size(std::size_t n) const {
@@ -246,6 +329,7 @@ class Schedule {
     std::vector<std::size_t> serve_off;  ///< parallel to serve_linear_
     std::vector<std::size_t> local_off;  ///< parallel to local_linear_
     std::vector<std::size_t> halo_off;   ///< parallel to halo_linear_
+    std::vector<std::size_t> heavy_off;  ///< parallel to heavy_serve_linear_
   };
 
  public:
@@ -281,6 +365,17 @@ class Schedule {
   /// is needed.
   const Binding& bind(const rt::DistArrayBase& a) const;
 
+  /// Shared inspector body of every constructor.
+  void init(msg::Context& ctx, std::vector<dist::IndexVec> points,
+            const SkewConfig& cfg);
+  /// The skew pass: serve-load histogram, heavy-element election and
+  /// announcement, and the deterministic carve-out of heavy elements from
+  /// the all-to-owner structures.  `requested` is the per-owner unique
+  /// request list this rank shipped in the base inspector exchange.
+  void init_hybrid(msg::Context& ctx,
+                   const std::vector<std::vector<dist::Index>>& requested,
+                   const SkewConfig& cfg);
+
   std::size_t n_points_ = 0;
   std::size_t n_unique_offproc_ = 0;
 
@@ -314,6 +409,39 @@ class Schedule {
   // Pre-agreed per-peer count of values arriving during a scatter (the
   // serve-slice sizes, cached as one vector for alltoallv_known).
   std::vector<std::uint64_t> expect_scatter_;
+
+  // ---- hybrid (partial-duplication) state ---------------------------------
+  //
+  // Heavy elements form one machine-wide stream: each owner's sorted
+  // announcement occupies slots heavy_owner_start_[r] ..
+  // heavy_owner_start_[r+1], so a slot id names both the element and its
+  // owner without any per-executor lookup.  All of it is SPMD-agreed at
+  // plan time; executors only walk flat arrays.
+  bool hybrid_ = false;
+  double serve_skew_ = 1.0;
+  std::size_t n_heavy_ = 0;                     ///< global stream length
+  std::vector<std::size_t> heavy_owner_start_;  ///< per-rank slot offsets
+  // Owner side: my announced heavy elements (sorted linearized ids) --
+  // the values I publish in the gather allgather and reduce into during
+  // scatter_add.
+  std::vector<dist::Index> heavy_serve_linear_;
+  // Requester side: per heavy occurrence, the global slot (gather), the
+  // index into touched_slots_ (scatter_add pre-combine) and the executor
+  // buffer position.
+  std::vector<std::size_t> heavy_occ_slot_;
+  std::vector<std::size_t> heavy_occ_touch_;
+  std::vector<std::size_t> heavy_occ_pos_;
+  // Global slots this rank touches, sorted ascending; the layout of its
+  // scatter_add partial vector, announced at plan time so owners can
+  // index every rank's partials directly.
+  std::vector<std::size_t> touched_slots_;
+  // Owner-side reduction lists, parallel to heavy_serve_linear_:
+  // contributions to my k-th heavy element are
+  // all[owner_reduce_rank_[j]][owner_reduce_idx_[j]] for j in
+  // owner_reduce_start_[k] .. owner_reduce_start_[k+1], rank-ascending.
+  std::vector<std::size_t> owner_reduce_start_;
+  std::vector<int> owner_reduce_rank_;
+  std::vector<std::size_t> owner_reduce_idx_;
 
   // The inspected target descriptor: executors accept an array whose
   // handle is identical (one pointer compare -- the hot path) and fall

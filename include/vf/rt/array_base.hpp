@@ -7,10 +7,12 @@
 
 #include <array>
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <variant>
 #include <vector>
 
@@ -301,6 +303,55 @@ class DistArrayBase {
     exch_scratch_.reset_stats();
   }
 
+  // ---- skew-aware redistribution (PRPD hybrid plans) ----------------------
+  //
+  // When enabled, DISTRIBUTE runs a cheap ownership-histogram pass over
+  // the resolved target mapping; a skewed target is replaced by the
+  // interned hybrid H(old, new) in which excess dimension-0 elements keep
+  // their old owners (heavy keys stay local, light keys ride the ordinary
+  // run-based plan).  See dist/skew.hpp.  Off by default: opting in is an
+  // explicit per-array decision because it intentionally changes the
+  // installed descriptor.
+
+  enum class SkewPolicy {
+    Off,    ///< never hybridize (the all-to-owner reference behavior)
+    Auto,   ///< hybridize targets whose ownership skew exceeds the threshold
+    Force,  ///< hybridize every applicable non-identity flip (testing)
+  };
+
+  /// Sets the skew policy and its knobs.  `threshold` is the ownership
+  /// max/mean above which Auto triggers; `cap_factor` scales the per-rank
+  /// fair-share receive cap (see dist::SkewConfig).  Clears the
+  /// hybridization memo so knob changes take effect on the next flip.
+  void set_skew_policy(SkewPolicy p, double threshold = 4.0,
+                       double cap_factor = 1.0) {
+    skew_policy_ = p;
+    skew_threshold_ = threshold;
+    skew_cap_factor_ = cap_factor;
+    hybrid_memo_.clear();
+  }
+  [[nodiscard]] SkewPolicy skew_policy() const noexcept {
+    return skew_policy_;
+  }
+  /// Flips whose target was replaced by a hybrid distribution.
+  [[nodiscard]] std::uint64_t hybrid_flips() const noexcept {
+    return hybrid_flips_;
+  }
+  /// Detection passes run (memoized pairs count once per first sight).
+  [[nodiscard]] std::uint64_t skew_checks() const noexcept {
+    return skew_checks_;
+  }
+  /// Ownership max/mean of the most recently inspected target mapping.
+  [[nodiscard]] double last_target_skew() const noexcept {
+    return last_target_skew_;
+  }
+  /// Largest ownership max/mean any detection pass has seen on this array
+  /// (a flip loop's balanced flip-back overwrites last_target_skew(); the
+  /// peak keeps the skewed target visible to reports).
+  [[nodiscard]] double peak_target_skew() const noexcept {
+    return peak_target_skew_;
+  }
+
   // ---- local storage geometry (loc_map, Section 3.2.1) --------------------
   //
   // Local storage is laid out column-major over the per-dimension dense
@@ -410,6 +461,12 @@ class DistArrayBase {
   /// resolved to an interned handle.
   void distribute_resolved(dist::DistHandle nd, const NoTransfer& nt);
 
+  /// Skew-policy gatekeeper: runs the detection pass over `nd` and returns
+  /// either `nd` unchanged or the interned hybrid H(dist_, nd).  Memoized
+  /// per (old, new) uid pair, so flip loops pay the O(N) inspector cost
+  /// once per direction and replay through the plan cache afterwards.
+  [[nodiscard]] dist::DistHandle maybe_hybridize(dist::DistHandle nd);
+
   /// Recomputes the allocation shape (counts, strides, segment bases) for
   /// the current distribution and ghost widths.
   void rebuild_storage_shape() {
@@ -472,6 +529,19 @@ class DistArrayBase {
   // element-size lane (sizeof(T)), per-peer send/recv buffers and run
   // cursors that survive across calls.
   mutable msg::ExchangeScratch exch_scratch_;
+
+  // Skew-aware redistribution state: the per-array policy and knobs, the
+  // per-(old,new)-uid-pair memo of hybridization decisions (a null handle
+  // records "leave this pair alone"), and the observability counters the
+  // benches/tests assert on.
+  SkewPolicy skew_policy_ = SkewPolicy::Off;
+  double skew_threshold_ = 4.0;
+  double skew_cap_factor_ = 1.0;
+  std::unordered_map<std::uint64_t, dist::DistHandle> hybrid_memo_;
+  std::uint64_t hybrid_flips_ = 0;
+  std::uint64_t skew_checks_ = 0;
+  double last_target_skew_ = 1.0;
+  double peak_target_skew_ = 1.0;
 
   // Storage geometry under the current distribution.
   dist::IndexVec ghost_lo_;

@@ -371,6 +371,21 @@ class DistArray final : public DistArrayBase {
     return plan_misses_;
   }
 
+  /// Per-link max/mean at or above which a fragmented plan counts as a
+  /// skewed-workload plan and keeps full cache priority.
+  static constexpr double kPlanSkewThreshold = 4.0;
+
+  /// Whether a plan takes the fragmented-plan bypass lane.  Being
+  /// per-element fragmented alone is not enough: a fragmented plan whose
+  /// per-link totals are skewed is a skewed-workload plan (the PRPD hybrid
+  /// flips land here -- indirect owner tables fragment runs by nature),
+  /// and those are exactly the plans whose replay the skew path depends
+  /// on.  Only fragmented AND link-balanced plans are second-class.
+  [[nodiscard]] static bool bypass_eligible(const RedistPlan& plan) noexcept {
+    return plan.per_element_fragmented() &&
+           plan.link_skew() < kPlanSkewThreshold;
+  }
+
  private:
   DistArray(Env& env, Spec spec, std::optional<Connection> connect)
       : DistArrayBase(env, std::move(spec.name), spec.domain, spec.dynamic,
@@ -541,12 +556,12 @@ class DistArray final : public DistArrayBase {
     return nullptr;
   }
 
-  /// Evicts the oldest per-element-fragmented cached plan, falling back
-  /// to the overall oldest when none is fragmented.
+  /// Evicts the oldest bypass-eligible (fragmented, link-balanced) cached
+  /// plan, falling back to the overall oldest when none qualifies.
   void evict_plan() {
     for (auto it = plan_order_.begin(); it != plan_order_.end(); ++it) {
       const auto f = plan_cache_.find(*it);
-      if (f->second.plan->per_element_fragmented()) {
+      if (bypass_eligible(*f->second.plan)) {
         plan_cache_.erase(f);
         plan_order_.erase(it);
         return;
@@ -565,11 +580,12 @@ class DistArray final : public DistArrayBase {
     // their replay advantage is the smallest and their run lists are the
     // largest (O(N) Run entries), so they get a small budget of their own
     // and never evict a compact plan -- when the cache is full of compact
-    // plans, the fragmented plan is simply not cached.
-    if (plan->per_element_fragmented()) {
+    // plans, the fragmented plan is simply not cached.  Fragmented plans
+    // with skewed per-link traffic are exempt (see bypass_eligible).
+    if (bypass_eligible(*plan)) {
       std::size_t fragmented = 0;
       for (const auto& [k, e] : plan_cache_) {
-        fragmented += e.plan->per_element_fragmented() ? 1u : 0u;
+        fragmented += bypass_eligible(*e.plan) ? 1u : 0u;
       }
       if (fragmented >= kFragmentedPlanCapacity) {
         evict_plan();  // a fragmented entry exists; it is evicted

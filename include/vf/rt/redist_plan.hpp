@@ -67,6 +67,32 @@ struct RedistPlan {
     return moved < 2 * runs;
   }
 
+  /// Per-link balance of this rank's traffic: the maximum per-peer element
+  /// total (sent + received) over the mean across peers with the plan's
+  /// peer range.  1.0 when the plan moves nothing.  The plan cache
+  /// consults this alongside per_element_fragmented(): a fragmented plan
+  /// whose traffic concentrates on few links is a skewed-workload plan
+  /// (the PRPD hybrid flips), worth full cache priority -- only
+  /// fragmented AND balanced plans take the bypass lane.
+  [[nodiscard]] double link_skew() const noexcept {
+    const std::size_t np =
+        send_counts.size() > recv_counts.size() ? send_counts.size()
+                                                : recv_counts.size();
+    if (np == 0) return 1.0;
+    std::uint64_t total = 0;
+    std::uint64_t max = 0;
+    for (std::size_t p = 0; p < np; ++p) {
+      const std::uint64_t s = p < send_counts.size() ? send_counts[p] : 0;
+      const std::uint64_t r = p < recv_counts.size() ? recv_counts[p] : 0;
+      total += s + r;
+      max = s + r > max ? s + r : max;
+    }
+    if (total == 0) return 1.0;
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(np);
+    return static_cast<double>(max) / mean;
+  }
+
   /// Builds the plan for rank `me` of an `np`-processor machine moving an
   /// array with the given ghost widths from `od` to `nd`.  Purely local:
   /// no communication.

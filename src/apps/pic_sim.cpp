@@ -1,5 +1,6 @@
 #include "vf/apps/pic_sim.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <random>
 
@@ -56,6 +57,19 @@ PicResult run_pic(msg::Context& ctx, const PicConfig& cfg) {
                                      dist::AlignExpr::constant(1)})));
   count.fill(0);
 
+  switch (cfg.skew) {
+    case PicSkewMode::Off:
+      break;
+    case PicSkewMode::Auto:
+      field.set_skew_policy(rt::DistArrayBase::SkewPolicy::Auto,
+                            cfg.skew_threshold);
+      break;
+    case PicSkewMode::Force:
+      field.set_skew_policy(rt::DistArrayBase::SkewPolicy::Force,
+                            cfg.skew_threshold);
+      break;
+  }
+
   PicResult result;
 
   // Inserts a particle into its (locally owned) cell; returns false when
@@ -72,13 +86,34 @@ PicResult run_pic(msg::Context& ctx, const PicConfig& cfg) {
     return true;
   };
 
-  // --- initpos: a compact cloud around 0.25*NCELL ------------------------
+  // --- initpos: a compact cloud around 0.25*NCELL, or a Zipf-clustered
+  // cloud (heavy cells first) in the skewed rebalance mode ----------------
   {
     std::mt19937_64 rng(cfg.seed);
     std::normal_distribution<double> gauss(0.25 * static_cast<double>(ncell),
                                            0.04 * static_cast<double>(ncell));
+    std::vector<double> zipf_cdf;
+    if (cfg.zipf_s > 0.0) {
+      zipf_cdf.resize(static_cast<std::size_t>(ncell));
+      double acc = 0.0;
+      for (Index c = 1; c <= ncell; ++c) {
+        acc += std::pow(static_cast<double>(c), -cfg.zipf_s);
+        zipf_cdf[static_cast<std::size_t>(c - 1)] = acc;
+      }
+      for (double& v : zipf_cdf) v /= acc;
+    }
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
     for (int g = 0; g < cfg.particles; ++g) {
-      const double pos = wrap(gauss(rng), static_cast<double>(ncell));
+      double pos;
+      if (cfg.zipf_s > 0.0) {
+        const auto it = std::lower_bound(zipf_cdf.begin(), zipf_cdf.end(),
+                                         unit(rng));
+        const auto cell =
+            static_cast<double>(it - zipf_cdf.begin());  // 0-based
+        pos = wrap(cell + unit(rng), static_cast<double>(ncell));
+      } else {
+        pos = wrap(gauss(rng), static_cast<double>(ncell));
+      }
       // Owner-computes: only the owner of the cell stores the particle.
       if (field.distribution().owner_rank({cell_of(pos, ncell), 1}) == me) {
         insert(pos);
@@ -187,6 +222,13 @@ PicResult run_pic(msg::Context& ctx, const PicConfig& cfg) {
   result.redist_scratch_allocs = static_cast<std::uint64_t>(ctx.allreduce(
       static_cast<std::int64_t>(fs.grow_allocs + cs.grow_allocs),
       msg::ReduceOp::Sum));
+  // Skew counters are SPMD-uniform (every rank runs the same DISTRIBUTE
+  // sequence); Max keeps that property explicit in the report.
+  result.skew_checks = static_cast<std::uint64_t>(ctx.allreduce(
+      static_cast<std::int64_t>(field.skew_checks()), msg::ReduceOp::Max));
+  result.hybrid_flips = static_cast<std::uint64_t>(ctx.allreduce(
+      static_cast<std::int64_t>(field.hybrid_flips()), msg::ReduceOp::Max));
+  result.last_target_skew = field.last_target_skew();
   return result;
 }
 

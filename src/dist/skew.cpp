@@ -1,0 +1,82 @@
+#include "vf/dist/skew.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vf::dist {
+
+double SkewReport::max_over_mean() const noexcept {
+  if (total <= 0 || members <= 0) return 1.0;
+  Index max = 0;
+  for (const Index e : rank_elems) max = e > max ? e : max;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(members);
+  return mean > 0.0 ? static_cast<double>(max) / mean : 1.0;
+}
+
+SkewReport ownership_skew(const Distribution& d, int nprocs) {
+  SkewReport rep;
+  rep.rank_elems.assign(static_cast<std::size_t>(nprocs > 0 ? nprocs : 0), 0);
+  for (int p = 0; p < nprocs; ++p) {
+    const LocalLayout L = d.layout_for(p);
+    if (!L.member) continue;
+    rep.members++;
+    rep.rank_elems[static_cast<std::size_t>(p)] = L.total;
+    rep.total += L.total;
+  }
+  return rep;
+}
+
+DistHandle hybridize(DistRegistry& reg, const DistHandle& od,
+                     const DistHandle& nd, const SkewConfig& cfg) {
+  if (!od || !nd) return {};
+  const Distribution& o = *od;
+  const Distribution& n = *nd;
+  if (!(o.domain() == n.domain())) return {};
+  if (!(o.section() == n.section())) return {};
+  if (o.free_dims() != n.free_dims()) return {};
+
+  const DimMap& o0 = o.dim_map(0);
+  const DimMap& n0 = n.dim_map(0);
+  if (o0.is_collapsed() || n0.is_collapsed()) return {};
+  const int np0 = n0.nprocs();
+  if (o0.nprocs() != np0 || np0 <= 0) return {};
+  for (int d = 1; d < o.domain().rank(); ++d) {
+    if (!o.dim_map(d).same_mapping(n.dim_map(d))) return {};
+  }
+
+  const Range r0 = o.domain().dim(0);
+  const Index extent = r0.size();
+  if (extent <= 0) return {};
+  const Index cap = std::max<Index>(
+      1, static_cast<Index>(std::ceil(cfg.cap_factor *
+                                      static_cast<double>(extent) /
+                                      static_cast<double>(np0))));
+
+  // Ascending cap walk: the first `cap` elements targeting a coordinate
+  // keep the new owner; the excess keeps the old one.  Every rank scans
+  // the same order, so the table (and the interned handle) is
+  // SPMD-uniform.
+  std::vector<int> owners(static_cast<std::size_t>(extent));
+  std::vector<Index> cnt(static_cast<std::size_t>(np0), 0);
+  bool any_capped = false;
+  for (Index g = r0.lo; g <= r0.hi; ++g) {
+    const int c = n0.proc_of(g);
+    const auto slot = static_cast<std::size_t>(g - r0.lo);
+    if (cnt[static_cast<std::size_t>(c)] < cap) {
+      cnt[static_cast<std::size_t>(c)]++;
+      owners[slot] = c;
+    } else {
+      owners[slot] = o0.proc_of(g);
+      any_capped = true;
+    }
+  }
+  if (!any_capped) return {};
+
+  std::vector<DimDist> dims = n.type().dims();
+  dims[0] = indirect(std::move(owners));
+  return reg.intern(o.domain(), DistributionType(std::move(dims)),
+                    n.section_ptr());
+}
+
+}  // namespace vf::dist

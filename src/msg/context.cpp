@@ -11,6 +11,7 @@ void Context::send_bytes(int dest, int tag, std::span<const std::byte> payload) 
   auto& st = stats();
   st.data_messages++;
   st.data_bytes += payload.size();
+  st.add_peer(dest, payload.size());
   m_->deliver(rank_, dest, tag, /*ctl=*/false,
               {payload.begin(), payload.end()});
 }

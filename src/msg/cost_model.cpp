@@ -9,6 +9,15 @@ std::string CommStats::to_string() const {
   os << "data: " << data_messages << " msgs / " << data_bytes << " B, ctl: "
      << ctl_messages << " msgs / " << ctl_bytes << " B, collectives: "
      << collectives;
+  std::uint64_t peers = 0;
+  std::uint64_t max_peer = 0;
+  for (const auto b : peer_bytes) {
+    if (b > 0) ++peers;
+    max_peer = b > max_peer ? b : max_peer;
+  }
+  if (peers > 0) {
+    os << ", peers: " << peers << " (max " << max_peer << " B)";
+  }
   return os.str();
 }
 

@@ -71,6 +71,7 @@ class ShmTransport final : public Transport {
       // either way, only the mechanism differs.
       st.data_messages++;
       st.data_bytes += payload.size();
+      st.add_peer(d, payload.size());
       Endpoint& ep = *eps_[static_cast<std::size_t>(d)];
       {
         std::lock_guard lk(ep.mu);

@@ -15,6 +15,17 @@ Schedule::Schedule(msg::Context& ctx, dist::DistHandle target,
 Schedule::Schedule(msg::Context& ctx, dist::DistHandle target,
                    std::vector<dist::IndexVec> points, halo::HaloHandle halo)
     : halo_(std::move(halo)), target_(std::move(target)) {
+  init(ctx, std::move(points), SkewConfig{});
+}
+
+Schedule::Schedule(msg::Context& ctx, dist::DistHandle target,
+                   std::vector<dist::IndexVec> points, const SkewConfig& cfg)
+    : target_(std::move(target)) {
+  init(ctx, std::move(points), cfg);
+}
+
+void Schedule::init(msg::Context& ctx, std::vector<dist::IndexVec> points,
+                    const SkewConfig& cfg) {
   if (!target_) {
     throw std::invalid_argument("Schedule: null target distribution handle");
   }
@@ -99,7 +110,11 @@ Schedule::Schedule(msg::Context& ctx, dist::DistHandle target,
 
   // Inspector exchange: ship the unique request lists to the owners.  This
   // is the only count-establishing collective; executors replay with
-  // pre-agreed counts.
+  // pre-agreed counts.  The skew pass needs the shipped lists again (to
+  // carve heavy elements out of the per-peer occurrence indexing), so it
+  // keeps a copy before the move.
+  std::vector<std::vector<dist::Index>> requested;
+  if (cfg.enabled) requested = unique_ids;
   auto incoming = ctx.alltoallv(std::move(unique_ids));
   serve_start_.assign(static_cast<std::size_t>(np) + 1, 0);
   expect_scatter_.assign(static_cast<std::size_t>(np), 0);
@@ -116,6 +131,164 @@ Schedule::Schedule(msg::Context& ctx, dist::DistHandle target,
     const auto& ids = incoming[static_cast<std::size_t>(s)];
     serve_linear_.insert(serve_linear_.end(), ids.begin(), ids.end());
   }
+
+  if (cfg.enabled) init_hybrid(ctx, requested, cfg);
+}
+
+void Schedule::init_hybrid(
+    msg::Context& ctx, const std::vector<std::vector<dist::Index>>& requested,
+    const SkewConfig& cfg) {
+  const int np = ctx.nprocs();
+  const int me = ctx.rank();
+
+  // 1. Serve-load histogram: one allgather of my serve count.  Every rank
+  // sees the same vector, so the go/no-go decision is SPMD-uniform.
+  const auto loads =
+      ctx.allgather(static_cast<std::int64_t>(serve_linear_.size()));
+  std::int64_t load_total = 0;
+  std::int64_t load_max = 0;
+  for (const std::int64_t l : loads) {
+    load_total += l;
+    load_max = l > load_max ? l : load_max;
+  }
+  if (load_total > 0) {
+    const double mean =
+        static_cast<double>(load_total) / static_cast<double>(np);
+    serve_skew_ = static_cast<double>(load_max) / mean;
+  }
+  if (serve_skew_ <= cfg.threshold) return;
+
+  // 2. Heavy election: each owner marks its served elements whose fan-in
+  // (number of requesting ranks; serve slices are per-source deduplicated,
+  // so multiplicity across slices IS the fan-in) reaches the bar.
+  const std::size_t min_fan =
+      cfg.min_fan > 0
+          ? cfg.min_fan
+          : std::max<std::size_t>(2, static_cast<std::size_t>(np) / 2);
+  std::unordered_map<dist::Index, std::size_t> fan;
+  for (const dist::Index lin : serve_linear_) ++fan[lin];
+  std::vector<dist::Index> my_heavy;
+  for (const auto& [lin, c] : fan) {
+    if (c >= min_fan) my_heavy.push_back(lin);
+  }
+  std::sort(my_heavy.begin(), my_heavy.end());
+
+  // 3. Announcement: one plan-time allgather of the sorted lists builds
+  // the machine-wide heavy stream.  Every id has exactly one owner, so
+  // slots never collide.
+  auto all_heavy = ctx.allgather_vec(my_heavy);
+  heavy_owner_start_.assign(static_cast<std::size_t>(np) + 1, 0);
+  std::unordered_map<dist::Index, std::size_t> slot_of;
+  for (int r = 0; r < np; ++r) {
+    const auto ur = static_cast<std::size_t>(r);
+    heavy_owner_start_[ur] = n_heavy_;
+    for (const dist::Index id : all_heavy[ur]) {
+      slot_of.emplace(id, n_heavy_++);
+    }
+  }
+  heavy_owner_start_[static_cast<std::size_t>(np)] = n_heavy_;
+  if (n_heavy_ == 0) return;  // skewed, but nothing fans wide enough
+  hybrid_ = true;
+  heavy_serve_linear_ = std::move(my_heavy);
+
+  // 4. Owner-side carve-out: heavy elements leave my serve slices (their
+  // values travel once in the allgather instead of once per requester).
+  std::vector<dist::Index> new_serve;
+  new_serve.reserve(serve_linear_.size());
+  std::vector<std::size_t> new_start(static_cast<std::size_t>(np) + 1, 0);
+  const auto heavy_mine = [&](dist::Index lin) {
+    return std::binary_search(heavy_serve_linear_.begin(),
+                              heavy_serve_linear_.end(), lin);
+  };
+  for (int s = 0; s < np; ++s) {
+    const auto us = static_cast<std::size_t>(s);
+    new_start[us] = new_serve.size();
+    for (std::size_t k = serve_start_[us]; k < serve_start_[us + 1]; ++k) {
+      if (!heavy_mine(serve_linear_[k])) new_serve.push_back(serve_linear_[k]);
+    }
+    expect_scatter_[us] = new_serve.size() - new_start[us];
+  }
+  new_start[static_cast<std::size_t>(np)] = new_serve.size();
+  serve_linear_ = std::move(new_serve);
+  serve_start_ = std::move(new_start);
+
+  // 5. Requester-side carve-out: occurrences of heavy elements move from
+  // the per-peer fan-out lists to the replicated stream; the surviving
+  // unique ids are re-indexed densely in their original (shipped) order,
+  // which is exactly the order the owner's filtered serve slice keeps.
+  n_unique_offproc_ = 0;
+  for (int p = 0; p < np; ++p) {
+    const auto up = static_cast<std::size_t>(p);
+    const auto& req = requested[up];
+    std::vector<std::size_t> remap(req.size(), 0);
+    std::vector<char> is_heavy(req.size(), 0);
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < req.size(); ++i) {
+      if (const auto it = slot_of.find(req[i]); it != slot_of.end()) {
+        remap[i] = it->second;
+        is_heavy[i] = 1;
+      } else {
+        remap[i] = kept++;
+      }
+    }
+    req_unique_counts_[up] = kept;
+    n_unique_offproc_ += kept;
+    auto& occ = occ_unique_index_[up];
+    auto& pos = occ_positions_[up];
+    std::vector<std::size_t> light_occ;
+    std::vector<std::size_t> light_pos;
+    light_occ.reserve(occ.size());
+    light_pos.reserve(pos.size());
+    for (std::size_t k = 0; k < occ.size(); ++k) {
+      if (is_heavy[occ[k]]) {
+        heavy_occ_slot_.push_back(remap[occ[k]]);
+        heavy_occ_pos_.push_back(pos[k]);
+      } else {
+        light_occ.push_back(remap[occ[k]]);
+        light_pos.push_back(pos[k]);
+      }
+    }
+    occ = std::move(light_occ);
+    pos = std::move(light_pos);
+  }
+
+  // 6. My scatter_add partial layout: the sorted set of slots I touch.
+  touched_slots_ = heavy_occ_slot_;
+  std::sort(touched_slots_.begin(), touched_slots_.end());
+  touched_slots_.erase(
+      std::unique(touched_slots_.begin(), touched_slots_.end()),
+      touched_slots_.end());
+  heavy_occ_touch_.resize(heavy_occ_slot_.size());
+  for (std::size_t k = 0; k < heavy_occ_slot_.size(); ++k) {
+    heavy_occ_touch_[k] = static_cast<std::size_t>(
+        std::lower_bound(touched_slots_.begin(), touched_slots_.end(),
+                         heavy_occ_slot_[k]) -
+        touched_slots_.begin());
+  }
+
+  // 7. Announce the touched sets so owners can build their reduction
+  // lists: for my k-th heavy element, the rank-ascending (rank, index)
+  // pairs into the allgathered partial vectors.  Rank order fixes the
+  // reduction order deterministically.
+  std::vector<std::int64_t> touched64(touched_slots_.begin(),
+                                      touched_slots_.end());
+  const auto all_touched = ctx.allgather_vec(std::move(touched64));
+  owner_reduce_start_.assign(heavy_serve_linear_.size() + 1, 0);
+  for (std::size_t k = 0; k < heavy_serve_linear_.size(); ++k) {
+    owner_reduce_start_[k] = owner_reduce_rank_.size();
+    const auto slot = static_cast<std::int64_t>(
+        heavy_owner_start_[static_cast<std::size_t>(me)] + k);
+    for (int r = 0; r < np; ++r) {
+      const auto& tl = all_touched[static_cast<std::size_t>(r)];
+      const auto it = std::lower_bound(tl.begin(), tl.end(), slot);
+      if (it != tl.end() && *it == slot) {
+        owner_reduce_rank_.push_back(r);
+        owner_reduce_idx_.push_back(
+            static_cast<std::size_t>(it - tl.begin()));
+      }
+    }
+  }
+  owner_reduce_start_[heavy_serve_linear_.size()] = owner_reduce_rank_.size();
 }
 
 const Schedule::Binding& Schedule::bind(const rt::DistArrayBase& a) const {
@@ -181,6 +354,11 @@ const Schedule::Binding& Schedule::bind(const rt::DistArrayBase& a) const {
   for (std::size_t k = 0; k < halo_linear_.size(); ++k) {
     b.halo_off[k] = static_cast<std::size_t>(
         a.halo_offset(dom_.delinearize(halo_linear_[k])));
+  }
+  b.heavy_off.resize(heavy_serve_linear_.size());
+  for (std::size_t k = 0; k < heavy_serve_linear_.size(); ++k) {
+    b.heavy_off[k] = static_cast<std::size_t>(
+        a.storage_offset(dom_.delinearize(heavy_serve_linear_[k])));
   }
   if (bindings_.size() >= kBindingCapacity) bindings_.pop_back();
   bindings_.insert(bindings_.begin(), std::move(b));

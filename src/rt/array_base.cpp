@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "vf/dist/skew.hpp"
 #include "vf/halo/exchange.hpp"
 #include "vf/halo/plan.hpp"
 
@@ -203,6 +204,14 @@ void DistArrayBase::distribute(const dist::DistHandle& nd,
 
 void DistArrayBase::distribute_resolved(dist::DistHandle nd,
                                         const NoTransfer& nt) {
+  // Skew gate: under an opted-in policy, a non-identity flip may have its
+  // target swapped for the hybrid H(old, new) before any planning --
+  // downstream (plan cache, secondaries, queries) sees only the resolved
+  // handle, hybrid or not.
+  if (skew_policy_ != SkewPolicy::Off && dist_ && nd && !(dist_ == nd)) {
+    nd = maybe_hybridize(std::move(nd));
+  }
+
   // Identity is equality: distributing to the handle the whole connect
   // class already holds is a pure no-op (secondaries were derived from
   // this very handle and interning makes the derivation stable).
@@ -243,6 +252,46 @@ void DistArrayBase::distribute_resolved(dist::DistHandle nd,
     }
     a->apply_distribution(sd, transfer);
   }
+}
+
+dist::DistHandle DistArrayBase::maybe_hybridize(dist::DistHandle nd) {
+  // Uninterned handles never hit identity-keyed caches; hybridizing them
+  // would re-run the O(N) table build on every flip.  Leave them alone.
+  if (!dist_.interned() || !nd.interned()) return nd;
+
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(dist_.uid()) << 32) | nd.uid();
+  if (const auto it = hybrid_memo_.find(key); it != hybrid_memo_.end()) {
+    if (it->second) {
+      ++hybrid_flips_;
+      return it->second;
+    }
+    return nd;
+  }
+
+  ++skew_checks_;
+  const dist::SkewReport rep = dist::ownership_skew(*nd, env_->nprocs());
+  last_target_skew_ = rep.max_over_mean();
+  if (last_target_skew_ > peak_target_skew_) {
+    peak_target_skew_ = last_target_skew_;
+  }
+
+  dist::DistHandle hybrid;
+  if (skew_policy_ == SkewPolicy::Force || rep.skewed(skew_threshold_)) {
+    const dist::SkewConfig cfg{skew_threshold_, skew_cap_factor_};
+    hybrid = dist::hybridize(env_->registry(), dist_, nd, cfg);
+    // The hybrid carries an INDIRECT dimension-0 type; an array whose
+    // RANGE attribute forbids that must fall back to the nominal target.
+    if (hybrid && !query::range_allows(range_, hybrid->type())) {
+      hybrid = dist::DistHandle{};
+    }
+  }
+  hybrid_memo_.emplace(key, hybrid);
+  if (hybrid) {
+    ++hybrid_flips_;
+    return hybrid;
+  }
+  return nd;
 }
 
 }  // namespace vf::rt
