@@ -48,11 +48,12 @@ void BM_HaloExchange(benchmark::State& state) {
   const auto transport = state.range(5) != 0 ? msg::TransportKind::SharedMemory
                                              : msg::TransportKind::Mailbox;
   const bool split = state.range(6) != 0;
+  const bool lockstep = state.range(7) != 0;
   constexpr int kExchanges = 64;
 
   state.SetLabel(std::string(shape == 0 ? "halo9" : "halorows") +
                  (cached ? "/cached" : "/cold") + (watchdog ? "/wd" : "") +
-                 "/" + msg::to_string(transport) +
+                 (lockstep ? "/lock" : "") + "/" + msg::to_string(transport) +
                  (split ? "/split" : "/blocking"));
 
   msg::CommStats stats;
@@ -64,6 +65,7 @@ void BM_HaloExchange(benchmark::State& state) {
   std::atomic<std::uint64_t> scratch_allocs{0};
   std::uint64_t fence_trips = 0;
   std::uint64_t faults_injected = 0;
+  std::uint64_t lockstep_mismatches = 0;
   for (auto _ : state) {
     msg::Machine machine(nprocs, {}, transport);
     // Armed watchdog = the containment layer's overhead configuration:
@@ -74,6 +76,12 @@ void BM_HaloExchange(benchmark::State& state) {
     if (watchdog) {
       machine.set_recv_watchdog(std::chrono::milliseconds(30000));
     }
+    // Armed lockstep = the divergence-checker's overhead configuration:
+    // every collective folds its signature into the per-rank hash chain
+    // and cross-checks its peers' rings.  A healthy loop records zero
+    // mismatches, and the CI gate proves the armed cached replay still
+    // clearly beats the cold path with zero scratch growth.
+    if (lockstep) machine.set_lockstep_check(true);
     scratch_allocs = 0;
     std::atomic<double> secs{0.0};
     msg::run_spmd(machine, [&](msg::Context& ctx) {
@@ -135,6 +143,7 @@ void BM_HaloExchange(benchmark::State& state) {
     stats = machine.total_stats();
     fence_trips = machine.fence_trips();
     faults_injected = machine.faults_injected();
+    lockstep_mismatches = machine.lockstep().mismatches();
   }
 
   std::sort(iter_seconds.begin(), iter_seconds.end());
@@ -169,21 +178,28 @@ void BM_HaloExchange(benchmark::State& state) {
   state.counters["transport_shm"] =
       transport == msg::TransportKind::SharedMemory ? 1 : 0;
   state.counters["split_phase"] = split ? 1 : 0;
+  state.counters["lockstep_armed"] = lockstep ? 1 : 0;
+  state.counters["lockstep_mismatches"] =
+      static_cast<double>(lockstep_mismatches);
 }
 
 }  // namespace
 
 BENCHMARK(BM_HaloExchange)
-    ->ArgNames({"shape", "cached", "n", "P", "wd", "tr", "split"})
-    ->ArgsProduct({{0, 1}, {0, 1}, {512, 1024}, {4}, {0}, {0}, {0}})
+    ->ArgNames({"shape", "cached", "n", "P", "wd", "tr", "split", "lock"})
+    ->ArgsProduct({{0, 1}, {0, 1}, {512, 1024}, {4}, {0}, {0}, {0}, {0}})
     // Watchdog-armed cached replays: the fence-overhead configuration the
     // CI gate compares against the cold path.
-    ->ArgsProduct({{0, 1}, {1}, {512, 1024}, {4}, {1}, {0}, {0}})
+    ->ArgsProduct({{0, 1}, {1}, {512, 1024}, {4}, {1}, {0}, {0}, {0}})
+    // Lockstep-armed cached replays: the divergence-checker-overhead
+    // configuration (CI gates armed cached >= 1.5x cold on halorows with
+    // zero mismatches and zero scratch growth).
+    ->ArgsProduct({{0, 1}, {1}, {512, 1024}, {4}, {0}, {0}, {0}, {1}})
     // Transport matrix: the same cached exchange over the framed mailbox
     // and the zero-copy shared-memory transport, blocking and split-phase
     // (CI gates shm >= 1.2x mailbox on ns_per_exchange here).
-    ->ArgsProduct({{0, 1}, {1}, {512}, {4, 16}, {0}, {0, 1}, {0, 1}})
+    ->ArgsProduct({{0, 1}, {1}, {512}, {4, 16}, {0}, {0, 1}, {0, 1}, {0}})
     // Scale grid for the CI bench job: thin-plane rows at P in {16, 64}.
-    ->ArgsProduct({{1}, {1}, {256}, {16, 64}, {0}, {0, 1}, {0, 1}})
+    ->ArgsProduct({{1}, {1}, {256}, {16, 64}, {0}, {0, 1}, {0, 1}, {0}})
     ->Unit(benchmark::kMillisecond)
     ->Iterations(13);

@@ -64,6 +64,9 @@ struct Stmt {
   bool writes = false;              ///< Use: the reference may store into
                                     ///< the arrays (invalidates halo
                                     ///< freshness)
+  bool reads_halo = false;          ///< Use: the reference reads the
+                                    ///< arrays' overlap areas (a stencil),
+                                    ///< so stale ghosts are a bug
   std::string label;                ///< diagnostic tag
 };
 
@@ -178,6 +181,12 @@ class ProgramBuilder {
   /// write invalidates any overlap-area freshness the arrays had.
   ProgramBuilder& write(std::vector<std::string> arrays,
                         const std::string& label = "");
+
+  /// An array-reference point that reads the named arrays' overlap areas
+  /// (a stencil access): reaching it with stale ghost regions is a bug
+  /// the lint pass reports.
+  ProgramBuilder& stencil_use(std::vector<std::string> arrays,
+                              const std::string& label = "");
 
   /// An overlap-area (ghost) exchange of `array` (the runtime
   /// exchange_overlap call); `label` names it for partial evaluation.

@@ -1,0 +1,88 @@
+// The diagnostics pass over the compile-layer analyses: the reaching-
+// distribution facts (Section 3.1) and the partial-evaluation report exist
+// to drive optimization, but the same facts prove *bugs* -- a stencil read
+// on a path where the ghost regions are stale, a reference before any
+// DISTRIBUTE associates a distribution, an exchange or DISTRIBUTE that
+// provably moves nothing, a rank-local shortcut on a per-rank OVERLAP
+// declaration, or DCASE arms whose data-motion sequences differ (the
+// compile-time shadow of the runtime lockstep checker in vf/msg).
+//
+// The pass is pure: it consumes a Program plus its ReachingResult and
+// PartialEvalReport and produces structured Diagnostic records; nothing is
+// recomputed, so lint costs one linear walk over the CFG plus one
+// reachability sweep per DCASE.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "vf/compile/parteval.hpp"
+#include "vf/compile/reaching.hpp"
+
+namespace vf::compile {
+
+enum class Severity {
+  Note,     ///< stylistic / informational
+  Warning,  ///< probable performance or synchronization hazard
+  Error,    ///< a path exists on which the program reads garbage
+};
+
+enum class LintCode {
+  /// A stencil use (Stmt::reads_halo) is reachable with halo_fresh false:
+  /// some path writes, redistributes or calls out after the last exchange
+  /// (or never exchanges at all), so the ghost regions may be stale.
+  StaleHaloRead,
+  /// A use is reachable before any distribution is associated (promoted
+  /// from PartialEvalReport::use_before_distribution).
+  UseBeforeDistribute,
+  /// A DISTRIBUTE whose target provably already holds (promoted from
+  /// PartialEvalReport::redundant_distributes).
+  RedundantDistribute,
+  /// An ExchangeHalo provably moving nothing (promoted from
+  /// PartialEvalReport::redundant_halo_exchanges).
+  RedundantHaloExchange,
+  /// An ExchangeHalo on a per-rank (asymmetric) OVERLAP declaration whose
+  /// *local* spec is empty: the tempting rank-local skip would desert
+  /// wider-halo neighbours mid-collective and deadlock.
+  AsymShortcutHazard,
+  /// Two plausible arms of one DCASE have different DISTRIBUTE /
+  /// ExchangeHalo sequences: if ranks ever disagree on the selector
+  /// distributions they desynchronize on collectives.
+  DCaseArmDivergence,
+  /// A DISTRIBUTE that may violate the array's RANGE attribute (promoted
+  /// from PartialEvalReport::possible_range_violations).
+  PossibleRangeViolation,
+};
+
+[[nodiscard]] std::string to_string(Severity s);
+[[nodiscard]] std::string to_string(LintCode c);
+
+struct Diagnostic {
+  Severity severity = Severity::Warning;
+  LintCode code = LintCode::StaleHaloRead;
+  int stmt_id = -1;     ///< CFG node the diagnostic anchors to
+  std::string array;    ///< subject array ("" for whole-construct records)
+  std::string message;  ///< human-readable, includes the stmt label if any
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;
+
+  [[nodiscard]] std::size_t count(LintCode c) const;
+  /// True if a diagnostic with `code` anchored at `stmt_id` exists
+  /// (any stmt when stmt_id < 0).
+  [[nodiscard]] bool has(LintCode c, int stmt_id = -1) const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Runs the diagnostics pass over precomputed analysis results.
+[[nodiscard]] LintReport lint(const Program& p, const ReachingResult& r,
+                              const PartialEvalReport& pe);
+
+/// Convenience: analyses `p` (reaching + partial evaluation) and lints it.
+[[nodiscard]] LintReport lint(const Program& p);
+
+}  // namespace vf::compile

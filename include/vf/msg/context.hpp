@@ -218,6 +218,16 @@ class Context {
   /// machine must skip identically or subsequent collectives mismatch.
   void skip_coll_tags(std::uint64_t n) noexcept { coll_seq_ += n; }
 
+  /// Folds an SPMD-uniform token (an interned distribution or halo-family
+  /// uid, a plan fingerprint) into the signature of the NEXT collective
+  /// this rank records when the lockstep checker is armed; a no-op (one
+  /// relaxed load and a branch) otherwise.  The rt layer tags
+  /// redistributions and halo exchanges this way, so a LockstepMismatch
+  /// names which plan the ranks diverged on.
+  void lockstep_note(std::uint64_t v) noexcept {
+    if (m_->lockstep_check()) lockstep_note_ = mix64(lockstep_note_ ^ v);
+  }
+
   // ---- collectives ---------------------------------------------------------
 
   /// Barrier across all ranks of the machine.
@@ -244,6 +254,13 @@ class Context {
   [[nodiscard]] std::vector<T> broadcast_vec(std::vector<T> v, int root = 0) {
     const int tag = next_coll_tag();
     stats().collectives++;
+    if (lockstep_on()) {
+      // Non-root ranks pass an empty vector, so the payload size is not
+      // SPMD-uniform at entry; the root IS.
+      lockstep_record(LockstepOp::Broadcast, tag,
+                      static_cast<std::uint32_t>(sizeof(T)),
+                      static_cast<std::uint64_t>(root) + 1);
+    }
     return broadcast_tree(std::move(v), root, tag);
   }
 
@@ -283,6 +300,14 @@ class Context {
     const int reduce_tag = next_coll_tag();
     const int bcast_tag = next_coll_tag();
     stats().collectives++;
+    if (lockstep_on()) {
+      // Span lengths are SPMD-agreed, so they (and the op) join the
+      // signature.
+      lockstep_record(LockstepOp::Allreduce, reduce_tag,
+                      static_cast<std::uint32_t>(sizeof(T)),
+                      mix64((static_cast<std::uint64_t>(v.size()) << 3) ^
+                            static_cast<std::uint64_t>(op)));
+    }
     const int np = nprocs();
     for (int mask = 1; mask < np; mask <<= 1) {
       if ((rank_ & mask) != 0) {
@@ -335,6 +360,12 @@ class Context {
   [[nodiscard]] std::vector<std::vector<T>> allgather_vec(std::vector<T> v) {
     const int tag = next_coll_tag();
     stats().collectives++;
+    if (lockstep_on()) {
+      // Per-rank contribution sizes legitimately differ, so only the op,
+      // tag and element size are signature material.
+      lockstep_record(LockstepOp::Allgather, tag,
+                      static_cast<std::uint32_t>(sizeof(T)));
+    }
     const int np = nprocs();
     std::vector<std::vector<T>> all(static_cast<std::size_t>(np));
     all[static_cast<std::size_t>(rank_)] = std::move(v);
@@ -410,6 +441,19 @@ class Context {
     }
     const int tag = next_coll_tag();
     stats().collectives++;
+    if (lockstep_on()) {
+      auto& c = lockstep_counts();
+      for (int d = 0; d < np; ++d) {
+        c[static_cast<std::size_t>(d)] =
+            out[static_cast<std::size_t>(d)].size() * sizeof(T);
+      }
+      for (int s = 0; s < np; ++s) {
+        c[static_cast<std::size_t>(np + s)] =
+            expected[static_cast<std::size_t>(s)] * sizeof(T);
+      }
+      lockstep_record_counted(LockstepOp::Alltoallv, tag,
+                              static_cast<std::uint32_t>(sizeof(T)));
+    }
     std::vector<std::vector<T>> in(static_cast<std::size_t>(np));
     in[static_cast<std::size_t>(rank_)] =
         std::move(out[static_cast<std::size_t>(rank_)]);
@@ -501,6 +545,46 @@ class Context {
   /// Control-plane send: same transport, separate accounting.
   void send_ctl_bytes(int dest, int tag, std::span<const std::byte> payload);
 
+  // ---- lockstep checker plumbing ------------------------------------------
+  // One relaxed load when disarmed; when armed, each collective records
+  // its signature (and, for counted exchanges, its per-peer byte
+  // geometry) with the machine's LockstepChecker at op ENTRY -- before
+  // any byte moves -- so divergence throws here, deterministically,
+  // instead of hanging in a receive.
+
+  [[nodiscard]] bool lockstep_on() const noexcept {
+    return m_->lockstep_check();
+  }
+
+  /// Records a non-counted collective, consuming the pending note.
+  void lockstep_record(LockstepOp op, int tag, std::uint32_t elem,
+                       std::uint64_t extra = 0) {
+    const std::uint64_t note = lockstep_note_ ^ extra;
+    lockstep_note_ = 0;
+    m_->lockstep().record(rank_, op, tag, elem, note, {}, {});
+  }
+
+  /// Records a counted collective whose per-peer byte geometry the
+  /// caller staged in lockstep_counts() ([0,np) out, [np,2np) in).
+  void lockstep_record_counted(LockstepOp op, int tag, std::uint32_t elem,
+                               std::uint64_t extra = 0) {
+    const std::uint64_t note = lockstep_note_ ^ extra;
+    lockstep_note_ = 0;
+    const auto np = static_cast<std::size_t>(nprocs());
+    m_->lockstep().record(
+        rank_, op, tag, elem, note,
+        std::span<const std::uint64_t>(lockstep_counts_.data(), np),
+        std::span<const std::uint64_t>(lockstep_counts_.data() + np, np));
+  }
+
+  /// The count staging buffer: sized once per context (first armed
+  /// counted op), then reused -- no per-op allocation.
+  [[nodiscard]] std::vector<std::uint64_t>& lockstep_counts() {
+    const auto need = 2 * static_cast<std::size_t>(nprocs());
+    if (lockstep_counts_.size() != need) lockstep_counts_.assign(need, 0);
+    return lockstep_counts_;
+  }
+
   /// Binomial-tree broadcast body shared by broadcast_vec and the
   /// broadcast phase of allreduce_vec (does not bump the collectives
   /// counter; the caller owns the tag).
@@ -584,6 +668,8 @@ class Context {
   Machine* m_;
   int rank_;
   std::uint64_t coll_seq_ = 0;
+  std::uint64_t lockstep_note_ = 0;
+  std::vector<std::uint64_t> lockstep_counts_;
   // Persistent fan-in buffers for the allocation-free collectives.  Its
   // lanes only ever hold single-peer geometry (peers() == 1): reusing a
   // lane across different peer counts would shrink-and-regrow the inner

@@ -19,6 +19,7 @@
 
 #include "vf/msg/cost_model.hpp"
 #include "vf/msg/fault.hpp"
+#include "vf/msg/lockstep.hpp"
 #include "vf/msg/mailbox.hpp"
 #include "vf/msg/transport.hpp"
 
@@ -58,6 +59,16 @@ class Machine {
   [[nodiscard]] const CostModel& cost_model() const noexcept { return cm_; }
 
   [[nodiscard]] Mailbox& mailbox(int rank);
+
+  /// Rank `rank`'s own counters, bumped by that rank's thread without
+  /// synchronization on the send hot path.  The machine-wide accessors
+  /// (total_stats, max_rank_modeled_us, reset_stats) are safe from
+  /// outside a run; from INSIDE an SPMD body they are safe only when
+  /// bracketed by barriers -- the leading barrier orders every rank's
+  /// prior traffic before the access, the trailing barrier holds peers
+  /// back until it completes, and the barrier's own collectives count is
+  /// taken under the barrier lock precisely so this idiom stays
+  /// race-free (see barrier_wait).
   [[nodiscard]] CommStats& stats(int rank);
 
   /// The active counted-exchange transport (see the constructor docs).
@@ -70,7 +81,8 @@ class Machine {
   /// transport they began on.
   void set_transport(TransportKind k) noexcept;
 
-  /// Sum of all per-rank statistics.
+  /// Sum of all per-rank statistics.  Serialized under the barrier lock;
+  /// see stats() for when a machine-wide read is safe.
   [[nodiscard]] CommStats total_stats() const;
 
   /// Maximum over ranks of modeled communication time -- the machine-level
@@ -109,6 +121,19 @@ class Machine {
     return fence_.trips();
   }
 
+  /// Arms (or disarms) the lockstep checker: every collective folds an
+  /// op signature into a per-rank hash chain and cross-checks its peers'
+  /// records, so collective order / count divergence surfaces
+  /// deterministically as a LockstepMismatch naming the first diverging
+  /// op instead of a watchdog timeout.  Defaults to the VF_LOCKSTEP
+  /// environment variable ("1"/"on" arms it).  Set while no SPMD run is
+  /// in flight.
+  void set_lockstep_check(bool on) { lockstep_.set_enabled(on); }
+  [[nodiscard]] bool lockstep_check() const noexcept {
+    return lockstep_.enabled();
+  }
+  [[nodiscard]] LockstepChecker& lockstep() noexcept { return lockstep_; }
+
   /// Installs a fault-injection plan (FaultKind::None clears it) and
   /// rewinds the delivery / injected-fault counters.  Set while no SPMD
   /// run is in flight.
@@ -139,6 +164,7 @@ class Machine {
   int nprocs_;
   CostModel cm_;
   AbortFence fence_;  // before boxes_: mailboxes register wakes with it
+  LockstepChecker lockstep_;
   std::vector<std::unique_ptr<Mailbox>> boxes_;
 
   // Both transports live for the machine's lifetime (the shared-memory
@@ -155,7 +181,9 @@ class Machine {
   };
   std::vector<PaddedStats> stats_;
 
-  std::mutex barrier_mu_;
+  // mutable: the machine-wide stats readers (const) serialize against the
+  // barrier's own collectives bump under this lock.
+  mutable std::mutex barrier_mu_;
   std::condition_variable barrier_cv_;
   int barrier_count_ = 0;
   std::uint64_t barrier_gen_ = 0;

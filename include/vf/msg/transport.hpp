@@ -91,6 +91,15 @@ class Transport {
   virtual void end(Context& ctx, ExchangeLane& lane, int tag,
                    PeerConsumer& consume) = 0;
 
+  /// Reclaims rank `me`'s publications under `tag` WITHOUT completing the
+  /// exchange: erases records no peer has started consuming and waits out
+  /// any consumer currently reading one, so the lane buffers the records
+  /// alias may be freed.  Called during abort unwinding -- a rank dying
+  /// between begin() and end(), or end() itself aborting -- and therefore
+  /// must be safe to run concurrently with peers still inside end().
+  /// No-op for transports that copy payloads at begin() time.
+  virtual void withdraw(int /*me*/, int /*tag*/) noexcept {}
+
   /// Drops any in-flight exchange state (part of
   /// Machine::reset_failure_state; only safe with no rank running).
   virtual void reset() {}

@@ -640,6 +640,10 @@ class DistArray final : public DistArrayBase {
       cur[peer] += run.length;
     }
 
+    // Tag the exchange with the (old, new) distribution identity: a
+    // lockstep-armed run reports WHICH flip diverged, not just that one
+    // did.
+    ctx.lockstep_note(plan_key(odp, ndp));
     ctx.alltoallv_known_into(lane);
 
     // ---- install the new distribution and unpack ------------------------
@@ -789,6 +793,18 @@ void DistArray<T>::begin_exchange_overlap() {
     cur[peer] += run.length;
   }
 
+  // Tag the exchange with the (array, distribution) identity so a
+  // lockstep-armed run names which array's ghost exchange diverged.  The
+  // note must be SPMD-uniform, so it folds the array NAME, not the halo
+  // spec uid: asymmetric declarations give every rank a legitimately
+  // different local spec.
+  std::uint64_t note =
+      msg::mix64(static_cast<std::uint64_t>(dist_handle().uid()) ^
+                 0x9e3779b97f4a7c15ULL);
+  for (const char c : name_) {
+    note = msg::mix64(note ^ static_cast<unsigned char>(c));
+  }
+  env_->comm().lockstep_note(note);
   pending_exchange_tag_ = env_->comm().begin_exchange(lane);
   pending_halo_plan_ = plan;
   exchange_in_flight_ = true;

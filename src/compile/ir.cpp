@@ -109,6 +109,20 @@ ProgramBuilder& ProgramBuilder::write(std::vector<std::string> arrays,
   return *this;
 }
 
+ProgramBuilder& ProgramBuilder::stencil_use(std::vector<std::string> arrays,
+                                            const std::string& label) {
+  for (const auto& a : arrays) {
+    if (p_.array(a) == nullptr) {
+      throw std::invalid_argument("stencil_use: undeclared array " + a);
+    }
+  }
+  append(Stmt{.kind = StmtKind::Use,
+              .arrays = std::move(arrays),
+              .reads_halo = true,
+              .label = label});
+  return *this;
+}
+
 ProgramBuilder& ProgramBuilder::exchange_halo(const std::string& array,
                                               const std::string& label) {
   if (p_.array(array) == nullptr) {

@@ -1,0 +1,289 @@
+#include "vf/compile/lint.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace vf::compile {
+
+std::string to_string(Severity s) {
+  switch (s) {
+    case Severity::Note:
+      return "note";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "?";
+}
+
+std::string to_string(LintCode c) {
+  switch (c) {
+    case LintCode::StaleHaloRead:
+      return "stale-halo-read";
+    case LintCode::UseBeforeDistribute:
+      return "use-before-distribute";
+    case LintCode::RedundantDistribute:
+      return "redundant-distribute";
+    case LintCode::RedundantHaloExchange:
+      return "redundant-halo-exchange";
+    case LintCode::AsymShortcutHazard:
+      return "asym-shortcut-hazard";
+    case LintCode::DCaseArmDivergence:
+      return "dcase-arm-divergence";
+    case LintCode::PossibleRangeViolation:
+      return "possible-range-violation";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  std::string s = compile::to_string(severity);
+  s += " [";
+  s += compile::to_string(code);
+  s += "] stmt ";
+  s += std::to_string(stmt_id);
+  if (!array.empty()) {
+    s += " array ";
+    s += array;
+  }
+  s += ": ";
+  s += message;
+  return s;
+}
+
+std::size_t LintReport::count(LintCode c) const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [c](const Diagnostic& d) { return d.code == c; }));
+}
+
+bool LintReport::has(LintCode c, int stmt_id) const {
+  return std::any_of(diagnostics.begin(), diagnostics.end(),
+                     [&](const Diagnostic& d) {
+                       return d.code == c &&
+                              (stmt_id < 0 || d.stmt_id == stmt_id);
+                     });
+}
+
+std::string LintReport::to_string() const {
+  std::string s;
+  for (const auto& d : diagnostics) {
+    s += d.to_string();
+    s += '\n';
+  }
+  return s;
+}
+
+namespace {
+
+/// "label 'x'" suffix for messages, or "" when the node is unlabelled.
+std::string at_label(const Program& p, int node) {
+  const std::string& l = p.node(node).stmt.label;
+  return l.empty() ? std::string() : " (label '" + l + "')";
+}
+
+/// Forward reachability over succs from `start` (inclusive).
+std::vector<bool> reachable_from(const Program& p, int start) {
+  std::vector<bool> seen(p.num_nodes(), false);
+  std::vector<int> stack{start};
+  seen[static_cast<std::size_t>(start)] = true;
+  while (!stack.empty()) {
+    const int n = stack.back();
+    stack.pop_back();
+    for (const int s : p.node(n).succs) {
+      if (!seen[static_cast<std::size_t>(s)]) {
+        seen[static_cast<std::size_t>(s)] = true;
+        stack.push_back(s);
+      }
+    }
+  }
+  return seen;
+}
+
+/// The synchronization-relevant signature of one DCASE arm: the sequence
+/// of DISTRIBUTE / ExchangeHalo statements exclusive to that arm, in
+/// program order (node ids are allocated in program order, so sorting by
+/// id linearizes the arm body).  Nodes reachable from more than one arm
+/// (the join and everything after it) drop out of every signature.
+std::vector<std::string> arm_signature(const Program& p,
+                                       const std::vector<bool>& mine,
+                                       const std::vector<bool>& others) {
+  std::vector<std::string> sig;
+  for (std::size_t id = 0; id < p.num_nodes(); ++id) {
+    if (!mine[id] || others[id]) continue;
+    const Stmt& s = p.node(static_cast<int>(id)).stmt;
+    if (s.kind == StmtKind::Distribute) {
+      sig.push_back("distribute " + s.array + " :: " + s.dist.to_string());
+    } else if (s.kind == StmtKind::ExchangeHalo) {
+      sig.push_back("exchange " + s.array);
+    }
+  }
+  return sig;
+}
+
+}  // namespace
+
+LintReport lint(const Program& p, const ReachingResult& r,
+                const PartialEvalReport& pe) {
+  LintReport report;
+  auto emit = [&](Severity sev, LintCode code, int node,
+                  const std::string& array, std::string message) {
+    report.diagnostics.push_back(
+        Diagnostic{sev, code, node, array, std::move(message)});
+  };
+
+  // Per-node walk: stale stencil reads and asymmetric shortcut hazards
+  // come straight from the reaching sets.
+  for (std::size_t id = 0; id < p.num_nodes(); ++id) {
+    const Node& n = p.node(static_cast<int>(id));
+    if (n.stmt.kind == StmtKind::Use && n.stmt.reads_halo) {
+      for (const auto& a : n.stmt.arrays) {
+        const DistSet& before = r.plausible(n.id, a);
+        if (!before.halo) {
+          emit(Severity::Error, LintCode::StaleHaloRead, n.id, a,
+               "stencil read of '" + a +
+                   "' but the array declares no OVERLAP: the ghost "
+                   "regions it reads do not exist" +
+                   at_label(p, n.id));
+          continue;
+        }
+        if (!before.halo_asymmetric && before.halo->empty()) {
+          continue;  // no ghost planes anywhere: nothing can be stale
+        }
+        if (!before.halo_fresh) {
+          emit(Severity::Error, LintCode::StaleHaloRead, n.id, a,
+               "stencil read of '" + a +
+                   "' may see stale ghost regions: on some reaching path "
+                   "the overlap area was written, redistributed or passed "
+                   "to an opaque call after the last exchange (or never "
+                   "exchanged)" +
+                   at_label(p, n.id));
+        }
+      }
+    }
+    if (n.stmt.kind == StmtKind::ExchangeHalo) {
+      const DistSet& before = r.plausible(n.id, n.stmt.array);
+      if (before.halo_asymmetric && before.halo && before.halo->empty()) {
+        emit(Severity::Warning, LintCode::AsymShortcutHazard, n.id,
+             n.stmt.array,
+             "'" + n.stmt.array +
+                 "' has a per-rank OVERLAP and this rank's local spec is "
+                 "empty: do not skip this exchange locally -- neighbours "
+                 "with wider halos still receive from this rank, and a "
+                 "rank-dependent skip deadlocks the collective" +
+                 at_label(p, n.id));
+      }
+    }
+  }
+
+  // Promotions from the partial-evaluation report.
+  for (const auto& [node, array] : pe.use_before_distribution) {
+    emit(Severity::Error, LintCode::UseBeforeDistribute, node, array,
+         "'" + array +
+             "' may be referenced before any distribution is associated "
+             "with it (Section 2.3: access before association is "
+             "illegal)" +
+             at_label(p, node));
+  }
+  for (const int node : pe.redundant_distributes) {
+    const Stmt& s = p.node(node).stmt;
+    emit(Severity::Warning, LintCode::RedundantDistribute, node, s.array,
+         "DISTRIBUTE " + s.array + " :: " + s.dist.to_string() +
+             " is redundant: the unique plausible reaching distribution "
+             "already equals the target, so the statement moves no data" +
+             at_label(p, node));
+  }
+  for (const int node : pe.redundant_halo_exchanges) {
+    const Stmt& s = p.node(node).stmt;
+    const DistSet& before = r.plausible(node, s.array);
+    emit(Severity::Warning, LintCode::RedundantHaloExchange, node, s.array,
+         "halo exchange of '" + s.array + "' is redundant: " +
+             (before.halo_fresh
+                  ? std::string("the ghost regions are still current on "
+                                "every reaching path (no write, DISTRIBUTE "
+                                "or opaque call since the last exchange)")
+                  : std::string("the declared OVERLAP has no ghost planes, "
+                                "so the exchange moves nothing")) +
+             at_label(p, node));
+  }
+  for (const auto& [node, array] : pe.possible_range_violations) {
+    const Stmt& s = p.node(node).stmt;
+    emit(Severity::Warning, LintCode::PossibleRangeViolation, node, array,
+         "DISTRIBUTE " + array + " :: " + s.dist.to_string() +
+             " may violate the array's RANGE attribute" + at_label(p, node));
+  }
+
+  // DCASE-arm divergence: two arms that may both run but whose exclusive
+  // DISTRIBUTE/ExchangeHalo sequences differ.  The arm verdicts come from
+  // partial evaluation (pe.dcases is index-aligned with p.dcases()).
+  for (std::size_t d = 0; d < p.dcases().size(); ++d) {
+    const DCaseInfo& dc = p.dcases()[d];
+    const DCaseEvaluation& ev = pe.dcases[d];
+    std::vector<std::size_t> live;
+    for (std::size_t j = 0; j < dc.arm_entries.size(); ++j) {
+      if (ev.arms[j] != ArmVerdict::Never) live.push_back(j);
+    }
+    if (live.size() < 2) continue;
+    std::vector<std::vector<bool>> reach;
+    reach.reserve(live.size());
+    for (const std::size_t j : live) {
+      reach.push_back(reachable_from(p, dc.arm_entries[j]));
+    }
+    std::vector<std::vector<std::string>> sigs(live.size());
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      std::vector<bool> others(p.num_nodes(), false);
+      for (std::size_t k = 0; k < live.size(); ++k) {
+        if (k == i) continue;
+        for (std::size_t id = 0; id < p.num_nodes(); ++id) {
+          if (reach[k][id]) others[id] = true;
+        }
+      }
+      sigs[i] = arm_signature(p, reach[i], others);
+    }
+    for (std::size_t i = 1; i < live.size(); ++i) {
+      if (sigs[i] != sigs[0]) {
+        emit(Severity::Warning, LintCode::DCaseArmDivergence, dc.node, "",
+             "DCASE arms " + std::to_string(live[0]) + " and " +
+                 std::to_string(live[i]) +
+                 " may both run but their data-motion sequences differ "
+                 "(arm " +
+                 std::to_string(live[0]) + ": [" +
+                 [](const std::vector<std::string>& v) {
+                   std::string s;
+                   for (std::size_t k = 0; k < v.size(); ++k) {
+                     if (k != 0) s += "; ";
+                     s += v[k];
+                   }
+                   return s;
+                 }(sigs[0]) +
+                 "], arm " + std::to_string(live[i]) + ": [" +
+                 [](const std::vector<std::string>& v) {
+                   std::string s;
+                   for (std::size_t k = 0; k < v.size(); ++k) {
+                     if (k != 0) s += "; ";
+                     s += v[k];
+                   }
+                   return s;
+                 }(sigs[i]) +
+                 "]): ranks disagreeing on the selectors would "
+                 "desynchronize on these collectives");
+        break;  // one record per DCASE names the first diverging pair
+      }
+    }
+  }
+
+  std::stable_sort(report.diagnostics.begin(), report.diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return a.stmt_id < b.stmt_id;
+                   });
+  return report;
+}
+
+LintReport lint(const Program& p) {
+  const ReachingResult r = analyze_reaching(p);
+  const PartialEvalReport pe = partial_eval(p, r);
+  return lint(p, r, pe);
+}
+
+}  // namespace vf::compile

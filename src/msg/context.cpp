@@ -69,7 +69,20 @@ int Context::begin_exchange(ExchangeLane& lane) {
   }
   const int tag = next_coll_tag();
   stats().collectives++;
+  if (lockstep_on()) {
+    auto& c = lockstep_counts();
+    const auto np = static_cast<std::size_t>(nprocs());
+    for (std::size_t p = 0; p < np; ++p) {
+      c[p] = lane.send_bytes(static_cast<int>(p)).size();
+      c[np + p] = lane.recv_bytes(static_cast<int>(p)).size();
+    }
+    lockstep_record_counted(LockstepOp::Exchange, tag, 1);
+  }
   m_->transport().begin(*this, lane, tag);
+  // The lane now has publications in flight: if this rank unwinds before
+  // end_exchange (split-phase window), the lane's destructor withdraws
+  // them so no peer reads freed memory.
+  lane.note_published(&m_->transport(), rank_, tag);
   return tag;
 }
 
@@ -92,6 +105,11 @@ void Context::end_exchange_impl(ExchangeLane& lane, int tag,
     if (!src.empty()) consume.consume(rank_, src);
   }
   m_->transport().end(*this, lane, tag, consume);
+  // All publications acked and retired; nothing left for the lane's
+  // destructor to withdraw.  (On the throw path the transport's own
+  // abort handling already reclaimed them; the destructor's repeat
+  // withdraw is an idempotent no-op.)
+  lane.note_retired();
 }
 
 void Context::alltoallv_known_into(ExchangeLane& lane) {
@@ -103,7 +121,10 @@ Message Context::recv_msg(int src, int tag) {
 }
 
 void Context::barrier() {
-  stats().collectives++;
+  // The collectives bump happens inside barrier_wait, under the barrier
+  // lock: it is the one counter a rank touches while a barrier-bracketed
+  // machine-wide reset_stats()/total_stats() may run on another thread.
+  if (lockstep_on()) lockstep_record(LockstepOp::Barrier, 0, 0);
   m_->barrier_wait(rank_);
 }
 

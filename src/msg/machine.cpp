@@ -1,6 +1,8 @@
 #include "vf/msg/machine.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 #include <utility>
 
@@ -11,10 +13,20 @@ int checked_nprocs(int nprocs) {
   if (nprocs < 1) throw std::invalid_argument("Machine: nprocs must be >= 1");
   return nprocs;
 }
+
+bool lockstep_env_default() {
+  const char* v = std::getenv("VF_LOCKSTEP");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0 &&
+         std::strcmp(v, "off") != 0 && std::strcmp(v, "OFF") != 0;
+}
 }  // namespace
 
 Machine::Machine(int nprocs, CostModel cm, TransportKind transport)
-    : nprocs_(checked_nprocs(nprocs)), cm_(cm), fence_(nprocs) {
+    : nprocs_(checked_nprocs(nprocs)),
+      cm_(cm),
+      fence_(nprocs),
+      lockstep_(nprocs, &fence_) {
+  if (lockstep_env_default()) lockstep_.set_enabled(true);
   boxes_.reserve(static_cast<std::size_t>(nprocs));
   for (int i = 0; i < nprocs; ++i) {
     boxes_.push_back(std::make_unique<Mailbox>(&fence_, i, nprocs));
@@ -43,18 +55,21 @@ CommStats& Machine::stats(int rank) {
 }
 
 CommStats Machine::total_stats() const {
+  std::lock_guard lk(barrier_mu_);
   CommStats t;
   for (const auto& s : stats_) t += s.s;
   return t;
 }
 
 double Machine::max_rank_modeled_us() const {
+  std::lock_guard lk(barrier_mu_);
   double mx = 0.0;
   for (const auto& s : stats_) mx = std::max(mx, s.s.modeled_us(cm_));
   return mx;
 }
 
 void Machine::reset_stats() {
+  std::lock_guard lk(barrier_mu_);
   for (auto& s : stats_) s.s = CommStats{};
 }
 
@@ -133,13 +148,32 @@ void Machine::deliver(int src, int dest, int tag, bool ctl,
 void Machine::barrier_wait(int rank) {
   std::unique_lock lk(barrier_mu_);
   if (fence_.aborted()) throw fence_.make_abort();
+  // The barrier's own stats bump lives under barrier_mu_: it is the one
+  // counter a rank increments while a barrier-bracketed machine-wide
+  // reset_stats()/total_stats() may be running on another rank's thread
+  // (the measurement idiom), so the same lock must order both.
+  if (rank >= 0) stats_[static_cast<std::size_t>(rank)].s.collectives++;
   const std::uint64_t gen = barrier_gen_;
+  const bool lockstep = rank >= 0 && lockstep_.enabled();
   if (++barrier_count_ == nprocs_) {
+    if (lockstep) {
+      // Piggybacked chain compare: the completing arriver sees every
+      // rank's staged chain (all stores ordered by barrier_mu_).
+      std::string divergence = lockstep_.stage_barrier(rank, true);
+      if (!divergence.empty()) {
+        --barrier_count_;  // withdraw: peers unwind via the fence
+        lk.unlock();       // trip() wakes barrier_cv_; avoid self-deadlock
+        fence_.trip(rank, divergence);
+        throw LockstepMismatch(rank, -1, lockstep_.ops(rank), {}, {},
+                               divergence);
+      }
+    }
     barrier_count_ = 0;
     ++barrier_gen_;
     barrier_cv_.notify_all();
     return;
   }
+  if (lockstep) (void)lockstep_.stage_barrier(rank, false);
   if (rank >= 0) fence_.enter_barrier(rank, gen);
   struct Leave {
     AbortFence* f;
@@ -196,6 +230,7 @@ void Machine::reset_failure_state() {
   }
   mailbox_transport_->reset();
   shm_transport_->reset();
+  lockstep_.reset();
 }
 
 FailureReport Machine::last_failure_report() const {

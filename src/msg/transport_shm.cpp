@@ -76,7 +76,7 @@ class ShmTransport final : public Transport {
       {
         std::lock_guard lk(ep.mu);
         ep.from[static_cast<std::size_t>(me)].push_back(
-            Pub{tag, payload.data(), payload.size(), false});
+            Pub{tag, payload.data(), payload.size(), false, false});
       }
       ep.cv.notify_all();
     }
@@ -85,37 +85,69 @@ class ShmTransport final : public Transport {
   void end(Context& ctx, ExchangeLane& lane, int tag,
            PeerConsumer& consume) override {
     const int me = ctx.rank();
-    // Phase 1: drain inbound -- wait for each expected publication,
-    // unpack directly from the peer's buffer, ack it.
-    Endpoint& mine = *eps_[static_cast<std::size_t>(me)];
-    for (int s = 0; s < np_; ++s) {
-      if (s == me) continue;
-      const std::size_t expected = lane.recv_bytes(s).size();
-      if (expected == 0) continue;
-      const Pub pub = wait_published(mine, me, s, tag);
-      if (pub.size != expected) {
-        const std::string why =
-            "shm transport: payload from rank " + std::to_string(s) +
-            " (tag " + std::to_string(tag) + ") is " +
-            std::to_string(pub.size) + " bytes, expected " +
-            std::to_string(expected) +
-            " (pre-agreed counts disagree between the two sides)";
-        fence_->trip(me, why);
-        throw RankAbort(me, why);
+    try {
+      // Phase 1: drain inbound -- wait for each expected publication,
+      // unpack directly from the peer's buffer, ack it.
+      Endpoint& mine = *eps_[static_cast<std::size_t>(me)];
+      for (int s = 0; s < np_; ++s) {
+        if (s == me) continue;
+        const std::size_t expected = lane.recv_bytes(s).size();
+        if (expected == 0) continue;
+        const Pub pub = wait_published(mine, me, s, tag);
+        // wait_published marked the record busy under the lock; this
+        // guard clears it however the iteration exits, so a publisher
+        // withdrawing its buffers never waits on a dead consumer.  The
+        // consumed ack (which releases the sender's buffer for reuse) is
+        // only given once consume() returned.
+        ReleaseGuard rel{&mine, s, tag, false};
+        if (pub.size != expected) {
+          const std::string why =
+              "shm transport: payload from rank " + std::to_string(s) +
+              " (tag " + std::to_string(tag) + ") is " +
+              std::to_string(pub.size) + " bytes, expected " +
+              std::to_string(expected) +
+              " (pre-agreed counts disagree between the two sides)";
+          fence_->trip(me, why);
+          throw RankAbort(me, why);
+        }
+        consume.consume(s, std::span<const std::byte>(pub.data, pub.size));
+        rel.ok = true;
       }
-      consume.consume(s, std::span<const std::byte>(pub.data, pub.size));
-      {
-        std::lock_guard lk(mine.mu);
-        ack(mine.from[static_cast<std::size_t>(s)], tag);
+      // Phase 2: wait for the acks of my own publications (and retire
+      // them), so the caller may repack the lane's send buffers.
+      for (int d = 0; d < np_; ++d) {
+        if (d == me) continue;
+        if (lane.send_bytes(d).empty()) continue;
+        wait_acked(*eps_[static_cast<std::size_t>(d)], me, d, tag);
       }
-      mine.cv.notify_all();
+    } catch (...) {
+      // Aborting out of a half-done exchange: the caller is about to
+      // unwind and destroy the lane, but peers may still be reading (or
+      // about to read) the send buffers my publications point into.
+      // Reclaim them first; peers left waiting unwind via the fence.
+      withdraw(me, tag);
+      throw;
     }
-    // Phase 2: wait for the acks of my own publications (and retire
-    // them), so the caller may repack the lane's send buffers.
+  }
+
+  /// See Transport::withdraw.  Erases rank me's records of `tag` that no
+  /// consumer holds, and waits out in-flight consumers (bounded: the
+  /// consumer's ReleaseGuard clears busy even if consume() throws).
+  void withdraw(int me, int tag) noexcept override {
     for (int d = 0; d < np_; ++d) {
       if (d == me) continue;
-      if (lane.send_bytes(d).empty()) continue;
-      wait_acked(*eps_[static_cast<std::size_t>(d)], me, d, tag);
+      Endpoint& ep = *eps_[static_cast<std::size_t>(d)];
+      std::unique_lock lk(ep.mu);
+      for (;;) {
+        auto& pubs = ep.from[static_cast<std::size_t>(me)];
+        const auto it = find_tag(pubs, tag);
+        if (it == pubs.end()) break;  // never published or already retired
+        if (!it->busy) {
+          pubs.erase(it);
+          break;
+        }
+        ep.cv.wait(lk);  // memcpy in flight; the guard will wake us
+      }
     }
   }
 
@@ -132,7 +164,8 @@ class ShmTransport final : public Transport {
     int tag;
     const std::byte* data;
     std::size_t size;
-    bool consumed;
+    bool consumed;  ///< receiver finished reading; sender may reuse buffer
+    bool busy;      ///< receiver is reading RIGHT NOW; withdraw must wait
   };
 
   /// Per-destination rendezvous point; all state for payloads INTO rank d
@@ -150,19 +183,40 @@ class ShmTransport final : public Transport {
                         [&](const Pub& p) { return p.tag == tag; });
   }
 
-  static void ack(std::vector<Pub>& pubs, int tag) {
-    const auto it = find_tag(pubs, tag);
-    if (it != pubs.end()) it->consumed = true;
-  }
+  /// Releases one inbound publication record when the consuming scope
+  /// exits: clears busy always (so an aborting publisher's withdraw never
+  /// waits on a consumer that died), sets consumed only if the consume
+  /// completed (`ok`), and wakes anyone waiting on the endpoint.
+  struct ReleaseGuard {
+    Endpoint* ep;
+    int src;
+    int tag;
+    bool ok;
+    ~ReleaseGuard() {
+      {
+        std::lock_guard lk(ep->mu);
+        auto& pubs = ep->from[static_cast<std::size_t>(src)];
+        const auto it = find_tag(pubs, tag);
+        if (it != pubs.end()) {
+          it->busy = false;
+          if (ok) it->consumed = true;
+        }
+      }
+      ep->cv.notify_all();
+    }
+  };
 
   /// Blocks until rank `src` has published `tag` into `ep` (rank me's own
-  /// endpoint) and returns a copy of the record.  Fence- and
+  /// endpoint), marks the record busy under the lock, and returns a copy.
+  /// The caller MUST pair this with a ReleaseGuard immediately: a record
+  /// left busy would deadlock the publisher's withdraw.  Fence- and
   /// watchdog-aware, modeled on Mailbox::pop.
   Pub wait_published(Endpoint& ep, int me, int src, int tag) {
     return wait_on(ep, me, src, tag, [&]() -> const Pub* {
       const auto it = find_tag(ep.from[static_cast<std::size_t>(src)], tag);
-      return it != ep.from[static_cast<std::size_t>(src)].end() ? &*it
-                                                                : nullptr;
+      if (it == ep.from[static_cast<std::size_t>(src)].end()) return nullptr;
+      it->busy = true;  // idempotent; only ever taken on the success path
+      return &*it;
     });
   }
 
@@ -180,11 +234,14 @@ class ShmTransport final : public Transport {
     if (it != pubs.end()) pubs.erase(it);
   }
 
-  /// The shared wait loop: blocks on ep.cv until the side-effect-free
-  /// `ready` predicate returns a record (called with ep.mu held; the
-  /// record is copied out under the lock), the fence trips, or the
-  /// watchdog expires.  `peer` is what this rank reports itself blocked
-  /// on in deadlock reports.
+  /// The shared wait loop: blocks on ep.cv until the `ready` predicate
+  /// returns a record (called with ep.mu held; the record is copied out
+  /// under the lock), the fence trips, or the watchdog expires.  `peer`
+  /// is what this rank reports itself blocked on in deadlock reports.
+  /// A successful ready() is ALWAYS followed by returning its record,
+  /// never by a throw -- wait_published's predicate marks the record
+  /// busy, and a busy record that is never handed to a ReleaseGuard
+  /// would deadlock the publisher's withdraw.
   template <typename Ready>
   Pub wait_on(Endpoint& ep, int me, int peer, int tag, Ready&& ready) {
     struct BlockedScope {
@@ -199,11 +256,11 @@ class ShmTransport final : public Transport {
 
     std::unique_lock lk(ep.mu);
     for (;;) {
-      if (fence_->aborted()) throw fence_->make_abort();
       if (const Pub* p = ready()) return *p;
+      if (fence_->aborted()) throw fence_->make_abort();
       if (watchdog.count() > 0) {
-        if (ep.cv.wait_until(lk, deadline) == std::cv_status::timeout &&
-            ready() == nullptr) {
+        if (ep.cv.wait_until(lk, deadline) == std::cv_status::timeout) {
+          if (ready() != nullptr) continue;  // arrived on the deadline
           if (fence_->aborted()) throw fence_->make_abort();
           const std::string report = fence_->deadlock_report(me);
           lk.unlock();  // trip() wakes ep.cv too; avoid self-deadlock

@@ -1,0 +1,356 @@
+// Mutation-style tests for the lint diagnostics pass (compile/lint.hpp):
+// each case seeds one bug into a small IR program and asserts the matching
+// diagnostic is reported at the right statement, then runs a clean twin of
+// the same shape and asserts the pass stays silent -- no false positives.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "vf/compile/lint.hpp"
+
+namespace vf::compile {
+namespace {
+
+using query::p_block;
+using query::p_cyclic;
+using query::p_cyclic_any;
+using query::TypePattern;
+
+AbstractDist blockT() { return TypePattern{p_block()}; }
+AbstractDist cyclicT(dist::Index k) { return TypePattern{p_cyclic(k)}; }
+AbstractDist cyclicAnyT() { return TypePattern{p_cyclic_any()}; }
+halo::HaloSpec halo1() { return halo::HaloSpec({1}, {1}, false); }
+
+// ---- StaleHaloRead ---------------------------------------------------------
+
+TEST(Lint, StaleHaloReadAfterWrite) {
+  ProgramBuilder b;
+  b.declare({.name = "A",
+             .rank = 1,
+             .dynamic = true,
+             .initial = blockT(),
+             .halo = halo1()})
+      .exchange_halo("A", "x")
+      .write({"A"}, "store")  // invalidates ghost freshness
+      .stencil_use({"A"}, "stencil");
+  Program p = b.build();
+  auto rep = lint(p);
+  EXPECT_TRUE(rep.has(LintCode::StaleHaloRead, p.find_label("stencil")));
+  const auto& d = rep.diagnostics;
+  auto it = std::find_if(d.begin(), d.end(), [&](const Diagnostic& di) {
+    return di.code == LintCode::StaleHaloRead;
+  });
+  ASSERT_NE(it, d.end());
+  EXPECT_EQ(it->severity, Severity::Error);
+  EXPECT_EQ(it->array, "A");
+}
+
+TEST(Lint, StaleHaloReadNeverExchanged) {
+  ProgramBuilder b;
+  b.declare({.name = "A",
+             .rank = 1,
+             .dynamic = true,
+             .initial = blockT(),
+             .halo = halo1()})
+      .stencil_use({"A"}, "stencil");
+  Program p = b.build();
+  EXPECT_TRUE(lint(p).has(LintCode::StaleHaloRead, p.find_label("stencil")));
+}
+
+TEST(Lint, StaleHaloReadOnOnePathOnly) {
+  // One branch refreshes, the other writes after refreshing: the join is
+  // MAY-stale, which must be reported (a path exists that reads garbage).
+  ProgramBuilder b;
+  b.declare({.name = "A",
+             .rank = 1,
+             .dynamic = true,
+             .initial = blockT(),
+             .halo = halo1()})
+      .exchange_halo("A", "x")
+      .if_else([](ProgramBuilder& t) { t.write({"A"}, "dirty"); })
+      .stencil_use({"A"}, "stencil");
+  Program p = b.build();
+  EXPECT_TRUE(lint(p).has(LintCode::StaleHaloRead, p.find_label("stencil")));
+}
+
+TEST(Lint, StaleHaloReadNoOverlapDeclared) {
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .initial = blockT()})
+      .stencil_use({"A"}, "stencil");
+  Program p = b.build();
+  EXPECT_TRUE(lint(p).has(LintCode::StaleHaloRead, p.find_label("stencil")));
+}
+
+TEST(Lint, CleanStencilAfterExchange) {
+  ProgramBuilder b;
+  b.declare({.name = "A",
+             .rank = 1,
+             .dynamic = true,
+             .initial = blockT(),
+             .halo = halo1()})
+      .write({"A"}, "store")
+      .exchange_halo("A", "x")
+      .stencil_use({"A"}, "stencil")
+      .use({"A"}, "plain");  // non-stencil read never needs fresh ghosts
+  Program p = b.build();
+  EXPECT_EQ(lint(p).count(LintCode::StaleHaloRead), 0u);
+}
+
+TEST(Lint, CleanStencilInSteadyLoop) {
+  // The canonical sweep: write, exchange, stencil each iteration.
+  ProgramBuilder b;
+  b.declare({.name = "A",
+             .rank = 1,
+             .dynamic = true,
+             .initial = blockT(),
+             .halo = halo1()})
+      .loop([](ProgramBuilder& body) {
+        body.write({"A"}, "update")
+            .exchange_halo("A", "x")
+            .stencil_use({"A"}, "stencil");
+      });
+  Program p = b.build();
+  EXPECT_EQ(lint(p).count(LintCode::StaleHaloRead), 0u);
+}
+
+// ---- UseBeforeDistribute ---------------------------------------------------
+
+TEST(Lint, UseBeforeDistribute) {
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true})
+      .use({"A"}, "early")
+      .distribute("A", blockT());
+  Program p = b.build();
+  auto rep = lint(p);
+  EXPECT_TRUE(rep.has(LintCode::UseBeforeDistribute, p.find_label("early")));
+}
+
+TEST(Lint, CleanUseAfterDistribute) {
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true})
+      .distribute("A", blockT())
+      .use({"A"}, "late");
+  Program p = b.build();
+  EXPECT_EQ(lint(p).count(LintCode::UseBeforeDistribute), 0u);
+}
+
+// ---- RedundantDistribute ---------------------------------------------------
+
+TEST(Lint, RedundantDistribute) {
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .initial = blockT()})
+      .use({"A"}, "u")
+      .distribute("A", blockT());  // provably already BLOCK
+  Program p = b.build();
+  auto rep = lint(p);
+  ASSERT_EQ(rep.count(LintCode::RedundantDistribute), 1u);
+  auto it = std::find_if(
+      rep.diagnostics.begin(), rep.diagnostics.end(),
+      [](const Diagnostic& d) { return d.code == LintCode::RedundantDistribute; });
+  EXPECT_EQ(it->severity, Severity::Warning);
+}
+
+TEST(Lint, CleanChangingDistribute) {
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .initial = blockT()})
+      .distribute("A", cyclicT(4))
+      .distribute("A", blockT());
+  Program p = b.build();
+  EXPECT_EQ(lint(p).count(LintCode::RedundantDistribute), 0u);
+}
+
+// ---- RedundantHaloExchange -------------------------------------------------
+
+TEST(Lint, RedundantHaloExchange) {
+  ProgramBuilder b;
+  b.declare({.name = "A",
+             .rank = 1,
+             .dynamic = true,
+             .initial = blockT(),
+             .halo = halo1()})
+      .exchange_halo("A", "x1")
+      .exchange_halo("A", "x2");  // ghosts still fresh: moves nothing new
+  Program p = b.build();
+  auto rep = lint(p);
+  EXPECT_TRUE(rep.has(LintCode::RedundantHaloExchange, p.find_label("x2")));
+  EXPECT_FALSE(rep.has(LintCode::RedundantHaloExchange, p.find_label("x1")));
+}
+
+TEST(Lint, CleanExchangeAfterWrite) {
+  ProgramBuilder b;
+  b.declare({.name = "A",
+             .rank = 1,
+             .dynamic = true,
+             .initial = blockT(),
+             .halo = halo1()})
+      .exchange_halo("A", "x1")
+      .write({"A"}, "store")
+      .exchange_halo("A", "x2");
+  Program p = b.build();
+  EXPECT_EQ(lint(p).count(LintCode::RedundantHaloExchange), 0u);
+}
+
+// ---- AsymShortcutHazard ----------------------------------------------------
+
+TEST(Lint, AsymShortcutHazard) {
+  // Per-rank OVERLAP with a locally-empty spec: skipping the exchange on
+  // this rank's local evidence would desert wider-halo neighbours.
+  ProgramBuilder b;
+  b.declare({.name = "A",
+             .rank = 1,
+             .dynamic = true,
+             .initial = blockT(),
+             .halo = halo::HaloSpec::none(1),
+             .halo_asymmetric = true})
+      .exchange_halo("A", "x");
+  Program p = b.build();
+  auto rep = lint(p);
+  EXPECT_TRUE(rep.has(LintCode::AsymShortcutHazard, p.find_label("x")));
+  // The asymmetric declaration also suppresses the redundancy promotion:
+  // rank-local facts prove nothing about the collective.
+  EXPECT_EQ(rep.count(LintCode::RedundantHaloExchange), 0u);
+}
+
+TEST(Lint, CleanAsymWithRealLocalHalo) {
+  ProgramBuilder b;
+  b.declare({.name = "A",
+             .rank = 1,
+             .dynamic = true,
+             .initial = blockT(),
+             .halo = halo1(),
+             .halo_asymmetric = true})
+      .exchange_halo("A", "x");
+  Program p = b.build();
+  EXPECT_EQ(lint(p).count(LintCode::AsymShortcutHazard), 0u);
+}
+
+// ---- DCaseArmDivergence ----------------------------------------------------
+
+TEST(Lint, DCaseArmDivergence) {
+  // Arms with different data-motion sequences: if ranks disagree on the
+  // selector's distribution they desynchronize on the collective.
+  ProgramBuilder b;
+  b.declare({.name = "A",
+             .rank = 1,
+             .dynamic = true,
+             .initial = cyclicAnyT(),
+             .halo = halo1()});
+  b.dcase({"A"},
+          {{.pats = {cyclicT(2)},
+            .body = [](ProgramBuilder& arm) {
+              arm.distribute("A", blockT()).exchange_halo("A", "arm0_x");
+            }},
+           {.pats = {cyclicT(4)},
+            .body = [](ProgramBuilder& arm) { arm.use({"A"}, "arm1_u"); }}});
+  Program p = b.build();
+  auto rep = lint(p);
+  EXPECT_EQ(rep.count(LintCode::DCaseArmDivergence), 1u);
+}
+
+TEST(Lint, CleanDCaseSameMotion) {
+  ProgramBuilder b;
+  b.declare({.name = "A",
+             .rank = 1,
+             .dynamic = true,
+             .initial = cyclicAnyT(),
+             .halo = halo1()});
+  b.dcase({"A"},
+          {{.pats = {cyclicT(2)},
+            .body = [](ProgramBuilder& arm) {
+              arm.distribute("A", blockT()).exchange_halo("A", "a0");
+            }},
+           {.pats = {cyclicT(4)},
+            .body = [](ProgramBuilder& arm) {
+              arm.distribute("A", blockT()).exchange_halo("A", "a1");
+            }}});
+  Program p = b.build();
+  EXPECT_EQ(lint(p).count(LintCode::DCaseArmDivergence), 0u);
+}
+
+TEST(Lint, CleanDCaseSingleLiveArm) {
+  // Partial evaluation proves one arm Never fires: no divergence possible.
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .initial = blockT()});
+  b.dcase({"A"},
+          {{.pats = {blockT()},
+            .body = [](ProgramBuilder& arm) {
+              arm.distribute("A", cyclicT(2));
+            }},
+           {.pats = {cyclicT(8)},  // A is provably BLOCK: arm is dead
+            .body = [](ProgramBuilder& arm) { arm.use({"A"}, "dead"); }}});
+  Program p = b.build();
+  EXPECT_EQ(lint(p).count(LintCode::DCaseArmDivergence), 0u);
+}
+
+// ---- PossibleRangeViolation ------------------------------------------------
+
+TEST(Lint, PossibleRangeViolation) {
+  ProgramBuilder b;
+  b.declare({.name = "A",
+             .rank = 1,
+             .dynamic = true,
+             .range = {blockT()},
+             .initial = blockT()})
+      .distribute("A", cyclicAnyT());  // runtime-valued: may leave RANGE
+  Program p = b.build();
+  EXPECT_EQ(lint(p).count(LintCode::PossibleRangeViolation), 1u);
+}
+
+TEST(Lint, CleanDistributeWithinRange) {
+  ProgramBuilder b;
+  b.declare({.name = "A",
+             .rank = 1,
+             .dynamic = true,
+             .range = {blockT(), cyclicAnyT()},
+             .initial = blockT()})
+      .distribute("A", cyclicT(2));
+  Program p = b.build();
+  EXPECT_EQ(lint(p).count(LintCode::PossibleRangeViolation), 0u);
+}
+
+// ---- report plumbing -------------------------------------------------------
+
+TEST(Lint, CleanProgramIsEmpty) {
+  ProgramBuilder b;
+  b.declare({.name = "A",
+             .rank = 1,
+             .dynamic = true,
+             .initial = blockT(),
+             .halo = halo1()})
+      .write({"A"}, "store")
+      .exchange_halo("A", "x")
+      .stencil_use({"A"}, "stencil")
+      .distribute("A", cyclicT(2))
+      .use({"A"}, "after");
+  Program p = b.build();
+  auto rep = lint(p);
+  EXPECT_TRUE(rep.diagnostics.empty()) << rep.to_string();
+}
+
+TEST(Lint, ReportSortedAndPrintable) {
+  ProgramBuilder b;
+  b.declare({.name = "A", .rank = 1, .dynamic = true, .halo = halo1()})
+      .use({"A"}, "early")               // use-before-distribute
+      .distribute("A", blockT())
+      .stencil_use({"A"}, "stencil");    // never exchanged
+  Program p = b.build();
+  auto rep = lint(p);
+  ASSERT_GE(rep.diagnostics.size(), 2u);
+  for (std::size_t i = 1; i < rep.diagnostics.size(); ++i) {
+    EXPECT_LE(rep.diagnostics[i - 1].stmt_id, rep.diagnostics[i].stmt_id);
+  }
+  const std::string text = rep.to_string();
+  EXPECT_NE(text.find("stale"), std::string::npos);
+  for (const auto& d : rep.diagnostics) {
+    EXPECT_FALSE(d.to_string().empty());
+    EXPECT_FALSE(d.message.empty());
+  }
+}
+
+TEST(Lint, StencilUseRejectsUndeclaredArray) {
+  ProgramBuilder b;
+  EXPECT_THROW(b.stencil_use({"nope"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vf::compile

@@ -79,6 +79,7 @@ TEST(NoopDistribute, DescriptorStillAdoptsRequestedType) {
       ck.check_eq(ctx.machine().total_stats().data_messages,
                   std::uint64_t{0}, 0, "no data motion");
     }
+    ctx.barrier();  // peers hold here until the rank-0 read completes
     // ...but the descriptor reflects the request.
     ck.check_eq(a.distribution().type().dim(0).kind,
                 dist::DimDistKind::GenBlock, ctx.rank(), "adopted type");

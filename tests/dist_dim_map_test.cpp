@@ -295,8 +295,8 @@ std::vector<DimMapCase> make_cases() {
 
 INSTANTIATE_TEST_SUITE_P(AllKinds, DimMapProperty,
                          ::testing::ValuesIn(make_cases()),
-                         [](const ::testing::TestParamInfo<DimMapCase>& info) {
-                           std::string s = info.param.label;
+                         [](const ::testing::TestParamInfo<DimMapCase>& pinfo) {
+                           std::string s = pinfo.param.label;
                            for (char& ch : s) {
                              if (!std::isalnum(static_cast<unsigned char>(ch)))
                                ch = '_';

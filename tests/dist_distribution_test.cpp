@@ -256,8 +256,8 @@ std::vector<DistCase> dist_cases() {
 
 INSTANTIATE_TEST_SUITE_P(Family, DistributionProperty,
                          ::testing::ValuesIn(dist_cases()),
-                         [](const ::testing::TestParamInfo<DistCase>& info) {
-                           return info.param.label;
+                         [](const ::testing::TestParamInfo<DistCase>& pinfo) {
+                           return pinfo.param.label;
                          });
 
 }  // namespace

@@ -101,6 +101,7 @@ TEST_P(RedistChainProperty, ChainPreservesDataAndBounds) {
                      static_cast<std::uint64_t>(kProcs) * (kProcs - 1),
                  0, "pair bound step " + std::to_string(step));
       }
+      ctx.barrier();  // peers hold here until the rank-0 read completes
       // Totality: every rank's owned count sums to the domain size.
       const auto mine = a.layout().member ? a.layout().total : 0;
       const auto total = ctx.allreduce<Index>(mine, msg::ReduceOp::Sum);

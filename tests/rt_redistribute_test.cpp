@@ -158,7 +158,8 @@ TEST(Redistribute, NoopMovesNoData) {
                               .dynamic = true,
                               .initial = DistributionType{block()}});
     a.fill(3.0);
-    ctx.machine().reset_stats();
+    ctx.barrier();
+    if (ctx.rank() == 0) ctx.machine().reset_stats();
     ctx.barrier();
     a.distribute(DistributionType{block()});  // identical mapping
     ctx.barrier();
@@ -181,7 +182,8 @@ TEST(Redistribute, MessageCountWithinPairBound) {
                               .dynamic = true,
                               .initial = DistributionType{block()}});
     a.fill(1.0);
-    ctx.machine().reset_stats();
+    ctx.barrier();
+    if (ctx.rank() == 0) ctx.machine().reset_stats();
     ctx.barrier();
     a.distribute(DistributionType{cyclic(1)});
   });
@@ -281,8 +283,8 @@ std::vector<RedistCase> redist_cases() {
 
 INSTANTIATE_TEST_SUITE_P(Pairs, RedistributeProperty,
                          ::testing::ValuesIn(redist_cases()),
-                         [](const ::testing::TestParamInfo<RedistCase>& info) {
-                           return info.param.label;
+                         [](const ::testing::TestParamInfo<RedistCase>& pinfo) {
+                           return pinfo.param.label;
                          });
 
 }  // namespace

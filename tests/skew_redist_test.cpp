@@ -611,7 +611,9 @@ TEST(SkewAbort, AbortMidHybridFlipSurfacesAsRankAbort) {
   EXPECT_TRUE(report.ranks[2].failed);
   EXPECT_TRUE(report.ranks[0].failed);
   for (const msg::RankFailure& f : report.ranks) {
-    if (f.failed) EXPECT_EQ(f.abort_origin, 2);
+    if (f.failed) {
+      EXPECT_EQ(f.abort_origin, 2);
+    }
   }
 }
 

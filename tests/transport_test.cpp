@@ -191,7 +191,9 @@ TEST(TransportAbort, RankDeathMidExchangeWakesBlockedPeers) {
   EXPECT_EQ(rep.origin_rank, 2);
   for (const msg::RankFailure& f : rep.ranks) {
     EXPECT_TRUE(f.failed) << "rank " << f.rank;
-    if (f.rank != 2) EXPECT_EQ(f.abort_origin, 2) << "rank " << f.rank;
+    if (f.rank != 2) {
+      EXPECT_EQ(f.abort_origin, 2) << "rank " << f.rank;
+    }
   }
   // reset_failure_state drops the orphaned publications: the machine is
   // fully reusable for a clean zero-copy run.
@@ -224,9 +226,22 @@ TEST(TransportAbort, PreAgreedCountMismatchAborts) {
     });
     FAIL() << "expected RankAbort";
   } catch (const RankAbort& e) {
-    EXPECT_EQ(e.origin_rank, 1);  // the receiver detects the mismatch
-    EXPECT_NE(e.reason.find("pre-agreed counts disagree"), std::string::npos)
-        << e.reason;
+    // Unarmed, the shared-memory rendezvous itself detects the
+    // disagreement on the receiver ("pre-agreed counts disagree"); with
+    // the lockstep checker armed (the VF_LOCKSTEP=1 CI leg) the same
+    // divergence is caught one layer earlier, at op entry, by whichever
+    // rank records second ("pre-agreed counts diverged").
+    if (e.reason.find("lockstep mismatch") != std::string::npos) {
+      EXPECT_NE(e.reason.find("pre-agreed counts diverged"),
+                std::string::npos)
+          << e.reason;
+      EXPECT_TRUE(e.origin_rank == 0 || e.origin_rank == 1) << e.origin_rank;
+    } else {
+      EXPECT_EQ(e.origin_rank, 1);  // the receiver detects the mismatch
+      EXPECT_NE(e.reason.find("pre-agreed counts disagree"),
+                std::string::npos)
+          << e.reason;
+    }
   }
   EXPECT_TRUE(m.last_failure_report().any_failed);
 }
