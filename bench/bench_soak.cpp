@@ -1,0 +1,110 @@
+// E14 -- lifecycle soak: the amr_front churn scenario (sweeping front +
+// jittered DISTRIBUTE every step) run long enough that an unbounded
+// registry or cache would visibly grow.  With Env::sweep on a cadence
+// and byte budgets armed on the halo-plan and redistribution-plan
+// caches, resident bytes must plateau: the CI gate asserts the
+// second-half peak stays within 25% of the first-half peak, the
+// second-half growth slope is flat, and the budgets demonstrably evict
+// (a vacuously-large budget would pass the plateau check without
+// exercising the LRU at all).
+//
+// Counters:
+//   ns_per_step           -- wall time per soak step (churn + exchange +
+//                            stencil), the warm-replay regression guard;
+//   resident_peak_bytes   -- max sampled registry+cache residency, rank 0;
+//   resident_final_bytes  -- last sample, rank 0;
+//   plateau_ratio         -- second-half peak / first-half peak, rank 0;
+//   slope_bytes_per_step  -- least-squares slope of the second half;
+//   halo_evictions / plan_evictions / registry_swept -- machine totals;
+//   halo_plan_hit_rate    -- some reuse must survive the churn (the
+//                            per-step jitter caps this near 0.14, so
+//                            the CI floor is 0.1, not bench_halo's 0.5).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <vector>
+
+#include "vf/apps/soak.hpp"
+#include "vf/msg/spmd.hpp"
+
+namespace {
+
+using namespace vf;  // NOLINT(google-build-using-namespace)
+
+void BM_SoakLifecycle(benchmark::State& state) {
+  const int steps = static_cast<int>(state.range(0));
+  constexpr int kProcs = 4;
+
+  apps::SoakConfig cfg;
+  cfg.n = 16;
+  cfg.steps = steps;
+  cfg.sweep_every = 64;
+  cfg.sample_every = std::max(1, steps / 64);
+  cfg.redist_every = 1;
+  cfg.halo_budget_bytes = std::size_t{64} << 10;
+  cfg.plan_budget_bytes = std::size_t{256} << 10;
+
+  apps::SoakResult root;
+  std::mutex mu;
+  double secs = 0.0;
+  for (auto _ : state) {
+    msg::Machine machine(kProcs);
+    const auto t0 = std::chrono::steady_clock::now();
+    msg::run_spmd(machine, [&](msg::Context& ctx) {
+      const apps::SoakResult res = apps::run_soak(ctx, cfg);
+      if (ctx.rank() == 0) {
+        std::lock_guard lk(mu);
+        root = res;
+      }
+    });
+    secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+               .count();
+  }
+
+  std::uint64_t first_half_peak = 0;
+  std::uint64_t second_half_peak = 0;
+  for (std::size_t k = 0; k < root.samples.size(); ++k) {
+    std::uint64_t& peak = k < root.samples.size() / 2 ? first_half_peak
+                                                      : second_half_peak;
+    peak = std::max(peak, root.samples[k].registry_bytes +
+                              root.samples[k].cache_bytes);
+  }
+
+  state.counters["ns_per_step"] = secs * 1e9 / steps;
+  state.counters["resident_peak_bytes"] =
+      static_cast<double>(root.peak_resident_bytes);
+  state.counters["resident_final_bytes"] =
+      static_cast<double>(root.final_resident_bytes);
+  state.counters["plateau_ratio"] =
+      first_half_peak == 0 ? 0.0
+                           : static_cast<double>(second_half_peak) /
+                                 static_cast<double>(first_half_peak);
+  state.counters["slope_bytes_per_step"] = root.bytes_per_step_slope;
+  state.counters["sweeps"] = static_cast<double>(root.sweeps);
+  state.counters["registry_swept"] =
+      static_cast<double>(root.registry_swept);
+  state.counters["registry_pinned"] =
+      static_cast<double>(root.registry_pinned);
+  state.counters["halo_evictions"] =
+      static_cast<double>(root.halo_evictions);
+  state.counters["plan_evictions"] =
+      static_cast<double>(root.plan_evictions);
+  state.counters["halo_plan_hit_rate"] =
+      root.halo_plan_hits + root.halo_plan_misses == 0
+          ? 0.0
+          : static_cast<double>(root.halo_plan_hits) /
+                static_cast<double>(root.halo_plan_hits +
+                                    root.halo_plan_misses);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SoakLifecycle)
+    ->ArgNames({"steps"})
+    ->Args({10000})
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);

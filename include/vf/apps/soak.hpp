@@ -1,0 +1,97 @@
+// Long-run lifecycle soak: the amr_front refinement-front scenario driven
+// for tens of thousands of steps with BOTH churn sources the dynamic
+// model allows -- the sweeping front re-interning a halo spec + family
+// per distinct position, and a periodic DISTRIBUTE to a step-jittered
+// S_BLOCK split re-interning descriptors and redistribution plans.
+//
+// Without the lifecycle layer (Env::sweep + byte-budgeted caches) every
+// intern and derived plan is immortal and registry resident_bytes grows
+// with the number of DISTINCT (front, split) combinations seen; with it,
+// residency plateaus at roughly (live handle chains + cache budgets) no
+// matter how long the run.  The soak measures exactly that: a sampled
+// resident-bytes series, its second-half slope, and the sweep/eviction
+// counters, alongside a checksum proven against a sequential reference
+// (reclamation must never change values).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "vf/dist/index.hpp"
+#include "vf/msg/context.hpp"
+
+namespace vf::apps {
+
+struct SoakConfig {
+  dist::Index n = 32;  ///< grid is n x n
+  int steps = 2000;
+  /// Env::sweep() cadence in steps (0 = never -- the leak control).
+  int sweep_every = 64;
+  /// Resident-bytes sampling cadence in steps.
+  int sample_every = 100;
+  /// DISTRIBUTE cadence (0 = never): each one targets a step-jittered
+  /// S_BLOCK dimension-0 split, so descriptors and plans churn too.
+  int redist_every = 1;
+  // Refinement front (see amr_front.hpp); the front wraps around the
+  // domain so the churn never stops.
+  dist::Index base_width = 1;
+  dist::Index front_width = 3;
+  dist::Index front_halfspan = 2;
+  dist::Index front0 = 4;
+  dist::Index front_step = 3;
+  /// Byte ceilings armed on the Env halo-plan cache and each array's
+  /// redistribution plan cache (0 = leave defaults).
+  std::size_t halo_budget_bytes = 0;
+  std::size_t plan_budget_bytes = 0;
+  std::uint64_t seed = 0x5eed5eedULL;  ///< split-jitter stream
+};
+
+/// One resident-bytes sample of the calling rank.
+struct SoakSample {
+  int step = 0;
+  std::uint64_t registry_bytes = 0;  ///< DistRegistry resident_bytes
+  std::uint64_t cache_bytes = 0;     ///< halo-plan + redist-plan caches
+};
+
+struct SoakResult {
+  double checksum = 0.0;  ///< bitwise vs soak_reference
+  /// This rank's sampled residency series (registry + caches).
+  std::vector<SoakSample> samples;
+  std::uint64_t peak_resident_bytes = 0;   ///< max over samples, this rank
+  std::uint64_t final_resident_bytes = 0;  ///< last sample, this rank
+  /// Least-squares slope (bytes/step) over the second half of the
+  /// series: ~0 once the lifecycle layer holds the plateau.
+  double bytes_per_step_slope = 0.0;
+  std::uint64_t sweeps = 0;           ///< Env::sweep calls, this rank
+  std::uint64_t registry_pinned = 0;  ///< last sweep's kept count, this rank
+  // Machine-wide sums (allreduced):
+  std::uint64_t registry_swept = 0;
+  std::uint64_t halo_plans_dropped = 0;  ///< dropped by Env::sweep
+  std::uint64_t halo_evictions = 0;      ///< halo cache budget evictions
+  std::uint64_t plan_evictions = 0;      ///< redist plan budget evictions
+  std::uint64_t halo_plan_hits = 0;
+  std::uint64_t halo_plan_misses = 0;
+};
+
+/// Dimension-0 S_BLOCK split sizes for step `step`: an even q-way split
+/// of n with one boundary shifted by a seeded LCG draw, every segment
+/// kept at least `min_seg` wide (the asymmetric-spec exactness
+/// contract).  Deterministic and rank-independent, so all ranks of a
+/// step DISTRIBUTE to the same descriptor.
+[[nodiscard]] std::vector<dist::Index> soak_split_sizes(dist::Index n, int q,
+                                                        dist::Index min_seg,
+                                                        std::uint64_t seed,
+                                                        int step);
+
+/// Runs the soak on the calling SPMD context (collective).  nprocs must
+/// be a perfect square q*q with even n/q segments at least front_width
+/// wide.
+[[nodiscard]] SoakResult run_soak(msg::Context& ctx, const SoakConfig& cfg);
+
+/// Sequential reference of the same update sequence (values are
+/// independent of distribution and sweeps by construction): the full
+/// final grid in linearized order.
+[[nodiscard]] std::vector<double> soak_reference(const SoakConfig& cfg);
+
+}  // namespace vf::apps

@@ -1,0 +1,76 @@
+// Byte-budget accounting shared by every bounded cache in the runtime:
+// the Env-wide halo-plan cache, the per-array RedistPlan cache, and the
+// PARTI schedule binding cache.  Each cache keeps its own recency
+// structure (an LRU list or MRU-first vector) and consults its budget to
+// decide *when* to evict; the budget itself only tracks bytes and
+// traffic, so the policy reads the same at every site: charge on insert,
+// credit on removal, evict from the cold end while the ceiling is
+// exceeded.  Evicted entries rebuild transparently on next use, so a
+// ceiling is a performance knob, never a correctness one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vf::core {
+
+class CacheBudget {
+ public:
+  CacheBudget() = default;
+  explicit CacheBudget(std::size_t max_bytes) : max_bytes_(max_bytes) {}
+
+  void set_max_bytes(std::size_t b) noexcept { max_bytes_ = b; }
+  [[nodiscard]] std::size_t max_bytes() const noexcept { return max_bytes_; }
+  [[nodiscard]] std::size_t resident_bytes() const noexcept {
+    return resident_;
+  }
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+  [[nodiscard]] std::uint64_t inserts() const noexcept { return inserts_; }
+
+  /// Charge a newly cached entry.
+  void add(std::size_t bytes) noexcept {
+    resident_ += bytes;
+    ++inserts_;
+  }
+  /// Credit an entry dropped for a non-pressure reason (invalidation,
+  /// sweep, clear): not counted as an eviction.
+  void remove(std::size_t bytes) noexcept {
+    resident_ = bytes > resident_ ? 0 : resident_ - bytes;
+  }
+  /// Credit an entry dropped to stay under the ceiling.
+  void evict(std::size_t bytes) noexcept {
+    remove(bytes);
+    ++evictions_;
+  }
+
+  [[nodiscard]] bool over() const noexcept { return resident_ > max_bytes_; }
+  /// Whether charging `incoming` more bytes would exceed the ceiling.
+  [[nodiscard]] bool would_exceed(std::size_t incoming) const noexcept {
+    return resident_ + incoming > max_bytes_;
+  }
+
+  /// Cache cleared: residency and traffic counters both drop, so a
+  /// later reader never sees ratios describing entries that no longer
+  /// exist.  The ceiling is configuration and survives.
+  void reset() noexcept {
+    resident_ = 0;
+    evictions_ = 0;
+    inserts_ = 0;
+  }
+
+ private:
+  std::size_t max_bytes_ = ~std::size_t{0};  ///< unlimited until set
+  std::size_t resident_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t inserts_ = 0;
+};
+
+/// Bytes held by a vector's heap allocation (capacity, not size: that is
+/// what the allocator actually handed out).
+template <typename T>
+[[nodiscard]] inline std::size_t vector_bytes(const std::vector<T>& v) noexcept {
+  return v.capacity() * sizeof(T);
+}
+
+}  // namespace vf::core

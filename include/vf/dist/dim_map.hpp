@@ -72,6 +72,10 @@ class DimMap {
   [[nodiscard]] DimMap realigned(Range new_dom, Index stride,
                                  Index offset) const;
 
+  /// Heap + inline bytes held by this map (table maps dominate: the
+  /// per-element owners/locals arrays).  Feeds registry byte accounting.
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept;
+
  private:
   enum class Rep { Contig, Cyclic, Table };
 

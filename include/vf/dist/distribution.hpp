@@ -204,6 +204,21 @@ class Distribution {
 
   [[nodiscard]] std::string to_string() const;
 
+  /// Approximate bytes held by this descriptor, EXCLUDING shared
+  /// components (per-dimension maps, the section, indirect owner tables)
+  /// which the registry accounts once per intern in their own buckets.
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept {
+    std::size_t b = sizeof(Distribution);
+    b += maps_.capacity() * sizeof(DimMapPtr);
+    b += free_dims_.capacity() * sizeof(int);
+    b += type_.dims().capacity() * sizeof(DimDist);
+    for (const DimDist& dd : type_.dims()) {
+      b += dd.gen_sizes.capacity() * sizeof(Index);
+      b += dd.gen_bounds.capacity() * sizeof(Index);
+    }
+    return b;
+  }
+
  private:
   void finish_init();
 

@@ -111,6 +111,13 @@ class ProcessorSection {
 
   [[nodiscard]] std::string to_string() const;
 
+  /// Bytes held by this section (registry byte accounting).
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept {
+    return sizeof(ProcessorSection) + arr_.name().capacity() +
+           dims_.capacity() * sizeof(SectionDim) +
+           free_.capacity() * sizeof(int);
+  }
+
   friend bool operator==(const ProcessorSection&,
                          const ProcessorSection&) = default;
 

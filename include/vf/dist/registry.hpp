@@ -69,7 +69,8 @@ class DistHandle {
 };
 
 /// Interning traffic counters (reported per bench run as registry_* in
-/// BENCH_<name>.json).
+/// BENCH_<name>.json), plus the byte accounting that makes long-run
+/// growth measurable rather than asserted.
 struct RegistryStats {
   std::uint64_t hits = 0;            ///< whole-distribution intern hits
   std::uint64_t misses = 0;          ///< whole-distribution admissions
@@ -79,6 +80,9 @@ struct RegistryStats {
   std::uint64_t halo_spec_misses = 0;  ///< halo-spec admissions
   std::uint64_t halo_family_hits = 0;    ///< halo-family intern hits
   std::uint64_t halo_family_misses = 0;  ///< halo-family admissions
+  std::uint64_t resident_bytes = 0;  ///< approx bytes held by live interns
+  std::uint64_t swept = 0;           ///< entries reclaimed across all sweeps
+  std::uint64_t pinned = 0;          ///< entries kept by the LAST sweep
 };
 
 class DistRegistry {
@@ -142,11 +146,36 @@ class DistRegistry {
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
 
   [[nodiscard]] const RegistryStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = RegistryStats{}; }
+  /// Zeroes the traffic counters; resident_bytes describes entries that
+  /// still exist and survives the reset.
+  void reset_stats() noexcept {
+    const std::uint64_t resident = stats_.resident_bytes;
+    stats_ = RegistryStats{};
+    stats_.resident_bytes = resident;
+  }
 
   /// Number of interned distributions.
   [[nodiscard]] std::size_t size() const noexcept { return n_dists_; }
 
+  /// Epoch-based reclamation: drops every intern nothing outside the
+  /// registry still references (a bucket entry is pinned iff some live
+  /// array, cached plan, schedule binding or user handle shares its
+  /// pointer).  Order matters: distributions retire before the dimension
+  /// maps/sections they reference, families before their member specs, so
+  /// components unshared after this pass are reclaimed in the same call.
+  /// Advances epoch(); uids are NEVER reused across sweeps (or clear()),
+  /// so uid-keyed memos can never alias a retired descriptor.  Returns
+  /// the number of entries reclaimed; stats().swept accumulates it and
+  /// stats().pinned snapshots what this sweep kept.
+  std::size_t sweep();
+
+  /// Number of completed sweeps.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// Drops everything (pinned or not -- external handles keep their
+  /// referents alive independently) and resets stats: counters describe
+  /// current contents, and after a clear there are none.  uid counters
+  /// stay monotonic, exactly as under sweep().
   void clear();
 
  private:
@@ -161,6 +190,7 @@ class DistRegistry {
 
   bool enabled_ = true;
   RegistryStats stats_;
+  std::uint64_t epoch_ = 0;
   std::uint32_t next_uid_ = 1;
   std::uint32_t next_halo_uid_ = 1;
   std::uint32_t next_family_uid_ = 1;

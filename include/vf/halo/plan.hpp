@@ -30,10 +30,12 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "vf/core/cache_budget.hpp"
 #include "vf/dist/distribution.hpp"
 #include "vf/dist/registry.hpp"
 #include "vf/halo/spec.hpp"
@@ -109,6 +111,15 @@ struct HaloPlan {
   /// Process-wide count of build() invocations (monotonic; the repeat-
   /// exchange tests assert the cache keeps this flat on the hot path).
   [[nodiscard]] static std::uint64_t builds() noexcept;
+
+  /// Heap + inline bytes this plan holds (cache byte budgeting).
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept {
+    return sizeof(HaloPlan) + pack_runs.capacity() * sizeof(Run) +
+           unpack_runs.capacity() * sizeof(Run) +
+           unpack_peers.capacity() * sizeof(PeerRuns) +
+           (send_counts.capacity() + recv_counts.capacity()) *
+               sizeof(std::uint64_t);
+  }
 };
 
 /// Receiver-side filled ghost widths of one rank: how many ghost planes on
@@ -131,6 +142,11 @@ struct HaloFill {
 /// structural comparison or index-list rebuild.  Uninterned handles
 /// (uid 0) are uncacheable and rebuild every time -- the benchmark cold
 /// path.
+///
+/// Bounded: true-LRU within a byte budget (default 16 MiB) plus a
+/// kCapacity entry-count backstop.  A hit moves the entry to the front
+/// of the recency list; an insert evicts from the back until both limits
+/// hold.  An evicted plan rebuilds transparently on next use.
 class HaloPlanCache {
  public:
   struct Stats {
@@ -160,10 +176,34 @@ class HaloPlanCache {
   }
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
 
+  /// Drops every entry AND the hit/miss counters: stats describe the
+  /// cache's contents, and a reader comparing ratios across a clear (or
+  /// a set_enabled(false) cold path) must not see pre-clear traffic.
   void clear() {
     map_.clear();
-    order_.clear();
+    lru_.clear();
+    budget_.reset();
+    stats_ = Stats{};
   }
+
+  /// Byte ceiling (default 16 MiB); shrinking below residency evicts
+  /// immediately from the cold end.
+  void set_max_bytes(std::size_t b);
+  [[nodiscard]] std::size_t max_bytes() const noexcept {
+    return budget_.max_bytes();
+  }
+  [[nodiscard]] std::size_t resident_bytes() const noexcept {
+    return budget_.resident_bytes();
+  }
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return budget_.evictions();
+  }
+
+  /// Env::sweep() hook: drops entries whose distribution uid is not in
+  /// `live` (no registered array holds that descriptor any more, so the
+  /// key can never be looked up again -- uids are never reused).  Not
+  /// counted as evictions; returns the number dropped.
+  std::size_t sweep(const std::vector<std::uint32_t>& live_dist_uids);
 
   [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
@@ -178,6 +218,8 @@ class HaloPlanCache {
     HaloHandle halo;
     FamilyHandle family;
     std::shared_ptr<const HaloPlan> plan;
+    std::size_t bytes = 0;
+    std::list<std::uint64_t>::iterator lru;  ///< position in lru_
   };
 
   // Spec and family uids live in separate registry keyspaces, so the key
@@ -197,13 +239,17 @@ class HaloPlanCache {
 
   [[nodiscard]] std::shared_ptr<const HaloPlan> insert(std::uint64_t key,
                                                        Entry e);
+  void drop(std::uint64_t key, bool pressure);
+  void evict_lru() { drop(lru_.back(), /*pressure=*/true); }
 
   static constexpr std::size_t kCapacity = 16;
+  static constexpr std::size_t kDefaultMaxBytes = std::size_t{16} << 20;
 
   bool enabled_ = true;
   Stats stats_;
+  core::CacheBudget budget_{kDefaultMaxBytes};
   std::unordered_map<std::uint64_t, Entry> map_;
-  std::vector<std::uint64_t> order_;  ///< insertion order for eviction
+  std::list<std::uint64_t> lru_;  ///< most recently used first
 };
 
 }  // namespace vf::halo

@@ -58,6 +58,11 @@ class HaloSpec {
 
   [[nodiscard]] std::string to_string() const;
 
+  /// Bytes held (all storage is inline; registry byte accounting).
+  [[nodiscard]] static constexpr std::size_t footprint_bytes() noexcept {
+    return sizeof(HaloSpec);
+  }
+
   friend bool operator==(const HaloSpec&, const HaloSpec&) = default;
 
  private:
@@ -144,6 +149,12 @@ class HaloFamily {
   [[nodiscard]] std::uint64_t hash() const noexcept;
 
   [[nodiscard]] std::string to_string() const;
+
+  /// Bytes held, excluding the member specs the registry accounts in its
+  /// own halo bucket (registry byte accounting).
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept {
+    return sizeof(HaloFamily) + specs_.capacity() * sizeof(HaloHandle);
+  }
 
   /// Element-wise handle identity: families built from handles interned in
   /// the same registry compare structurally through it.

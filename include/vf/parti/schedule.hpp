@@ -27,6 +27,7 @@
 #include <span>
 #include <vector>
 
+#include "vf/core/cache_budget.hpp"
 #include "vf/dist/distribution.hpp"
 #include "vf/dist/registry.hpp"
 #include "vf/halo/spec.hpp"
@@ -346,6 +347,17 @@ class Schedule {
   [[nodiscard]] std::uint64_t binding_misses() const noexcept {
     return binding_misses_;
   }
+  /// Bindings dropped under capacity or byte pressure (an evicted binding
+  /// re-translates transparently on next use).
+  [[nodiscard]] std::uint64_t binding_evictions() const noexcept {
+    return binding_budget_.evictions();
+  }
+  [[nodiscard]] std::size_t binding_resident_bytes() const noexcept {
+    return binding_budget_.resident_bytes();
+  }
+  /// Byte ceiling of the binding cache (default 8 MiB); shrinking evicts
+  /// cold bindings immediately (the MRU binding always survives).
+  void set_binding_budget(std::size_t max_bytes);
   /// Executor exchange-scratch counters (prepares == executor calls that
   /// exchanged data; grow_allocs == heap allocations the scratch arena
   /// performed).  A warmed-up replay loop holds grow_allocs flat -- the
@@ -450,10 +462,21 @@ class Schedule {
   // or fingerprint verification happens on the hot path.
   dist::DistHandle target_;
 
+  /// Bytes one binding holds (its four offset vectors dominate).
+  [[nodiscard]] static std::size_t binding_bytes(const Binding& b) noexcept {
+    return sizeof(Binding) +
+           (b.serve_off.capacity() + b.local_off.capacity() +
+            b.halo_off.capacity() + b.heavy_off.capacity()) *
+               sizeof(std::size_t);
+  }
+
   // Multi-array binding cache (most recently used first), bounded by
-  // kBindingCapacity.
+  // kBindingCapacity entries within a byte budget.
   static constexpr std::size_t kBindingCapacity = 8;
+  static constexpr std::size_t kDefaultBindingBudgetBytes = std::size_t{8}
+                                                            << 20;
   mutable std::vector<Binding> bindings_;
+  mutable core::CacheBudget binding_budget_{kDefaultBindingBudgetBytes};
   mutable std::uint64_t binding_hits_ = 0;
   mutable std::uint64_t binding_misses_ = 0;
 

@@ -277,6 +277,20 @@ class DistArrayBase {
   [[nodiscard]] bool exchange_in_flight() const noexcept {
     return exchange_in_flight_;
   }
+  /// Tag of the pending split-phase exchange (0 when none is in flight).
+  [[nodiscard]] int pending_exchange_tag() const noexcept {
+    return pending_exchange_tag_;
+  }
+
+  /// Env::sweep() hook, called on every registered array before the
+  /// registry sweep: drops derived per-array cache state that pins
+  /// retired descriptors without contributing to future hits.  The base
+  /// drops the uid-keyed skew memo (its hybrid handles pin hybrid
+  /// descriptors; re-deriving one costs a single histogram pass);
+  /// DistArray<T> additionally prunes its redistribution plan cache.
+  /// Never touches the array's own handle chain -- the live
+  /// dist/halo/family handles are exactly what pins their interns.
+  virtual void sweep_caches() { hybrid_memo_.clear(); }
 
   /// The per-side interior margins of this rank under the array's halo
   /// plan: owned elements at least this far from every face are safe to

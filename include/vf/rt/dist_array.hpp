@@ -34,6 +34,7 @@
 #include <type_traits>
 #include <unordered_map>
 
+#include "vf/core/cache_budget.hpp"
 #include "vf/msg/context.hpp"
 #include "vf/rt/array_base.hpp"
 #include "vf/rt/redist_plan.hpp"
@@ -355,13 +356,18 @@ class DistArray final : public DistArrayBase {
   // ---- redistribution plan cache ------------------------------------------
 
   /// Enables/disables the (old, new) distribution plan cache; disabling
-  /// also drops cached plans.  Mainly for benchmarks measuring the cold
-  /// inspector path.
+  /// also drops cached plans AND the hit/miss counters -- stats describe
+  /// the cache's contents, and a cold-path benchmark toggling the cache
+  /// off must not read pre-toggle traffic.  Mainly for benchmarks
+  /// measuring the cold inspector path.
   void set_redist_plan_cache(bool enabled) {
     plan_cache_enabled_ = enabled;
     if (!enabled) {
       plan_cache_.clear();
       plan_order_.clear();
+      plan_budget_.reset();
+      plan_hits_ = 0;
+      plan_misses_ = 0;
     }
   }
   [[nodiscard]] std::uint64_t redist_plan_hits() const noexcept {
@@ -369,6 +375,39 @@ class DistArray final : public DistArrayBase {
   }
   [[nodiscard]] std::uint64_t redist_plan_misses() const noexcept {
     return plan_misses_;
+  }
+  [[nodiscard]] std::uint64_t redist_plan_evictions() const noexcept {
+    return plan_budget_.evictions();
+  }
+  [[nodiscard]] std::size_t redist_plan_resident_bytes() const noexcept {
+    return plan_budget_.resident_bytes();
+  }
+  [[nodiscard]] std::size_t redist_plan_count() const noexcept {
+    return plan_cache_.size();
+  }
+  /// Byte ceiling of the plan cache (default 64 MiB -- generous because
+  /// skewed fragmented plans are large and exactly the ones whose replay
+  /// the skew path depends on); shrinking evicts immediately.
+  void set_redist_plan_budget(std::size_t max_bytes) {
+    plan_budget_.set_max_bytes(max_bytes);
+    while (!plan_order_.empty() && plan_budget_.over()) evict_plan();
+  }
+
+  /// Env::sweep() hook: drops the skew memo (base) plus every cached plan
+  /// not involving the CURRENT descriptor.  Such a plan could only replay
+  /// if the array returned to a retired distribution -- impossible after
+  /// the sweep retires its uid for good -- so keeping it would pin dead
+  /// interns forever.  Plans touching the live descriptor stay warm.
+  void sweep_caches() override {
+    DistArrayBase::sweep_caches();
+    for (auto it = plan_order_.begin(); it != plan_order_.end();) {
+      const PlanEntry& e = plan_cache_.find(*it)->second;
+      if (e.od == dist_ || e.nd == dist_) {
+        ++it;
+        continue;
+      }
+      it = drop_plan(it, /*pressure=*/false);
+    }
   }
 
   /// Per-link max/mean at or above which a fragmented plan counts as a
@@ -459,6 +498,13 @@ class DistArray final : public DistArrayBase {
   /// therefore the strides differ).  Ghost planes start zeroed.
   void reshape_ghost_storage(const dist::IndexVec& nlo,
                              const dist::IndexVec& nhi, halo::HaloHandle nh) {
+    // Cached redistribution plans address the ghost-padded storage, so
+    // new widths make every cached offset stale: replaying one would
+    // read/write outside the reshaped allocation.  Invalidation, not
+    // eviction -- the budget is credited, the counter untouched.
+    for (auto it = plan_order_.begin(); it != plan_order_.end();) {
+      it = drop_plan(it, /*pressure=*/false);
+    }
     const dist::IndexVec old_lo = ghost_lo_;
     const dist::IndexVec old_strides = alloc_strides_;
     const std::vector<T> old_local = std::move(local_);
@@ -541,48 +587,70 @@ class DistArray final : public DistArrayBase {
 
   /// Looks up a cached plan for the (old, new) handle pair.  Handles that
   /// never went through a registry (uid 0) are uncacheable and always
-  /// rebuild -- exactly the benchmark cold path.
+  /// rebuild -- exactly the benchmark cold path.  A hit refreshes the
+  /// entry's recency (true LRU, not insertion order).
   [[nodiscard]] std::shared_ptr<const RedistPlan> lookup_plan(
       const dist::DistHandle& od, const dist::DistHandle& nd) {
     if (!plan_cache_enabled_ || !od.interned() || !nd.interned()) {
       return nullptr;
     }
-    const auto it = plan_cache_.find(plan_key(od, nd));
+    const std::uint64_t key = plan_key(od, nd);
+    const auto it = plan_cache_.find(key);
     if (it != plan_cache_.end()) {
       ++plan_hits_;
+      const auto o = std::find(plan_order_.begin(), plan_order_.end(), key);
+      std::rotate(o, o + 1, plan_order_.end());  // touch: move to MRU end
       return it->second.plan;
     }
     ++plan_misses_;
     return nullptr;
   }
 
-  /// Evicts the oldest bypass-eligible (fragmented, link-balanced) cached
-  /// plan, falling back to the overall oldest when none qualifies.
+  /// Removes one cached plan; `pressure` distinguishes budget evictions
+  /// (counted) from invalidation drops (not).  Returns the recency-list
+  /// iterator following the removed entry.
+  std::vector<std::uint64_t>::iterator drop_plan(
+      std::vector<std::uint64_t>::iterator o, bool pressure) {
+    const auto f = plan_cache_.find(*o);
+    if (pressure) {
+      plan_budget_.evict(f->second.bytes);
+    } else {
+      plan_budget_.remove(f->second.bytes);
+    }
+    plan_cache_.erase(f);
+    return plan_order_.erase(o);
+  }
+
+  /// Evicts the least-recently-used bypass-eligible (fragmented,
+  /// link-balanced) cached plan, falling back to the overall LRU when
+  /// none qualifies.  plan_order_ is recency-ordered, LRU first.
   void evict_plan() {
     for (auto it = plan_order_.begin(); it != plan_order_.end(); ++it) {
-      const auto f = plan_cache_.find(*it);
-      if (bypass_eligible(*f->second.plan)) {
-        plan_cache_.erase(f);
-        plan_order_.erase(it);
+      if (bypass_eligible(*plan_cache_.find(*it)->second.plan)) {
+        drop_plan(it, /*pressure=*/true);
         return;
       }
     }
     if (!plan_order_.empty()) {
-      plan_cache_.erase(plan_order_.front());
-      plan_order_.erase(plan_order_.begin());
+      drop_plan(plan_order_.begin(), /*pressure=*/true);
     }
   }
 
   void store_plan(dist::DistHandle od, dist::DistHandle nd,
                   std::shared_ptr<const RedistPlan> plan) {
     if (!plan_cache_enabled_ || !od.interned() || !nd.interned()) return;
+    const std::size_t bytes = sizeof(PlanEntry) + plan->footprint_bytes();
+    // A plan larger than the whole ceiling can never fit: leave it
+    // uncached (it rebuilds next flip) rather than emptying the cache.
+    if (bytes > plan_budget_.max_bytes()) return;
     // Cache-bypass heuristic for per-element-fragmented plans (ROADMAP):
     // their replay advantage is the smallest and their run lists are the
     // largest (O(N) Run entries), so they get a small budget of their own
     // and never evict a compact plan -- when the cache is full of compact
     // plans, the fragmented plan is simply not cached.  Fragmented plans
     // with skewed per-link traffic are exempt (see bypass_eligible).
-    if (bypass_eligible(*plan)) {
+    const bool bypass = bypass_eligible(*plan);
+    if (bypass) {
       std::size_t fragmented = 0;
       for (const auto& [k, e] : plan_cache_) {
         fragmented += bypass_eligible(*e.plan) ? 1u : 0u;
@@ -598,10 +666,26 @@ class DistArray final : public DistArrayBase {
       // fragmented plan, falling back to the overall oldest.
       evict_plan();
     }
+    // Byte ceiling on top of the count caps, same second-class rule: a
+    // bypass-eligible plan never pushes a compact one out to make room.
+    while (plan_budget_.would_exceed(bytes) && !plan_order_.empty()) {
+      if (bypass &&
+          !bypass_eligible(
+              *plan_cache_.find(plan_order_.front())->second.plan)) {
+        bool any_fragmented = false;
+        for (const auto& [k, e] : plan_cache_) {
+          any_fragmented |= bypass_eligible(*e.plan);
+        }
+        if (!any_fragmented) return;  // bypass: keep the compact plans
+      }
+      evict_plan();
+    }
     const std::uint64_t key = plan_key(od, nd);
     plan_order_.push_back(key);
-    plan_cache_.insert_or_assign(
-        key, PlanEntry{std::move(od), std::move(nd), std::move(plan)});
+    plan_budget_.add(bytes);
+    PlanEntry e{std::move(od), std::move(nd), std::move(plan)};
+    e.bytes = bytes;
+    plan_cache_.insert_or_assign(key, std::move(e));
   }
 
   /// The data-motion core of DISTRIBUTE: both sides enumerate their
@@ -749,13 +833,16 @@ class DistArray final : public DistArrayBase {
     dist::DistHandle od;
     dist::DistHandle nd;
     std::shared_ptr<const RedistPlan> plan;
+    std::size_t bytes = 0;
   };
   static constexpr std::size_t kPlanCacheCapacity = 8;
   static constexpr std::size_t kFragmentedPlanCapacity = 2;
+  static constexpr std::size_t kDefaultPlanBudgetBytes = std::size_t{64} << 20;
 
   std::vector<T> local_;
   std::unordered_map<std::uint64_t, PlanEntry> plan_cache_;
-  std::vector<std::uint64_t> plan_order_;  ///< insertion order for eviction
+  std::vector<std::uint64_t> plan_order_;  ///< recency order, LRU first
+  core::CacheBudget plan_budget_{kDefaultPlanBudgetBytes};
   bool plan_cache_enabled_ = true;
   std::uint64_t plan_hits_ = 0;
   std::uint64_t plan_misses_ = 0;

@@ -84,6 +84,24 @@ class Env {
   void unregister_array(DistArrayBase& a) noexcept;
   [[nodiscard]] DistArrayBase* find_array(std::string_view name) const noexcept;
 
+  /// What one Env::sweep() call reclaimed.
+  struct SweepReport {
+    std::size_t registry_swept = 0;      ///< interned entries reclaimed
+    std::size_t halo_plans_dropped = 0;  ///< dead halo-plan cache entries
+  };
+
+  /// Epoch-based reclamation entry point for long-running adaptive
+  /// programs: (1) asks every registered array to drop derived cache
+  /// state that pins retired descriptors (skew memos, plans not touching
+  /// the live descriptor); (2) drops halo-plan cache entries keyed on
+  /// distributions no registered array holds (their uids are retired and
+  /// can never be looked up again); (3) sweeps the registry, reclaiming
+  /// every intern nothing outside it references.  Purely local -- no
+  /// communication -- so ranks may sweep at different times.  Throws
+  /// ExchangeInFlightError if any registered array has a split-phase
+  /// exchange pending (the pending plan pins descriptors mid-unpack).
+  SweepReport sweep();
+
  private:
   msg::Context* ctx_;
   dist::ProcessorArray procs_;

@@ -93,6 +93,15 @@ struct RedistPlan {
     return static_cast<double>(max) / mean;
   }
 
+  /// Heap + inline bytes this plan holds (cache byte budgeting: fragmented
+  /// plans carry O(N) Run entries and dominate any budget they share).
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept {
+    return sizeof(RedistPlan) +
+           (pack_runs.capacity() + unpack_runs.capacity()) * sizeof(Run) +
+           (send_counts.capacity() + recv_counts.capacity()) *
+               sizeof(std::uint64_t);
+  }
+
   /// Builds the plan for rank `me` of an `np`-processor machine moving an
   /// array with the given ghost widths from `od` to `nd`.  Purely local:
   /// no communication.

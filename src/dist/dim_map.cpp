@@ -336,4 +336,15 @@ DimMap DimMap::realigned(Range new_dom, Index stride, Index offset) const {
   return indirect(new_dom, std::move(owners), np_);
 }
 
+std::size_t DimMap::footprint_bytes() const noexcept {
+  std::size_t b = sizeof(DimMap);
+  b += segs_.capacity() * sizeof(Range);
+  b += starts_.capacity() * sizeof(std::pair<Index, int>);
+  b += owners_.capacity() * sizeof(int);
+  b += locals_.capacity() * sizeof(Index);
+  b += owned_.capacity() * sizeof(std::vector<Index>);
+  for (const auto& v : owned_) b += v.capacity() * sizeof(Index);
+  return b;
+}
+
 }  // namespace vf::dist

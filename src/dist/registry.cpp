@@ -35,6 +35,23 @@ std::uint64_t hash_section(const ProcessorSection& s) noexcept {
   return h;
 }
 
+// Heap bytes a DimDist key holds beyond its inline storage.  A shared
+// IndirectTable is charged to the dim-map entry that keys on it; two
+// entries sharing one table double-count it, which is rare and keeps the
+// accounting single-pass (it is a growth gauge, not an allocator).
+std::size_t dim_dist_bytes(const DimDist& dd) noexcept {
+  std::size_t b = dd.gen_sizes.capacity() * sizeof(Index) +
+                  dd.gen_bounds.capacity() * sizeof(Index);
+  if (dd.owners != nullptr) {
+    b += sizeof(IndirectTable) + dd.owners->owners().capacity() * sizeof(int);
+  }
+  return b;
+}
+
+void sub_bytes(std::uint64_t& acc, std::size_t b) noexcept {
+  acc = b > acc ? 0 : acc - b;
+}
+
 }  // namespace
 
 DistHandle DistRegistry::wrap(Distribution d) {
@@ -47,6 +64,7 @@ DistHandle DistRegistry::wrap(DistributionPtr d) {
 
 DistHandle DistRegistry::admit(DistributionPtr d, std::uint64_t key) {
   DistHandle h(std::move(d), next_uid_++);
+  stats_.resident_bytes += h->footprint_bytes() + sizeof(DistHandle);
   dists_[key].push_back(h);
   ++n_dists_;
   return h;
@@ -135,6 +153,12 @@ DimMapPtr DistRegistry::intern_dim_map(const DimDist& dd, Range r,
   auto m = std::make_shared<const DimMap>(
       Distribution::build_dim_map(dd, r, nprocs));
   dim_maps_[key].push_back(DimMapEntry{dd, r, nprocs, m});
+  // Charge from the STORED entry (its vector capacities, not the
+  // caller's), so the sweep's credit mirrors the charge exactly and
+  // resident_bytes returns to zero when everything is reclaimed.
+  const DimMapEntry& e = dim_maps_[key].back();
+  stats_.resident_bytes +=
+      sizeof(DimMapEntry) + dim_dist_bytes(e.dd) + e.map->footprint_bytes();
   return m;
 }
 
@@ -144,6 +168,7 @@ ProcessorSectionPtr DistRegistry::intern_section(const ProcessorSection& s) {
     if (*cand == s) return cand;
   }
   auto p = std::make_shared<const ProcessorSection>(s);
+  stats_.resident_bytes += p->footprint_bytes() + sizeof(ProcessorSectionPtr);
   sections_[key].push_back(p);
   return p;
 }
@@ -160,6 +185,8 @@ halo::HaloHandle DistRegistry::intern(const halo::HaloSpec& s) {
   ++stats_.halo_spec_misses;
   halo::HaloHandle h(std::make_shared<const halo::HaloSpec>(s),
                      next_halo_uid_++);
+  stats_.resident_bytes +=
+      halo::HaloSpec::footprint_bytes() + sizeof(halo::HaloHandle);
   halos_[key].push_back(h);
   return h;
 }
@@ -178,8 +205,85 @@ halo::FamilyHandle DistRegistry::intern_family(
   ++stats_.halo_family_misses;
   halo::FamilyHandle h(std::make_shared<const halo::HaloFamily>(std::move(f)),
                        next_family_uid_++);
+  stats_.resident_bytes += h->footprint_bytes() + sizeof(halo::FamilyHandle);
   halo_families_[key].push_back(h);
   return h;
+}
+
+std::size_t DistRegistry::sweep() {
+  ++epoch_;
+  std::size_t reclaimed = 0;
+  std::uint64_t pinned = 0;
+
+  const auto reclaim = [&](std::size_t bytes) {
+    sub_bytes(stats_.resident_bytes, bytes);
+    ++stats_.swept;
+    ++reclaimed;
+  };
+  // An entry is pinned iff anything besides the registry's own bucket
+  // still shares its pointer (a live array's handle chain, a cached
+  // plan, a schedule binding, a user handle).
+  const auto unpinned = [&](const auto& shared) {
+    if (shared.use_count() > 1) {
+      ++pinned;
+      return false;
+    }
+    return true;
+  };
+
+  // Distributions first: destroying one releases its DimMapPtr and
+  // ProcessorSectionPtr references, so components unshared after this
+  // pass fall to use_count()==1 before their own passes below.
+  for (auto it = dists_.begin(); it != dists_.end();) {
+    std::erase_if(it->second, [&](const DistHandle& h) {
+      if (!unpinned(h.ptr())) return false;
+      reclaim(h->footprint_bytes() + sizeof(DistHandle));
+      --n_dists_;
+      return true;
+    });
+    it = it->second.empty() ? dists_.erase(it) : std::next(it);
+  }
+
+  // Families before the member specs they hold handles to.
+  for (auto it = halo_families_.begin(); it != halo_families_.end();) {
+    std::erase_if(it->second, [&](const halo::FamilyHandle& h) {
+      if (!unpinned(h.p_)) return false;
+      reclaim(h->footprint_bytes() + sizeof(halo::FamilyHandle));
+      return true;
+    });
+    it = it->second.empty() ? halo_families_.erase(it) : std::next(it);
+  }
+
+  for (auto it = halos_.begin(); it != halos_.end();) {
+    std::erase_if(it->second, [&](const halo::HaloHandle& h) {
+      if (!unpinned(h.p_)) return false;
+      reclaim(halo::HaloSpec::footprint_bytes() + sizeof(halo::HaloHandle));
+      return true;
+    });
+    it = it->second.empty() ? halos_.erase(it) : std::next(it);
+  }
+
+  for (auto it = dim_maps_.begin(); it != dim_maps_.end();) {
+    std::erase_if(it->second, [&](const DimMapEntry& e) {
+      if (!unpinned(e.map)) return false;
+      reclaim(sizeof(DimMapEntry) + dim_dist_bytes(e.dd) +
+              e.map->footprint_bytes());
+      return true;
+    });
+    it = it->second.empty() ? dim_maps_.erase(it) : std::next(it);
+  }
+
+  for (auto it = sections_.begin(); it != sections_.end();) {
+    std::erase_if(it->second, [&](const ProcessorSectionPtr& p) {
+      if (!unpinned(p)) return false;
+      reclaim(p->footprint_bytes() + sizeof(ProcessorSectionPtr));
+      return true;
+    });
+    it = it->second.empty() ? sections_.erase(it) : std::next(it);
+  }
+
+  stats_.pinned = pinned;
+  return reclaimed;
 }
 
 void DistRegistry::clear() {
@@ -189,6 +293,9 @@ void DistRegistry::clear() {
   halos_.clear();
   halo_families_.clear();
   n_dists_ = 0;
+  // Counters describe current contents; after a clear there are none.
+  // uid counters intentionally survive (monotonic across clear/sweep).
+  stats_ = RegistryStats{};
 }
 
 }  // namespace vf::dist

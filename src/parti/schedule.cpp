@@ -335,7 +335,9 @@ const Schedule::Binding& Schedule::bind(const rt::DistArrayBase& a) const {
   // the kBindingCapacity slots until LRU eviction and could squeeze out
   // live bindings of other arrays; purge them now.
   std::erase_if(bindings_, [&](const Binding& sb) {
-    return sb.array_serial == a.serial();
+    if (sb.array_serial != a.serial()) return false;
+    binding_budget_.remove(binding_bytes(sb));  // stale drop, not eviction
+    return true;
   });
   Binding b;
   b.array_serial = a.serial();
@@ -360,9 +362,26 @@ const Schedule::Binding& Schedule::bind(const rt::DistArrayBase& a) const {
     b.heavy_off[k] = static_cast<std::size_t>(
         a.storage_offset(dom_.delinearize(heavy_serve_linear_[k])));
   }
-  if (bindings_.size() >= kBindingCapacity) bindings_.pop_back();
+  // Capacity backstop plus byte ceiling, both from the LRU tail.  The
+  // incoming binding always lands even if it alone exceeds the ceiling:
+  // an executor cannot run without its current binding.
+  const std::size_t nb = binding_bytes(b);
+  while (!bindings_.empty() && (bindings_.size() >= kBindingCapacity ||
+                                binding_budget_.would_exceed(nb))) {
+    binding_budget_.evict(binding_bytes(bindings_.back()));
+    bindings_.pop_back();
+  }
+  binding_budget_.add(nb);
   bindings_.insert(bindings_.begin(), std::move(b));
   return bindings_.front();
+}
+
+void Schedule::set_binding_budget(std::size_t max_bytes) {
+  binding_budget_.set_max_bytes(max_bytes);
+  while (bindings_.size() > 1 && binding_budget_.over()) {
+    binding_budget_.evict(binding_bytes(bindings_.back()));
+    bindings_.pop_back();
+  }
 }
 
 }  // namespace vf::parti

@@ -33,4 +33,34 @@ DistArrayBase* Env::find_array(std::string_view name) const noexcept {
   return nullptr;
 }
 
+Env::SweepReport Env::sweep() {
+  // A pending split-phase exchange pins its plan and the descriptors
+  // under it; sweeping mid-exchange would tear down what end_exchange
+  // is about to unpack into.
+  for (const auto* a : arrays_) {
+    if (a->exchange_in_flight()) {
+      throw ExchangeInFlightError(a->name(), "Env::sweep",
+                                  a->pending_exchange_tag());
+    }
+  }
+
+  // Per-array derived caches first: plan entries and skew memos released
+  // here fall to use_count()==1 before the registry pass sees them.
+  for (auto* a : arrays_) a->sweep_caches();
+
+  // Halo plans keyed on a distribution no registered array holds can
+  // never be looked up again (uids are not reused); everything keyed on
+  // a live descriptor stays warm.
+  std::vector<std::uint32_t> live;
+  live.reserve(arrays_.size());
+  for (const auto* a : arrays_) {
+    if (a->dist_handle().interned()) live.push_back(a->dist_handle().uid());
+  }
+
+  SweepReport r;
+  r.halo_plans_dropped = halo_plans_.sweep(live);
+  r.registry_swept = registry_.sweep();
+  return r;
+}
+
 }  // namespace vf::rt
